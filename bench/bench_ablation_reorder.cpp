@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation (§X future work, citing Arai et al.): heterogeneity-aware
+ * reordering.  Degree-descending reordering concentrates dense rows
+ * into the same row panels, sharpening IMH and helping the partitioner;
+ * a random permutation destroys IMH and is the "structure removed"
+ * control — with it, HotTiles should degrade toward IUnaware-like
+ * gains, demonstrating that the wins really come from exploiting IMH.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sparse/reorder.hpp"
+#include "sparse/tiling.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+int
+main()
+{
+    banner("Ablation: reordering", "HPCA'24 HotTiles, §X",
+           "Original vs degree-sorted vs randomly-permuted matrices");
+
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    std::vector<std::string> names = {"ski", "pap", "kro", "pok", "wik"};
+
+    Table t({"Matrix", "IMH CV orig", "CV degree-sorted", "CV shuffled",
+             "HT vs BestHom orig", "degree-sorted", "shuffled"});
+    GeoMean g_orig;
+    GeoMean g_sorted;
+    GeoMean g_shuffled;
+    for (const auto& name : names) {
+        const CooMatrix& m = suiteMatrix(name);
+        CooMatrix sorted = m.permutedSymmetric(
+            degreeDescendingPermutation(m));
+        CooMatrix shuffled =
+            m.permutedSymmetric(randomPermutation(m.rows(), 0x5EED));
+
+        auto quality = [&](const CooMatrix& mm, double& cv) {
+            TileGrid grid(mm, arch.tile_height, arch.tile_width);
+            cv = grid.tileNnzCv();
+            MatrixEvaluation ev = evaluateMatrix(arch, mm, name);
+            return ev.bestHomogeneousCycles() / ev.hottiles.cycles();
+        };
+        double cv_o;
+        double cv_s;
+        double cv_r;
+        double q_o = quality(m, cv_o);
+        double q_s = quality(sorted, cv_s);
+        double q_r = quality(shuffled, cv_r);
+        g_orig.add(q_o);
+        g_sorted.add(q_s);
+        g_shuffled.add(q_r);
+        t.addRow({name, Table::num(cv_o, 2), Table::num(cv_s, 2),
+                  Table::num(cv_r, 2), Table::num(q_o, 2),
+                  Table::num(q_s, 2), Table::num(q_r, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\ngeomean HotTiles speedup vs BestHomogeneous: original "
+              << Table::num(g_orig.value(), 2) << "x, degree-sorted "
+              << Table::num(g_sorted.value(), 2) << "x, shuffled "
+              << Table::num(g_shuffled.value(), 2)
+              << "x\n(shuffling destroys IMH; the gains track the tile-nnz "
+                 "CV, confirming the mechanism)\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation (§IV + §X): smart tile sizing.  The free tile dimension is
+ * searched with the model (predicted runtime per candidate size); this
+ * bench compares the simulated runtime at the model-recommended size
+ * against the fixed default, per matrix.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/hottiles.hpp"
+#include "core/tile_search.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+namespace {
+
+double
+simulateAtTileSize(const Architecture& base, const CooMatrix& m, Index size)
+{
+    Architecture arch = base;
+    arch.tile_height = size;
+    arch.tile_width = size;
+    HotTilesOptions opts;
+    opts.build_formats = false;
+    HotTiles ht(arch, m, opts);
+    return double(simulateExecution(arch, ht.grid(), ht.partition().is_hot,
+                                    ht.partition().serial, opts.kernel)
+                      .stats.cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: tile sizing", "HPCA'24 HotTiles, §IV / §X",
+           "Model-searched tile size vs the fixed default (256)");
+
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    std::vector<std::string> names = {"ski", "pap", "kro", "myc", "pok",
+                                      "ser"};
+
+    Table t({"Matrix", "Recommended size", "Cycles @256",
+             "Cycles @recommended", "Gain"});
+    GeoMean gain;
+    for (const auto& name : names) {
+        const CooMatrix& m = suiteMatrix(name);
+        TileSizeSearchResult ts =
+            searchTileSize(arch, m, KernelConfig{}, {64, 128, 256, 512});
+        double at_default = simulateAtTileSize(arch, m, 256);
+        double at_best = ts.best.tile_height == 256
+                             ? at_default
+                             : simulateAtTileSize(arch, m,
+                                                  ts.best.tile_height);
+        double g = at_default / at_best;
+        gain.add(g);
+        t.addRow({name, std::to_string(ts.best.tile_height),
+                  Table::num(at_default, 0), Table::num(at_best, 0),
+                  Table::num(g, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\ngeomean gain from searched tile sizes: "
+              << Table::num(gain.value(), 2)
+              << "x (>= 1 means the model's choice helped or matched)\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig 4 reproduction: compare the IMH-unaware heterogeneous baseline
+ * (IUnaware) against homogeneous HotOnly/ColdOnly execution on
+ * SPADE-Sextans (16 cold workers, 1 hot worker) and PIUMA (4 cold,
+ * 2 hot).  Bars = speedup over the worst homogeneous execution; the
+ * paper's takeaway is that IUnaware always beats the worst homogeneous
+ * run but is unimpressive against the best one (notably on
+ * SPADE-Sextans, where it loses to ColdOnly).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+namespace {
+
+void
+runArch(const std::string& label, Architecture arch)
+{
+    calibrateArchitecture(arch);
+    auto evs = evaluateSuite(arch, tableVNames());
+
+    Table t({"Matrix", "HotOnly", "ColdOnly", "IUnaware",
+             "IUnaware vs best homog."});
+    GeoMean iu_vs_best;
+    for (const auto& ev : evs) {
+        double vs_best =
+            speedup(ev.bestHomogeneousCycles(), ev.iunaware.cycles());
+        iu_vs_best.add(vs_best);
+        t.addRow({ev.matrix, Table::num(ev.speedupOverWorst(ev.hot_only), 2),
+                  Table::num(ev.speedupOverWorst(ev.cold_only), 2),
+                  Table::num(ev.speedupOverWorst(ev.iunaware), 2),
+                  Table::num(vs_best, 2)});
+    }
+    std::cout << "\n" << label
+              << " — speedup over the worst homogeneous execution:\n";
+    t.print(std::cout);
+    std::cout << "geomean IUnaware speedup vs BEST homogeneous: "
+              << Table::num(iu_vs_best.value(), 2)
+              << "  (paper: ~<1 on SPADE-Sextans, ~1 on PIUMA)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 4", "HPCA'24 HotTiles, Fig 4",
+           "IUnaware heterogeneous execution vs homogeneous execution");
+    runArch("SPADE-Sextans (Ncw=16, Nhw=1)", makeSpadeSextans(4));
+    runArch("PIUMA (Ncw=4, Nhw=2)", makePiuma());
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig 5 reproduction: the tile-to-worker assignment maps of IUnaware and
+ * HotTiles on the `pap` citation-network matrix (SPADE-Sextans).
+ * IUnaware scatters hot tiles at random; HotTiles clusters them on the
+ * dense diagonal sub-communities, raising the hot nonzero share (52% ->
+ * 72% in the paper).  The maps are rendered as downsampled ASCII grids
+ * ('#' = mostly hot tiles, '.' = cold, ' ' = empty).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/hottiles.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+namespace {
+
+/** Render the assignment as a cell-downsampled ASCII map. */
+void
+printMap(const TileGrid& grid, const std::vector<uint8_t>& is_hot,
+         const std::string& label, int cells = 32)
+{
+    std::vector<std::vector<double>> hot_frac(
+        cells, std::vector<double>(cells, 0.0));
+    std::vector<std::vector<int>> occupied(cells, std::vector<int>(cells, 0));
+    for (size_t i = 0; i < grid.numTiles(); ++i) {
+        const Tile& t = grid.tile(i);
+        int r = int(uint64_t(t.panel) * cells / grid.numPanels());
+        int c = int(uint64_t(t.tcol) * cells / grid.numTileCols());
+        ++occupied[r][c];
+        if (is_hot[i])
+            hot_frac[r][c] += 1.0;
+    }
+    std::cout << "\n" << label << ":\n";
+    for (int r = 0; r < cells; ++r) {
+        std::cout << "  ";
+        for (int c = 0; c < cells; ++c) {
+            if (occupied[r][c] == 0) {
+                std::cout << ' ';
+            } else {
+                double f = hot_frac[r][c] / occupied[r][c];
+                std::cout << (f > 0.5 ? '#' : f > 0.0 ? '+' : '.');
+            }
+        }
+        std::cout << "\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 5", "HPCA'24 HotTiles, Fig 5",
+           "Assignment of pap tiles to hot (#) and cold (.) workers");
+
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    HotTilesOptions opts;
+    opts.build_formats = false;
+    HotTiles ht(arch, suiteMatrix("pap"), opts);
+
+    Partition iu = ht.iunaware();
+    const Partition& hot_tiles = ht.partition();
+
+    printMap(ht.grid(), iu.is_hot, "IUnaware (random scatter)");
+    printMap(ht.grid(), hot_tiles.is_hot,
+             "HotTiles (clusters on dense sub-communities)");
+
+    Table t({"Method", "Hot tile fraction", "Hot nonzero fraction"});
+    t.addRow({"IUnaware", Table::num(100 * iu.hotTileFraction(), 1) + "%",
+              Table::num(100 * iu.hotNnzFraction(ht.grid()), 1) + "%"});
+    t.addRow({"HotTiles",
+              Table::num(100 * hot_tiles.hotTileFraction(), 1) + "%",
+              Table::num(100 * hot_tiles.hotNnzFraction(ht.grid()), 1) +
+                  "%"});
+    std::cout << "\n";
+    t.print(std::cout);
+    std::cout << "(paper: IUnaware 52% of nonzeros hot -> HotTiles 72%)\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig 10 reproduction: homogeneous vs heterogeneous execution on
+ * SPADE-Sextans (system scale 4) across the ten Table V matrices.
+ * Bars = speedup over the worst homogeneous execution per matrix.
+ * Paper headline: HotTiles averages 8.7x / 1.9x / 2.0x over HotOnly /
+ * ColdOnly / IUnaware, and 1.25x over BestHomogeneous.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+int
+main()
+{
+    banner("Figure 10", "HPCA'24 HotTiles, Fig 10",
+           "Strategy comparison on SPADE-Sextans scale 4 (Table V set)");
+
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    auto evs = evaluateSuite(arch, tableVNames());
+
+    Table t({"Matrix", "HotOnly", "ColdOnly", "BestHom", "IUnaware",
+             "HotTiles"});
+    GeoMean vs_hot;
+    GeoMean vs_cold;
+    GeoMean vs_iu;
+    GeoMean vs_best;
+    for (const auto& ev : evs) {
+        double ht = ev.hottiles.cycles();
+        vs_hot.add(speedup(ev.hot_only.cycles(), ht));
+        vs_cold.add(speedup(ev.cold_only.cycles(), ht));
+        vs_iu.add(speedup(ev.iunaware.cycles(), ht));
+        vs_best.add(speedup(ev.bestHomogeneousCycles(), ht));
+        double worst = ev.worstHomogeneousCycles();
+        t.addRow({ev.matrix, Table::num(worst / ev.hot_only.cycles(), 2),
+                  Table::num(worst / ev.cold_only.cycles(), 2),
+                  Table::num(worst / ev.bestHomogeneousCycles(), 2),
+                  Table::num(worst / ev.iunaware.cycles(), 2),
+                  Table::num(worst / ht, 2)});
+    }
+    std::cout << "\nSpeedup over the worst homogeneous execution:\n";
+    t.print(std::cout);
+
+    Table g({"HotTiles speedup over", "Measured (geomean)", "Paper"});
+    g.addRow({"HotOnly", Table::num(vs_hot.value(), 2), "8.7x"});
+    g.addRow({"ColdOnly", Table::num(vs_cold.value(), 2), "1.9x"});
+    g.addRow({"IUnaware", Table::num(vs_iu.value(), 2), "2.0x"});
+    g.addRow({"BestHomogeneous", Table::num(vs_best.value(), 2), "1.25x"});
+    std::cout << "\n";
+    g.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig 11 reproduction: homogeneous vs heterogeneous execution on PIUMA
+ * (4 MTPs cold + 2 STPs hot, CSR formats, fp64, atomic engine).
+ * Paper headline: HotTiles averages 9.2x / 1.4x / 1.4x over HotOnly /
+ * ColdOnly / IUnaware, and 1.4x over BestHomogeneous.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+int
+main()
+{
+    banner("Figure 11", "HPCA'24 HotTiles, Fig 11",
+           "Strategy comparison on PIUMA (Table V set)");
+
+    Architecture arch = calibrated(makePiuma());
+    auto evs = evaluateSuite(arch, tableVNames());
+
+    Table t({"Matrix", "HotOnly", "ColdOnly", "BestHom", "IUnaware",
+             "HotTiles"});
+    GeoMean vs_hot;
+    GeoMean vs_cold;
+    GeoMean vs_iu;
+    GeoMean vs_best;
+    for (const auto& ev : evs) {
+        double ht = ev.hottiles.cycles();
+        vs_hot.add(speedup(ev.hot_only.cycles(), ht));
+        vs_cold.add(speedup(ev.cold_only.cycles(), ht));
+        vs_iu.add(speedup(ev.iunaware.cycles(), ht));
+        vs_best.add(speedup(ev.bestHomogeneousCycles(), ht));
+        double worst = ev.worstHomogeneousCycles();
+        t.addRow({ev.matrix, Table::num(worst / ev.hot_only.cycles(), 2),
+                  Table::num(worst / ev.cold_only.cycles(), 2),
+                  Table::num(worst / ev.bestHomogeneousCycles(), 2),
+                  Table::num(worst / ev.iunaware.cycles(), 2),
+                  Table::num(worst / ht, 2)});
+    }
+    std::cout << "\nSpeedup over the worst homogeneous execution:\n";
+    t.print(std::cout);
+
+    Table g({"HotTiles speedup over", "Measured (geomean)", "Paper"});
+    g.addRow({"HotOnly", Table::num(vs_hot.value(), 2), "9.2x"});
+    g.addRow({"ColdOnly", Table::num(vs_cold.value(), 2), "1.4x"});
+    g.addRow({"IUnaware", Table::num(vs_iu.value(), 2), "1.4x"});
+    g.addRow({"BestHomogeneous", Table::num(vs_best.value(), 2), "1.4x"});
+    std::cout << "\n";
+    g.print(std::cout);
+    return 0;
+}

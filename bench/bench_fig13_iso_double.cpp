@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig 13 reproduction: heterogeneous HotTiles at system scale 4 versus
+ * homogeneous architectures with DOUBLE the workers of one type (scale
+ * 8 hot-only and scale 8 cold-only).  Paper: HotTiles4 averages 2.9x
+ * over HotOnly8 and 1.6x over ColdOnly8 — a heterogeneous architecture
+ * beats a homogeneous one with twice the workers of either type.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/hottiles.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+int
+main()
+{
+    banner("Figure 13", "HPCA'24 HotTiles, Fig 13",
+           "HotTiles scale 4 vs homogeneous scale 8");
+
+    Architecture arch4 = calibrated(makeSpadeSextans(4));
+    Architecture arch8 = calibrated(makeSpadeSextans(8));
+
+    Table t({"Matrix", "vs HotOnly8", "vs ColdOnly8"});
+    GeoMean vs_hot8;
+    GeoMean vs_cold8;
+    for (const auto& name : tableVNames()) {
+        const CooMatrix& m = suiteMatrix(name);
+        HotTilesOptions opts;
+        opts.build_formats = false;
+        HotTiles ht(arch4, m, opts);
+        double ht4 = double(
+            simulateExecution(arch4, ht.grid(), ht.partition().is_hot,
+                              ht.partition().serial, opts.kernel)
+                .stats.cycles);
+        // The tile grid is shared (tile size is scale independent here).
+        double hot8 = double(
+            simulateHomogeneous(arch8, ht.grid(), true, opts.kernel)
+                .stats.cycles);
+        double cold8 = double(
+            simulateHomogeneous(arch8, ht.grid(), false, opts.kernel)
+                .stats.cycles);
+        vs_hot8.add(hot8 / ht4);
+        vs_cold8.add(cold8 / ht4);
+        t.addRow({name, Table::num(hot8 / ht4, 2),
+                  Table::num(cold8 / ht4, 2)});
+    }
+    std::cout << "\nSpeedup of HotTiles4 over double-size homogeneous:\n";
+    t.print(std::cout);
+    std::cout << "geomean: " << Table::num(vs_hot8.value(), 2)
+              << "x vs HotOnly8 (paper 2.9x), "
+              << Table::num(vs_cold8.value(), 2)
+              << "x vs ColdOnly8 (paper 1.6x)\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig 14 reproduction: gSpMM arithmetic-intensity sweep on the
+ * SPADE-Sextans+PCIe architecture.  The SPADE PEs pay AI-proportional
+ * compute cycles; the enhanced off-die Sextans processes 20 nnz/cycle
+ * regardless of AI but streams through a 32 GB/s link.  Paper shape:
+ * at low AI nearly all nonzeros go cold (big speedup vs HotOnly, small
+ * vs ColdOnly); as AI rises the assignment and the speedups flip.
+ * Paper averages across AIs: 11.9x vs HotOnly, 3.7x vs ColdOnly, 2.5x
+ * vs BestHomogeneous.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+int
+main()
+{
+    banner("Figure 14", "HPCA'24 HotTiles, Fig 14",
+           "gSpMM arithmetic-intensity sweep on SPADE-Sextans+PCIe");
+
+    Architecture arch = calibrated(makeSpadeSextansPcie());
+
+    Table t({"SIMD ops per nnz (AI)", "vs HotOnly", "vs ColdOnly",
+             "vs BestHom", "% nnz assigned hot"});
+    GeoMean vs_hot_all;
+    GeoMean vs_cold_all;
+    GeoMean vs_best_all;
+    for (double ai : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+        HotTilesOptions opts;
+        opts.kernel.ai_factor = ai;
+        opts.build_formats = false;
+
+        GeoMean vs_hot;
+        GeoMean vs_cold;
+        GeoMean vs_best;
+        Summary hot_nnz_pct;
+        for (const auto& name : tableVNames()) {
+            MatrixEvaluation ev =
+                evaluateMatrix(arch, suiteMatrix(name), name, opts);
+            double ht = ev.hottiles.cycles();
+            vs_hot.add(ev.hot_only.cycles() / ht);
+            vs_cold.add(ev.cold_only.cycles() / ht);
+            vs_best.add(ev.bestHomogeneousCycles() / ht);
+            hot_nnz_pct.add(100.0 * ev.hottiles.partition.hotNnzFraction(
+                                suiteGrid(name, arch.tile_height,
+                                          arch.tile_width)));
+        }
+        vs_hot_all.add(vs_hot.value());
+        vs_cold_all.add(vs_cold.value());
+        vs_best_all.add(vs_best.value());
+        t.addRow({Table::num(ai, 0), Table::num(vs_hot.value(), 2),
+                  Table::num(vs_cold.value(), 2),
+                  Table::num(vs_best.value(), 2),
+                  Table::num(hot_nnz_pct.mean(), 1)});
+    }
+    std::cout << "\nGeomean HotTiles speedups per arithmetic intensity:\n";
+    t.print(std::cout);
+    std::cout << "averages across AIs: vs HotOnly "
+              << Table::num(vs_hot_all.value(), 2) << "x (paper 11.9x), "
+              << "vs ColdOnly " << Table::num(vs_cold_all.value(), 2)
+              << "x (paper 3.7x), vs BestHom "
+              << Table::num(vs_best_all.value(), 2) << "x (paper 2.5x)\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig 16 reproduction: predicted vs actual average performance of the
+ * nine iso-scale SPADE-Sextans architectures (0-8 ... 8-0), as speedup
+ * over the balanced 4-4 design, averaged over the Table V matrices.
+ * Paper shape: predicted and actual trends agree; the 3-5 design is
+ * both predicted and measured best on average.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/explorer.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+int
+main()
+{
+    banner("Figure 16", "HPCA'24 HotTiles, Fig 16",
+           "Iso-scale architecture exploration: predicted vs actual");
+
+    const int total = 8;
+    // Per architecture: geomean over matrices of (4-4 cycles / cycles).
+    std::vector<GeoMean> pred(total + 1);
+    std::vector<GeoMean> actual(total + 1);
+
+    for (const auto& name : tableVNames()) {
+        auto pts = exploreIsoScale(suiteMatrix(name), total, KernelConfig{});
+        const ExplorationPoint& base = pts[4];  // the 4-4 design
+        for (int c = 0; c <= total; ++c) {
+            pred[c].add(base.predicted_cycles / pts[c].predicted_cycles);
+            actual[c].add(base.actual_cycles / pts[c].actual_cycles);
+        }
+    }
+
+    Table t({"Architecture (cold-hot)", "Predicted speedup vs 4-4",
+             "Actual speedup vs 4-4"});
+    int best_pred = 0;
+    int best_actual = 0;
+    for (int c = 0; c <= total; ++c) {
+        if (pred[c].value() > pred[best_pred].value())
+            best_pred = c;
+        if (actual[c].value() > actual[best_actual].value())
+            best_actual = c;
+        t.addRow({std::to_string(c) + "-" + std::to_string(total - c),
+                  Table::num(pred[c].value(), 2),
+                  Table::num(actual[c].value(), 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\npredicted-best architecture: " << best_pred << "-"
+              << (total - best_pred) << ", actual-best: " << best_actual
+              << "-" << (total - best_actual)
+              << "  (paper: 3-5 for both)\n";
+    return 0;
+}

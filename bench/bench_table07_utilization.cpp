@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Table VII reproduction: architecture utilization statistics for
+ * SPADE-Sextans system scales 1 and 4 — memory bandwidth utilization,
+ * cache lines accessed from memory per nonzero, and the non-idle
+ * GFLOP/s of the SPADE (cold) and Sextans (hot) computational units —
+ * per strategy, geomean across the Table V matrices.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+namespace {
+
+struct Agg
+{
+    GeoMean bw;
+    GeoMean lines_per_nnz;
+    Summary spade_gflops;   // arithmetic mean: zeros are meaningful
+    Summary sextans_gflops;
+
+    void
+    add(const SimStats& s)
+    {
+        bw.add(s.avg_bw_gbps);
+        lines_per_nnz.add(s.lines_per_nnz);
+        spade_gflops.add(s.cold_gflops);
+        sextans_gflops.add(s.hot_gflops);
+    }
+};
+
+void
+runScale(int scale)
+{
+    Architecture arch = calibrated(makeSpadeSextans(scale));
+    auto evs = evaluateSuite(arch, tableVNames());
+
+    Agg agg[4];  // HotOnly, ColdOnly, IUnaware, HotTiles
+    for (const auto& ev : evs) {
+        agg[0].add(ev.hot_only.stats);
+        agg[1].add(ev.cold_only.stats);
+        agg[2].add(ev.iunaware.stats);
+        agg[3].add(ev.hottiles.stats);
+    }
+
+    Table t({"Measure (geomean)", "HotOnly", "ColdOnly", "IUnaware",
+             "HotTiles"});
+    auto row = [&](const char* name,
+                   const std::function<double(const Agg&)>& f, int digits) {
+        t.addRow({name, Table::num(f(agg[0]), digits),
+                  Table::num(f(agg[1]), digits),
+                  Table::num(f(agg[2]), digits),
+                  Table::num(f(agg[3]), digits)});
+    };
+    row("Bandwidth util. (GB/s)", [](const Agg& a) { return a.bw.value(); },
+        2);
+    row("Lines from memory per nonzero",
+        [](const Agg& a) { return a.lines_per_nnz.value(); }, 2);
+    row("SPADE GFLOP/s",
+        [](const Agg& a) { return a.spade_gflops.mean(); }, 2);
+    row("Sextans GFLOP/s",
+        [](const Agg& a) { return a.sextans_gflops.mean(); }, 2);
+    std::cout << "\nSystem scale " << scale << ":\n";
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table VII", "HPCA'24 HotTiles, Table VII",
+           "Architecture utilization statistics for SPADE-Sextans");
+    runScale(1);
+    runScale(4);
+    std::cout << "\n(paper scale 1: BW 27.96/49.68/49.04/67.41 GB/s, "
+                 "lines/nnz 6.78/1.59/2.27/1.47,\n SPADE GFLOP/s "
+                 "0/48.7/46.5/43.5, Sextans GFLOP/s 6.4/0/4.9/51.1;\n"
+                 " paper scale 4: BW 82.6/132.3/127.0/124.7, lines/nnz "
+                 "3.13/1.60/1.99/1.02)\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+#include "bench_util.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+
+namespace hottiles::bench {
+
+void
+banner(const std::string& experiment, const std::string& paper_ref,
+       const std::string& description)
+{
+    std::cout << "\n==============================================================\n"
+              << experiment << "  (" << paper_ref << ")\n"
+              << description << "\n"
+              << "==============================================================\n";
+}
+
+namespace {
+
+std::vector<std::string>
+filterFromEnv(std::vector<std::string> names)
+{
+    const char* env = std::getenv("HT_BENCH_MATRICES");
+    if (!env || !*env)
+        return names;
+    std::vector<std::string> out;
+    for (std::string_view tok : splitChar(env, ',')) {
+        std::string name(trim(tok));
+        for (const auto& n : names)
+            if (n == name)
+                out.push_back(name);
+    }
+    return out.empty() ? names : out;
+}
+
+} // namespace
+
+std::vector<std::string>
+tableVNames()
+{
+    std::vector<std::string> names;
+    for (const auto& e : tableV())
+        names.push_back(e.name);
+    return filterFromEnv(std::move(names));
+}
+
+std::vector<std::string>
+tableVIIINames()
+{
+    std::vector<std::string> names;
+    for (const auto& e : tableVIII())
+        names.push_back(e.name);
+    return filterFromEnv(std::move(names));
+}
+
+const CooMatrix&
+suiteMatrix(const std::string& name)
+{
+    static std::map<std::string, CooMatrix> cache;
+    auto it = cache.find(name);
+    if (it == cache.end())
+        it = cache.emplace(name, makeSuiteMatrix(name)).first;
+    return it->second;
+}
+
+const TileGrid&
+suiteGrid(const std::string& name, Index tile_h, Index tile_w)
+{
+    static std::map<std::string, TileGrid> cache;
+    std::string key =
+        name + "/" + std::to_string(tile_h) + "x" + std::to_string(tile_w);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, TileGrid(suiteMatrix(name), tile_h, tile_w))
+                 .first;
+    return it->second;
+}
+
+std::vector<MatrixEvaluation>
+evaluateSuite(const Architecture& arch, const std::vector<std::string>& names,
+              const HotTilesOptions& opts)
+{
+    std::vector<MatrixEvaluation> out;
+    out.reserve(names.size());
+    for (const auto& name : names)
+        out.push_back(evaluateMatrix(arch, suiteMatrix(name), name, opts));
+    return out;
+}
+
+double
+geomeanOver(const std::vector<MatrixEvaluation>& evs,
+            const std::function<double(const MatrixEvaluation&)>& f)
+{
+    GeoMean g;
+    for (const auto& ev : evs)
+        g.add(f(ev));
+    return g.value();
+}
+
+double
+speedup(double baseline_cycles, double cycles)
+{
+    HT_ASSERT(cycles > 0, "zero runtime");
+    return baseline_cycles / cycles;
+}
+
+} // namespace hottiles::bench

@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Shared harness for the figure/table reproduction benches: suite matrix
+ * caching, strategy sweeps over the Table V / Table VIII sets, speedup
+ * arithmetic, and the uniform headings each binary prints.
+ */
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/calibrate.hpp"
+#include "core/execution.hpp"
+#include "sparse/suite.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles::bench {
+
+/** Print the standard experiment banner. */
+void banner(const std::string& experiment, const std::string& paper_ref,
+            const std::string& description);
+
+/** Matrix names of Table V (or a subset from HT_BENCH_MATRICES). */
+std::vector<std::string> tableVNames();
+
+/** Matrix names of Table VIII. */
+std::vector<std::string> tableVIIINames();
+
+/** Process-cached suite matrix (generated once per binary). */
+const CooMatrix& suiteMatrix(const std::string& name);
+
+/** Process-cached tile grid for a suite matrix at the given tile size. */
+const TileGrid& suiteGrid(const std::string& name, Index tile_h,
+                          Index tile_w);
+
+/** Evaluate every strategy for each named matrix under @p arch. */
+std::vector<MatrixEvaluation> evaluateSuite(
+    const Architecture& arch, const std::vector<std::string>& names,
+    const HotTilesOptions& opts = {});
+
+/** Geometric mean of f(ev) over evaluations. */
+double geomeanOver(const std::vector<MatrixEvaluation>& evs,
+                   const std::function<double(const MatrixEvaluation&)>& f);
+
+/** Speedup of a/b guarded against zero. */
+double speedup(double baseline_cycles, double cycles);
+
+} // namespace hottiles::bench

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * GNN aggregation example: SpMM is the core of graph-neural-network
+ * message passing (H' = A x H).  This example mirrors the paper's GNN
+ * motivation (§I, §VI-B): the HotTiles preprocessing is done ONCE on the
+ * graph adjacency matrix and then amortized across layers and epochs —
+ * "generated and used during GNN training and then saved and reused
+ * during GNN inference".
+ *
+ * It runs a 3-layer aggregation pipeline on a power-law social graph,
+ * checks the result against the reference kernel, and reports how the
+ * one-time preprocessing compares to the recurring per-layer gains.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "core/calibrate.hpp"
+#include "core/hottiles.hpp"
+#include "sim/simulator.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+int
+main()
+{
+    // A citation-network-like graph (the classic GNN benchmark class):
+    // dense communities of mutually-citing papers over a power-law
+    // background — strong intra-matrix heterogeneity.
+    const Index nodes = 16384;
+    CooMatrix adjacency = genCommunity(nodes, 55.0, 64, 256, 0.8, 0x6E6E);
+    std::cout << "graph: " << nodes << " nodes, " << adjacency.nnz()
+              << " edges\n";
+
+    Architecture arch = calibrated(makeSpadeSextans(4));
+
+    // One-time preprocessing: tile, model, partition, build formats.
+    HotTiles ht(arch, adjacency);
+    std::cout << "preprocessing: " << ht.timing().total() * 1e3
+              << " ms on the host; partition = " << ht.partition().heuristic
+              << ", " << 100.0 * ht.partition().hotNnzFraction(ht.grid())
+              << "% of edges on hot workers\n\n";
+
+    // Feature matrix: K = 32 features per node.
+    DenseMatrix features(nodes, 32);
+    Rng rng(0x6E6E);
+    features.fillRandom(rng);
+
+    // Run 3 aggregation layers, reusing the partition every layer.
+    const int layers = 3;
+    Table t({"Layer", "HotTiles (ms)", "ColdOnly (ms)", "Saved (ms)"});
+    double total_saved_ms = 0;
+    DenseMatrix h = features;
+    for (int layer = 0; layer < layers; ++layer) {
+        SimConfig cfg;
+        cfg.compute_values = true;
+        cfg.din = &h;
+        SimOutput out =
+            simulateExecution(arch, ht.grid(), ht.partition().is_hot,
+                              ht.partition().serial, ht.kernel(), cfg);
+        SimOutput cold = simulateHomogeneous(arch, ht.grid(), false,
+                                             ht.kernel());
+        // Validate the aggregation against the reference kernel.
+        DenseMatrix ref = referenceSpmm(adjacency, h);
+        if (!out.dout.approxEqual(ref, 1e-3)) {
+            std::cerr << "layer " << layer << ": aggregation mismatch!\n";
+            return 1;
+        }
+        double saved = cold.stats.ms - out.stats.ms;
+        total_saved_ms += saved;
+        t.addRow({std::to_string(layer), Table::num(out.stats.ms, 3),
+                  Table::num(cold.stats.ms, 3), Table::num(saved, 3)});
+        h = std::move(out.dout);  // next layer consumes this layer's output
+        // Feature normalization (as GNN layers do) keeps the magnitudes
+        // bounded across layers.
+        double max_abs = 1e-6;
+        for (Index r = 0; r < h.rows(); ++r)
+            for (Index c = 0; c < h.cols(); ++c)
+                max_abs = std::max(max_abs, double(std::abs(h.at(r, c))));
+        for (Index r = 0; r < h.rows(); ++r)
+            for (Index c = 0; c < h.cols(); ++c)
+                h.at(r, c) = Value(h.at(r, c) / max_abs);
+    }
+    t.print(std::cout);
+
+    std::cout << "\naccelerator time saved per epoch: " << total_saved_ms
+              << " ms; host preprocessing (one-time): "
+              << ht.timing().total() * 1e3 << " ms\n"
+              << "The preprocessing is amortized across layers, epochs, "
+                 "and inference runs.\n";
+    return 0;
+}

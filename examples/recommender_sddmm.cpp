@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SDDMM example (§X): the core kernel of matrix-factorization
+ * recommender training.  Given a sparse ratings matrix R and latent
+ * factor matrices U (users) and V (items), each training step needs
+ * out(i,j) = R(i,j) - dot(U[i,:], V[j,:]) on R's nonzeros — a sampled
+ * dense-dense product with exactly SpMM's access pattern, so the same
+ * HotTiles partition accelerates it.
+ *
+ * The example partitions a power-law ratings matrix once, runs the
+ * SDDMM under every strategy, and validates the simulated output
+ * against the reference kernel.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "core/calibrate.hpp"
+#include "core/execution.hpp"
+#include "core/kernels.hpp"
+
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+int
+main()
+{
+    // Ratings: 24k users x 24k items, power-law popularity.
+    CooMatrix ratings =
+        genRmat(24576, 500000, 0.5, 0.22, 0.22, 0.06, 0x5DD);
+    const Index latent = 32;
+    std::cout << "ratings: " << ratings.rows() << " users x "
+              << ratings.cols() << " items, " << ratings.nnz()
+              << " observed entries; " << latent << " latent factors\n";
+
+    DenseMatrix u(ratings.rows(), latent);
+    DenseMatrix v(ratings.cols(), latent);
+    Rng rng(0x5DD);
+    u.fillRandom(rng);
+    v.fillRandom(rng);
+
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    HotTilesOptions opts;
+    opts.kernel = sddmmKernel(latent);
+    MatrixEvaluation ev = evaluateMatrix(arch, ratings, "ratings", opts);
+
+    Table t({"Strategy", "ms per SDDMM", "Speedup vs worst homog."});
+    auto row = [&](const char* name, const StrategyOutcome& o) {
+        t.addRow({name, Table::num(o.ms(), 3),
+                  Table::num(ev.speedupOverWorst(o), 2)});
+    };
+    row("HotOnly", ev.hot_only);
+    row("ColdOnly", ev.cold_only);
+    row("IUnaware", ev.iunaware);
+    row("HotTiles", ev.hottiles);
+    t.print(std::cout);
+
+    // Validate the functional output of the chosen partition.
+    HotTiles ht(arch, ratings, opts);
+    SimConfig cfg;
+    cfg.compute_values = true;
+    cfg.din = &v;
+    cfg.u = &u;
+    SimOutput out =
+        simulateExecution(arch, ht.grid(), ht.partition().is_hot,
+                          ht.partition().serial, opts.kernel, cfg);
+    CooMatrix ref = referenceSddmm(ratings, u, v);
+    double max_err = 0.0;
+    for (size_t i = 0; i < ref.nnz(); ++i)
+        max_err = std::max(max_err, double(std::abs(out.sddmm_out.value(i) -
+                                                    ref.value(i))));
+    std::cout << "\nSDDMM output validated against the reference kernel "
+              << "(max abs error " << max_err << ")\n"
+              << "SDDMM writes one scalar per nonzero, so no Merger is "
+                 "needed even without atomics.\n";
+    return 0;
+}

@@ -1,0 +1,24 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hottiles {
+
+void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << "fatal: " << msg << " [" << file << ":" << line << "]";
+    throw FatalError(oss.str());
+}
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s [%s:%d]\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace hottiles

@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * Error-reporting primitives, following the gem5 fatal/panic distinction:
+ * fatal() is a user error (bad input, bad configuration) and throws a
+ * recoverable exception; panic() is an internal invariant violation and
+ * aborts.  HT_ASSERT is an always-on invariant check that panics.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hottiles {
+
+/** Exception thrown for user-caused errors (bad files, bad configs). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Report a user error: throws FatalError with file/line context. */
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+
+/** Report an internal bug: prints context and aborts. */
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concatToString(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace hottiles
+
+/** User-level error (bad input / configuration): throws hottiles::FatalError. */
+#define HT_FATAL(...) \
+    ::hottiles::fatalImpl(__FILE__, __LINE__, \
+                          ::hottiles::detail::concatToString(__VA_ARGS__))
+
+/** Internal bug: prints a message and aborts. */
+#define HT_PANIC(...) \
+    ::hottiles::panicImpl(__FILE__, __LINE__, \
+                          ::hottiles::detail::concatToString(__VA_ARGS__))
+
+/** Always-on invariant check; panics with the stringified condition. */
+#define HT_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::hottiles::panicImpl(__FILE__, __LINE__, \
+                ::hottiles::detail::concatToString( \
+                    "assertion failed: " #cond " ", ##__VA_ARGS__)); \
+        } \
+    } while (0)

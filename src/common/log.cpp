@@ -1,0 +1,19 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace hottiles {
+
+LogLevel Log::level_ = LogLevel::Warn;
+
+void
+Log::write(LogLevel level, const std::string& msg)
+{
+    static const char* names[] = {"debug", "info", "warn", "error"};
+    int idx = static_cast<int>(level);
+    if (idx < 0 || idx > 3)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", names[idx], msg.c_str());
+}
+
+} // namespace hottiles

@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal leveled logger.  Defaults to Warn so library consumers see only
+ * actionable messages; benches raise it to Info for progress reporting.
+ * Thread-compatible (not thread-safe): the simulator is single-threaded.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace hottiles {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Global log sink configuration. */
+class Log
+{
+  public:
+    /** Set the minimum level that is emitted. */
+    static void setLevel(LogLevel level) { level_ = level; }
+    static LogLevel level() { return level_; }
+
+    /** Emit a message at @p level (no newline needed). */
+    static void write(LogLevel level, const std::string& msg);
+
+  private:
+    static LogLevel level_;
+};
+
+namespace detail {
+
+template <typename... Args>
+void
+logAt(LogLevel level, Args&&... args)
+{
+    if (static_cast<int>(level) < static_cast<int>(Log::level()))
+        return;
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    Log::write(level, oss.str());
+}
+
+} // namespace detail
+
+template <typename... Args> void logDebug(Args&&... args)
+{ detail::logAt(LogLevel::Debug, std::forward<Args>(args)...); }
+
+template <typename... Args> void logInfo(Args&&... args)
+{ detail::logAt(LogLevel::Info, std::forward<Args>(args)...); }
+
+template <typename... Args> void logWarn(Args&&... args)
+{ detail::logAt(LogLevel::Warn, std::forward<Args>(args)...); }
+
+template <typename... Args> void logError(Args&&... args)
+{ detail::logAt(LogLevel::Error, std::forward<Args>(args)...); }
+
+} // namespace hottiles

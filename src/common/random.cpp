@@ -1,0 +1,52 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    HT_ASSERT(bound > 0, "nextBounded requires bound > 0");
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        if (static_cast<uint64_t>(m) >= threshold)
+            return static_cast<uint64_t>(m >> 64);
+    }
+}
+
+uint64_t
+Rng::nextRange(uint64_t lo, uint64_t hi)
+{
+    HT_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+} // namespace hottiles

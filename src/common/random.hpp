@@ -1,0 +1,94 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.  Every generator in the
+ * repository is seeded explicitly so that matrices, partitionings, and
+ * simulations are bit-reproducible across runs and machines.  We use
+ * xoshiro256** (public domain, Blackman & Vigna) seeded via SplitMix64.
+ */
+
+#include <array>
+#include <cstdint>
+
+namespace hottiles {
+
+/** SplitMix64 step; used for seeding and cheap hashing. */
+constexpr uint64_t
+splitmix64(uint64_t& state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator.  Satisfies UniformRandomBitGenerator so it can
+ * be used with <random> distributions, but the helpers below avoid
+ * libstdc++ distribution portability issues by implementing their own
+ * bounded sampling.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t sm = seed;
+        for (auto& s : state_)
+            s = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    operator()()
+    {
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t nextRange(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+    /** Standard normal via Box-Muller (no cached spare; simple & stateless). */
+    double nextGaussian();
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<uint64_t, 4> state_{};
+};
+
+} // namespace hottiles

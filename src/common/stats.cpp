@@ -1,0 +1,142 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+void
+Summary::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+Summary::mean() const
+{
+    return n_ ? mean_ : 0.0;
+}
+
+double
+Summary::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::cv() const
+{
+    double m = mean();
+    return m != 0.0 ? stddev() / m : 0.0;
+}
+
+void
+Summary::merge(const Summary& other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t n = n_ + other.n_;
+    double delta = other.mean_ - mean_;
+    double mean = mean_ + delta * static_cast<double>(other.n_) / n;
+    m2_ = m2_ + other.m2_ +
+          delta * delta * static_cast<double>(n_) * other.n_ / n;
+    mean_ = mean;
+    n_ = n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+GeoMean::add(double x)
+{
+    HT_ASSERT(x > 0.0, "geomean requires positive values");
+    ++n_;
+    log_sum_ += std::log(x);
+}
+
+double
+GeoMean::value() const
+{
+    return n_ ? std::exp(log_sum_ / static_cast<double>(n_)) : 1.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    HT_ASSERT(hi > lo && bins > 0, "bad histogram bounds");
+}
+
+void
+Histogram::add(double x)
+{
+    double rel = (x - lo_) / width_;
+    auto idx = static_cast<int64_t>(std::floor(rel));
+    idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
+    uint64_t acc = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        acc += counts_[i];
+        if (acc > target)
+            return binLo(i) + width_;
+    }
+    return hi_;
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    GeoMean g;
+    for (double x : xs)
+        g.add(x);
+    return g.value();
+}
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+} // namespace hottiles

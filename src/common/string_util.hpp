@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Small string helpers used by the MatrixMarket parser and the report
+ * printers.  Kept deliberately minimal; no locale dependence.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hottiles {
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on any run of ASCII whitespace; empty tokens are dropped. */
+std::vector<std::string_view> splitWs(std::string_view s);
+
+/** Split on a single character; empty tokens are kept. */
+std::vector<std::string_view> splitChar(std::string_view s, char sep);
+
+/** Case-insensitive ASCII equality. */
+bool iequals(std::string_view a, std::string_view b);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** Format a double with @p digits significant decimals, trimming zeros. */
+std::string formatDouble(double v, int digits = 2);
+
+/** Format a byte count with a binary-unit suffix (e.g. "2.0 MiB"). */
+std::string formatBytes(uint64_t bytes);
+
+/** printf-style formatting into a std::string. */
+std::string strPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace hottiles

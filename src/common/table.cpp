@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Right)
+{
+    HT_ASSERT(!headers_.empty(), "table needs at least one column");
+    aligns_[0] = Align::Left;
+}
+
+void
+Table::setAlign(size_t col, Align a)
+{
+    aligns_.at(col) = a;
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    HT_ASSERT(cells.size() == headers_.size(), "row width mismatch: got ",
+              cells.size(), " want ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emitRow = [&](const std::vector<std::string>& cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " ");
+            size_t pad = widths[c] - cells[c].size();
+            if (aligns_[c] == Align::Right)
+                os << std::string(pad, ' ') << cells[c];
+            else
+                os << cells[c] << std::string(pad, ' ');
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    emitRow(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+    }
+    os << "\n";
+    for (const auto& row : rows_)
+        emitRow(row);
+}
+
+} // namespace hottiles

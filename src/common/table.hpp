@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness to render paper-style
+ * tables and figure data series.  Cells are strings; alignment is
+ * column-wise (first column left, the rest right, overridable).
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hottiles {
+
+/** Simple column-aligned ASCII table. */
+class Table
+{
+  public:
+    enum class Align { Left, Right };
+
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Override alignment for column @p col (default: col 0 left, rest right). */
+    void setAlign(size_t col, Align a);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Render with column separators and a header rule. */
+    void print(std::ostream& os) const;
+
+    size_t rows() const { return rows_.size(); }
+    size_t cols() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hottiles

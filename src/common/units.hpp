@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Units and conversions shared by the model and the simulator.  All
+ * simulated time is in integer cycles ("ticks") at the accelerator clock;
+ * conversions to wall-clock use the configured frequency.
+ */
+
+#include <cstdint>
+
+namespace hottiles {
+
+/** Simulated time in clock cycles. */
+using Tick = uint64_t;
+
+constexpr uint64_t kKiB = 1024ULL;
+constexpr uint64_t kMiB = 1024ULL * kKiB;
+constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+/** Decimal giga used for GB/s and GFLOP/s, matching vendor datasheets. */
+constexpr double kGiga = 1e9;
+
+/** Convert a bandwidth in GB/s to bytes per cycle at @p freq_ghz. */
+constexpr double
+gbpsToBytesPerCycle(double gbps, double freq_ghz)
+{
+    return gbps / freq_ghz;
+}
+
+/** Convert bytes-per-cycle at @p freq_ghz back to GB/s. */
+constexpr double
+bytesPerCycleToGbps(double bpc, double freq_ghz)
+{
+    return bpc * freq_ghz;
+}
+
+/** Convert cycles at @p freq_ghz to milliseconds. */
+constexpr double
+cyclesToMs(double cycles, double freq_ghz)
+{
+    return cycles / (freq_ghz * 1e6);
+}
+
+/** Convert cycles at @p freq_ghz to seconds. */
+constexpr double
+cyclesToSeconds(double cycles, double freq_ghz)
+{
+    return cycles / (freq_ghz * kGiga);
+}
+
+/** GFLOP/s achieved by @p flops executed in @p cycles at @p freq_ghz. */
+constexpr double
+gflops(double flops, double cycles, double freq_ghz)
+{
+    return cycles > 0.0 ? flops * freq_ghz / cycles : 0.0;
+}
+
+/** Round @p x up to the next multiple of @p align. @pre align > 0. */
+constexpr uint64_t
+roundUp(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) / align * align;
+}
+
+/** Ceiling division. @pre d > 0. */
+constexpr uint64_t
+ceilDiv(uint64_t n, uint64_t d)
+{
+    return (n + d - 1) / d;
+}
+
+} // namespace hottiles

@@ -1,0 +1,60 @@
+#include "core/execution.hpp"
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+const char*
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::HotOnly: return "HotOnly";
+      case Strategy::ColdOnly: return "ColdOnly";
+      case Strategy::BestHomogeneous: return "BestHomogeneous";
+      case Strategy::IUnaware: return "IUnaware";
+      case Strategy::HotTiles: return "HotTiles";
+    }
+    HT_PANIC("unreachable strategy");
+}
+
+StrategyOutcome
+simulatePartition(const HotTiles& ht, const Partition& p, Strategy tag)
+{
+    StrategyOutcome o;
+    o.strategy = tag;
+    o.partition = p;
+    o.predicted_cycles = p.predicted_cycles;
+    o.stats = simulateExecution(ht.arch(), ht.grid(), p.is_hot, p.serial,
+                                ht.kernel())
+                  .stats;
+    return o;
+}
+
+MatrixEvaluation
+evaluateMatrix(const Architecture& arch, const CooMatrix& a,
+               const std::string& name, const HotTilesOptions& opts)
+{
+    HotTilesOptions o = opts;
+    o.build_formats = false;  // the simulator builds work lists itself
+    HotTiles ht(arch, a, o);
+
+    MatrixEvaluation ev;
+    ev.matrix = name;
+    ev.preprocess = ht.timing();
+
+    ev.hot_only.strategy = Strategy::HotOnly;
+    ev.hot_only.stats =
+        simulateHomogeneous(arch, ht.grid(), /*hot=*/true, o.kernel).stats;
+    ev.hot_only.predicted_cycles = ht.predictedHotOnlyCycles();
+
+    ev.cold_only.strategy = Strategy::ColdOnly;
+    ev.cold_only.stats =
+        simulateHomogeneous(arch, ht.grid(), /*hot=*/false, o.kernel).stats;
+    ev.cold_only.predicted_cycles = ht.predictedColdOnlyCycles();
+
+    ev.iunaware = simulatePartition(ht, ht.iunaware(), Strategy::IUnaware);
+    ev.hottiles = simulatePartition(ht, ht.partition(), Strategy::HotTiles);
+    return ev;
+}
+
+} // namespace hottiles

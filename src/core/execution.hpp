@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * Execution strategies of the evaluation (§VIII-A): homogeneous HotOnly
+ * and ColdOnly, the manually-selected BestHomogeneous, the IMH-unaware
+ * heterogeneous baseline, and heterogeneous execution with HotTiles.
+ * evaluateMatrix() runs them all on one matrix and collects both the
+ * simulated statistics and the model predictions, which is what every
+ * figure/table bench consumes.
+ */
+
+#include <string>
+
+#include "core/hottiles.hpp"
+#include "sim/simulator.hpp"
+
+namespace hottiles {
+
+/** The five execution strategies compared in the paper. */
+enum class Strategy
+{
+    HotOnly,
+    ColdOnly,
+    BestHomogeneous,
+    IUnaware,
+    HotTiles,
+};
+
+/** Display name ("HotOnly", ...). */
+const char* strategyName(Strategy s);
+
+/** One strategy's simulated and predicted outcome. */
+struct StrategyOutcome
+{
+    Strategy strategy = Strategy::HotOnly;
+    SimStats stats;                //!< simulated execution
+    double predicted_cycles = 0;   //!< model prediction (0 if n/a)
+    Partition partition;           //!< empty for homogeneous strategies
+
+    double cycles() const { return double(stats.cycles); }
+    double ms() const { return stats.ms; }
+};
+
+/** All strategies evaluated on one matrix. */
+struct MatrixEvaluation
+{
+    std::string matrix;
+    StrategyOutcome hot_only;
+    StrategyOutcome cold_only;
+    StrategyOutcome iunaware;
+    StrategyOutcome hottiles;
+    PreprocessTiming preprocess;
+
+    double
+    bestHomogeneousCycles() const
+    {
+        return std::min(hot_only.cycles(), cold_only.cycles());
+    }
+    double
+    worstHomogeneousCycles() const
+    {
+        return std::max(hot_only.cycles(), cold_only.cycles());
+    }
+    /** Speedup of @p outcome over the worst homogeneous run (Fig 10/11). */
+    double
+    speedupOverWorst(const StrategyOutcome& o) const
+    {
+        return worstHomogeneousCycles() / o.cycles();
+    }
+};
+
+/**
+ * Run every strategy on @p a under @p arch (must be calibrated).
+ * Preprocessing (tiling, model, partitioning) happens once and is
+ * shared; each strategy is then simulated.
+ */
+MatrixEvaluation evaluateMatrix(const Architecture& arch, const CooMatrix& a,
+                                const std::string& name,
+                                const HotTilesOptions& opts = {});
+
+/** Simulate an explicit partition on a prepared HotTiles pipeline. */
+StrategyOutcome simulatePartition(const HotTiles& ht, const Partition& p,
+                                  Strategy tag);
+
+} // namespace hottiles

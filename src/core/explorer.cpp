@@ -1,0 +1,105 @@
+#include "core/explorer.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "core/calibrate.hpp"
+#include "core/hottiles.hpp"
+#include "partition/predicted_runtime.hpp"
+#include "sim/simulator.hpp"
+
+namespace hottiles {
+
+std::string
+ExplorationPoint::label() const
+{
+    return strPrintf("%d-%d", cold_scale, hot_scale);
+}
+
+std::vector<ExplorationPoint>
+exploreIsoScale(const CooMatrix& a, int total_scale,
+                const KernelConfig& kernel)
+{
+    HT_ASSERT(total_scale >= 1, "need a positive total scale");
+    std::vector<ExplorationPoint> pts;
+
+    for (int cold = 0; cold <= total_scale; ++cold) {
+        const int hot = total_scale - cold;
+        ExplorationPoint pt;
+        pt.cold_scale = cold;
+        pt.hot_scale = hot;
+
+        Architecture arch = makeSpadeSextansSkewed(cold, hot);
+        HotTilesOptions opts;
+        opts.kernel = kernel;
+        opts.build_formats = false;
+
+        if (cold == 0 || hot == 0) {
+            // Homogeneous endpoint: no partitioning; predict and
+            // simulate the single worker type.  Calibration needs both
+            // types, so borrow the missing type from the balanced split
+            // purely to form a valid context (its tiles get none).
+            Architecture probe = makeSpadeSextansSkewed(
+                cold == 0 ? total_scale / 2 + 1 : cold,
+                hot == 0 ? total_scale / 2 + 1 : hot);
+            if (cold == 0)
+                probe.hot = arch.hot;
+            else
+                probe.cold = arch.cold;
+            probe.name = arch.name + " (probe)";
+            calibrateArchitecture(probe);
+            TileGrid grid(a, probe.tile_height, probe.tile_width);
+            PartitionContext ctx = makePartitionContext(
+                grid, probe.hot, probe.cold, kernel,
+                probe.bwBytesPerCycle(), 0.0, probe.atomic_rmw);
+            pt.predicted_cycles =
+                predictedHomogeneousCycles(ctx, /*hot=*/cold == 0);
+            pt.actual_cycles = double(
+                simulateHomogeneous(probe, grid, cold == 0, kernel)
+                    .stats.cycles);
+        } else {
+            calibrateArchitecture(arch);
+            HotTiles ht(arch, a, opts);
+            pt.predicted_cycles = ht.partition().predicted_cycles;
+            pt.actual_cycles =
+                double(simulateExecution(arch, ht.grid(),
+                                         ht.partition().is_hot,
+                                         ht.partition().serial, kernel)
+                           .stats.cycles);
+        }
+        pts.push_back(pt);
+    }
+    return pts;
+}
+
+namespace {
+
+size_t
+argmin(const std::vector<ExplorationPoint>& pts, bool predicted)
+{
+    HT_ASSERT(!pts.empty(), "no exploration points");
+    size_t best = 0;
+    for (size_t i = 1; i < pts.size(); ++i) {
+        double a = predicted ? pts[i].predicted_cycles : pts[i].actual_cycles;
+        double b = predicted ? pts[best].predicted_cycles
+                             : pts[best].actual_cycles;
+        if (a < b)
+            best = i;
+    }
+    return best;
+}
+
+} // namespace
+
+size_t
+bestPredicted(const std::vector<ExplorationPoint>& pts)
+{
+    return argmin(pts, true);
+}
+
+size_t
+bestActual(const std::vector<ExplorationPoint>& pts)
+{
+    return argmin(pts, false);
+}
+
+} // namespace hottiles

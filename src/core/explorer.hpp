@@ -1,0 +1,44 @@
+#pragma once
+
+/**
+ * @file
+ * Architecture exploration with HotTiles (§VIII-B): evaluate "skewed"
+ * iso-scale SPADE-Sextans alternatives (0-8 ... 8-0) using the model's
+ * predicted runtimes, and compare against simulated actuals — the ASIC
+ * scenario (best average architecture, Fig 16) and the reconfigurable
+ * scenario (best architecture per matrix, Table IX).
+ */
+
+#include <string>
+#include <vector>
+
+#include "model/worker_traits.hpp"
+#include "sparse/coo.hpp"
+
+namespace hottiles {
+
+/** One iso-scale design point evaluated on one matrix. */
+struct ExplorationPoint
+{
+    int cold_scale = 0;
+    int hot_scale = 0;
+    double predicted_cycles = 0;  //!< HotTiles model prediction
+    double actual_cycles = 0;     //!< simulated execution
+
+    std::string label() const;  //!< "3-5" style
+};
+
+/**
+ * Evaluate every iso-scale split with cold+hot == @p total_scale on
+ * @p a.  Endpoints (0-N, N-0) fall back to homogeneous execution.
+ * Architectures are calibrated internally (cached per process).
+ */
+std::vector<ExplorationPoint> exploreIsoScale(const CooMatrix& a,
+                                              int total_scale,
+                                              const KernelConfig& kernel);
+
+/** Index of the minimum-predicted / minimum-actual point. */
+size_t bestPredicted(const std::vector<ExplorationPoint>& pts);
+size_t bestActual(const std::vector<ExplorationPoint>& pts);
+
+} // namespace hottiles

@@ -1,0 +1,95 @@
+#include "core/gspmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+Semiring
+arithmeticSemiring()
+{
+    Semiring s;
+    s.name = "arithmetic(+,*)";
+    s.identity = 0;
+    s.multiply = [](Value a, Value b) { return a * b; };
+    s.add = [](Value a, Value b) { return a + b; };
+    s.ops_per_nnz_factor = 1.0;
+    return s;
+}
+
+Semiring
+tropicalSemiring()
+{
+    Semiring s;
+    s.name = "tropical(min,+)";
+    s.identity = std::numeric_limits<Value>::infinity();
+    s.multiply = [](Value a, Value b) { return a + b; };
+    s.add = [](Value a, Value b) { return std::min(a, b); };
+    s.ops_per_nnz_factor = 1.0;
+    return s;
+}
+
+Semiring
+booleanSemiring()
+{
+    Semiring s;
+    s.name = "boolean(or,and)";
+    s.identity = 0;
+    s.multiply = [](Value a, Value b) {
+        return Value(a != 0 && b != 0 ? 1 : 0);
+    };
+    s.add = [](Value a, Value b) { return Value(a != 0 || b != 0 ? 1 : 0); };
+    s.ops_per_nnz_factor = 1.0;
+    return s;
+}
+
+Semiring
+heavySemiring(double ai_factor)
+{
+    HT_ASSERT(ai_factor >= 1.0, "ai_factor must be >= 1");
+    Semiring s;
+    s.name = "heavy(x" + std::to_string(ai_factor) + ")";
+    s.identity = 0;
+    // A multiply that costs several SIMD ops: iterated multiply-add.
+    int reps = std::max(1, int(std::lround(ai_factor)));
+    s.multiply = [reps](Value a, Value b) {
+        Value acc = 0;
+        for (int i = 0; i < reps; ++i)
+            acc += a * b;
+        return acc / Value(reps);
+    };
+    s.add = [](Value a, Value b) { return a + b; };
+    s.ops_per_nnz_factor = ai_factor;
+    return s;
+}
+
+DenseMatrix
+referenceGspmm(const CooMatrix& a, const DenseMatrix& din, const Semiring& s)
+{
+    HT_ASSERT(a.cols() == din.rows(), "gSpMM shape mismatch");
+    const Index k = din.cols();
+    DenseMatrix dout(a.rows(), k);
+    dout.fill(s.identity);
+    for (size_t i = 0; i < a.nnz(); ++i) {
+        const Value* in = din.row(a.colId(i));
+        Value* out = dout.row(a.rowId(i));
+        const Value v = a.value(i);
+        for (Index j = 0; j < k; ++j)
+            out[j] = s.add(out[j], s.multiply(v, in[j]));
+    }
+    return dout;
+}
+
+KernelConfig
+kernelFor(const Semiring& s, uint32_t k)
+{
+    KernelConfig kc;
+    kc.k = k;
+    kc.ai_factor = s.ops_per_nnz_factor;
+    return kc;
+}
+
+} // namespace hottiles

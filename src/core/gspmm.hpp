@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * Generalized SpMM over algebraic semirings (§II-A, Davis et al.):
+ * same memory access pattern as SpMM, different arithmetic intensity.
+ * The functional side provides reference semiring kernels (used to
+ * validate the AI sweep of Fig 14 and the GNN example); the performance
+ * side maps a semiring's per-nonzero operation count to the
+ * KernelConfig::ai_factor the model and simulator consume.
+ */
+
+#include <functional>
+#include <string>
+
+#include "model/worker_traits.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/dense.hpp"
+
+namespace hottiles {
+
+/** A semiring: generalized multiply (x) and add (+) monoids. */
+struct Semiring
+{
+    std::string name;
+    Value identity = 0;  //!< additive identity (initial Dout value)
+    std::function<Value(Value, Value)> multiply;
+    std::function<Value(Value, Value)> add;
+    /**
+     * SIMD operations per nonzero relative to plain multiply-accumulate;
+     * this becomes KernelConfig::ai_factor for modeling purposes.
+     */
+    double ops_per_nnz_factor = 1.0;
+};
+
+/** Plain (+, *) arithmetic semiring. */
+Semiring arithmeticSemiring();
+
+/** Tropical (min, +) semiring used by shortest-path style kernels. */
+Semiring tropicalSemiring();
+
+/** Boolean (or, and) semiring used by reachability kernels. */
+Semiring booleanSemiring();
+
+/**
+ * A synthetic heavy semiring whose multiply costs @p ai_factor SIMD ops
+ * (models the higher-arithmetic-intensity gSpMM variants of Fig 14).
+ */
+Semiring heavySemiring(double ai_factor);
+
+/** Reference gSpMM: Dout = A (x.+) Din under @p s. */
+DenseMatrix referenceGspmm(const CooMatrix& a, const DenseMatrix& din,
+                           const Semiring& s);
+
+/** KernelConfig for running @p s at dense width @p k. */
+KernelConfig kernelFor(const Semiring& s, uint32_t k = 32);
+
+} // namespace hottiles

@@ -1,0 +1,102 @@
+#include "core/hottiles.hpp"
+
+#include "common/error.hpp"
+#include "partition/predicted_runtime.hpp"
+#include "sim/merger.hpp"
+
+namespace hottiles {
+
+HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
+                   const HotTilesOptions& opts)
+    : arch_(arch), opts_(opts)
+{
+    HT_ASSERT(arch_.hot.count > 0 && arch_.cold.count > 0,
+              "HotTiles needs both worker types; use simulateHomogeneous "
+              "for single-type architectures");
+
+    // Stage 1: matrix scan — tiling and per-tile statistics (Fig 7).
+    double t0 = monotonicSeconds();
+    grid_ = std::make_unique<TileGrid>(a, arch_.tile_height,
+                                       arch_.tile_width);
+    double t1 = monotonicSeconds();
+    timing_.scan_s = t1 - t0;
+
+    // Stage 2: per-tile performance model for both worker types.
+    // SDDMM outputs are disjoint per nonzero, so no Merger is needed.
+    bool no_merge =
+        arch_.atomic_rmw || opts_.kernel.kind == SparseKernel::Sddmm;
+    double t_merge = no_merge
+                         ? 0.0
+                         : mergeCycles(grid_->matrixRows(), opts_.kernel.k,
+                                       arch_.cold.value_bytes,
+                                       arch_.bwBytesPerCycle(),
+                                       arch_.line_bytes);
+    double hot_bw = arch_.pcie_gbps > 0
+                        ? arch_.pcie_gbps / arch_.freq_ghz
+                        : arch_.bwBytesPerCycle();
+    // `no_merge` doubles as the context's race-free flag: with no merge
+    // cost, serial operation never pays off under the model (§V-B), so
+    // only the Parallel heuristics are considered.
+    ctx_ = makePartitionContext(*grid_, arch_.hot, arch_.cold, opts_.kernel,
+                                arch_.bwBytesPerCycle(), t_merge, no_merge,
+                                hot_bw);
+    double t2 = monotonicSeconds();
+    timing_.model_s = t2 - t1;
+
+    // Stage 3: heuristic partitioning.
+    partition_ = hotTilesPartition(ctx_);
+    double t3 = monotonicSeconds();
+    timing_.partition_s = t3 - t2;
+
+    // Stage 4: sparse format creation.  The cold (base) format is what a
+    // homogeneous accelerator would need anyway; the hot format is the
+    // additional HotTiles cost (§VIII-C).
+    if (opts_.build_formats) {
+        cold_format_ = buildUntiledWork(*grid_, partition_.coldTiles());
+        double t4 = monotonicSeconds();
+        timing_.format_base_s = t4 - t3;
+        hot_format_ = buildTiledWork(*grid_, partition_.hotTiles());
+        timing_.format_extra_s = monotonicSeconds() - t4;
+        formats_built_ = true;
+    }
+}
+
+std::vector<Partition>
+HotTiles::allHeuristics() const
+{
+    return allHeuristicPartitions(ctx_);
+}
+
+Partition
+HotTiles::iunaware(uint64_t seed) const
+{
+    return iunawarePartition(ctx_, seed);
+}
+
+double
+HotTiles::predictedHotOnlyCycles() const
+{
+    return predictedHomogeneousCycles(ctx_, /*hot=*/true);
+}
+
+double
+HotTiles::predictedColdOnlyCycles() const
+{
+    return predictedHomogeneousCycles(ctx_, /*hot=*/false);
+}
+
+const UntiledWork&
+HotTiles::coldFormat() const
+{
+    HT_ASSERT(formats_built_, "formats were not built; set build_formats");
+    return cold_format_;
+}
+
+const TiledWork&
+HotTiles::hotFormat() const
+{
+    HT_ASSERT(formats_built_, "formats were not built; set build_formats");
+    return hot_format_;
+}
+
+} // namespace hottiles

@@ -1,0 +1,84 @@
+#pragma once
+
+/**
+ * @file
+ * The HotTiles framework front end (Fig 7): given an architecture and a
+ * sparse matrix, it tiles the matrix (matrix scan), evaluates the
+ * IMH-aware performance model per tile, runs the partitioning
+ * heuristics, and prepares the per-worker-type sparse formats — all
+ * instrumented for the Fig 18 preprocessing-cost breakdown.  This is
+ * the primary public API of the library.
+ */
+
+#include <memory>
+
+#include "arch/arch_config.hpp"
+#include "core/preprocess.hpp"
+#include "partition/heuristics.hpp"
+#include "partition/iunaware.hpp"
+#include "sim/worklist.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+/** Options of a HotTiles pipeline run. */
+struct HotTilesOptions
+{
+    KernelConfig kernel;          //!< K and gSpMM arithmetic intensity
+    bool build_formats = true;    //!< generate the worker formats eagerly
+    uint64_t iunaware_seed = 42;  //!< tile randomization of the baseline
+};
+
+/**
+ * One preprocessed matrix, ready for heterogeneous execution.
+ *
+ * Construction performs the full preprocessing pipeline.  The
+ * architecture is expected to be calibrated (see core/calibrate.hpp);
+ * worker counts of both types must be nonzero.
+ */
+class HotTiles
+{
+  public:
+    HotTiles(const Architecture& arch, const CooMatrix& a,
+             const HotTilesOptions& opts = {});
+
+    const Architecture& arch() const { return arch_; }
+    const KernelConfig& kernel() const { return opts_.kernel; }
+    const TileGrid& grid() const { return *grid_; }
+    const PartitionContext& context() const { return ctx_; }
+
+    /** The selected HotTiles partitioning (best of the heuristics). */
+    const Partition& partition() const { return partition_; }
+
+    /** All heuristic candidates (Fig 12 comparison). */
+    std::vector<Partition> allHeuristics() const;
+
+    /** The IMH-unaware baseline partitioning (§III-B). */
+    Partition iunaware(uint64_t seed) const;
+    Partition iunaware() const { return iunaware(opts_.iunaware_seed); }
+
+    /** Model-predicted homogeneous runtimes (used by Fig 17). */
+    double predictedHotOnlyCycles() const;
+    double predictedColdOnlyCycles() const;
+
+    /** Per-worker-type formats for the selected partitioning. */
+    const UntiledWork& coldFormat() const;
+    const TiledWork& hotFormat() const;
+
+    /** Preprocessing stage timings (Fig 18). */
+    const PreprocessTiming& timing() const { return timing_; }
+
+  private:
+    Architecture arch_;
+    HotTilesOptions opts_;
+    std::unique_ptr<TileGrid> grid_;
+    PartitionContext ctx_;
+    Partition partition_;
+    UntiledWork cold_format_;
+    TiledWork hot_format_;
+    bool formats_built_ = false;
+    PreprocessTiming timing_;
+};
+
+} // namespace hottiles

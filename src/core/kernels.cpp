@@ -1,0 +1,64 @@
+#include "core/kernels.hpp"
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+std::vector<Value>
+referenceSpmv(const CooMatrix& a, const std::vector<Value>& x)
+{
+    HT_ASSERT(x.size() == a.cols(), "SpMV shape mismatch");
+    std::vector<double> acc(a.rows(), 0.0);
+    for (size_t i = 0; i < a.nnz(); ++i)
+        acc[a.rowId(i)] += double(a.value(i)) * double(x[a.colId(i)]);
+    std::vector<Value> y(a.rows());
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] = static_cast<Value>(acc[i]);
+    return y;
+}
+
+CooMatrix
+referenceSddmm(const CooMatrix& a, const DenseMatrix& u,
+               const DenseMatrix& v)
+{
+    HT_ASSERT(u.rows() == a.rows(), "SDDMM: U row count mismatch");
+    HT_ASSERT(v.rows() == a.cols(), "SDDMM: V row count mismatch");
+    HT_ASSERT(u.cols() == v.cols(), "SDDMM: K mismatch between U and V");
+    const Index k = u.cols();
+
+    CooMatrix sorted = a;
+    sorted.sortRowMajor();
+    CooMatrix out(a.rows(), a.cols());
+    out.reserve(a.nnz());
+    for (size_t i = 0; i < sorted.nnz(); ++i) {
+        const Value* ur = u.row(sorted.rowId(i));
+        const Value* vr = v.row(sorted.colId(i));
+        double dot = 0.0;
+        for (Index j = 0; j < k; ++j)
+            dot += double(ur[j]) * double(vr[j]);
+        out.push(sorted.rowId(i), sorted.colId(i),
+                 static_cast<Value>(double(sorted.value(i)) * dot));
+    }
+    return out;
+}
+
+DenseMatrix
+vectorAsMatrix(const std::vector<Value>& x)
+{
+    DenseMatrix m(static_cast<Index>(x.size()), 1);
+    for (Index i = 0; i < m.rows(); ++i)
+        m.at(i, 0) = x[i];
+    return m;
+}
+
+std::vector<Value>
+matrixAsVector(const DenseMatrix& m)
+{
+    HT_ASSERT(m.cols() == 1, "expected an Nx1 matrix");
+    std::vector<Value> x(m.rows());
+    for (Index i = 0; i < m.rows(); ++i)
+        x[i] = m.at(i, 0);
+    return x;
+}
+
+} // namespace hottiles

@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Reference implementations of the additional sparse kernels HotTiles
+ * supports (§X): SpMV (SpMM with K = 1) and SDDMM (sampled dense-dense
+ * matrix multiplication).  Both share SpMM's per-nonzero access pattern
+ * — dense rows indexed by the nonzero's r_id and c_id — so the same
+ * tile model and partitioner apply; only the task traffic differs
+ * (encoded in KernelConfig::kind).
+ */
+
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/dense.hpp"
+
+namespace hottiles {
+
+/** Reference SpMV: y = A x (double accumulation). */
+std::vector<Value> referenceSpmv(const CooMatrix& a,
+                                 const std::vector<Value>& x);
+
+/**
+ * Reference SDDMM: out(i,j) = A(i,j) * dot(U[i,:], V[j,:]) for every
+ * nonzero (i,j) of A.  @p u has A.rows() rows, @p v has A.cols() rows;
+ * both have the same column count K.  The result preserves A's sorted
+ * structure with recomputed values.
+ */
+CooMatrix referenceSddmm(const CooMatrix& a, const DenseMatrix& u,
+                         const DenseMatrix& v);
+
+/** Pack a vector into an Nx1 dense matrix (SpMV as SpMM with K = 1). */
+DenseMatrix vectorAsMatrix(const std::vector<Value>& x);
+
+/** Unpack an Nx1 dense matrix into a vector. */
+std::vector<Value> matrixAsVector(const DenseMatrix& m);
+
+} // namespace hottiles

@@ -1,0 +1,14 @@
+#include "core/preprocess.hpp"
+
+#include <chrono>
+
+namespace hottiles {
+
+double
+monotonicSeconds()
+{
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(now).count();
+}
+
+} // namespace hottiles

@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Preprocessing-cost instrumentation (§VIII-C / Fig 18).  The HotTiles
+ * pipeline times its stages on the host: matrix scan (tiling + tile
+ * statistics), model evaluation, partitioning, and sparse-format
+ * creation for each worker type.  Format creation for ONE worker type
+ * is the cost any homogeneous accelerator pays; everything else is the
+ * "Hot Tiles Overhead" the paper reports.
+ */
+
+#include <cstdint>
+
+namespace hottiles {
+
+/** Wall-clock seconds of each preprocessing stage. */
+struct PreprocessTiming
+{
+    double scan_s = 0;          //!< tiling + per-tile statistics
+    double model_s = 0;         //!< per-tile model evaluation
+    double partition_s = 0;     //!< heuristic partitioning
+    double format_base_s = 0;   //!< formats for one worker type
+    double format_extra_s = 0;  //!< formats for the additional type
+
+    /** Total preprocessing time. */
+    double
+    total() const
+    {
+        return scan_s + model_s + partition_s + format_base_s +
+               format_extra_s;
+    }
+
+    /** The HotTiles-specific portion (everything but the base format). */
+    double
+    hotTilesOverhead() const
+    {
+        return scan_s + model_s + partition_s + format_extra_s;
+    }
+
+    /** HotTiles overhead as a fraction of the total (Fig 18 bars). */
+    double
+    overheadFraction() const
+    {
+        double t = total();
+        return t > 0 ? hotTilesOverhead() / t : 0.0;
+    }
+};
+
+/** Monotonic wall-clock seconds (helper for the pipeline stages). */
+double monotonicSeconds();
+
+} // namespace hottiles

@@ -1,0 +1,174 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/string_util.hpp"
+
+namespace hottiles {
+
+uint64_t
+gridFingerprint(const TileGrid& grid)
+{
+    // Mix the grid geometry and every tile's position/size through
+    // SplitMix64 so any structural change invalidates stored partitions.
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h = splitmix64(h);
+    };
+    mix(grid.matrixRows());
+    mix(grid.matrixCols());
+    mix(grid.matrixNnz());
+    mix(grid.tileHeight());
+    mix(grid.tileWidth());
+    for (size_t i = 0; i < grid.numTiles(); ++i) {
+        const Tile& t = grid.tile(i);
+        mix((uint64_t(t.panel) << 32) | t.tcol);
+        mix(t.nnz);
+    }
+    return h;
+}
+
+void
+writePartition(const PartitionFile& pf, std::ostream& os)
+{
+    const Partition& p = pf.partition;
+    os << "hottiles-partition v1\n";
+    os << "matrix " << (pf.matrix_name.empty() ? "-" : pf.matrix_name)
+       << "\n";
+    os << "tile " << pf.tile_height << " " << pf.tile_width << "\n";
+    os << "fingerprint " << pf.grid_fingerprint << "\n";
+    os << "serial " << (p.serial ? 1 : 0) << "\n";
+    os << "heuristic " << (p.heuristic.empty() ? "-" : p.heuristic) << "\n";
+    os << "predicted_cycles " << std::setprecision(17)
+       << p.predicted_cycles << "\n";
+    os << "tiles " << p.is_hot.size() << "\n";
+    os << "bitmap ";
+    static const char* hex = "0123456789abcdef";
+    uint32_t nibble = 0;
+    int bits = 0;
+    for (size_t i = 0; i < p.is_hot.size(); ++i) {
+        nibble = (nibble << 1) | (p.is_hot[i] ? 1u : 0u);
+        if (++bits == 4) {
+            os << hex[nibble];
+            nibble = 0;
+            bits = 0;
+        }
+    }
+    if (bits > 0)
+        os << hex[nibble << (4 - bits)];
+    os << "\n";
+}
+
+namespace {
+
+std::string
+expectKey(std::istream& is, const std::string& key)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        HT_FATAL("partition file: missing '", key, "' line");
+    auto tok = splitWs(line);
+    if (tok.empty() || tok[0] != key)
+        HT_FATAL("partition file: expected '", key, "', got '", line, "'");
+    std::string rest;
+    for (size_t i = 1; i < tok.size(); ++i) {
+        if (i > 1)
+            rest += " ";
+        rest += std::string(tok[i]);
+    }
+    return rest;
+}
+
+} // namespace
+
+PartitionFile
+readPartition(std::istream& is)
+{
+    std::string header;
+    std::getline(is, header);
+    if (trim(header) != "hottiles-partition v1")
+        HT_FATAL("not a hottiles partition file (header '", header, "')");
+
+    PartitionFile pf;
+    pf.matrix_name = expectKey(is, "matrix");
+    if (pf.matrix_name == "-")
+        pf.matrix_name.clear();
+    {
+        std::istringstream ss(expectKey(is, "tile"));
+        ss >> pf.tile_height >> pf.tile_width;
+        if (!ss)
+            HT_FATAL("partition file: bad tile line");
+    }
+    pf.grid_fingerprint = std::stoull(expectKey(is, "fingerprint"));
+    pf.partition.serial = expectKey(is, "serial") == "1";
+    pf.partition.heuristic = expectKey(is, "heuristic");
+    if (pf.partition.heuristic == "-")
+        pf.partition.heuristic.clear();
+    pf.partition.predicted_cycles =
+        std::stod(expectKey(is, "predicted_cycles"));
+    size_t tiles = std::stoull(expectKey(is, "tiles"));
+
+    std::string bitmap = expectKey(is, "bitmap");
+    pf.partition.is_hot.assign(tiles, 0);
+    size_t bit = 0;
+    for (char c : bitmap) {
+        int v;
+        if (c >= '0' && c <= '9')
+            v = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            v = 10 + c - 'a';
+        else
+            HT_FATAL("partition file: bad bitmap character '", c, "'");
+        for (int b = 3; b >= 0 && bit < tiles; --b, ++bit)
+            pf.partition.is_hot[bit] = (v >> b) & 1 ? 1 : 0;
+    }
+    if (bit < tiles)
+        HT_FATAL("partition file: bitmap too short (", bit, " of ", tiles,
+                 " bits)");
+    return pf;
+}
+
+void
+writePartitionFile(const Partition& p, const TileGrid& grid,
+                   const std::string& matrix_name, const std::string& path)
+{
+    PartitionFile pf;
+    pf.partition = p;
+    pf.matrix_name = matrix_name;
+    pf.tile_height = grid.tileHeight();
+    pf.tile_width = grid.tileWidth();
+    pf.grid_fingerprint = gridFingerprint(grid);
+    std::ofstream f(path);
+    if (!f)
+        HT_FATAL("cannot open '", path, "' for writing");
+    writePartition(pf, f);
+    if (!f)
+        HT_FATAL("write to '", path, "' failed");
+}
+
+Partition
+readPartitionFile(const std::string& path, const TileGrid& grid)
+{
+    std::ifstream f(path);
+    if (!f)
+        HT_FATAL("cannot open '", path, "'");
+    PartitionFile pf = readPartition(f);
+    if (pf.tile_height != grid.tileHeight() ||
+        pf.tile_width != grid.tileWidth())
+        HT_FATAL("partition tile size ", pf.tile_height, "x", pf.tile_width,
+                 " does not match grid ", grid.tileHeight(), "x",
+                 grid.tileWidth());
+    if (pf.partition.is_hot.size() != grid.numTiles())
+        HT_FATAL("partition tile count mismatch");
+    if (pf.grid_fingerprint != gridFingerprint(grid))
+        HT_FATAL("partition was built for a different matrix "
+                 "(fingerprint mismatch)");
+    return pf.partition;
+}
+
+} // namespace hottiles

@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Partition persistence (§VI-B: the generated formats "can be stored
+ * for later use — e.g., generated during GNN training and then saved
+ * and reused during GNN inference").  A partition file is a small
+ * versioned text header plus the hex-encoded hot/cold bitmap; it is
+ * valid only for the same matrix and tile geometry it was created for,
+ * which the loader verifies via a structure fingerprint.
+ */
+
+#include <iosfwd>
+#include <string>
+
+#include "partition/partition.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+/** A partition together with the geometry it applies to. */
+struct PartitionFile
+{
+    Partition partition;
+    std::string matrix_name;
+    Index tile_height = 0;
+    Index tile_width = 0;
+    uint64_t grid_fingerprint = 0;  //!< of the TileGrid it was built on
+};
+
+/** Stable fingerprint of a grid (dims, nnz, per-tile layout). */
+uint64_t gridFingerprint(const TileGrid& grid);
+
+/** Serialize to a stream. */
+void writePartition(const PartitionFile& pf, std::ostream& os);
+
+/** Parse from a stream. @throws FatalError on malformed input. */
+PartitionFile readPartition(std::istream& is);
+
+/** Save a partition made on @p grid to @p path. */
+void writePartitionFile(const Partition& p, const TileGrid& grid,
+                        const std::string& matrix_name,
+                        const std::string& path);
+
+/**
+ * Load a partition and verify it matches @p grid (tile geometry and
+ * fingerprint). @throws FatalError on mismatch.
+ */
+Partition readPartitionFile(const std::string& path, const TileGrid& grid);
+
+} // namespace hottiles

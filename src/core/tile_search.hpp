@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Smart tile sizing (§IV + §X future work).  The tile width/height are
+ * bounded by the scratchpad capacities of the workers that stream Din /
+ * Dout; any remaining free dimension can be searched: "the IMH-aware
+ * modeling and partitioning methodology can be iteratively applied to
+ * find the value that is predicted to deliver the maximum performance".
+ */
+
+#include <vector>
+
+#include "arch/arch_config.hpp"
+#include "model/worker_traits.hpp"
+#include "sparse/coo.hpp"
+
+namespace hottiles {
+
+/** One evaluated tile-size candidate. */
+struct TileSizeCandidate
+{
+    Index tile_height = 0;
+    Index tile_width = 0;
+    double predicted_cycles = 0;  //!< HotTiles prediction at this size
+    size_t tiles = 0;             //!< occupied tiles in the grid
+};
+
+/** Outcome of a tile-size search. */
+struct TileSizeSearchResult
+{
+    TileSizeCandidate best;
+    std::vector<TileSizeCandidate> candidates;  //!< all evaluated sizes
+};
+
+/**
+ * Largest legal tile width for @p arch at dense width @p k: bounded by
+ * the hot worker's scratchpad (double-buffered Din tile) when it streams
+ * Din; unbounded (returns @p free_cap) otherwise.
+ */
+Index maxTileWidth(const Architecture& arch, const KernelConfig& kernel,
+                   Index free_cap = 4096);
+
+/**
+ * Evaluate square tile sizes from @p candidates (filtered to the legal
+ * range) by running the full model + partitioning pipeline at each size
+ * and comparing predicted runtimes.  @pre at least one legal candidate.
+ */
+TileSizeSearchResult searchTileSize(
+    const Architecture& arch, const CooMatrix& a,
+    const KernelConfig& kernel,
+    const std::vector<Index>& candidates = {64, 128, 256, 512, 1024});
+
+} // namespace hottiles

@@ -1,0 +1,89 @@
+#include "model/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+double
+calibrationError(const std::vector<CalibrationSample>& samples,
+                 double vis_lat)
+{
+    HT_ASSERT(!samples.empty(), "no calibration samples");
+    double err = 0.0;
+    for (const auto& s : samples) {
+        HT_ASSERT(s.actual_cycles > 0, "calibration sample without runtime");
+        double pred = s.predict(vis_lat);
+        err += std::abs(pred - s.actual_cycles) / s.actual_cycles;
+    }
+    return err / static_cast<double>(samples.size());
+}
+
+CalibrationResult
+calibrateVisLat(const std::vector<CalibrationSample>& samples, double lo,
+                double hi)
+{
+    HT_ASSERT(lo > 0 && hi > lo, "bad calibration search range");
+
+    // Coarse log-space sweep to locate the best bracket: the error is not
+    // guaranteed unimodal across the whole range because of the max()
+    // in the overlap combination.  Among near-equivalent fits (the
+    // bandwidth-saturated regime makes small vis_lat values
+    // indistinguishable) prefer the LARGEST vis_lat: it is the
+    // physically conservative choice and keeps the per-tile times
+    // meaningful for the partitioner.
+    const int kSweep = 96;
+    const double log_lo = std::log(lo);
+    const double log_hi = std::log(hi);
+    std::vector<std::pair<double, double>> sweep;  // (x, err)
+    double best_err = std::numeric_limits<double>::infinity();
+    for (int i = 0; i <= kSweep; ++i) {
+        double x = std::exp(log_lo + (log_hi - log_lo) * i / kSweep);
+        double e = calibrationError(samples, x);
+        sweep.emplace_back(x, e);
+        best_err = std::min(best_err, e);
+    }
+    double best_x = lo;
+    for (const auto& [x, e] : sweep)
+        if (e <= best_err * 1.05 + 1e-12)
+            best_x = x;  // last (largest) near-optimal candidate wins
+
+    // Golden-section refinement around the best sweep point.
+    double a = best_x / std::exp((log_hi - log_lo) / kSweep);
+    double b = best_x * std::exp((log_hi - log_lo) / kSweep);
+    const double phi = 0.6180339887498949;
+    double x1 = b - phi * (b - a);
+    double x2 = a + phi * (b - a);
+    double e1 = calibrationError(samples, x1);
+    double e2 = calibrationError(samples, x2);
+    for (int iter = 0; iter < 60 && (b - a) > 1e-9 * b; ++iter) {
+        if (e1 < e2) {
+            b = x2;
+            x2 = x1;
+            e2 = e1;
+            x1 = b - phi * (b - a);
+            e1 = calibrationError(samples, x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            e1 = e2;
+            x2 = a + phi * (b - a);
+            e2 = calibrationError(samples, x2);
+        }
+    }
+    double mid = 0.5 * (a + b);
+    double mid_err = calibrationError(samples, mid);
+    double best_x_err = calibrationError(samples, best_x);
+    if (mid_err > best_x_err) {
+        mid = best_x;
+        mid_err = best_x_err;
+    }
+    return {mid, mid_err};
+}
+
+} // namespace hottiles

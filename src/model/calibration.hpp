@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * Data-driven calibration of the visible-latency-per-byte parameter
+ * (§VI-B): a small number of homogeneous profiling runs are executed on
+ * test matrices, then a 1-D search sets vis_lat so the model's predicted
+ * runtimes match the measured ones.  The search is decoupled from the
+ * simulator: callers provide, per profiling run, a closure mapping a
+ * candidate vis_lat to the model's predicted cycles.
+ */
+
+#include <functional>
+#include <vector>
+
+namespace hottiles {
+
+/** One homogeneous profiling run. */
+struct CalibrationSample
+{
+    /** Model prediction for this run as a function of vis_lat. */
+    std::function<double(double)> predict;
+    /** Measured (simulated) cycles of the run. */
+    double actual_cycles = 0;
+};
+
+/** Outcome of a vis_lat search. */
+struct CalibrationResult
+{
+    double vis_lat = 0;         //!< argmin of the error objective
+    double mean_rel_error = 0;  //!< mean |pred - actual| / actual at argmin
+};
+
+/** Mean relative error of the samples at a given vis_lat. */
+double calibrationError(const std::vector<CalibrationSample>& samples,
+                        double vis_lat);
+
+/**
+ * Search vis_lat in [lo, hi] (cycles/byte) minimizing the mean relative
+ * error, via a coarse log-space sweep refined by golden-section search.
+ * @pre at least one sample with actual_cycles > 0.
+ */
+CalibrationResult calibrateVisLat(
+    const std::vector<CalibrationSample>& samples, double lo = 1e-5,
+    double hi = 50.0);
+
+} // namespace hottiles

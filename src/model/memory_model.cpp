@@ -1,0 +1,108 @@
+#include "model/memory_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+double
+denseRowBytes(const WorkerTraits& w, const KernelConfig& kc)
+{
+    double bytes = static_cast<double>(kc.k) * w.value_bytes;
+    if (w.access_granularity > 1) {
+        double g = w.access_granularity;
+        bytes = std::ceil(bytes / g) * g;
+    }
+    return bytes;
+}
+
+double
+denseRowsAccessed(ReuseType reuse, double stream_extent, double uniq,
+                  double tile_nnz)
+{
+    switch (reuse) {
+      case ReuseType::InterTile:
+        return 0.0;
+      case ReuseType::IntraTileStream:
+        return stream_extent;
+      case ReuseType::IntraTileDemand:
+        return uniq;
+      case ReuseType::None:
+        return tile_nnz;
+    }
+    HT_PANIC("unreachable reuse type");
+}
+
+double
+sparseItemsAccessed(SparseFormat fmt, double tile_height, double tile_nnz)
+{
+    switch (fmt) {
+      case SparseFormat::CooLike:
+        return 3.0 * tile_nnz;
+      case SparseFormat::CsrLike:
+        return tile_height + 2.0 * tile_nnz;
+    }
+    HT_PANIC("unreachable sparse format");
+}
+
+double
+sparseBytesAccessed(const WorkerTraits& w, double tile_height,
+                    double tile_nnz)
+{
+    // Weight the Table I item counts by the actual item sizes: each
+    // nonzero contributes one value item, the rest are index items.
+    switch (w.format) {
+      case SparseFormat::CooLike:
+        return tile_nnz * (2.0 * w.index_bytes + w.value_bytes);
+      case SparseFormat::CsrLike:
+        return tile_height * w.index_bytes +
+               tile_nnz * (w.index_bytes + w.value_bytes);
+    }
+    HT_PANIC("unreachable sparse format");
+}
+
+TileBytes
+tileBytes(const Tile& tile, const WorkerTraits& w, const KernelConfig& kc)
+{
+    const double row_bytes = denseRowBytes(w, kc);
+    TileBytes b;
+    b.sparse = sparseBytesAccessed(w, tile.height, double(tile.nnz));
+    b.din = row_bytes * denseRowsAccessed(w.din_reuse, tile.width,
+                                          tile.uniq_cids, double(tile.nnz));
+    if (w.din_reuse == ReuseType::None && w.model_cache_bytes > 0) {
+        // Cache-aware extension (§X): interpolate between demand reuse
+        // (working set fits -> every repeated access hits) and no reuse,
+        // weighting the repeats by the fraction of the working set that
+        // does not fit the capacity.
+        double ws = double(tile.uniq_cids) * row_bytes;
+        double excess = std::min(
+            1.0, std::max(0.0, 1.0 - double(w.model_cache_bytes) / ws));
+        double rows = double(tile.uniq_cids) +
+                      (double(tile.nnz) - double(tile.uniq_cids)) * excess;
+        b.din = row_bytes * std::min(rows, double(tile.nnz));
+    }
+    double dout_rows = denseRowsAccessed(w.dout_reuse, tile.height,
+                                         tile.uniq_rids, double(tile.nnz));
+    if (kc.kind == SparseKernel::Sddmm) {
+        // SDDMM reads the U rows like SpMM reads Dout rows, but writes
+        // one scalar per nonzero into the sparse output instead of
+        // writing dense rows back.
+        b.dout_read = row_bytes * dout_rows;
+        b.dout_write = double(tile.nnz) * w.value_bytes;
+    } else {
+        b.dout_read = row_bytes * dout_rows;
+        b.dout_write = row_bytes * dout_rows;
+    }
+    return b;
+}
+
+double
+tileTotalBytes(const Tile& tile, const WorkerTraits& w,
+               const KernelConfig& kc)
+{
+    return tileBytes(tile, w, kc).total();
+}
+
+} // namespace hottiles

@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Per-tile main-memory traffic estimation — the exact formulas of
+ * Table I.  Given a tile's statistics and a worker's reuse/format traits,
+ * computes the bytes each SpMM task moves to or from main memory.  The
+ * estimates use the maximum-reuse assumption of §IV-C; the partitioner
+ * applies the post-assignment readjustment separately.
+ */
+
+#include "model/worker_traits.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+/** Bytes accessed from main memory by each memory task for one tile. */
+struct TileBytes
+{
+    double sparse = 0;      //!< sparse input data items (A)
+    double din = 0;         //!< dense input rows read
+    double dout_read = 0;   //!< dense output rows read
+    double dout_write = 0;  //!< dense output rows written
+
+    double total() const { return sparse + din + dout_read + dout_write; }
+};
+
+/** Bytes of one dense row: K elements of the worker's element size. */
+double denseRowBytes(const WorkerTraits& w, const KernelConfig& kc);
+
+/**
+ * Dense rows fetched from memory for a tile under @p reuse (Table I,
+ * upper subtable).  @p stream_extent is tile_width for Din or
+ * tile_height for Dout; @p uniq is tile_uniq_cids or tile_uniq_rids.
+ */
+double denseRowsAccessed(ReuseType reuse, double stream_extent, double uniq,
+                         double tile_nnz);
+
+/** Sparse input data items for a tile (Table I, bottom subtable). */
+double sparseItemsAccessed(SparseFormat fmt, double tile_height,
+                           double tile_nnz);
+
+/** Sparse input bytes for a tile (items weighted by index/value sizes). */
+double sparseBytesAccessed(const WorkerTraits& w, double tile_height,
+                           double tile_nnz);
+
+/**
+ * Full Table I traffic estimate for @p tile when executed by worker type
+ * @p w (maximum-reuse assumption).  Dout rows are charged for both the
+ * read and the write task under demand/stream/none reuse; inter-tile
+ * reuse charges zero here and is accounted for by the readjustment pass.
+ */
+TileBytes tileBytes(const Tile& tile, const WorkerTraits& w,
+                    const KernelConfig& kc);
+
+/** Total bytes (convenience wrapper around tileBytes().total()). */
+double tileTotalBytes(const Tile& tile, const WorkerTraits& w,
+                      const KernelConfig& kc);
+
+} // namespace hottiles

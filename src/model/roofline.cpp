@@ -1,0 +1,57 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "model/time_model.hpp"
+
+namespace hottiles {
+
+double
+expectedUnique(double buckets, double draws)
+{
+    if (buckets <= 0.0)
+        return 0.0;
+    // buckets * (1 - (1 - 1/buckets)^draws), numerically via expm1/log1p.
+    double log_keep = draws * std::log1p(-1.0 / buckets);
+    return -buckets * std::expm1(log_keep);
+}
+
+RooflineEstimate
+rooflineWholeMatrix(Index rows, Index cols, size_t nnz, Index tile_h,
+                    Index tile_w, const WorkerTraits& w,
+                    const KernelConfig& kc, double bw_bytes_per_cycle)
+{
+    HT_ASSERT(bw_bytes_per_cycle > 0, "bandwidth must be positive");
+    const double panels = static_cast<double>(ceilDiv(rows, tile_h));
+    const double tcols = static_cast<double>(ceilDiv(cols, tile_w));
+    const double positions = panels * tcols;
+
+    // Synthetic "average" tile under the uniform assumption.
+    Tile avg{};
+    avg.height = std::min<Index>(tile_h, rows);
+    avg.width = std::min<Index>(tile_w, cols);
+    const double z = positions > 0 ? static_cast<double>(nnz) / positions : 0;
+    avg.nnz = static_cast<size_t>(z);  // unused: we pass doubles below
+
+    const double row_bytes = denseRowBytes(w, kc);
+    const double uniq_c = expectedUnique(avg.width, z);
+    const double uniq_r = expectedUnique(avg.height, z);
+
+    double per_tile =
+        sparseBytesAccessed(w, avg.height, z) +
+        row_bytes * denseRowsAccessed(w.din_reuse, avg.width, uniq_c, z) +
+        2.0 * row_bytes *
+            denseRowsAccessed(w.dout_reuse, avg.height, uniq_r, z);
+
+    RooflineEstimate est;
+    est.bytes = per_tile * positions;
+    est.mem_cycles = est.bytes / bw_bytes_per_cycle;
+    est.compute_cycles = computeCycles(w, kc, static_cast<double>(nnz));
+    est.total_cycles = std::max(est.compute_cycles, est.mem_cycles);
+    return est;
+}
+
+} // namespace hottiles

@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * IMH-unaware whole-matrix Roofline model (§III-B).  Estimates a single
+ * worker's execution time as max(compute time, memory time) where the
+ * memory traffic assumes a *uniform* distribution of nonzeros across the
+ * matrix (the AESPA assumption the paper's IUnaware baseline inherits).
+ * This is the model HotTiles improves upon.
+ */
+
+#include "model/memory_model.hpp"
+#include "model/worker_traits.hpp"
+#include "sparse/types.hpp"
+
+namespace hottiles {
+
+/** Whole-matrix Roofline estimate for one worker. */
+struct RooflineEstimate
+{
+    double compute_cycles = 0;  //!< FLOPs / single-worker throughput
+    double mem_cycles = 0;      //!< bytes / memory bandwidth
+    double bytes = 0;           //!< estimated main-memory traffic
+    double total_cycles = 0;    //!< max(compute, memory)
+};
+
+/**
+ * Expected distinct values drawn when @p draws uniform samples fall in
+ * @p buckets buckets: buckets * (1 - (1 - 1/buckets)^draws).
+ */
+double expectedUnique(double buckets, double draws);
+
+/**
+ * Roofline estimate for processing the whole matrix with a single
+ * worker of type @p w, assuming uniformly-distributed nonzeros over a
+ * tile grid of @p tile_h x @p tile_w tiles and a memory system moving
+ * @p bw_bytes_per_cycle.
+ */
+RooflineEstimate rooflineWholeMatrix(Index rows, Index cols, size_t nnz,
+                                     Index tile_h, Index tile_w,
+                                     const WorkerTraits& w,
+                                     const KernelConfig& kc,
+                                     double bw_bytes_per_cycle);
+
+} // namespace hottiles

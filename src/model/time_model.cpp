@@ -1,0 +1,60 @@
+#include "model/time_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+double
+computeCycles(const WorkerTraits& w, const KernelConfig& kc, double nnz)
+{
+    HT_ASSERT(w.macs_per_cycle > 0, "worker has no compute throughput");
+    // One SIMD MAC per nonzero at AI=1; AI scales the op count unless the
+    // worker's throughput scales with it (enhanced Sextans, §VII).
+    double macs = nnz * (w.compute_scales_with_ai ? kc.ai_factor : 1.0);
+    return macs / w.macs_per_cycle;
+}
+
+double
+combineTasks(const WorkerTraits& w, const double task[kNumSpmmTasks])
+{
+    // Sum over overlap groups of the max within each group.
+    double total = 0.0;
+    bool used[kNumSpmmTasks] = {};
+    for (int t = 0; t < kNumSpmmTasks; ++t) {
+        if (used[t])
+            continue;
+        double group_max = 0.0;
+        for (int u = t; u < kNumSpmmTasks; ++u) {
+            if (w.overlap_group[u] == w.overlap_group[t]) {
+                used[u] = true;
+                group_max = std::max(group_max, task[u]);
+            }
+        }
+        total += group_max;
+    }
+    return total;
+}
+
+TileTime
+tileTimeFromBytes(const TileBytes& bytes, double nnz, const WorkerTraits& w,
+                  const KernelConfig& kc)
+{
+    TileTime t;
+    t.task[int(SpmmTask::ReadSparse)] = bytes.sparse * w.vis_lat;
+    t.task[int(SpmmTask::ReadDin)] = bytes.din * w.vis_lat;
+    t.task[int(SpmmTask::ReadDout)] = bytes.dout_read * w.vis_lat;
+    t.task[int(SpmmTask::Compute)] = computeCycles(w, kc, nnz);
+    t.task[int(SpmmTask::WriteDout)] = bytes.dout_write * w.vis_lat;
+    t.total = combineTasks(w, t.task);
+    return t;
+}
+
+TileTime
+tileTime(const Tile& tile, const WorkerTraits& w, const KernelConfig& kc)
+{
+    return tileTimeFromBytes(tileBytes(tile, w, kc), double(tile.nnz), w, kc);
+}
+
+} // namespace hottiles

@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * Per-tile execution-time estimation (§IV-B).  Each of the five SpMM
+ * tasks gets a time: compute = FLOPs / throughput, memory tasks =
+ * bytes x vis_lat.  Tasks in the same overlap group cost the max of the
+ * group; groups serialize.  All times are in cycles for one worker of
+ * the given type (parallelism across workers is applied by the
+ * partitioner via the Eq 2 division by N_hw / N_cw).
+ */
+
+#include "model/memory_model.hpp"
+#include "model/worker_traits.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+/** Per-task times (cycles) plus their overlapped total for one tile. */
+struct TileTime
+{
+    double task[kNumSpmmTasks] = {0, 0, 0, 0, 0};
+    double total = 0;  //!< after applying the overlap groups
+};
+
+/** Compute-task cycles for @p nnz nonzeros on worker @p w. */
+double computeCycles(const WorkerTraits& w, const KernelConfig& kc,
+                     double nnz);
+
+/** Combine per-task times according to the worker's overlap groups. */
+double combineTasks(const WorkerTraits& w,
+                    const double task[kNumSpmmTasks]);
+
+/**
+ * Estimated execution cycles of @p tile on one worker of type @p w
+ * (maximum-reuse assumption), with the per-task breakdown.
+ */
+TileTime tileTime(const Tile& tile, const WorkerTraits& w,
+                  const KernelConfig& kc);
+
+/**
+ * Execution cycles given an externally-supplied traffic estimate
+ * (used by the readjustment pass, which modifies TileBytes).
+ */
+TileTime tileTimeFromBytes(const TileBytes& bytes, double nnz,
+                           const WorkerTraits& w, const KernelConfig& kc);
+
+} // namespace hottiles

@@ -1,0 +1,169 @@
+#pragma once
+
+/**
+ * @file
+ * Description of a heterogeneous worker (PE) type — the architecture
+ * traits a user supplies to the HotTiles framework (§VI-B): compute
+ * throughput, worker count, scratchpad size, reuse types and sparse
+ * format (Tables I and III), task-overlap behaviour (§IV-B), and the
+ * data-driven visible-latency-per-byte parameter.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hottiles {
+
+/** Dense-row reuse classes of Table I. */
+enum class ReuseType
+{
+    InterTile,        //!< rows already resident from a previous tile: 0
+    IntraTileStream,  //!< full dense tile streamed: tile_width/height rows
+    IntraTileDemand,  //!< register/cache reuse: unique c_ids/r_ids rows
+    None,             //!< one dense row fetched per nonzero
+};
+
+/** Sparse compression format classes of Table I (bottom). */
+enum class SparseFormat
+{
+    CooLike,  //!< 3 data items per nonzero (r_id, c_id, val)
+    CsrLike,  //!< tile_height + 2 * nnz data items per tile
+};
+
+/** Order in which a worker visits the sparse matrix (Fig 6). */
+enum class TraversalOrder
+{
+    UntiledRowMajor,  //!< full rows left to right (Fig 6(a))
+    TiledRowMajor,    //!< tile by tile within a row panel (Fig 6(b))
+};
+
+/** The five SpMM tasks of §IV-B. */
+enum class SpmmTask : int
+{
+    ReadSparse = 0,
+    ReadDin = 1,
+    ReadDout = 2,
+    Compute = 3,
+    WriteDout = 4,
+};
+
+constexpr int kNumSpmmTasks = 5;
+
+/** Hot/cold role of a worker type. */
+enum class WorkerRole { Hot, Cold };
+
+/** Full static description of one worker type. */
+struct WorkerTraits
+{
+    std::string name;             //!< e.g. "SPADE PE", "Sextans"
+    WorkerRole role = WorkerRole::Cold;
+    uint32_t count = 1;           //!< N_hw or N_cw
+
+    /** K-wide SIMD MAC operations per cycle per worker. */
+    double macs_per_cycle = 1.0;
+
+    /**
+     * Whether compute time grows with the gSpMM arithmetic-intensity
+     * factor.  The enhanced off-chip Sextans of §VII processes a fixed
+     * number of nonzeros per cycle regardless of AI (false).
+     */
+    bool compute_scales_with_ai = true;
+
+    SparseFormat format = SparseFormat::CooLike;
+    ReuseType din_reuse = ReuseType::None;
+    ReuseType dout_reuse = ReuseType::InterTile;
+    TraversalOrder traversal = TraversalOrder::UntiledRowMajor;
+
+    uint64_t scratchpad_bytes = 0;  //!< 0 when the worker has no scratchpad
+
+    uint32_t index_bytes = 4;  //!< bytes per sparse index data item
+    uint32_t value_bytes = 4;  //!< bytes per sparse value / dense element
+
+    /**
+     * Memory access granularity for dense-row transfers (bytes).  The
+     * paper counts raw bytes (granularity 1); setting the line size here
+     * rounds each dense-row transfer up to full lines, which matters for
+     * narrow kernels like SpMV (K = 1) where a 4-byte row still moves a
+     * whole cache line.
+     */
+    uint32_t access_granularity = 1;
+
+    /**
+     * Visible latency per byte (cycles/byte): the data-driven latency
+     * parameter of §IV-B, calibrated from homogeneous profiling runs.
+     */
+    double vis_lat = 0.01;
+
+    /**
+     * Optional cache-aware model extension (§X future work; 0 = off,
+     * the paper's pessimistic no-cache assumption).  When set for a
+     * worker with din_reuse None, the model interpolates the tile's Din
+     * rows between full demand reuse (unique c_ids, when the tile's
+     * dense working set fits this capacity) and no reuse (one row per
+     * nonzero) based on the working-set-to-capacity ratio.
+     */
+    uint64_t model_cache_bytes = 0;
+
+    /**
+     * Task-overlap groups (§IV-B): tasks that share a group run
+     * concurrently (the group costs the max of its members); groups
+     * execute serially (total = sum over groups).  All-equal entries
+     * mean a fully-overlapped worker; all-distinct a fully-serial one.
+     */
+    std::array<int, kNumSpmmTasks> overlap_group{0, 0, 0, 0, 0};
+
+    /** FLOPs of one SIMD MAC at dense-column count @p k. */
+    double flopsPerMac(uint32_t k) const { return 2.0 * k; }
+
+    /** Peak GFLOP/s of all @c count workers of this type at @p freq_ghz. */
+    double
+    peakGflops(uint32_t k, double freq_ghz) const
+    {
+        return macs_per_cycle * count * flopsPerMac(k) * freq_ghz;
+    }
+};
+
+/**
+ * The sparse kernel being executed (§X: SpMV and SDDMM "exhibit access
+ * patterns similar to SpMM" and map onto the same tile model).
+ */
+enum class SparseKernel
+{
+    Spmm,   //!< Dout[NxK] = A x Din[NxK]
+    Spmv,   //!< SpMM with K = 1
+    Sddmm,  //!< out(i,j) = A(i,j) * dot(U[i,:], V[j,:]); sparse output
+};
+
+/** Kernel configuration: kernel kind, dense width, arithmetic intensity. */
+struct KernelConfig
+{
+    uint32_t k = 32;       //!< dense matrix columns (K)
+    double ai_factor = 1;  //!< SIMD ops per nonzero relative to plain SpMM
+    SparseKernel kind = SparseKernel::Spmm;
+
+    /** FLOPs charged per nonzero. */
+    double flopsPerNnz() const { return 2.0 * k * ai_factor; }
+};
+
+/** SpMV preset: dense width 1. */
+inline KernelConfig
+spmvKernel()
+{
+    KernelConfig kc;
+    kc.k = 1;
+    kc.kind = SparseKernel::Spmv;
+    return kc;
+}
+
+/** SDDMM preset at dense width @p k. */
+inline KernelConfig
+sddmmKernel(uint32_t k = 32)
+{
+    KernelConfig kc;
+    kc.k = k;
+    kc.kind = SparseKernel::Sddmm;
+    return kc;
+}
+
+} // namespace hottiles

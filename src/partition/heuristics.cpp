@@ -1,0 +1,152 @@
+#include "partition/heuristics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "partition/predicted_runtime.hpp"
+
+namespace hottiles {
+
+const char*
+heuristicName(Heuristic h)
+{
+    switch (h) {
+      case Heuristic::MinTimeParallel: return "MinTime Parallel";
+      case Heuristic::MinTimeSerial: return "MinTime Serial";
+      case Heuristic::MinByteParallel: return "MinByte Parallel";
+      case Heuristic::MinByteSerial: return "MinByte Serial";
+    }
+    HT_PANIC("unreachable heuristic");
+}
+
+namespace {
+
+bool
+isMinTime(Heuristic h)
+{
+    return h == Heuristic::MinTimeParallel || h == Heuristic::MinTimeSerial;
+}
+
+bool
+isSerial(Heuristic h)
+{
+    return h == Heuristic::MinTimeSerial || h == Heuristic::MinByteSerial;
+}
+
+/**
+ * Subproblem objective at a given cutoff (tiles [0, cutoff) of the
+ * sorted order are hot).  Uses prefix sums of the sorted th/tc or bh/bc
+ * arrays; no bandwidth or merge terms — those enter only in the final
+ * predicted runtime (§V-B).
+ */
+double
+objective(Heuristic h, const PartitionContext& ctx, double hot_prefix,
+          double cold_suffix)
+{
+    switch (h) {
+      case Heuristic::MinTimeParallel:
+        return std::max(hot_prefix / ctx.hot->count,
+                        cold_suffix / ctx.cold->count);
+      case Heuristic::MinTimeSerial:
+        return hot_prefix / ctx.hot->count + cold_suffix / ctx.cold->count;
+      case Heuristic::MinByteParallel:
+      case Heuristic::MinByteSerial:
+        return hot_prefix + cold_suffix;
+    }
+    HT_PANIC("unreachable heuristic");
+}
+
+} // namespace
+
+Partition
+runHeuristic(const PartitionContext& ctx, Heuristic h)
+{
+    const size_t n = ctx.estimates.size();
+    HT_ASSERT(n == ctx.grid->numTiles(), "context/grid mismatch");
+
+    // Sort tile indices by increasing hot - cold difference of the
+    // heuristic's key (execution time or bytes): tiles that favor hot
+    // workers come first (Fig 8 "tile ordering").
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t(0));
+    const bool min_time = isMinTime(h);
+    auto key = [&](size_t i) {
+        const TileEstimate& e = ctx.estimates[i];
+        return min_time ? e.th - e.tc : e.bh - e.bc;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return key(a) < key(b); });
+
+    // Prefix/suffix sums of the per-tile hot and cold costs.
+    std::vector<double> hot_cost(n);
+    std::vector<double> cold_cost(n);
+    for (size_t i = 0; i < n; ++i) {
+        const TileEstimate& e = ctx.estimates[order[i]];
+        hot_cost[i] = min_time ? e.th : e.bh;
+        cold_cost[i] = min_time ? e.tc : e.bc;
+    }
+    double cold_total = std::accumulate(cold_cost.begin(), cold_cost.end(),
+                                        0.0);
+
+    // Cutoff sweep: start all-cold, move right while the subproblem
+    // objective decreases, roll back at the first increase (§V-B).
+    size_t cutoff = 0;
+    double hot_prefix = 0.0;
+    double cold_suffix = cold_total;
+    double best = objective(h, ctx, hot_prefix, cold_suffix);
+    while (cutoff < n) {
+        double next_hot = hot_prefix + hot_cost[cutoff];
+        double next_cold = cold_suffix - cold_cost[cutoff];
+        double candidate = objective(h, ctx, next_hot, next_cold);
+        if (candidate >= best)
+            break;
+        best = candidate;
+        hot_prefix = next_hot;
+        cold_suffix = next_cold;
+        ++cutoff;
+    }
+
+    Partition p;
+    p.is_hot.assign(n, 0);
+    for (size_t i = 0; i < cutoff; ++i)
+        p.is_hot[order[i]] = 1;
+    p.serial = isSerial(h);
+    p.heuristic = heuristicName(h);
+    p.predicted_cycles = predictedRuntimeCycles(ctx, p.is_hot, p.serial);
+    return p;
+}
+
+std::vector<Partition>
+allHeuristicPartitions(const PartitionContext& ctx)
+{
+    std::vector<Heuristic> hs;
+    if (ctx.atomic_rmw) {
+        // Race-free RMW: no merge cost, serial operation never pays off
+        // under the model (§V-B), so only the Parallel heuristics run.
+        hs = {Heuristic::MinTimeParallel, Heuristic::MinByteParallel};
+    } else {
+        hs = {Heuristic::MinTimeParallel, Heuristic::MinTimeSerial,
+              Heuristic::MinByteParallel, Heuristic::MinByteSerial};
+    }
+    std::vector<Partition> out;
+    out.reserve(hs.size());
+    for (Heuristic h : hs)
+        out.push_back(runHeuristic(ctx, h));
+    return out;
+}
+
+Partition
+hotTilesPartition(const PartitionContext& ctx)
+{
+    std::vector<Partition> candidates = allHeuristicPartitions(ctx);
+    HT_ASSERT(!candidates.empty(), "no heuristics ran");
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i)
+        if (candidates[i].predicted_cycles < candidates[best].predicted_cycles)
+            best = i;
+    return candidates[best];
+}
+
+} // namespace hottiles

@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * The four HotTiles partitioning heuristics (§V-B, Fig 8, Table II) and
+ * the selector that runs all applicable ones and keeps the partitioning
+ * with the lowest final predicted runtime.  Each heuristic sorts the
+ * tiles by a hot-cold difference key and sweeps a cutoff index from the
+ * all-cold end, stopping at the first objective increase; total cost is
+ * O(N log N).
+ */
+
+#include "partition/partition.hpp"
+
+namespace hottiles {
+
+/** The four optimization subproblems of Fig 8. */
+enum class Heuristic
+{
+    MinTimeParallel,
+    MinTimeSerial,
+    MinByteParallel,
+    MinByteSerial,
+};
+
+/** Human-readable heuristic name ("MinTime Parallel", ...). */
+const char* heuristicName(Heuristic h);
+
+/**
+ * Solve one optimization subproblem and return its partitioning with
+ * the final (readjusted, bandwidth- and merge-aware) predicted runtime
+ * filled in.
+ */
+Partition runHeuristic(const PartitionContext& ctx, Heuristic h);
+
+/**
+ * The full HotTiles partitioner: run all four heuristics (only the two
+ * Parallel ones when the architecture has atomic RMW support) and keep
+ * the one with the lowest predicted runtime.
+ */
+Partition hotTilesPartition(const PartitionContext& ctx);
+
+/**
+ * Like hotTilesPartition but also returns every candidate (used by the
+ * heuristic-comparison experiment of Fig 12).
+ */
+std::vector<Partition> allHeuristicPartitions(const PartitionContext& ctx);
+
+} // namespace hottiles

@@ -1,0 +1,57 @@
+#include "partition/iunaware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "model/roofline.hpp"
+#include "partition/predicted_runtime.hpp"
+
+namespace hottiles {
+
+double
+iunawareHotFraction(const PartitionContext& ctx)
+{
+    const TileGrid& g = *ctx.grid;
+    RooflineEstimate th = rooflineWholeMatrix(
+        g.matrixRows(), g.matrixCols(), g.matrixNnz(), g.tileHeight(),
+        g.tileWidth(), *ctx.hot, ctx.kernel, ctx.bw_bytes_per_cycle);
+    RooflineEstimate tc = rooflineWholeMatrix(
+        g.matrixRows(), g.matrixCols(), g.matrixNnz(), g.tileHeight(),
+        g.tileWidth(), *ctx.cold, ctx.kernel, ctx.bw_bytes_per_cycle);
+    double ex_hw = th.total_cycles / ctx.hot->count;
+    double ex_cw = tc.total_cycles / ctx.cold->count;
+    HT_ASSERT(ex_hw + ex_cw > 0, "degenerate roofline estimates");
+    return ex_cw / (ex_cw + ex_hw);
+}
+
+Partition
+iunawarePartition(const PartitionContext& ctx, uint64_t seed)
+{
+    const size_t n = ctx.grid->numTiles();
+    double frac = iunawareHotFraction(ctx);
+    auto hot_count = static_cast<size_t>(
+        std::min<double>(std::round(frac * double(n)), double(n)));
+
+    // Random tile subset of the requested size (Fisher-Yates prefix).
+    std::vector<size_t> ids(n);
+    std::iota(ids.begin(), ids.end(), size_t(0));
+    Rng rng(seed);
+    for (size_t i = 0; i < hot_count && n > 1; ++i) {
+        size_t j = i + rng.nextBounded(n - i);
+        std::swap(ids[i], ids[j]);
+    }
+
+    Partition p;
+    p.is_hot.assign(n, 0);
+    for (size_t i = 0; i < hot_count; ++i)
+        p.is_hot[ids[i]] = 1;
+    p.serial = false;
+    p.heuristic = "IUnaware";
+    p.predicted_cycles = predictedRuntimeCycles(ctx, p.is_hot, false);
+    return p;
+}
+
+} // namespace hottiles

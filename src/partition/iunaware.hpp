@@ -1,0 +1,28 @@
+#pragma once
+
+/**
+ * @file
+ * The IMH-unaware heterogeneous baseline (§III-B, the AESPA-style
+ * strategy): whole-matrix Roofline models give per-type times th and
+ * tc; the Huang et al. fraction (Eq 1) decides how many tiles go hot;
+ * tiles are then assigned randomly.
+ */
+
+#include <cstdint>
+
+#include "partition/partition.hpp"
+
+namespace hottiles {
+
+/**
+ * Build the IUnaware partitioning of @p ctx's tile grid.  The fraction
+ * of tiles sent to hot workers is Ex_cw / (Ex_cw + Ex_hw) with
+ * Ex_hw = th / N_hw and Ex_cw = tc / N_cw (Eq 1); tile selection is
+ * uniformly random under @p seed.  Workers always operate in parallel.
+ */
+Partition iunawarePartition(const PartitionContext& ctx, uint64_t seed);
+
+/** The Eq 1 hot-tile fraction alone (exposed for tests and reports). */
+double iunawareHotFraction(const PartitionContext& ctx);
+
+} // namespace hottiles

@@ -1,0 +1,44 @@
+#include "partition/oracle.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "partition/predicted_runtime.hpp"
+
+namespace hottiles {
+
+Partition
+oraclePartition(const PartitionContext& ctx, size_t max_tiles)
+{
+    const size_t n = ctx.grid->numTiles();
+    HT_ASSERT(n <= max_tiles && n < 26,
+              "oracle partitioner is exponential; got ", n, " tiles");
+
+    Partition best;
+    best.predicted_cycles = std::numeric_limits<double>::infinity();
+    std::vector<uint8_t> is_hot(n, 0);
+
+    for (uint64_t mask = 0; mask < (uint64_t(1) << n); ++mask) {
+        for (size_t i = 0; i < n; ++i)
+            is_hot[i] = (mask >> i) & 1 ? 1 : 0;
+        AssignmentTotals totals = assignmentTotals(ctx, is_hot);
+        double parallel = predictedParallelCycles(ctx, totals);
+        if (parallel < best.predicted_cycles) {
+            best.is_hot = is_hot;
+            best.serial = false;
+            best.predicted_cycles = parallel;
+        }
+        if (!ctx.atomic_rmw) {
+            double serial = predictedSerialCycles(ctx, totals);
+            if (serial < best.predicted_cycles) {
+                best.is_hot = is_hot;
+                best.serial = true;
+                best.predicted_cycles = serial;
+            }
+        }
+    }
+    best.heuristic = "Oracle";
+    return best;
+}
+
+} // namespace hottiles

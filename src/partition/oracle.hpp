@@ -1,0 +1,22 @@
+#pragma once
+
+/**
+ * @file
+ * Exhaustive-search partitioner: evaluates every one of the 2^N hot/cold
+ * assignments (and both operation modes) under the model, returning the
+ * optimum of Eq 8.  Exponential — only usable for small tile counts; it
+ * exists to validate the heuristics in tests and ablations.
+ */
+
+#include "partition/partition.hpp"
+
+namespace hottiles {
+
+/**
+ * Optimal partitioning by brute force.
+ * @pre ctx has at most @p max_tiles tiles (default 20; hard panic above).
+ */
+Partition oraclePartition(const PartitionContext& ctx,
+                          size_t max_tiles = 20);
+
+} // namespace hottiles

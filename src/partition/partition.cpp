@@ -1,0 +1,91 @@
+#include "partition/partition.hpp"
+
+#include "common/error.hpp"
+#include "model/time_model.hpp"
+
+namespace hottiles {
+
+PartitionContext
+makePartitionContext(const TileGrid& grid, const WorkerTraits& hot,
+                     const WorkerTraits& cold, const KernelConfig& kernel,
+                     double bw_bytes_per_cycle, double t_merge_cycles,
+                     bool atomic_rmw, double hot_bw_bytes_per_cycle)
+{
+    HT_ASSERT(hot.role == WorkerRole::Hot, "hot traits not marked hot");
+    HT_ASSERT(cold.role == WorkerRole::Cold, "cold traits not marked cold");
+    HT_ASSERT(bw_bytes_per_cycle > 0, "bandwidth must be positive");
+
+    PartitionContext ctx;
+    ctx.grid = &grid;
+    ctx.hot = &hot;
+    ctx.cold = &cold;
+    ctx.kernel = kernel;
+    ctx.bw_bytes_per_cycle = bw_bytes_per_cycle;
+    ctx.hot_bw_bytes_per_cycle =
+        hot_bw_bytes_per_cycle > 0
+            ? std::min(hot_bw_bytes_per_cycle, bw_bytes_per_cycle)
+            : bw_bytes_per_cycle;
+    ctx.atomic_rmw = atomic_rmw;
+    ctx.t_merge_cycles = atomic_rmw ? 0.0 : t_merge_cycles;
+
+    ctx.estimates.resize(grid.numTiles());
+    for (size_t i = 0; i < grid.numTiles(); ++i) {
+        const Tile& t = grid.tile(i);
+        TileBytes hb = tileBytes(t, hot, kernel);
+        TileBytes cb = tileBytes(t, cold, kernel);
+        ctx.estimates[i].bh = hb.total();
+        ctx.estimates[i].bc = cb.total();
+        ctx.estimates[i].th =
+            tileTimeFromBytes(hb, double(t.nnz), hot, kernel).total;
+        ctx.estimates[i].tc =
+            tileTimeFromBytes(cb, double(t.nnz), cold, kernel).total;
+    }
+    return ctx;
+}
+
+std::vector<size_t>
+Partition::hotTiles() const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < is_hot.size(); ++i)
+        if (is_hot[i])
+            out.push_back(i);
+    return out;
+}
+
+std::vector<size_t>
+Partition::coldTiles() const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < is_hot.size(); ++i)
+        if (!is_hot[i])
+            out.push_back(i);
+    return out;
+}
+
+double
+Partition::hotTileFraction() const
+{
+    if (is_hot.empty())
+        return 0.0;
+    size_t hot = 0;
+    for (uint8_t h : is_hot)
+        hot += h ? 1 : 0;
+    return static_cast<double>(hot) / is_hot.size();
+}
+
+double
+Partition::hotNnzFraction(const TileGrid& grid) const
+{
+    HT_ASSERT(is_hot.size() == grid.numTiles(), "assignment size mismatch");
+    size_t hot = 0;
+    size_t total = 0;
+    for (size_t i = 0; i < is_hot.size(); ++i) {
+        total += grid.tile(i).nnz;
+        if (is_hot[i])
+            hot += grid.tile(i).nnz;
+    }
+    return total ? static_cast<double>(hot) / total : 0.0;
+}
+
+} // namespace hottiles

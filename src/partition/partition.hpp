@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Core partitioning types: the per-tile model estimates fed to the
+ * heuristics (th_i, tc_i, bh_i, bc_i in §V-A) and the resulting
+ * hot/cold assignment.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/worker_traits.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+/** Model estimates for one tile under each worker type (§V-A). */
+struct TileEstimate
+{
+    double th = 0;  //!< hot-worker execution cycles (one worker)
+    double tc = 0;  //!< cold-worker execution cycles (one worker)
+    double bh = 0;  //!< bytes moved if executed hot
+    double bc = 0;  //!< bytes moved if executed cold
+};
+
+/**
+ * Everything the partitioner needs about the platform and the matrix:
+ * the tile grid, the two worker-type descriptions, the kernel, shared
+ * memory bandwidth, the merge cost, and the per-tile estimates
+ * (maximum-reuse assumption, §IV-C).
+ */
+struct PartitionContext
+{
+    const TileGrid* grid = nullptr;
+    const WorkerTraits* hot = nullptr;
+    const WorkerTraits* cold = nullptr;
+    KernelConfig kernel;
+    double bw_bytes_per_cycle = 1;
+    /**
+     * Effective bandwidth available to the hot workers alone; equals
+     * bw_bytes_per_cycle on-die, but the off-die Sextans of Fig 9(b) is
+     * additionally capped by its PCIe link.  Used by the predicted
+     * runtime formulas' hot-phase bandwidth terms.
+     */
+    double hot_bw_bytes_per_cycle = 1;
+    /** Cost of merging the private output buffers after parallel runs. */
+    double t_merge_cycles = 0;
+    /**
+     * True when the architecture offers race-free read-modify-write
+     * (PIUMA's atomic engine): no private buffers, t_merge = 0, and only
+     * the Parallel heuristics apply (§V-B).
+     */
+    bool atomic_rmw = false;
+    std::vector<TileEstimate> estimates;  //!< one per grid tile
+};
+
+/**
+ * Run the model over every tile of @p grid ("matrix scan" of Fig 7) and
+ * assemble a PartitionContext.  @p t_merge_cycles is ignored (forced 0)
+ * when @p atomic_rmw is set.
+ */
+PartitionContext makePartitionContext(
+    const TileGrid& grid, const WorkerTraits& hot, const WorkerTraits& cold,
+    const KernelConfig& kernel, double bw_bytes_per_cycle,
+    double t_merge_cycles, bool atomic_rmw,
+    double hot_bw_bytes_per_cycle = 0 /* 0 = same as shared bandwidth */);
+
+/** A hot/cold assignment of tiles plus its predicted cost. */
+struct Partition
+{
+    std::vector<uint8_t> is_hot;   //!< per grid-tile flag
+    bool serial = false;           //!< worker types run serially
+    double predicted_cycles = 0;   //!< final predicted runtime (§V-B)
+    std::string heuristic;         //!< which strategy produced this
+
+    /** Tile ids assigned hot, in grid (tiled row-major) order. */
+    std::vector<size_t> hotTiles() const;
+    /** Tile ids assigned cold. */
+    std::vector<size_t> coldTiles() const;
+    /** Fraction of tiles assigned hot. */
+    double hotTileFraction() const;
+    /** Fraction of nonzeros assigned hot (needs the grid for weights). */
+    double hotNnzFraction(const TileGrid& grid) const;
+};
+
+} // namespace hottiles

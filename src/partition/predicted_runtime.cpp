@@ -1,0 +1,166 @@
+#include "partition/predicted_runtime.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "model/memory_model.hpp"
+#include "model/time_model.hpp"
+
+namespace hottiles {
+
+namespace {
+
+/**
+ * Extra Dout bytes charged to each tile of one worker type once the
+ * assignment is known (§IV-C).  Under the maximum-reuse assumption,
+ * tiles with Dout inter-tile reuse were charged zero; in reality the
+ * first tile of the type in a row panel streams the panel's Dout
+ * (tiled traversal), or each r_id's first-appearance tile fetches that
+ * row on demand (untiled traversal).  Returns per-tile extra bytes
+ * (read + write) for tiles owned by the type; 0 elsewhere.
+ */
+std::vector<double>
+doutReadjustment(const PartitionContext& ctx,
+                 const std::vector<uint8_t>& is_hot, bool for_hot)
+{
+    const TileGrid& grid = *ctx.grid;
+    const WorkerTraits& w = for_hot ? *ctx.hot : *ctx.cold;
+    std::vector<double> extra(grid.numTiles(), 0.0);
+    if (w.dout_reuse != ReuseType::InterTile)
+        return extra;
+
+    const double row_bytes = denseRowBytes(w, ctx.kernel);
+    std::vector<uint32_t> rid_stamp(grid.tileHeight(), 0);
+    uint32_t generation = 0;
+
+    for (Index p = 0; p < grid.numPanels(); ++p) {
+        auto [first, last] = grid.panelTiles(p);
+        if (w.traversal == TraversalOrder::TiledRowMajor) {
+            // The first owned tile streams the whole panel's Dout rows
+            // in and the last one writes them back; charge both to the
+            // first tile (it bounds the predicted time identically).
+            for (size_t t = first; t < last; ++t) {
+                if ((is_hot[t] != 0) == for_hot) {
+                    extra[t] = 2.0 * row_bytes * grid.tile(t).height;
+                    break;
+                }
+            }
+        } else {
+            // Untiled: each r_id's first appearance among owned tiles
+            // costs one demand read + one write of the Dout row.
+            ++generation;
+            for (size_t t = first; t < last; ++t) {
+                if ((is_hot[t] != 0) != for_hot)
+                    continue;
+                double new_rids = 0;
+                for (Index rid : grid.tileRows(t)) {
+                    Index local = rid - grid.tile(t).row0;
+                    if (rid_stamp[local] != generation) {
+                        rid_stamp[local] = generation;
+                        new_rids += 1.0;
+                    }
+                }
+                extra[t] = 2.0 * row_bytes * new_rids;
+            }
+        }
+    }
+    return extra;
+}
+
+} // namespace
+
+AssignmentTotals
+assignmentTotals(const PartitionContext& ctx,
+                 const std::vector<uint8_t>& is_hot, bool readjust)
+{
+    const TileGrid& grid = *ctx.grid;
+    HT_ASSERT(is_hot.size() == grid.numTiles(), "assignment size mismatch");
+    HT_ASSERT(ctx.estimates.size() == grid.numTiles(), "estimates missing");
+
+    std::vector<double> extra_hot;
+    std::vector<double> extra_cold;
+    if (readjust) {
+        extra_hot = doutReadjustment(ctx, is_hot, /*for_hot=*/true);
+        extra_cold = doutReadjustment(ctx, is_hot, /*for_hot=*/false);
+    }
+
+    AssignmentTotals totals;
+    const double n_hw = ctx.hot->count;
+    const double n_cw = ctx.cold->count;
+    for (size_t i = 0; i < grid.numTiles(); ++i) {
+        const Tile& tile = grid.tile(i);
+        const TileEstimate& e = ctx.estimates[i];
+        if (is_hot[i]) {
+            double extra = readjust ? extra_hot[i] : 0.0;
+            double bytes = e.bh + extra;
+            double time = e.th;
+            if (extra > 0.0) {
+                TileBytes tb = tileBytes(tile, *ctx.hot, ctx.kernel);
+                tb.dout_read += extra / 2.0;
+                tb.dout_write += extra / 2.0;
+                time = tileTimeFromBytes(tb, double(tile.nnz), *ctx.hot,
+                                         ctx.kernel).total;
+            }
+            totals.bh_total += bytes;
+            totals.th_total += time / n_hw;
+        } else {
+            double extra = readjust ? extra_cold[i] : 0.0;
+            double bytes = e.bc + extra;
+            double time = e.tc;
+            if (extra > 0.0) {
+                TileBytes tb = tileBytes(tile, *ctx.cold, ctx.kernel);
+                tb.dout_read += extra / 2.0;
+                tb.dout_write += extra / 2.0;
+                time = tileTimeFromBytes(tb, double(tile.nnz), *ctx.cold,
+                                         ctx.kernel).total;
+            }
+            totals.bc_total += bytes;
+            totals.tc_total += time / n_cw;
+        }
+    }
+    return totals;
+}
+
+double
+predictedParallelCycles(const PartitionContext& ctx,
+                        const AssignmentTotals& t)
+{
+    double exec = std::max(std::max(t.th_total, t.tc_total),
+                           t.bTotal() / ctx.bw_bytes_per_cycle);
+    // Off-die hot workers are additionally limited by their link.
+    exec = std::max(exec, t.bh_total / ctx.hot_bw_bytes_per_cycle);
+    return exec + ctx.t_merge_cycles;
+}
+
+double
+predictedSerialCycles(const PartitionContext& ctx, const AssignmentTotals& t)
+{
+    double hot_phase =
+        std::max(t.th_total, t.bh_total / ctx.hot_bw_bytes_per_cycle);
+    double cold_phase =
+        std::max(t.tc_total, t.bc_total / ctx.bw_bytes_per_cycle);
+    return hot_phase + cold_phase;
+}
+
+double
+predictedRuntimeCycles(const PartitionContext& ctx,
+                       const std::vector<uint8_t>& is_hot, bool serial)
+{
+    AssignmentTotals totals = assignmentTotals(ctx, is_hot);
+    return serial ? predictedSerialCycles(ctx, totals)
+                  : predictedParallelCycles(ctx, totals);
+}
+
+double
+predictedHomogeneousCycles(const PartitionContext& ctx, bool hot)
+{
+    std::vector<uint8_t> is_hot(ctx.grid->numTiles(), hot ? 1 : 0);
+    AssignmentTotals totals = assignmentTotals(ctx, is_hot);
+    if (hot)
+        return std::max(totals.th_total,
+                        totals.bh_total / ctx.hot_bw_bytes_per_cycle);
+    return std::max(totals.tc_total,
+                    totals.bc_total / ctx.bw_bytes_per_cycle);
+}
+
+} // namespace hottiles

@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Final predicted-runtime evaluation (last column of Fig 8) including
+ * the §IV-C reuse readjustment: once the assignment of tiles to worker
+ * types is known, inter-tile Dout reuse is re-charged to the first tile
+ * of each worker type in every row panel (tiled traversal) or to the
+ * first tile containing each r_id (untiled traversal).
+ */
+
+#include "partition/partition.hpp"
+
+namespace hottiles {
+
+/** Totals over an assignment after readjustment (Eq 2-3). */
+struct AssignmentTotals
+{
+    double th_total = 0;  //!< sum over hot tiles of th_i / N_hw
+    double tc_total = 0;  //!< sum over cold tiles of tc_i / N_cw
+    double bh_total = 0;  //!< bytes moved by hot workers
+    double bc_total = 0;  //!< bytes moved by cold workers
+
+    double bTotal() const { return bh_total + bc_total; }
+};
+
+/**
+ * Compute readjusted totals for @p is_hot.  Set @p readjust to false to
+ * get the raw maximum-reuse totals (what the cutoff search uses).
+ */
+AssignmentTotals assignmentTotals(const PartitionContext& ctx,
+                                  const std::vector<uint8_t>& is_hot,
+                                  bool readjust = true);
+
+/** Parallel-operation predicted runtime: Eq 5 / Fig 8 rows 1 and 3. */
+double predictedParallelCycles(const PartitionContext& ctx,
+                               const AssignmentTotals& t);
+
+/** Serial-operation predicted runtime: Eq 7 / Fig 8 rows 2 and 4. */
+double predictedSerialCycles(const PartitionContext& ctx,
+                             const AssignmentTotals& t);
+
+/** Final predicted runtime for an assignment and operation mode. */
+double predictedRuntimeCycles(const PartitionContext& ctx,
+                              const std::vector<uint8_t>& is_hot,
+                              bool serial);
+
+/**
+ * Predicted runtime of a homogeneous execution (every tile on one
+ * type): max(time_total, bytes/BW), with readjustment; no merge cost.
+ */
+double predictedHomogeneousCycles(const PartitionContext& ctx, bool hot);
+
+} // namespace hottiles

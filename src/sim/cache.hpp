@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Set-associative LRU cache at line granularity.  The SPADE PEs read
+ * the dense input through a private L1 (Fig 2(a)); the analytical model
+ * deliberately ignores this reuse (§IV-C), so the simulator modeling it
+ * is what produces the paper's ColdOnly prediction-error signature
+ * (Fig 17).  Also models the much smaller PIUMA MTP caches.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace hottiles {
+
+/** Line-granular set-associative cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes  total capacity (rounded down to full sets)
+     * @param ways        associativity
+     * @param line_bytes  line size
+     */
+    Cache(uint64_t size_bytes, uint32_t ways, uint32_t line_bytes = 64);
+
+    /**
+     * Access the line identified by @p line_id (an abstract line index,
+     * not a byte address).  Returns true on hit; on miss the line is
+     * inserted, evicting the LRU way.
+     */
+    bool access(uint64_t line_id);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    double
+    hitRate() const
+    {
+        uint64_t n = hits_ + misses_;
+        return n ? double(hits_) / double(n) : 0.0;
+    }
+
+    uint32_t numSets() const { return num_sets_; }
+    uint32_t ways() const { return ways_; }
+
+    /** Drop all contents and statistics. */
+    void reset();
+
+  private:
+    uint32_t ways_;
+    uint32_t num_sets_;
+    // tags_[set * ways + way]; ways kept in LRU order (front = MRU).
+    std::vector<uint64_t> tags_;
+    std::vector<uint8_t> valid_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace hottiles

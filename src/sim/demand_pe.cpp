@@ -1,0 +1,137 @@
+#include "sim/demand_pe.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "sim/cache.hpp"
+
+namespace hottiles {
+
+std::vector<PanelSlice>
+sliceUntiledWork(const UntiledWork& work, Index chunk_rows)
+{
+    HT_ASSERT(chunk_rows > 0, "chunk_rows must be positive");
+    std::vector<PanelSlice> slices;
+    for (size_t p = 0; p < work.panels.size(); ++p) {
+        const PanelWork& pw = work.panels[p];
+        const size_t n = pw.rows.size();
+        size_t begin = 0;
+        while (begin < n) {
+            // Cover up to chunk_rows distinct row ids, row-aligned.
+            Index first_row = pw.rows[begin];
+            size_t end = begin;
+            while (end < n && pw.rows[end] < first_row + chunk_rows)
+                ++end;
+            slices.push_back({p, begin, end});
+            begin = end;
+        }
+    }
+    return slices;
+}
+
+DemandBuild
+buildDemandSegments(const UntiledWork& work,
+                    const std::vector<PanelSlice>& slices,
+                    const WorkerTraits& traits, const KernelConfig& kernel,
+                    const DemandPeParams& params, uint32_t line_bytes)
+{
+    DemandBuild out;
+    std::unique_ptr<Cache> l1;
+    if (params.l1_bytes > 0)
+        l1 = std::make_unique<Cache>(params.l1_bytes, params.l1_ways,
+                                     line_bytes);
+
+    const uint32_t dense_row_bytes = kernel.k * traits.value_bytes;
+    const uint32_t row_lines =
+        static_cast<uint32_t>(ceilDiv(dense_row_bytes, line_bytes));
+    const double sparse_bytes_per_nnz =
+        traits.format == SparseFormat::CooLike
+            ? 2.0 * traits.index_bytes + traits.value_bytes
+            : double(traits.index_bytes) + traits.value_bytes;
+    const double sparse_bytes_per_row =
+        traits.format == SparseFormat::CsrLike ? traits.index_bytes : 0.0;
+    const double cycles_per_nnz =
+        (traits.compute_scales_with_ai ? kernel.ai_factor : 1.0) /
+        traits.macs_per_cycle;
+
+    const bool sddmm = kernel.kind == SparseKernel::Sddmm;
+    double sparse_acc = 0.0;  // sparse stream bytes not yet a full line
+    double out_acc = 0.0;     // SDDMM scalar-output bytes not yet a line
+
+    SegSpec seg{};
+    auto flush = [&]() {
+        if (seg.nnz > 0 || seg.read_lines > 0 || seg.write_lines > 0) {
+            out.segs.push_back(seg);
+            seg = SegSpec{};
+        }
+    };
+    auto addSparseBytes = [&](double bytes) {
+        sparse_acc += bytes;
+        while (sparse_acc >= double(line_bytes)) {
+            sparse_acc -= double(line_bytes);
+            ++seg.read_lines;
+        }
+    };
+    auto addOutputBytes = [&](double bytes) {
+        out_acc += bytes;
+        while (out_acc >= double(line_bytes)) {
+            out_acc -= double(line_bytes);
+            ++seg.write_lines;
+        }
+    };
+
+    for (const PanelSlice& sl : slices) {
+        const PanelWork& pw = work.panels.at(sl.panel);
+        for (size_t i = sl.begin; i < sl.end; ++i) {
+            const Index r = pw.rows[i];
+            const Index c = pw.cols[i];
+            const bool row_start = i == sl.begin || pw.rows[i - 1] != r;
+            const bool row_end = i + 1 == sl.end || pw.rows[i + 1] != r;
+
+            addSparseBytes(sparse_bytes_per_nnz +
+                           (row_start ? sparse_bytes_per_row : 0.0));
+
+            if (row_start)
+                seg.read_lines += row_lines;  // Dout/U row fetch (bypass)
+
+            // Din row through the L1 when present; every line otherwise.
+            if (l1) {
+                for (uint32_t j = 0; j < row_lines; ++j) {
+                    uint64_t line_id = uint64_t(c) * row_lines + j;
+                    if (l1->access(line_id))
+                        ;  // hit: no memory traffic
+                    else
+                        ++seg.read_lines;
+                }
+            } else {
+                seg.read_lines += row_lines;
+            }
+
+            seg.compute_cycles += static_cast<float>(cycles_per_nnz);
+            ++seg.nnz;
+            ++out.nnz;
+            out.flops += kernel.flopsPerNnz();
+
+            if (sddmm)
+                addOutputBytes(traits.value_bytes);  // one output scalar
+            else if (row_end)
+                seg.write_lines += row_lines;  // Dout row write-back
+
+            if (seg.nnz >= params.segment_nnz && row_end)
+                flush();
+            else if (seg.nnz >= 4 * params.segment_nnz)
+                flush();  // very long rows still get pipelined
+        }
+        flush();
+    }
+    flush();
+
+    if (l1) {
+        out.din_hits = l1->hits();
+        out.din_misses = l1->misses();
+    }
+    return out;
+}
+
+} // namespace hottiles

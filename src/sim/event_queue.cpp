@@ -1,0 +1,42 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    HT_ASSERT(cb, "scheduling an empty callback");
+    if (when < now_)
+        when = now_;
+    heap_.push(Event{when, seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast is the
+    // standard idiom here and safe because we pop immediately.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    HT_ASSERT(ev.when >= now_, "time went backwards");
+    now_ = ev.when;
+    ++processed_;
+    ev.cb();
+    return true;
+}
+
+Tick
+EventQueue::runUntilEmpty(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        if (!runOne())
+            break;
+    }
+    return now_;
+}
+
+} // namespace hottiles

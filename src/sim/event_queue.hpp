@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Event-driven simulation core: a time-ordered queue of callbacks with
+ * deterministic FIFO ordering for same-tick events.  All simulator
+ * components (memory controller, links, workers) schedule against one
+ * queue; the simulation is single-threaded and bit-reproducible.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hottiles {
+
+/** Minimal discrete-event scheduler. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time (cycles). */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute tick @p when (clamped to now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay cycles from now. */
+    void scheduleIn(Tick delay, Callback cb) { schedule(now_ + delay, std::move(cb)); }
+
+    /** Pop and run the earliest event; false if the queue is empty. */
+    bool runOne();
+
+    /**
+     * Run until the queue drains (or @p limit is reached), returning the
+     * tick of the last executed event.
+     */
+    Tick runUntilEmpty(Tick limit = ~Tick(0));
+
+    size_t pending() const { return heap_.size(); }
+    uint64_t processed() const { return processed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Tick now_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t processed_ = 0;
+};
+
+} // namespace hottiles

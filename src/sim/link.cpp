@@ -1,0 +1,39 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+Link::Link(EventQueue& eq, MemPort& downstream, double bytes_per_cycle,
+           Tick latency, uint32_t line_bytes)
+    : eq_(eq), downstream_(downstream), bytes_per_cycle_(bytes_per_cycle),
+      latency_(latency),
+      cycles_per_line_(double(line_bytes) / bytes_per_cycle)
+{
+    HT_ASSERT(bytes_per_cycle > 0, "bad link bandwidth");
+}
+
+void
+Link::access(uint64_t lines, bool write, EventQueue::Callback cb)
+{
+    if (lines == 0) {
+        if (cb)
+            eq_.schedule(eq_.now(), std::move(cb));
+        return;
+    }
+    lines_forwarded_ += lines;
+    const double service = double(lines) * cycles_per_line_;
+    const double start = std::max(double(eq_.now()), next_free_);
+    next_free_ = start + service;
+    busy_cycles_ += service;
+
+    auto crossed = static_cast<Tick>(std::ceil(next_free_ + double(latency_)));
+    eq_.schedule(crossed, [this, lines, write, cb = std::move(cb)]() mutable {
+        downstream_.access(lines, write, std::move(cb));
+    });
+}
+
+} // namespace hottiles

@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Point-to-point link model (the PCIe attachment of the off-die Sextans
+ * in the SPADE-Sextans+PCIe architecture, §VI-A(b)).  A link is a
+ * MemPort that serializes traffic through its own token bucket and then
+ * forwards the request to the downstream port, so the effective latency
+ * is link queuing + link transfer + downstream time, and the effective
+ * bandwidth is min(link, downstream share).
+ */
+
+#include "sim/memory_system.hpp"
+
+namespace hottiles {
+
+/** Bandwidth-limited, fixed-latency link in front of another MemPort. */
+class Link : public MemPort
+{
+  public:
+    Link(EventQueue& eq, MemPort& downstream, double bytes_per_cycle,
+         Tick latency, uint32_t line_bytes = 64);
+
+    void access(uint64_t lines, bool write, EventQueue::Callback cb) override;
+
+    uint64_t linesForwarded() const { return lines_forwarded_; }
+    double busyCycles() const { return busy_cycles_; }
+
+  private:
+    EventQueue& eq_;
+    MemPort& downstream_;
+    double bytes_per_cycle_;
+    Tick latency_;
+    double cycles_per_line_;
+    double next_free_ = 0.0;
+    double busy_cycles_ = 0.0;
+    uint64_t lines_forwarded_ = 0;
+};
+
+} // namespace hottiles

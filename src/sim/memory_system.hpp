@@ -1,0 +1,83 @@
+#pragma once
+
+/**
+ * @file
+ * Main-memory model: a FIFO controller with a finite service rate
+ * (bytes/cycle) and a fixed access latency.  Requests of N cache lines
+ * occupy the controller for N x (line/rate) cycles; queuing delay under
+ * contention emerges from the token-bucket availability time.  This is
+ * the shared resource whose saturation the HotTiles heuristics reason
+ * about (Eq 4-8).
+ */
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace hottiles {
+
+/** Abstract memory-side port: transfer lines, get a completion callback. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /**
+     * Transfer @p lines cache lines.  @p write selects direction (for
+     * accounting only; reads and writes share the controller).  @p cb
+     * fires when the last line has been transferred and the fixed
+     * latency has elapsed; it may be empty for fire-and-forget writes.
+     */
+    virtual void access(uint64_t lines, bool write,
+                        EventQueue::Callback cb) = 0;
+};
+
+/** The shared bandwidth-limited main memory. */
+class MemorySystem : public MemPort
+{
+  public:
+    /**
+     * @param bytes_per_cycle  peak bandwidth at the simulation clock
+     * @param fixed_latency    DRAM access latency added to every request
+     * @param line_bytes       transfer granularity (default 64 B)
+     */
+    MemorySystem(EventQueue& eq, double bytes_per_cycle, Tick fixed_latency,
+                 uint32_t line_bytes = 64);
+
+    void access(uint64_t lines, bool write, EventQueue::Callback cb) override;
+
+    uint64_t linesRead() const { return lines_read_; }
+    uint64_t linesWritten() const { return lines_written_; }
+    uint64_t linesTotal() const { return lines_read_ + lines_written_; }
+    double bytesTransferred() const
+    { return double(linesTotal()) * line_bytes_; }
+
+    /** Cycles the controller spent transferring data. */
+    double busyCycles() const { return busy_cycles_; }
+
+    /** Achieved bandwidth in bytes/cycle over @p elapsed cycles. */
+    double
+    achievedBytesPerCycle(Tick elapsed) const
+    {
+        return elapsed ? bytesTransferred() / double(elapsed) : 0.0;
+    }
+
+    double peakBytesPerCycle() const { return bytes_per_cycle_; }
+    uint32_t lineBytes() const { return line_bytes_; }
+
+    /** Zero the statistics (the schedule state is kept). */
+    void resetStats();
+
+  private:
+    EventQueue& eq_;
+    double bytes_per_cycle_;
+    Tick fixed_latency_;
+    uint32_t line_bytes_;
+    double cycles_per_line_;
+    double next_free_ = 0.0;
+    double busy_cycles_ = 0.0;
+    uint64_t lines_read_ = 0;
+    uint64_t lines_written_ = 0;
+};
+
+} // namespace hottiles

@@ -1,0 +1,34 @@
+#include "sim/merger.hpp"
+
+#include "common/units.hpp"
+
+namespace hottiles {
+
+uint64_t
+mergeLines(uint64_t rows, uint32_t k, uint32_t value_bytes,
+           uint32_t line_bytes)
+{
+    uint64_t buffer_lines = ceilDiv(rows * k * value_bytes, line_bytes);
+    return 3 * buffer_lines;  // read both private buffers, write one
+}
+
+void
+startMerge(EventQueue& eq, MemPort& mem, uint64_t rows, uint32_t k,
+           uint32_t value_bytes, EventQueue::Callback on_done,
+           uint32_t line_bytes)
+{
+    uint64_t buffer_lines = ceilDiv(rows * k * value_bytes, line_bytes);
+    mem.access(2 * buffer_lines, /*write=*/false, {});
+    mem.access(buffer_lines, /*write=*/true, std::move(on_done));
+    (void)eq;
+}
+
+double
+mergeCycles(uint64_t rows, uint32_t k, uint32_t value_bytes,
+            double bw_bytes_per_cycle, uint32_t line_bytes)
+{
+    return double(mergeLines(rows, k, value_bytes, line_bytes)) * line_bytes /
+           bw_bytes_per_cycle;
+}
+
+} // namespace hottiles

@@ -1,0 +1,36 @@
+#pragma once
+
+/**
+ * @file
+ * The Merger module (§VI-A): when heterogeneous worker types run in
+ * parallel without race-free RMW support, each type accumulates into a
+ * private output buffer; the Merger reads both buffers and writes the
+ * combined result after execution.  Its cost is data-independent
+ * (§V-A), which is what makes t_merge constant across partitionings.
+ */
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/memory_system.hpp"
+
+namespace hottiles {
+
+/** Estimated merge traffic in cache lines: read 2 buffers, write 1. */
+uint64_t mergeLines(uint64_t rows, uint32_t k, uint32_t value_bytes,
+                    uint32_t line_bytes = 64);
+
+/**
+ * Issue the merge traffic against @p mem at the current tick and return
+ * once it drains (the caller runs the queue).  @p on_done fires at
+ * completion.
+ */
+void startMerge(EventQueue& eq, MemPort& mem, uint64_t rows, uint32_t k,
+                uint32_t value_bytes, EventQueue::Callback on_done,
+                uint32_t line_bytes = 64);
+
+/** Analytical t_merge in cycles for the partitioner (Eq 5). */
+double mergeCycles(uint64_t rows, uint32_t k, uint32_t value_bytes,
+                   double bw_bytes_per_cycle, uint32_t line_bytes = 64);
+
+} // namespace hottiles

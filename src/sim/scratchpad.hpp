@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Scratchpad capacity bookkeeping.  Unlike caches, scratchpads have no
+ * miss handling: a worker must stream whole dense tiles in before use
+ * (Fig 3), so the simulator only needs capacity checks — timing comes
+ * from the DMA stream requests the workers issue.
+ */
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+/** A fixed-capacity software-managed local memory. */
+class Scratchpad
+{
+  public:
+    explicit Scratchpad(uint64_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    uint64_t capacity() const { return capacity_; }
+    uint64_t used() const { return used_; }
+    uint64_t free() const { return capacity_ - used_; }
+
+    /** True if @p bytes more would fit. */
+    bool fits(uint64_t bytes) const { return used_ + bytes <= capacity_; }
+
+    /** Claim @p bytes. @pre fits(bytes). */
+    void
+    allocate(uint64_t bytes)
+    {
+        HT_ASSERT(fits(bytes), "scratchpad overflow: want ", bytes,
+                  " with ", free(), " free of ", capacity_);
+        used_ += bytes;
+    }
+
+    /** Release @p bytes. @pre bytes <= used(). */
+    void
+    release(uint64_t bytes)
+    {
+        HT_ASSERT(bytes <= used_, "scratchpad underflow");
+        used_ -= bytes;
+    }
+
+    /** Largest tile width whose dense tile fits @p buffers times. */
+    static uint64_t
+    maxTileDim(uint64_t capacity_bytes, uint32_t k, uint32_t value_bytes,
+               uint32_t buffers)
+    {
+        uint64_t row = uint64_t(k) * value_bytes * buffers;
+        return row ? capacity_bytes / row : 0;
+    }
+
+  private:
+    uint64_t capacity_;
+    uint64_t used_ = 0;
+};
+
+} // namespace hottiles

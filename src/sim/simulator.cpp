@@ -1,0 +1,338 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "sim/demand_pe.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/merger.hpp"
+#include "sim/stream_pe.hpp"
+#include "sim/trace.hpp"
+#include "sim/worker.hpp"
+#include "sim/worklist.hpp"
+
+namespace hottiles {
+
+namespace {
+
+/**
+ * Load-balanced panel shares: panels are assigned whole (the SPADE
+ * race-freedom rule — all of a row panel's tiles go to one PE) using
+ * greedy longest-processing-time by nonzero count, so a power-law hub
+ * panel does not serialize one PE.  Each share keeps panel order.
+ */
+std::vector<std::vector<size_t>>
+balancedShares(const std::vector<uint64_t>& panel_nnz, uint32_t count)
+{
+    const size_t n = panel_nnz.size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t(0));
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return panel_nnz[a] > panel_nnz[b];
+    });
+    std::vector<uint64_t> load(count, 0);
+    std::vector<std::vector<size_t>> shares(count);
+    for (size_t p : order) {
+        uint32_t best = 0;
+        for (uint32_t w = 1; w < count; ++w)
+            if (load[w] < load[best])
+                best = w;
+        load[best] += panel_nnz[p];
+        shares[best].push_back(p);
+    }
+    for (auto& s : shares)
+        std::sort(s.begin(), s.end());
+    return shares;
+}
+
+/** Functionally accumulate one nonzero set into dout (fp32 like the HW). */
+void
+accumulate(DenseMatrix& dout, const DenseMatrix& din, const Index* rows,
+           const Index* cols, const Value* vals, size_t n)
+{
+    const Index k = din.cols();
+    for (size_t i = 0; i < n; ++i) {
+        const Value* in = din.row(cols[i]);
+        Value* out = dout.row(rows[i]);
+        const Value v = vals[i];
+        for (Index j = 0; j < k; ++j)
+            out[j] += v * in[j];
+    }
+}
+
+struct TypeRun
+{
+    std::vector<std::unique_ptr<PipelinedWorker>> pes;
+    std::vector<std::unique_ptr<Link>> ports;  //!< per-PE port width limits
+    uint64_t nnz = 0;
+    double flops = 0;
+    Tick start = 0;
+    Tick finish = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t stream_lines = 0;
+
+    bool empty() const { return pes.empty(); }
+
+    void
+    startAll(EventQueue& eq)
+    {
+        start = eq.now();
+        for (auto& pe : pes)
+            pe->start();
+    }
+
+    void
+    collectFinish()
+    {
+        for (auto& pe : pes)
+            finish = std::max(finish, pe->stats().finish);
+    }
+};
+
+} // namespace
+
+SimOutput
+simulateExecution(const Architecture& arch, const TileGrid& grid,
+                  const std::vector<uint8_t>& is_hot, bool serial,
+                  const KernelConfig& kernel, const SimConfig& cfg)
+{
+    HT_ASSERT(is_hot.size() == grid.numTiles(), "assignment size mismatch");
+
+    std::vector<size_t> hot_ids;
+    std::vector<size_t> cold_ids;
+    for (size_t i = 0; i < is_hot.size(); ++i)
+        (is_hot[i] ? hot_ids : cold_ids).push_back(i);
+    HT_ASSERT(hot_ids.empty() || arch.hot.count > 0,
+              "hot tiles assigned but architecture has no hot workers");
+    HT_ASSERT(cold_ids.empty() || arch.cold.count > 0,
+              "cold tiles assigned but architecture has no cold workers");
+
+    UntiledWork cold_work = buildUntiledWork(grid, cold_ids);
+    TiledWork hot_work = buildTiledWork(grid, hot_ids);
+
+    EventQueue eq;
+    MemorySystem mem(eq, arch.bwBytesPerCycle(), arch.mem_latency,
+                     arch.line_bytes);
+    std::unique_ptr<Link> pcie;
+    MemPort* hot_port = &mem;
+    if (arch.pcie_gbps > 0) {
+        pcie = std::make_unique<Link>(eq, mem, arch.pcie_gbps / arch.freq_ghz,
+                                      arch.pcie_latency, arch.line_bytes);
+        hot_port = pcie.get();
+    }
+
+    // Build the cold PEs (demand access, untiled row-major panels).
+    TypeRun cold;
+    if (!cold_work.panels.empty()) {
+        // Distribute row-aligned chunks (§VII-A: 64 contiguous rows per
+        // SPADE chunk) so hub rows do not serialize one PE.
+        std::vector<PanelSlice> slices =
+            sliceUntiledWork(cold_work, arch.cold_pe.chunk_rows);
+        std::vector<uint64_t> slice_nnz(slices.size());
+        for (size_t s = 0; s < slices.size(); ++s)
+            slice_nnz[s] = slices[s].nnz();
+        auto shares = balancedShares(slice_nnz, arch.cold.count);
+        for (uint32_t w = 0; w < arch.cold.count; ++w) {
+            if (shares[w].empty())
+                continue;
+            std::vector<PanelSlice> mine;
+            mine.reserve(shares[w].size());
+            for (size_t s : shares[w])
+                mine.push_back(slices[s]);
+            DemandBuild b = buildDemandSegments(cold_work, mine, arch.cold,
+                                                kernel, arch.cold_pe,
+                                                arch.line_bytes);
+            cold.nnz += b.nnz;
+            cold.flops += b.flops;
+            cold.cache_hits += b.din_hits;
+            cold.cache_misses += b.din_misses;
+            MemPort* port = &mem;
+            if (arch.cold_pe.port_bytes_per_cycle > 0) {
+                cold.ports.push_back(std::make_unique<Link>(
+                    eq, mem, arch.cold_pe.port_bytes_per_cycle, Tick(0),
+                    arch.line_bytes));
+                port = cold.ports.back().get();
+            }
+            cold.pes.push_back(std::make_unique<PipelinedWorker>(
+                arch.cold.name + " #" + std::to_string(w), eq, *port,
+                arch.cold_pe.depth, std::move(b.segs)));
+        }
+    }
+
+    // Build the hot PEs (streaming, tiled row-major panels).
+    TypeRun hot;
+    if (!hot_work.panel_tiles.empty()) {
+        std::vector<uint64_t> panel_nnz(hot_work.panel_tiles.size());
+        for (size_t p = 0; p < hot_work.panel_tiles.size(); ++p)
+            for (size_t tid : hot_work.panel_tiles[p])
+                panel_nnz[p] += grid.tile(tid).nnz;
+        auto shares = balancedShares(panel_nnz, arch.hot.count);
+        for (uint32_t w = 0; w < arch.hot.count; ++w) {
+            if (shares[w].empty())
+                continue;
+            StreamBuild b = buildStreamSegments(hot_work, shares[w], grid,
+                                                arch.hot, kernel,
+                                                arch.hot_pe,
+                                                arch.line_bytes);
+            hot.nnz += b.nnz;
+            hot.flops += b.flops;
+            hot.stream_lines += b.din_stream_lines;
+            MemPort* port = hot_port;
+            if (arch.hot_pe.port_bytes_per_cycle > 0) {
+                hot.ports.push_back(std::make_unique<Link>(
+                    eq, *hot_port, arch.hot_pe.port_bytes_per_cycle, Tick(0),
+                    arch.line_bytes));
+                port = hot.ports.back().get();
+            }
+            hot.pes.push_back(std::make_unique<PipelinedWorker>(
+                arch.hot.name + " #" + std::to_string(w), eq, *port,
+                arch.hot_pe.depth, std::move(b.segs)));
+        }
+    }
+
+    if (cfg.trace) {
+        for (auto& pe : cold.pes)
+            pe->setTrace(cfg.trace);
+        for (auto& pe : hot.pes)
+            pe->setTrace(cfg.trace);
+    }
+    std::unique_ptr<BandwidthProbe> probe;
+    if (cfg.bw_probe_interval > 0) {
+        probe = std::make_unique<BandwidthProbe>(eq, mem,
+                                                 cfg.bw_probe_interval);
+        probe->start();
+    }
+
+    // Execute.
+    Tick merge_start = 0;
+    if (serial) {
+        cold.startAll(eq);
+        eq.runUntilEmpty();
+        cold.collectFinish();
+        hot.startAll(eq);
+        eq.runUntilEmpty();
+        hot.collectFinish();
+        merge_start = eq.now();
+    } else {
+        cold.startAll(eq);
+        hot.startAll(eq);
+        eq.runUntilEmpty();
+        cold.collectFinish();
+        hot.collectFinish();
+        merge_start = eq.now();
+        // Private output buffers need merging when both types wrote and
+        // the architecture lacks race-free RMW.  SDDMM outputs are
+        // per-nonzero and disjoint across worker types: never merged.
+        if (!arch.atomic_rmw && !hot.empty() && !cold.empty() &&
+            kernel.kind != SparseKernel::Sddmm) {
+            bool merged = false;
+            startMerge(eq, mem, grid.matrixRows(), kernel.k,
+                       arch.cold.value_bytes, [&]() { merged = true; },
+                       arch.line_bytes);
+            eq.runUntilEmpty();
+            HT_ASSERT(merged, "merge did not complete");
+        }
+    }
+
+    SimOutput out;
+    if (probe)
+        out.bw_samples = probe->samples();
+    SimStats& st = out.stats;
+    st.cycles = eq.now();
+    st.ms = cyclesToMs(double(st.cycles), arch.freq_ghz);
+    st.hot_nnz = hot.nnz;
+    st.cold_nnz = cold.nnz;
+    st.total_nnz = hot.nnz + cold.nnz;
+    st.mem_bytes = mem.bytesTransferred();
+    st.avg_bw_gbps =
+        bytesPerCycleToGbps(mem.achievedBytesPerCycle(st.cycles),
+                            arch.freq_ghz);
+    st.lines_per_nnz =
+        st.total_nnz ? double(mem.linesTotal()) / double(st.total_nnz) : 0;
+    st.hot_finish = hot.finish;
+    st.cold_finish = cold.finish;
+    st.merge_cycles = eq.now() - merge_start;
+    st.cold_cache_hits = cold.cache_hits;
+    st.cold_cache_misses = cold.cache_misses;
+    st.hot_stream_lines = hot.stream_lines;
+
+    auto typeGflops = [&](const TypeRun& run) {
+        if (run.empty() || run.finish <= run.start)
+            return 0.0;
+        return gflops(run.flops, double(run.finish - run.start),
+                      arch.freq_ghz);
+    };
+    st.hot_gflops = typeGflops(hot);
+    st.cold_gflops = typeGflops(cold);
+
+    // Functional output from exactly the work lists the PEs executed.
+    if (cfg.compute_values) {
+        HT_ASSERT(cfg.din, "compute_values requires din");
+        HT_ASSERT(cfg.din->rows() == grid.matrixCols(), "din shape mismatch");
+        if (kernel.kind == SparseKernel::Sddmm) {
+            HT_ASSERT(cfg.u, "SDDMM compute_values requires u");
+            HT_ASSERT(cfg.u->rows() == grid.matrixRows(),
+                      "u shape mismatch");
+            HT_ASSERT(cfg.u->cols() == cfg.din->cols(), "U/V K mismatch");
+            out.sddmm_out = CooMatrix(grid.matrixRows(), grid.matrixCols());
+            out.sddmm_out.reserve(st.total_nnz);
+            auto emit = [&](const Index* rows, const Index* cols,
+                            const Value* vals, size_t n) {
+                const Index kk = cfg.u->cols();
+                for (size_t i = 0; i < n; ++i) {
+                    const Value* ur = cfg.u->row(rows[i]);
+                    const Value* vr = cfg.din->row(cols[i]);
+                    double dot = 0.0;
+                    for (Index j = 0; j < kk; ++j)
+                        dot += double(ur[j]) * double(vr[j]);
+                    out.sddmm_out.push(
+                        rows[i], cols[i],
+                        static_cast<Value>(double(vals[i]) * dot));
+                }
+            };
+            for (const PanelWork& pw : cold_work.panels)
+                emit(pw.rows.data(), pw.cols.data(), pw.vals.data(),
+                     pw.rows.size());
+            for (const auto& tiles : hot_work.panel_tiles) {
+                for (size_t tid : tiles) {
+                    auto rs = grid.tileRows(tid);
+                    auto cs = grid.tileCols(tid);
+                    auto vs = grid.tileVals(tid);
+                    emit(rs.data(), cs.data(), vs.data(), rs.size());
+                }
+            }
+            out.sddmm_out.sortRowMajor();
+        } else {
+            out.dout = DenseMatrix(grid.matrixRows(), cfg.din->cols());
+            for (const PanelWork& pw : cold_work.panels)
+                accumulate(out.dout, *cfg.din, pw.rows.data(),
+                           pw.cols.data(), pw.vals.data(), pw.rows.size());
+            for (const auto& tiles : hot_work.panel_tiles) {
+                for (size_t tid : tiles) {
+                    auto rs = grid.tileRows(tid);
+                    auto cs = grid.tileCols(tid);
+                    auto vs = grid.tileVals(tid);
+                    accumulate(out.dout, *cfg.din, rs.data(), cs.data(),
+                               vs.data(), rs.size());
+                }
+            }
+        }
+    }
+    return out;
+}
+
+SimOutput
+simulateHomogeneous(const Architecture& arch, const TileGrid& grid, bool hot,
+                    const KernelConfig& kernel, const SimConfig& cfg)
+{
+    std::vector<uint8_t> is_hot(grid.numTiles(), hot ? 1 : 0);
+    return simulateExecution(arch, grid, is_hot, /*serial=*/false, kernel,
+                             cfg);
+}
+
+} // namespace hottiles

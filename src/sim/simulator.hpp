@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Execution simulator: given an architecture, a tiled matrix, and a
+ * hot/cold tile assignment, builds the per-PE work lists, runs the
+ * event-driven simulation (shared memory controller, optional PCIe
+ * link, Merger), and reports cycles plus the utilization statistics of
+ * Table VII.  Optionally computes the actual SpMM values from the same
+ * work lists so functional correctness of the partitioning/format path
+ * is testable.
+ */
+
+#include <vector>
+
+#include "arch/arch_config.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+class TraceWriter;
+
+/** Simulation options. */
+struct SimConfig
+{
+    /** Compute the output functionally from the work lists (needs din;
+     *  SDDMM additionally needs u). */
+    bool compute_values = false;
+    const DenseMatrix* din = nullptr;  //!< Din (SpMM/SpMV) or V (SDDMM)
+    const DenseMatrix* u = nullptr;    //!< U operand (SDDMM only)
+
+    /** Optional per-segment CSV trace (see sim/trace.hpp). */
+    TraceWriter* trace = nullptr;
+    /** >0 samples achieved bandwidth every this many cycles. */
+    Tick bw_probe_interval = 0;
+};
+
+/** Measured results of one simulated execution. */
+struct SimStats
+{
+    Tick cycles = 0;          //!< end-to-end cycles including merge
+    double ms = 0;            //!< cycles at the architecture clock
+    uint64_t total_nnz = 0;
+    uint64_t hot_nnz = 0;
+    uint64_t cold_nnz = 0;
+
+    double mem_bytes = 0;         //!< main-memory traffic incl. merge
+    double avg_bw_gbps = 0;       //!< achieved bandwidth over the run
+    double lines_per_nnz = 0;     //!< memory lines per nonzero
+
+    Tick hot_finish = 0;          //!< last hot-PE retire (0 if unused)
+    Tick cold_finish = 0;
+    double hot_gflops = 0;        //!< non-idle compute utilization
+    double cold_gflops = 0;
+    Tick merge_cycles = 0;        //!< Merger portion of `cycles`
+
+    uint64_t cold_cache_hits = 0;   //!< Din cache behaviour (cold PEs)
+    uint64_t cold_cache_misses = 0;
+    uint64_t hot_stream_lines = 0;  //!< scratchpad stream over-fetch
+};
+
+/** Stats plus the (optional) functional output. */
+struct SimOutput
+{
+    SimStats stats;
+    DenseMatrix dout;     //!< SpMM/SpMV result (if compute_values)
+    CooMatrix sddmm_out;  //!< SDDMM sparse result (if compute_values)
+    /** Bandwidth-over-time samples (bytes/cycle per window) when a
+     *  probe interval was configured. */
+    std::vector<double> bw_samples;
+};
+
+/**
+ * Simulate one heterogeneous execution.
+ * @param is_hot  per-grid-tile assignment (size == grid.numTiles())
+ * @param serial  worker types execute one after the other (no Merger)
+ */
+SimOutput simulateExecution(const Architecture& arch, const TileGrid& grid,
+                            const std::vector<uint8_t>& is_hot, bool serial,
+                            const KernelConfig& kernel,
+                            const SimConfig& cfg = {});
+
+/** Homogeneous execution: every tile on the hot or the cold workers. */
+SimOutput simulateHomogeneous(const Architecture& arch, const TileGrid& grid,
+                              bool hot, const KernelConfig& kernel,
+                              const SimConfig& cfg = {});
+
+} // namespace hottiles

@@ -1,0 +1,85 @@
+#include "sim/stream_pe.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hottiles {
+
+StreamBuild
+buildStreamSegments(const TiledWork& work,
+                    const std::vector<size_t>& panel_indices,
+                    const TileGrid& grid, const WorkerTraits& traits,
+                    const KernelConfig& kernel, const StreamPeParams& params,
+                    uint32_t line_bytes)
+{
+    HT_ASSERT(traits.din_reuse == ReuseType::IntraTileStream,
+              "streaming PE must stream Din");
+    StreamBuild out;
+
+    const uint32_t dense_row_bytes = kernel.k * traits.value_bytes;
+    const uint32_t row_lines =
+        static_cast<uint32_t>(ceilDiv(dense_row_bytes, line_bytes));
+    const double sparse_bytes_per_nnz =
+        traits.format == SparseFormat::CooLike
+            ? 2.0 * traits.index_bytes + traits.value_bytes
+            : double(traits.index_bytes) + traits.value_bytes;
+    const double sparse_bytes_per_row =
+        traits.format == SparseFormat::CsrLike ? traits.index_bytes : 0.0;
+    const double cycles_per_nnz =
+        (traits.compute_scales_with_ai ? kernel.ai_factor : 1.0) /
+        traits.macs_per_cycle;
+
+    for (size_t pi : panel_indices) {
+        const auto& tiles = work.panel_tiles.at(pi);
+        for (size_t k = 0; k < tiles.size(); ++k) {
+            const size_t tid = tiles[k];
+            const Tile& t = grid.tile(tid);
+            SegSpec seg{};
+
+            // Din tile stream: the whole tile width, used or not.
+            uint64_t din_lines = uint64_t(t.width) * row_lines;
+            out.din_stream_lines += din_lines;
+            seg.read_lines += static_cast<uint32_t>(din_lines);
+
+            // Sparse tile data.
+            double sparse_bytes = sparse_bytes_per_nnz * double(t.nnz) +
+                                  sparse_bytes_per_row * double(t.height);
+            seg.read_lines += static_cast<uint32_t>(
+                ceilDiv(uint64_t(sparse_bytes + 0.5), line_bytes));
+
+            // Dout/U handling depends on the worker's reuse type (and,
+            // for SDDMM, the output is one scalar per nonzero rather
+            // than dense row write-backs).
+            const bool sddmm = kernel.kind == SparseKernel::Sddmm;
+            if (traits.dout_reuse == ReuseType::InterTile) {
+                // Output buffer holds the row panel: stream it in on the
+                // first owned tile, write it back after the last.
+                if (k == 0)
+                    seg.read_lines += t.height * row_lines;
+                if (!sddmm && k + 1 == tiles.size())
+                    seg.write_lines += t.height * row_lines;
+            } else if (traits.dout_reuse == ReuseType::IntraTileDemand) {
+                // DMA gathers exactly the rows the tile touches.
+                seg.read_lines += t.uniq_rids * row_lines;
+                if (!sddmm)
+                    seg.write_lines += t.uniq_rids * row_lines;
+            } else {
+                HT_PANIC("unsupported Dout reuse for streaming PE");
+            }
+            if (sddmm) {
+                seg.write_lines += static_cast<uint32_t>(ceilDiv(
+                    uint64_t(t.nnz) * traits.value_bytes, line_bytes));
+            }
+
+            seg.compute_cycles = static_cast<float>(
+                cycles_per_nnz * double(t.nnz) + params.tile_overhead_cycles);
+            seg.nnz = static_cast<uint32_t>(t.nnz);
+            out.nnz += t.nnz;
+            out.flops += kernel.flopsPerNnz() * double(t.nnz);
+            out.segs.push_back(seg);
+        }
+    }
+    return out;
+}
+
+} // namespace hottiles

@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * Segment construction for *streaming hot PEs*: the Sextans PE
+ * (Fig 2(b), tiled COO, Din tile streamed into a double-buffered
+ * scratchpad, Dout row panel held in an output buffer — inter-tile
+ * reuse) and the PIUMA STP (Fig 2(d), tiled CSR, DMA-streamed Din tile
+ * plus demand DMA gathers of the Dout rows the tile actually touches —
+ * intra-tile demand reuse).
+ *
+ * One pipeline segment is one sparse tile; double buffering is the
+ * pipeline depth of 2.  Scratchpads have no miss handling, so the full
+ * Din tile (tile_width rows) is streamed whether used or not — the
+ * over-fetch of Fig 3 that makes hot workers lose on cold tiles.
+ */
+
+#include <cstdint>
+
+#include "model/worker_traits.hpp"
+#include "sim/worker.hpp"
+#include "sim/worklist.hpp"
+
+namespace hottiles {
+
+/** Microarchitectural knobs of a streaming PE. */
+struct StreamPeParams
+{
+    uint32_t depth = 2;  //!< double buffering of tile streams
+    /** Fixed per-tile setup cycles (DMA descriptor issue, drain). */
+    double tile_overhead_cycles = 8;
+    /** Per-PE memory-port width (bytes/cycle); 0 = unconstrained. */
+    double port_bytes_per_cycle = 0;
+};
+
+/** Segment list plus totals for one streaming PE. */
+struct StreamBuild
+{
+    std::vector<SegSpec> segs;
+    uint64_t nnz = 0;
+    double flops = 0;
+    uint64_t din_stream_lines = 0;  //!< scratchpad over-fetch accounting
+};
+
+/**
+ * Build the pipeline segments for one streaming PE processing the given
+ * panels of @p work (its share of the hot tiles).  @p grid supplies the
+ * tile extents and nonzero spans.
+ */
+StreamBuild buildStreamSegments(const TiledWork& work,
+                                const std::vector<size_t>& panel_indices,
+                                const TileGrid& grid,
+                                const WorkerTraits& traits,
+                                const KernelConfig& kernel,
+                                const StreamPeParams& params,
+                                uint32_t line_bytes = 64);
+
+} // namespace hottiles

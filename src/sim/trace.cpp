@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+TraceWriter::TraceWriter(std::ostream& os) : os_(os)
+{
+    os_ << "tick,source,event,detail0,detail1\n";
+}
+
+void
+TraceWriter::record(Tick tick, std::string_view source,
+                    std::string_view event, uint64_t detail0,
+                    uint64_t detail1)
+{
+    os_ << tick << ',' << source << ',' << event << ',' << detail0 << ','
+        << detail1 << '\n';
+    ++rows_;
+}
+
+BandwidthProbe::BandwidthProbe(EventQueue& eq, const MemorySystem& mem,
+                               Tick interval_cycles)
+    : eq_(eq), mem_(mem), interval_(interval_cycles)
+{
+    HT_ASSERT(interval_ > 0, "probe interval must be positive");
+}
+
+void
+BandwidthProbe::start()
+{
+    last_bytes_ = mem_.bytesTransferred();
+    eq_.scheduleIn(interval_, [this] { tick(); });
+}
+
+void
+BandwidthProbe::tick()
+{
+    double bytes = mem_.bytesTransferred();
+    double delta = bytes - last_bytes_;
+    last_bytes_ = bytes;
+    samples_.push_back(delta / double(interval_));
+    // Keep sampling while traffic flows; an idle window with an
+    // otherwise-empty queue would keep the simulation alive forever, so
+    // stop once a window sees no bytes and no other events are pending.
+    if (delta > 0.0 || eq_.pending() > 0)
+        eq_.scheduleIn(interval_, [this] { tick(); });
+}
+
+double
+BandwidthProbe::peak() const
+{
+    double p = 0.0;
+    for (double s : samples_)
+        p = std::max(p, s);
+    return p;
+}
+
+} // namespace hottiles

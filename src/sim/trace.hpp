@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Simulator observability: a CSV event trace of PE activity (issue /
+ * retire per pipeline segment) and a bandwidth probe that samples the
+ * memory controller's achieved bytes/cycle over fixed windows.  Both
+ * are optional — attach them through SimConfig — and exist to make the
+ * simulator debuggable the way SST/gem5 runs are: you can see which PE
+ * stalls, when the controller saturates, and how the Merger tail looks.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/memory_system.hpp"
+
+namespace hottiles {
+
+/** Line-oriented CSV sink for simulator events. */
+class TraceWriter
+{
+  public:
+    /** Writes the CSV header immediately. */
+    explicit TraceWriter(std::ostream& os);
+
+    /** Append one event row: tick, source, event, two detail columns. */
+    void record(Tick tick, std::string_view source, std::string_view event,
+                uint64_t detail0 = 0, uint64_t detail1 = 0);
+
+    uint64_t rows() const { return rows_; }
+
+  private:
+    std::ostream& os_;
+    uint64_t rows_ = 0;
+};
+
+/**
+ * Samples the memory controller's cumulative traffic on a fixed cycle
+ * interval while the simulation runs, yielding a bandwidth-over-time
+ * series (bytes per cycle per window).
+ */
+class BandwidthProbe
+{
+  public:
+    BandwidthProbe(EventQueue& eq, const MemorySystem& mem,
+                   Tick interval_cycles);
+
+    /** Begin sampling at the current tick.  Sampling self-terminates
+     *  when a window passes with no new traffic and nothing pending. */
+    void start();
+
+    /** One sample per elapsed window: achieved bytes/cycle. */
+    const std::vector<double>& samples() const { return samples_; }
+    Tick interval() const { return interval_; }
+
+    /** Peak windowed bandwidth observed (bytes/cycle). */
+    double peak() const;
+
+  private:
+    void tick();
+
+    EventQueue& eq_;
+    const MemorySystem& mem_;
+    Tick interval_;
+    double last_bytes_ = 0;
+    std::vector<double> samples_;
+};
+
+} // namespace hottiles

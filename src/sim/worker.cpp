@@ -1,0 +1,93 @@
+#include "sim/worker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/trace.hpp"
+
+namespace hottiles {
+
+PipelinedWorker::PipelinedWorker(std::string name, EventQueue& eq,
+                                 MemPort& mem, uint32_t depth,
+                                 std::vector<SegSpec> segs)
+    : name_(std::move(name)), eq_(eq), mem_(mem), depth_(depth),
+      segs_(std::move(segs))
+{
+    HT_ASSERT(depth_ > 0, "pipeline depth must be > 0");
+}
+
+void
+PipelinedWorker::start(EventQueue::Callback on_done)
+{
+    on_done_ = std::move(on_done);
+    stats_.start = eq_.now();
+    compute_free_ = double(eq_.now());
+    if (segs_.empty()) {
+        done_ = true;
+        stats_.finish = eq_.now();
+        if (on_done_)
+            eq_.schedule(eq_.now(), on_done_);
+        return;
+    }
+    issueNext();
+}
+
+void
+PipelinedWorker::issueNext()
+{
+    while (inflight_ < depth_ && next_issue_ < segs_.size()) {
+        const size_t idx = next_issue_++;
+        ++inflight_;
+        const SegSpec& s = segs_[idx];
+        stats_.lines_read += s.read_lines;
+        if (trace_)
+            trace_->record(eq_.now(), name_, "issue", idx, s.read_lines);
+        if (s.read_lines == 0) {
+            eq_.schedule(eq_.now(), [this, idx]() { onReadDone(idx); });
+        } else {
+            mem_.access(s.read_lines, /*write=*/false,
+                        [this, idx]() { onReadDone(idx); });
+        }
+    }
+}
+
+void
+PipelinedWorker::onReadDone(size_t idx)
+{
+    // The memory system is FIFO per issue order within this worker, so
+    // reads complete in order; compute also retires in order.
+    const SegSpec& s = segs_[idx];
+    double begin = std::max(double(eq_.now()), compute_free_);
+    compute_free_ = begin + double(s.compute_cycles);
+    auto retire_at = static_cast<Tick>(std::ceil(compute_free_));
+    eq_.schedule(retire_at, [this, idx]() { retire(idx); });
+}
+
+void
+PipelinedWorker::retire(size_t idx)
+{
+    const SegSpec& s = segs_[idx];
+    if (trace_)
+        trace_->record(eq_.now(), name_, "retire", idx, s.nnz);
+    stats_.nnz += s.nnz;
+    ++stats_.segments;
+    stats_.compute_cycles += double(s.compute_cycles);
+    if (s.write_lines > 0) {
+        stats_.lines_written += s.write_lines;
+        mem_.access(s.write_lines, /*write=*/true, {});
+    }
+    HT_ASSERT(inflight_ > 0, "retire without inflight segment");
+    --inflight_;
+    ++retired_;
+    if (retired_ == segs_.size()) {
+        done_ = true;
+        stats_.finish = eq_.now();
+        if (on_done_)
+            eq_.schedule(eq_.now(), on_done_);
+        return;
+    }
+    issueNext();
+}
+
+} // namespace hottiles

@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * The generic latency-tolerant processing-element engine.  Every PE in
+ * the repository — SPADE PE, Sextans, PIUMA MTP and STP — reduces to a
+ * pipeline over an ordered list of *segments* (a run of nonzeros for
+ * demand-access workers, a whole tile for streaming workers):
+ *
+ *   - each segment needs `read_lines` from memory before it can compute;
+ *   - compute occupies the PE's functional units for `compute_cycles`;
+ *   - `write_lines` are posted fire-and-forget when compute retires;
+ *   - up to `depth` segments may be in flight (outstanding reads),
+ *     which is the PE's latency-tolerance knob: large for the
+ *     out-of-order SPADE PEs and the multithreaded PIUMA MTPs, two
+ *     (double buffering) for the streaming Sextans/STP workers.
+ *
+ * What distinguishes the PE types is how their segment lists are built
+ * (see spade_pe / sextans_pe / piuma_mtp / piuma_stp), which encodes
+ * their traversal order, formats, caches, and scratchpad streaming.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/memory_system.hpp"
+
+namespace hottiles {
+
+class TraceWriter;
+
+/** One unit of pipelined work. */
+struct SegSpec
+{
+    uint32_t read_lines = 0;    //!< blocking line reads before compute
+    uint32_t write_lines = 0;   //!< posted line writes at retire
+    float compute_cycles = 0;   //!< functional-unit occupancy
+    uint32_t nnz = 0;           //!< nonzeros retired by this segment
+};
+
+/** Post-run statistics of one PE. */
+struct WorkerStats
+{
+    uint64_t nnz = 0;
+    uint64_t segments = 0;
+    uint64_t lines_read = 0;
+    uint64_t lines_written = 0;
+    double compute_cycles = 0;
+    Tick start = 0;
+    Tick finish = 0;
+};
+
+/** A pipelined PE executing a static segment list against a MemPort. */
+class PipelinedWorker
+{
+  public:
+    /**
+     * @param depth  maximum in-flight segments (latency tolerance)
+     * @param segs   the work, in traversal order
+     */
+    PipelinedWorker(std::string name, EventQueue& eq, MemPort& mem,
+                    uint32_t depth, std::vector<SegSpec> segs);
+
+    /** Begin issuing at the current tick; @p on_done fires at retire of
+     *  the last segment (posted writes may still be draining). */
+    void start(EventQueue::Callback on_done = {});
+
+    /** Attach an optional CSV trace (issue/retire per segment). */
+    void setTrace(TraceWriter* trace) { trace_ = trace; }
+
+    bool done() const { return done_; }
+    const WorkerStats& stats() const { return stats_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    void issueNext();
+    void onReadDone(size_t idx);
+    void retire(size_t idx);
+
+    std::string name_;
+    EventQueue& eq_;
+    MemPort& mem_;
+    uint32_t depth_;
+    std::vector<SegSpec> segs_;
+    size_t next_issue_ = 0;
+    size_t retired_ = 0;
+    uint32_t inflight_ = 0;
+    double compute_free_ = 0.0;  //!< next cycle the FUs are available
+    bool done_ = false;
+    WorkerStats stats_;
+    EventQueue::Callback on_done_;
+    TraceWriter* trace_ = nullptr;
+};
+
+} // namespace hottiles

@@ -1,0 +1,82 @@
+#include "sim/worklist.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+UntiledWork
+buildUntiledWork(const TileGrid& grid, const std::vector<size_t>& tile_ids)
+{
+    UntiledWork work;
+    // Tiles arrive in grid order (panel, tcol); group consecutively.
+    size_t i = 0;
+    while (i < tile_ids.size()) {
+        const Index panel = grid.tile(tile_ids[i]).panel;
+        size_t j = i;
+        size_t nnz = 0;
+        while (j < tile_ids.size() && grid.tile(tile_ids[j]).panel == panel) {
+            HT_ASSERT(j == i || tile_ids[j] > tile_ids[j - 1],
+                      "tile ids must be in grid order");
+            nnz += grid.tile(tile_ids[j]).nnz;
+            ++j;
+        }
+        PanelWork pw;
+        pw.panel = panel;
+        pw.rows.reserve(nnz);
+        pw.cols.reserve(nnz);
+        pw.vals.reserve(nnz);
+        for (size_t t = i; t < j; ++t) {
+            auto rs = grid.tileRows(tile_ids[t]);
+            auto cs = grid.tileCols(tile_ids[t]);
+            auto vs = grid.tileVals(tile_ids[t]);
+            pw.rows.insert(pw.rows.end(), rs.begin(), rs.end());
+            pw.cols.insert(pw.cols.end(), cs.begin(), cs.end());
+            pw.vals.insert(pw.vals.end(), vs.begin(), vs.end());
+        }
+        // Re-sort the concatenation into row-major order.
+        std::vector<uint32_t> perm(pw.rows.size());
+        std::iota(perm.begin(), perm.end(), 0u);
+        std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+            return pw.rows[a] != pw.rows[b] ? pw.rows[a] < pw.rows[b]
+                                            : pw.cols[a] < pw.cols[b];
+        });
+        PanelWork sorted;
+        sorted.panel = panel;
+        sorted.rows.resize(perm.size());
+        sorted.cols.resize(perm.size());
+        sorted.vals.resize(perm.size());
+        for (size_t p = 0; p < perm.size(); ++p) {
+            sorted.rows[p] = pw.rows[perm[p]];
+            sorted.cols[p] = pw.cols[perm[p]];
+            sorted.vals[p] = pw.vals[perm[p]];
+        }
+        work.total_nnz += sorted.rows.size();
+        work.panels.push_back(std::move(sorted));
+        i = j;
+    }
+    return work;
+}
+
+TiledWork
+buildTiledWork(const TileGrid& grid, const std::vector<size_t>& tile_ids)
+{
+    TiledWork work;
+    size_t i = 0;
+    while (i < tile_ids.size()) {
+        const Index panel = grid.tile(tile_ids[i]).panel;
+        std::vector<size_t> tiles;
+        while (i < tile_ids.size() && grid.tile(tile_ids[i]).panel == panel) {
+            work.total_nnz += grid.tile(tile_ids[i]).nnz;
+            tiles.push_back(tile_ids[i]);
+            ++i;
+        }
+        work.panel_ids.push_back(panel);
+        work.panel_tiles.push_back(std::move(tiles));
+    }
+    return work;
+}
+
+} // namespace hottiles

@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * Simulation work lists: the per-worker-type views of the sparse matrix
+ * that the format-generation step produces (Fig 7, third stage).
+ * Untiled workers (SPADE PEs, PIUMA MTPs) consume row-major panels of
+ * their assigned tiles merged together (Fig 6(a)); tiled workers
+ * (Sextans, PIUMA STPs) consume tile id lists grouped by row panel
+ * (Fig 6(b)).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+/** One row panel's share of an untiled worker's matrix subset. */
+struct PanelWork
+{
+    Index panel = 0;
+    std::vector<Index> rows;  //!< row-major sorted
+    std::vector<Index> cols;
+    std::vector<Value> vals;
+};
+
+/** Untiled (row-major) traversal work: a sequence of panels. */
+struct UntiledWork
+{
+    std::vector<PanelWork> panels;
+    size_t total_nnz = 0;
+};
+
+/** Tiled traversal work: per panel, tile ids in tile-column order. */
+struct TiledWork
+{
+    std::vector<std::vector<size_t>> panel_tiles;  //!< non-empty panels only
+    std::vector<Index> panel_ids;
+    size_t total_nnz = 0;
+};
+
+/**
+ * Merge the given tiles into untiled row-major panels.  Tiles from the
+ * same panel are merged and re-sorted by (row, col); panels appear in
+ * increasing order.
+ */
+UntiledWork buildUntiledWork(const TileGrid& grid,
+                             const std::vector<size_t>& tile_ids);
+
+/** Group the given tiles by row panel keeping tile-column order. */
+TiledWork buildTiledWork(const TileGrid& grid,
+                         const std::vector<size_t>& tile_ids);
+
+} // namespace hottiles

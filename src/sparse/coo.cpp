@@ -1,0 +1,187 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+CooMatrix::CooMatrix(Index rows, Index cols, std::vector<Nonzero> nnzs)
+    : rows_(rows), cols_(cols)
+{
+    reserve(nnzs.size());
+    for (const auto& nz : nnzs)
+        push(nz.row, nz.col, nz.val);
+}
+
+double
+CooMatrix::avgDegree() const
+{
+    return rows_ ? static_cast<double>(nnz()) / rows_ : 0.0;
+}
+
+double
+CooMatrix::density() const
+{
+    double cells = static_cast<double>(rows_) * static_cast<double>(cols_);
+    return cells > 0.0 ? static_cast<double>(nnz()) / cells : 0.0;
+}
+
+void
+CooMatrix::push(Index r, Index c, Value v)
+{
+    HT_ASSERT(r < rows_ && c < cols_, "nonzero (", r, ",", c,
+              ") outside ", rows_, "x", cols_);
+    row_ids_.push_back(r);
+    col_ids_.push_back(c);
+    vals_.push_back(v);
+}
+
+void
+CooMatrix::reserve(size_t n)
+{
+    row_ids_.reserve(n);
+    col_ids_.reserve(n);
+    vals_.reserve(n);
+}
+
+namespace {
+
+/** Sort the three parallel arrays by a (row,col) comparator via permutation. */
+template <typename Less>
+void
+sortParallel(std::vector<Index>& rs, std::vector<Index>& cs,
+             std::vector<Value>& vs, Less less)
+{
+    std::vector<uint32_t> perm(rs.size());
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+        return less(rs[a], cs[a], rs[b], cs[b]);
+    });
+    std::vector<Index> rs2(rs.size()), cs2(cs.size());
+    std::vector<Value> vs2(vs.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+        rs2[i] = rs[perm[i]];
+        cs2[i] = cs[perm[i]];
+        vs2[i] = vs[perm[i]];
+    }
+    rs.swap(rs2);
+    cs.swap(cs2);
+    vs.swap(vs2);
+}
+
+} // namespace
+
+void
+CooMatrix::sortRowMajor()
+{
+    sortParallel(row_ids_, col_ids_, vals_,
+                 [](Index r1, Index c1, Index r2, Index c2) {
+                     return r1 != r2 ? r1 < r2 : c1 < c2;
+                 });
+}
+
+void
+CooMatrix::sortColMajor()
+{
+    sortParallel(row_ids_, col_ids_, vals_,
+                 [](Index r1, Index c1, Index r2, Index c2) {
+                     return c1 != c2 ? c1 < c2 : r1 < r2;
+                 });
+}
+
+bool
+CooMatrix::isRowMajorSorted() const
+{
+    for (size_t i = 1; i < nnz(); ++i) {
+        if (row_ids_[i] < row_ids_[i - 1] ||
+            (row_ids_[i] == row_ids_[i - 1] && col_ids_[i] < col_ids_[i - 1]))
+            return false;
+    }
+    return true;
+}
+
+void
+CooMatrix::dedupSum()
+{
+    HT_ASSERT(isRowMajorSorted(), "dedupSum requires row-major order");
+    size_t out = 0;
+    for (size_t i = 0; i < nnz(); ++i) {
+        if (out > 0 && row_ids_[out - 1] == row_ids_[i] &&
+            col_ids_[out - 1] == col_ids_[i]) {
+            vals_[out - 1] += vals_[i];
+        } else {
+            row_ids_[out] = row_ids_[i];
+            col_ids_[out] = col_ids_[i];
+            vals_[out] = vals_[i];
+            ++out;
+        }
+    }
+    row_ids_.resize(out);
+    col_ids_.resize(out);
+    vals_.resize(out);
+}
+
+CooMatrix
+CooMatrix::transposed() const
+{
+    CooMatrix t(cols_, rows_);
+    t.reserve(nnz());
+    for (size_t i = 0; i < nnz(); ++i)
+        t.push(col_ids_[i], row_ids_[i], vals_[i]);
+    t.sortRowMajor();
+    return t;
+}
+
+CooMatrix
+CooMatrix::symmetrized() const
+{
+    HT_ASSERT(rows_ == cols_, "symmetrized requires a square matrix");
+    CooMatrix s(rows_, cols_);
+    s.reserve(2 * nnz());
+    for (size_t i = 0; i < nnz(); ++i) {
+        s.push(row_ids_[i], col_ids_[i], vals_[i]);
+        if (row_ids_[i] != col_ids_[i])
+            s.push(col_ids_[i], row_ids_[i], vals_[i]);
+    }
+    s.sortRowMajor();
+    s.dedupSum();
+    return s;
+}
+
+CooMatrix
+CooMatrix::permutedSymmetric(const std::vector<Index>& perm) const
+{
+    HT_ASSERT(rows_ == cols_, "permutedSymmetric requires a square matrix");
+    HT_ASSERT(perm.size() == rows_, "permutation size mismatch");
+    CooMatrix p(rows_, cols_);
+    p.reserve(nnz());
+    for (size_t i = 0; i < nnz(); ++i)
+        p.push(perm[row_ids_[i]], perm[col_ids_[i]], vals_[i]);
+    p.sortRowMajor();
+    return p;
+}
+
+std::vector<Index>
+CooMatrix::rowDegrees() const
+{
+    std::vector<Index> deg(rows_, 0);
+    for (Index r : row_ids_)
+        ++deg[r];
+    return deg;
+}
+
+bool
+CooMatrix::sameStructure(const CooMatrix& other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_ || nnz() != other.nnz())
+        return false;
+    CooMatrix a = *this;
+    CooMatrix b = other;
+    a.sortRowMajor();
+    b.sortRowMajor();
+    return a.row_ids_ == b.row_ids_ && a.col_ids_ == b.col_ids_;
+}
+
+} // namespace hottiles

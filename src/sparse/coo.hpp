@@ -1,0 +1,96 @@
+#pragma once
+
+/**
+ * @file
+ * Coordinate-format (COO) sparse matrix.  This is the canonical in-memory
+ * representation used by the tiling engine and the format generators; the
+ * SPADE and Sextans workers consume COO-like formats directly (Table I).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace hottiles {
+
+/** Sparse matrix in coordinate format with parallel index/value arrays. */
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+
+    /** Create an empty rows x cols matrix. */
+    CooMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {}
+
+    /** Create from an explicit nonzero list (unsorted is fine). */
+    CooMatrix(Index rows, Index cols, std::vector<Nonzero> nnzs);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    size_t nnz() const { return row_ids_.size(); }
+    bool empty() const { return row_ids_.empty(); }
+
+    /** Average nonzeros per row. */
+    double avgDegree() const;
+    /** Fraction of the rows x cols positions that are nonzero. */
+    double density() const;
+
+    Index rowId(size_t i) const { return row_ids_[i]; }
+    Index colId(size_t i) const { return col_ids_[i]; }
+    Value value(size_t i) const { return vals_[i]; }
+
+    const std::vector<Index>& rowIds() const { return row_ids_; }
+    const std::vector<Index>& colIds() const { return col_ids_; }
+    const std::vector<Value>& values() const { return vals_; }
+
+    /** Append one nonzero (no dedup; call sortRowMajor+dedupSum later). */
+    void push(Index r, Index c, Value v);
+
+    /** Reserve capacity for @p n nonzeros. */
+    void reserve(size_t n);
+
+    /** Sort nonzeros row-major (row, then column). */
+    void sortRowMajor();
+    /** Sort nonzeros column-major (column, then row). */
+    void sortColMajor();
+    /** True if nonzeros are sorted row-major. */
+    bool isRowMajorSorted() const;
+
+    /**
+     * Sum duplicate coordinates into a single entry.
+     * @pre sorted row-major.
+     */
+    void dedupSum();
+
+    /** Return the transpose (nonzeros sorted row-major). */
+    CooMatrix transposed() const;
+
+    /**
+     * Return A + A^T structure with duplicate coordinates merged
+     * (used to expand MatrixMarket symmetric storage; diagonal kept once).
+     */
+    CooMatrix symmetrized() const;
+
+    /**
+     * Apply a row/column permutation: entry (r, c) moves to
+     * (perm[r], perm[c]).  @p perm must be a permutation of [0, rows).
+     */
+    CooMatrix permutedSymmetric(const std::vector<Index>& perm) const;
+
+    /** Nonzero count of each row. */
+    std::vector<Index> rowDegrees() const;
+
+    /** Structural equality (same shape, same sorted nonzero list). */
+    bool sameStructure(const CooMatrix& other) const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Index> row_ids_;
+    std::vector<Index> col_ids_;
+    std::vector<Value> vals_;
+};
+
+} // namespace hottiles

@@ -1,0 +1,48 @@
+#include "sparse/csr.hpp"
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace hottiles {
+
+CsrMatrix
+CsrMatrix::fromCoo(const CooMatrix& coo)
+{
+    CooMatrix sorted;
+    const CooMatrix* src = &coo;
+    if (!coo.isRowMajorSorted()) {
+        sorted = coo;
+        sorted.sortRowMajor();
+        src = &sorted;
+    }
+
+    CsrMatrix m;
+    m.rows_ = src->rows();
+    m.cols_ = src->cols();
+    m.row_ptr_.assign(m.rows_ + 1, 0);
+    m.col_ids_.resize(src->nnz());
+    m.vals_.resize(src->nnz());
+
+    for (size_t i = 0; i < src->nnz(); ++i)
+        ++m.row_ptr_[src->rowId(i) + 1];
+    for (Index r = 0; r < m.rows_; ++r)
+        m.row_ptr_[r + 1] += m.row_ptr_[r];
+    for (size_t i = 0; i < src->nnz(); ++i) {
+        m.col_ids_[i] = src->colId(i);
+        m.vals_[i] = src->value(i);
+    }
+    return m;
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    CooMatrix coo(rows_, cols_);
+    coo.reserve(nnz());
+    for (Index r = 0; r < rows_; ++r)
+        for (size_t i = rowBegin(r); i < rowEnd(r); ++i)
+            coo.push(r, col_ids_[i], vals_[i]);
+    return coo;
+}
+
+} // namespace hottiles

@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Compressed Sparse Row (CSR) matrix.  The PIUMA workers consume CSR-like
+ * formats (Table I): row begin-offsets replace per-nonzero row ids, so a
+ * tile of height H with Z nonzeros costs H + 2Z data items from memory.
+ */
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace hottiles {
+
+class CooMatrix;
+
+/** Sparse matrix in CSR format. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Build from COO (any order; sorted internally). */
+    static CsrMatrix fromCoo(const CooMatrix& coo);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    size_t nnz() const { return col_ids_.size(); }
+
+    const std::vector<size_t>& rowPtr() const { return row_ptr_; }
+    const std::vector<Index>& colIds() const { return col_ids_; }
+    const std::vector<Value>& values() const { return vals_; }
+
+    /** Begin offset of row @p r. */
+    size_t rowBegin(Index r) const { return row_ptr_[r]; }
+    /** End offset of row @p r. */
+    size_t rowEnd(Index r) const { return row_ptr_[r + 1]; }
+    /** Nonzero count of row @p r. */
+    size_t rowNnz(Index r) const { return rowEnd(r) - rowBegin(r); }
+
+    /** Convert back to row-major-sorted COO. */
+    CooMatrix toCoo() const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<size_t> row_ptr_;
+    std::vector<Index> col_ids_;
+    std::vector<Value> vals_;
+};
+
+} // namespace hottiles

@@ -1,0 +1,111 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace hottiles {
+
+DenseMatrix::DenseMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols), data_(size_t(rows) * cols, Value(0))
+{
+}
+
+void
+DenseMatrix::fill(Value v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+DenseMatrix::fillRandom(Rng& rng)
+{
+    for (auto& v : data_)
+        v = static_cast<Value>(rng.nextDouble(-1.0, 1.0));
+}
+
+void
+DenseMatrix::accumulate(const DenseMatrix& other)
+{
+    HT_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+              "accumulate shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+double
+DenseMatrix::maxAbsDiff(const DenseMatrix& other) const
+{
+    HT_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+              "maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::abs(double(data_[i]) - double(other.data_[i])));
+    return m;
+}
+
+bool
+DenseMatrix::approxEqual(const DenseMatrix& other, double rel_tol) const
+{
+    HT_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+              "approxEqual shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i) {
+        double a = data_[i];
+        double b = other.data_[i];
+        double scale = std::max({std::abs(a), std::abs(b), 1.0});
+        if (std::abs(a - b) > rel_tol * scale)
+            return false;
+    }
+    return true;
+}
+
+DenseMatrix
+referenceSpmm(const CooMatrix& a, const DenseMatrix& din)
+{
+    HT_ASSERT(a.cols() == din.rows(), "SpMM shape mismatch");
+    const Index k = din.cols();
+    // Accumulate in double per output row to keep a stable golden result.
+    std::vector<double> acc(size_t(a.rows()) * k, 0.0);
+    for (size_t i = 0; i < a.nnz(); ++i) {
+        const Index r = a.rowId(i);
+        const Index c = a.colId(i);
+        const double v = a.value(i);
+        const Value* in = din.row(c);
+        double* out = acc.data() + size_t(r) * k;
+        for (Index j = 0; j < k; ++j)
+            out[j] += v * double(in[j]);
+    }
+    DenseMatrix dout(a.rows(), k);
+    for (Index r = 0; r < a.rows(); ++r)
+        for (Index j = 0; j < k; ++j)
+            dout.at(r, j) = static_cast<Value>(acc[size_t(r) * k + j]);
+    return dout;
+}
+
+DenseMatrix
+referenceSpmm(const CsrMatrix& a, const DenseMatrix& din)
+{
+    HT_ASSERT(a.cols() == din.rows(), "SpMM shape mismatch");
+    const Index k = din.cols();
+    DenseMatrix dout(a.rows(), k);
+    std::vector<double> acc(k);
+    for (Index r = 0; r < a.rows(); ++r) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (size_t i = a.rowBegin(r); i < a.rowEnd(r); ++i) {
+            const double v = a.values()[i];
+            const Value* in = din.row(a.colIds()[i]);
+            for (Index j = 0; j < k; ++j)
+                acc[j] += v * double(in[j]);
+        }
+        for (Index j = 0; j < k; ++j)
+            dout.at(r, j) = static_cast<Value>(acc[j]);
+    }
+    return dout;
+}
+
+} // namespace hottiles

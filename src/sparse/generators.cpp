@@ -1,0 +1,261 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace hottiles {
+
+namespace {
+
+/** Random value in [-1, 1) excluding exact zero. */
+Value
+randomValue(Rng& rng)
+{
+    double v = rng.nextDouble(-1.0, 1.0);
+    if (v == 0.0)
+        v = 0.5;
+    return static_cast<Value>(v);
+}
+
+/** Sort + dedup (keeping the first value of each coordinate). */
+void
+finalize(CooMatrix& m)
+{
+    m.sortRowMajor();
+    m.dedupSum();
+}
+
+} // namespace
+
+CooMatrix
+genUniform(Index rows, Index cols, size_t nnz, uint64_t seed)
+{
+    HT_ASSERT(rows > 0 && cols > 0, "empty matrix");
+    const double cells = static_cast<double>(rows) * cols;
+    HT_ASSERT(static_cast<double>(nnz) <= cells, "nnz exceeds capacity");
+    Rng rng(seed);
+    CooMatrix m(rows, cols);
+
+    const double density = static_cast<double>(nnz) / cells;
+    if (density > 0.05) {
+        // Dense regime: per-cell Bernoulli gives the exact distribution
+        // without duplicate churn.
+        m.reserve(static_cast<size_t>(1.05 * nnz) + 16);
+        for (Index r = 0; r < rows; ++r)
+            for (Index c = 0; c < cols; ++c)
+                if (rng.nextBool(density))
+                    m.push(r, c, randomValue(rng));
+        return m;  // already row-major, no duplicates
+    }
+
+    // Sparse regime: sample with oversampling and dedup, topping up until
+    // we are within 2% of the target.
+    m.reserve(nnz + nnz / 8);
+    size_t want = nnz + nnz / 20 + 8;
+    for (int round = 0; round < 8 && m.nnz() < nnz * 98 / 100; ++round) {
+        size_t missing = want > m.nnz() ? want - m.nnz() : 0;
+        for (size_t i = 0; i < missing; ++i) {
+            auto r = static_cast<Index>(rng.nextBounded(rows));
+            auto c = static_cast<Index>(rng.nextBounded(cols));
+            m.push(r, c, randomValue(rng));
+        }
+        finalize(m);
+    }
+    return m;
+}
+
+CooMatrix
+genRmat(Index rows, size_t nnz, double a, double b, double c, double d,
+        uint64_t seed)
+{
+    HT_ASSERT(rows > 1, "rmat needs at least 2 rows");
+    double total = a + b + c + d;
+    HT_ASSERT(std::abs(total - 1.0) < 1e-6, "rmat probabilities must sum to 1");
+
+    const int scale = std::bit_width(uint64_t(rows) - 1);
+    const Index domain = Index(1) << scale;
+    Rng rng(seed);
+    CooMatrix m(rows, rows);
+    m.reserve(nnz + nnz / 8);
+
+    auto sampleEdge = [&](Index& r, Index& cc) {
+        Index row = 0;
+        Index col = 0;
+        for (int level = 0; level < scale; ++level) {
+            double p = rng.nextDouble();
+            Index bit = domain >> (level + 1);
+            if (p < a) {
+                // upper-left quadrant: nothing to add
+            } else if (p < a + b) {
+                col |= bit;
+            } else if (p < a + b + c) {
+                row |= bit;
+            } else {
+                row |= bit;
+                col |= bit;
+            }
+        }
+        r = row;
+        cc = col;
+    };
+
+    // Duplicates are common in the hot corner, so each round oversamples
+    // the remaining shortfall more aggressively based on the observed
+    // unique yield of the previous round.
+    double oversample = 1.1;
+    for (int round = 0; round < 24 && m.nnz() < nnz * 98 / 100; ++round) {
+        size_t before = m.nnz();
+        size_t missing = nnz - before;
+        auto to_sample = static_cast<size_t>(missing * oversample) + 64;
+        size_t produced = 0;
+        size_t attempts = 0;
+        const size_t max_attempts = 8 * to_sample + 1024;
+        while (produced < to_sample && attempts < max_attempts) {
+            ++attempts;
+            Index r, cc;
+            sampleEdge(r, cc);
+            if (r >= rows || cc >= rows)
+                continue;  // rejection for non-power-of-two sizes
+            m.push(r, cc, randomValue(rng));
+            ++produced;
+        }
+        finalize(m);
+        size_t gained = m.nnz() - before;
+        if (gained == 0)
+            break;  // saturated: the skew cannot yield more uniques
+        double yield = double(gained) / double(produced + 1);
+        oversample = std::min(16.0, 1.0 / std::max(yield, 0.0625));
+    }
+    return m;
+}
+
+CooMatrix
+genMesh(Index rows, double degree, double band, uint64_t seed)
+{
+    HT_ASSERT(rows > 1 && degree > 0 && band > 0, "bad mesh parameters");
+    Rng rng(seed);
+    CooMatrix m(rows, rows);
+    // Symmetrization roughly doubles edge count, so halve per-row output.
+    const double half_deg = std::max(degree / 2.0, 0.5);
+    m.reserve(static_cast<size_t>(rows * degree * 1.1) + 16);
+
+    for (Index r = 0; r < rows; ++r) {
+        auto edges = static_cast<size_t>(half_deg);
+        if (rng.nextBool(half_deg - std::floor(half_deg)))
+            ++edges;
+        for (size_t e = 0; e < edges; ++e) {
+            double off = rng.nextGaussian() * band;
+            auto target = static_cast<int64_t>(std::llround(double(r) + off));
+            if (target == r)
+                target += off >= 0 ? 1 : -1;
+            if (target < 0 || target >= int64_t(rows))
+                continue;
+            m.push(r, static_cast<Index>(target), randomValue(rng));
+        }
+    }
+    CooMatrix s = m.symmetrized();
+    return s;
+}
+
+CooMatrix
+genCommunity(Index rows, double degree, Index cmin, Index cmax,
+             double in_frac, uint64_t seed)
+{
+    HT_ASSERT(rows > 1 && cmin > 0 && cmax >= cmin, "bad community params");
+    HT_ASSERT(in_frac >= 0.0 && in_frac <= 1.0, "in_frac out of range");
+    Rng rng(seed);
+
+    // Carve rows into contiguous communities.
+    std::vector<Index> comm_begin;  // begin row of each community
+    comm_begin.push_back(0);
+    while (comm_begin.back() < rows) {
+        auto size = static_cast<Index>(rng.nextRange(cmin, cmax));
+        Index next = comm_begin.back() + size;
+        comm_begin.push_back(std::min(next, rows));
+    }
+    const size_t ncomm = comm_begin.size() - 1;
+    std::vector<Index> row_comm(rows);
+    for (size_t ci = 0; ci < ncomm; ++ci)
+        for (Index r = comm_begin[ci]; r < comm_begin[ci + 1]; ++r)
+            row_comm[r] = static_cast<Index>(ci);
+
+    // Power-law background target: id ~ floor(rows * u^alpha) favors
+    // low ids (the dense upper-left corner seen in Fig 5).
+    const double alpha = 2.5;
+    auto backgroundTarget = [&]() {
+        double u = rng.nextDouble();
+        auto t = static_cast<Index>(double(rows) * std::pow(u, alpha));
+        return std::min<Index>(t, rows - 1);
+    };
+
+    CooMatrix m(rows, rows);
+    const double half_deg = std::max(degree / 2.0, 0.5);
+    m.reserve(static_cast<size_t>(rows * degree * 1.1) + 16);
+    for (Index r = 0; r < rows; ++r) {
+        auto edges = static_cast<size_t>(half_deg);
+        if (rng.nextBool(half_deg - std::floor(half_deg)))
+            ++edges;
+        Index cb = comm_begin[row_comm[r]];
+        Index ce = comm_begin[row_comm[r] + 1];
+        for (size_t e = 0; e < edges; ++e) {
+            Index target;
+            if (rng.nextBool(in_frac) && ce > cb) {
+                target = static_cast<Index>(rng.nextRange(cb, ce - 1));
+            } else {
+                target = backgroundTarget();
+            }
+            if (target == r)
+                continue;
+            m.push(r, target, randomValue(rng));
+        }
+    }
+    return m.symmetrized();
+}
+
+CooMatrix
+genFemBlocks(Index rows, Index block, Index stencil, Index reach,
+             uint64_t seed)
+{
+    HT_ASSERT(rows > 0 && block > 0, "bad fem parameters");
+    Rng rng(seed);
+    const Index nblocks = static_cast<Index>((rows + block - 1) / block);
+    CooMatrix m(rows, rows);
+
+    auto blockSpan = [&](Index b) {
+        Index lo = b * block;
+        Index hi = std::min<Index>(lo + block, rows);
+        return std::pair<Index, Index>(lo, hi);
+    };
+
+    // Dense diagonal blocks.
+    for (Index b = 0; b < nblocks; ++b) {
+        auto [lo, hi] = blockSpan(b);
+        for (Index r = lo; r < hi; ++r)
+            for (Index c = lo; c < hi; ++c)
+                m.push(r, c, randomValue(rng));
+    }
+
+    // Stencil couplings to nearby blocks at ~50% density (one triangle,
+    // mirrored by symmetrization).
+    for (Index b = 0; b < nblocks; ++b) {
+        auto [lo, hi] = blockSpan(b);
+        for (Index s = 0; s < stencil; ++s) {
+            int64_t nb = int64_t(b) + 1 +
+                         int64_t(rng.nextBounded(std::max<Index>(reach, 1)));
+            if (nb >= nblocks)
+                continue;
+            auto [nlo, nhi] = blockSpan(static_cast<Index>(nb));
+            for (Index r = lo; r < hi; ++r)
+                for (Index c = nlo; c < nhi; ++c)
+                    if (rng.nextBool(0.5))
+                        m.push(r, c, randomValue(rng));
+        }
+    }
+    return m.symmetrized();
+}
+
+} // namespace hottiles

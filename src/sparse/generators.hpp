@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic synthetic sparse matrix generators.  These stand in for
+ * the SuiteSparse benchmark matrices (Tables V and VIII), which are not
+ * available offline; each generator reproduces a *structure class* whose
+ * tile-density distribution drives intra-matrix heterogeneity:
+ *
+ *  - uniform:    Erdos-Renyi; no IMH (the IUnaware model's assumption).
+ *  - rmat:       recursive power-law (Kronecker) graphs; dense upper-left
+ *                corner and skewed rows (ski/kro/pok/wik class).
+ *  - mesh:       near-diagonal band with Gaussian offsets (del/pac class).
+ *  - community:  dense diagonal sub-communities over a power-law
+ *                background (pap/dgr class, cf. Fig 5).
+ *  - femBlocks:  fully-dense nodal blocks with stencil couplings
+ *                (ser/gea/rm0/si4 class).
+ *
+ * All generators are pure functions of their parameters and seed.
+ */
+
+#include <cstdint>
+
+#include "sparse/coo.hpp"
+
+namespace hottiles {
+
+/** Uniform (Erdos-Renyi) matrix with approximately @p nnz nonzeros. */
+CooMatrix genUniform(Index rows, Index cols, size_t nnz, uint64_t seed);
+
+/**
+ * R-MAT power-law graph over a rows x rows adjacency matrix.
+ * Quadrant probabilities (a, b, c, d) must sum to ~1; a > d skews mass
+ * toward low indices (the "hot corner").  Non-power-of-two sizes are
+ * handled by rejection inside the enclosing power-of-two domain.
+ */
+CooMatrix genRmat(Index rows, size_t nnz, double a, double b, double c,
+                  double d, uint64_t seed);
+
+/**
+ * Mesh-like matrix: each row connects to ~@p degree neighbors at
+ * Gaussian-distributed diagonal offsets with standard deviation
+ * @p band; structure is symmetrized.  Models geometry/numerical meshes.
+ */
+CooMatrix genMesh(Index rows, double degree, double band, uint64_t seed);
+
+/**
+ * Community graph: rows are grouped into communities of size uniform in
+ * [@p cmin, @p cmax]; a fraction @p in_frac of each row's ~@p degree
+ * edges lands inside its own community, the rest follows a power-law
+ * over all rows (favoring low ids).  Models citation/social networks
+ * with dense diagonal sub-communities.
+ */
+CooMatrix genCommunity(Index rows, double degree, Index cmin, Index cmax,
+                       double in_frac, uint64_t seed);
+
+/**
+ * FEM-style matrix: rows are grouped into fully-dense nodal blocks of
+ * size @p block; each block also couples to @p stencil random nearby
+ * blocks (within @p reach blocks) at ~50% intra-pair density.  Models
+ * stiffness matrices from numerical simulation.
+ */
+CooMatrix genFemBlocks(Index rows, Index block, Index stencil, Index reach,
+                       uint64_t seed);
+
+} // namespace hottiles

@@ -1,0 +1,110 @@
+#include "sparse/imh_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+double
+giniCoefficient(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    double total = std::accumulate(values.begin(), values.end(), 0.0);
+    if (total <= 0.0)
+        return 0.0;
+    // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, i in 1..n.
+    const double n = static_cast<double>(values.size());
+    double weighted = 0.0;
+    for (size_t i = 0; i < values.size(); ++i)
+        weighted += static_cast<double>(i + 1) * values[i];
+    return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+ImhStats
+computeImhStats(const TileGrid& grid)
+{
+    ImhStats s;
+    s.occupied_tiles = grid.numTiles();
+    s.empty_tiles = grid.emptyTiles();
+    s.tile_cv = grid.tileNnzCv();
+
+    std::vector<double> tile_nnz;
+    tile_nnz.reserve(grid.numTiles());
+    double total = 0;
+    double hot = 0;
+    for (size_t i = 0; i < grid.numTiles(); ++i) {
+        double z = static_cast<double>(grid.tile(i).nnz);
+        tile_nnz.push_back(z);
+        total += z;
+        s.max_tile_nnz = std::max(s.max_tile_nnz, z);
+        if (z >= static_cast<double>(grid.tile(i).width))
+            hot += z;
+    }
+    if (grid.numTiles() > 0)
+        s.mean_tile_nnz = total / static_cast<double>(grid.numTiles());
+    if (total > 0)
+        s.hot_mass = hot / total;
+    s.tile_gini = giniCoefficient(tile_nnz);
+
+    // Top-k% mass.
+    std::sort(tile_nnz.begin(), tile_nnz.end(), std::greater<>());
+    auto topMass = [&](double frac) {
+        if (tile_nnz.empty() || total <= 0)
+            return 0.0;
+        size_t k = std::max<size_t>(
+            1, static_cast<size_t>(frac * double(tile_nnz.size())));
+        double m = 0;
+        for (size_t i = 0; i < k; ++i)
+            m += tile_nnz[i];
+        return m / total;
+    };
+    s.top10pct_mass = topMass(0.10);
+    s.top1pct_mass = topMass(0.01);
+
+    // Row-degree Gini from the tiled arrays (rows sorted within tiles).
+    std::vector<double> degrees(grid.matrixRows(), 0.0);
+    for (size_t i = 0; i < grid.numTiles(); ++i)
+        for (Index r : grid.tileRows(i))
+            degrees[r] += 1.0;
+    s.row_gini = giniCoefficient(std::move(degrees));
+    return s;
+}
+
+std::vector<double>
+hotMassCurve(const TileGrid& grid, const std::vector<double>& fracs)
+{
+    std::vector<double> tile_nnz;
+    tile_nnz.reserve(grid.numTiles());
+    double total = 0;
+    for (size_t i = 0; i < grid.numTiles(); ++i) {
+        tile_nnz.push_back(static_cast<double>(grid.tile(i).nnz));
+        total += tile_nnz.back();
+    }
+    std::sort(tile_nnz.begin(), tile_nnz.end(), std::greater<>());
+    // Prefix sums over the sorted tiles.
+    std::vector<double> prefix(tile_nnz.size() + 1, 0.0);
+    for (size_t i = 0; i < tile_nnz.size(); ++i)
+        prefix[i + 1] = prefix[i] + tile_nnz[i];
+
+    std::vector<double> out;
+    out.reserve(fracs.size());
+    for (double f : fracs) {
+        HT_ASSERT(f > 0.0 && f <= 1.0, "fraction out of (0, 1]");
+        if (tile_nnz.empty() || total <= 0) {
+            out.push_back(0.0);
+            continue;
+        }
+        size_t k = std::max<size_t>(
+            1, static_cast<size_t>(std::llround(f * double(tile_nnz.size()))));
+        k = std::min(k, tile_nnz.size());
+        out.push_back(prefix[k] / total);
+    }
+    return out;
+}
+
+} // namespace hottiles

@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Quantitative Intra-Matrix Heterogeneity (IMH) analysis.  The paper
+ * motivates HotTiles with the observation that nonzeros cluster into
+ * dense and sparse regions; this module turns that into numbers a user
+ * can act on: per-tile density dispersion (CV), the Gini coefficient of
+ * the tile-nnz distribution, hot-mass concentration curves ("x% of the
+ * tiles hold y% of the nonzeros"), and a row-skew measure for power-law
+ * detection.  Used by the `hottiles analyze` CLI and the reordering
+ * ablation.
+ */
+
+#include <vector>
+
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+/** Summary of a matrix's intra-matrix heterogeneity. */
+struct ImhStats
+{
+    size_t occupied_tiles = 0;
+    size_t empty_tiles = 0;
+    double mean_tile_nnz = 0;       //!< over occupied tiles
+    double max_tile_nnz = 0;
+    /** Coefficient of variation of per-tile nnz over ALL grid positions
+     *  (0 = perfectly uniform; power-law matrices exceed 1). */
+    double tile_cv = 0;
+    /** Gini coefficient of the tile-nnz distribution over occupied
+     *  tiles (0 = equal, -> 1 = all mass in few tiles). */
+    double tile_gini = 0;
+    /** Fraction of nonzeros held by the densest 10% / 1% of occupied
+     *  tiles. */
+    double top10pct_mass = 0;
+    double top1pct_mass = 0;
+    /** Fraction of nonzeros in tiles with nnz >= tile_width (a proxy
+     *  for "hot" mass: such tiles amortize a scratchpad stream). */
+    double hot_mass = 0;
+    /** Gini coefficient of the row-degree distribution (power-law
+     *  detection). */
+    double row_gini = 0;
+};
+
+/** Compute IMH statistics for a tiled matrix. */
+ImhStats computeImhStats(const TileGrid& grid);
+
+/**
+ * Concentration curve: for each requested tile-fraction f in @p fracs
+ * (sorted ascending, in (0,1]), the fraction of nonzeros held by the
+ * densest f of the occupied tiles.
+ */
+std::vector<double> hotMassCurve(const TileGrid& grid,
+                                 const std::vector<double>& fracs);
+
+/** Gini coefficient of a non-negative sample (0 when empty/degenerate). */
+double giniCoefficient(std::vector<double> values);
+
+} // namespace hottiles

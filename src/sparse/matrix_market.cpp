@@ -1,0 +1,154 @@
+#include "sparse/matrix_market.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace hottiles {
+
+namespace {
+
+enum class Field { Real, Integer, Pattern };
+enum class Symmetry { General, Symmetric, SkewSymmetric };
+
+uint64_t
+parseUint(std::string_view tok, const char* what)
+{
+    uint64_t v = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc() || p != tok.data() + tok.size())
+        HT_FATAL("MatrixMarket: bad ", what, " '", std::string(tok), "'");
+    return v;
+}
+
+double
+parseDouble(std::string_view tok)
+{
+    // std::from_chars for double is available in libstdc++ >= 11.
+    double v = 0.0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc() || p != tok.data() + tok.size())
+        HT_FATAL("MatrixMarket: bad value '", std::string(tok), "'");
+    return v;
+}
+
+} // namespace
+
+CooMatrix
+readMatrixMarket(std::istream& is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        HT_FATAL("MatrixMarket: empty stream");
+
+    auto header = splitWs(line);
+    if (header.size() < 5 || !iequals(header[0], "%%MatrixMarket") ||
+        !iequals(header[1], "matrix") || !iequals(header[2], "coordinate"))
+        HT_FATAL("MatrixMarket: unsupported header '", line, "'");
+
+    Field field;
+    if (iequals(header[3], "real"))
+        field = Field::Real;
+    else if (iequals(header[3], "integer"))
+        field = Field::Integer;
+    else if (iequals(header[3], "pattern"))
+        field = Field::Pattern;
+    else
+        HT_FATAL("MatrixMarket: unsupported field '", std::string(header[3]),
+                 "'");
+
+    Symmetry sym;
+    if (iequals(header[4], "general"))
+        sym = Symmetry::General;
+    else if (iequals(header[4], "symmetric"))
+        sym = Symmetry::Symmetric;
+    else if (iequals(header[4], "skew-symmetric"))
+        sym = Symmetry::SkewSymmetric;
+    else
+        HT_FATAL("MatrixMarket: unsupported symmetry '",
+                 std::string(header[4]), "'");
+
+    // Skip comments, find the size line.
+    while (std::getline(is, line)) {
+        auto t = trim(line);
+        if (!t.empty() && t[0] != '%')
+            break;
+    }
+    auto size_tok = splitWs(line);
+    if (size_tok.size() != 3)
+        HT_FATAL("MatrixMarket: bad size line '", line, "'");
+    auto rows = static_cast<Index>(parseUint(size_tok[0], "row count"));
+    auto cols = static_cast<Index>(parseUint(size_tok[1], "column count"));
+    auto entries = parseUint(size_tok[2], "entry count");
+
+    CooMatrix m(rows, cols);
+    m.reserve(sym == Symmetry::General ? entries : 2 * entries);
+
+    uint64_t seen = 0;
+    while (seen < entries && std::getline(is, line)) {
+        auto t = trim(line);
+        if (t.empty() || t[0] == '%')
+            continue;
+        auto tok = splitWs(t);
+        size_t want = field == Field::Pattern ? 2 : 3;
+        if (tok.size() < want)
+            HT_FATAL("MatrixMarket: short entry line '", line, "'");
+        auto r = parseUint(tok[0], "row index");
+        auto c = parseUint(tok[1], "column index");
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            HT_FATAL("MatrixMarket: index (", r, ",", c, ") out of range");
+        double v = field == Field::Pattern ? 1.0 : parseDouble(tok[2]);
+
+        auto ri = static_cast<Index>(r - 1);
+        auto ci = static_cast<Index>(c - 1);
+        m.push(ri, ci, static_cast<Value>(v));
+        if (sym != Symmetry::General && ri != ci) {
+            double mirror = sym == Symmetry::SkewSymmetric ? -v : v;
+            m.push(ci, ri, static_cast<Value>(mirror));
+        }
+        ++seen;
+    }
+    if (seen != entries)
+        HT_FATAL("MatrixMarket: expected ", entries, " entries, got ", seen);
+
+    m.sortRowMajor();
+    m.dedupSum();
+    return m;
+}
+
+CooMatrix
+readMatrixMarketFile(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f)
+        HT_FATAL("cannot open '", path, "'");
+    return readMatrixMarket(f);
+}
+
+void
+writeMatrixMarket(const CooMatrix& m, std::ostream& os)
+{
+    os << "%%MatrixMarket matrix coordinate real general\n";
+    os << "% written by hottiles\n";
+    os << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    for (size_t i = 0; i < m.nnz(); ++i) {
+        os << (m.rowId(i) + 1) << " " << (m.colId(i) + 1) << " "
+           << m.value(i) << "\n";
+    }
+}
+
+void
+writeMatrixMarketFile(const CooMatrix& m, const std::string& path)
+{
+    std::ofstream f(path);
+    if (!f)
+        HT_FATAL("cannot open '", path, "' for writing");
+    writeMatrixMarket(m, f);
+    if (!f)
+        HT_FATAL("write to '", path, "' failed");
+}
+
+} // namespace hottiles

@@ -1,0 +1,30 @@
+#pragma once
+
+/**
+ * @file
+ * MatrixMarket (.mtx) reader/writer for the coordinate format, the input
+ * format of the HotTiles preprocessing pipeline (Fig 7).  Supports the
+ * real / integer / pattern fields and the general / symmetric /
+ * skew-symmetric symmetries, which covers the SuiteSparse collection.
+ */
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace hottiles {
+
+/** Parse a MatrixMarket coordinate stream into COO (1-based -> 0-based). */
+CooMatrix readMatrixMarket(std::istream& is);
+
+/** Load a .mtx file. @throws FatalError on missing/ill-formed files. */
+CooMatrix readMatrixMarketFile(const std::string& path);
+
+/** Write @p m as a general real coordinate MatrixMarket stream. */
+void writeMatrixMarket(const CooMatrix& m, std::ostream& os);
+
+/** Save @p m to a .mtx file. */
+void writeMatrixMarketFile(const CooMatrix& m, const std::string& path);
+
+} // namespace hottiles

@@ -1,0 +1,66 @@
+#include "sparse/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace hottiles {
+
+std::vector<Index>
+degreeDescendingPermutation(const CooMatrix& m)
+{
+    HT_ASSERT(m.rows() == m.cols(), "reordering expects a square matrix");
+    std::vector<uint64_t> deg(m.rows(), 0);
+    for (size_t i = 0; i < m.nnz(); ++i) {
+        ++deg[m.rowId(i)];
+        ++deg[m.colId(i)];
+    }
+    std::vector<Index> order(m.rows());
+    std::iota(order.begin(), order.end(), Index(0));
+    std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
+        return deg[a] != deg[b] ? deg[a] > deg[b] : a < b;
+    });
+    // order[new] = old; invert to perm[old] = new.
+    std::vector<Index> perm(m.rows());
+    for (Index n = 0; n < m.rows(); ++n)
+        perm[order[n]] = n;
+    return perm;
+}
+
+std::vector<Index>
+randomPermutation(Index n, uint64_t seed)
+{
+    std::vector<Index> perm(n);
+    std::iota(perm.begin(), perm.end(), Index(0));
+    Rng rng(seed);
+    for (Index i = n; i > 1; --i) {
+        auto j = static_cast<Index>(rng.nextBounded(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+std::vector<Index>
+inversePermutation(const std::vector<Index>& perm)
+{
+    std::vector<Index> inv(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        inv[perm[i]] = static_cast<Index>(i);
+    return inv;
+}
+
+bool
+isPermutation(const std::vector<Index>& perm)
+{
+    std::vector<bool> seen(perm.size(), false);
+    for (Index p : perm) {
+        if (p >= perm.size() || seen[p])
+            return false;
+        seen[p] = true;
+    }
+    return true;
+}
+
+} // namespace hottiles

@@ -1,0 +1,34 @@
+#pragma once
+
+/**
+ * @file
+ * Sparse matrix reordering utilities (the paper's §X future-work hook:
+ * "reordering could increase the effectiveness of HotTiles").  Degree
+ * sorting concentrates dense rows into the same row panels; random
+ * permutation destroys IMH and is used in tests/ablations as the
+ * "structure removed" control.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.hpp"
+
+namespace hottiles {
+
+/**
+ * Permutation that sorts rows by descending degree (out-degree +
+ * in-degree), i.e. perm[old_row] = new_row.  Ties break by row id.
+ */
+std::vector<Index> degreeDescendingPermutation(const CooMatrix& m);
+
+/** Uniformly random permutation of [0, n). */
+std::vector<Index> randomPermutation(Index n, uint64_t seed);
+
+/** Inverse of a permutation. */
+std::vector<Index> inversePermutation(const std::vector<Index>& perm);
+
+/** True iff @p perm is a permutation of [0, perm.size()). */
+bool isPermutation(const std::vector<Index>& perm);
+
+} // namespace hottiles

@@ -1,0 +1,204 @@
+#include "sparse/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hottiles {
+
+TileGrid::TileGrid(const CooMatrix& a, Index tile_height, Index tile_width)
+    : rows_(a.rows()), cols_(a.cols()), tile_h_(tile_height),
+      tile_w_(tile_width)
+{
+    HT_ASSERT(tile_height > 0 && tile_width > 0, "tile dims must be > 0");
+    num_panels_ = static_cast<Index>(ceilDiv(rows_, tile_h_));
+    num_tcols_ = static_cast<Index>(ceilDiv(cols_, tile_w_));
+
+    const size_t n = a.nnz();
+
+    // Row-major-sorted input keeps (row, col) order inside each tile after
+    // a stable counting sort by tile key.
+    const CooMatrix* src = &a;
+    CooMatrix sorted;
+    if (!a.isRowMajorSorted()) {
+        sorted = a;
+        sorted.sortRowMajor();
+        src = &sorted;
+    }
+
+    // Pass 1: count nonzeros per grid key (panel * num_tcols + tcol),
+    // keeping only occupied keys.
+    std::vector<uint64_t> keys(n);
+    std::unordered_map<uint64_t, size_t> key_count;
+    key_count.reserve(n / 8 + 16);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t key = uint64_t(src->rowId(i) / tile_h_) * num_tcols_ +
+                       src->colId(i) / tile_w_;
+        keys[i] = key;
+        ++key_count[key];
+    }
+
+    // Tile directory in (panel, tcol) order.
+    std::vector<uint64_t> occupied;
+    occupied.reserve(key_count.size());
+    for (const auto& [key, cnt] : key_count)
+        occupied.push_back(key);
+    std::sort(occupied.begin(), occupied.end());
+
+    tiles_.reserve(occupied.size());
+    std::unordered_map<uint64_t, size_t> key_to_tile;
+    key_to_tile.reserve(occupied.size());
+    size_t offset = 0;
+    for (uint64_t key : occupied) {
+        Tile t{};
+        t.panel = static_cast<Index>(key / num_tcols_);
+        t.tcol = static_cast<Index>(key % num_tcols_);
+        t.row0 = t.panel * tile_h_;
+        t.col0 = t.tcol * tile_w_;
+        t.height = std::min<Index>(tile_h_, rows_ - t.row0);
+        t.width = std::min<Index>(tile_w_, cols_ - t.col0);
+        t.offset = offset;
+        t.nnz = key_count[key];
+        offset += t.nnz;
+        key_to_tile.emplace(key, tiles_.size());
+        tiles_.push_back(t);
+    }
+
+    // Pass 2: stable counting sort of the nonzeros into tiled order.
+    tiled_rows_.resize(n);
+    tiled_cols_.resize(n);
+    tiled_vals_.resize(n);
+    std::vector<size_t> cursor(tiles_.size());
+    for (size_t t = 0; t < tiles_.size(); ++t)
+        cursor[t] = tiles_[t].offset;
+    for (size_t i = 0; i < n; ++i) {
+        size_t t = key_to_tile[keys[i]];
+        size_t pos = cursor[t]++;
+        tiled_rows_[pos] = src->rowId(i);
+        tiled_cols_[pos] = src->colId(i);
+        tiled_vals_[pos] = src->value(i);
+    }
+
+    // Pass 3: per-tile unique row/column counts.  Rows are sorted within
+    // a tile, so unique rows are row transitions; columns use a stamped
+    // scratch array of tile_width entries.
+    std::vector<uint32_t> col_stamp(tile_w_, 0);
+    uint32_t generation = 0;
+    for (auto& t : tiles_) {
+        ++generation;
+        Index uniq_r = 0;
+        Index uniq_c = 0;
+        Index prev_row = ~Index(0);
+        for (size_t i = t.offset; i < t.offset + t.nnz; ++i) {
+            if (tiled_rows_[i] != prev_row) {
+                ++uniq_r;
+                prev_row = tiled_rows_[i];
+            }
+            Index local_c = tiled_cols_[i] - t.col0;
+            if (col_stamp[local_c] != generation) {
+                col_stamp[local_c] = generation;
+                ++uniq_c;
+            }
+        }
+        t.uniq_rids = uniq_r;
+        t.uniq_cids = uniq_c;
+    }
+
+    // Panel index: first tile of each panel.
+    panel_begin_.assign(num_panels_ + 1, tiles_.size());
+    for (size_t i = tiles_.size(); i-- > 0;)
+        panel_begin_[tiles_[i].panel] = i;
+    // Back-fill panels with no tiles so ranges stay well formed.
+    for (size_t p = num_panels_; p-- > 0;) {
+        if (panel_begin_[p] > panel_begin_[p + 1])
+            panel_begin_[p] = panel_begin_[p + 1];
+    }
+}
+
+size_t
+TileGrid::emptyTiles() const
+{
+    return size_t(num_panels_) * num_tcols_ - tiles_.size();
+}
+
+std::span<const Index>
+TileGrid::tileRows(size_t i) const
+{
+    const Tile& t = tiles_.at(i);
+    return {tiled_rows_.data() + t.offset, t.nnz};
+}
+
+std::span<const Index>
+TileGrid::tileCols(size_t i) const
+{
+    const Tile& t = tiles_.at(i);
+    return {tiled_cols_.data() + t.offset, t.nnz};
+}
+
+std::span<const Value>
+TileGrid::tileVals(size_t i) const
+{
+    const Tile& t = tiles_.at(i);
+    return {tiled_vals_.data() + t.offset, t.nnz};
+}
+
+std::pair<size_t, size_t>
+TileGrid::panelTiles(Index p) const
+{
+    HT_ASSERT(p < num_panels_, "panel out of range");
+    return {panel_begin_[p], panel_begin_[p + 1]};
+}
+
+double
+TileGrid::tileNnzCv() const
+{
+    const double positions =
+        static_cast<double>(num_panels_) * num_tcols_;
+    if (positions == 0.0)
+        return 0.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const auto& t : tiles_) {
+        sum += static_cast<double>(t.nnz);
+        sum_sq += static_cast<double>(t.nnz) * t.nnz;
+    }
+    double mean = sum / positions;
+    if (mean == 0.0)
+        return 0.0;
+    double var = sum_sq / positions - mean * mean;
+    return std::sqrt(std::max(var, 0.0)) / mean;
+}
+
+CooMatrix
+TileGrid::tileCoo(size_t i) const
+{
+    const Tile& t = tiles_.at(i);
+    CooMatrix m(rows_, cols_);
+    m.reserve(t.nnz);
+    for (size_t j = t.offset; j < t.offset + t.nnz; ++j)
+        m.push(tiled_rows_[j], tiled_cols_[j], tiled_vals_[j]);
+    return m;
+}
+
+CooMatrix
+TileGrid::gatherTiles(const std::vector<size_t>& tile_ids) const
+{
+    size_t total = 0;
+    for (size_t id : tile_ids)
+        total += tiles_.at(id).nnz;
+    CooMatrix m(rows_, cols_);
+    m.reserve(total);
+    for (size_t id : tile_ids) {
+        const Tile& t = tiles_[id];
+        for (size_t j = t.offset; j < t.offset + t.nnz; ++j)
+            m.push(tiled_rows_[j], tiled_cols_[j], tiled_vals_[j]);
+    }
+    m.sortRowMajor();
+    return m;
+}
+
+} // namespace hottiles

@@ -1,0 +1,112 @@
+#pragma once
+
+/**
+ * @file
+ * The tiling engine.  Partitions a sparse matrix into tile_height x
+ * tile_width tiles, reorders nonzeros into tiled row-major order
+ * (Fig 6(b)), gathers the per-tile statistics the analytical model needs
+ * (nnz, unique row ids, unique column ids), and eliminates empty tiles —
+ * the paper's preprocessing "matrix scan" step (Fig 7).
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+
+namespace hottiles {
+
+/** Statistics and extent of one (non-empty) sparse matrix tile. */
+struct Tile
+{
+    Index panel;      //!< row-panel index (row0 / tile_height)
+    Index tcol;       //!< tile-column index (col0 / tile_width)
+    Index row0;       //!< first row covered
+    Index col0;       //!< first column covered
+    Index height;     //!< rows covered (clipped at the matrix edge)
+    Index width;      //!< columns covered (clipped at the matrix edge)
+    size_t offset;    //!< first nonzero in the tiled-order arrays
+    size_t nnz;       //!< nonzeros in this tile (> 0; empty tiles dropped)
+    Index uniq_rids;  //!< distinct row ids among the tile's nonzeros
+    Index uniq_cids;  //!< distinct column ids among the tile's nonzeros
+};
+
+/**
+ * A sparse matrix partitioned into tiles.
+ *
+ * Nonzeros are stored once, in tiled row-major order: sorted by
+ * (panel, tcol) and, within a tile, by (row, col).  Empty tiles are not
+ * represented ("we completely eliminate empty tiles during
+ * preprocessing", §IX).  Tiles appear sorted by (panel, tcol), so all
+ * tiles of a row panel are contiguous.
+ */
+class TileGrid
+{
+  public:
+    /**
+     * Tile @p a into tiles of @p tile_height x @p tile_width.
+     * @pre tile dims > 0.  @p a need not be sorted.
+     */
+    TileGrid(const CooMatrix& a, Index tile_height, Index tile_width);
+
+    Index matrixRows() const { return rows_; }
+    Index matrixCols() const { return cols_; }
+    size_t matrixNnz() const { return tiled_rows_.size(); }
+    Index tileHeight() const { return tile_h_; }
+    Index tileWidth() const { return tile_w_; }
+
+    /** Row panels in the grid (including ones with no nonzeros). */
+    Index numPanels() const { return num_panels_; }
+    /** Tile columns in the grid. */
+    Index numTileCols() const { return num_tcols_; }
+
+    size_t numTiles() const { return tiles_.size(); }
+    const Tile& tile(size_t i) const { return tiles_[i]; }
+    const std::vector<Tile>& tiles() const { return tiles_; }
+
+    /** Grid positions with zero nonzeros (eliminated). */
+    size_t emptyTiles() const;
+
+    /** Row ids of tile @p i's nonzeros (tiled order). */
+    std::span<const Index> tileRows(size_t i) const;
+    /** Column ids of tile @p i's nonzeros. */
+    std::span<const Index> tileCols(size_t i) const;
+    /** Values of tile @p i's nonzeros. */
+    std::span<const Value> tileVals(size_t i) const;
+
+    /** [first, last) range of tile indices belonging to panel @p p. */
+    std::pair<size_t, size_t> panelTiles(Index p) const;
+
+    /**
+     * Coefficient of variation of per-tile nnz across all grid positions
+     * (empty ones included) — a quantitative intra-matrix-heterogeneity
+     * (IMH) metric; 0 for perfectly uniform matrices.
+     */
+    double tileNnzCv() const;
+
+    /** Extract tile @p i as a global-coordinate COO matrix. */
+    CooMatrix tileCoo(size_t i) const;
+
+    /**
+     * Extract the union of the given tiles as one global-coordinate COO
+     * matrix sorted row-major (used to build untiled worker formats).
+     */
+    CooMatrix gatherTiles(const std::vector<size_t>& tile_ids) const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    Index tile_h_ = 0;
+    Index tile_w_ = 0;
+    Index num_panels_ = 0;
+    Index num_tcols_ = 0;
+    std::vector<Tile> tiles_;
+    std::vector<size_t> panel_begin_;  // per panel: first tile index
+    std::vector<Index> tiled_rows_;
+    std::vector<Index> tiled_cols_;
+    std::vector<Value> tiled_vals_;
+};
+
+} // namespace hottiles

@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * Basic scalar and index types for sparse structures.  Matrices in this
+ * repository are at most a few hundred thousand rows (the scaled-down
+ * proxies of the paper's SuiteSparse benchmarks), so 32-bit indices
+ * suffice; values are stored in single precision and accumulated in
+ * double inside reference kernels.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hottiles {
+
+/** Row/column index type. */
+using Index = uint32_t;
+
+/** Nonzero value storage type. */
+using Value = float;
+
+/** One nonzero in coordinate form. */
+struct Nonzero
+{
+    Index row;
+    Index col;
+    Value val;
+};
+
+/** Lexicographic row-major order (row, then col). */
+constexpr bool
+rowMajorLess(const Nonzero& a, const Nonzero& b)
+{
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+
+/** Lexicographic column-major order (col, then row). */
+constexpr bool
+colMajorLess(const Nonzero& a, const Nonzero& b)
+{
+    return a.col != b.col ? a.col < b.col : a.row < b.row;
+}
+
+} // namespace hottiles

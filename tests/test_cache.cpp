@@ -1,0 +1,88 @@
+/** @file Tests for the set-associative LRU cache. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+
+using namespace hottiles;
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(1024, 2, 64);  // 16 lines, 8 sets x 2 ways
+    EXPECT_FALSE(c.access(5));
+    EXPECT_TRUE(c.access(5));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.5);
+}
+
+TEST(Cache, Geometry)
+{
+    Cache c(32 * 1024, 8, 64);
+    EXPECT_EQ(c.ways(), 8u);
+    EXPECT_EQ(c.numSets(), 64u);
+    Cache tiny(64, 4, 64);  // degenerates to 1 set
+    EXPECT_EQ(tiny.numSets(), 1u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 1 set, 2 ways: lines mapping to the same set contend directly.
+    Cache c(128, 2, 64);
+    ASSERT_EQ(c.numSets(), 1u);
+    EXPECT_FALSE(c.access(1));
+    EXPECT_FALSE(c.access(2));
+    EXPECT_TRUE(c.access(1));   // 1 is MRU now
+    EXPECT_FALSE(c.access(3));  // evicts 2 (LRU)
+    EXPECT_TRUE(c.access(1));
+    EXPECT_FALSE(c.access(2));  // 2 was evicted
+}
+
+TEST(Cache, SetsIsolateConflicts)
+{
+    Cache c(256, 1, 64);  // 4 sets, direct mapped
+    ASSERT_EQ(c.numSets(), 4u);
+    // Lines 0..3 map to distinct sets; all fit simultaneously.
+    for (uint64_t l = 0; l < 4; ++l)
+        EXPECT_FALSE(c.access(l));
+    for (uint64_t l = 0; l < 4; ++l)
+        EXPECT_TRUE(c.access(l));
+    // Line 4 conflicts with line 0 only.
+    EXPECT_FALSE(c.access(4));
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(1));
+}
+
+TEST(Cache, CapacityWorkingSet)
+{
+    Cache c(64 * 64, 8, 64);  // 64 lines total
+    // A working set of 32 lines fits: second pass all hits.
+    for (uint64_t l = 0; l < 32; ++l)
+        c.access(l);
+    uint64_t misses_before = c.misses();
+    for (uint64_t l = 0; l < 32; ++l)
+        EXPECT_TRUE(c.access(l)) << l;
+    EXPECT_EQ(c.misses(), misses_before);
+    // A streaming scan of 1000 lines mostly misses.
+    Cache s(64 * 64, 8, 64);
+    for (uint64_t l = 0; l < 1000; ++l)
+        s.access(l);
+    EXPECT_EQ(s.hits(), 0u);
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache c(1024, 4, 64);
+    c.access(1);
+    c.access(1);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.access(1));  // contents gone
+}
+
+TEST(Cache, HitRateEmptyIsZero)
+{
+    Cache c(1024, 4, 64);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.0);
+}

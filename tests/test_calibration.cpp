@@ -1,0 +1,93 @@
+/** @file Tests for the vis_lat calibration search (§VI-B). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/calibration.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+/** Samples generated from a known ground-truth vis_lat. */
+std::vector<CalibrationSample>
+syntheticSamples(double true_vis_lat)
+{
+    std::vector<CalibrationSample> samples;
+    // Three "profiling runs" with different byte/compute mixes, using a
+    // roofline-like predicted shape max(compute, bytes * vis_lat).
+    struct Run
+    {
+        double bytes;
+        double compute;
+    };
+    for (Run r : {Run{1e6, 100.0}, Run{5e5, 4000.0}, Run{2e6, 50.0}}) {
+        CalibrationSample s;
+        s.predict = [r](double v) {
+            return std::max(r.compute, r.bytes * v);
+        };
+        s.actual_cycles = std::max(r.compute, r.bytes * true_vis_lat);
+        samples.push_back(std::move(s));
+    }
+    return samples;
+}
+
+} // namespace
+
+TEST(Calibration, RecoversGroundTruth)
+{
+    for (double truth : {0.001, 0.05, 0.8}) {
+        auto samples = syntheticSamples(truth);
+        CalibrationResult r = calibrateVisLat(samples);
+        EXPECT_LT(r.mean_rel_error, 0.01) << "truth " << truth;
+        // The memory-bound samples pin vis_lat near the truth.
+        EXPECT_NEAR(std::log(r.vis_lat), std::log(truth), 0.1)
+            << "truth " << truth;
+    }
+}
+
+TEST(Calibration, ErrorIsZeroAtPerfectFit)
+{
+    auto samples = syntheticSamples(0.1);
+    EXPECT_NEAR(calibrationError(samples, 0.1), 0.0, 1e-12);
+    EXPECT_GT(calibrationError(samples, 1.0), 0.1);
+}
+
+TEST(Calibration, HandlesNoisyActuals)
+{
+    auto samples = syntheticSamples(0.05);
+    // Perturb the measurements by ±10%.
+    samples[0].actual_cycles *= 1.1;
+    samples[1].actual_cycles *= 0.9;
+    CalibrationResult r = calibrateVisLat(samples);
+    EXPECT_LT(r.mean_rel_error, 0.15);
+    EXPECT_NEAR(std::log(r.vis_lat), std::log(0.05), 0.5);
+}
+
+TEST(Calibration, RespectsSearchBounds)
+{
+    auto samples = syntheticSamples(0.05);
+    CalibrationResult r = calibrateVisLat(samples, 1e-4, 10.0);
+    EXPECT_GE(r.vis_lat, 1e-4);
+    EXPECT_LE(r.vis_lat, 10.0);
+}
+
+TEST(Calibration, LinearPredictorExactFit)
+{
+    // With purely linear predictors the optimum is exact.
+    std::vector<CalibrationSample> samples;
+    CalibrationSample s;
+    s.predict = [](double v) { return 1e6 * v; };
+    s.actual_cycles = 1e6 * 0.02;
+    samples.push_back(std::move(s));
+    CalibrationResult r = calibrateVisLat(samples);
+    EXPECT_NEAR(r.vis_lat, 0.02, 1e-4);
+    EXPECT_LT(r.mean_rel_error, 1e-3);
+}
+
+TEST(Calibration, DiesWithoutSamples)
+{
+    std::vector<CalibrationSample> none;
+    EXPECT_DEATH(calibrationError(none, 0.1), "samples");
+}

@@ -1,0 +1,193 @@
+/** @file Tests for the COO sparse matrix container. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+CooMatrix
+smallMatrix()
+{
+    // 4x4:
+    //   [ .  1  .  2 ]
+    //   [ .  .  3  . ]
+    //   [ 4  .  .  . ]
+    //   [ .  5  .  6 ]
+    CooMatrix m(4, 4);
+    m.push(3, 3, 6);
+    m.push(0, 1, 1);
+    m.push(2, 0, 4);
+    m.push(0, 3, 2);
+    m.push(1, 2, 3);
+    m.push(3, 1, 5);
+    return m;
+}
+
+} // namespace
+
+TEST(Coo, BasicAccessors)
+{
+    CooMatrix m = smallMatrix();
+    EXPECT_EQ(m.rows(), 4u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 6u);
+    EXPECT_FALSE(m.empty());
+    EXPECT_DOUBLE_EQ(m.avgDegree(), 1.5);
+    EXPECT_DOUBLE_EQ(m.density(), 6.0 / 16.0);
+}
+
+TEST(Coo, EmptyMatrix)
+{
+    CooMatrix m(3, 3);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.avgDegree(), 0.0);
+    EXPECT_TRUE(m.isRowMajorSorted());
+}
+
+TEST(Coo, PushOutOfRangeDies)
+{
+    CooMatrix m(2, 2);
+    EXPECT_DEATH(m.push(2, 0, 1.0f), "outside");
+    EXPECT_DEATH(m.push(0, 2, 1.0f), "outside");
+}
+
+TEST(Coo, SortRowMajor)
+{
+    CooMatrix m = smallMatrix();
+    EXPECT_FALSE(m.isRowMajorSorted());
+    m.sortRowMajor();
+    EXPECT_TRUE(m.isRowMajorSorted());
+    EXPECT_EQ(m.rowId(0), 0u);
+    EXPECT_EQ(m.colId(0), 1u);
+    EXPECT_FLOAT_EQ(m.value(0), 1.0f);
+    EXPECT_EQ(m.rowId(5), 3u);
+    EXPECT_EQ(m.colId(5), 3u);
+}
+
+TEST(Coo, SortColMajor)
+{
+    CooMatrix m = smallMatrix();
+    m.sortColMajor();
+    // First nonzero must be the one in the lowest column.
+    EXPECT_EQ(m.colId(0), 0u);
+    EXPECT_EQ(m.rowId(0), 2u);
+    for (size_t i = 1; i < m.nnz(); ++i) {
+        ASSERT_TRUE(m.colId(i) > m.colId(i - 1) ||
+                    (m.colId(i) == m.colId(i - 1) &&
+                     m.rowId(i) > m.rowId(i - 1)));
+    }
+}
+
+TEST(Coo, DedupSumsValues)
+{
+    CooMatrix m(2, 2);
+    m.push(0, 0, 1);
+    m.push(0, 0, 2);
+    m.push(1, 1, 3);
+    m.push(0, 0, 4);
+    m.sortRowMajor();
+    m.dedupSum();
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_FLOAT_EQ(m.value(0), 7.0f);
+    EXPECT_FLOAT_EQ(m.value(1), 3.0f);
+}
+
+TEST(Coo, TransposeRoundTrip)
+{
+    CooMatrix m = smallMatrix();
+    CooMatrix t = m.transposed();
+    EXPECT_EQ(t.rows(), m.cols());
+    EXPECT_TRUE(t.isRowMajorSorted());
+    CooMatrix back = t.transposed();
+    EXPECT_TRUE(back.sameStructure(m));
+}
+
+TEST(Coo, SymmetrizedContainsBothDirections)
+{
+    CooMatrix m(3, 3);
+    m.push(0, 1, 1);
+    m.push(2, 2, 5);
+    CooMatrix s = m.symmetrized();
+    EXPECT_EQ(s.nnz(), 3u);  // (0,1), (1,0), (2,2)
+    bool found_mirror = false;
+    for (size_t i = 0; i < s.nnz(); ++i)
+        if (s.rowId(i) == 1 && s.colId(i) == 0)
+            found_mirror = true;
+    EXPECT_TRUE(found_mirror);
+}
+
+TEST(Coo, SymmetrizedMergesDuplicates)
+{
+    CooMatrix m(2, 2);
+    m.push(0, 1, 1);
+    m.push(1, 0, 2);  // mirror already present
+    CooMatrix s = m.symmetrized();
+    EXPECT_EQ(s.nnz(), 2u);
+    EXPECT_FLOAT_EQ(s.value(0), 3.0f);  // merged 1 + 2
+}
+
+TEST(Coo, PermutedSymmetricRelabels)
+{
+    CooMatrix m(3, 3);
+    m.push(0, 1, 1);
+    m.push(1, 2, 2);
+    std::vector<Index> perm = {2, 0, 1};  // 0->2, 1->0, 2->1
+    CooMatrix p = m.permutedSymmetric(perm);
+    EXPECT_TRUE(p.isRowMajorSorted());
+    // (0,1) -> (2,0); (1,2) -> (0,1)
+    EXPECT_EQ(p.rowId(0), 0u);
+    EXPECT_EQ(p.colId(0), 1u);
+    EXPECT_FLOAT_EQ(p.value(0), 2.0f);
+    EXPECT_EQ(p.rowId(1), 2u);
+    EXPECT_EQ(p.colId(1), 0u);
+}
+
+TEST(Coo, RowDegrees)
+{
+    CooMatrix m = smallMatrix();
+    auto deg = m.rowDegrees();
+    ASSERT_EQ(deg.size(), 4u);
+    EXPECT_EQ(deg[0], 2u);
+    EXPECT_EQ(deg[1], 1u);
+    EXPECT_EQ(deg[2], 1u);
+    EXPECT_EQ(deg[3], 2u);
+}
+
+TEST(Coo, SameStructureIgnoresOrderAndValues)
+{
+    CooMatrix a = smallMatrix();
+    CooMatrix b(4, 4);
+    // Same coordinates, different order and values.
+    b.push(0, 1, 9);
+    b.push(0, 3, 9);
+    b.push(1, 2, 9);
+    b.push(2, 0, 9);
+    b.push(3, 1, 9);
+    b.push(3, 3, 9);
+    EXPECT_TRUE(a.sameStructure(b));
+    b.push(0, 0, 9);
+    EXPECT_FALSE(a.sameStructure(b));
+}
+
+TEST(Coo, ConstructFromNonzeroList)
+{
+    std::vector<Nonzero> nnzs = {{1, 0, 2.0f}, {0, 1, 3.0f}};
+    CooMatrix m(2, 2, nnzs);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_EQ(m.rowId(0), 1u);
+}
+
+TEST(Coo, NonzeroComparators)
+{
+    Nonzero a{1, 2, 0};
+    Nonzero b{1, 3, 0};
+    Nonzero c{2, 0, 0};
+    EXPECT_TRUE(rowMajorLess(a, b));
+    EXPECT_TRUE(rowMajorLess(a, c));
+    EXPECT_TRUE(colMajorLess(c, a));
+    EXPECT_FALSE(colMajorLess(b, a));
+}

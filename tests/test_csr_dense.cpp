@@ -1,0 +1,153 @@
+/** @file Tests for CSR conversion and the dense matrix / reference SpMM. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+TEST(Csr, FromCooBasics)
+{
+    CooMatrix coo(3, 4);
+    coo.push(2, 1, 5);
+    coo.push(0, 0, 1);
+    coo.push(0, 3, 2);
+    CsrMatrix m = CsrMatrix::fromCoo(coo);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_EQ(m.rowNnz(0), 2u);
+    EXPECT_EQ(m.rowNnz(1), 0u);
+    EXPECT_EQ(m.rowNnz(2), 1u);
+    EXPECT_EQ(m.colIds()[m.rowBegin(2)], 1u);
+    EXPECT_FLOAT_EQ(m.values()[m.rowBegin(0)], 1.0f);
+}
+
+TEST(Csr, RowPtrMonotone)
+{
+    CooMatrix coo = genUniform(64, 64, 400, 1);
+    CsrMatrix m = CsrMatrix::fromCoo(coo);
+    ASSERT_EQ(m.rowPtr().size(), 65u);
+    EXPECT_EQ(m.rowPtr().front(), 0u);
+    EXPECT_EQ(m.rowPtr().back(), m.nnz());
+    for (size_t r = 0; r < 64; ++r)
+        ASSERT_LE(m.rowPtr()[r], m.rowPtr()[r + 1]);
+}
+
+TEST(Csr, CooRoundTrip)
+{
+    CooMatrix coo = genUniform(50, 70, 300, 2);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    CooMatrix back = csr.toCoo();
+    CooMatrix sorted = coo;
+    sorted.sortRowMajor();
+    ASSERT_EQ(back.nnz(), sorted.nnz());
+    for (size_t i = 0; i < back.nnz(); ++i) {
+        ASSERT_EQ(back.rowId(i), sorted.rowId(i));
+        ASSERT_EQ(back.colId(i), sorted.colId(i));
+        ASSERT_FLOAT_EQ(back.value(i), sorted.value(i));
+    }
+}
+
+TEST(Dense, FillAndAccess)
+{
+    DenseMatrix d(3, 2);
+    EXPECT_FLOAT_EQ(d.at(2, 1), 0.0f);
+    d.at(2, 1) = 5.0f;
+    EXPECT_FLOAT_EQ(d.row(2)[1], 5.0f);
+    d.fill(1.5f);
+    EXPECT_FLOAT_EQ(d.at(0, 0), 1.5f);
+}
+
+TEST(Dense, FillRandomDeterministic)
+{
+    DenseMatrix a(10, 10);
+    DenseMatrix b(10, 10);
+    Rng r1(42);
+    Rng r2(42);
+    a.fillRandom(r1);
+    b.fillRandom(r2);
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 0.0);
+}
+
+TEST(Dense, AccumulateAndDiff)
+{
+    DenseMatrix a(2, 2);
+    DenseMatrix b(2, 2);
+    a.fill(1.0f);
+    b.fill(2.0f);
+    a.accumulate(b);
+    EXPECT_FLOAT_EQ(a.at(1, 1), 3.0f);
+    EXPECT_NEAR(a.maxAbsDiff(b), 1.0, 1e-7);
+}
+
+TEST(Dense, ApproxEqualTolerance)
+{
+    DenseMatrix a(2, 2);
+    DenseMatrix b(2, 2);
+    a.fill(100.0f);
+    b.fill(100.001f);
+    EXPECT_TRUE(a.approxEqual(b, 1e-4));
+    EXPECT_FALSE(a.approxEqual(b, 1e-7));
+}
+
+TEST(ReferenceSpmm, HandComputedExample)
+{
+    // A = [[2, 0], [0, 3]], Din = [[1, 2], [3, 4]].
+    CooMatrix a(2, 2);
+    a.push(0, 0, 2);
+    a.push(1, 1, 3);
+    DenseMatrix din(2, 2);
+    din.at(0, 0) = 1;
+    din.at(0, 1) = 2;
+    din.at(1, 0) = 3;
+    din.at(1, 1) = 4;
+    DenseMatrix dout = referenceSpmm(a, din);
+    EXPECT_FLOAT_EQ(dout.at(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(dout.at(0, 1), 4.0f);
+    EXPECT_FLOAT_EQ(dout.at(1, 0), 9.0f);
+    EXPECT_FLOAT_EQ(dout.at(1, 1), 12.0f);
+}
+
+TEST(ReferenceSpmm, CooAndCsrAgree)
+{
+    CooMatrix a = genRmat(256, 3000, 0.57, 0.19, 0.19, 0.05, 3);
+    DenseMatrix din(256, 16);
+    Rng rng(4);
+    din.fillRandom(rng);
+    DenseMatrix via_coo = referenceSpmm(a, din);
+    DenseMatrix via_csr = referenceSpmm(CsrMatrix::fromCoo(a), din);
+    EXPECT_TRUE(via_coo.approxEqual(via_csr, 1e-4));
+}
+
+TEST(ReferenceSpmm, LinearInDin)
+{
+    CooMatrix a = genUniform(128, 128, 800, 5);
+    DenseMatrix din(128, 8);
+    Rng rng(6);
+    din.fillRandom(rng);
+    DenseMatrix dout1 = referenceSpmm(a, din);
+    DenseMatrix din2 = din;
+    for (Index r = 0; r < din2.rows(); ++r)
+        for (Index c = 0; c < din2.cols(); ++c)
+            din2.at(r, c) *= 2.0f;
+    DenseMatrix dout2 = referenceSpmm(a, din2);
+    for (Index r = 0; r < dout1.rows(); ++r)
+        for (Index c = 0; c < dout1.cols(); ++c)
+            ASSERT_NEAR(dout2.at(r, c), 2.0f * dout1.at(r, c),
+                        1e-3 * (std::abs(dout1.at(r, c)) + 1.0));
+}
+
+TEST(ReferenceSpmm, EmptyMatrixGivesZeros)
+{
+    CooMatrix a(4, 4);
+    DenseMatrix din(4, 3);
+    din.fill(7.0f);
+    DenseMatrix dout = referenceSpmm(a, din);
+    for (Index r = 0; r < 4; ++r)
+        for (Index c = 0; c < 3; ++c)
+            ASSERT_FLOAT_EQ(dout.at(r, c), 0.0f);
+}

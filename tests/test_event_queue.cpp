@@ -1,0 +1,89 @@
+/** @file Tests for the discrete-event simulation core. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+using namespace hottiles;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.processed(), 3u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.runUntilEmpty();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PastSchedulesClampToNow)
+{
+    EventQueue eq;
+    Tick seen = 999;
+    eq.schedule(50, [&] {
+        eq.schedule(10, [&] { seen = eq.now(); });  // in the past
+    });
+    eq.runUntilEmpty();
+    EXPECT_EQ(seen, 50u);
+}
+
+TEST(EventQueue, CascadingEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            eq.scheduleIn(2, chain);
+    };
+    eq.schedule(0, chain);
+    eq.runUntilEmpty();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 198u);
+}
+
+TEST(EventQueue, RunOneSteps)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilLimitStopsEarly)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntilEmpty(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntilEmpty();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EmptyCallbackDies)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.schedule(1, EventQueue::Callback{}), "empty callback");
+}

@@ -1,0 +1,134 @@
+/** @file Strategy-level integration tests asserting the paper's
+ *  qualitative evaluation shapes (§VIII-A) on class-representative
+ *  matrices. */
+
+#include <gtest/gtest.h>
+
+#include "core/calibrate.hpp"
+#include "core/execution.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+const Architecture&
+ssArch()
+{
+    static Architecture a = calibrated(makeSpadeSextans(4));
+    return a;
+}
+
+const Architecture&
+piumaArch()
+{
+    static Architecture a = calibrated(makePiuma());
+    return a;
+}
+
+} // namespace
+
+TEST(Execution, StrategyNames)
+{
+    EXPECT_STREQ(strategyName(Strategy::HotOnly), "HotOnly");
+    EXPECT_STREQ(strategyName(Strategy::BestHomogeneous),
+                 "BestHomogeneous");
+    EXPECT_STREQ(strategyName(Strategy::HotTiles), "HotTiles");
+}
+
+TEST(Execution, SparsePowerLawFavorsColdAndHotTilesWins)
+{
+    // ski/pok class: HotOnly far slower; HotTiles >= ColdOnly.
+    CooMatrix m = genRmat(16384, 140000, 0.57, 0.19, 0.19, 0.05, 101);
+    MatrixEvaluation ev = evaluateMatrix(ssArch(), m, "powerlaw");
+    EXPECT_GT(ev.hot_only.cycles(), 3.0 * ev.cold_only.cycles());
+    EXPECT_LE(ev.hottiles.cycles(), 1.1 * ev.bestHomogeneousCycles());
+    EXPECT_GE(ev.speedupOverWorst(ev.hottiles), 1.0);
+}
+
+TEST(Execution, DenseMatrixFavorsHot)
+{
+    // myc class: a dense matrix runs far faster on the hot workers.
+    CooMatrix m = genUniform(1536, 1536, 700000, 102);
+    MatrixEvaluation ev = evaluateMatrix(ssArch(), m, "dense");
+    EXPECT_GT(ev.cold_only.cycles(), 2.0 * ev.hot_only.cycles());
+    EXPECT_LE(ev.hottiles.cycles(), 1.15 * ev.bestHomogeneousCycles());
+}
+
+TEST(Execution, HotTilesBeatsBestHomogeneousOnImhMatrix)
+{
+    // The headline claim: on a matrix with strong IMH (dense communities
+    // over a sparse background), heterogeneous execution with HotTiles
+    // beats the best homogeneous strategy outright.
+    CooMatrix m = genCommunity(8192, 60.0, 64, 256, 0.85, 103);
+    MatrixEvaluation ev = evaluateMatrix(ssArch(), m, "imh");
+    EXPECT_LT(ev.hottiles.cycles(), ev.bestHomogeneousCycles());
+    EXPECT_LT(ev.hottiles.cycles(), ev.iunaware.cycles());
+}
+
+TEST(Execution, IUnawareCanLoseToBestHomogeneous)
+{
+    // The §III-B pitfall: on SPADE-Sextans, IMH-unaware heterogeneous
+    // execution is worse than the best homogeneous run for sparse
+    // matrices (adding hot workers only adds bandwidth pressure).
+    CooMatrix m = genRmat(8192, 110000, 0.57, 0.19, 0.19, 0.05, 104);
+    MatrixEvaluation ev = evaluateMatrix(ssArch(), m, "pitfall");
+    EXPECT_GT(ev.iunaware.cycles(), ev.bestHomogeneousCycles());
+    // ... but still beats the WORST homogeneous run (Fig 4).
+    EXPECT_LT(ev.iunaware.cycles(), ev.worstHomogeneousCycles());
+}
+
+TEST(Execution, HotTilesSkewsNnzTowardHotWorkers)
+{
+    // Fig 5: HotTiles assigns a higher nonzero share than tile share to
+    // hot workers (IUnaware does not).
+    CooMatrix m = genCommunity(8192, 60.0, 64, 256, 0.85, 105);
+    MatrixEvaluation ev = evaluateMatrix(ssArch(), m, "fig5");
+    const Partition& ht = ev.hottiles.partition;
+    const Partition& iu = ev.iunaware.partition;
+    if (ht.hotTileFraction() > 0.0 && ht.hotTileFraction() < 1.0) {
+        double ht_skew = ev.hottiles.partition.hotNnzFraction(
+            TileGrid(m, ssArch().tile_height, ssArch().tile_width));
+        EXPECT_GT(ht_skew, ht.hotTileFraction());
+    }
+    // IUnaware's nnz share tracks its tile share.
+    TileGrid grid(m, ssArch().tile_height, ssArch().tile_width);
+    EXPECT_NEAR(iu.hotNnzFraction(grid), iu.hotTileFraction(), 0.25);
+}
+
+TEST(Execution, PiumaHotTilesBeatsWorstHomogeneous)
+{
+    CooMatrix m = genRmat(4096, 60000, 0.57, 0.19, 0.19, 0.05, 106);
+    MatrixEvaluation ev = evaluateMatrix(piumaArch(), m, "piuma");
+    EXPECT_GE(ev.speedupOverWorst(ev.hottiles), 1.0);
+    EXPECT_LE(ev.hottiles.cycles(), 1.1 * ev.bestHomogeneousCycles());
+    // PIUMA partitions are always parallel (atomic engine).
+    EXPECT_FALSE(ev.hottiles.partition.serial);
+}
+
+TEST(Execution, PredictionsWithinFactorTwoOfSimulation)
+{
+    // Fig 17: the model tracks the simulator within a modest error for
+    // homogeneous and HotTiles executions.
+    CooMatrix m = genCommunity(4096, 40.0, 64, 256, 0.8, 107);
+    MatrixEvaluation ev = evaluateMatrix(ssArch(), m, "error");
+    auto rel = [](double pred, double act) {
+        return std::abs(pred - act) / act;
+    };
+    EXPECT_LT(rel(ev.hot_only.predicted_cycles, ev.hot_only.cycles()), 1.0);
+    EXPECT_LT(rel(ev.cold_only.predicted_cycles, ev.cold_only.cycles()),
+              1.0);
+    EXPECT_LT(rel(ev.hottiles.predicted_cycles, ev.hottiles.cycles()), 1.0);
+}
+
+TEST(Execution, SimulatePartitionMatchesEvaluate)
+{
+    CooMatrix m = genUniform(1024, 1024, 15000, 108);
+    HotTilesOptions opts;
+    opts.build_formats = false;
+    HotTiles ht(ssArch(), m, opts);
+    StrategyOutcome o = simulatePartition(ht, ht.partition(),
+                                          Strategy::HotTiles);
+    MatrixEvaluation ev = evaluateMatrix(ssArch(), m, "same");
+    EXPECT_EQ(o.stats.cycles, ev.hottiles.stats.cycles);
+}

@@ -1,0 +1,76 @@
+/** @file Tests for iso-scale architecture exploration (§VIII-B). */
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+std::vector<ExplorationPoint>
+explore(uint64_t seed, int total = 4)
+{
+    // A smaller iso-scale total keeps the test quick while exercising
+    // both homogeneous endpoints and the heterogeneous interior.
+    CooMatrix m = genCommunity(2048, 30.0, 64, 128, 0.8, seed);
+    return exploreIsoScale(m, total, KernelConfig{});
+}
+
+} // namespace
+
+TEST(Explorer, EnumeratesAllSplits)
+{
+    auto pts = explore(121);
+    ASSERT_EQ(pts.size(), 5u);  // 0-4 .. 4-0
+    EXPECT_EQ(pts.front().cold_scale, 0);
+    EXPECT_EQ(pts.front().hot_scale, 4);
+    EXPECT_EQ(pts.back().cold_scale, 4);
+    EXPECT_EQ(pts.back().hot_scale, 0);
+    EXPECT_EQ(pts[1].label(), "1-3");
+}
+
+TEST(Explorer, AllPointsHavePositiveCycles)
+{
+    for (const auto& pt : explore(122)) {
+        EXPECT_GT(pt.predicted_cycles, 0.0) << pt.label();
+        EXPECT_GT(pt.actual_cycles, 0.0) << pt.label();
+    }
+}
+
+TEST(Explorer, BestSelectorsAgreeWithScan)
+{
+    auto pts = explore(123);
+    size_t bp = bestPredicted(pts);
+    size_t ba = bestActual(pts);
+    for (const auto& pt : pts) {
+        EXPECT_LE(pts[bp].predicted_cycles, pt.predicted_cycles);
+        EXPECT_LE(pts[ba].actual_cycles, pt.actual_cycles);
+    }
+}
+
+TEST(Explorer, PredictionTracksActualWithinFactor)
+{
+    // Fig 16's usefulness criterion: predicted and actual performance
+    // must correlate; we require every point within ~3x (the paper's
+    // trends-match claim, loosely).
+    for (const auto& pt : explore(124)) {
+        double ratio = pt.predicted_cycles / pt.actual_cycles;
+        EXPECT_GT(ratio, 1.0 / 3.0) << pt.label();
+        EXPECT_LT(ratio, 3.0) << pt.label();
+    }
+}
+
+TEST(Explorer, HomogeneousEndpointsMatchInteriorScalesDirection)
+{
+    // On an IMH community matrix, some heterogeneous split should beat
+    // at least one of the homogeneous endpoints (the paper's premise).
+    auto pts = explore(125);
+    double endpoint_best =
+        std::min(pts.front().actual_cycles, pts.back().actual_cycles);
+    double interior_best = pts[1].actual_cycles;
+    for (size_t i = 2; i + 1 < pts.size(); ++i)
+        interior_best = std::min(interior_best, pts[i].actual_cycles);
+    EXPECT_LT(interior_best, 1.05 * endpoint_best);
+}

@@ -1,0 +1,191 @@
+/** @file Tests for the synthetic matrix generators: determinism, nnz
+ *  accuracy, and the structural signatures each class must exhibit. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/generators.hpp"
+#include "sparse/tiling.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+double
+relErr(double got, double want)
+{
+    return std::abs(got - want) / want;
+}
+
+} // namespace
+
+TEST(GenUniform, HitsTargetNnz)
+{
+    CooMatrix m = genUniform(1000, 1000, 20000, 1);
+    EXPECT_LT(relErr(double(m.nnz()), 20000.0), 0.05);
+    EXPECT_EQ(m.rows(), 1000u);
+    EXPECT_EQ(m.cols(), 1000u);
+}
+
+TEST(GenUniform, DenseRegimeUsesBernoulli)
+{
+    // Density 0.3 > 0.05 triggers the per-cell path.
+    CooMatrix m = genUniform(200, 200, 12000, 2);
+    EXPECT_LT(relErr(double(m.nnz()), 12000.0), 0.08);
+    EXPECT_TRUE(m.isRowMajorSorted());
+}
+
+TEST(GenUniform, Deterministic)
+{
+    CooMatrix a = genUniform(500, 500, 5000, 42);
+    CooMatrix b = genUniform(500, 500, 5000, 42);
+    EXPECT_TRUE(a.sameStructure(b));
+    CooMatrix c = genUniform(500, 500, 5000, 43);
+    EXPECT_FALSE(a.sameStructure(c));
+}
+
+TEST(GenUniform, NoDuplicateCoordinates)
+{
+    CooMatrix m = genUniform(100, 100, 2000, 3);
+    for (size_t i = 1; i < m.nnz(); ++i)
+        ASSERT_FALSE(m.rowId(i) == m.rowId(i - 1) &&
+                     m.colId(i) == m.colId(i - 1));
+}
+
+TEST(GenRmat, SkewedDegreeDistribution)
+{
+    CooMatrix m = genRmat(4096, 60000, 0.57, 0.19, 0.19, 0.05, 4);
+    auto deg = m.rowDegrees();
+    std::sort(deg.begin(), deg.end(), std::greater<>());
+    // Power law: the top 1% of rows hold far more than 1% of edges.
+    uint64_t top = 0;
+    for (size_t i = 0; i < deg.size() / 100; ++i)
+        top += deg[i];
+    EXPECT_GT(double(top) / double(m.nnz()), 0.10);
+}
+
+TEST(GenRmat, HotCornerMass)
+{
+    CooMatrix m = genRmat(4096, 60000, 0.57, 0.19, 0.19, 0.05, 5);
+    // With a = 0.57, the low-index quadrant must be densest.
+    size_t corner = 0;
+    for (size_t i = 0; i < m.nnz(); ++i)
+        if (m.rowId(i) < 2048 && m.colId(i) < 2048)
+            ++corner;
+    EXPECT_GT(double(corner) / double(m.nnz()), 0.4);
+}
+
+TEST(GenRmat, NonPowerOfTwoRows)
+{
+    CooMatrix m = genRmat(3000, 20000, 0.57, 0.19, 0.19, 0.05, 6);
+    EXPECT_EQ(m.rows(), 3000u);
+    for (size_t i = 0; i < m.nnz(); ++i) {
+        ASSERT_LT(m.rowId(i), 3000u);
+        ASSERT_LT(m.colId(i), 3000u);
+    }
+    EXPECT_LT(relErr(double(m.nnz()), 20000.0), 0.10);
+}
+
+TEST(GenRmat, RejectsBadProbabilities)
+{
+    EXPECT_DEATH(genRmat(64, 100, 0.5, 0.5, 0.5, 0.5, 1), "sum to 1");
+}
+
+TEST(GenMesh, NearDiagonalStructure)
+{
+    const double band = 30.0;
+    CooMatrix m = genMesh(2000, 8.0, band, 7);
+    size_t near = 0;
+    for (size_t i = 0; i < m.nnz(); ++i) {
+        double off = std::abs(double(m.rowId(i)) - double(m.colId(i)));
+        if (off <= 3 * band)
+            ++near;
+    }
+    EXPECT_GT(double(near) / double(m.nnz()), 0.98);
+    EXPECT_LT(relErr(m.avgDegree(), 8.0), 0.25);
+}
+
+TEST(GenMesh, Symmetric)
+{
+    CooMatrix m = genMesh(500, 6.0, 20.0, 8);
+    CooMatrix t = m.transposed();
+    EXPECT_TRUE(m.sameStructure(t));
+}
+
+TEST(GenCommunity, DiagonalCommunitiesAreDense)
+{
+    CooMatrix m = genCommunity(2048, 40.0, 64, 128, 0.8, 9);
+    // Most mass should sit near the diagonal (inside communities).
+    size_t inside = 0;
+    for (size_t i = 0; i < m.nnz(); ++i)
+        if (std::abs(double(m.rowId(i)) - double(m.colId(i))) < 256)
+            ++inside;
+    EXPECT_GT(double(inside) / double(m.nnz()), 0.6);
+}
+
+TEST(GenCommunity, BackgroundFavorsLowIds)
+{
+    // With in_frac 0, all edges follow the power-law background.
+    CooMatrix m = genCommunity(4096, 10.0, 16, 32, 0.0, 10);
+    size_t low = 0;
+    for (size_t i = 0; i < m.nnz(); ++i)
+        if (m.colId(i) < 1024)
+            ++low;
+    EXPECT_GT(double(low) / double(m.nnz()), 0.4);
+}
+
+TEST(GenCommunity, Symmetric)
+{
+    CooMatrix m = genCommunity(600, 12.0, 16, 64, 0.7, 11);
+    EXPECT_TRUE(m.sameStructure(m.transposed()));
+}
+
+TEST(GenFemBlocks, DiagonalBlocksFullyDense)
+{
+    const Index block = 5;
+    CooMatrix m = genFemBlocks(100, block, 2, 6, 12);
+    // Every diagonal block position must be occupied.
+    std::vector<std::vector<bool>> present(
+        100, std::vector<bool>(100, false));
+    for (size_t i = 0; i < m.nnz(); ++i)
+        present[m.rowId(i)][m.colId(i)] = true;
+    for (Index b = 0; b < 100 / block; ++b)
+        for (Index r = b * block; r < (b + 1) * block; ++r)
+            for (Index c = b * block; c < (b + 1) * block; ++c)
+                ASSERT_TRUE(present[r][c])
+                    << "missing (" << r << "," << c << ")";
+}
+
+TEST(GenFemBlocks, DegreeScalesWithStencil)
+{
+    CooMatrix narrow = genFemBlocks(2000, 4, 2, 10, 13);
+    CooMatrix wide = genFemBlocks(2000, 4, 8, 10, 13);
+    EXPECT_GT(wide.avgDegree(), 2.0 * narrow.avgDegree());
+}
+
+TEST(Generators, ClassesDifferInTileCv)
+{
+    // The whole point of the generator families: different IMH levels.
+    CooMatrix uniform = genUniform(2048, 2048, 60000, 14);
+    CooMatrix rmat = genRmat(2048, 60000, 0.57, 0.19, 0.19, 0.05, 14);
+    CooMatrix community = genCommunity(2048, 30.0, 64, 128, 0.8, 14);
+    TileGrid gu(uniform, 256, 256);
+    TileGrid gr(rmat, 256, 256);
+    TileGrid gc(community, 256, 256);
+    EXPECT_LT(gu.tileNnzCv(), 0.2);
+    EXPECT_GT(gr.tileNnzCv(), 3.0 * gu.tileNnzCv());
+    EXPECT_GT(gc.tileNnzCv(), 3.0 * gu.tileNnzCv());
+}
+
+TEST(Generators, ValuesAreNonZero)
+{
+    for (const CooMatrix& m :
+         {genUniform(200, 200, 1000, 15),
+          genRmat(256, 1500, 0.57, 0.19, 0.19, 0.05, 15),
+          genMesh(300, 6.0, 20.0, 15)}) {
+        for (size_t i = 0; i < m.nnz(); ++i)
+            ASSERT_NE(m.value(i), 0.0f);
+    }
+}

@@ -1,0 +1,81 @@
+/** @file Tests for the generalized SpMM semirings (§II-A) and the
+ *  arithmetic-intensity mapping used by Fig 14. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "core/gspmm.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+TEST(Gspmm, ArithmeticMatchesPlainSpmm)
+{
+    CooMatrix a = genUniform(128, 128, 900, 111);
+    DenseMatrix din(128, 8);
+    Rng rng(1);
+    din.fillRandom(rng);
+    DenseMatrix plain = referenceSpmm(a, din);
+    DenseMatrix gen = referenceGspmm(a, din, arithmeticSemiring());
+    EXPECT_TRUE(plain.approxEqual(gen, 1e-4));
+}
+
+TEST(Gspmm, TropicalComputesMinPlus)
+{
+    // One row with two nonzeros: dout = min(a1 + din1, a2 + din2).
+    CooMatrix a(2, 2);
+    a.push(0, 0, 3);
+    a.push(0, 1, 1);
+    DenseMatrix din(2, 2);
+    din.at(0, 0) = 5;   // path via col 0: 3 + 5 = 8
+    din.at(0, 1) = 0;   // 3 + 0 = 3
+    din.at(1, 0) = 10;  // path via col 1: 1 + 10 = 11
+    din.at(1, 1) = 1;   // 1 + 1 = 2
+    DenseMatrix out = referenceGspmm(a, din, tropicalSemiring());
+    EXPECT_FLOAT_EQ(out.at(0, 0), 8.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 2.0f);
+    // Untouched rows stay at the additive identity (+inf).
+    EXPECT_TRUE(std::isinf(out.at(1, 0)));
+}
+
+TEST(Gspmm, BooleanReachability)
+{
+    CooMatrix a(3, 3);
+    a.push(0, 1, 1);
+    a.push(1, 2, 1);
+    DenseMatrix din(3, 1);
+    din.at(2, 0) = 1;  // only node 2 is "reached"
+    DenseMatrix out = referenceGspmm(a, din, booleanSemiring());
+    EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);  // 0 -> 1, 1 not reached
+    EXPECT_FLOAT_EQ(out.at(1, 0), 1.0f);  // 1 -> 2, reached
+    EXPECT_FLOAT_EQ(out.at(2, 0), 0.0f);
+}
+
+TEST(Gspmm, HeavySemiringPreservesValues)
+{
+    // The synthetic heavy multiply is numerically the plain multiply.
+    CooMatrix a = genUniform(64, 64, 400, 112);
+    DenseMatrix din(64, 4);
+    Rng rng(2);
+    din.fillRandom(rng);
+    DenseMatrix plain = referenceGspmm(a, din, arithmeticSemiring());
+    DenseMatrix heavy = referenceGspmm(a, din, heavySemiring(8.0));
+    EXPECT_TRUE(plain.approxEqual(heavy, 1e-3));
+}
+
+TEST(Gspmm, KernelForCarriesAiFactor)
+{
+    KernelConfig kc = kernelFor(heavySemiring(16.0), 32);
+    EXPECT_EQ(kc.k, 32u);
+    EXPECT_DOUBLE_EQ(kc.ai_factor, 16.0);
+    EXPECT_DOUBLE_EQ(kc.flopsPerNnz(), 2.0 * 32 * 16);
+    KernelConfig plain = kernelFor(arithmeticSemiring());
+    EXPECT_DOUBLE_EQ(plain.ai_factor, 1.0);
+}
+
+TEST(Gspmm, HeavyRejectsSubUnitFactor)
+{
+    EXPECT_DEATH(heavySemiring(0.5), "ai_factor");
+}

@@ -1,0 +1,114 @@
+/** @file Tests for the IMH statistics module. */
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "sparse/imh_stats.hpp"
+#include "sparse/reorder.hpp"
+
+using namespace hottiles;
+
+TEST(Gini, KnownValues)
+{
+    // All equal -> 0.
+    EXPECT_NEAR(giniCoefficient({5, 5, 5, 5}), 0.0, 1e-12);
+    // Empty / degenerate -> 0.
+    EXPECT_DOUBLE_EQ(giniCoefficient({}), 0.0);
+    EXPECT_DOUBLE_EQ(giniCoefficient({0, 0}), 0.0);
+    // One holder of everything among n: G = (n-1)/n.
+    EXPECT_NEAR(giniCoefficient({0, 0, 0, 10}), 0.75, 1e-12);
+    // Simple two-point case {1, 3}: G = 0.25.
+    EXPECT_NEAR(giniCoefficient({1, 3}), 0.25, 1e-12);
+}
+
+TEST(Gini, ScaleInvariant)
+{
+    std::vector<double> a = {1, 2, 3, 4, 10};
+    std::vector<double> b;
+    for (double v : a)
+        b.push_back(7.0 * v);
+    EXPECT_NEAR(giniCoefficient(a), giniCoefficient(b), 1e-12);
+}
+
+TEST(ImhStats, UniformVsPowerLaw)
+{
+    CooMatrix uniform = genUniform(2048, 2048, 60000, 1);
+    CooMatrix rmat = genRmat(2048, 60000, 0.57, 0.19, 0.19, 0.05, 1);
+    ImhStats su = computeImhStats(TileGrid(uniform, 256, 256));
+    ImhStats sr = computeImhStats(TileGrid(rmat, 256, 256));
+    // Heterogeneity metrics must all separate the two classes.
+    EXPECT_LT(su.tile_cv, 0.3);
+    EXPECT_GT(sr.tile_cv, 1.0);
+    EXPECT_LT(su.tile_gini, 0.2);
+    EXPECT_GT(sr.tile_gini, 0.4);
+    EXPECT_GT(sr.top10pct_mass, su.top10pct_mass);
+    EXPECT_GT(sr.row_gini, su.row_gini + 0.2);
+    // Sanity: counts add up.
+    EXPECT_EQ(su.occupied_tiles + su.empty_tiles, 64u);
+}
+
+TEST(ImhStats, HotMassReflectsDensity)
+{
+    // A dense matrix: every tile exceeds the stream threshold.
+    CooMatrix dense = genUniform(512, 512, 80000, 2);
+    ImhStats s = computeImhStats(TileGrid(dense, 256, 256));
+    EXPECT_NEAR(s.hot_mass, 1.0, 1e-9);
+    // An extremely sparse one: no tile does.
+    CooMatrix sparse = genUniform(4096, 4096, 2000, 3);
+    ImhStats s2 = computeImhStats(TileGrid(sparse, 256, 256));
+    EXPECT_LT(s2.hot_mass, 0.2);
+}
+
+TEST(ImhStats, ShufflingReducesEveryMetric)
+{
+    // Sparse enough that a uniform spread stays below the hot threshold
+    // (avg tile nnz ~80 < 256), while the communities create hot tiles.
+    CooMatrix m = genCommunity(8192, 10.0, 64, 256, 0.85, 4);
+    CooMatrix shuffled =
+        m.permutedSymmetric(randomPermutation(m.rows(), 5));
+    ASSERT_LT(double(m.nnz()) / (32.0 * 32.0), 256.0);
+    ImhStats before = computeImhStats(TileGrid(m, 256, 256));
+    ImhStats after = computeImhStats(TileGrid(shuffled, 256, 256));
+    EXPECT_GT(before.tile_cv, after.tile_cv);
+    EXPECT_GT(before.tile_gini, after.tile_gini);
+    EXPECT_GT(before.hot_mass, after.hot_mass);
+    // Row degrees are permutation invariant.
+    EXPECT_NEAR(before.row_gini, after.row_gini, 1e-9);
+}
+
+TEST(HotMassCurve, MonotoneAndBounded)
+{
+    CooMatrix m = genRmat(2048, 40000, 0.57, 0.19, 0.19, 0.05, 6);
+    TileGrid grid(m, 128, 128);
+    std::vector<double> fracs = {0.01, 0.1, 0.25, 0.5, 1.0};
+    auto curve = hotMassCurve(grid, fracs);
+    ASSERT_EQ(curve.size(), fracs.size());
+    for (size_t i = 0; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i], 0.0);
+        EXPECT_LE(curve[i], 1.0 + 1e-12);
+        if (i > 0) {
+            EXPECT_GE(curve[i], curve[i - 1]);
+        }
+        // Concentration: mass fraction >= tile fraction.
+        EXPECT_GE(curve[i], fracs[i] - 1e-9);
+    }
+    EXPECT_NEAR(curve.back(), 1.0, 1e-12);
+}
+
+TEST(HotMassCurve, RejectsBadFractions)
+{
+    CooMatrix m = genUniform(128, 128, 500, 7);
+    TileGrid grid(m, 64, 64);
+    EXPECT_DEATH(hotMassCurve(grid, {0.0}), "fraction");
+    EXPECT_DEATH(hotMassCurve(grid, {1.5}), "fraction");
+}
+
+TEST(ImhStats, EmptyMatrix)
+{
+    CooMatrix m(256, 256);
+    ImhStats s = computeImhStats(TileGrid(m, 128, 128));
+    EXPECT_EQ(s.occupied_tiles, 0u);
+    EXPECT_EQ(s.empty_tiles, 4u);
+    EXPECT_DOUBLE_EQ(s.hot_mass, 0.0);
+    EXPECT_DOUBLE_EQ(s.tile_gini, 0.0);
+}

@@ -1,0 +1,122 @@
+/** @file Tests for the IMH-unaware baseline (§III-B, Eq 1). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/roofline.hpp"
+#include "partition/iunaware.hpp"
+#include "partition/partition.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+struct Fixture
+{
+    CooMatrix m = genRmat(512, 8000, 0.57, 0.19, 0.19, 0.05, 55);
+    TileGrid grid{m, 64, 64};
+    WorkerTraits hot;
+    WorkerTraits cold;
+    KernelConfig kernel;
+    PartitionContext ctx;
+
+    Fixture()
+    {
+        hot.role = WorkerRole::Hot;
+        hot.count = 1;
+        hot.macs_per_cycle = 20.0;
+        hot.din_reuse = ReuseType::IntraTileStream;
+        hot.dout_reuse = ReuseType::IntraTileDemand;
+        hot.vis_lat = 0.01;
+        cold.role = WorkerRole::Cold;
+        cold.count = 4;
+        cold.macs_per_cycle = 1.0;
+        cold.din_reuse = ReuseType::None;
+        cold.dout_reuse = ReuseType::IntraTileDemand;
+        cold.vis_lat = 0.05;
+        ctx = makePartitionContext(grid, hot, cold, kernel, 256.0, 100.0,
+                                   false);
+        ctx.hot = &hot;
+        ctx.cold = &cold;
+    }
+};
+
+} // namespace
+
+TEST(IUnaware, FractionMatchesEquationOne)
+{
+    Fixture f;
+    RooflineEstimate th = rooflineWholeMatrix(
+        f.grid.matrixRows(), f.grid.matrixCols(), f.grid.matrixNnz(), 64, 64,
+        f.hot, f.kernel, 256.0);
+    RooflineEstimate tc = rooflineWholeMatrix(
+        f.grid.matrixRows(), f.grid.matrixCols(), f.grid.matrixNnz(), 64, 64,
+        f.cold, f.kernel, 256.0);
+    double ex_hw = th.total_cycles / f.hot.count;
+    double ex_cw = tc.total_cycles / f.cold.count;
+    double expected = ex_cw / (ex_cw + ex_hw);
+    EXPECT_NEAR(iunawareHotFraction(f.ctx), expected, 1e-12);
+    EXPECT_GT(expected, 0.0);
+    EXPECT_LT(expected, 1.0);
+}
+
+TEST(IUnaware, TileCountMatchesFraction)
+{
+    Fixture f;
+    Partition p = iunawarePartition(f.ctx, 99);
+    double frac = iunawareHotFraction(f.ctx);
+    auto expected =
+        size_t(std::round(frac * double(f.grid.numTiles())));
+    size_t hot = p.hotTiles().size();
+    EXPECT_EQ(hot, expected);
+    EXPECT_FALSE(p.serial);
+    EXPECT_EQ(p.heuristic, "IUnaware");
+    EXPECT_GT(p.predicted_cycles, 0.0);
+}
+
+TEST(IUnaware, DeterministicPerSeedRandomAcrossSeeds)
+{
+    Fixture f;
+    Partition a = iunawarePartition(f.ctx, 7);
+    Partition b = iunawarePartition(f.ctx, 7);
+    Partition c = iunawarePartition(f.ctx, 8);
+    EXPECT_EQ(a.is_hot, b.is_hot);
+    EXPECT_NE(a.is_hot, c.is_hot);
+    // Same count either way (the fraction is seed-independent).
+    EXPECT_EQ(a.hotTiles().size(), c.hotTiles().size());
+}
+
+TEST(IUnaware, AssignmentIgnoresTileDensity)
+{
+    // The defining flaw: hot assignment is uncorrelated with tile nnz.
+    // Check that the mean nnz of hot tiles is close to the overall mean
+    // (HotTiles, by contrast, skews it sharply — see test_execution).
+    Fixture f;
+    Partition p = iunawarePartition(f.ctx, 11);
+    double hot_sum = 0;
+    double all_sum = 0;
+    size_t hot_n = p.hotTiles().size();
+    for (size_t i = 0; i < f.grid.numTiles(); ++i) {
+        all_sum += double(f.grid.tile(i).nnz);
+        if (p.is_hot[i])
+            hot_sum += double(f.grid.tile(i).nnz);
+    }
+    ASSERT_GT(hot_n, 10u);
+    double hot_mean = hot_sum / double(hot_n);
+    double all_mean = all_sum / double(f.grid.numTiles());
+    EXPECT_LT(std::abs(hot_mean - all_mean) / all_mean, 0.5);
+}
+
+TEST(IUnaware, MoreColdWorkersShiftFractionHotward)
+{
+    Fixture f;
+    double base = iunawareHotFraction(f.ctx);
+    WorkerTraits more_cold = f.cold;
+    more_cold.count = 64;
+    PartitionContext ctx2 = makePartitionContext(
+        f.grid, f.hot, more_cold, f.kernel, 256.0, 100.0, false);
+    // More cold workers -> Ex_cw smaller -> smaller hot fraction.
+    EXPECT_LT(iunawareHotFraction(ctx2), base);
+}

@@ -1,0 +1,201 @@
+/** @file Tests for the SpMV and SDDMM kernels (§X): reference
+ *  implementations, model traffic, and simulator functional output. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/calibrate.hpp"
+#include "core/hottiles.hpp"
+#include "core/kernels.hpp"
+#include "model/memory_model.hpp"
+#include "sim/simulator.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+TEST(Spmv, MatchesHandExample)
+{
+    // A = [[2, 1], [0, 3]], x = [10, 100].
+    CooMatrix a(2, 2);
+    a.push(0, 0, 2);
+    a.push(0, 1, 1);
+    a.push(1, 1, 3);
+    std::vector<Value> x = {10, 100};
+    auto y = referenceSpmv(a, x);
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_FLOAT_EQ(y[0], 120.0f);
+    EXPECT_FLOAT_EQ(y[1], 300.0f);
+}
+
+TEST(Spmv, EqualsSpmmWithKOne)
+{
+    CooMatrix a = genRmat(512, 6000, 0.57, 0.19, 0.19, 0.05, 201);
+    Rng rng(1);
+    std::vector<Value> x(a.cols());
+    for (auto& v : x)
+        v = static_cast<Value>(rng.nextDouble(-1, 1));
+    auto y = referenceSpmv(a, x);
+    DenseMatrix ym = referenceSpmm(a, vectorAsMatrix(x));
+    auto y2 = matrixAsVector(ym);
+    ASSERT_EQ(y.size(), y2.size());
+    for (size_t i = 0; i < y.size(); ++i)
+        ASSERT_NEAR(y[i], y2[i], 1e-3 * (std::abs(y[i]) + 1));
+}
+
+TEST(Spmv, VectorHelpersRoundTrip)
+{
+    std::vector<Value> x = {1, 2, 3};
+    auto back = matrixAsVector(vectorAsMatrix(x));
+    EXPECT_EQ(back, x);
+    DenseMatrix wide(2, 2);
+    EXPECT_DEATH(matrixAsVector(wide), "Nx1");
+}
+
+TEST(Spmv, KernelPreset)
+{
+    KernelConfig kc = spmvKernel();
+    EXPECT_EQ(kc.k, 1u);
+    EXPECT_EQ(kc.kind, SparseKernel::Spmv);
+    EXPECT_DOUBLE_EQ(kc.flopsPerNnz(), 2.0);
+}
+
+TEST(Spmv, SimulatorFunctionalMatches)
+{
+    CooMatrix a = genCommunity(1024, 20.0, 32, 128, 0.8, 202);
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    HotTilesOptions opts;
+    opts.kernel = spmvKernel();
+    opts.build_formats = false;
+    HotTiles ht(arch, a, opts);
+
+    Rng rng(2);
+    std::vector<Value> x(a.cols());
+    for (auto& v : x)
+        v = static_cast<Value>(rng.nextDouble(-1, 1));
+    DenseMatrix xin = vectorAsMatrix(x);
+    SimConfig cfg;
+    cfg.compute_values = true;
+    cfg.din = &xin;
+    SimOutput out = simulateExecution(arch, ht.grid(), ht.partition().is_hot,
+                                      ht.partition().serial, opts.kernel,
+                                      cfg);
+    auto ref = referenceSpmv(a, x);
+    ASSERT_EQ(out.dout.rows(), a.rows());
+    for (Index i = 0; i < a.rows(); ++i)
+        ASSERT_NEAR(out.dout.at(i, 0), ref[i],
+                    1e-3 * (std::abs(ref[i]) + 1));
+}
+
+TEST(Sddmm, MatchesHandExample)
+{
+    // A has one nonzero (0,1) with value 2; U[0] = [1,2], V[1] = [3,4].
+    CooMatrix a(2, 2);
+    a.push(0, 1, 2);
+    DenseMatrix u(2, 2);
+    u.at(0, 0) = 1;
+    u.at(0, 1) = 2;
+    DenseMatrix v(2, 2);
+    v.at(1, 0) = 3;
+    v.at(1, 1) = 4;
+    CooMatrix out = referenceSddmm(a, u, v);
+    ASSERT_EQ(out.nnz(), 1u);
+    EXPECT_FLOAT_EQ(out.value(0), 2.0f * (1 * 3 + 2 * 4));
+}
+
+TEST(Sddmm, PreservesStructure)
+{
+    CooMatrix a = genUniform(256, 256, 2000, 203);
+    DenseMatrix u(256, 8);
+    DenseMatrix v(256, 8);
+    Rng rng(3);
+    u.fillRandom(rng);
+    v.fillRandom(rng);
+    CooMatrix out = referenceSddmm(a, u, v);
+    EXPECT_TRUE(out.sameStructure(a));
+}
+
+TEST(Sddmm, ShapeChecksDie)
+{
+    CooMatrix a(4, 4);
+    a.push(0, 0, 1);
+    DenseMatrix u(3, 8);
+    DenseMatrix v(4, 8);
+    EXPECT_DEATH(referenceSddmm(a, u, v), "row count");
+    DenseMatrix u2(4, 4);
+    EXPECT_DEATH(referenceSddmm(a, u2, v), "K mismatch");
+}
+
+TEST(Sddmm, ModelWritesScalarsNotRows)
+{
+    Tile t{};
+    t.height = 100;
+    t.width = 200;
+    t.nnz = 50;
+    t.uniq_rids = 30;
+    t.uniq_cids = 40;
+    WorkerTraits w;
+    w.din_reuse = ReuseType::None;
+    w.dout_reuse = ReuseType::IntraTileDemand;
+    TileBytes spmm = tileBytes(t, w, KernelConfig{});
+    TileBytes sddmm = tileBytes(t, w, sddmmKernel(32));
+    // Same U-row reads as SpMM's Dout reads...
+    EXPECT_DOUBLE_EQ(sddmm.dout_read, spmm.dout_read);
+    // ...but scalar writes: 50 x 4 B instead of 30 rows x 128 B.
+    EXPECT_DOUBLE_EQ(sddmm.dout_write, 50 * 4.0);
+    EXPECT_GT(spmm.dout_write, sddmm.dout_write);
+}
+
+TEST(Sddmm, SimulatorFunctionalMatches)
+{
+    CooMatrix a = genRmat(1024, 14000, 0.57, 0.19, 0.19, 0.05, 204);
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    HotTilesOptions opts;
+    opts.kernel = sddmmKernel(32);
+    opts.build_formats = false;
+    HotTiles ht(arch, a, opts);
+    EXPECT_FALSE(ht.partition().serial);  // no merge -> parallel only
+
+    DenseMatrix u(a.rows(), 32);
+    DenseMatrix v(a.cols(), 32);
+    Rng rng(4);
+    u.fillRandom(rng);
+    v.fillRandom(rng);
+    SimConfig cfg;
+    cfg.compute_values = true;
+    cfg.din = &v;
+    cfg.u = &u;
+    SimOutput out = simulateExecution(arch, ht.grid(), ht.partition().is_hot,
+                                      ht.partition().serial, opts.kernel,
+                                      cfg);
+    CooMatrix ref = referenceSddmm(a, u, v);
+    ASSERT_EQ(out.sddmm_out.nnz(), ref.nnz());
+    EXPECT_TRUE(out.sddmm_out.sameStructure(ref));
+    for (size_t i = 0; i < ref.nnz(); ++i)
+        ASSERT_NEAR(out.sddmm_out.value(i), ref.value(i),
+                    1e-3 * (std::abs(ref.value(i)) + 1.0));
+}
+
+TEST(Sddmm, NeverPaysMergeCost)
+{
+    CooMatrix a = genUniform(512, 512, 6000, 205);
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    TileGrid grid(a, arch.tile_height, arch.tile_width);
+    std::vector<uint8_t> is_hot(grid.numTiles(), 0);
+    for (size_t i = 0; i < is_hot.size(); i += 2)
+        is_hot[i] = 1;
+    SimOutput out = simulateExecution(arch, grid, is_hot, false,
+                                      sddmmKernel(32));
+    EXPECT_EQ(out.stats.merge_cycles, 0u);
+}
+
+TEST(AccessGranularity, RoundsNarrowRowsUp)
+{
+    WorkerTraits w;
+    w.value_bytes = 4;
+    w.access_granularity = 64;
+    EXPECT_DOUBLE_EQ(denseRowBytes(w, spmvKernel()), 64.0);     // 4 -> 64
+    KernelConfig k32;
+    EXPECT_DOUBLE_EQ(denseRowBytes(w, k32), 128.0);             // exact
+    w.access_granularity = 1;
+    EXPECT_DOUBLE_EQ(denseRowBytes(w, spmvKernel()), 4.0);      // paper
+}

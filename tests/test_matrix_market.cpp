@@ -1,0 +1,144 @@
+/** @file Tests for the MatrixMarket reader/writer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_market.hpp"
+
+using namespace hottiles;
+
+TEST(MatrixMarket, ParsesGeneralReal)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 4 2\n"
+        "1 2 1.5\n"
+        "3 4 -2.0\n");
+    CooMatrix m = readMatrixMarket(is);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_EQ(m.rowId(0), 0u);
+    EXPECT_EQ(m.colId(0), 1u);
+    EXPECT_FLOAT_EQ(m.value(0), 1.5f);
+    EXPECT_FLOAT_EQ(m.value(1), -2.0f);
+}
+
+TEST(MatrixMarket, ParsesPattern)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 1\n"
+        "2 2\n");
+    CooMatrix m = readMatrixMarket(is);
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_FLOAT_EQ(m.value(0), 1.0f);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 5\n"
+        "3 3 7\n");
+    CooMatrix m = readMatrixMarket(is);
+    EXPECT_EQ(m.nnz(), 3u);  // (1,0), (0,1), (2,2)
+    bool has_mirror = false;
+    for (size_t i = 0; i < m.nnz(); ++i)
+        if (m.rowId(i) == 0 && m.colId(i) == 1)
+            has_mirror = true;
+    EXPECT_TRUE(has_mirror);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetric)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3\n");
+    CooMatrix m = readMatrixMarket(is);
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_FLOAT_EQ(m.value(0), -3.0f);  // (0,1) mirrored negated
+    EXPECT_FLOAT_EQ(m.value(1), 3.0f);
+}
+
+TEST(MatrixMarket, ParsesInteger)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 1\n"
+        "1 1 42\n");
+    CooMatrix m = readMatrixMarket(is);
+    EXPECT_FLOAT_EQ(m.value(0), 42.0f);
+}
+
+TEST(MatrixMarket, RejectsBadHeader)
+{
+    std::istringstream is("%%MatrixMarket matrix array real general\n1 1\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndex)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsTruncatedStream)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsMissingFile)
+{
+    EXPECT_THROW(readMatrixMarketFile("/nonexistent/file.mtx"), FatalError);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip)
+{
+    CooMatrix m = genUniform(40, 60, 200, 7);
+    std::ostringstream os;
+    writeMatrixMarket(m, os);
+    std::istringstream is(os.str());
+    CooMatrix back = readMatrixMarket(is);
+    EXPECT_TRUE(back.sameStructure(m));
+    CooMatrix sorted = m;
+    sorted.sortRowMajor();
+    for (size_t i = 0; i < back.nnz(); ++i)
+        ASSERT_NEAR(back.value(i), sorted.value(i),
+                    1e-5 * (std::abs(sorted.value(i)) + 1));
+}
+
+TEST(MatrixMarket, FileRoundTrip)
+{
+    CooMatrix m = genRmat(128, 600, 0.57, 0.19, 0.19, 0.05, 8);
+    std::string path = testing::TempDir() + "/ht_roundtrip.mtx";
+    writeMatrixMarketFile(m, path);
+    CooMatrix back = readMatrixMarketFile(path);
+    EXPECT_TRUE(back.sameStructure(m));
+}
+
+TEST(MatrixMarket, DeduplicatesRepeatedEntries)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "1 1 2.0\n");
+    CooMatrix m = readMatrixMarket(is);
+    ASSERT_EQ(m.nnz(), 1u);
+    EXPECT_FLOAT_EQ(m.value(0), 3.0f);
+}

@@ -1,0 +1,167 @@
+/** @file Tests for the Table I memory-traffic model — exact formula
+ *  checks for every reuse type and sparse format. */
+
+#include <gtest/gtest.h>
+
+#include "model/memory_model.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+Tile
+sampleTile()
+{
+    Tile t{};
+    t.height = 100;
+    t.width = 200;
+    t.nnz = 50;
+    t.uniq_rids = 30;
+    t.uniq_cids = 40;
+    return t;
+}
+
+WorkerTraits
+baseTraits()
+{
+    WorkerTraits w;
+    w.index_bytes = 4;
+    w.value_bytes = 4;
+    return w;
+}
+
+} // namespace
+
+TEST(MemoryModel, DenseRowBytes)
+{
+    WorkerTraits w = baseTraits();
+    KernelConfig kc;
+    kc.k = 32;
+    EXPECT_DOUBLE_EQ(denseRowBytes(w, kc), 128.0);
+    w.value_bytes = 8;
+    EXPECT_DOUBLE_EQ(denseRowBytes(w, kc), 256.0);
+}
+
+TEST(MemoryModel, TableIUpperSubtable)
+{
+    // Rows accessed per reuse type (Table I upper subtable).
+    EXPECT_DOUBLE_EQ(denseRowsAccessed(ReuseType::InterTile, 200, 40, 50), 0);
+    EXPECT_DOUBLE_EQ(
+        denseRowsAccessed(ReuseType::IntraTileStream, 200, 40, 50), 200);
+    EXPECT_DOUBLE_EQ(
+        denseRowsAccessed(ReuseType::IntraTileDemand, 200, 40, 50), 40);
+    EXPECT_DOUBLE_EQ(denseRowsAccessed(ReuseType::None, 200, 40, 50), 50);
+}
+
+TEST(MemoryModel, TableIBottomSubtable)
+{
+    // COO: 3 items per nonzero; CSR: tile_height + 2 * nnz items.
+    EXPECT_DOUBLE_EQ(sparseItemsAccessed(SparseFormat::CooLike, 100, 50),
+                     150.0);
+    EXPECT_DOUBLE_EQ(sparseItemsAccessed(SparseFormat::CsrLike, 100, 50),
+                     200.0);
+}
+
+TEST(MemoryModel, SparseBytesWeightedByItemSizes)
+{
+    WorkerTraits w = baseTraits();
+    w.format = SparseFormat::CooLike;
+    // 50 nnz x (2 x 4B idx + 4B val) = 600 B.
+    EXPECT_DOUBLE_EQ(sparseBytesAccessed(w, 100, 50), 600.0);
+    w.format = SparseFormat::CsrLike;
+    // 100 x 4B offsets + 50 x (4B idx + 4B val) = 800 B.
+    EXPECT_DOUBLE_EQ(sparseBytesAccessed(w, 100, 50), 800.0);
+    w.value_bytes = 8;
+    // 100 x 4 + 50 x (4 + 8) = 1000 B.
+    EXPECT_DOUBLE_EQ(sparseBytesAccessed(w, 100, 50), 1000.0);
+}
+
+TEST(MemoryModel, SpadeLikeTileBytes)
+{
+    // SPADE: COO, Din None, Dout InterTile.
+    WorkerTraits w = baseTraits();
+    w.format = SparseFormat::CooLike;
+    w.din_reuse = ReuseType::None;
+    w.dout_reuse = ReuseType::InterTile;
+    KernelConfig kc;
+    kc.k = 32;
+    TileBytes b = tileBytes(sampleTile(), w, kc);
+    EXPECT_DOUBLE_EQ(b.sparse, 50 * 12.0);
+    EXPECT_DOUBLE_EQ(b.din, 50 * 128.0);
+    EXPECT_DOUBLE_EQ(b.dout_read, 0.0);
+    EXPECT_DOUBLE_EQ(b.dout_write, 0.0);
+    EXPECT_DOUBLE_EQ(b.total(), 600.0 + 6400.0);
+}
+
+TEST(MemoryModel, SextansLikeTileBytes)
+{
+    // Sextans: COO, Din stream (tile_width rows), Dout InterTile.
+    WorkerTraits w = baseTraits();
+    w.din_reuse = ReuseType::IntraTileStream;
+    w.dout_reuse = ReuseType::InterTile;
+    KernelConfig kc;
+    kc.k = 32;
+    TileBytes b = tileBytes(sampleTile(), w, kc);
+    EXPECT_DOUBLE_EQ(b.din, 200 * 128.0);
+    EXPECT_DOUBLE_EQ(b.dout_read + b.dout_write, 0.0);
+}
+
+TEST(MemoryModel, StpLikeTileBytes)
+{
+    // PIUMA STP: CSR fp64, Din stream, Dout demand (uniq_rids).
+    WorkerTraits w = baseTraits();
+    w.format = SparseFormat::CsrLike;
+    w.value_bytes = 8;
+    w.din_reuse = ReuseType::IntraTileStream;
+    w.dout_reuse = ReuseType::IntraTileDemand;
+    KernelConfig kc;
+    kc.k = 32;
+    TileBytes b = tileBytes(sampleTile(), w, kc);
+    EXPECT_DOUBLE_EQ(b.sparse, 100 * 4.0 + 50 * 12.0);
+    EXPECT_DOUBLE_EQ(b.din, 200 * 256.0);
+    EXPECT_DOUBLE_EQ(b.dout_read, 30 * 256.0);
+    EXPECT_DOUBLE_EQ(b.dout_write, 30 * 256.0);
+}
+
+TEST(MemoryModel, Fig3CountingExample)
+{
+    // The motivating example of Fig 3: a 3x3 tile with 1 nonzero vs one
+    // with 5 nonzeros (4 unique columns there).
+    WorkerTraits cold = baseTraits();    // no FLM: Din None
+    cold.din_reuse = ReuseType::None;
+    WorkerTraits hot = baseTraits();     // scratchpad: Din stream
+    hot.din_reuse = ReuseType::IntraTileStream;
+    KernelConfig kc;
+    kc.k = 1;  // count rows, not bytes (row = 1 element here)
+    cold.value_bytes = hot.value_bytes = 1;
+
+    Tile t1{};
+    t1.height = 3;
+    t1.width = 3;
+    t1.nnz = 1;
+    t1.uniq_rids = 1;
+    t1.uniq_cids = 1;
+    Tile t2 = t1;
+    t2.nnz = 5;
+    t2.uniq_rids = 3;
+    t2.uniq_cids = 3;
+
+    // T1: cold fetches 1 Din row, hot streams all 3 -> T1 is Cold.
+    EXPECT_DOUBLE_EQ(tileBytes(t1, cold, kc).din, 1.0);
+    EXPECT_DOUBLE_EQ(tileBytes(t1, hot, kc).din, 3.0);
+    // T2: cold fetches 5 rows, hot still streams 3 -> T2 is Hot.
+    EXPECT_DOUBLE_EQ(tileBytes(t2, cold, kc).din, 5.0);
+    EXPECT_DOUBLE_EQ(tileBytes(t2, hot, kc).din, 3.0);
+}
+
+TEST(MemoryModel, GspmmAiDoesNotChangeTraffic)
+{
+    // gSpMM has the same access pattern as SpMM (§II-A).
+    WorkerTraits w = baseTraits();
+    w.din_reuse = ReuseType::IntraTileDemand;
+    KernelConfig k1;
+    KernelConfig k8;
+    k8.ai_factor = 8;
+    EXPECT_DOUBLE_EQ(tileTotalBytes(sampleTile(), w, k1),
+                     tileTotalBytes(sampleTile(), w, k8));
+}

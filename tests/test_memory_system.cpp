@@ -1,0 +1,138 @@
+/** @file Tests for the bandwidth-limited memory controller and the link
+ *  model: service rate, queuing under contention, and accounting. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "sim/memory_system.hpp"
+
+using namespace hottiles;
+
+TEST(MemorySystem, SingleAccessLatency)
+{
+    EventQueue eq;
+    // 64 bytes/cycle -> 1 cycle per line; latency 100.
+    MemorySystem mem(eq, 64.0, 100);
+    Tick done = 0;
+    mem.access(1, false, [&] { done = eq.now(); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(done, 101u);
+    EXPECT_EQ(mem.linesRead(), 1u);
+    EXPECT_EQ(mem.linesWritten(), 0u);
+}
+
+TEST(MemorySystem, BandwidthLimitsThroughput)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 0);  // 1 line/cycle, no latency
+    Tick last = 0;
+    for (int i = 0; i < 1000; ++i)
+        mem.access(1, false, [&] { last = eq.now(); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(last, 1000u);  // serialized at 1 line/cycle
+    EXPECT_NEAR(mem.busyCycles(), 1000.0, 1e-9);
+    EXPECT_NEAR(mem.achievedBytesPerCycle(1000), 64.0, 1e-9);
+}
+
+TEST(MemorySystem, FractionalRateAccumulates)
+{
+    EventQueue eq;
+    // 256 bytes/cycle -> 0.25 cycles per line.
+    MemorySystem mem(eq, 256.0, 0);
+    Tick done = 0;
+    mem.access(1000, false, [&] { done = eq.now(); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(done, 250u);
+}
+
+TEST(MemorySystem, QueuingDelayUnderContention)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 10);
+    Tick first = 0;
+    Tick second = 0;
+    mem.access(100, false, [&] { first = eq.now(); });
+    mem.access(1, false, [&] { second = eq.now(); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(first, 110u);
+    EXPECT_EQ(second, 111u);  // waited behind the burst
+}
+
+TEST(MemorySystem, WritesCountedSeparately)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 0);
+    mem.access(3, true, {});
+    mem.access(2, false, {});
+    eq.runUntilEmpty();
+    EXPECT_EQ(mem.linesWritten(), 3u);
+    EXPECT_EQ(mem.linesRead(), 2u);
+    EXPECT_EQ(mem.linesTotal(), 5u);
+    EXPECT_DOUBLE_EQ(mem.bytesTransferred(), 5.0 * 64);
+}
+
+TEST(MemorySystem, ZeroLinesCompletesImmediately)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 100);
+    Tick done = 999;
+    mem.access(0, false, [&] { done = eq.now(); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(done, 0u);
+    EXPECT_EQ(mem.linesTotal(), 0u);
+}
+
+TEST(MemorySystem, ResetStatsKeepsSchedule)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 0);
+    mem.access(10, false, {});
+    eq.runUntilEmpty();
+    mem.resetStats();
+    EXPECT_EQ(mem.linesTotal(), 0u);
+    EXPECT_DOUBLE_EQ(mem.busyCycles(), 0.0);
+}
+
+TEST(Link, AddsTransferAndLatency)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 10);
+    // Link at 32 B/cycle -> 2 cycles per line; latency 50.
+    Link link(eq, mem, 32.0, 50);
+    Tick done = 0;
+    link.access(10, false, [&] { done = eq.now(); });
+    eq.runUntilEmpty();
+    // 10 lines x 2 = 20 link cycles + 50 latency, then memory: 10 lines
+    // x 1 + 10 latency.
+    EXPECT_EQ(done, 20u + 50u + 10u + 10u);
+    EXPECT_EQ(link.linesForwarded(), 10u);
+    EXPECT_EQ(mem.linesRead(), 10u);
+}
+
+TEST(Link, ThrottlesBelowDownstream)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 256.0, 0);
+    Link slow(eq, mem, 8.0, 0);  // 8 B/cycle = 1 line per 8 cycles
+    Tick done = 0;
+    for (int i = 0; i < 100; ++i)
+        slow.access(1, false, [&] { done = eq.now(); });
+    eq.runUntilEmpty();
+    EXPECT_GE(done, 800u);  // link-bound, not memory-bound
+}
+
+TEST(Link, ContendsWithDirectTraffic)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 0);
+    Link link(eq, mem, 64.0, 0);
+    // Direct traffic occupies memory first; linked traffic queues.
+    Tick direct = 0;
+    Tick linked = 0;
+    mem.access(100, false, [&] { direct = eq.now(); });
+    link.access(1, false, [&] { linked = eq.now(); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(direct, 100u);
+    EXPECT_GT(linked, 100u);
+}

@@ -1,0 +1,82 @@
+/** @file Tests for the reordering utilities (§X future-work hook). */
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "sparse/reorder.hpp"
+#include "sparse/tiling.hpp"
+
+using namespace hottiles;
+
+TEST(Reorder, RandomPermutationIsValid)
+{
+    auto p = randomPermutation(1000, 5);
+    EXPECT_TRUE(isPermutation(p));
+    auto q = randomPermutation(1000, 6);
+    EXPECT_TRUE(isPermutation(q));
+    EXPECT_NE(p, q);
+}
+
+TEST(Reorder, RandomPermutationDeterministic)
+{
+    EXPECT_EQ(randomPermutation(500, 9), randomPermutation(500, 9));
+}
+
+TEST(Reorder, InverseUndoes)
+{
+    auto p = randomPermutation(256, 7);
+    auto inv = inversePermutation(p);
+    for (size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(inv[p[i]], i);
+}
+
+TEST(Reorder, IsPermutationRejectsBad)
+{
+    EXPECT_FALSE(isPermutation({0, 0, 2}));
+    EXPECT_FALSE(isPermutation({0, 3, 1}));
+    EXPECT_TRUE(isPermutation({2, 0, 1}));
+    EXPECT_TRUE(isPermutation({}));
+}
+
+TEST(Reorder, DegreeDescendingFrontLoadsHubs)
+{
+    CooMatrix m = genRmat(2048, 30000, 0.57, 0.19, 0.19, 0.05, 8);
+    auto perm = degreeDescendingPermutation(m);
+    ASSERT_TRUE(isPermutation(perm));
+    CooMatrix r = m.permutedSymmetric(perm);
+    // After reordering, the first 10% of rows must hold more mass than
+    // before (hubs moved to the front).
+    auto mass = [](const CooMatrix& x) {
+        size_t front = 0;
+        for (size_t i = 0; i < x.nnz(); ++i)
+            if (x.rowId(i) < x.rows() / 10)
+                ++front;
+        return double(front) / double(x.nnz());
+    };
+    EXPECT_GT(mass(r), mass(m));
+    EXPECT_EQ(r.nnz(), m.nnz());
+}
+
+TEST(Reorder, RandomPermutationDestroysStructure)
+{
+    // Destroying IMH is the ablation control: tile CV must collapse.
+    CooMatrix m = genCommunity(2048, 30.0, 64, 128, 0.85, 9);
+    CooMatrix shuffled =
+        m.permutedSymmetric(randomPermutation(m.rows(), 10));
+    TileGrid before(m, 256, 256);
+    TileGrid after(shuffled, 256, 256);
+    EXPECT_LT(after.tileNnzCv(), 0.5 * before.tileNnzCv());
+}
+
+TEST(Reorder, DegreeSortConcentratesTileMass)
+{
+    CooMatrix m = genRmat(4096, 50000, 0.57, 0.19, 0.19, 0.05, 11);
+    // Scatter it first so degree sort has work to do.
+    CooMatrix scattered =
+        m.permutedSymmetric(randomPermutation(m.rows(), 12));
+    CooMatrix sorted =
+        scattered.permutedSymmetric(degreeDescendingPermutation(scattered));
+    TileGrid gs(scattered, 256, 256);
+    TileGrid gd(sorted, 256, 256);
+    EXPECT_GT(gd.tileNnzCv(), gs.tileNnzCv());
+}

@@ -1,0 +1,120 @@
+/** @file Tests for the IMH-unaware whole-matrix Roofline model (§III-B). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/roofline.hpp"
+
+using namespace hottiles;
+
+TEST(Roofline, ExpectedUniqueLimits)
+{
+    // One draw -> one unique; infinite draws -> all buckets.
+    EXPECT_NEAR(expectedUnique(100, 1), 1.0, 1e-9);
+    EXPECT_NEAR(expectedUnique(100, 1e9), 100.0, 1e-6);
+    EXPECT_DOUBLE_EQ(expectedUnique(0, 10), 0.0);
+    // Monotone in draws.
+    EXPECT_LT(expectedUnique(64, 10), expectedUnique(64, 20));
+    // Never exceeds draws or buckets.
+    EXPECT_LE(expectedUnique(64, 10), 10.0);
+    EXPECT_LE(expectedUnique(64, 1000), 64.0);
+}
+
+namespace {
+
+WorkerTraits
+coldTraits()
+{
+    WorkerTraits w;
+    w.role = WorkerRole::Cold;
+    w.macs_per_cycle = 1.0;
+    w.din_reuse = ReuseType::None;
+    w.dout_reuse = ReuseType::InterTile;
+    return w;
+}
+
+WorkerTraits
+hotTraits()
+{
+    WorkerTraits w;
+    w.role = WorkerRole::Hot;
+    w.macs_per_cycle = 20.0;
+    w.din_reuse = ReuseType::IntraTileStream;
+    w.dout_reuse = ReuseType::InterTile;
+    return w;
+}
+
+} // namespace
+
+TEST(Roofline, ComputeBoundVsMemoryBound)
+{
+    KernelConfig kc;
+    // Dense-ish matrix: high nnz per tile; cold worker at 1 MAC/cycle is
+    // compute bound at huge bandwidth.
+    RooflineEstimate e = rooflineWholeMatrix(
+        1024, 1024, 500000, 256, 256, coldTraits(), kc, /*bw=*/1e9);
+    EXPECT_DOUBLE_EQ(e.total_cycles, e.compute_cycles);
+    // At tiny bandwidth the same setup is memory bound.
+    RooflineEstimate m = rooflineWholeMatrix(
+        1024, 1024, 500000, 256, 256, coldTraits(), kc, /*bw=*/0.001);
+    EXPECT_DOUBLE_EQ(m.total_cycles, m.mem_cycles);
+}
+
+TEST(Roofline, ComputeCyclesMatchThroughput)
+{
+    KernelConfig kc;
+    RooflineEstimate e = rooflineWholeMatrix(1024, 1024, 100000, 256, 256,
+                                             hotTraits(), kc, 256.0);
+    EXPECT_NEAR(e.compute_cycles, 100000 / 20.0, 1e-6);
+}
+
+TEST(Roofline, StreamTrafficIndependentOfNnz)
+{
+    // A streaming hot worker's Din bytes depend on the grid, not nnz.
+    KernelConfig kc;
+    auto bytes_at = [&](size_t nnz) {
+        return rooflineWholeMatrix(4096, 4096, nnz, 256, 256, hotTraits(),
+                                   kc, 256.0)
+            .bytes;
+    };
+    double sparse_part_50k = 50000 * 12.0;
+    double sparse_part_100k = 100000 * 12.0;
+    // Removing the COO stream leaves the same dense-stream traffic.
+    EXPECT_NEAR(bytes_at(50000) - sparse_part_50k,
+                bytes_at(100000) - sparse_part_100k, 1.0);
+}
+
+TEST(Roofline, DemandTrafficGrowsWithNnz)
+{
+    KernelConfig kc;
+    auto bytes_at = [&](size_t nnz) {
+        return rooflineWholeMatrix(4096, 4096, nnz, 256, 256, coldTraits(),
+                                   kc, 256.0)
+            .bytes;
+    };
+    EXPECT_GT(bytes_at(200000), 1.5 * bytes_at(100000));
+}
+
+TEST(Roofline, UniformAssumptionIgnoresActualPattern)
+{
+    // The defining property of the IUnaware model: only (rows, cols,
+    // nnz) matter — any two matrices with equal shape and density give
+    // identical estimates, which is exactly why it mispartitions IMH
+    // matrices.
+    KernelConfig kc;
+    RooflineEstimate a = rooflineWholeMatrix(2048, 2048, 80000, 256, 256,
+                                             coldTraits(), kc, 256.0);
+    RooflineEstimate b = rooflineWholeMatrix(2048, 2048, 80000, 256, 256,
+                                             coldTraits(), kc, 256.0);
+    EXPECT_DOUBLE_EQ(a.bytes, b.bytes);
+    EXPECT_DOUBLE_EQ(a.total_cycles, b.total_cycles);
+}
+
+TEST(Roofline, RejectsZeroBandwidth)
+{
+    KernelConfig kc;
+    EXPECT_DEATH(rooflineWholeMatrix(64, 64, 100, 16, 16, coldTraits(), kc,
+                                     0.0),
+                 "bandwidth");
+}

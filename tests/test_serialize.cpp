@@ -1,0 +1,130 @@
+/** @file Tests for partition persistence (save/reload + verification). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/calibrate.hpp"
+#include "core/hottiles.hpp"
+#include "core/serialize.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+struct Fixture
+{
+    CooMatrix m = genCommunity(2048, 24.0, 32, 128, 0.8, 301);
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    TileGrid grid{m, 256, 256};
+
+    Partition
+    makePartition()
+    {
+        HotTilesOptions opts;
+        opts.build_formats = false;
+        HotTiles ht(arch, m, opts);
+        return ht.partition();
+    }
+};
+
+} // namespace
+
+TEST(Serialize, StreamRoundTrip)
+{
+    Fixture f;
+    PartitionFile pf;
+    pf.partition = f.makePartition();
+    pf.matrix_name = "community";
+    pf.tile_height = 256;
+    pf.tile_width = 256;
+    pf.grid_fingerprint = gridFingerprint(f.grid);
+
+    std::stringstream ss;
+    writePartition(pf, ss);
+    PartitionFile back = readPartition(ss);
+    EXPECT_EQ(back.matrix_name, "community");
+    EXPECT_EQ(back.tile_height, 256u);
+    EXPECT_EQ(back.grid_fingerprint, pf.grid_fingerprint);
+    EXPECT_EQ(back.partition.is_hot, pf.partition.is_hot);
+    EXPECT_EQ(back.partition.serial, pf.partition.serial);
+    EXPECT_EQ(back.partition.heuristic, pf.partition.heuristic);
+    EXPECT_NEAR(back.partition.predicted_cycles,
+                pf.partition.predicted_cycles,
+                1e-6 * pf.partition.predicted_cycles);
+}
+
+TEST(Serialize, FileRoundTripAgainstGrid)
+{
+    Fixture f;
+    Partition p = f.makePartition();
+    std::string path = testing::TempDir() + "/ht_part.htp";
+    writePartitionFile(p, f.grid, "community", path);
+    Partition back = readPartitionFile(path, f.grid);
+    EXPECT_EQ(back.is_hot, p.is_hot);
+}
+
+TEST(Serialize, RejectsWrongMatrix)
+{
+    Fixture f;
+    Partition p = f.makePartition();
+    std::string path = testing::TempDir() + "/ht_part2.htp";
+    writePartitionFile(p, f.grid, "community", path);
+
+    // A different matrix with the same tile geometry must be rejected.
+    CooMatrix other = genCommunity(2048, 24.0, 32, 128, 0.8, 302);
+    TileGrid other_grid(other, 256, 256);
+    EXPECT_THROW(readPartitionFile(path, other_grid), FatalError);
+}
+
+TEST(Serialize, RejectsWrongTileSize)
+{
+    Fixture f;
+    Partition p = f.makePartition();
+    std::string path = testing::TempDir() + "/ht_part3.htp";
+    writePartitionFile(p, f.grid, "community", path);
+    TileGrid other_grid(f.m, 128, 128);
+    EXPECT_THROW(readPartitionFile(path, other_grid), FatalError);
+}
+
+TEST(Serialize, RejectsGarbage)
+{
+    std::istringstream not_ours("definitely not a partition\n");
+    EXPECT_THROW(readPartition(not_ours), FatalError);
+    std::istringstream truncated("hottiles-partition v1\nmatrix x\n");
+    EXPECT_THROW(readPartition(truncated), FatalError);
+}
+
+TEST(Serialize, FingerprintSensitivity)
+{
+    Fixture f;
+    uint64_t fp = gridFingerprint(f.grid);
+    // Same grid -> same fingerprint (stable across calls).
+    EXPECT_EQ(fp, gridFingerprint(f.grid));
+    // Different tile size -> different fingerprint.
+    TileGrid g2(f.m, 128, 128);
+    EXPECT_NE(fp, gridFingerprint(g2));
+    // Different matrix -> different fingerprint.
+    CooMatrix other = genUniform(2048, 2048, 20000, 303);
+    TileGrid g3(other, 256, 256);
+    EXPECT_NE(fp, gridFingerprint(g3));
+}
+
+TEST(Serialize, BitmapEdgeSizes)
+{
+    // Tile counts that are not multiples of 4 exercise the hex padding.
+    for (size_t tiles : {1u, 3u, 4u, 5u, 17u}) {
+        PartitionFile pf;
+        pf.partition.is_hot.assign(tiles, 0);
+        for (size_t i = 0; i < tiles; i += 2)
+            pf.partition.is_hot[i] = 1;
+        pf.tile_height = 16;
+        pf.tile_width = 16;
+        std::stringstream ss;
+        writePartition(pf, ss);
+        PartitionFile back = readPartition(ss);
+        EXPECT_EQ(back.partition.is_hot, pf.partition.is_hot) << tiles;
+    }
+}

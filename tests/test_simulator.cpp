@@ -1,0 +1,247 @@
+/** @file Simulator integration tests: functional correctness of every
+ *  execution mode against the reference SpMM, determinism, and the
+ *  plausibility of the reported statistics. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "sim/simulator.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+Architecture
+testArch()
+{
+    Architecture a = makeSpadeSextans(4);
+    return a;
+}
+
+struct SimFixture
+{
+    Architecture arch = testArch();
+    CooMatrix m;
+    TileGrid grid;
+    DenseMatrix din;
+    KernelConfig kernel;
+
+    explicit SimFixture(CooMatrix matrix)
+        : m(std::move(matrix)), grid(m, testArch().tile_height,
+                                     testArch().tile_width),
+          din(m.cols(), 32)
+    {
+        Rng rng(123);
+        din.fillRandom(rng);
+    }
+
+    SimConfig
+    cfg()
+    {
+        SimConfig c;
+        c.compute_values = true;
+        c.din = &din;
+        return c;
+    }
+};
+
+std::vector<uint8_t>
+alternating(const TileGrid& g)
+{
+    std::vector<uint8_t> is_hot(g.numTiles(), 0);
+    for (size_t i = 0; i < is_hot.size(); i += 2)
+        is_hot[i] = 1;
+    return is_hot;
+}
+
+} // namespace
+
+TEST(Simulator, HomogeneousColdMatchesReference)
+{
+    SimFixture s(genRmat(1024, 12000, 0.57, 0.19, 0.19, 0.05, 61));
+    SimOutput out = simulateHomogeneous(s.arch, s.grid, false, s.kernel,
+                                        s.cfg());
+    DenseMatrix ref = referenceSpmm(s.m, s.din);
+    EXPECT_TRUE(out.dout.approxEqual(ref, 1e-3));
+    EXPECT_EQ(out.stats.cold_nnz, s.m.nnz());
+    EXPECT_EQ(out.stats.hot_nnz, 0u);
+}
+
+TEST(Simulator, HomogeneousHotMatchesReference)
+{
+    SimFixture s(genCommunity(1024, 20.0, 32, 128, 0.8, 62));
+    SimOutput out = simulateHomogeneous(s.arch, s.grid, true, s.kernel,
+                                        s.cfg());
+    DenseMatrix ref = referenceSpmm(s.m, s.din);
+    EXPECT_TRUE(out.dout.approxEqual(ref, 1e-3));
+    EXPECT_EQ(out.stats.hot_nnz, s.m.nnz());
+}
+
+TEST(Simulator, HeterogeneousParallelMatchesReference)
+{
+    SimFixture s(genMesh(1024, 8.0, 100.0, 63));
+    SimOutput out = simulateExecution(s.arch, s.grid, alternating(s.grid),
+                                      /*serial=*/false, s.kernel, s.cfg());
+    DenseMatrix ref = referenceSpmm(s.m, s.din);
+    EXPECT_TRUE(out.dout.approxEqual(ref, 1e-3));
+    EXPECT_GT(out.stats.hot_nnz, 0u);
+    EXPECT_GT(out.stats.cold_nnz, 0u);
+    EXPECT_EQ(out.stats.hot_nnz + out.stats.cold_nnz, s.m.nnz());
+}
+
+TEST(Simulator, HeterogeneousSerialMatchesReference)
+{
+    SimFixture s(genUniform(512, 512, 6000, 64));
+    SimOutput out = simulateExecution(s.arch, s.grid, alternating(s.grid),
+                                      /*serial=*/true, s.kernel, s.cfg());
+    EXPECT_TRUE(out.dout.approxEqual(referenceSpmm(s.m, s.din), 1e-3));
+    EXPECT_EQ(out.stats.merge_cycles, 0u);  // serial mode never merges
+}
+
+TEST(Simulator, ParallelWithBothTypesPaysMerge)
+{
+    SimFixture s(genUniform(512, 512, 6000, 65));
+    SimOutput out = simulateExecution(s.arch, s.grid, alternating(s.grid),
+                                      false, s.kernel);
+    EXPECT_GT(out.stats.merge_cycles, 0u);
+    // Homogeneous runs do not merge.
+    SimOutput cold = simulateHomogeneous(s.arch, s.grid, false, s.kernel);
+    EXPECT_EQ(cold.stats.merge_cycles, 0u);
+}
+
+TEST(Simulator, AtomicRmwSkipsMerge)
+{
+    Architecture piuma = makePiuma();
+    CooMatrix m = genUniform(512, 512, 6000, 66);
+    TileGrid grid(m, piuma.tile_height, piuma.tile_width);
+    std::vector<uint8_t> is_hot = alternating(grid);
+    SimOutput out = simulateExecution(piuma, grid, is_hot, false,
+                                      KernelConfig{});
+    EXPECT_EQ(out.stats.merge_cycles, 0u);
+}
+
+TEST(Simulator, Deterministic)
+{
+    SimFixture s(genRmat(512, 8000, 0.57, 0.19, 0.19, 0.05, 67));
+    SimOutput a = simulateExecution(s.arch, s.grid, alternating(s.grid),
+                                    false, s.kernel);
+    SimOutput b = simulateExecution(s.arch, s.grid, alternating(s.grid),
+                                    false, s.kernel);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.mem_bytes, b.stats.mem_bytes);
+}
+
+TEST(Simulator, BandwidthNeverExceedsPeak)
+{
+    SimFixture s(genCommunity(2048, 40.0, 64, 256, 0.8, 68));
+    for (bool hot : {false, true}) {
+        SimOutput out = simulateHomogeneous(s.arch, s.grid, hot, s.kernel);
+        EXPECT_LE(out.stats.avg_bw_gbps, s.arch.mem_gbps * 1.001)
+            << (hot ? "hot" : "cold");
+        EXPECT_GT(out.stats.avg_bw_gbps, 0.0);
+    }
+}
+
+TEST(Simulator, PcieThrottlesHotWorkers)
+{
+    CooMatrix m = genUniform(1024, 1024, 20000, 69);
+    Architecture on_die = makeSpadeSextans(4);
+    Architecture pcie = makeSpadeSextansPcie();
+    // Same hot compute, but the PCIe Sextans streams through 32 GB/s.
+    TileGrid g1(m, on_die.tile_height, on_die.tile_width);
+    TileGrid g2(m, pcie.tile_height, pcie.tile_width);
+    SimOutput fast = simulateHomogeneous(on_die, g1, true, KernelConfig{});
+    SimOutput slow = simulateHomogeneous(pcie, g2, true, KernelConfig{});
+    EXPECT_GT(double(slow.stats.cycles), 1.5 * double(fast.stats.cycles));
+}
+
+TEST(Simulator, StatsPlausibility)
+{
+    SimFixture s(genRmat(1024, 15000, 0.57, 0.19, 0.19, 0.05, 70));
+    SimOutput out = simulateExecution(s.arch, s.grid, alternating(s.grid),
+                                      false, s.kernel);
+    const SimStats& st = out.stats;
+    EXPECT_GT(st.cycles, 0u);
+    EXPECT_GT(st.ms, 0.0);
+    EXPECT_GT(st.lines_per_nnz, 0.5);
+    EXPECT_LT(st.lines_per_nnz, 600.0);
+    EXPECT_GT(st.hot_gflops, 0.0);
+    EXPECT_GT(st.cold_gflops, 0.0);
+    EXPECT_LE(st.hot_finish, st.cycles);
+    EXPECT_LE(st.cold_finish, st.cycles);
+    EXPECT_GT(st.hot_stream_lines, 0u);
+    EXPECT_GT(st.cold_cache_hits + st.cold_cache_misses, 0u);
+}
+
+TEST(Simulator, EmptyMatrixRunsToCompletion)
+{
+    CooMatrix m(256, 256);
+    Architecture arch = testArch();
+    TileGrid grid(m, arch.tile_height, arch.tile_width);
+    std::vector<uint8_t> none;
+    SimOutput out = simulateExecution(arch, grid, none, false,
+                                      KernelConfig{});
+    EXPECT_EQ(out.stats.total_nnz, 0u);
+    EXPECT_EQ(out.stats.cycles, 0u);
+}
+
+TEST(Simulator, SerialAtLeastAsSlowAsPhases)
+{
+    SimFixture s(genMesh(1024, 10.0, 200.0, 71));
+    auto is_hot = alternating(s.grid);
+    SimOutput serial = simulateExecution(s.arch, s.grid, is_hot, true,
+                                         s.kernel);
+    // Serial time >= each phase alone on its own tiles.
+    std::vector<uint8_t> only_cold = is_hot;
+    for (auto& h : only_cold)
+        h = 0;
+    EXPECT_GE(serial.stats.hot_finish, serial.stats.cold_finish);
+    // End time covers the hot phase plus any posted-write drain.
+    EXPECT_GE(serial.stats.cycles, serial.stats.hot_finish);
+}
+
+TEST(Simulator, GspmmAiSlowsColdCompute)
+{
+    SimFixture s(genUniform(512, 512, 20000, 72));
+    KernelConfig heavy;
+    heavy.ai_factor = 16;
+    SimOutput base = simulateHomogeneous(s.arch, s.grid, false, s.kernel);
+    SimOutput ai = simulateHomogeneous(s.arch, s.grid, false, heavy);
+    EXPECT_GT(double(ai.stats.cycles), 1.2 * double(base.stats.cycles));
+}
+
+/** Dense-width sweep: functional correctness and monotone traffic. */
+class KSweep : public testing::TestWithParam<Index>
+{
+};
+
+TEST_P(KSweep, FunctionalAndTrafficScaleWithK)
+{
+    const Index k = GetParam();
+    CooMatrix m = genRmat(512, 8000, 0.57, 0.19, 0.19, 0.05, 73);
+    Architecture arch = testArch();
+    TileGrid grid(m, arch.tile_height, arch.tile_width);
+    DenseMatrix din(m.cols(), k);
+    Rng rng(9);
+    din.fillRandom(rng);
+    KernelConfig kc;
+    kc.k = k;
+    SimConfig cfg;
+    cfg.compute_values = true;
+    cfg.din = &din;
+    SimOutput out = simulateHomogeneous(arch, grid, false, kc, cfg);
+    EXPECT_TRUE(out.dout.approxEqual(referenceSpmm(m, din), 1e-3)) << k;
+
+    // Wider K moves at least as many bytes.
+    if (k > 8) {
+        KernelConfig kc8;
+        kc8.k = 8;
+        SimOutput narrow = simulateHomogeneous(arch, grid, false, kc8);
+        EXPECT_GE(out.stats.mem_bytes, narrow.stats.mem_bytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KSweep,
+                         testing::Values<Index>(8, 16, 32, 64, 128));

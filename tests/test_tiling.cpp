@@ -1,0 +1,211 @@
+/** @file Tests for the tiling engine: invariants of the tile grid and
+ *  per-tile statistics (parameterized over matrix shapes and tile sizes). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "sparse/generators.hpp"
+#include "sparse/tiling.hpp"
+
+using namespace hottiles;
+
+TEST(Tiling, SmallHandExample)
+{
+    // Fig 3-style: 6x6 matrix, 3x3 tiles.
+    CooMatrix m(6, 6);
+    m.push(0, 0, 1);  // tile (0,0)
+    m.push(1, 1, 1);  // tile (0,0)
+    m.push(1, 4, 1);  // tile (0,1)
+    m.push(5, 5, 1);  // tile (1,1)
+    TileGrid g(m, 3, 3);
+    EXPECT_EQ(g.numPanels(), 2u);
+    EXPECT_EQ(g.numTileCols(), 2u);
+    EXPECT_EQ(g.numTiles(), 3u);  // (1,0) is empty and eliminated
+    EXPECT_EQ(g.emptyTiles(), 1u);
+
+    const Tile& t0 = g.tile(0);
+    EXPECT_EQ(t0.panel, 0u);
+    EXPECT_EQ(t0.tcol, 0u);
+    EXPECT_EQ(t0.nnz, 2u);
+    EXPECT_EQ(t0.uniq_rids, 2u);
+    EXPECT_EQ(t0.uniq_cids, 2u);
+}
+
+TEST(Tiling, ClippedEdgeTiles)
+{
+    CooMatrix m(5, 7);
+    m.push(4, 6, 1);
+    TileGrid g(m, 4, 4);
+    ASSERT_EQ(g.numTiles(), 1u);
+    const Tile& t = g.tile(0);
+    EXPECT_EQ(t.panel, 1u);
+    EXPECT_EQ(t.tcol, 1u);
+    EXPECT_EQ(t.height, 1u);  // 5 - 4
+    EXPECT_EQ(t.width, 3u);   // 7 - 4
+}
+
+TEST(Tiling, TileOrderIsPanelMajor)
+{
+    CooMatrix m = genUniform(100, 100, 500, 11);
+    TileGrid g(m, 16, 16);
+    for (size_t i = 1; i < g.numTiles(); ++i) {
+        const Tile& a = g.tile(i - 1);
+        const Tile& b = g.tile(i);
+        ASSERT_TRUE(a.panel < b.panel ||
+                    (a.panel == b.panel && a.tcol < b.tcol));
+    }
+}
+
+TEST(Tiling, PanelRangesCoverAllTiles)
+{
+    CooMatrix m = genRmat(256, 2000, 0.57, 0.19, 0.19, 0.05, 12);
+    TileGrid g(m, 32, 32);
+    size_t covered = 0;
+    for (Index p = 0; p < g.numPanels(); ++p) {
+        auto [first, last] = g.panelTiles(p);
+        ASSERT_LE(first, last);
+        for (size_t t = first; t < last; ++t)
+            ASSERT_EQ(g.tile(t).panel, p);
+        covered += last - first;
+    }
+    EXPECT_EQ(covered, g.numTiles());
+}
+
+TEST(Tiling, UniformMatrixHasLowCv)
+{
+    CooMatrix uniform = genUniform(1024, 1024, 40000, 13);
+    CooMatrix skewed = genRmat(1024, 40000, 0.6, 0.18, 0.18, 0.04, 13);
+    TileGrid gu(uniform, 128, 128);
+    TileGrid gs(skewed, 128, 128);
+    EXPECT_LT(gu.tileNnzCv(), 0.3);
+    EXPECT_GT(gs.tileNnzCv(), 1.0);
+}
+
+TEST(Tiling, GatherTilesRestoresSubsets)
+{
+    CooMatrix m = genUniform(64, 64, 300, 14);
+    TileGrid g(m, 16, 16);
+    std::vector<size_t> all(g.numTiles());
+    for (size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    CooMatrix gathered = g.gatherTiles(all);
+    CooMatrix sorted = m;
+    sorted.sortRowMajor();
+    EXPECT_TRUE(gathered.sameStructure(sorted));
+}
+
+TEST(Tiling, TileCooHasGlobalCoordinates)
+{
+    CooMatrix m(8, 8);
+    m.push(5, 6, 3);
+    TileGrid g(m, 4, 4);
+    CooMatrix t = g.tileCoo(0);
+    ASSERT_EQ(t.nnz(), 1u);
+    EXPECT_EQ(t.rowId(0), 5u);
+    EXPECT_EQ(t.colId(0), 6u);
+}
+
+/** Parameterized invariants across matrix classes and tile sizes. */
+class TilingInvariants
+    : public testing::TestWithParam<std::tuple<int, Index>>
+{
+  protected:
+    CooMatrix
+    makeMatrix() const
+    {
+        switch (std::get<0>(GetParam())) {
+          case 0: return genUniform(300, 300, 2500, 21);
+          case 1: return genRmat(512, 6000, 0.57, 0.19, 0.19, 0.05, 22);
+          case 2: return genMesh(400, 6.0, 25.0, 23);
+          case 3: return genCommunity(350, 12.0, 16, 48, 0.7, 24);
+          default: return genFemBlocks(320, 4, 3, 8, 25);
+        }
+    }
+    Index tileDim() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(TilingInvariants, NnzConservedAndStatsMatchBruteForce)
+{
+    CooMatrix m = makeMatrix();
+    const Index td = tileDim();
+    TileGrid g(m, td, td);
+
+    // Total nonzeros conserved.
+    size_t total = 0;
+    for (size_t i = 0; i < g.numTiles(); ++i)
+        total += g.tile(i).nnz;
+    EXPECT_EQ(total, m.nnz());
+    EXPECT_EQ(g.matrixNnz(), m.nnz());
+
+    // No empty tiles stored; per-tile stats match brute force; nonzeros
+    // stay inside their tile bounds and are (row, col) sorted.
+    for (size_t i = 0; i < g.numTiles(); ++i) {
+        const Tile& t = g.tile(i);
+        ASSERT_GT(t.nnz, 0u);
+        auto rows = g.tileRows(i);
+        auto cols = g.tileCols(i);
+        std::set<Index> rids;
+        std::set<Index> cids;
+        for (size_t j = 0; j < rows.size(); ++j) {
+            ASSERT_GE(rows[j], t.row0);
+            ASSERT_LT(rows[j], t.row0 + t.height);
+            ASSERT_GE(cols[j], t.col0);
+            ASSERT_LT(cols[j], t.col0 + t.width);
+            if (j > 0) {
+                ASSERT_TRUE(rows[j] > rows[j - 1] ||
+                            (rows[j] == rows[j - 1] &&
+                             cols[j] > cols[j - 1]));
+            }
+            rids.insert(rows[j]);
+            cids.insert(cols[j]);
+        }
+        ASSERT_EQ(t.uniq_rids, rids.size());
+        ASSERT_EQ(t.uniq_cids, cids.size());
+    }
+
+    // Empty-tile count is consistent with the grid dimensions.
+    EXPECT_EQ(g.emptyTiles() + g.numTiles(),
+              size_t(g.numPanels()) * g.numTileCols());
+}
+
+namespace {
+
+std::string
+tilingParamName(const testing::TestParamInfo<std::tuple<int, Index>>& info)
+{
+    static const char* cls[] = {"uniform", "rmat", "mesh", "community",
+                                "fem"};
+    return std::string(cls[std::get<0>(info.param)]) + "_tile" +
+           std::to_string(std::get<1>(info.param));
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllClassesAndSizes, TilingInvariants,
+                         testing::Combine(testing::Values(0, 1, 2, 3, 4),
+                                          testing::Values<Index>(16, 64,
+                                                                 177)),
+                         tilingParamName);
+
+TEST(Tiling, UnsortedInputHandled)
+{
+    CooMatrix m(10, 10);
+    m.push(9, 9, 1);
+    m.push(0, 0, 2);
+    m.push(5, 5, 3);
+    TileGrid g(m, 4, 4);
+    EXPECT_EQ(g.numTiles(), 3u);
+    EXPECT_EQ(g.tile(0).row0, 0u);
+}
+
+TEST(Tiling, SingleTileCoversWholeMatrix)
+{
+    CooMatrix m = genUniform(50, 50, 200, 31);
+    TileGrid g(m, 64, 64);
+    ASSERT_EQ(g.numTiles(), 1u);
+    EXPECT_EQ(g.tile(0).height, 50u);
+    EXPECT_EQ(g.tile(0).width, 50u);
+    EXPECT_EQ(g.tile(0).nnz, m.nnz());
+}

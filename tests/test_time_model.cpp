@@ -1,0 +1,153 @@
+/** @file Tests for the five-task execution-time model (§IV-B):
+ *  compute throughput, vis_lat scaling, and overlap-group combination. */
+
+#include <gtest/gtest.h>
+
+#include "model/time_model.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+WorkerTraits
+traitsWith(std::array<int, kNumSpmmTasks> groups)
+{
+    WorkerTraits w;
+    w.macs_per_cycle = 2.0;
+    w.vis_lat = 0.5;
+    w.overlap_group = groups;
+    return w;
+}
+
+Tile
+tile()
+{
+    Tile t{};
+    t.height = 10;
+    t.width = 20;
+    t.nnz = 40;
+    t.uniq_rids = 8;
+    t.uniq_cids = 12;
+    return t;
+}
+
+} // namespace
+
+TEST(TimeModel, ComputeCycles)
+{
+    WorkerTraits w;
+    w.macs_per_cycle = 4.0;
+    KernelConfig kc;
+    EXPECT_DOUBLE_EQ(computeCycles(w, kc, 100), 25.0);
+}
+
+TEST(TimeModel, AiScalesComputeUnlessDisabled)
+{
+    WorkerTraits w;
+    w.macs_per_cycle = 4.0;
+    KernelConfig kc;
+    kc.ai_factor = 8;
+    EXPECT_DOUBLE_EQ(computeCycles(w, kc, 100), 200.0);
+    w.compute_scales_with_ai = false;  // enhanced Sextans (§VII)
+    EXPECT_DOUBLE_EQ(computeCycles(w, kc, 100), 25.0);
+}
+
+TEST(TimeModel, FullOverlapTakesMax)
+{
+    WorkerTraits w = traitsWith({0, 0, 0, 0, 0});
+    double tasks[5] = {1, 7, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(combineTasks(w, tasks), 7.0);
+}
+
+TEST(TimeModel, NoOverlapTakesSum)
+{
+    WorkerTraits w = traitsWith({0, 1, 2, 3, 4});
+    double tasks[5] = {1, 7, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(combineTasks(w, tasks), 17.0);
+}
+
+TEST(TimeModel, PartialOverlapGroups)
+{
+    // Group {sparse} + group {din, dout_r, compute, dout_w} (the PIUMA
+    // STP shape): sum = sparse + max(rest).
+    WorkerTraits w = traitsWith({0, 1, 1, 1, 1});
+    double tasks[5] = {5, 7, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(combineTasks(w, tasks), 5.0 + 7.0);
+}
+
+TEST(TimeModel, GroupLabelsAreArbitrary)
+{
+    // Non-contiguous labels must behave identically to renumbered ones.
+    WorkerTraits a = traitsWith({3, 9, 9, 3, 7});
+    WorkerTraits b = traitsWith({0, 1, 1, 0, 2});
+    double tasks[5] = {2, 6, 1, 5, 3};
+    EXPECT_DOUBLE_EQ(combineTasks(a, tasks), combineTasks(b, tasks));
+    // groups: {2,5} -> 5, {6,1} -> 6, {3} -> 3; total 14.
+    EXPECT_DOUBLE_EQ(combineTasks(a, tasks), 14.0);
+}
+
+TEST(TimeModel, TileTimeTaskBreakdown)
+{
+    WorkerTraits w = traitsWith({0, 1, 2, 3, 4});
+    w.din_reuse = ReuseType::None;
+    w.dout_reuse = ReuseType::IntraTileDemand;
+    KernelConfig kc;
+    kc.k = 16;  // row = 64 B
+    TileTime t = tileTime(tile(), w, kc);
+    // sparse: 40 x 12 B x 0.5 = 240 cycles.
+    EXPECT_DOUBLE_EQ(t.task[int(SpmmTask::ReadSparse)], 240.0);
+    // din: 40 rows x 64 B x 0.5 = 1280.
+    EXPECT_DOUBLE_EQ(t.task[int(SpmmTask::ReadDin)], 1280.0);
+    // dout read/write: 8 rows x 64 B x 0.5 = 256 each.
+    EXPECT_DOUBLE_EQ(t.task[int(SpmmTask::ReadDout)], 256.0);
+    EXPECT_DOUBLE_EQ(t.task[int(SpmmTask::WriteDout)], 256.0);
+    // compute: 40 / 2 = 20.
+    EXPECT_DOUBLE_EQ(t.task[int(SpmmTask::Compute)], 20.0);
+    EXPECT_DOUBLE_EQ(t.total, 240 + 1280 + 256 + 256 + 20);
+}
+
+TEST(TimeModel, VisLatScalesMemoryTasksLinearly)
+{
+    WorkerTraits w = traitsWith({0, 1, 2, 3, 4});
+    w.din_reuse = ReuseType::None;
+    KernelConfig kc;
+    TileTime t1 = tileTime(tile(), w, kc);
+    w.vis_lat *= 3.0;
+    TileTime t3 = tileTime(tile(), w, kc);
+    EXPECT_DOUBLE_EQ(t3.task[int(SpmmTask::ReadDin)],
+                     3.0 * t1.task[int(SpmmTask::ReadDin)]);
+    EXPECT_DOUBLE_EQ(t3.task[int(SpmmTask::Compute)],
+                     t1.task[int(SpmmTask::Compute)]);
+}
+
+TEST(TimeModel, MoreNnzNeverFaster)
+{
+    WorkerTraits w = traitsWith({0, 0, 0, 0, 0});
+    w.din_reuse = ReuseType::None;
+    w.dout_reuse = ReuseType::None;
+    KernelConfig kc;
+    Tile small = tile();
+    Tile big = tile();
+    big.nnz = 400;
+    EXPECT_GE(tileTime(big, w, kc).total, tileTime(small, w, kc).total);
+}
+
+TEST(TimeModel, FromBytesMatchesDirect)
+{
+    WorkerTraits w = traitsWith({0, 1, 1, 2, 2});
+    w.din_reuse = ReuseType::IntraTileStream;
+    w.dout_reuse = ReuseType::InterTile;
+    KernelConfig kc;
+    Tile t = tile();
+    TileTime direct = tileTime(t, w, kc);
+    TileTime via = tileTimeFromBytes(tileBytes(t, w, kc), t.nnz, w, kc);
+    EXPECT_DOUBLE_EQ(direct.total, via.total);
+}
+
+TEST(TimeModel, ZeroThroughputDies)
+{
+    WorkerTraits w;
+    w.macs_per_cycle = 0.0;
+    KernelConfig kc;
+    EXPECT_DEATH(computeCycles(w, kc, 10), "throughput");
+}

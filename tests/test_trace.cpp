@@ -1,0 +1,115 @@
+/** @file Tests for the simulator observability tools: the CSV event
+ *  trace and the bandwidth probe. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+TEST(TraceWriter, WritesHeaderAndRows)
+{
+    std::ostringstream os;
+    TraceWriter tw(os);
+    tw.record(5, "pe0", "issue", 1, 10);
+    tw.record(9, "pe0", "retire", 1, 32);
+    EXPECT_EQ(tw.rows(), 2u);
+    std::string s = os.str();
+    EXPECT_NE(s.find("tick,source,event,detail0,detail1\n"),
+              std::string::npos);
+    EXPECT_NE(s.find("5,pe0,issue,1,10\n"), std::string::npos);
+    EXPECT_NE(s.find("9,pe0,retire,1,32\n"), std::string::npos);
+}
+
+TEST(Trace, SimulationEmitsBalancedIssueRetire)
+{
+    CooMatrix m = genRmat(512, 8000, 0.57, 0.19, 0.19, 0.05, 501);
+    Architecture arch = makeSpadeSextans(4);
+    TileGrid grid(m, arch.tile_height, arch.tile_width);
+    std::ostringstream os;
+    TraceWriter tw(os);
+    SimConfig cfg;
+    cfg.trace = &tw;
+    SimOutput out = simulateHomogeneous(arch, grid, false, KernelConfig{},
+                                        cfg);
+    EXPECT_GT(tw.rows(), 0u);
+    // Count issues and retires: they must balance, and retires must
+    // cover every nonzero exactly once.
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);  // header
+    uint64_t issues = 0;
+    uint64_t retires = 0;
+    uint64_t retired_nnz = 0;
+    while (std::getline(is, line)) {
+        if (line.find(",issue,") != std::string::npos)
+            ++issues;
+        if (line.find(",retire,") != std::string::npos) {
+            ++retires;
+            retired_nnz += std::stoull(line.substr(line.rfind(',') + 1));
+        }
+    }
+    EXPECT_EQ(issues, retires);
+    EXPECT_EQ(retired_nnz, m.nnz());
+    EXPECT_EQ(out.stats.total_nnz, m.nnz());
+}
+
+TEST(Trace, DisabledByDefaultCostsNothing)
+{
+    CooMatrix m = genUniform(256, 256, 2000, 502);
+    Architecture arch = makeSpadeSextans(4);
+    TileGrid grid(m, arch.tile_height, arch.tile_width);
+    SimOutput a = simulateHomogeneous(arch, grid, false, KernelConfig{});
+    EXPECT_TRUE(a.bw_samples.empty());
+}
+
+TEST(BandwidthProbe, SamplesRespectPeakBandwidth)
+{
+    CooMatrix m = genCommunity(2048, 24.0, 32, 128, 0.8, 503);
+    Architecture arch = makeSpadeSextans(4);
+    TileGrid grid(m, arch.tile_height, arch.tile_width);
+    SimConfig cfg;
+    cfg.bw_probe_interval = 1000;
+    SimOutput out = simulateHomogeneous(arch, grid, false, KernelConfig{},
+                                        cfg);
+    ASSERT_FALSE(out.bw_samples.empty());
+    double peak = 0;
+    double total = 0;
+    for (double s : out.bw_samples) {
+        EXPECT_GE(s, 0.0);
+        // No window can exceed the controller's peak rate (allow the
+        // boundary effect of requests granted at a window edge).
+        EXPECT_LE(s, arch.bwBytesPerCycle() * 1.1);
+        peak = std::max(peak, s);
+        total += s * double(cfg.bw_probe_interval);
+    }
+    EXPECT_GT(peak, 0.0);
+    // The windowed samples must account for (almost) all traffic.
+    EXPECT_NEAR(total, out.stats.mem_bytes, 0.1 * out.stats.mem_bytes);
+}
+
+TEST(BandwidthProbe, WindowCountTracksRuntime)
+{
+    CooMatrix m = genUniform(1024, 1024, 20000, 504);
+    Architecture arch = makeSpadeSextans(4);
+    TileGrid grid(m, arch.tile_height, arch.tile_width);
+    SimConfig cfg;
+    cfg.bw_probe_interval = 500;
+    SimOutput out = simulateHomogeneous(arch, grid, true, KernelConfig{},
+                                        cfg);
+    // At least runtime/interval windows were sampled.
+    EXPECT_GE(out.bw_samples.size(),
+              size_t(out.stats.cycles / cfg.bw_probe_interval));
+}
+
+TEST(BandwidthProbe, ZeroIntervalDies)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 10);
+    EXPECT_DEATH(BandwidthProbe(eq, mem, 0), "interval");
+}

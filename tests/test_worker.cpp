@@ -1,0 +1,149 @@
+/** @file Tests for the pipelined PE engine: overlap of memory and
+ *  compute, pipeline depth as the latency-tolerance knob, and stats. */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hpp"
+#include "sim/worker.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+std::vector<SegSpec>
+uniformSegs(size_t n, uint32_t lines, float compute, uint32_t nnz = 1)
+{
+    std::vector<SegSpec> segs(n);
+    for (auto& s : segs) {
+        s.read_lines = lines;
+        s.compute_cycles = compute;
+        s.nnz = nnz;
+    }
+    return segs;
+}
+
+} // namespace
+
+TEST(PipelinedWorker, EmptyWorkFinishesImmediately)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 10);
+    PipelinedWorker pe("pe", eq, mem, 4, {});
+    bool done_cb = false;
+    pe.start([&] { done_cb = true; });
+    eq.runUntilEmpty();
+    EXPECT_TRUE(pe.done());
+    EXPECT_TRUE(done_cb);
+    EXPECT_EQ(pe.stats().finish, 0u);
+}
+
+TEST(PipelinedWorker, SingleSegmentTiming)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 100);  // 1 line/cycle + 100
+    PipelinedWorker pe("pe", eq, mem, 1, uniformSegs(1, 10, 5.0f));
+    pe.start();
+    eq.runUntilEmpty();
+    // 10 cycles transfer + 100 latency + 5 compute.
+    EXPECT_EQ(pe.stats().finish, 115u);
+    EXPECT_EQ(pe.stats().nnz, 1u);
+    EXPECT_EQ(pe.stats().lines_read, 10u);
+}
+
+TEST(PipelinedWorker, DepthHidesLatency)
+{
+    // 20 segments of 10 lines each, long latency: with depth 1 the
+    // latency serializes; with deep pipelining throughput approaches the
+    // memory service rate.
+    auto run = [](uint32_t depth) {
+        EventQueue eq;
+        MemorySystem mem(eq, 64.0, 200);
+        PipelinedWorker pe("pe", eq, mem, depth,
+                           uniformSegs(20, 10, 1.0f));
+        pe.start();
+        eq.runUntilEmpty();
+        return pe.stats().finish;
+    };
+    Tick shallow = run(1);
+    Tick deep = run(16);
+    EXPECT_GT(shallow, 20u * 200u);       // pays latency per segment
+    EXPECT_LT(deep, shallow / 3);         // overlaps it
+    EXPECT_GE(deep, 200u);                // still >= transfer + 1 latency
+}
+
+TEST(PipelinedWorker, ComputeBoundWhenComputeDominates)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 1e6, 1);  // effectively free memory
+    PipelinedWorker pe("pe", eq, mem, 4, uniformSegs(50, 1, 100.0f));
+    pe.start();
+    eq.runUntilEmpty();
+    // Compute serializes: ~50 x 100 cycles.
+    EXPECT_GE(pe.stats().finish, 5000u);
+    EXPECT_LE(pe.stats().finish, 5200u);
+    EXPECT_NEAR(pe.stats().compute_cycles, 5000.0, 1e-6);
+}
+
+TEST(PipelinedWorker, PostedWritesDoNotBlockRetire)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 1.0, 10000);  // writes are very slow
+    std::vector<SegSpec> segs = uniformSegs(2, 0, 1.0f);
+    segs[0].write_lines = 500;
+    segs[1].write_lines = 500;
+    PipelinedWorker pe("pe", eq, mem, 1, segs);
+    pe.start();
+    Tick finish_at = 0;
+    eq.runUntilEmpty();
+    finish_at = pe.stats().finish;
+    // The PE retires long before the writes drain.
+    EXPECT_LT(finish_at, 100u);
+    EXPECT_EQ(pe.stats().lines_written, 1000u);
+    EXPECT_GT(eq.now(), 10000u);  // drain happened after retire
+}
+
+TEST(PipelinedWorker, ZeroLineSegmentsSkipMemory)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 500);
+    PipelinedWorker pe("pe", eq, mem, 2, uniformSegs(10, 0, 3.0f));
+    pe.start();
+    eq.runUntilEmpty();
+    EXPECT_LE(pe.stats().finish, 40u);  // no 500-cycle latencies paid
+    EXPECT_EQ(mem.linesTotal(), 0u);
+}
+
+TEST(PipelinedWorker, StatsAccumulate)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 10);
+    auto segs = uniformSegs(7, 3, 2.0f, 5);
+    PipelinedWorker pe("pe", eq, mem, 2, segs);
+    pe.start();
+    eq.runUntilEmpty();
+    EXPECT_EQ(pe.stats().segments, 7u);
+    EXPECT_EQ(pe.stats().nnz, 35u);
+    EXPECT_EQ(pe.stats().lines_read, 21u);
+    EXPECT_NEAR(pe.stats().compute_cycles, 14.0, 1e-6);
+    EXPECT_EQ(pe.name(), "pe");
+}
+
+TEST(PipelinedWorker, TwoWorkersShareBandwidth)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 0);
+    PipelinedWorker a("a", eq, mem, 8, uniformSegs(100, 10, 0.1f));
+    PipelinedWorker b("b", eq, mem, 8, uniformSegs(100, 10, 0.1f));
+    a.start();
+    b.start();
+    eq.runUntilEmpty();
+    // 2000 lines at 1 line/cycle: both finish near 2000, not 1000.
+    EXPECT_GT(std::max(a.stats().finish, b.stats().finish), 1900u);
+}
+
+TEST(PipelinedWorker, ZeroDepthDies)
+{
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 0);
+    EXPECT_DEATH(PipelinedWorker("pe", eq, mem, 0, {}), "depth");
+}

@@ -1,0 +1,127 @@
+/** @file Tests for the per-worker-type work lists (format generation). */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/worklist.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+std::vector<size_t>
+allTiles(const TileGrid& g)
+{
+    std::vector<size_t> ids(g.numTiles());
+    std::iota(ids.begin(), ids.end(), size_t(0));
+    return ids;
+}
+
+} // namespace
+
+TEST(Worklist, UntiledCoversAllNonzerosRowMajor)
+{
+    CooMatrix m = genRmat(256, 3000, 0.57, 0.19, 0.19, 0.05, 31);
+    TileGrid g(m, 64, 64);
+    UntiledWork w = buildUntiledWork(g, allTiles(g));
+    EXPECT_EQ(w.total_nnz, m.nnz());
+    size_t seen = 0;
+    for (const PanelWork& pw : w.panels) {
+        for (size_t i = 0; i < pw.rows.size(); ++i) {
+            // Row-major sorted within the panel; rows inside the panel.
+            ASSERT_EQ(pw.rows[i] / 64, pw.panel);
+            if (i > 0) {
+                ASSERT_TRUE(pw.rows[i] > pw.rows[i - 1] ||
+                            (pw.rows[i] == pw.rows[i - 1] &&
+                             pw.cols[i] > pw.cols[i - 1]));
+            }
+        }
+        seen += pw.rows.size();
+    }
+    EXPECT_EQ(seen, m.nnz());
+}
+
+TEST(Worklist, UntiledMergesTilesOfAPanel)
+{
+    // Two tiles in the same panel must merge into one sorted panel.
+    CooMatrix m(8, 8);
+    m.push(1, 6, 1);  // tile (0,1)
+    m.push(1, 2, 2);  // tile (0,0)
+    m.push(0, 5, 3);  // tile (0,1)
+    TileGrid g(m, 4, 4);
+    UntiledWork w = buildUntiledWork(g, allTiles(g));
+    ASSERT_EQ(w.panels.size(), 1u);
+    const PanelWork& pw = w.panels[0];
+    ASSERT_EQ(pw.rows.size(), 3u);
+    EXPECT_EQ(pw.rows[0], 0u);
+    EXPECT_EQ(pw.cols[0], 5u);
+    EXPECT_EQ(pw.rows[1], 1u);
+    EXPECT_EQ(pw.cols[1], 2u);
+    EXPECT_EQ(pw.rows[2], 1u);
+    EXPECT_EQ(pw.cols[2], 6u);
+    EXPECT_FLOAT_EQ(pw.vals[1], 2.0f);
+}
+
+TEST(Worklist, UntiledSubsetSelectsOnlyGivenTiles)
+{
+    CooMatrix m = genUniform(128, 128, 1000, 32);
+    TileGrid g(m, 32, 32);
+    // Take every other tile.
+    std::vector<size_t> subset;
+    for (size_t i = 0; i < g.numTiles(); i += 2)
+        subset.push_back(i);
+    UntiledWork w = buildUntiledWork(g, subset);
+    size_t expected = 0;
+    for (size_t id : subset)
+        expected += g.tile(id).nnz;
+    EXPECT_EQ(w.total_nnz, expected);
+}
+
+TEST(Worklist, TiledGroupsByPanelInOrder)
+{
+    CooMatrix m = genRmat(256, 3000, 0.57, 0.19, 0.19, 0.05, 33);
+    TileGrid g(m, 64, 64);
+    TiledWork w = buildTiledWork(g, allTiles(g));
+    EXPECT_EQ(w.total_nnz, m.nnz());
+    ASSERT_EQ(w.panel_ids.size(), w.panel_tiles.size());
+    for (size_t p = 0; p < w.panel_tiles.size(); ++p) {
+        ASSERT_FALSE(w.panel_tiles[p].empty());
+        if (p > 0) {
+            ASSERT_GT(w.panel_ids[p], w.panel_ids[p - 1]);
+        }
+        for (size_t k = 0; k < w.panel_tiles[p].size(); ++k) {
+            const Tile& t = g.tile(w.panel_tiles[p][k]);
+            ASSERT_EQ(t.panel, w.panel_ids[p]);
+            if (k > 0) {
+                ASSERT_GT(t.tcol,
+                          g.tile(w.panel_tiles[p][k - 1]).tcol);
+            }
+        }
+    }
+}
+
+TEST(Worklist, EmptySelection)
+{
+    CooMatrix m = genUniform(64, 64, 200, 34);
+    TileGrid g(m, 32, 32);
+    UntiledWork u = buildUntiledWork(g, {});
+    TiledWork t = buildTiledWork(g, {});
+    EXPECT_TRUE(u.panels.empty());
+    EXPECT_EQ(u.total_nnz, 0u);
+    EXPECT_TRUE(t.panel_tiles.empty());
+}
+
+TEST(Worklist, DisjointSubsetsPartitionNnz)
+{
+    CooMatrix m = genCommunity(512, 20.0, 32, 64, 0.7, 35);
+    TileGrid g(m, 64, 64);
+    std::vector<size_t> odd;
+    std::vector<size_t> even;
+    for (size_t i = 0; i < g.numTiles(); ++i)
+        (i % 2 ? odd : even).push_back(i);
+    UntiledWork wo = buildUntiledWork(g, odd);
+    TiledWork we = buildTiledWork(g, even);
+    EXPECT_EQ(wo.total_nnz + we.total_nnz, m.nnz());
+}

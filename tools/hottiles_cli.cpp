@@ -1,0 +1,353 @@
+/**
+ * @file
+ * hottiles — command-line driver for the HotTiles framework.
+ *
+ *   hottiles suite
+ *       List the built-in benchmark matrices (Table V / VIII proxies).
+ *
+ *   hottiles analyze  <matrix> [options]
+ *       Tile the matrix, print IMH statistics and the model's view.
+ *
+ *   hottiles partition <matrix> [options] [--out FILE]
+ *       Run the full preprocessing pipeline; optionally save the
+ *       partition for later reuse (GNN training -> inference flow).
+ *
+ *   hottiles simulate <matrix> [options] [--load FILE]
+ *       Simulate every execution strategy and print the comparison.
+ *
+ *   hottiles explore  <matrix> [options] [--total N]
+ *       Iso-scale architecture exploration (predicted vs simulated).
+ *
+ * <matrix> is a MatrixMarket file, or @name for a built-in proxy
+ * (e.g. @pap).  Options:
+ *   --arch spade-sextans[:SCALE] | pcie | piuma   (default spade-sextans:4)
+ *   --kernel spmm|spmv|sddmm                      (default spmm)
+ *   --k N        dense width                      (default 32)
+ *   --ai X       gSpMM arithmetic intensity       (default 1)
+ *   --tile N     square tile size override
+ *   --seed N     IUnaware randomization seed
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/calibrate.hpp"
+#include "core/execution.hpp"
+#include "core/explorer.hpp"
+#include "core/serialize.hpp"
+#include "core/tile_search.hpp"
+#include "sim/trace.hpp"
+#include "sparse/imh_stats.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/suite.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+struct Options
+{
+    std::string command;
+    std::string matrix;
+    std::string arch_name = "spade-sextans:4";
+    std::string kernel_name = "spmm";
+    uint32_t k = 32;
+    double ai = 1.0;
+    Index tile = 0;  // 0 = architecture default
+    uint64_t seed = 42;
+    std::string out_file;
+    std::string load_file;
+    std::string trace_file;
+    int total = 8;
+};
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " suite|analyze|partition|simulate|explore <matrix> "
+                 "[--arch A] [--kernel K] [--k N] [--ai X] [--tile N] "
+                 "[--seed N] [--out F] [--load F] [--total N]\n"
+                 "<matrix> is a .mtx path or @name for a built-in proxy\n";
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char** argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+    Options o;
+    o.command = argv[1];
+    int i = 2;
+    if (o.command != "suite") {
+        if (i >= argc)
+            usage(argv[0]);
+        o.matrix = argv[i++];
+    }
+    auto next = [&](const char* what) -> std::string {
+        if (i >= argc)
+            HT_FATAL("missing value for ", what);
+        return argv[i++];
+    };
+    while (i < argc) {
+        std::string a = argv[i++];
+        if (a == "--arch")
+            o.arch_name = next("--arch");
+        else if (a == "--kernel")
+            o.kernel_name = next("--kernel");
+        else if (a == "--k")
+            o.k = static_cast<uint32_t>(std::stoul(next("--k")));
+        else if (a == "--ai")
+            o.ai = std::stod(next("--ai"));
+        else if (a == "--tile")
+            o.tile = static_cast<Index>(std::stoul(next("--tile")));
+        else if (a == "--seed")
+            o.seed = std::stoull(next("--seed"));
+        else if (a == "--out")
+            o.out_file = next("--out");
+        else if (a == "--load")
+            o.load_file = next("--load");
+        else if (a == "--total")
+            o.total = std::stoi(next("--total"));
+        else if (a == "--trace")
+            o.trace_file = next("--trace");
+        else
+            HT_FATAL("unknown option '", a, "'");
+    }
+    return o;
+}
+
+Architecture
+makeArch(const Options& o)
+{
+    auto parts = splitChar(o.arch_name, ':');
+    std::string base = toLower(parts[0]);
+    Architecture arch;
+    if (base == "spade-sextans") {
+        int scale = parts.size() > 1 ? std::stoi(std::string(parts[1])) : 4;
+        arch = makeSpadeSextans(scale);
+    } else if (base == "pcie") {
+        arch = makeSpadeSextansPcie();
+    } else if (base == "piuma") {
+        arch = makePiuma();
+    } else {
+        HT_FATAL("unknown architecture '", o.arch_name,
+                 "' (try spade-sextans[:1|2|4|8], pcie, piuma)");
+    }
+    if (o.tile > 0) {
+        arch.tile_height = o.tile;
+        arch.tile_width = o.tile;
+    }
+    return arch;
+}
+
+KernelConfig
+makeKernel(const Options& o)
+{
+    KernelConfig kc;
+    std::string k = toLower(o.kernel_name);
+    if (k == "spmm") {
+        kc.kind = SparseKernel::Spmm;
+        kc.k = o.k;
+    } else if (k == "spmv") {
+        kc = spmvKernel();
+    } else if (k == "sddmm") {
+        kc = sddmmKernel(o.k);
+    } else {
+        HT_FATAL("unknown kernel '", o.kernel_name, "'");
+    }
+    kc.ai_factor = o.ai;
+    return kc;
+}
+
+CooMatrix
+loadMatrix(const Options& o)
+{
+    if (!o.matrix.empty() && o.matrix[0] == '@')
+        return makeSuiteMatrix(o.matrix.substr(1));
+    return readMatrixMarketFile(o.matrix);
+}
+
+int
+cmdSuite()
+{
+    Table t({"Name", "Stands in for", "Domain", "Rows", "Nnz target"});
+    t.setAlign(1, Table::Align::Left);
+    t.setAlign(2, Table::Align::Left);
+    auto add = [&](const SuiteEntry& e) {
+        t.addRow({e.name, e.full_name, e.domain, std::to_string(e.rows),
+                  std::to_string(e.nnz_target)});
+    };
+    for (const auto& e : tableV())
+        add(e);
+    for (const auto& e : tableVIII())
+        add(e);
+    t.print(std::cout);
+    std::cout << "use @name as the matrix argument, e.g. 'analyze @pap'\n";
+    return 0;
+}
+
+int
+cmdAnalyze(const Options& o)
+{
+    CooMatrix m = loadMatrix(o);
+    Architecture arch = calibrated(makeArch(o));
+    KernelConfig kernel = makeKernel(o);
+
+    std::cout << "matrix: " << m.rows() << "x" << m.cols() << ", "
+              << m.nnz() << " nonzeros, density " << m.density()
+              << ", avg degree " << m.avgDegree() << "\n";
+    TileGrid grid(m, arch.tile_height, arch.tile_width);
+    ImhStats imh = computeImhStats(grid);
+    std::cout << "tiling: " << arch.tile_height << "x" << arch.tile_width
+              << " -> " << grid.numTiles() << " occupied tiles ("
+              << grid.emptyTiles() << " empty eliminated)\n"
+              << "IMH: tile-nnz CV " << Table::num(imh.tile_cv, 2)
+              << ", tile Gini " << Table::num(imh.tile_gini, 2)
+              << ", row Gini " << Table::num(imh.row_gini, 2) << "\n"
+              << "     densest 10% of tiles hold "
+              << Table::num(100 * imh.top10pct_mass, 1)
+              << "% of the nonzeros; hot mass (tiles with nnz >= width) "
+              << Table::num(100 * imh.hot_mass, 1) << "%\n";
+
+    TileSizeSearchResult ts = searchTileSize(arch, m, kernel);
+    Table t({"Tile size", "Occupied tiles", "Predicted cycles"});
+    for (const auto& c : ts.candidates)
+        t.addRow({std::to_string(c.tile_height), std::to_string(c.tiles),
+                  Table::num(c.predicted_cycles, 0)});
+    t.print(std::cout);
+    std::cout << "model-recommended tile size: " << ts.best.tile_height
+              << "\n";
+    return 0;
+}
+
+int
+cmdPartition(const Options& o)
+{
+    CooMatrix m = loadMatrix(o);
+    Architecture arch = calibrated(makeArch(o));
+    HotTilesOptions opts;
+    opts.kernel = makeKernel(o);
+    opts.iunaware_seed = o.seed;
+    HotTiles ht(arch, m, opts);
+
+    const Partition& p = ht.partition();
+    std::cout << "partitioned " << ht.grid().numTiles() << " tiles with "
+              << p.heuristic << (p.serial ? " (serial)" : " (parallel)")
+              << "\n"
+              << "hot tiles: " << 100.0 * p.hotTileFraction()
+              << "%, hot nonzeros: "
+              << 100.0 * p.hotNnzFraction(ht.grid()) << "%\n"
+              << "predicted runtime: " << p.predicted_cycles << " cycles ("
+              << cyclesToMs(p.predicted_cycles, arch.freq_ghz) << " ms)\n"
+              << "preprocessing: " << ht.timing().total() * 1e3 << " ms ("
+              << 100.0 * ht.timing().overheadFraction()
+              << "% HotTiles-specific)\n";
+    if (!o.out_file.empty()) {
+        writePartitionFile(p, ht.grid(), o.matrix, o.out_file);
+        std::cout << "saved partition to " << o.out_file << "\n";
+    }
+    return 0;
+}
+
+int
+cmdSimulate(const Options& o)
+{
+    CooMatrix m = loadMatrix(o);
+    Architecture arch = calibrated(makeArch(o));
+    HotTilesOptions opts;
+    opts.kernel = makeKernel(o);
+    opts.iunaware_seed = o.seed;
+    opts.build_formats = false;
+
+    if (!o.load_file.empty()) {
+        TileGrid grid(m, arch.tile_height, arch.tile_width);
+        Partition p = readPartitionFile(o.load_file, grid);
+        SimConfig scfg;
+        std::ofstream trace_stream;
+        std::unique_ptr<TraceWriter> tw;
+        if (!o.trace_file.empty()) {
+            trace_stream.open(o.trace_file);
+            if (!trace_stream)
+                HT_FATAL("cannot open '", o.trace_file, "' for writing");
+            tw = std::make_unique<TraceWriter>(trace_stream);
+            scfg.trace = tw.get();
+        }
+        SimOutput out = simulateExecution(arch, grid, p.is_hot, p.serial,
+                                          opts.kernel, scfg);
+        std::cout << "loaded partition (" << p.heuristic << "): "
+                  << out.stats.cycles << " cycles, " << out.stats.ms
+                  << " ms, " << out.stats.avg_bw_gbps << " GB/s\n";
+        if (tw)
+            std::cout << "wrote " << tw->rows() << " trace rows to "
+                      << o.trace_file << "\n";
+        return 0;
+    }
+
+    MatrixEvaluation ev = evaluateMatrix(arch, m, o.matrix, opts);
+    Table t({"Strategy", "Cycles", "ms", "Speedup vs worst", "BW GB/s"});
+    auto row = [&](const char* name, const StrategyOutcome& s) {
+        t.addRow({name, Table::num(s.cycles(), 0), Table::num(s.ms(), 3),
+                  Table::num(ev.speedupOverWorst(s), 2),
+                  Table::num(s.stats.avg_bw_gbps, 1)});
+    };
+    row("HotOnly", ev.hot_only);
+    row("ColdOnly", ev.cold_only);
+    row("IUnaware", ev.iunaware);
+    row("HotTiles", ev.hottiles);
+    t.print(std::cout);
+    std::cout << "HotTiles vs BestHomogeneous: "
+              << Table::num(ev.bestHomogeneousCycles() /
+                                ev.hottiles.cycles(), 2)
+              << "x\n";
+    return 0;
+}
+
+int
+cmdExplore(const Options& o)
+{
+    CooMatrix m = loadMatrix(o);
+    auto pts = exploreIsoScale(m, o.total, makeKernel(o));
+    Table t({"Design", "Predicted cycles", "Simulated cycles"});
+    for (const auto& pt : pts)
+        t.addRow({pt.label(), Table::num(pt.predicted_cycles, 0),
+                  Table::num(pt.actual_cycles, 0)});
+    t.print(std::cout);
+    std::cout << "predicted best: " << pts[bestPredicted(pts)].label()
+              << ", simulated best: " << pts[bestActual(pts)].label()
+              << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        Options o = parseArgs(argc, argv);
+        if (o.command == "suite")
+            return cmdSuite();
+        if (o.command == "analyze")
+            return cmdAnalyze(o);
+        if (o.command == "partition")
+            return cmdPartition(o);
+        if (o.command == "simulate")
+            return cmdSimulate(o);
+        if (o.command == "explore")
+            return cmdExplore(o);
+        usage(argv[0]);
+    } catch (const FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
