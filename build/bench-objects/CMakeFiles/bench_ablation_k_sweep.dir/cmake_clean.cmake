@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_k_sweep"
+  "../bench/bench_ablation_k_sweep.pdb"
+  "CMakeFiles/bench_ablation_k_sweep.dir/bench_ablation_k_sweep.cpp.o"
+  "CMakeFiles/bench_ablation_k_sweep.dir/bench_ablation_k_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_model_ext"
+  "../bench/bench_ablation_model_ext.pdb"
+  "CMakeFiles/bench_ablation_model_ext.dir/bench_ablation_model_ext.cpp.o"
+  "CMakeFiles/bench_ablation_model_ext.dir/bench_ablation_model_ext.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

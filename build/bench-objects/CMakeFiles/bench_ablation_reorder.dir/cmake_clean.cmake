@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reorder"
+  "../bench/bench_ablation_reorder.pdb"
+  "CMakeFiles/bench_ablation_reorder.dir/bench_ablation_reorder.cpp.o"
+  "CMakeFiles/bench_ablation_reorder.dir/bench_ablation_reorder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

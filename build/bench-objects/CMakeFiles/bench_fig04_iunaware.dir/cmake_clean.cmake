@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_iunaware"
+  "../bench/bench_fig04_iunaware.pdb"
+  "CMakeFiles/bench_fig04_iunaware.dir/bench_fig04_iunaware.cpp.o"
+  "CMakeFiles/bench_fig04_iunaware.dir/bench_fig04_iunaware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_iunaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

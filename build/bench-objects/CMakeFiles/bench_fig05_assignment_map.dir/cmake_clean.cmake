@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_assignment_map"
+  "../bench/bench_fig05_assignment_map.pdb"
+  "CMakeFiles/bench_fig05_assignment_map.dir/bench_fig05_assignment_map.cpp.o"
+  "CMakeFiles/bench_fig05_assignment_map.dir/bench_fig05_assignment_map.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_assignment_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_spade_sextans"
+  "../bench/bench_fig10_spade_sextans.pdb"
+  "CMakeFiles/bench_fig10_spade_sextans.dir/bench_fig10_spade_sextans.cpp.o"
+  "CMakeFiles/bench_fig10_spade_sextans.dir/bench_fig10_spade_sextans.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_spade_sextans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

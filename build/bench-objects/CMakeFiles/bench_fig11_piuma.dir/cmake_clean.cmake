@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_piuma"
+  "../bench/bench_fig11_piuma.pdb"
+  "CMakeFiles/bench_fig11_piuma.dir/bench_fig11_piuma.cpp.o"
+  "CMakeFiles/bench_fig11_piuma.dir/bench_fig11_piuma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_piuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

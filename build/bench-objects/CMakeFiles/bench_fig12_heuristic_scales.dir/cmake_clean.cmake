@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_heuristic_scales"
+  "../bench/bench_fig12_heuristic_scales.pdb"
+  "CMakeFiles/bench_fig12_heuristic_scales.dir/bench_fig12_heuristic_scales.cpp.o"
+  "CMakeFiles/bench_fig12_heuristic_scales.dir/bench_fig12_heuristic_scales.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_heuristic_scales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_iso_double"
+  "../bench/bench_fig13_iso_double.pdb"
+  "CMakeFiles/bench_fig13_iso_double.dir/bench_fig13_iso_double.cpp.o"
+  "CMakeFiles/bench_fig13_iso_double.dir/bench_fig13_iso_double.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_iso_double.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_dense_set"
+  "../bench/bench_fig15_dense_set.pdb"
+  "CMakeFiles/bench_fig15_dense_set.dir/bench_fig15_dense_set.cpp.o"
+  "CMakeFiles/bench_fig15_dense_set.dir/bench_fig15_dense_set.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dense_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_isoscale"
+  "../bench/bench_fig16_isoscale.pdb"
+  "CMakeFiles/bench_fig16_isoscale.dir/bench_fig16_isoscale.cpp.o"
+  "CMakeFiles/bench_fig16_isoscale.dir/bench_fig16_isoscale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_isoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

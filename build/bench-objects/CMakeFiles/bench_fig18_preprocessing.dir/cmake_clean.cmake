@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_preprocessing"
+  "../bench/bench_fig18_preprocessing.pdb"
+  "CMakeFiles/bench_fig18_preprocessing.dir/bench_fig18_preprocessing.cpp.o"
+  "CMakeFiles/bench_fig18_preprocessing.dir/bench_fig18_preprocessing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_library"
+  "../bench/bench_micro_library.pdb"
+  "CMakeFiles/bench_micro_library.dir/bench_micro_library.cpp.o"
+  "CMakeFiles/bench_micro_library.dir/bench_micro_library.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table06_runtimes"
+  "../bench/bench_table06_runtimes.pdb"
+  "CMakeFiles/bench_table06_runtimes.dir/bench_table06_runtimes.cpp.o"
+  "CMakeFiles/bench_table06_runtimes.dir/bench_table06_runtimes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

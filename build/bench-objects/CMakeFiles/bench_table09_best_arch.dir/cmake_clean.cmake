@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table09_best_arch"
+  "../bench/bench_table09_best_arch.pdb"
+  "CMakeFiles/bench_table09_best_arch.dir/bench_table09_best_arch.cpp.o"
+  "CMakeFiles/bench_table09_best_arch.dir/bench_table09_best_arch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_best_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

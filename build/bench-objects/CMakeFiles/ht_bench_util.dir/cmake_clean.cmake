@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ht_bench_util.dir/bench_util.cpp.o.d"
+  "libht_bench_util.a"
+  "libht_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_layer.dir/gnn_layer.cpp.o"
+  "CMakeFiles/gnn_layer.dir/gnn_layer.cpp.o.d"
+  "gnn_layer"
+  "gnn_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

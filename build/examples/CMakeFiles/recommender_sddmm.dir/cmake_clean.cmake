@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_sddmm.dir/recommender_sddmm.cpp.o"
+  "CMakeFiles/recommender_sddmm.dir/recommender_sddmm.cpp.o.d"
+  "recommender_sddmm"
+  "recommender_sddmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_sddmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

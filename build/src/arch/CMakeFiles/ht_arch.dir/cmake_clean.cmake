@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_arch.dir/arch_config.cpp.o"
+  "CMakeFiles/ht_arch.dir/arch_config.cpp.o.d"
+  "libht_arch.a"
+  "libht_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_common.dir/error.cpp.o"
+  "CMakeFiles/ht_common.dir/error.cpp.o.d"
+  "CMakeFiles/ht_common.dir/log.cpp.o"
+  "CMakeFiles/ht_common.dir/log.cpp.o.d"
+  "CMakeFiles/ht_common.dir/random.cpp.o"
+  "CMakeFiles/ht_common.dir/random.cpp.o.d"
+  "CMakeFiles/ht_common.dir/stats.cpp.o"
+  "CMakeFiles/ht_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ht_common.dir/string_util.cpp.o"
+  "CMakeFiles/ht_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/ht_common.dir/table.cpp.o"
+  "CMakeFiles/ht_common.dir/table.cpp.o.d"
+  "libht_common.a"
+  "libht_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

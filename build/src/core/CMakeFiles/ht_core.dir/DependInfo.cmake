@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibrate.cpp" "src/core/CMakeFiles/ht_core.dir/calibrate.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/calibrate.cpp.o.d"
+  "/root/repo/src/core/execution.cpp" "src/core/CMakeFiles/ht_core.dir/execution.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/execution.cpp.o.d"
+  "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/ht_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/core/gspmm.cpp" "src/core/CMakeFiles/ht_core.dir/gspmm.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/gspmm.cpp.o.d"
+  "/root/repo/src/core/hottiles.cpp" "src/core/CMakeFiles/ht_core.dir/hottiles.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/hottiles.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/ht_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/ht_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/ht_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/tile_search.cpp" "src/core/CMakeFiles/ht_core.dir/tile_search.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/tile_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ht_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ht_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ht_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ht_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_core.dir/calibrate.cpp.o"
+  "CMakeFiles/ht_core.dir/calibrate.cpp.o.d"
+  "CMakeFiles/ht_core.dir/execution.cpp.o"
+  "CMakeFiles/ht_core.dir/execution.cpp.o.d"
+  "CMakeFiles/ht_core.dir/explorer.cpp.o"
+  "CMakeFiles/ht_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/ht_core.dir/gspmm.cpp.o"
+  "CMakeFiles/ht_core.dir/gspmm.cpp.o.d"
+  "CMakeFiles/ht_core.dir/hottiles.cpp.o"
+  "CMakeFiles/ht_core.dir/hottiles.cpp.o.d"
+  "CMakeFiles/ht_core.dir/kernels.cpp.o"
+  "CMakeFiles/ht_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/ht_core.dir/preprocess.cpp.o"
+  "CMakeFiles/ht_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/ht_core.dir/serialize.cpp.o"
+  "CMakeFiles/ht_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/ht_core.dir/tile_search.cpp.o"
+  "CMakeFiles/ht_core.dir/tile_search.cpp.o.d"
+  "libht_core.a"
+  "libht_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

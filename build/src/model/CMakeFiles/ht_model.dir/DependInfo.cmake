@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/calibration.cpp" "src/model/CMakeFiles/ht_model.dir/calibration.cpp.o" "gcc" "src/model/CMakeFiles/ht_model.dir/calibration.cpp.o.d"
+  "/root/repo/src/model/memory_model.cpp" "src/model/CMakeFiles/ht_model.dir/memory_model.cpp.o" "gcc" "src/model/CMakeFiles/ht_model.dir/memory_model.cpp.o.d"
+  "/root/repo/src/model/roofline.cpp" "src/model/CMakeFiles/ht_model.dir/roofline.cpp.o" "gcc" "src/model/CMakeFiles/ht_model.dir/roofline.cpp.o.d"
+  "/root/repo/src/model/time_model.cpp" "src/model/CMakeFiles/ht_model.dir/time_model.cpp.o" "gcc" "src/model/CMakeFiles/ht_model.dir/time_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ht_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_model.dir/calibration.cpp.o"
+  "CMakeFiles/ht_model.dir/calibration.cpp.o.d"
+  "CMakeFiles/ht_model.dir/memory_model.cpp.o"
+  "CMakeFiles/ht_model.dir/memory_model.cpp.o.d"
+  "CMakeFiles/ht_model.dir/roofline.cpp.o"
+  "CMakeFiles/ht_model.dir/roofline.cpp.o.d"
+  "CMakeFiles/ht_model.dir/time_model.cpp.o"
+  "CMakeFiles/ht_model.dir/time_model.cpp.o.d"
+  "libht_model.a"
+  "libht_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/heuristics.cpp" "src/partition/CMakeFiles/ht_partition.dir/heuristics.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/heuristics.cpp.o.d"
+  "/root/repo/src/partition/iunaware.cpp" "src/partition/CMakeFiles/ht_partition.dir/iunaware.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/iunaware.cpp.o.d"
+  "/root/repo/src/partition/oracle.cpp" "src/partition/CMakeFiles/ht_partition.dir/oracle.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/oracle.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/ht_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/partition.cpp.o.d"
+  "/root/repo/src/partition/predicted_runtime.cpp" "src/partition/CMakeFiles/ht_partition.dir/predicted_runtime.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/predicted_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ht_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ht_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

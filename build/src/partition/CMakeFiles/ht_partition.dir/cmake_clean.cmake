@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_partition.dir/heuristics.cpp.o"
+  "CMakeFiles/ht_partition.dir/heuristics.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/iunaware.cpp.o"
+  "CMakeFiles/ht_partition.dir/iunaware.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/oracle.cpp.o"
+  "CMakeFiles/ht_partition.dir/oracle.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/partition.cpp.o"
+  "CMakeFiles/ht_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/predicted_runtime.cpp.o"
+  "CMakeFiles/ht_partition.dir/predicted_runtime.cpp.o.d"
+  "libht_partition.a"
+  "libht_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/ht_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/demand_pe.cpp" "src/sim/CMakeFiles/ht_sim.dir/demand_pe.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/demand_pe.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/ht_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/ht_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/ht_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/merger.cpp" "src/sim/CMakeFiles/ht_sim.dir/merger.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/merger.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ht_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/stream_pe.cpp" "src/sim/CMakeFiles/ht_sim.dir/stream_pe.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/stream_pe.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/ht_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/worker.cpp" "src/sim/CMakeFiles/ht_sim.dir/worker.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/worker.cpp.o.d"
+  "/root/repo/src/sim/worklist.cpp" "src/sim/CMakeFiles/ht_sim.dir/worklist.cpp.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/worklist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ht_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ht_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ht_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

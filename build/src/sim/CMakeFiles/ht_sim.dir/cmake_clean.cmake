@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_sim.dir/cache.cpp.o"
+  "CMakeFiles/ht_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/demand_pe.cpp.o"
+  "CMakeFiles/ht_sim.dir/demand_pe.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ht_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/link.cpp.o"
+  "CMakeFiles/ht_sim.dir/link.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/ht_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/merger.cpp.o"
+  "CMakeFiles/ht_sim.dir/merger.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ht_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/stream_pe.cpp.o"
+  "CMakeFiles/ht_sim.dir/stream_pe.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/trace.cpp.o"
+  "CMakeFiles/ht_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/worker.cpp.o"
+  "CMakeFiles/ht_sim.dir/worker.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/worklist.cpp.o"
+  "CMakeFiles/ht_sim.dir/worklist.cpp.o.d"
+  "libht_sim.a"
+  "libht_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/ht_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/ht_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/ht_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/ht_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/sparse/CMakeFiles/ht_sparse.dir/dense.cpp.o" "gcc" "src/sparse/CMakeFiles/ht_sparse.dir/dense.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/ht_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/ht_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/imh_stats.cpp" "src/sparse/CMakeFiles/ht_sparse.dir/imh_stats.cpp.o" "gcc" "src/sparse/CMakeFiles/ht_sparse.dir/imh_stats.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/sparse/CMakeFiles/ht_sparse.dir/matrix_market.cpp.o" "gcc" "src/sparse/CMakeFiles/ht_sparse.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/reorder.cpp" "src/sparse/CMakeFiles/ht_sparse.dir/reorder.cpp.o" "gcc" "src/sparse/CMakeFiles/ht_sparse.dir/reorder.cpp.o.d"
+  "/root/repo/src/sparse/suite.cpp" "src/sparse/CMakeFiles/ht_sparse.dir/suite.cpp.o" "gcc" "src/sparse/CMakeFiles/ht_sparse.dir/suite.cpp.o.d"
+  "/root/repo/src/sparse/tiling.cpp" "src/sparse/CMakeFiles/ht_sparse.dir/tiling.cpp.o" "gcc" "src/sparse/CMakeFiles/ht_sparse.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

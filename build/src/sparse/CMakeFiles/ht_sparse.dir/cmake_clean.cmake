@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_sparse.dir/coo.cpp.o"
+  "CMakeFiles/ht_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/ht_sparse.dir/csr.cpp.o"
+  "CMakeFiles/ht_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/ht_sparse.dir/dense.cpp.o"
+  "CMakeFiles/ht_sparse.dir/dense.cpp.o.d"
+  "CMakeFiles/ht_sparse.dir/generators.cpp.o"
+  "CMakeFiles/ht_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/ht_sparse.dir/imh_stats.cpp.o"
+  "CMakeFiles/ht_sparse.dir/imh_stats.cpp.o.d"
+  "CMakeFiles/ht_sparse.dir/matrix_market.cpp.o"
+  "CMakeFiles/ht_sparse.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/ht_sparse.dir/reorder.cpp.o"
+  "CMakeFiles/ht_sparse.dir/reorder.cpp.o.d"
+  "CMakeFiles/ht_sparse.dir/suite.cpp.o"
+  "CMakeFiles/ht_sparse.dir/suite.cpp.o.d"
+  "CMakeFiles/ht_sparse.dir/tiling.cpp.o"
+  "CMakeFiles/ht_sparse.dir/tiling.cpp.o.d"
+  "libht_sparse.a"
+  "libht_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gspmm.dir/test_gspmm.cpp.o"
+  "CMakeFiles/test_gspmm.dir/test_gspmm.cpp.o.d"
+  "test_gspmm"
+  "test_gspmm.pdb"
+  "test_gspmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gspmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

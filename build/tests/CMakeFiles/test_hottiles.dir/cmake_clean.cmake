@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hottiles.dir/test_hottiles.cpp.o"
+  "CMakeFiles/test_hottiles.dir/test_hottiles.cpp.o.d"
+  "test_hottiles"
+  "test_hottiles.pdb"
+  "test_hottiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hottiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

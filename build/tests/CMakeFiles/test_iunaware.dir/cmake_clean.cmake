@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iunaware.dir/test_iunaware.cpp.o"
+  "CMakeFiles/test_iunaware.dir/test_iunaware.cpp.o.d"
+  "test_iunaware"
+  "test_iunaware.pdb"
+  "test_iunaware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iunaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_memory_model.cpp" "tests/CMakeFiles/test_memory_model.dir/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/test_memory_model.dir/test_memory_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ht_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ht_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ht_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ht_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

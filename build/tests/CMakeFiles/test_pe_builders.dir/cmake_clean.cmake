@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pe_builders.dir/test_pe_builders.cpp.o"
+  "CMakeFiles/test_pe_builders.dir/test_pe_builders.cpp.o.d"
+  "test_pe_builders"
+  "test_pe_builders.pdb"
+  "test_pe_builders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pe_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_matrices.dir/test_suite_matrices.cpp.o"
+  "CMakeFiles/test_suite_matrices.dir/test_suite_matrices.cpp.o.d"
+  "test_suite_matrices"
+  "test_suite_matrices.pdb"
+  "test_suite_matrices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_search.dir/test_tile_search.cpp.o"
+  "CMakeFiles/test_tile_search.dir/test_tile_search.cpp.o.d"
+  "test_tile_search"
+  "test_tile_search.pdb"
+  "test_tile_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

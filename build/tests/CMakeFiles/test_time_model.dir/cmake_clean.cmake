@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_model.dir/test_time_model.cpp.o"
+  "CMakeFiles/test_time_model.dir/test_time_model.cpp.o.d"
+  "test_time_model"
+  "test_time_model.pdb"
+  "test_time_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

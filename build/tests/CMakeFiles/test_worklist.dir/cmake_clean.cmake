@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worklist.dir/test_worklist.cpp.o"
+  "CMakeFiles/test_worklist.dir/test_worklist.cpp.o.d"
+  "test_worklist"
+  "test_worklist.pdb"
+  "test_worklist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hottiles.dir/hottiles_cli.cpp.o"
+  "CMakeFiles/hottiles.dir/hottiles_cli.cpp.o.d"
+  "hottiles"
+  "hottiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hottiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
