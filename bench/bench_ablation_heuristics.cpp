@@ -21,8 +21,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Ablation: heuristic optimality and cost",
            "HPCA'24 HotTiles, §V", "Heuristics vs exhaustive oracle");
 
@@ -55,7 +56,10 @@ main()
 
     // Part 2: partitioning cost scaling with the tile count.
     Table t2({"Rows", "Tiles", "Partitioning ms", "us per tile"});
-    for (Index rows : {8192u, 16384u, 32768u, 65536u}) {
+    std::vector<Index> sizes = {8192u, 16384u, 32768u, 65536u};
+    if (smokeMode())
+        sizes = {2048u};
+    for (Index rows : sizes) {
         CooMatrix m = genRmat(rows, size_t(rows) * 16, 0.57, 0.19, 0.19,
                               0.05, 99);
         TileGrid grid(m, 128, 128);

@@ -18,8 +18,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Ablation: dense width K", "HPCA'24 HotTiles, §VII-B",
            "HotTiles across K (SPADE-Sextans scale 4)");
 

@@ -18,8 +18,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Ablation: kernels", "HPCA'24 HotTiles, §X",
            "HotTiles on SpMM / SpMV / SDDMM (SPADE-Sextans scale 4)");
 

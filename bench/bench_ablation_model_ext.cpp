@@ -20,8 +20,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Ablation: cache-aware model", "HPCA'24 HotTiles, §X / §IV-C",
            "Pessimistic no-cache model vs working-set extension");
 

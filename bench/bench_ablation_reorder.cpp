@@ -20,8 +20,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Ablation: reordering", "HPCA'24 HotTiles, §X",
            "Original vs degree-sorted vs randomly-permuted matrices");
 

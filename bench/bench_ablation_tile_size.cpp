@@ -37,8 +37,9 @@ simulateAtTileSize(const Architecture& base, const CooMatrix& m, Index size)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Ablation: tile sizing", "HPCA'24 HotTiles, §IV / §X",
            "Model-searched tile size vs the fixed default (256)");
 

@@ -49,8 +49,9 @@ runArch(const std::string& label, Architecture arch)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 4", "HPCA'24 HotTiles, Fig 4",
            "IUnaware heterogeneous execution vs homogeneous execution");
     runArch("SPADE-Sextans (Ncw=16, Nhw=1)", makeSpadeSextans(4));

@@ -53,8 +53,9 @@ printMap(const TileGrid& grid, const std::vector<uint8_t>& is_hot,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 5", "HPCA'24 HotTiles, Fig 5",
            "Assignment of pap tiles to hot (#) and cold (.) workers");
 

@@ -17,8 +17,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 10", "HPCA'24 HotTiles, Fig 10",
            "Strategy comparison on SPADE-Sextans scale 4 (Table V set)");
 

@@ -16,8 +16,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 11", "HPCA'24 HotTiles, Fig 11",
            "Strategy comparison on PIUMA (Table V set)");
 

@@ -20,8 +20,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 12", "HPCA'24 HotTiles, Fig 12",
            "Per-heuristic performance across system scales");
 

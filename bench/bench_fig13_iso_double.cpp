@@ -18,8 +18,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 13", "HPCA'24 HotTiles, Fig 13",
            "HotTiles scale 4 vs homogeneous scale 8");
 

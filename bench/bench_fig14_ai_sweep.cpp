@@ -20,8 +20,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 14", "HPCA'24 HotTiles, Fig 14",
            "gSpMM arithmetic-intensity sweep on SPADE-Sextans+PCIe");
 

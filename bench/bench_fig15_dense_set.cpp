@@ -17,8 +17,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 15 / Table VIII", "HPCA'24 HotTiles, Fig 15",
            "Higher-density matrix set on SPADE-Sextans scales 1 and 4");
 

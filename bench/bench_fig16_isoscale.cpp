@@ -19,8 +19,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 16", "HPCA'24 HotTiles, Fig 16",
            "Iso-scale architecture exploration: predicted vs actual");
 

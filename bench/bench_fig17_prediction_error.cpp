@@ -58,8 +58,9 @@ runArch(const std::string& label, Architecture arch, Summary err[3],
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Figure 17", "HPCA'24 HotTiles, Fig 17",
            "Model prediction error vs simulation");
 

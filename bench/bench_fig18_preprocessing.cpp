@@ -14,37 +14,71 @@
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/hottiles.hpp"
 
 using namespace hottiles;
 using namespace hottiles::bench;
 
-int
-main()
+namespace {
+
+double
+totalSeconds(const PreprocessTiming& pt)
 {
+    return pt.scan_s + pt.model_s + pt.partition_s + pt.format_base_s +
+           pt.format_extra_s;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    init(&argc, argv);
     banner("Figure 18", "HPCA'24 HotTiles, Fig 18",
            "Preprocessing cost breakdown (PIUMA flow, host wall-clock)");
 
     Architecture arch = calibrated(makePiuma());
+    const unsigned pool_threads = ThreadPool::globalThreads();
     Table t({"Matrix", "Scan ms", "Model ms", "Partition ms",
-             "Base format ms", "Extra format ms", "HotTiles overhead %"});
+             "Base format ms", "Extra format ms", "HotTiles overhead %",
+             "Serial ms", "Par ms", "Par speedup"});
     Summary overhead_pct;
+    Summary par_speedup;
     for (const auto& name : tableVNames()) {
         HotTilesOptions opts;  // formats built: Fig 18 measures them
+
+        // Same pipeline at one thread: the serial preprocessing baseline.
+        ThreadPool::setGlobalThreads(1);
+        double serial_s;
+        {
+            HotTiles serial_ht(arch, suiteMatrix(name), opts);
+            serial_s = totalSeconds(serial_ht.timing());
+        }
+        ThreadPool::setGlobalThreads(pool_threads);
+
         HotTiles ht(arch, suiteMatrix(name), opts);
         const PreprocessTiming& pt = ht.timing();
+        const double par_s = totalSeconds(pt);
         overhead_pct.add(100.0 * pt.overheadFraction());
+        par_speedup.add(serial_s / par_s);
         t.addRow({name, Table::num(pt.scan_s * 1e3, 2),
                   Table::num(pt.model_s * 1e3, 2),
                   Table::num(pt.partition_s * 1e3, 2),
                   Table::num(pt.format_base_s * 1e3, 2),
                   Table::num(pt.format_extra_s * 1e3, 2),
-                  Table::num(100.0 * pt.overheadFraction(), 1)});
+                  Table::num(100.0 * pt.overheadFraction(), 1),
+                  Table::num(serial_s * 1e3, 2),
+                  Table::num(par_s * 1e3, 2),
+                  Table::num(serial_s / par_s, 2)});
     }
     t.print(std::cout);
     std::cout << "\naverage HotTiles-specific share of preprocessing: "
               << Table::num(overhead_pct.mean(), 1)
               << "% (paper: 73%)\n"
+              << "average parallel preprocessing speedup at "
+              << pool_threads << " threads: "
+              << Table::num(par_speedup.mean(), 2) << "x\n"
               << "The overhead is a one-time cost amortized over many "
                  "SpMM iterations (GNN training/inference).\n";
     return 0;

@@ -7,8 +7,11 @@
  * claims (§V-B, §VIII-C) at the component level.
  */
 
+#include <algorithm>
+
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "common/random.hpp"
 #include "common/units.hpp"
 #include "model/time_model.hpp"
@@ -27,7 +30,9 @@ const CooMatrix&
 benchMatrix()
 {
     static CooMatrix m =
-        genRmat(16384, 500000, 0.57, 0.19, 0.19, 0.05, 0xBEEF);
+        bench::smokeMode()
+            ? genRmat(2048, 20000, 0.57, 0.19, 0.19, 0.05, 0xBEEF)
+            : genRmat(16384, 500000, 0.57, 0.19, 0.19, 0.05, 0xBEEF);
     return m;
 }
 
@@ -92,6 +97,8 @@ BM_HeuristicPartitioning(benchmark::State& state)
 {
     // Scaling of the N log N cutoff heuristics with the tile count.
     auto rows = static_cast<Index>(state.range(0));
+    if (bench::smokeMode())
+        rows = std::min<Index>(rows, 2048);
     CooMatrix m = genRmat(rows, size_t(rows) * 30, 0.57, 0.19, 0.19, 0.05,
                           0xFEED);
     TileGrid grid(m, 128, 128);
@@ -159,4 +166,16 @@ BENCHMARK(BM_MemorySystemContention)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main: the shared bench flags (--smoke/--threads) must be
+// stripped before benchmark::Initialize, which rejects unknown flags.
+int
+main(int argc, char** argv)
+{
+    hottiles::bench::init(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

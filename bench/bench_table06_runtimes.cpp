@@ -15,8 +15,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Table VI", "HPCA'24 HotTiles, Table VI",
            "Absolute runtime in ms for SPADE-Sextans (proxy-scaled)");
 

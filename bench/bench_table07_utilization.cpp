@@ -73,8 +73,9 @@ runScale(int scale)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Table VII", "HPCA'24 HotTiles, Table VII",
            "Architecture utilization statistics for SPADE-Sextans");
     runScale(1);

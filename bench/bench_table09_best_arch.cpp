@@ -18,8 +18,9 @@ using namespace hottiles;
 using namespace hottiles::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    init(&argc, argv);
     banner("Table IX", "HPCA'24 HotTiles, Table IX",
            "Per-matrix best iso-scale architecture: predicted vs actual");
 

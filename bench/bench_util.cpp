@@ -6,8 +6,42 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
+#include "sparse/generators.hpp"
 
 namespace hottiles::bench {
+
+namespace {
+
+bool g_smoke = false;
+
+} // namespace
+
+void
+init(int* argc, char** argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        std::string_view a = argv[i];
+        if (a == "--smoke") {
+            g_smoke = true;
+        } else if (a == "--threads") {
+            if (i + 1 >= *argc)
+                HT_FATAL("missing value for --threads");
+            ThreadPool::setGlobalThreads(static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10)));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+}
+
+bool
+smokeMode()
+{
+    return g_smoke;
+}
 
 void
 banner(const std::string& experiment, const std::string& paper_ref,
@@ -24,6 +58,8 @@ namespace {
 std::vector<std::string>
 filterFromEnv(std::vector<std::string> names)
 {
+    if (g_smoke)
+        return {"smoke"};
     const char* env = std::getenv("HT_BENCH_MATRICES");
     if (!env || !*env)
         return names;
@@ -60,6 +96,12 @@ tableVIIINames()
 const CooMatrix&
 suiteMatrix(const std::string& name)
 {
+    if (g_smoke) {
+        // One tiny deterministic matrix stands in for every suite name
+        // so smoke runs exercise the full pipeline in seconds.
+        static CooMatrix tiny = genCommunity(1024, 12.0, 32, 128, 0.8, 7);
+        return tiny;
+    }
     static std::map<std::string, CooMatrix> cache;
     auto it = cache.find(name);
     if (it == cache.end())

@@ -20,6 +20,20 @@
 
 namespace hottiles::bench {
 
+/**
+ * Parse the shared bench flags and strip them from argv (so wrapped
+ * argument parsers like google-benchmark never see them):
+ *   --smoke       tiny-synthetic-matrix mode for CI: every suite name
+ *                 resolves to one small deterministic matrix so each
+ *                 binary exercises its full code path in seconds.
+ *   --threads N   thread-pool size (same as the CLI flag).
+ * Call first thing in main().
+ */
+void init(int* argc, char** argv);
+
+/** True when --smoke was passed (benches may trim their sweeps). */
+bool smokeMode();
+
 /** Print the standard experiment banner. */
 void banner(const std::string& experiment, const std::string& paper_ref,
             const std::string& description);

@@ -1,0 +1,227 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace hottiles {
+
+namespace {
+
+/** Set while the current thread is executing pool work. */
+thread_local bool t_on_worker = false;
+
+/** One parallelFor invocation: shared chunk counter + completion. */
+struct ForJob
+{
+    size_t begin = 0;
+    size_t grain = 1;
+    size_t end = 0;
+    size_t nchunks = 0;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+
+    std::atomic<size_t> next{0};
+    std::vector<std::exception_ptr> errors;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;  // guarded by mu
+
+    /** Claim and run chunks until none are left. */
+    void
+    drain()
+    {
+        size_t ran = 0;
+        for (;;) {
+            size_t c = next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= nchunks)
+                break;
+            size_t b = begin + c * grain;
+            size_t e = std::min(end, b + grain);
+            try {
+                (*fn)(b, e);
+            } catch (...) {
+                errors[c] = std::current_exception();
+            }
+            ++ran;
+        }
+        if (ran > 0) {
+            std::lock_guard<std::mutex> lock(mu);
+            done += ran;
+            if (done == nchunks)
+                cv.notify_all();
+        }
+    }
+};
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::vector<std::thread> threads;
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stop = false;
+
+    void
+    workerLoop()
+    {
+        t_on_worker = true;
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv.wait(lock, [&] { return stop || !queue.empty(); });
+                if (stop && queue.empty())
+                    return;
+                task = std::move(queue.front());
+                queue.pop_front();
+            }
+            task();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl)
+{
+    workers_ = threads > 1 ? threads - 1 : 0;
+    impl_->threads.reserve(workers_);
+    for (unsigned i = 0; i < workers_; ++i)
+        impl_->threads.emplace_back([this] { impl_->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    for (auto& t : impl_->threads)
+        t.join();
+    delete impl_;
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn)
+{
+    if (end <= begin)
+        return;
+    if (grain == 0)
+        grain = 1;
+    const size_t nchunks = (end - begin + grain - 1) / grain;
+
+    // Inline execution: serial pool, a single chunk, or a nested call
+    // from a worker (which must not block waiting on its own pool).
+    // Chunk boundaries are identical to the parallel path.
+    if (workers_ == 0 || nchunks == 1 || onWorkerThread()) {
+        for (size_t c = 0; c < nchunks; ++c) {
+            size_t b = begin + c * grain;
+            fn(b, std::min(end, b + grain));
+        }
+        return;
+    }
+
+    auto job = std::make_shared<ForJob>();
+    job->begin = begin;
+    job->grain = grain;
+    job->end = end;
+    job->nchunks = nchunks;
+    job->fn = &fn;
+    job->errors.resize(nchunks);
+
+    // Enqueue one drain task per worker that could get a chunk; the
+    // calling thread drains too, so a task finding no chunks is free.
+    size_t helpers = std::min<size_t>(workers_, nchunks - 1);
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        for (size_t i = 0; i < helpers; ++i)
+            impl_->queue.emplace_back([job] { job->drain(); });
+    }
+    impl_->cv.notify_all();
+
+    job->drain();
+    {
+        std::unique_lock<std::mutex> lock(job->mu);
+        job->cv.wait(lock, [&] { return job->done == job->nchunks; });
+    }
+    for (size_t c = 0; c < nchunks; ++c)
+        if (job->errors[c])
+            std::rethrow_exception(job->errors[c]);
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_on_worker;
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;
+
+std::shared_ptr<ThreadPool>
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool)
+        g_pool = std::make_shared<ThreadPool>(ThreadPool::defaultThreads());
+    return g_pool;
+}
+
+} // namespace
+
+void
+parallelFor(size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t, size_t)>& fn)
+{
+    // Hold a reference for the duration of the call so a concurrent
+    // setGlobalThreads cannot destroy the pool mid-run.
+    std::shared_ptr<ThreadPool> pool = globalPool();
+    pool->parallelFor(begin, end, grain, fn);
+}
+
+void
+ThreadPool::setGlobalThreads(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    std::shared_ptr<ThreadPool> fresh = std::make_shared<ThreadPool>(threads);
+    std::shared_ptr<ThreadPool> old;
+    {
+        std::lock_guard<std::mutex> lock(g_pool_mu);
+        old = std::exchange(g_pool, std::move(fresh));
+    }
+    // `old` destructs (joins) outside the lock.
+}
+
+unsigned
+ThreadPool::globalThreads()
+{
+    return globalPool()->threads();
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char* env = std::getenv("HOTTILES_THREADS")) {
+        char* endp = nullptr;
+        long n = std::strtol(env, &endp, 10);
+        if (endp != env && *endp == '\0' && n > 0)
+            return static_cast<unsigned>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace hottiles

@@ -1,0 +1,122 @@
+#pragma once
+
+/**
+ * @file
+ * Parallel-execution layer: a fixed-size worker pool plus the
+ * parallelFor / parallelReduce helpers every hot path of the
+ * preprocessing pipeline (tiling, per-tile model evaluation,
+ * partitioning) and the reference kernels use.
+ *
+ * Determinism contract (see docs/PARALLELISM.md): work is split into
+ * chunks whose boundaries depend ONLY on the range and the grain —
+ * never on the thread count — and parallelReduce combines per-chunk
+ * partial results in ascending chunk order on the calling thread.
+ * Together with race-free chunk bodies this makes every result
+ * bit-identical across thread counts, including --threads 1.
+ *
+ * Exception contract: if chunk bodies throw, the exception of the
+ * lowest-indexed failing chunk is rethrown on the calling thread after
+ * all chunks have finished (again independent of the thread count).
+ *
+ * Nested parallelism: a parallelFor issued from inside a pool worker
+ * runs its chunks inline on that worker (same chunk boundaries, serial
+ * execution), so nesting can never deadlock the pool.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace hottiles {
+
+/**
+ * A fixed-size pool of worker threads.  A pool configured with
+ * `threads` total parallelism spawns `threads - 1` workers; the thread
+ * that calls parallelFor always participates as the extra executor, so
+ * `threads <= 1` means fully inline (serial) execution with zero
+ * spawned threads.
+ */
+class ThreadPool
+{
+  public:
+    /** Create a pool with @p threads total parallelism (min 1). */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Total parallelism (spawned workers + the calling thread). */
+    unsigned threads() const { return workers_ + 1; }
+
+    /**
+     * Run fn(chunk_begin, chunk_end) over [begin, end) in chunks of
+     * @p grain (the final chunk may be short).  Blocks until every
+     * chunk has run; rethrows the lowest-indexed chunk's exception.
+     */
+    void parallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t, size_t)>& fn);
+
+    /** True when the calling thread is one of this pool's workers. */
+    static bool onWorkerThread();
+
+    /**
+     * Reconfigure the global pool to @p threads total parallelism
+     * (0 = defaultThreads()).  Safe against concurrent parallelFor
+     * calls: in-flight work keeps the old pool alive until it returns.
+     */
+    static void setGlobalThreads(unsigned threads);
+
+    /** Current total parallelism of the global pool. */
+    static unsigned globalThreads();
+
+    /**
+     * Default parallelism: the HOTTILES_THREADS environment variable
+     * when set to a positive integer, else std::thread::hardware_concurrency.
+     */
+    static unsigned defaultThreads();
+
+  private:
+    struct Impl;
+    Impl* impl_;
+    unsigned workers_ = 0;
+};
+
+/** Default grain sizes for the library's hot loops (docs/PARALLELISM.md). */
+inline constexpr size_t kGrainTiles = 256;    //!< per-tile model loops
+inline constexpr size_t kGrainNnz = 1u << 15; //!< per-nonzero loops
+inline constexpr size_t kGrainPanels = 4;     //!< per-row-panel loops
+inline constexpr size_t kGrainRows = 2048;    //!< per-dense-row loops
+
+/** parallelFor on the process-global pool (lazily created). */
+void parallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/**
+ * Deterministic reduction over [begin, end): chunk_fn(b, e) produces a
+ * partial result per grain-sized chunk and combine folds the partials
+ * left-to-right in chunk order starting from @p init.  Chunk boundaries
+ * and combine order are independent of the thread count, so the result
+ * is bit-identical to a single-threaded run.
+ */
+template <typename T, typename ChunkFn, typename CombineFn>
+T
+parallelReduce(size_t begin, size_t end, size_t grain, T init,
+               ChunkFn&& chunk_fn, CombineFn&& combine)
+{
+    if (end <= begin)
+        return init;
+    if (grain == 0)
+        grain = 1;
+    const size_t nchunks = (end - begin + grain - 1) / grain;
+    std::vector<T> partials(nchunks);
+    parallelFor(begin, end, grain, [&](size_t b, size_t e) {
+        partials[(b - begin) / grain] = chunk_fn(b, e);
+    });
+    T acc = std::move(init);
+    for (T& p : partials)
+        acc = combine(std::move(acc), std::move(p));
+    return acc;
+}
+
+} // namespace hottiles

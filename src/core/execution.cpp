@@ -1,6 +1,9 @@
 #include "core/execution.hpp"
 
+#include <iterator>
+
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hottiles {
 
@@ -42,18 +45,37 @@ evaluateMatrix(const Architecture& arch, const CooMatrix& a,
     ev.matrix = name;
     ev.preprocess = ht.timing();
 
-    ev.hot_only.strategy = Strategy::HotOnly;
-    ev.hot_only.stats =
-        simulateHomogeneous(arch, ht.grid(), /*hot=*/true, o.kernel).stats;
-    ev.hot_only.predicted_cycles = ht.predictedHotOnlyCycles();
-
-    ev.cold_only.strategy = Strategy::ColdOnly;
-    ev.cold_only.stats =
-        simulateHomogeneous(arch, ht.grid(), /*hot=*/false, o.kernel).stats;
-    ev.cold_only.predicted_cycles = ht.predictedColdOnlyCycles();
-
-    ev.iunaware = simulatePartition(ht, ht.iunaware(), Strategy::IUnaware);
-    ev.hottiles = simulatePartition(ht, ht.partition(), Strategy::HotTiles);
+    // The four strategy simulations only read the shared pipeline state
+    // (grid, partition context), so they run concurrently; each closure
+    // writes its own MatrixEvaluation slot.
+    const std::function<void()> sims[] = {
+        [&] {
+            ev.hot_only.strategy = Strategy::HotOnly;
+            ev.hot_only.stats =
+                simulateHomogeneous(arch, ht.grid(), /*hot=*/true, o.kernel)
+                    .stats;
+            ev.hot_only.predicted_cycles = ht.predictedHotOnlyCycles();
+        },
+        [&] {
+            ev.cold_only.strategy = Strategy::ColdOnly;
+            ev.cold_only.stats =
+                simulateHomogeneous(arch, ht.grid(), /*hot=*/false, o.kernel)
+                    .stats;
+            ev.cold_only.predicted_cycles = ht.predictedColdOnlyCycles();
+        },
+        [&] {
+            ev.iunaware =
+                simulatePartition(ht, ht.iunaware(), Strategy::IUnaware);
+        },
+        [&] {
+            ev.hottiles =
+                simulatePartition(ht, ht.partition(), Strategy::HotTiles);
+        },
+    };
+    parallelFor(0, std::size(sims), 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            sims[i]();
+    });
     return ev;
 }
 

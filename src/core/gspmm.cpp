@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hottiles {
 
@@ -71,15 +72,32 @@ referenceGspmm(const CooMatrix& a, const DenseMatrix& din, const Semiring& s)
 {
     HT_ASSERT(a.cols() == din.rows(), "gSpMM shape mismatch");
     const Index k = din.cols();
+
+    // Row-panel parallelism: chunks aligned to row boundaries own their
+    // Dout rows exclusively, and the semiring adds within a row apply
+    // in the sorted serial order.
+    const CooMatrix* src = &a;
+    CooMatrix sorted;
+    if (!a.isRowMajorSorted()) {
+        sorted = a;
+        sorted.sortRowMajor();
+        src = &sorted;
+    }
     DenseMatrix dout(a.rows(), k);
     dout.fill(s.identity);
-    for (size_t i = 0; i < a.nnz(); ++i) {
-        const Value* in = din.row(a.colId(i));
-        Value* out = dout.row(a.rowId(i));
-        const Value v = a.value(i);
-        for (Index j = 0; j < k; ++j)
-            out[j] = s.add(out[j], s.multiply(v, in[j]));
-    }
+    std::vector<size_t> bounds = rowAlignedChunkBounds(src->rowIds(),
+                                                       kGrainNnz);
+    parallelFor(0, bounds.size() - 1, 1, [&](size_t cb, size_t ce) {
+        for (size_t c = cb; c < ce; ++c) {
+            for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+                const Value* in = din.row(src->colId(i));
+                Value* out = dout.row(src->rowId(i));
+                const Value v = src->value(i);
+                for (Index j = 0; j < k; ++j)
+                    out[j] = s.add(out[j], s.multiply(v, in[j]));
+            }
+        }
+    });
     return dout;
 }
 

@@ -1,6 +1,7 @@
 #include "core/kernels.hpp"
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hottiles {
 
@@ -8,9 +9,25 @@ std::vector<Value>
 referenceSpmv(const CooMatrix& a, const std::vector<Value>& x)
 {
     HT_ASSERT(x.size() == a.cols(), "SpMV shape mismatch");
+
+    // Row-panel parallelism: chunks never split a row, so each acc
+    // entry is owned by one chunk and sums in the serial order.
+    const CooMatrix* src = &a;
+    CooMatrix sorted;
+    if (!a.isRowMajorSorted()) {
+        sorted = a;
+        sorted.sortRowMajor();
+        src = &sorted;
+    }
     std::vector<double> acc(a.rows(), 0.0);
-    for (size_t i = 0; i < a.nnz(); ++i)
-        acc[a.rowId(i)] += double(a.value(i)) * double(x[a.colId(i)]);
+    std::vector<size_t> bounds = rowAlignedChunkBounds(src->rowIds(),
+                                                       kGrainNnz);
+    parallelFor(0, bounds.size() - 1, 1, [&](size_t cb, size_t ce) {
+        for (size_t c = cb; c < ce; ++c)
+            for (size_t i = bounds[c]; i < bounds[c + 1]; ++i)
+                acc[src->rowId(i)] +=
+                    double(src->value(i)) * double(x[src->colId(i)]);
+    });
     std::vector<Value> y(a.rows());
     for (size_t i = 0; i < y.size(); ++i)
         y[i] = static_cast<Value>(acc[i]);
@@ -26,19 +43,20 @@ referenceSddmm(const CooMatrix& a, const DenseMatrix& u,
     HT_ASSERT(u.cols() == v.cols(), "SDDMM: K mismatch between U and V");
     const Index k = u.cols();
 
-    CooMatrix sorted = a;
-    sorted.sortRowMajor();
-    CooMatrix out(a.rows(), a.cols());
-    out.reserve(a.nnz());
-    for (size_t i = 0; i < sorted.nnz(); ++i) {
-        const Value* ur = u.row(sorted.rowId(i));
-        const Value* vr = v.row(sorted.colId(i));
-        double dot = 0.0;
-        for (Index j = 0; j < k; ++j)
-            dot += double(ur[j]) * double(vr[j]);
-        out.push(sorted.rowId(i), sorted.colId(i),
-                 static_cast<Value>(double(sorted.value(i)) * dot));
-    }
+    // Every output value depends on exactly one nonzero, so the value
+    // recomputation parallelizes over plain nonzero chunks.
+    CooMatrix out = a;
+    out.sortRowMajor();
+    parallelFor(0, out.nnz(), kGrainNnz, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+            const Value* ur = u.row(out.rowId(i));
+            const Value* vr = v.row(out.colId(i));
+            double dot = 0.0;
+            for (Index j = 0; j < k; ++j)
+                dot += double(ur[j]) * double(vr[j]);
+            out.setValue(i, static_cast<Value>(double(out.value(i)) * dot));
+        }
+    });
     return out;
 }
 

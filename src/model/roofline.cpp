@@ -4,10 +4,32 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "model/time_model.hpp"
 
 namespace hottiles {
+
+std::vector<TileEstimate>
+estimateTiles(const TileGrid& grid, const WorkerTraits& hot,
+              const WorkerTraits& cold, const KernelConfig& kernel)
+{
+    std::vector<TileEstimate> estimates(grid.numTiles());
+    parallelFor(0, grid.numTiles(), kGrainTiles, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+            const Tile& t = grid.tile(i);
+            TileBytes hb = tileBytes(t, hot, kernel);
+            TileBytes cb = tileBytes(t, cold, kernel);
+            estimates[i].bh = hb.total();
+            estimates[i].bc = cb.total();
+            estimates[i].th =
+                tileTimeFromBytes(hb, double(t.nnz), hot, kernel).total;
+            estimates[i].tc =
+                tileTimeFromBytes(cb, double(t.nnz), cold, kernel).total;
+        }
+    });
+    return estimates;
+}
 
 double
 expectedUnique(double buckets, double draws)

@@ -9,11 +9,35 @@
  * This is the model HotTiles improves upon.
  */
 
+#include <vector>
+
 #include "model/memory_model.hpp"
 #include "model/worker_traits.hpp"
+#include "sparse/tiling.hpp"
 #include "sparse/types.hpp"
 
 namespace hottiles {
+
+/** Model estimates for one tile under each worker type (§V-A). */
+struct TileEstimate
+{
+    double th = 0;  //!< hot-worker execution cycles (one worker)
+    double tc = 0;  //!< cold-worker execution cycles (one worker)
+    double bh = 0;  //!< bytes moved if executed hot
+    double bc = 0;  //!< bytes moved if executed cold
+};
+
+/**
+ * Evaluate the per-tile model (Table I traffic + §IV-B time) for every
+ * tile of @p grid under both worker types — the th_i/tc_i/bh_i/bc_i
+ * sweep of the matrix scan (Fig 7).  Tiles are independent, so the
+ * sweep runs on the global thread pool; results are bit-identical to a
+ * serial evaluation.
+ */
+std::vector<TileEstimate> estimateTiles(const TileGrid& grid,
+                                        const WorkerTraits& hot,
+                                        const WorkerTraits& cold,
+                                        const KernelConfig& kernel);
 
 /** Whole-matrix Roofline estimate for one worker. */
 struct RooflineEstimate

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "partition/predicted_runtime.hpp"
 
 namespace hottiles {
@@ -79,16 +80,25 @@ runHeuristic(const PartitionContext& ctx, Heuristic h)
     std::sort(order.begin(), order.end(),
               [&](size_t a, size_t b) { return key(a) < key(b); });
 
-    // Prefix/suffix sums of the per-tile hot and cold costs.
+    // Prefix/suffix sums of the per-tile hot and cold costs.  The cold
+    // total uses the ordered-combine reduction so it is bit-identical
+    // across thread counts.
     std::vector<double> hot_cost(n);
     std::vector<double> cold_cost(n);
-    for (size_t i = 0; i < n; ++i) {
-        const TileEstimate& e = ctx.estimates[order[i]];
-        hot_cost[i] = min_time ? e.th : e.bh;
-        cold_cost[i] = min_time ? e.tc : e.bc;
-    }
-    double cold_total = std::accumulate(cold_cost.begin(), cold_cost.end(),
-                                        0.0);
+    parallelFor(0, n, kGrainTiles, [&](size_t b, size_t e_end) {
+        for (size_t i = b; i < e_end; ++i) {
+            const TileEstimate& e = ctx.estimates[order[i]];
+            hot_cost[i] = min_time ? e.th : e.bh;
+            cold_cost[i] = min_time ? e.tc : e.bc;
+        }
+    });
+    double cold_total = parallelReduce(
+        0, n, kGrainTiles, 0.0,
+        [&](size_t b, size_t e) {
+            return std::accumulate(cold_cost.begin() + b,
+                                   cold_cost.begin() + e, 0.0);
+        },
+        [](double a, double b) { return a + b; });
 
     // Cutoff sweep: start all-cold, move right while the subproblem
     // objective decreases, roll back at the first increase (§V-B).
@@ -130,10 +140,14 @@ allHeuristicPartitions(const PartitionContext& ctx)
         hs = {Heuristic::MinTimeParallel, Heuristic::MinTimeSerial,
               Heuristic::MinByteParallel, Heuristic::MinByteSerial};
     }
-    std::vector<Partition> out;
-    out.reserve(hs.size());
-    for (Heuristic h : hs)
-        out.push_back(runHeuristic(ctx, h));
+    // The heuristics are independent; run them concurrently.  Each slot
+    // is written by exactly one chunk, and nested parallel loops inside
+    // runHeuristic degrade gracefully to inline execution.
+    std::vector<Partition> out(hs.size());
+    parallelFor(0, hs.size(), 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            out[i] = runHeuristic(ctx, hs[i]);
+    });
     return out;
 }
 

@@ -1,7 +1,6 @@
 #include "partition/partition.hpp"
 
 #include "common/error.hpp"
-#include "model/time_model.hpp"
 
 namespace hottiles {
 
@@ -28,18 +27,7 @@ makePartitionContext(const TileGrid& grid, const WorkerTraits& hot,
     ctx.atomic_rmw = atomic_rmw;
     ctx.t_merge_cycles = atomic_rmw ? 0.0 : t_merge_cycles;
 
-    ctx.estimates.resize(grid.numTiles());
-    for (size_t i = 0; i < grid.numTiles(); ++i) {
-        const Tile& t = grid.tile(i);
-        TileBytes hb = tileBytes(t, hot, kernel);
-        TileBytes cb = tileBytes(t, cold, kernel);
-        ctx.estimates[i].bh = hb.total();
-        ctx.estimates[i].bc = cb.total();
-        ctx.estimates[i].th =
-            tileTimeFromBytes(hb, double(t.nnz), hot, kernel).total;
-        ctx.estimates[i].tc =
-            tileTimeFromBytes(cb, double(t.nnz), cold, kernel).total;
-    }
+    ctx.estimates = estimateTiles(grid, hot, cold, kernel);
     return ctx;
 }
 

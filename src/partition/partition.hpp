@@ -11,19 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "model/roofline.hpp"  // TileEstimate + the estimateTiles sweep
 #include "model/worker_traits.hpp"
 #include "sparse/tiling.hpp"
 
 namespace hottiles {
-
-/** Model estimates for one tile under each worker type (§V-A). */
-struct TileEstimate
-{
-    double th = 0;  //!< hot-worker execution cycles (one worker)
-    double tc = 0;  //!< cold-worker execution cycles (one worker)
-    double bh = 0;  //!< bytes moved if executed hot
-    double bc = 0;  //!< bytes moved if executed cold
-};
 
 /**
  * Everything the partitioner needs about the platform and the matrix:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "model/memory_model.hpp"
 #include "model/time_model.hpp"
 
@@ -30,40 +31,46 @@ doutReadjustment(const PartitionContext& ctx,
         return extra;
 
     const double row_bytes = denseRowBytes(w, ctx.kernel);
-    std::vector<uint32_t> rid_stamp(grid.tileHeight(), 0);
-    uint32_t generation = 0;
 
-    for (Index p = 0; p < grid.numPanels(); ++p) {
-        auto [first, last] = grid.panelTiles(p);
-        if (w.traversal == TraversalOrder::TiledRowMajor) {
-            // The first owned tile streams the whole panel's Dout rows
-            // in and the last one writes them back; charge both to the
-            // first tile (it bounds the predicted time identically).
-            for (size_t t = first; t < last; ++t) {
-                if ((is_hot[t] != 0) == for_hot) {
-                    extra[t] = 2.0 * row_bytes * grid.tile(t).height;
-                    break;
-                }
-            }
-        } else {
-            // Untiled: each r_id's first appearance among owned tiles
-            // costs one demand read + one write of the Dout row.
-            ++generation;
-            for (size_t t = first; t < last; ++t) {
-                if ((is_hot[t] != 0) != for_hot)
-                    continue;
-                double new_rids = 0;
-                for (Index rid : grid.tileRows(t)) {
-                    Index local = rid - grid.tile(t).row0;
-                    if (rid_stamp[local] != generation) {
-                        rid_stamp[local] = generation;
-                        new_rids += 1.0;
+    // Panels are independent (their tile ranges and row ranges are
+    // disjoint), so the readjustment parallelizes over panels with a
+    // per-chunk row-id stamp scratch.
+    parallelFor(0, grid.numPanels(), kGrainPanels, [&](size_t pb, size_t pe) {
+        std::vector<uint32_t> rid_stamp(grid.tileHeight(), 0);
+        uint32_t generation = 0;
+        for (size_t p = pb; p < pe; ++p) {
+            auto [first, last] = grid.panelTiles(static_cast<Index>(p));
+            if (w.traversal == TraversalOrder::TiledRowMajor) {
+                // The first owned tile streams the whole panel's Dout
+                // rows in and the last one writes them back; charge both
+                // to the first tile (it bounds the predicted time
+                // identically).
+                for (size_t t = first; t < last; ++t) {
+                    if ((is_hot[t] != 0) == for_hot) {
+                        extra[t] = 2.0 * row_bytes * grid.tile(t).height;
+                        break;
                     }
                 }
-                extra[t] = 2.0 * row_bytes * new_rids;
+            } else {
+                // Untiled: each r_id's first appearance among owned
+                // tiles costs one demand read + one write of the row.
+                ++generation;
+                for (size_t t = first; t < last; ++t) {
+                    if ((is_hot[t] != 0) != for_hot)
+                        continue;
+                    double new_rids = 0;
+                    for (Index rid : grid.tileRows(t)) {
+                        Index local = rid - grid.tile(t).row0;
+                        if (rid_stamp[local] != generation) {
+                            rid_stamp[local] = generation;
+                            new_rids += 1.0;
+                        }
+                    }
+                    extra[t] = 2.0 * row_bytes * new_rids;
+                }
             }
         }
-    }
+    });
     return extra;
 }
 
@@ -84,41 +91,54 @@ assignmentTotals(const PartitionContext& ctx,
         extra_cold = doutReadjustment(ctx, is_hot, /*for_hot=*/false);
     }
 
-    AssignmentTotals totals;
     const double n_hw = ctx.hot->count;
     const double n_cw = ctx.cold->count;
-    for (size_t i = 0; i < grid.numTiles(); ++i) {
-        const Tile& tile = grid.tile(i);
-        const TileEstimate& e = ctx.estimates[i];
-        if (is_hot[i]) {
-            double extra = readjust ? extra_hot[i] : 0.0;
-            double bytes = e.bh + extra;
-            double time = e.th;
-            if (extra > 0.0) {
-                TileBytes tb = tileBytes(tile, *ctx.hot, ctx.kernel);
-                tb.dout_read += extra / 2.0;
-                tb.dout_write += extra / 2.0;
-                time = tileTimeFromBytes(tb, double(tile.nnz), *ctx.hot,
-                                         ctx.kernel).total;
+    // Deterministic parallel reduction: per-chunk partial totals are
+    // combined in chunk order, independent of the thread count.
+    return parallelReduce(
+        0, grid.numTiles(), kGrainTiles, AssignmentTotals{},
+        [&](size_t b, size_t e_end) {
+            AssignmentTotals totals;
+            for (size_t i = b; i < e_end; ++i) {
+                const Tile& tile = grid.tile(i);
+                const TileEstimate& e = ctx.estimates[i];
+                if (is_hot[i]) {
+                    double extra = readjust ? extra_hot[i] : 0.0;
+                    double bytes = e.bh + extra;
+                    double time = e.th;
+                    if (extra > 0.0) {
+                        TileBytes tb = tileBytes(tile, *ctx.hot, ctx.kernel);
+                        tb.dout_read += extra / 2.0;
+                        tb.dout_write += extra / 2.0;
+                        time = tileTimeFromBytes(tb, double(tile.nnz),
+                                                 *ctx.hot, ctx.kernel).total;
+                    }
+                    totals.bh_total += bytes;
+                    totals.th_total += time / n_hw;
+                } else {
+                    double extra = readjust ? extra_cold[i] : 0.0;
+                    double bytes = e.bc + extra;
+                    double time = e.tc;
+                    if (extra > 0.0) {
+                        TileBytes tb = tileBytes(tile, *ctx.cold, ctx.kernel);
+                        tb.dout_read += extra / 2.0;
+                        tb.dout_write += extra / 2.0;
+                        time = tileTimeFromBytes(tb, double(tile.nnz),
+                                                 *ctx.cold, ctx.kernel).total;
+                    }
+                    totals.bc_total += bytes;
+                    totals.tc_total += time / n_cw;
+                }
             }
-            totals.bh_total += bytes;
-            totals.th_total += time / n_hw;
-        } else {
-            double extra = readjust ? extra_cold[i] : 0.0;
-            double bytes = e.bc + extra;
-            double time = e.tc;
-            if (extra > 0.0) {
-                TileBytes tb = tileBytes(tile, *ctx.cold, ctx.kernel);
-                tb.dout_read += extra / 2.0;
-                tb.dout_write += extra / 2.0;
-                time = tileTimeFromBytes(tb, double(tile.nnz), *ctx.cold,
-                                         ctx.kernel).total;
-            }
-            totals.bc_total += bytes;
-            totals.tc_total += time / n_cw;
-        }
-    }
-    return totals;
+            return totals;
+        },
+        [](AssignmentTotals a, AssignmentTotals b) {
+            a.th_total += b.th_total;
+            a.tc_total += b.tc_total;
+            a.bh_total += b.bh_total;
+            a.bc_total += b.bc_total;
+            return a;
+        });
 }
 
 double

@@ -4,59 +4,72 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hottiles {
 
 UntiledWork
 buildUntiledWork(const TileGrid& grid, const std::vector<size_t>& tile_ids)
 {
-    UntiledWork work;
     // Tiles arrive in grid order (panel, tcol); group consecutively.
+    // The grouping scan is cheap and serial; building each panel's
+    // gather + sort is independent and runs on the pool.
+    std::vector<std::pair<size_t, size_t>> groups;  // [first, last) ids
     size_t i = 0;
     while (i < tile_ids.size()) {
         const Index panel = grid.tile(tile_ids[i]).panel;
         size_t j = i;
-        size_t nnz = 0;
         while (j < tile_ids.size() && grid.tile(tile_ids[j]).panel == panel) {
             HT_ASSERT(j == i || tile_ids[j] > tile_ids[j - 1],
                       "tile ids must be in grid order");
-            nnz += grid.tile(tile_ids[j]).nnz;
             ++j;
         }
-        PanelWork pw;
-        pw.panel = panel;
-        pw.rows.reserve(nnz);
-        pw.cols.reserve(nnz);
-        pw.vals.reserve(nnz);
-        for (size_t t = i; t < j; ++t) {
-            auto rs = grid.tileRows(tile_ids[t]);
-            auto cs = grid.tileCols(tile_ids[t]);
-            auto vs = grid.tileVals(tile_ids[t]);
-            pw.rows.insert(pw.rows.end(), rs.begin(), rs.end());
-            pw.cols.insert(pw.cols.end(), cs.begin(), cs.end());
-            pw.vals.insert(pw.vals.end(), vs.begin(), vs.end());
-        }
-        // Re-sort the concatenation into row-major order.
-        std::vector<uint32_t> perm(pw.rows.size());
-        std::iota(perm.begin(), perm.end(), 0u);
-        std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
-            return pw.rows[a] != pw.rows[b] ? pw.rows[a] < pw.rows[b]
-                                            : pw.cols[a] < pw.cols[b];
-        });
-        PanelWork sorted;
-        sorted.panel = panel;
-        sorted.rows.resize(perm.size());
-        sorted.cols.resize(perm.size());
-        sorted.vals.resize(perm.size());
-        for (size_t p = 0; p < perm.size(); ++p) {
-            sorted.rows[p] = pw.rows[perm[p]];
-            sorted.cols[p] = pw.cols[perm[p]];
-            sorted.vals[p] = pw.vals[perm[p]];
-        }
-        work.total_nnz += sorted.rows.size();
-        work.panels.push_back(std::move(sorted));
+        groups.emplace_back(i, j);
         i = j;
     }
+
+    UntiledWork work;
+    work.panels.resize(groups.size());
+    // Row-major order comes from a counting sort by row: tiles are
+    // visited in ascending tile-column order and each tile is already
+    // (row, col)-sorted, so scattering per row preserves ascending
+    // columns — no comparison sort needed.
+    const size_t tile_h = grid.tileHeight();
+    parallelFor(0, groups.size(), kGrainPanels, [&](size_t gb, size_t ge) {
+        std::vector<size_t> cursor(tile_h + 1);
+        for (size_t g = gb; g < ge; ++g) {
+            auto [first, last] = groups[g];
+            const Index panel = grid.tile(tile_ids[first]).panel;
+            const Index row0 = grid.tile(tile_ids[first]).row0;
+            size_t nnz = 0;
+            std::fill(cursor.begin(), cursor.end(), 0);
+            for (size_t t = first; t < last; ++t) {
+                nnz += grid.tile(tile_ids[t]).nnz;
+                for (Index r : grid.tileRows(tile_ids[t]))
+                    ++cursor[r - row0 + 1];
+            }
+            for (size_t r = 1; r <= tile_h; ++r)
+                cursor[r] += cursor[r - 1];
+            PanelWork& pw = work.panels[g];
+            pw.panel = panel;
+            pw.rows.resize(nnz);
+            pw.cols.resize(nnz);
+            pw.vals.resize(nnz);
+            for (size_t t = first; t < last; ++t) {
+                auto rs = grid.tileRows(tile_ids[t]);
+                auto cs = grid.tileCols(tile_ids[t]);
+                auto vs = grid.tileVals(tile_ids[t]);
+                for (size_t i = 0; i < rs.size(); ++i) {
+                    size_t pos = cursor[rs[i] - row0]++;
+                    pw.rows[pos] = rs[i];
+                    pw.cols[pos] = cs[i];
+                    pw.vals[pos] = vs[i];
+                }
+            }
+        }
+    });
+    for (const PanelWork& pw : work.panels)
+        work.total_nnz += pw.rows.size();
     return work;
 }
 

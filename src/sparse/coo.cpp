@@ -7,6 +7,26 @@
 
 namespace hottiles {
 
+std::vector<size_t>
+rowAlignedChunkBounds(const std::vector<Index>& rows, size_t grain)
+{
+    const size_t n = rows.size();
+    if (grain == 0)
+        grain = 1;
+    std::vector<size_t> bounds;
+    bounds.reserve(n / grain + 2);
+    bounds.push_back(0);
+    size_t b = 0;
+    while (b < n) {
+        size_t e = std::min(n, b + grain);
+        while (e < n && rows[e] == rows[e - 1])
+            ++e;
+        bounds.push_back(e);
+        b = e;
+    }
+    return bounds;
+}
+
 CooMatrix::CooMatrix(Index rows, Index cols, std::vector<Nonzero> nnzs)
     : rows_(rows), cols_(cols)
 {

@@ -48,6 +48,9 @@ class CooMatrix
     /** Append one nonzero (no dedup; call sortRowMajor+dedupSum later). */
     void push(Index r, Index c, Value v);
 
+    /** Overwrite the value of nonzero @p i (structure unchanged). */
+    void setValue(size_t i, Value v) { vals_[i] = v; }
+
     /** Reserve capacity for @p n nonzeros. */
     void reserve(size_t n);
 
@@ -92,5 +95,15 @@ class CooMatrix
     std::vector<Index> col_ids_;
     std::vector<Value> vals_;
 };
+
+/**
+ * Chunk boundaries over a non-decreasing row-id array such that chunks
+ * are ~@p grain nonzeros but never split a row (each boundary advances
+ * to the next row transition).  Returns [0, b1, ..., rows.size()];
+ * boundaries depend only on the data and the grain — never the thread
+ * count — so row-parallel kernels chunked this way are deterministic.
+ */
+std::vector<size_t> rowAlignedChunkBounds(const std::vector<Index>& rows,
+                                          size_t grain);
 
 } // namespace hottiles

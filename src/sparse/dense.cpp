@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/random.hpp"
+#include "common/thread_pool.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 
@@ -69,21 +70,39 @@ referenceSpmm(const CooMatrix& a, const DenseMatrix& din)
 {
     HT_ASSERT(a.cols() == din.rows(), "SpMM shape mismatch");
     const Index k = din.cols();
+
+    // Row-panel parallelism: sort row-major, then chunk at row
+    // boundaries so every output row is owned by exactly one chunk.
+    const CooMatrix* src = &a;
+    CooMatrix sorted;
+    if (!a.isRowMajorSorted()) {
+        sorted = a;
+        sorted.sortRowMajor();
+        src = &sorted;
+    }
+
     // Accumulate in double per output row to keep a stable golden result.
     std::vector<double> acc(size_t(a.rows()) * k, 0.0);
-    for (size_t i = 0; i < a.nnz(); ++i) {
-        const Index r = a.rowId(i);
-        const Index c = a.colId(i);
-        const double v = a.value(i);
-        const Value* in = din.row(c);
-        double* out = acc.data() + size_t(r) * k;
-        for (Index j = 0; j < k; ++j)
-            out[j] += v * double(in[j]);
-    }
+    std::vector<size_t> bounds = rowAlignedChunkBounds(src->rowIds(),
+                                                       kGrainNnz);
+    parallelFor(0, bounds.size() - 1, 1, [&](size_t cb, size_t ce) {
+        for (size_t c = cb; c < ce; ++c) {
+            for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+                const double v = src->value(i);
+                const Value* in = din.row(src->colId(i));
+                double* out = acc.data() + size_t(src->rowId(i)) * k;
+                for (Index j = 0; j < k; ++j)
+                    out[j] += v * double(in[j]);
+            }
+        }
+    });
     DenseMatrix dout(a.rows(), k);
-    for (Index r = 0; r < a.rows(); ++r)
-        for (Index j = 0; j < k; ++j)
-            dout.at(r, j) = static_cast<Value>(acc[size_t(r) * k + j]);
+    parallelFor(0, a.rows(), kGrainRows, [&](size_t rb, size_t re) {
+        for (size_t r = rb; r < re; ++r)
+            for (Index j = 0; j < k; ++j)
+                dout.at(static_cast<Index>(r), j) =
+                    static_cast<Value>(acc[r * k + j]);
+    });
     return dout;
 }
 
@@ -93,18 +112,22 @@ referenceSpmm(const CsrMatrix& a, const DenseMatrix& din)
     HT_ASSERT(a.cols() == din.rows(), "SpMM shape mismatch");
     const Index k = din.cols();
     DenseMatrix dout(a.rows(), k);
-    std::vector<double> acc(k);
-    for (Index r = 0; r < a.rows(); ++r) {
-        std::fill(acc.begin(), acc.end(), 0.0);
-        for (size_t i = a.rowBegin(r); i < a.rowEnd(r); ++i) {
-            const double v = a.values()[i];
-            const Value* in = din.row(a.colIds()[i]);
+    parallelFor(0, a.rows(), kGrainRows, [&](size_t rb, size_t re) {
+        std::vector<double> acc(k);
+        for (size_t r = rb; r < re; ++r) {
+            std::fill(acc.begin(), acc.end(), 0.0);
+            for (size_t i = a.rowBegin(static_cast<Index>(r));
+                 i < a.rowEnd(static_cast<Index>(r)); ++i) {
+                const double v = a.values()[i];
+                const Value* in = din.row(a.colIds()[i]);
+                for (Index j = 0; j < k; ++j)
+                    acc[j] += v * double(in[j]);
+            }
             for (Index j = 0; j < k; ++j)
-                acc[j] += v * double(in[j]);
+                dout.at(static_cast<Index>(r), j) =
+                    static_cast<Value>(acc[j]);
         }
-        for (Index j = 0; j < k; ++j)
-            dout.at(r, j) = static_cast<Value>(acc[j]);
-    }
+    });
     return dout;
 }
 

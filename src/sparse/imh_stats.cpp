@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hottiles {
 
@@ -33,18 +34,38 @@ computeImhStats(const TileGrid& grid)
     s.empty_tiles = grid.emptyTiles();
     s.tile_cv = grid.tileNnzCv();
 
-    std::vector<double> tile_nnz;
-    tile_nnz.reserve(grid.numTiles());
-    double total = 0;
-    double hot = 0;
-    for (size_t i = 0; i < grid.numTiles(); ++i) {
-        double z = static_cast<double>(grid.tile(i).nnz);
-        tile_nnz.push_back(z);
-        total += z;
-        s.max_tile_nnz = std::max(s.max_tile_nnz, z);
-        if (z >= static_cast<double>(grid.tile(i).width))
-            hot += z;
-    }
+    // Deterministic parallel sweep over tiles: per-chunk partials are
+    // combined in chunk order, so sums match any thread count exactly.
+    struct TileSums
+    {
+        double total = 0;
+        double hot = 0;
+        double max = 0;
+    };
+    std::vector<double> tile_nnz(grid.numTiles());
+    TileSums sums = parallelReduce(
+        0, grid.numTiles(), kGrainTiles, TileSums{},
+        [&](size_t b, size_t e) {
+            TileSums p;
+            for (size_t i = b; i < e; ++i) {
+                double z = static_cast<double>(grid.tile(i).nnz);
+                tile_nnz[i] = z;
+                p.total += z;
+                p.max = std::max(p.max, z);
+                if (z >= static_cast<double>(grid.tile(i).width))
+                    p.hot += z;
+            }
+            return p;
+        },
+        [](TileSums a, TileSums b) {
+            a.total += b.total;
+            a.hot += b.hot;
+            a.max = std::max(a.max, b.max);
+            return a;
+        });
+    double total = sums.total;
+    double hot = sums.hot;
+    s.max_tile_nnz = std::max(s.max_tile_nnz, sums.max);
     if (grid.numTiles() > 0)
         s.mean_tile_nnz = total / static_cast<double>(grid.numTiles());
     if (total > 0)
@@ -67,10 +88,17 @@ computeImhStats(const TileGrid& grid)
     s.top1pct_mass = topMass(0.01);
 
     // Row-degree Gini from the tiled arrays (rows sorted within tiles).
+    // Panels own disjoint row ranges, so counting parallelizes over
+    // panels without races; the +1.0 increments are exact in double.
     std::vector<double> degrees(grid.matrixRows(), 0.0);
-    for (size_t i = 0; i < grid.numTiles(); ++i)
-        for (Index r : grid.tileRows(i))
-            degrees[r] += 1.0;
+    parallelFor(0, grid.numPanels(), kGrainPanels, [&](size_t pb, size_t pe) {
+        for (size_t p = pb; p < pe; ++p) {
+            auto [first, last] = grid.panelTiles(static_cast<Index>(p));
+            for (size_t i = first; i < last; ++i)
+                for (Index r : grid.tileRows(i))
+                    degrees[r] += 1.0;
+        }
+    });
     s.row_gini = giniCoefficient(std::move(degrees));
     return s;
 }

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 
 namespace hottiles {
@@ -30,93 +30,130 @@ TileGrid::TileGrid(const CooMatrix& a, Index tile_height, Index tile_width)
         src = &sorted;
     }
 
-    // Pass 1: count nonzeros per grid key (panel * num_tcols + tcol),
-    // keeping only occupied keys.
-    std::vector<uint64_t> keys(n);
-    std::unordered_map<uint64_t, size_t> key_count;
-    key_count.reserve(n / 8 + 16);
-    for (size_t i = 0; i < n; ++i) {
-        uint64_t key = uint64_t(src->rowId(i) / tile_h_) * num_tcols_ +
-                       src->colId(i) / tile_w_;
-        keys[i] = key;
-        ++key_count[key];
+    // Row-major-sorted input makes each row panel a contiguous nonzero
+    // range, and panels also own disjoint (contiguous) ranges of the
+    // tiled output.  The build therefore parallelizes over panels with
+    // no shared state, and the result is the exact serial counting sort
+    // no matter how panels are chunked.  Panel boundaries come from one
+    // binary search per panel over the sorted row ids.
+    const std::vector<Index>& row_ids = src->rowIds();
+    std::vector<size_t> panel_start(size_t(num_panels_) + 1, n);
+    for (Index p = 0; p < num_panels_; ++p) {
+        Index first_row = static_cast<Index>(
+            std::min<uint64_t>(uint64_t(p) * tile_h_, rows_));
+        panel_start[p] =
+            std::lower_bound(row_ids.begin(), row_ids.end(), first_row) -
+            row_ids.begin();
     }
 
-    // Tile directory in (panel, tcol) order.
-    std::vector<uint64_t> occupied;
-    occupied.reserve(key_count.size());
-    for (const auto& [key, cnt] : key_count)
-        occupied.push_back(key);
-    std::sort(occupied.begin(), occupied.end());
+    // Pass 1: per-panel compact histograms — the occupied tile columns
+    // in ascending order and their nonzero counts.  The flat per-chunk
+    // scratch counter is reset by visiting only the occupied entries.
+    struct PanelHist
+    {
+        std::vector<Index> tcols;
+        std::vector<size_t> counts;
+    };
+    std::vector<PanelHist> hist(num_panels_);
+    parallelFor(0, num_panels_, kGrainPanels, [&](size_t pb, size_t pe) {
+        std::vector<size_t> cnt(num_tcols_, 0);
+        for (size_t p = pb; p < pe; ++p) {
+            PanelHist& h = hist[p];
+            for (size_t i = panel_start[p]; i < panel_start[p + 1]; ++i) {
+                Index tc = src->colId(i) / tile_w_;
+                if (cnt[tc]++ == 0)
+                    h.tcols.push_back(tc);
+            }
+            std::sort(h.tcols.begin(), h.tcols.end());
+            h.counts.resize(h.tcols.size());
+            for (size_t j = 0; j < h.tcols.size(); ++j) {
+                h.counts[j] = cnt[h.tcols[j]];
+                cnt[h.tcols[j]] = 0;
+            }
+        }
+    });
 
-    tiles_.reserve(occupied.size());
-    std::unordered_map<uint64_t, size_t> key_to_tile;
-    key_to_tile.reserve(occupied.size());
+    // Tile directory in (panel, tcol) order, plus each panel's first
+    // tile (which doubles as the panel index built at the end).
+    std::vector<size_t> panel_tile0(size_t(num_panels_) + 1);
+    size_t ntiles = 0;
+    for (const PanelHist& h : hist)
+        ntiles += h.tcols.size();
+    tiles_.reserve(ntiles);
     size_t offset = 0;
-    for (uint64_t key : occupied) {
-        Tile t{};
-        t.panel = static_cast<Index>(key / num_tcols_);
-        t.tcol = static_cast<Index>(key % num_tcols_);
-        t.row0 = t.panel * tile_h_;
-        t.col0 = t.tcol * tile_w_;
-        t.height = std::min<Index>(tile_h_, rows_ - t.row0);
-        t.width = std::min<Index>(tile_w_, cols_ - t.col0);
-        t.offset = offset;
-        t.nnz = key_count[key];
-        offset += t.nnz;
-        key_to_tile.emplace(key, tiles_.size());
-        tiles_.push_back(t);
+    for (Index p = 0; p < num_panels_; ++p) {
+        panel_tile0[p] = tiles_.size();
+        const PanelHist& h = hist[p];
+        for (size_t j = 0; j < h.tcols.size(); ++j) {
+            Tile t{};
+            t.panel = p;
+            t.tcol = h.tcols[j];
+            t.row0 = p * tile_h_;
+            t.col0 = t.tcol * tile_w_;
+            t.height = std::min<Index>(tile_h_, rows_ - t.row0);
+            t.width = std::min<Index>(tile_w_, cols_ - t.col0);
+            t.offset = offset;
+            t.nnz = h.counts[j];
+            offset += t.nnz;
+            tiles_.push_back(t);
+        }
     }
+    panel_tile0[num_panels_] = tiles_.size();
 
-    // Pass 2: stable counting sort of the nonzeros into tiled order.
+    // Pass 2: stable counting-sort scatter, again parallel over panels.
+    // Each panel seeds its occupied cursor entries from the tile
+    // offsets and walks its own nonzeros; destinations are unique, so
+    // the scatter is race-free and bit-identical to the serial walk.
     tiled_rows_.resize(n);
     tiled_cols_.resize(n);
     tiled_vals_.resize(n);
-    std::vector<size_t> cursor(tiles_.size());
-    for (size_t t = 0; t < tiles_.size(); ++t)
-        cursor[t] = tiles_[t].offset;
-    for (size_t i = 0; i < n; ++i) {
-        size_t t = key_to_tile[keys[i]];
-        size_t pos = cursor[t]++;
-        tiled_rows_[pos] = src->rowId(i);
-        tiled_cols_[pos] = src->colId(i);
-        tiled_vals_[pos] = src->value(i);
-    }
+    parallelFor(0, num_panels_, kGrainPanels, [&](size_t pb, size_t pe) {
+        std::vector<size_t> cursor(num_tcols_);
+        for (size_t p = pb; p < pe; ++p) {
+            const PanelHist& h = hist[p];
+            for (size_t j = 0; j < h.tcols.size(); ++j)
+                cursor[h.tcols[j]] = tiles_[panel_tile0[p] + j].offset;
+            for (size_t i = panel_start[p]; i < panel_start[p + 1]; ++i) {
+                size_t pos = cursor[src->colId(i) / tile_w_]++;
+                tiled_rows_[pos] = src->rowId(i);
+                tiled_cols_[pos] = src->colId(i);
+                tiled_vals_[pos] = src->value(i);
+            }
+        }
+    });
 
     // Pass 3: per-tile unique row/column counts.  Rows are sorted within
     // a tile, so unique rows are row transitions; columns use a stamped
-    // scratch array of tile_width entries.
-    std::vector<uint32_t> col_stamp(tile_w_, 0);
-    uint32_t generation = 0;
-    for (auto& t : tiles_) {
-        ++generation;
-        Index uniq_r = 0;
-        Index uniq_c = 0;
-        Index prev_row = ~Index(0);
-        for (size_t i = t.offset; i < t.offset + t.nnz; ++i) {
-            if (tiled_rows_[i] != prev_row) {
-                ++uniq_r;
-                prev_row = tiled_rows_[i];
+    // scratch array of tile_width entries (one per chunk — tiles are
+    // disjoint, so the pass parallelizes over tiles).
+    parallelFor(0, tiles_.size(), kGrainTiles, [&](size_t tb, size_t te) {
+        std::vector<uint32_t> col_stamp(tile_w_, 0);
+        uint32_t generation = 0;
+        for (size_t ti = tb; ti < te; ++ti) {
+            Tile& t = tiles_[ti];
+            ++generation;
+            Index uniq_r = 0;
+            Index uniq_c = 0;
+            Index prev_row = ~Index(0);
+            for (size_t i = t.offset; i < t.offset + t.nnz; ++i) {
+                if (tiled_rows_[i] != prev_row) {
+                    ++uniq_r;
+                    prev_row = tiled_rows_[i];
+                }
+                Index local_c = tiled_cols_[i] - t.col0;
+                if (col_stamp[local_c] != generation) {
+                    col_stamp[local_c] = generation;
+                    ++uniq_c;
+                }
             }
-            Index local_c = tiled_cols_[i] - t.col0;
-            if (col_stamp[local_c] != generation) {
-                col_stamp[local_c] = generation;
-                ++uniq_c;
-            }
+            t.uniq_rids = uniq_r;
+            t.uniq_cids = uniq_c;
         }
-        t.uniq_rids = uniq_r;
-        t.uniq_cids = uniq_c;
-    }
+    });
 
-    // Panel index: first tile of each panel.
-    panel_begin_.assign(num_panels_ + 1, tiles_.size());
-    for (size_t i = tiles_.size(); i-- > 0;)
-        panel_begin_[tiles_[i].panel] = i;
-    // Back-fill panels with no tiles so ranges stay well formed.
-    for (size_t p = num_panels_; p-- > 0;) {
-        if (panel_begin_[p] > panel_begin_[p + 1])
-            panel_begin_[p] = panel_begin_[p + 1];
-    }
+    // Panel index: first tile of each panel (empty panels collapse to
+    // the next panel's start, keeping ranges well formed).
+    panel_begin_ = std::move(panel_tile0);
 }
 
 size_t

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The parallelism determinism contract, end to end: tiling, the
+ * partitioning heuristics, and the reference kernels must produce
+ * bit-identical results at every thread count (docs/PARALLELISM.md).
+ * Each fixture runs the same computation at 1, 2, and 7 threads and
+ * compares exactly — no tolerances.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_config.hpp"
+#include "common/random.hpp"
+#include "common/thread_pool.hpp"
+#include "core/calibrate.hpp"
+#include "partition/heuristics.hpp"
+#include "partition/partition.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+namespace {
+
+const unsigned kThreadCounts[] = {1, 2, 7};
+
+class DeterminismTest : public ::testing::Test
+{
+  protected:
+    static void
+    TearDownTestSuite()
+    {
+        ThreadPool::setGlobalThreads(0);
+    }
+
+    static CooMatrix
+    testMatrix()
+    {
+        return genCommunity(2048, 14.0, 32, 160, 0.8, 11);
+    }
+};
+
+template <typename Fn, typename Cmp>
+void
+expectIdenticalAcrossThreads(Fn&& run, Cmp&& compare)
+{
+    ThreadPool::setGlobalThreads(1);
+    const auto baseline = run();
+    for (unsigned t : kThreadCounts) {
+        ThreadPool::setGlobalThreads(t);
+        const auto got = run();
+        SCOPED_TRACE("threads=" + std::to_string(t));
+        compare(baseline, got);
+    }
+}
+
+void
+compareGrids(const TileGrid& a, const TileGrid& b)
+{
+    ASSERT_EQ(a.numTiles(), b.numTiles());
+    for (size_t i = 0; i < a.numTiles(); ++i) {
+        const Tile& x = a.tile(i);
+        const Tile& y = b.tile(i);
+        ASSERT_EQ(x.panel, y.panel);
+        ASSERT_EQ(x.tcol, y.tcol);
+        ASSERT_EQ(x.offset, y.offset);
+        ASSERT_EQ(x.nnz, y.nnz);
+        ASSERT_EQ(x.uniq_rids, y.uniq_rids);
+        ASSERT_EQ(x.uniq_cids, y.uniq_cids);
+        auto ar = a.tileRows(i), br = b.tileRows(i);
+        auto ac = a.tileCols(i), bc = b.tileCols(i);
+        auto av = a.tileVals(i), bv = b.tileVals(i);
+        for (size_t p = 0; p < x.nnz; ++p) {
+            ASSERT_EQ(ar[p], br[p]);
+            ASSERT_EQ(ac[p], bc[p]);
+            ASSERT_EQ(av[p], bv[p]);  // exact: same nonzero, same slot
+        }
+    }
+}
+
+TEST_F(DeterminismTest, TileGridBitIdenticalAcrossThreads)
+{
+    CooMatrix m = testMatrix();
+    expectIdenticalAcrossThreads([&] { return TileGrid(m, 128, 128); },
+                                 compareGrids);
+}
+
+void
+comparePartitions(const Partition& a, const Partition& b)
+{
+    ASSERT_EQ(a.heuristic, b.heuristic);
+    ASSERT_EQ(a.serial, b.serial);
+    ASSERT_EQ(a.predicted_cycles, b.predicted_cycles);  // exact bits
+    ASSERT_EQ(a.is_hot, b.is_hot);
+}
+
+TEST_F(DeterminismTest, HeuristicPicksBitIdenticalAcrossThreads)
+{
+    CooMatrix m = testMatrix();
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    auto run = [&] {
+        TileGrid grid(m, 128, 128);
+        PartitionContext ctx = makePartitionContext(
+            grid, arch.hot, arch.cold, KernelConfig{},
+            arch.bwBytesPerCycle(), 2000.0, false);
+        return hotTilesPartition(ctx);
+    };
+    expectIdenticalAcrossThreads(run, comparePartitions);
+}
+
+TEST_F(DeterminismTest, AllHeuristicsBitIdenticalAcrossThreads)
+{
+    CooMatrix m = testMatrix();
+    Architecture arch = calibrated(makePiuma());
+    auto run = [&] {
+        TileGrid grid(m, 256, 256);
+        PartitionContext ctx = makePartitionContext(
+            grid, arch.hot, arch.cold, KernelConfig{},
+            arch.bwBytesPerCycle(), 0.0, true);
+        return allHeuristicPartitions(ctx);
+    };
+    expectIdenticalAcrossThreads(
+        run, [](const std::vector<Partition>& a,
+                const std::vector<Partition>& b) {
+            ASSERT_EQ(a.size(), b.size());
+            for (size_t i = 0; i < a.size(); ++i)
+                comparePartitions(a[i], b[i]);
+        });
+}
+
+TEST_F(DeterminismTest, SpmmOutputBitIdenticalAcrossThreads)
+{
+    CooMatrix m = testMatrix();
+    DenseMatrix din(m.cols(), 32);
+    Rng rng(42);
+    din.fillRandom(rng);
+    auto run = [&] { return referenceSpmm(m, din); };
+    expectIdenticalAcrossThreads(
+        run, [](const DenseMatrix& a, const DenseMatrix& b) {
+            ASSERT_EQ(a.data(), b.data());  // element-exact
+        });
+}
+
+TEST_F(DeterminismTest, CsrSpmmOutputBitIdenticalAcrossThreads)
+{
+    CooMatrix m = testMatrix();
+    CsrMatrix csr = CsrMatrix::fromCoo(m);
+    DenseMatrix din(m.cols(), 8);
+    Rng rng(7);
+    din.fillRandom(rng);
+    auto run = [&] { return referenceSpmm(csr, din); };
+    expectIdenticalAcrossThreads(
+        run, [](const DenseMatrix& a, const DenseMatrix& b) {
+            ASSERT_EQ(a.data(), b.data());
+        });
+}
+
+} // namespace
+} // namespace hottiles

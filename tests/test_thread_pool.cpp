@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the parallel-execution layer: chunk coverage, the
+ * determinism contract (chunk boundaries independent of the thread
+ * count), exception propagation, nested submission, and the serial
+ * zero-/one-thread fallback.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+
+namespace hottiles {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, hits.size(), 7, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokes)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(5, 5, 16, [&](size_t, size_t) { called = true; });
+    pool.parallelFor(7, 3, 16, [&](size_t, size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+std::set<std::pair<size_t, size_t>>
+chunksSeen(ThreadPool& pool, size_t begin, size_t end, size_t grain)
+{
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> seen;
+    pool.parallelFor(begin, end, grain, [&](size_t b, size_t e) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.emplace(b, e);
+    });
+    return seen;
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount)
+{
+    ThreadPool serial(1);
+    ThreadPool small(2);
+    ThreadPool big(8);
+    auto a = chunksSeen(serial, 3, 1003, 17);
+    auto b = chunksSeen(small, 3, 1003, 17);
+    auto c = chunksSeen(big, 3, 1003, 17);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    // Boundaries follow begin + k * grain, last chunk clipped.
+    EXPECT_TRUE(a.count({3, 20}));
+    EXPECT_TRUE(a.count({989, 1003}));
+}
+
+TEST(ThreadPool, ZeroAndOneThreadRunInline)
+{
+    for (unsigned n : {0u, 1u}) {
+        ThreadPool pool(n);
+        EXPECT_EQ(pool.threads(), 1u);
+        std::thread::id caller = std::this_thread::get_id();
+        size_t count = 0;
+        pool.parallelFor(0, 100, 8, [&](size_t b, size_t e) {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+            count += e - b;
+        });
+        EXPECT_EQ(count, 100u);
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 1000, 10,
+                                  [&](size_t b, size_t) {
+                                      if (b == 500)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, LowestChunkExceptionWins)
+{
+    ThreadPool pool(8);
+    try {
+        pool.parallelFor(0, 64, 1, [&](size_t b, size_t) {
+            throw std::runtime_error("chunk " + std::to_string(b));
+        });
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error& ex) {
+        EXPECT_STREQ(ex.what(), "chunk 0");
+    }
+}
+
+TEST(ThreadPool, UsableAfterException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 10, 1,
+                                  [](size_t, size_t) {
+                                      throw std::runtime_error("first");
+                                  }),
+                 std::runtime_error);
+    std::atomic<size_t> covered{0};
+    pool.parallelFor(0, 100, 3, [&](size_t b, size_t e) {
+        covered.fetch_add(e - b);
+    });
+    EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPool, NestedSubmitRunsInlineOnWorkers)
+{
+    ThreadPool pool(4);
+    std::atomic<size_t> inner_total{0};
+    std::atomic<int> nested_inline{0};
+    // Rendezvous: the first outer chunks wait until all four executors
+    // (three workers + the caller) have arrived, so workers provably
+    // run outer chunks instead of the caller draining everything.
+    std::atomic<int> arrived{0};
+    pool.parallelFor(0, 8, 1, [&](size_t, size_t) {
+        arrived.fetch_add(1);
+        while (arrived.load() < 4)
+            std::this_thread::yield();
+        bool on_worker = ThreadPool::onWorkerThread();
+        std::thread::id outer_tid = std::this_thread::get_id();
+        pool.parallelFor(0, 50, 5, [&](size_t b, size_t e) {
+            inner_total.fetch_add(e - b);
+            if (on_worker && std::this_thread::get_id() == outer_tid)
+                nested_inline.fetch_add(1);
+        });
+    });
+    // Every nested loop fully covers its range (8 outer x 50 inner)...
+    EXPECT_EQ(inner_total.load(), 8u * 50u);
+    // ...and nested chunks issued from workers never left their thread.
+    EXPECT_GT(nested_inline.load(), 0);
+}
+
+TEST(ThreadPool, ReduceMatchesSerialBitForBit)
+{
+    // Values of wildly different magnitude: a reduction whose result
+    // depends on association order.  The chunked combine must produce
+    // the same bits at every thread count.
+    const size_t n = 10000;
+    std::vector<double> vals(n);
+    for (size_t i = 0; i < n; ++i)
+        vals[i] = (i % 7 == 0) ? 1e12 : 1e-3 * double(i);
+
+    auto chunkSum = [&](size_t b, size_t e) {
+        double s = 0;
+        for (size_t i = b; i < e; ++i)
+            s += vals[i];
+        return s;
+    };
+    auto combine = [](double a, double b) { return a + b; };
+
+    ThreadPool::setGlobalThreads(1);
+    double serial = parallelReduce(size_t{0}, n, size_t{64}, 0.0,
+                                   chunkSum, combine);
+    for (unsigned t : {2u, 7u}) {
+        ThreadPool::setGlobalThreads(t);
+        double par = parallelReduce(size_t{0}, n, size_t{64}, 0.0,
+                                    chunkSum, combine);
+        EXPECT_EQ(serial, par) << "threads=" << t;
+    }
+    ThreadPool::setGlobalThreads(0);
+}
+
+TEST(ThreadPool, GlobalPoolReconfigures)
+{
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::globalThreads(), 3u);
+    std::atomic<size_t> covered{0};
+    parallelFor(0, 64, 4, [&](size_t b, size_t e) {
+        covered.fetch_add(e - b);
+    });
+    EXPECT_EQ(covered.load(), 64u);
+    ThreadPool::setGlobalThreads(0);
+    EXPECT_EQ(ThreadPool::globalThreads(), ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPool, DefaultThreadsReadsEnv)
+{
+    ::setenv("HOTTILES_THREADS", "5", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 5u);
+    ::setenv("HOTTILES_THREADS", "garbage", 1);
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    ::unsetenv("HOTTILES_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+} // namespace
+} // namespace hottiles

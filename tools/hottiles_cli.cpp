@@ -26,8 +26,11 @@
  *   --ai X       gSpMM arithmetic intensity       (default 1)
  *   --tile N     square tile size override
  *   --seed N     IUnaware randomization seed
+ *   --threads N  worker threads for preprocessing/kernels
+ *                (default: HOTTILES_THREADS env or all hardware threads)
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -39,6 +42,7 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/calibrate.hpp"
 #include "core/execution.hpp"
 #include "core/explorer.hpp"
@@ -63,6 +67,7 @@ struct Options
     double ai = 1.0;
     Index tile = 0;  // 0 = architecture default
     uint64_t seed = 42;
+    unsigned threads = 0;  // 0 = HOTTILES_THREADS env / hardware default
     std::string out_file;
     std::string load_file;
     std::string trace_file;
@@ -75,7 +80,8 @@ usage(const char* argv0)
     std::cerr << "usage: " << argv0
               << " suite|analyze|partition|simulate|explore <matrix> "
                  "[--arch A] [--kernel K] [--k N] [--ai X] [--tile N] "
-                 "[--seed N] [--out F] [--load F] [--total N]\n"
+                 "[--seed N] [--out F] [--load F] [--total N] "
+                 "[--threads N]\n"
                  "<matrix> is a .mtx path or @name for a built-in proxy\n";
     std::exit(2);
 }
@@ -120,6 +126,14 @@ parseArgs(int argc, char** argv)
             o.total = std::stoi(next("--total"));
         else if (a == "--trace")
             o.trace_file = next("--trace");
+        else if (a == "--threads") {
+            std::string v = next("--threads");
+            char* endp = nullptr;
+            unsigned long nthreads = std::strtoul(v.c_str(), &endp, 10);
+            if (endp == v.c_str() || *endp != '\0')
+                HT_FATAL("bad value for --threads: '", v, "'");
+            o.threads = static_cast<unsigned>(nthreads);
+        }
         else
             HT_FATAL("unknown option '", a, "'");
     }
@@ -335,6 +349,8 @@ main(int argc, char** argv)
 {
     try {
         Options o = parseArgs(argc, argv);
+        if (o.threads > 0)
+            ThreadPool::setGlobalThreads(o.threads);
         if (o.command == "suite")
             return cmdSuite();
         if (o.command == "analyze")
