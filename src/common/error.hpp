@@ -47,6 +47,14 @@ concatToString(Args&&... args)
     ::hottiles::fatalImpl(__FILE__, __LINE__, \
                           ::hottiles::detail::concatToString(__VA_ARGS__))
 
+/** User-level error when @p cond holds (validation guard sugar). */
+#define HT_FATAL_IF(cond, ...) \
+    do { \
+        if (cond) { \
+            HT_FATAL(__VA_ARGS__); \
+        } \
+    } while (0)
+
 /** Internal bug: prints a message and aborts. */
 #define HT_PANIC(...) \
     ::hottiles::panicImpl(__FILE__, __LINE__, \

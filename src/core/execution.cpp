@@ -21,21 +21,27 @@ strategyName(Strategy s)
 }
 
 StrategyOutcome
-simulatePartition(const HotTiles& ht, const Partition& p, Strategy tag)
+simulatePartition(const HotTiles& ht, const Partition& p, Strategy tag,
+                  const SimConfig& scfg)
 {
     StrategyOutcome o;
     o.strategy = tag;
     o.partition = p;
     o.predicted_cycles = p.predicted_cycles;
+    SimConfig cfg = scfg;
+    cfg.compute_values = false;
+    cfg.din = nullptr;
+    cfg.u = nullptr;
     o.stats = simulateExecution(ht.arch(), ht.grid(), p.is_hot, p.serial,
-                                ht.kernel())
+                                ht.kernel(), cfg)
                   .stats;
     return o;
 }
 
 MatrixEvaluation
 evaluateMatrix(const Architecture& arch, const CooMatrix& a,
-               const std::string& name, const HotTilesOptions& opts)
+               const std::string& name, const HotTilesOptions& opts,
+               const FaultPlan* faults)
 {
     HotTilesOptions o = opts;
     o.build_formats = false;  // the simulator builds work lists itself
@@ -47,29 +53,35 @@ evaluateMatrix(const Architecture& arch, const CooMatrix& a,
 
     // The four strategy simulations only read the shared pipeline state
     // (grid, partition context), so they run concurrently; each closure
-    // writes its own MatrixEvaluation slot.
+    // writes its own MatrixEvaluation slot.  Any fault plan applies to
+    // every strategy while the predictions stay fault-free, so the
+    // evaluation exposes predicted-vs-achieved under faults.
+    SimConfig scfg;
+    scfg.faults = faults;
     const std::function<void()> sims[] = {
         [&] {
             ev.hot_only.strategy = Strategy::HotOnly;
             ev.hot_only.stats =
-                simulateHomogeneous(arch, ht.grid(), /*hot=*/true, o.kernel)
+                simulateHomogeneous(arch, ht.grid(), /*hot=*/true, o.kernel,
+                                    scfg)
                     .stats;
             ev.hot_only.predicted_cycles = ht.predictedHotOnlyCycles();
         },
         [&] {
             ev.cold_only.strategy = Strategy::ColdOnly;
             ev.cold_only.stats =
-                simulateHomogeneous(arch, ht.grid(), /*hot=*/false, o.kernel)
+                simulateHomogeneous(arch, ht.grid(), /*hot=*/false, o.kernel,
+                                    scfg)
                     .stats;
             ev.cold_only.predicted_cycles = ht.predictedColdOnlyCycles();
         },
         [&] {
-            ev.iunaware =
-                simulatePartition(ht, ht.iunaware(), Strategy::IUnaware);
+            ev.iunaware = simulatePartition(ht, ht.iunaware(),
+                                            Strategy::IUnaware, scfg);
         },
         [&] {
-            ev.hottiles =
-                simulatePartition(ht, ht.partition(), Strategy::HotTiles);
+            ev.hottiles = simulatePartition(ht, ht.partition(),
+                                            Strategy::HotTiles, scfg);
         },
     };
     parallelFor(0, std::size(sims), 1, [&](size_t b, size_t e) {

@@ -74,13 +74,23 @@ struct MatrixEvaluation
  * Run every strategy on @p a under @p arch (must be calibrated).
  * Preprocessing (tiling, model, partitioning) happens once and is
  * shared; each strategy is then simulated.
+ *
+ * @param faults  optional fault-injection plan applied to every
+ *                strategy simulation (see sim/fault_injector.hpp); the
+ *                predicted cycles stay fault-free, so the evaluation
+ *                reports predicted-vs-achieved under faults.
  */
 MatrixEvaluation evaluateMatrix(const Architecture& arch, const CooMatrix& a,
                                 const std::string& name,
-                                const HotTilesOptions& opts = {});
+                                const HotTilesOptions& opts = {},
+                                const FaultPlan* faults = nullptr);
 
-/** Simulate an explicit partition on a prepared HotTiles pipeline. */
+/**
+ * Simulate an explicit partition on a prepared HotTiles pipeline.
+ * @p scfg forwards simulation options (trace, fault plan, ...);
+ * compute_values stays off — only the stats are kept.
+ */
 StrategyOutcome simulatePartition(const HotTiles& ht, const Partition& p,
-                                  Strategy tag);
+                                  Strategy tag, const SimConfig& scfg = {});
 
 } // namespace hottiles

@@ -1,5 +1,7 @@
 #include "core/serialize.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -84,6 +86,29 @@ expectKey(std::istream& is, const std::string& key)
     return rest;
 }
 
+/** Checked integer parse: the whole token must be a uint64. */
+uint64_t
+parseU64(std::string_view tok, const char* what)
+{
+    uint64_t v = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc() || p != tok.data() + tok.size())
+        HT_FATAL("partition file: bad ", what, " '", std::string(tok), "'");
+    return v;
+}
+
+/** Checked double parse: whole token, finite result. */
+double
+parseF64(std::string_view tok, const char* what)
+{
+    double v = 0.0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc() || p != tok.data() + tok.size() ||
+        !std::isfinite(v))
+        HT_FATAL("partition file: bad ", what, " '", std::string(tok), "'");
+    return v;
+}
+
 } // namespace
 
 PartitionFile
@@ -99,21 +124,34 @@ readPartition(std::istream& is)
     if (pf.matrix_name == "-")
         pf.matrix_name.clear();
     {
-        std::istringstream ss(expectKey(is, "tile"));
-        ss >> pf.tile_height >> pf.tile_width;
-        if (!ss)
-            HT_FATAL("partition file: bad tile line");
+        const std::string tile = expectKey(is, "tile");
+        auto tok = splitWs(tile);
+        if (tok.size() != 2)
+            HT_FATAL("partition file: bad tile line '", tile, "'");
+        pf.tile_height = static_cast<Index>(parseU64(tok[0], "tile height"));
+        pf.tile_width = static_cast<Index>(parseU64(tok[1], "tile width"));
     }
-    pf.grid_fingerprint = std::stoull(expectKey(is, "fingerprint"));
-    pf.partition.serial = expectKey(is, "serial") == "1";
+    pf.grid_fingerprint = parseU64(expectKey(is, "fingerprint"),
+                                   "fingerprint");
+    {
+        const std::string serial = expectKey(is, "serial");
+        if (serial != "0" && serial != "1")
+            HT_FATAL("partition file: bad serial flag '", serial, "'");
+        pf.partition.serial = serial == "1";
+    }
     pf.partition.heuristic = expectKey(is, "heuristic");
     if (pf.partition.heuristic == "-")
         pf.partition.heuristic.clear();
     pf.partition.predicted_cycles =
-        std::stod(expectKey(is, "predicted_cycles"));
-    size_t tiles = std::stoull(expectKey(is, "tiles"));
+        parseF64(expectKey(is, "predicted_cycles"), "predicted cycles");
+    size_t tiles = parseU64(expectKey(is, "tiles"), "tile count");
 
+    // Validate the bitmap length against the claimed tile count before
+    // allocating: a corrupted count must not trigger a huge allocation.
     std::string bitmap = expectKey(is, "bitmap");
+    if (bitmap.size() != tiles / 4 + (tiles % 4 ? 1 : 0))
+        HT_FATAL("partition file: bitmap holds ", bitmap.size() * 4,
+                 " bits for ", tiles, " tiles");
     pf.partition.is_hot.assign(tiles, 0);
     size_t bit = 0;
     for (char c : bitmap) {

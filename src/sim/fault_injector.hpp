@@ -1,0 +1,125 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic, seed-driven fault injection and graceful degradation
+ * for the heterogeneous execution simulator.
+ *
+ * A FaultPlan is a list of timed fault events — PE fail-stop, PE
+ * compute slowdown, link degradation/drop, memory-latency spikes —
+ * composed either explicitly or from a seeded RNG (makeFaultPlan).  A
+ * non-empty plan routes simulateExecution() through a supervised,
+ * tile-granular executor:
+ *
+ *   - every fault event is applied at its scheduled cycle through the
+ *     hooks on PipelinedWorker / Link / MemorySystem;
+ *   - a cycle-budget watchdog observes per-PE retire progress; a PE
+ *     that makes no progress for `stall_budget` cycles while holding
+ *     incomplete work is declared dead and fenced (fail-stopped);
+ *   - the dead PE's incomplete tiles are re-dispatched to the least
+ *     loaded surviving PE, preferring the same worker type; when an
+ *     entire type has died the run *degrades* to homogeneous execution
+ *     on the surviving type (§VI) instead of deadlocking;
+ *   - re-dispatch is bounded (`max_retries` per tile); when the bound
+ *     is exhausted or no worker survives, the run fails with a
+ *     FatalError instead of hanging.
+ *
+ * The whole mechanism lives inside the single-threaded event queue, so
+ * a fixed plan (or a fixed seed) yields a bit-identical fault schedule,
+ * migration history, and output at any host thread count.  Zero-fault
+ * runs never enter this path and stay bit-identical to a build without
+ * the subsystem.  See docs/ROBUSTNESS.md.
+ */
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hottiles {
+
+/** The injectable fault classes. */
+enum class FaultKind
+{
+    PeFailStop,      //!< a PE dies silently at `at`
+    PeSlowdown,      //!< a PE's compute runs x`factor` slower in [at, until)
+    LinkDegrade,     //!< link bandwidth scaled by `factor` (<= 0: link down)
+    MemLatencySpike, //!< memory: +`extra_latency` cycles, x`factor` bandwidth
+};
+
+/** Display name ("fail-stop", ...). */
+const char* faultKindName(FaultKind k);
+
+/** One timed fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::PeFailStop;
+    bool hot = false;        //!< PE/link faults: worker class targeted
+    uint32_t pe = 0;         //!< PE faults: index within the class
+    Tick at = 0;             //!< activation cycle
+    Tick until = 0;          //!< window end; 0 = permanent
+    double factor = 1.0;     //!< slowdown x / bandwidth scale (see kind)
+    Tick extra_latency = 0;  //!< MemLatencySpike: added access latency
+};
+
+/** A fault schedule plus the runtime-resilience policy knobs. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    /** Watchdog progress-check period (cycles). */
+    Tick watchdog_interval = 2048;
+    /** Cycles without retire progress before a PE is declared dead. */
+    Tick stall_budget = 1 << 16;
+    /** Re-dispatch bound per tile; exhausting it fails the run. */
+    uint32_t max_retries = 3;
+
+    bool empty() const { return events.empty(); }
+};
+
+/** Knobs for seeded random plan composition. */
+struct FaultSpec
+{
+    uint32_t fail_stops = 0;
+    uint32_t slowdowns = 0;
+    uint32_t link_degrades = 0;
+    uint32_t mem_spikes = 0;
+    /** Fault activation times are drawn uniformly from [1, horizon]. */
+    Tick horizon = 200000;
+    double slow_min = 2.0, slow_max = 8.0;     //!< PeSlowdown factor range
+    double link_scale_min = 0.05, link_scale_max = 0.5;
+    double link_drop_prob = 0.25;              //!< chance a degrade is a drop
+    Tick spike_latency = 400;                  //!< MemLatencySpike addition
+};
+
+/**
+ * Compose a fault plan from a seeded RNG: same seed, same architecture,
+ * same spec => bit-identical plan.  PE targets are drawn from the
+ * architecture's worker counts (classes with zero workers are never
+ * targeted).
+ */
+FaultPlan makeFaultPlan(uint64_t seed, const Architecture& arch,
+                        const FaultSpec& spec);
+
+/**
+ * Parse a CLI fault spec: comma-separated `key=value` with keys
+ * failstop, slowdown, linkdegrade, memspike, horizon (e.g.
+ * "failstop=1,memspike=2,horizon=100000").  @throws FatalError on
+ * unknown keys or malformed values.
+ */
+FaultSpec parseFaultSpec(std::string_view spec);
+
+/**
+ * The watchdog-supervised fault-tolerant execution path.  Called by
+ * simulateExecution() when cfg.faults is a non-empty plan; the
+ * signature mirrors it.  Worker types always operate in parallel here
+ * (a degraded run cannot keep a serial schedule).  @throws FatalError
+ * when the run cannot complete (all workers dead or retries exhausted).
+ */
+SimOutput simulateWithFaults(const Architecture& arch, const TileGrid& grid,
+                             const std::vector<uint8_t>& is_hot,
+                             const KernelConfig& kernel,
+                             const SimConfig& cfg);
+
+} // namespace hottiles

@@ -19,13 +19,19 @@ Link::Link(EventQueue& eq, MemPort& downstream, double bytes_per_cycle,
 void
 Link::access(uint64_t lines, bool write, EventQueue::Callback cb)
 {
+    if (down_) {
+        // A dead link swallows traffic; the requester's pipeline stalls
+        // and the fault-injection watchdog eventually migrates its work.
+        lines_dropped_ += lines;
+        return;
+    }
     if (lines == 0) {
         if (cb)
             eq_.schedule(eq_.now(), std::move(cb));
         return;
     }
     lines_forwarded_ += lines;
-    const double service = double(lines) * cycles_per_line_;
+    const double service = double(lines) * cycles_per_line_ / bw_derate_;
     const double start = std::max(double(eq_.now()), next_free_);
     next_free_ = start + service;
     busy_cycles_ += service;
@@ -34,6 +40,18 @@ Link::access(uint64_t lines, bool write, EventQueue::Callback cb)
     eq_.schedule(crossed, [this, lines, write, cb = std::move(cb)]() mutable {
         downstream_.access(lines, write, std::move(cb));
     });
+}
+
+void
+Link::setBandwidthScale(double scale)
+{
+    if (scale <= 0) {
+        down_ = true;
+        return;
+    }
+    HT_ASSERT(scale <= 1.0, "link bandwidth scale must be in (0, 1]");
+    down_ = false;
+    bw_derate_ = scale;
 }
 
 } // namespace hottiles

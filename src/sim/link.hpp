@@ -26,6 +26,17 @@ class Link : public MemPort
     uint64_t linesForwarded() const { return lines_forwarded_; }
     double busyCycles() const { return busy_cycles_; }
 
+    /**
+     * Fault-injection hook.  @p scale in (0, 1] derates the link
+     * bandwidth; @p scale <= 0 takes the link *down*: subsequent
+     * requests are dropped (no completion ever fires), which stalls the
+     * PEs behind the link until the watchdog declares them dead.
+     * Restore with scale = 1.
+     */
+    void setBandwidthScale(double scale);
+    bool down() const { return down_; }
+    uint64_t linesDropped() const { return lines_dropped_; }
+
   private:
     EventQueue& eq_;
     MemPort& downstream_;
@@ -35,6 +46,9 @@ class Link : public MemPort
     double next_free_ = 0.0;
     double busy_cycles_ = 0.0;
     uint64_t lines_forwarded_ = 0;
+    uint64_t lines_dropped_ = 0;
+    double bw_derate_ = 1.0;  //!< fault-injected bandwidth derate
+    bool down_ = false;       //!< fault-injected hard failure
 };
 
 } // namespace hottiles

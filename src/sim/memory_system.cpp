@@ -29,18 +29,27 @@ MemorySystem::access(uint64_t lines, bool write, EventQueue::Callback cb)
     else
         lines_read_ += lines;
 
-    const double service = double(lines) * cycles_per_line_;
+    const double service = double(lines) * cycles_per_line_ / bw_derate_;
     const double start = std::max(double(eq_.now()), next_free_);
     next_free_ = start + service;
     busy_cycles_ += service;
 
     // Always schedule the completion (a no-op for fire-and-forget
     // writes) so the simulated end time covers the transfer drain.
-    auto done =
-        static_cast<Tick>(std::ceil(next_free_ + double(fixed_latency_)));
+    auto done = static_cast<Tick>(
+        std::ceil(next_free_ + double(fixed_latency_ + extra_latency_)));
     if (!cb)
         cb = [] {};
     eq_.schedule(done, std::move(cb));
+}
+
+void
+MemorySystem::setFault(Tick extra_latency, double bw_scale)
+{
+    HT_ASSERT(bw_scale > 0 && bw_scale <= 1.0,
+              "memory bandwidth derate must be in (0, 1]");
+    extra_latency_ = extra_latency;
+    bw_derate_ = bw_scale;
 }
 
 void

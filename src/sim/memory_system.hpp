@@ -68,6 +68,16 @@ class MemorySystem : public MemPort
     /** Zero the statistics (the schedule state is kept). */
     void resetStats();
 
+    /**
+     * Fault-injection hook: add @p extra_latency cycles to every access
+     * and derate the service rate by @p bw_scale (0 < scale <= 1).
+     * Defaults leave the timing arithmetic bit-identical (the +0 / x1.0
+     * identity), so the no-fault fast path is unperturbed.
+     */
+    void setFault(Tick extra_latency, double bw_scale);
+    /** Restore nominal latency and bandwidth. */
+    void clearFault() { extra_latency_ = 0; bw_derate_ = 1.0; }
+
   private:
     EventQueue& eq_;
     double bytes_per_cycle_;
@@ -78,6 +88,8 @@ class MemorySystem : public MemPort
     double busy_cycles_ = 0.0;
     uint64_t lines_read_ = 0;
     uint64_t lines_written_ = 0;
+    Tick extra_latency_ = 0;   //!< fault-injected additional latency
+    double bw_derate_ = 1.0;   //!< fault-injected bandwidth derate
 };
 
 } // namespace hottiles

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "sim/demand_pe.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link.hpp"
 #include "sim/memory_system.hpp"
@@ -102,6 +103,13 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
                   const KernelConfig& kernel, const SimConfig& cfg)
 {
     HT_ASSERT(is_hot.size() == grid.numTiles(), "assignment size mismatch");
+
+    // A non-empty fault plan routes through the supervised executor;
+    // everything below is the unperturbed fast path, bit-identical to a
+    // build without the fault subsystem.  (`serial` is ignored under
+    // faults: a degraded run cannot keep a serial type schedule.)
+    if (cfg.faults && !cfg.faults->empty())
+        return simulateWithFaults(arch, grid, is_hot, kernel, cfg);
 
     std::vector<size_t> hot_ids;
     std::vector<size_t> cold_ids;

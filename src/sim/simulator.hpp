@@ -20,6 +20,7 @@
 namespace hottiles {
 
 class TraceWriter;
+struct FaultPlan;
 
 /** Simulation options. */
 struct SimConfig
@@ -34,6 +35,26 @@ struct SimConfig
     TraceWriter* trace = nullptr;
     /** >0 samples achieved bandwidth every this many cycles. */
     Tick bw_probe_interval = 0;
+
+    /**
+     * Optional fault-injection plan (see sim/fault_injector.hpp).  A
+     * null or empty plan takes the unperturbed fast path (bit-identical
+     * to a build without the fault subsystem); a non-empty plan routes
+     * the run through the watchdog-supervised fault-tolerant executor.
+     */
+    const FaultPlan* faults = nullptr;
+};
+
+/** Observability of one fault-injected run (all-zero without faults). */
+struct FaultStats
+{
+    uint64_t injected = 0;          //!< fault events applied
+    uint64_t workers_failed = 0;    //!< PEs declared dead by the watchdog
+    uint64_t tiles_migrated = 0;    //!< work units re-dispatched
+    uint64_t migration_retries = 0; //!< re-dispatches beyond the first
+    uint64_t nnz_redispatched = 0;  //!< nonzeros of migrated units
+    bool degraded_mode = false;     //!< a worker class died entirely;
+                                    //!< homogeneous fallback engaged
 };
 
 /** Measured results of one simulated execution. */
@@ -58,6 +79,8 @@ struct SimStats
     uint64_t cold_cache_hits = 0;   //!< Din cache behaviour (cold PEs)
     uint64_t cold_cache_misses = 0;
     uint64_t hot_stream_lines = 0;  //!< scratchpad stream over-fetch
+
+    FaultStats faults;              //!< fault-injection observability
 };
 
 /** Stats plus the (optional) functional output. */

@@ -21,6 +21,7 @@ void
 PipelinedWorker::start(EventQueue::Callback on_done)
 {
     on_done_ = std::move(on_done);
+    started_ = true;
     stats_.start = eq_.now();
     compute_free_ = double(eq_.now());
     if (segs_.empty()) {
@@ -34,9 +35,29 @@ PipelinedWorker::start(EventQueue::Callback on_done)
 }
 
 void
+PipelinedWorker::appendSegments(std::vector<SegSpec> more)
+{
+    if (more.empty() || failed_)
+        return;
+    segs_.insert(segs_.end(), std::make_move_iterator(more.begin()),
+                 std::make_move_iterator(more.end()));
+    if (started_) {
+        done_ = false;
+        issueNext();
+    }
+}
+
+void
+PipelinedWorker::setComputeScale(double scale)
+{
+    HT_ASSERT(scale > 0, "compute scale must be positive");
+    compute_scale_ = scale;
+}
+
+void
 PipelinedWorker::issueNext()
 {
-    while (inflight_ < depth_ && next_issue_ < segs_.size()) {
+    while (!failed_ && inflight_ < depth_ && next_issue_ < segs_.size()) {
         const size_t idx = next_issue_++;
         ++inflight_;
         const SegSpec& s = segs_[idx];
@@ -55,11 +76,13 @@ PipelinedWorker::issueNext()
 void
 PipelinedWorker::onReadDone(size_t idx)
 {
+    if (failed_)
+        return;  // fail-stopped while the read was in flight
     // The memory system is FIFO per issue order within this worker, so
     // reads complete in order; compute also retires in order.
     const SegSpec& s = segs_[idx];
     double begin = std::max(double(eq_.now()), compute_free_);
-    compute_free_ = begin + double(s.compute_cycles);
+    compute_free_ = begin + double(s.compute_cycles) * compute_scale_;
     auto retire_at = static_cast<Tick>(std::ceil(compute_free_));
     eq_.schedule(retire_at, [this, idx]() { retire(idx); });
 }
@@ -67,6 +90,8 @@ PipelinedWorker::onReadDone(size_t idx)
 void
 PipelinedWorker::retire(size_t idx)
 {
+    if (failed_)
+        return;  // fail-stopped mid-compute: the result is discarded
     const SegSpec& s = segs_[idx];
     if (trace_)
         trace_->record(eq_.now(), name_, "retire", idx, s.nnz);

@@ -70,9 +70,37 @@ class PipelinedWorker
     /** Attach an optional CSV trace (issue/retire per segment). */
     void setTrace(TraceWriter* trace) { trace_ = trace; }
 
+    /**
+     * Append more work to the segment list.  If the worker already
+     * drained its list it resumes issuing; a fail-stopped worker
+     * silently ignores the new work.  Used by the fault-tolerant
+     * execution path to migrate tiles between PEs.
+     */
+    void appendSegments(std::vector<SegSpec> more);
+
+    /**
+     * Fail-stop the PE *silently*: no further segments issue, in-flight
+     * reads and computes are discarded on completion, and no completion
+     * callback fires.  The watchdog of the fault-injection subsystem
+     * detects the resulting lack of retire progress — exactly how a
+     * real fail-stop is observed.
+     */
+    void failStop() { failed_ = true; }
+    bool failedStop() const { return failed_; }
+
+    /** Multiply all subsequently-issued compute latencies by @p scale
+     *  (> 1 models a degraded/thermally-throttled PE). */
+    void setComputeScale(double scale);
+
     bool done() const { return done_; }
     const WorkerStats& stats() const { return stats_; }
     const std::string& name() const { return name_; }
+
+    /** Segments retired so far (monotone; the watchdog's progress
+     *  signal). */
+    size_t retiredSegments() const { return retired_; }
+    /** Segments dispatched to this PE so far. */
+    size_t totalSegments() const { return segs_.size(); }
 
   private:
     void issueNext();
@@ -88,6 +116,9 @@ class PipelinedWorker
     size_t retired_ = 0;
     uint32_t inflight_ = 0;
     double compute_free_ = 0.0;  //!< next cycle the FUs are available
+    double compute_scale_ = 1.0; //!< fault-injected compute slowdown
+    bool started_ = false;
+    bool failed_ = false;        //!< fail-stopped (silent)
     bool done_ = false;
     WorkerStats stats_;
     EventQueue::Callback on_done_;

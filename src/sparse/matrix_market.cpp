@@ -1,7 +1,10 @@
 #include "sparse/matrix_market.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -72,20 +75,39 @@ readMatrixMarket(std::istream& is)
                  std::string(header[4]), "'");
 
     // Skip comments, find the size line.
+    bool found_size = false;
     while (std::getline(is, line)) {
         auto t = trim(line);
-        if (!t.empty() && t[0] != '%')
+        if (!t.empty() && t[0] != '%') {
+            found_size = true;
             break;
+        }
     }
+    if (!found_size)
+        HT_FATAL("MatrixMarket: truncated file (no size line)");
     auto size_tok = splitWs(line);
     if (size_tok.size() != 3)
         HT_FATAL("MatrixMarket: bad size line '", line, "'");
-    auto rows = static_cast<Index>(parseUint(size_tok[0], "row count"));
-    auto cols = static_cast<Index>(parseUint(size_tok[1], "column count"));
+    const uint64_t rows64 = parseUint(size_tok[0], "row count");
+    const uint64_t cols64 = parseUint(size_tok[1], "column count");
     auto entries = parseUint(size_tok[2], "entry count");
+    constexpr uint64_t kMaxDim = std::numeric_limits<Index>::max();
+    if (rows64 > kMaxDim || cols64 > kMaxDim)
+        HT_FATAL("MatrixMarket: dimensions ", rows64, "x", cols64,
+                 " exceed the ", kMaxDim, " index limit");
+    auto rows = static_cast<Index>(rows64);
+    auto cols = static_cast<Index>(cols64);
+    // rows64 * cols64 cannot overflow: both are < 2^32.
+    if (entries > rows64 * cols64)
+        HT_FATAL("MatrixMarket: entry count ", entries,
+                 " exceeds matrix capacity ", rows64, "x", cols64);
 
     CooMatrix m(rows, cols);
-    m.reserve(sym == Symmetry::General ? entries : 2 * entries);
+    // Cap the up-front reservation: a corrupted size line must not be
+    // able to trigger a huge allocation before any entry is read.
+    constexpr uint64_t kMaxReserve = uint64_t(1) << 26;
+    m.reserve(std::min(sym == Symmetry::General ? entries : 2 * entries,
+                       kMaxReserve));
 
     uint64_t seen = 0;
     while (seen < entries && std::getline(is, line)) {
@@ -100,7 +122,15 @@ readMatrixMarket(std::istream& is)
         auto c = parseUint(tok[1], "column index");
         if (r < 1 || r > rows || c < 1 || c > cols)
             HT_FATAL("MatrixMarket: index (", r, ",", c, ") out of range");
-        double v = field == Field::Pattern ? 1.0 : parseDouble(tok[2]);
+        double v = 1.0;
+        if (field != Field::Pattern) {
+            v = parseDouble(tok[2]);
+            // Reject NaN/Inf and doubles that overflow the fp32 Value.
+            if (!std::isfinite(v) ||
+                !std::isfinite(static_cast<double>(static_cast<Value>(v))))
+                HT_FATAL("MatrixMarket: non-finite value '",
+                         std::string(tok[2]), "' at entry ", seen + 1);
+        }
 
         auto ri = static_cast<Index>(r - 1);
         auto ci = static_cast<Index>(c - 1);

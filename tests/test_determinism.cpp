@@ -16,8 +16,10 @@
 #include "common/random.hpp"
 #include "common/thread_pool.hpp"
 #include "core/calibrate.hpp"
+#include "core/execution.hpp"
 #include "partition/heuristics.hpp"
 #include "partition/partition.hpp"
+#include "sim/fault_injector.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/generators.hpp"
@@ -156,6 +158,96 @@ TEST_F(DeterminismTest, CsrSpmmOutputBitIdenticalAcrossThreads)
     expectIdenticalAcrossThreads(
         run, [](const DenseMatrix& a, const DenseMatrix& b) {
             ASSERT_EQ(a.data(), b.data());
+        });
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: a fixed fault seed must yield a bit-identical fault
+// schedule, migration history, and simulated outcome at every host
+// thread count — the whole mechanism lives inside the single-threaded
+// event queue (docs/ROBUSTNESS.md).
+// ---------------------------------------------------------------------------
+
+void
+compareFaultEvents(const FaultPlan& a, const FaultPlan& b)
+{
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (size_t i = 0; i < a.events.size(); ++i) {
+        const FaultEvent& x = a.events[i];
+        const FaultEvent& y = b.events[i];
+        ASSERT_EQ(x.kind, y.kind);
+        ASSERT_EQ(x.hot, y.hot);
+        ASSERT_EQ(x.pe, y.pe);
+        ASSERT_EQ(x.at, y.at);
+        ASSERT_EQ(x.until, y.until);
+        ASSERT_EQ(x.factor, y.factor);  // exact bits
+        ASSERT_EQ(x.extra_latency, y.extra_latency);
+    }
+}
+
+TEST_F(DeterminismTest, FaultPlanBitIdenticalAcrossThreads)
+{
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    FaultSpec spec;
+    spec.fail_stops = 2;
+    spec.slowdowns = 2;
+    spec.link_degrades = 1;
+    spec.mem_spikes = 2;
+    spec.horizon = 60000;
+    auto run = [&] { return makeFaultPlan(12345, arch, spec); };
+    expectIdenticalAcrossThreads(run, compareFaultEvents);
+}
+
+void
+compareFaultedOutcomes(const StrategyOutcome& a, const StrategyOutcome& b)
+{
+    ASSERT_EQ(a.stats.cycles, b.stats.cycles);
+    ASSERT_EQ(a.stats.hot_nnz, b.stats.hot_nnz);
+    ASSERT_EQ(a.stats.cold_nnz, b.stats.cold_nnz);
+    ASSERT_EQ(a.stats.hot_finish, b.stats.hot_finish);
+    ASSERT_EQ(a.stats.cold_finish, b.stats.cold_finish);
+    ASSERT_EQ(a.stats.merge_cycles, b.stats.merge_cycles);
+    ASSERT_EQ(a.predicted_cycles, b.predicted_cycles);  // exact bits
+    ASSERT_EQ(a.partition.is_hot, b.partition.is_hot);
+    const FaultStats& fa = a.stats.faults;
+    const FaultStats& fb = b.stats.faults;
+    ASSERT_EQ(fa.injected, fb.injected);
+    ASSERT_EQ(fa.workers_failed, fb.workers_failed);
+    ASSERT_EQ(fa.tiles_migrated, fb.tiles_migrated);
+    ASSERT_EQ(fa.migration_retries, fb.migration_retries);
+    ASSERT_EQ(fa.nnz_redispatched, fb.nnz_redispatched);
+    ASSERT_EQ(fa.degraded_mode, fb.degraded_mode);
+}
+
+TEST_F(DeterminismTest, FaultedEvaluationBitIdenticalAcrossThreads)
+{
+    CooMatrix m = testMatrix();
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    FaultSpec spec;
+    spec.fail_stops = 1;
+    spec.slowdowns = 1;
+    spec.mem_spikes = 1;
+    spec.horizon = 30000;
+    const FaultPlan plan = makeFaultPlan(7, arch, spec);
+    auto run = [&] { return evaluateMatrix(arch, m, "det", {}, &plan); };
+    expectIdenticalAcrossThreads(
+        run, [](const MatrixEvaluation& a, const MatrixEvaluation& b) {
+            {
+                SCOPED_TRACE("HotOnly");
+                compareFaultedOutcomes(a.hot_only, b.hot_only);
+            }
+            {
+                SCOPED_TRACE("ColdOnly");
+                compareFaultedOutcomes(a.cold_only, b.cold_only);
+            }
+            {
+                SCOPED_TRACE("IUnaware");
+                compareFaultedOutcomes(a.iunaware, b.iunaware);
+            }
+            {
+                SCOPED_TRACE("HotTiles");
+                compareFaultedOutcomes(a.hottiles, b.hottiles);
+            }
         });
 }
 

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Fault injection & graceful degradation acceptance tests:
+ *   (a) zero-fault runs are bit-identical with and without the fault
+ *       subsystem engaged (null plan == empty plan == fast path);
+ *   (b) fail-stop of one hot worker: the run completes, the SpMM output
+ *       is correct, and migrated tiles are reported;
+ *   (c) killing an entire worker class degrades to homogeneous
+ *       execution on the surviving class and still completes;
+ *   (d) a fixed seed yields a bit-identical fault schedule and final
+ *       output; exhausted recovery fails with FatalError, never hangs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+struct FaultFixture
+{
+    Architecture arch;
+    CooMatrix m;
+    TileGrid grid;
+    DenseMatrix din;
+    KernelConfig kernel;
+
+    FaultFixture(Architecture a, CooMatrix matrix)
+        : arch(std::move(a)), m(std::move(matrix)),
+          grid(m, arch.tile_height, arch.tile_width), din(m.cols(), 32)
+    {
+        Rng rng(123);
+        din.fillRandom(rng);
+    }
+
+    SimConfig
+    cfg(const FaultPlan* plan = nullptr)
+    {
+        SimConfig c;
+        c.compute_values = true;
+        c.din = &din;
+        c.faults = plan;
+        return c;
+    }
+
+    std::vector<uint8_t>
+    alternating() const
+    {
+        std::vector<uint8_t> is_hot(grid.numTiles(), 0);
+        for (size_t i = 0; i < is_hot.size(); i += 2)
+            is_hot[i] = 1;
+        return is_hot;
+    }
+};
+
+/** Tight supervision so tests observe failures quickly. */
+FaultPlan
+testPolicy()
+{
+    FaultPlan plan;
+    plan.watchdog_interval = 256;
+    plan.stall_budget = 20000;
+    plan.max_retries = 3;
+    return plan;
+}
+
+FaultEvent
+failStop(bool hot, uint32_t pe, Tick at)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::PeFailStop;
+    ev.hot = hot;
+    ev.pe = pe;
+    ev.at = at;
+    return ev;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------- (a)
+
+TEST(FaultInjection, ZeroFaultRunsAreBitIdentical)
+{
+    FaultFixture s(makeSpadeSextans(4),
+                   genRmat(1024, 12000, 0.57, 0.19, 0.19, 0.05, 61));
+    const auto is_hot = s.alternating();
+
+    SimOutput base = simulateExecution(s.arch, s.grid, is_hot,
+                                       /*serial=*/false, s.kernel, s.cfg());
+    FaultPlan empty;  // non-null but empty: must take the fast path too
+    SimOutput with_empty = simulateExecution(
+        s.arch, s.grid, is_hot, /*serial=*/false, s.kernel, s.cfg(&empty));
+
+    EXPECT_EQ(base.stats.cycles, with_empty.stats.cycles);
+    EXPECT_EQ(base.stats.hot_nnz, with_empty.stats.hot_nnz);
+    EXPECT_EQ(base.stats.cold_nnz, with_empty.stats.cold_nnz);
+    EXPECT_EQ(base.stats.mem_bytes, with_empty.stats.mem_bytes);
+    EXPECT_EQ(base.dout.data(), with_empty.dout.data());  // bit-exact
+    EXPECT_EQ(base.stats.faults.injected, 0u);
+    EXPECT_EQ(base.stats.faults.workers_failed, 0u);
+    EXPECT_FALSE(base.stats.faults.degraded_mode);
+}
+
+// ----------------------------------------------------------------- (b)
+
+TEST(FaultInjection, HotWorkerFailStopMigratesAndCompletes)
+{
+    // PIUMA has two hot STPs: killing one leaves a same-class survivor.
+    FaultFixture s(makePiuma(), genMesh(1024, 8.0, 100.0, 63));
+    const auto is_hot = s.alternating();
+
+    FaultPlan plan = testPolicy();
+    plan.events.push_back(failStop(/*hot=*/true, 0, /*at=*/200));
+
+    SimOutput out = simulateExecution(s.arch, s.grid, is_hot,
+                                      /*serial=*/false, s.kernel,
+                                      s.cfg(&plan));
+    DenseMatrix ref = referenceSpmm(s.m, s.din);
+    EXPECT_TRUE(out.dout.approxEqual(ref, 1e-3));
+    EXPECT_EQ(out.stats.total_nnz, s.m.nnz());
+    EXPECT_EQ(out.stats.faults.injected, 1u);
+    EXPECT_EQ(out.stats.faults.workers_failed, 1u);
+    EXPECT_GT(out.stats.faults.tiles_migrated, 0u);
+    EXPECT_GT(out.stats.faults.nnz_redispatched, 0u);
+    // The surviving STP absorbs the work: no class died.
+    EXPECT_FALSE(out.stats.faults.degraded_mode);
+}
+
+TEST(FaultInjection, ColdWorkerFailStopMigratesAndCompletes)
+{
+    FaultFixture s(makeSpadeSextans(2),
+                   genCommunity(1024, 20.0, 32, 128, 0.8, 62));
+    const auto is_hot = s.alternating();
+
+    FaultPlan plan = testPolicy();
+    plan.events.push_back(failStop(/*hot=*/false, 1, /*at=*/300));
+
+    SimOutput out = simulateExecution(s.arch, s.grid, is_hot,
+                                      /*serial=*/false, s.kernel,
+                                      s.cfg(&plan));
+    DenseMatrix ref = referenceSpmm(s.m, s.din);
+    EXPECT_TRUE(out.dout.approxEqual(ref, 1e-3));
+    EXPECT_EQ(out.stats.faults.workers_failed, 1u);
+    EXPECT_GT(out.stats.faults.tiles_migrated, 0u);
+    EXPECT_FALSE(out.stats.faults.degraded_mode);
+}
+
+// ----------------------------------------------------------------- (c)
+
+TEST(FaultInjection, WholeHotClassDeathDegradesToCold)
+{
+    // SPADE-Sextans has exactly one hot worker: killing it kills the
+    // class, and the run must degrade to homogeneous cold execution.
+    FaultFixture s(makeSpadeSextans(2), genMesh(1024, 8.0, 100.0, 64));
+    const auto is_hot = s.alternating();
+
+    FaultPlan plan = testPolicy();
+    plan.events.push_back(failStop(/*hot=*/true, 0, /*at=*/100));
+
+    SimOutput out = simulateExecution(s.arch, s.grid, is_hot,
+                                      /*serial=*/false, s.kernel,
+                                      s.cfg(&plan));
+    DenseMatrix ref = referenceSpmm(s.m, s.din);
+    EXPECT_TRUE(out.dout.approxEqual(ref, 1e-3));
+    EXPECT_EQ(out.stats.faults.workers_failed, 1u);
+    EXPECT_TRUE(out.stats.faults.degraded_mode);
+    EXPECT_GT(out.stats.faults.tiles_migrated, 0u);
+    EXPECT_GT(out.stats.cold_nnz, 0u);
+    EXPECT_EQ(out.stats.hot_nnz + out.stats.cold_nnz, s.m.nnz());
+}
+
+// ------------------------------------------------- non-fatal faults
+
+TEST(FaultInjection, SlowdownLinkAndMemFaultsStayCorrect)
+{
+    FaultFixture s(makeSpadeSextans(4),
+                   genRmat(1024, 12000, 0.57, 0.19, 0.19, 0.05, 61));
+    const auto is_hot = s.alternating();
+
+    FaultPlan plan = testPolicy();
+    FaultEvent slow;
+    slow.kind = FaultKind::PeSlowdown;
+    slow.hot = false;
+    slow.pe = 2;
+    slow.at = 100;
+    slow.until = 5000;
+    slow.factor = 6.0;
+    plan.events.push_back(slow);
+    FaultEvent spike;
+    spike.kind = FaultKind::MemLatencySpike;
+    spike.at = 500;
+    spike.until = 4000;
+    spike.factor = 0.5;
+    spike.extra_latency = 300;
+    plan.events.push_back(spike);
+    FaultEvent link;
+    link.kind = FaultKind::LinkDegrade;
+    link.hot = false;
+    link.pe = 1;
+    link.at = 800;
+    link.until = 3000;
+    link.factor = 0.25;
+    plan.events.push_back(link);
+
+    SimOutput out = simulateExecution(s.arch, s.grid, is_hot,
+                                      /*serial=*/false, s.kernel,
+                                      s.cfg(&plan));
+    DenseMatrix ref = referenceSpmm(s.m, s.din);
+    EXPECT_TRUE(out.dout.approxEqual(ref, 1e-3));
+    EXPECT_EQ(out.stats.faults.injected, 3u);
+    // Degrading without killing must not trigger migrations.
+    EXPECT_EQ(out.stats.faults.workers_failed, 0u);
+    EXPECT_EQ(out.stats.total_nnz, s.m.nnz());
+    EXPECT_GT(out.stats.cycles, 0u);
+}
+
+// ----------------------------------------------------------------- (d)
+
+TEST(FaultInjection, SeededPlanIsReproducible)
+{
+    const Architecture arch = makeSpadeSextans(4);
+    FaultSpec spec;
+    spec.fail_stops = 2;
+    spec.slowdowns = 3;
+    spec.link_degrades = 1;
+    spec.mem_spikes = 2;
+    FaultPlan a = makeFaultPlan(77, arch, spec);
+    FaultPlan b = makeFaultPlan(77, arch, spec);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    ASSERT_EQ(a.events.size(), 8u);
+    for (size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+        EXPECT_EQ(a.events[i].hot, b.events[i].hot);
+        EXPECT_EQ(a.events[i].pe, b.events[i].pe);
+        EXPECT_EQ(a.events[i].at, b.events[i].at);
+        EXPECT_EQ(a.events[i].until, b.events[i].until);
+        EXPECT_EQ(a.events[i].factor, b.events[i].factor);
+        EXPECT_EQ(a.events[i].extra_latency, b.events[i].extra_latency);
+    }
+    FaultPlan c = makeFaultPlan(78, arch, spec);
+    bool differs = false;
+    for (size_t i = 0; i < c.events.size(); ++i)
+        differs = differs || c.events[i].at != a.events[i].at;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjection, SameSeedSameFaultedOutcome)
+{
+    FaultFixture s(makePiuma(), genMesh(1024, 8.0, 100.0, 63));
+    const auto is_hot = s.alternating();
+    FaultSpec spec;
+    spec.fail_stops = 1;
+    spec.mem_spikes = 1;
+    spec.horizon = 2000;
+    FaultPlan plan = makeFaultPlan(1234, s.arch, spec);
+    plan.watchdog_interval = 256;
+    plan.stall_budget = 20000;
+
+    SimOutput a = simulateExecution(s.arch, s.grid, is_hot,
+                                    /*serial=*/false, s.kernel, s.cfg(&plan));
+    SimOutput b = simulateExecution(s.arch, s.grid, is_hot,
+                                    /*serial=*/false, s.kernel, s.cfg(&plan));
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.faults.workers_failed, b.stats.faults.workers_failed);
+    EXPECT_EQ(a.stats.faults.tiles_migrated, b.stats.faults.tiles_migrated);
+    EXPECT_EQ(a.stats.faults.nnz_redispatched,
+              b.stats.faults.nnz_redispatched);
+    EXPECT_EQ(a.dout.data(), b.dout.data());  // bit-exact
+}
+
+// ------------------------------------------------- failure semantics
+
+TEST(FaultInjection, AllWorkersDeadFailsFatallyNotForever)
+{
+    FaultFixture s(makeSpadeSextans(1), genMesh(512, 8.0, 50.0, 65));
+    const auto is_hot = s.alternating();
+
+    FaultPlan plan;
+    plan.watchdog_interval = 128;
+    plan.stall_budget = 2048;
+    plan.max_retries = 2;
+    // SPADE-Sextans(1): 4 cold PEs + 1 hot PE.  Kill everything.
+    for (uint32_t pe = 0; pe < 4; ++pe)
+        plan.events.push_back(failStop(false, pe, 50));
+    plan.events.push_back(failStop(true, 0, 50));
+
+    EXPECT_THROW(simulateExecution(s.arch, s.grid, is_hot, /*serial=*/false,
+                                   s.kernel, s.cfg(&plan)),
+                 FatalError);
+}
+
+TEST(FaultInjection, FaultSpecParses)
+{
+    FaultSpec spec =
+        parseFaultSpec("failstop=1, slowdown=2,linkdegrade=3,memspike=4,"
+                       "horizon=5000");
+    EXPECT_EQ(spec.fail_stops, 1u);
+    EXPECT_EQ(spec.slowdowns, 2u);
+    EXPECT_EQ(spec.link_degrades, 3u);
+    EXPECT_EQ(spec.mem_spikes, 4u);
+    EXPECT_EQ(spec.horizon, 5000u);
+
+    EXPECT_THROW(parseFaultSpec(""), FatalError);
+    EXPECT_THROW(parseFaultSpec("failstop"), FatalError);
+    EXPECT_THROW(parseFaultSpec("failstop=x"), FatalError);
+    EXPECT_THROW(parseFaultSpec("bogus=1"), FatalError);
+    EXPECT_THROW(parseFaultSpec("horizon=0"), FatalError);
+    EXPECT_THROW(parseFaultSpec("failstop=1;slowdown=2"), FatalError);
+}

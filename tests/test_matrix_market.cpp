@@ -107,6 +107,93 @@ TEST(MatrixMarket, RejectsMissingFile)
     EXPECT_THROW(readMatrixMarketFile("/nonexistent/file.mtx"), FatalError);
 }
 
+TEST(MatrixMarket, RejectsNonFiniteValues)
+{
+    const char* bodies[] = {"1 1 nan\n", "1 1 inf\n", "1 1 -inf\n",
+                            "1 1 1e400\n"};
+    for (const char* body : bodies) {
+        std::istringstream is(
+            std::string("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n") +
+            body);
+        SCOPED_TRACE(body);
+        EXPECT_THROW(readMatrixMarket(is), FatalError);
+    }
+}
+
+TEST(MatrixMarket, RejectsValueOverflowingFloat)
+{
+    // Finite as double but +inf after the fp32 narrowing.
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 1e39\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsOverflowingDimensions)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "99999999999 2 1\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsEntryCountBeyondCapacity)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 5\n"
+        "1 1 1.0\n"
+        "1 2 1.0\n"
+        "2 1 1.0\n"
+        "2 2 1.0\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsAbsurdEntryClaimWithoutAllocating)
+{
+    // The claimed entry count is structurally possible but absurd; the
+    // reader must fail on the truncated body, not die in reserve().
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4000000000 4000000000 18000000000000000000\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsMissingSizeLine)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% only comments follow\n"
+        "% and then the file ends\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsMalformedSizeAndEntryLines)
+{
+    const char* files[] = {
+        // size line with too few fields
+        "%%MatrixMarket matrix coordinate real general\n2 2\n",
+        // size line with garbage
+        "%%MatrixMarket matrix coordinate real general\nx y z\n",
+        // entry with missing value
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+        // entry with non-numeric index
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\na 1 1.0\n",
+        // zero (one-based) index
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
+    };
+    for (const char* f : files) {
+        std::istringstream is(f);
+        SCOPED_TRACE(f);
+        EXPECT_THROW(readMatrixMarket(is), FatalError);
+    }
+}
+
 TEST(MatrixMarket, WriteReadRoundTrip)
 {
     CooMatrix m = genUniform(40, 60, 200, 7);

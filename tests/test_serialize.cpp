@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/random.hpp"
 #include "core/calibrate.hpp"
 #include "core/hottiles.hpp"
 #include "core/serialize.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/matrix_market.hpp"
 
 using namespace hottiles;
 
@@ -127,4 +130,106 @@ TEST(Serialize, BitmapEdgeSizes)
         PartitionFile back = readPartition(ss);
         EXPECT_EQ(back.partition.is_hot, pf.partition.is_hot) << tiles;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption property tests: randomly damaging a serialized artifact must
+// either round-trip to a structurally valid object or throw FatalError —
+// never crash, hang, or return garbage.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Apply 1-4 random byte-level mutations (substitute/delete/insert/
+ *  truncate) to @p s. */
+std::string
+corrupt(std::string s, Rng& rng)
+{
+    const int muts = 1 + int(rng.nextBounded(4));
+    for (int i = 0; i < muts; ++i) {
+        if (s.empty()) {
+            s.push_back(char(rng.nextBounded(256)));
+            continue;
+        }
+        const size_t pos = rng.nextBounded(s.size());
+        switch (rng.nextBounded(4)) {
+        case 0:
+            s[pos] = char(rng.nextBounded(256));
+            break;
+        case 1:
+            s.erase(pos, 1);
+            break;
+        case 2:
+            s.insert(pos, 1, char(rng.nextBounded(256)));
+            break;
+        case 3:
+            s.resize(pos);  // truncation
+            break;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(Serialize, CorruptedPartitionFileNeverCrashes)
+{
+    Fixture f;
+    PartitionFile pf;
+    pf.partition = f.makePartition();
+    pf.matrix_name = "fuzz";
+    pf.tile_height = 256;
+    pf.tile_width = 256;
+    pf.grid_fingerprint = gridFingerprint(f.grid);
+    std::ostringstream os;
+    writePartition(pf, os);
+    const std::string golden = os.str();
+
+    Rng rng(999);
+    int loaded = 0, rejected = 0;
+    for (int iter = 0; iter < 500; ++iter) {
+        std::istringstream is(corrupt(golden, rng));
+        try {
+            PartitionFile back = readPartition(is);
+            // A survivor must be structurally sane: the bitmap length
+            // matched the tile count, so the assignment is well formed.
+            EXPECT_EQ(back.partition.is_hot.size() == 0,
+                      back.partition.is_hot.empty());
+            ++loaded;
+        } catch (const FatalError&) {
+            ++rejected;  // the expected outcome for most mutations
+        }
+    }
+    // The fuzzer must actually exercise the rejection paths.
+    EXPECT_GT(rejected, 0);
+    EXPECT_EQ(loaded + rejected, 500);
+}
+
+TEST(Serialize, CorruptedMatrixMarketNeverCrashes)
+{
+    CooMatrix m = genUniform(64, 48, 300, 17);
+    std::ostringstream os;
+    writeMatrixMarket(m, os);
+    const std::string golden = os.str();
+
+    Rng rng(1000);
+    int loaded = 0, rejected = 0;
+    for (int iter = 0; iter < 500; ++iter) {
+        std::istringstream is(corrupt(golden, rng));
+        try {
+            CooMatrix back = readMatrixMarket(is);
+            // A survivor must uphold the parser's guarantees: indices in
+            // range and finite values.
+            for (size_t i = 0; i < back.nnz(); ++i) {
+                ASSERT_LT(back.rowId(i), back.rows());
+                ASSERT_LT(back.colId(i), back.cols());
+                ASSERT_TRUE(std::isfinite(back.value(i)));
+            }
+            ++loaded;
+        } catch (const FatalError&) {
+            ++rejected;
+        }
+    }
+    EXPECT_GT(rejected, 0);
+    EXPECT_EQ(loaded + rejected, 500);
 }

@@ -28,8 +28,13 @@
  *   --seed N     IUnaware randomization seed
  *   --threads N  worker threads for preprocessing/kernels
  *                (default: HOTTILES_THREADS env or all hardware threads)
+ *   --faults SPEC   inject faults into `simulate` runs; SPEC is
+ *                comma-separated key=N with keys failstop, slowdown,
+ *                linkdegrade, memspike, horizon (sim/fault_injector.hpp)
+ *   --fault-seed N  seed of the fault plan composition  (default 1)
  */
 
+#include <charconv>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -48,6 +53,7 @@
 #include "core/explorer.hpp"
 #include "core/serialize.hpp"
 #include "core/tile_search.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/trace.hpp"
 #include "sparse/imh_stats.hpp"
 #include "sparse/matrix_market.hpp"
@@ -71,8 +77,32 @@ struct Options
     std::string out_file;
     std::string load_file;
     std::string trace_file;
+    std::string faults_spec;
+    uint64_t fault_seed = 1;
     int total = 8;
 };
+
+/** Checked numeric argument parsing: every malformed value is a clean
+ *  FatalError (caught in main) instead of an uncaught std:: exception. */
+uint64_t
+parseU64Arg(const std::string& v, const char* what)
+{
+    uint64_t out = 0;
+    auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    HT_FATAL_IF(ec != std::errc() || p != v.data() + v.size(),
+                "bad value for ", what, ": '", v, "'");
+    return out;
+}
+
+double
+parseF64Arg(const std::string& v, const char* what)
+{
+    double out = 0;
+    auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    HT_FATAL_IF(ec != std::errc() || p != v.data() + v.size(),
+                "bad value for ", what, ": '", v, "'");
+    return out;
+}
 
 [[noreturn]] void
 usage(const char* argv0)
@@ -81,7 +111,7 @@ usage(const char* argv0)
               << " suite|analyze|partition|simulate|explore <matrix> "
                  "[--arch A] [--kernel K] [--k N] [--ai X] [--tile N] "
                  "[--seed N] [--out F] [--load F] [--total N] "
-                 "[--threads N]\n"
+                 "[--threads N] [--faults SPEC] [--fault-seed N]\n"
                  "<matrix> is a .mtx path or @name for a built-in proxy\n";
     std::exit(2);
 }
@@ -111,29 +141,31 @@ parseArgs(int argc, char** argv)
         else if (a == "--kernel")
             o.kernel_name = next("--kernel");
         else if (a == "--k")
-            o.k = static_cast<uint32_t>(std::stoul(next("--k")));
+            o.k = static_cast<uint32_t>(parseU64Arg(next("--k"), "--k"));
         else if (a == "--ai")
-            o.ai = std::stod(next("--ai"));
+            o.ai = parseF64Arg(next("--ai"), "--ai");
         else if (a == "--tile")
-            o.tile = static_cast<Index>(std::stoul(next("--tile")));
+            o.tile =
+                static_cast<Index>(parseU64Arg(next("--tile"), "--tile"));
         else if (a == "--seed")
-            o.seed = std::stoull(next("--seed"));
+            o.seed = parseU64Arg(next("--seed"), "--seed");
         else if (a == "--out")
             o.out_file = next("--out");
         else if (a == "--load")
             o.load_file = next("--load");
-        else if (a == "--total")
-            o.total = std::stoi(next("--total"));
-        else if (a == "--trace")
+        else if (a == "--total") {
+            uint64_t t = parseU64Arg(next("--total"), "--total");
+            HT_FATAL_IF(t == 0 || t > 1024, "--total must be in [1, 1024]");
+            o.total = static_cast<int>(t);
+        } else if (a == "--trace")
             o.trace_file = next("--trace");
-        else if (a == "--threads") {
-            std::string v = next("--threads");
-            char* endp = nullptr;
-            unsigned long nthreads = std::strtoul(v.c_str(), &endp, 10);
-            if (endp == v.c_str() || *endp != '\0')
-                HT_FATAL("bad value for --threads: '", v, "'");
-            o.threads = static_cast<unsigned>(nthreads);
-        }
+        else if (a == "--faults")
+            o.faults_spec = next("--faults");
+        else if (a == "--fault-seed")
+            o.fault_seed = parseU64Arg(next("--fault-seed"), "--fault-seed");
+        else if (a == "--threads")
+            o.threads = static_cast<unsigned>(
+                parseU64Arg(next("--threads"), "--threads"));
         else
             HT_FATAL("unknown option '", a, "'");
     }
@@ -147,7 +179,13 @@ makeArch(const Options& o)
     std::string base = toLower(parts[0]);
     Architecture arch;
     if (base == "spade-sextans") {
-        int scale = parts.size() > 1 ? std::stoi(std::string(parts[1])) : 4;
+        int scale = 4;
+        if (parts.size() > 1) {
+            uint64_t s = parseU64Arg(std::string(parts[1]), "--arch scale");
+            HT_FATAL_IF(s == 0 || s > 256,
+                        "--arch scale must be in [1, 256]");
+            scale = static_cast<int>(s);
+        }
         arch = makeSpadeSextans(scale);
     } else if (base == "pcie") {
         arch = makeSpadeSextansPcie();
@@ -283,6 +321,19 @@ cmdSimulate(const Options& o)
     opts.iunaware_seed = o.seed;
     opts.build_formats = false;
 
+    FaultPlan plan;
+    const FaultPlan* faults = nullptr;
+    if (!o.faults_spec.empty()) {
+        plan = makeFaultPlan(o.fault_seed, arch,
+                             parseFaultSpec(o.faults_spec));
+        faults = &plan;
+        std::cout << "injecting " << plan.events.size()
+                  << " fault(s) from seed " << o.fault_seed << ":";
+        for (const FaultEvent& ev : plan.events)
+            std::cout << " " << faultKindName(ev.kind) << "@" << ev.at;
+        std::cout << "\n";
+    }
+
     if (!o.load_file.empty()) {
         TileGrid grid(m, arch.tile_height, arch.tile_width);
         Partition p = readPartitionFile(o.load_file, grid);
@@ -296,29 +347,61 @@ cmdSimulate(const Options& o)
             tw = std::make_unique<TraceWriter>(trace_stream);
             scfg.trace = tw.get();
         }
+        scfg.faults = faults;
         SimOutput out = simulateExecution(arch, grid, p.is_hot, p.serial,
                                           opts.kernel, scfg);
         std::cout << "loaded partition (" << p.heuristic << "): "
                   << out.stats.cycles << " cycles, " << out.stats.ms
                   << " ms, " << out.stats.avg_bw_gbps << " GB/s\n";
+        if (faults) {
+            const FaultStats& fs = out.stats.faults;
+            std::cout << "faults: " << fs.injected << " injected, "
+                      << fs.workers_failed << " PEs dead, "
+                      << fs.tiles_migrated << " tiles migrated ("
+                      << fs.nnz_redispatched << " nnz)"
+                      << (fs.degraded_mode ? ", DEGRADED to homogeneous"
+                                           : "")
+                      << "\n"
+                      << "predicted (fault-free) " << p.predicted_cycles
+                      << " cycles vs achieved " << out.stats.cycles << "\n";
+        }
         if (tw)
             std::cout << "wrote " << tw->rows() << " trace rows to "
                       << o.trace_file << "\n";
         return 0;
     }
 
-    MatrixEvaluation ev = evaluateMatrix(arch, m, o.matrix, opts);
-    Table t({"Strategy", "Cycles", "ms", "Speedup vs worst", "BW GB/s"});
+    MatrixEvaluation ev = evaluateMatrix(arch, m, o.matrix, opts, faults);
+    std::vector<std::string> cols = {"Strategy", "Cycles", "ms",
+                                     "Speedup vs worst", "BW GB/s"};
+    if (faults) {
+        // Predicted-vs-achieved under faults, plus the recovery columns.
+        cols.push_back("Predicted");
+        cols.push_back("PEs dead");
+        cols.push_back("Migrated");
+    }
+    Table t(cols);
     auto row = [&](const char* name, const StrategyOutcome& s) {
-        t.addRow({name, Table::num(s.cycles(), 0), Table::num(s.ms(), 3),
-                  Table::num(ev.speedupOverWorst(s), 2),
-                  Table::num(s.stats.avg_bw_gbps, 1)});
+        std::vector<std::string> r = {
+            name, Table::num(s.cycles(), 0), Table::num(s.ms(), 3),
+            Table::num(ev.speedupOverWorst(s), 2),
+            Table::num(s.stats.avg_bw_gbps, 1)};
+        if (faults) {
+            r.push_back(Table::num(s.predicted_cycles, 0));
+            r.push_back(std::to_string(s.stats.faults.workers_failed));
+            r.push_back(std::to_string(s.stats.faults.tiles_migrated) +
+                        (s.stats.faults.degraded_mode ? "*" : ""));
+        }
+        t.addRow(r);
     };
     row("HotOnly", ev.hot_only);
     row("ColdOnly", ev.cold_only);
     row("IUnaware", ev.iunaware);
     row("HotTiles", ev.hottiles);
     t.print(std::cout);
+    if (faults)
+        std::cout << "(* = degraded to homogeneous execution after a "
+                     "worker class died)\n";
     std::cout << "HotTiles vs BestHomogeneous: "
               << Table::num(ev.bestHomogeneousCycles() /
                                 ev.hottiles.cycles(), 2)
@@ -363,6 +446,11 @@ main(int argc, char** argv)
             return cmdExplore(o);
         usage(argv[0]);
     } catch (const FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception& e) {
+        // Anything else that slipped through still exits with a clean
+        // one-line message instead of an abort/backtrace.
         std::cerr << "error: " << e.what() << "\n";
         return 1;
     }
