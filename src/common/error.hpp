@@ -69,3 +69,18 @@ concatToString(Args&&... args)
                     "assertion failed: " #cond " ", ##__VA_ARGS__)); \
         } \
     } while (0)
+
+/**
+ * Hot-path invariant check: identical to HT_ASSERT in debug builds,
+ * compiled out under NDEBUG.  Reserve it for per-event checks inside
+ * the simulator loop where the branch itself is measurable; anything
+ * off the event hot path should stay on HT_ASSERT.
+ */
+#ifdef NDEBUG
+#define HT_DASSERT(cond, ...) \
+    do { \
+        (void)sizeof(cond); \
+    } while (0)
+#else
+#define HT_DASSERT(cond, ...) HT_ASSERT(cond, ##__VA_ARGS__)
+#endif

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/worklist.hpp"
 
 namespace hottiles {
 
@@ -56,8 +57,14 @@ evaluateMatrix(const Architecture& arch, const CooMatrix& a,
     // writes its own MatrixEvaluation slot.  Any fault plan applies to
     // every strategy while the predictions stay fault-free, so the
     // evaluation exposes predicted-vs-achieved under faults.
+    // The strategies' tile sets largely coincide (HotOnly and a
+    // mostly-hot partition want the same all-hot TiledWork, ColdOnly
+    // and IUnaware share cold panels), so one cache serves all four
+    // concurrent simulations and each distinct work list builds once.
+    WorkListCache work_cache;
     SimConfig scfg;
     scfg.faults = faults;
+    scfg.work_cache = &work_cache;
     const std::function<void()> sims[] = {
         [&] {
             ev.hot_only.strategy = Strategy::HotOnly;

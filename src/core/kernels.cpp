@@ -1,9 +1,35 @@
 #include "core/kernels.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
 namespace hottiles {
+
+namespace {
+
+/** rowAlignedChunkBounds over a permuted row view: chunk boundaries of
+ *  roughly @p grain entries that never split a row. */
+std::vector<size_t>
+permutedChunkBounds(const std::vector<Index>& rows,
+                    const std::vector<uint32_t>& perm, size_t grain)
+{
+    const size_t n = perm.size();
+    std::vector<size_t> bounds;
+    bounds.push_back(0);
+    size_t e = 0;
+    while (e < n) {
+        e = std::min(e + grain, n);
+        while (e < n && rows[perm[e]] == rows[perm[e - 1]])
+            ++e;
+        bounds.push_back(e);
+    }
+    return bounds;
+}
+
+} // namespace
 
 std::vector<Value>
 referenceSpmv(const CooMatrix& a, const std::vector<Value>& x)
@@ -12,22 +38,39 @@ referenceSpmv(const CooMatrix& a, const std::vector<Value>& x)
 
     // Row-panel parallelism: chunks never split a row, so each acc
     // entry is owned by one chunk and sums in the serial order.
-    const CooMatrix* src = &a;
-    CooMatrix sorted;
-    if (!a.isRowMajorSorted()) {
-        sorted = a;
-        sorted.sortRowMajor();
-        src = &sorted;
-    }
     std::vector<double> acc(a.rows(), 0.0);
-    std::vector<size_t> bounds = rowAlignedChunkBounds(src->rowIds(),
-                                                       kGrainNnz);
-    parallelFor(0, bounds.size() - 1, 1, [&](size_t cb, size_t ce) {
-        for (size_t c = cb; c < ce; ++c)
-            for (size_t i = bounds[c]; i < bounds[c + 1]; ++i)
-                acc[src->rowId(i)] +=
-                    double(src->value(i)) * double(x[src->colId(i)]);
-    });
+    if (a.isRowMajorSorted()) {
+        std::vector<size_t> bounds = rowAlignedChunkBounds(a.rowIds(),
+                                                           kGrainNnz);
+        parallelFor(0, bounds.size() - 1, 1, [&](size_t cb, size_t ce) {
+            for (size_t c = cb; c < ce; ++c)
+                for (size_t i = bounds[c]; i < bounds[c + 1]; ++i)
+                    acc[a.rowId(i)] +=
+                        double(a.value(i)) * double(x[a.colId(i)]);
+        });
+    } else {
+        // Sort an index permutation only — same comparator and sort as
+        // CooMatrix::sortRowMajor, so the accumulation order (and thus
+        // the fp32-rounded result) is bit-identical to sorting a copy,
+        // without the O(nnz) triple-array copy and gather.
+        std::vector<uint32_t> perm(a.nnz());
+        std::iota(perm.begin(), perm.end(), uint32_t(0));
+        std::sort(perm.begin(), perm.end(), [&](uint32_t i, uint32_t j) {
+            const Index ri = a.rowId(i);
+            const Index rj = a.rowId(j);
+            return ri != rj ? ri < rj : a.colId(i) < a.colId(j);
+        });
+        std::vector<size_t> bounds =
+            permutedChunkBounds(a.rowIds(), perm, kGrainNnz);
+        parallelFor(0, bounds.size() - 1, 1, [&](size_t cb, size_t ce) {
+            for (size_t c = cb; c < ce; ++c)
+                for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+                    const uint32_t p = perm[i];
+                    acc[a.rowId(p)] +=
+                        double(a.value(p)) * double(x[a.colId(p)]);
+                }
+        });
+    }
     std::vector<Value> y(a.rows());
     for (size_t i = 0; i < y.size(); ++i)
         y[i] = static_cast<Value>(acc[i]);

@@ -1,41 +1,210 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
 #include "common/error.hpp"
 
 namespace hottiles {
+
+namespace {
+
+std::atomic<EventQueue::Impl> g_default_impl{EventQueue::Impl::Calendar};
+
+} // namespace
+
+void
+EventQueue::setDefaultImpl(Impl impl)
+{
+    g_default_impl.store(impl, std::memory_order_relaxed);
+}
+
+EventQueue::Impl
+EventQueue::defaultImpl()
+{
+    return g_default_impl.load(std::memory_order_relaxed);
+}
+
+EventQueue::EventQueue(Impl impl) : impl_(impl)
+{
+    if (impl_ == Impl::Calendar)
+        buckets_.resize(kWheelSize);
+}
 
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
     HT_ASSERT(cb, "scheduling an empty callback");
+    if (impl_ == Impl::LegacyHeap) {
+        legacyPush(when, std::function<void()>(std::move(cb)));
+        return;
+    }
+    pushNode(when)->cb = std::move(cb);
+}
+
+void
+EventQueue::legacyPush(Tick when, std::function<void()> fn)
+{
     if (when < now_)
         when = now_;
-    heap_.push(Event{when, seq_++, std::move(cb)});
+    heap_.push(LegacyEvent{when, seq_++, std::move(fn)});
+    ++pending_;
+    if (pending_ > peak_pending_)
+        peak_pending_ = pending_;
+}
+
+EventQueue::Node*
+EventQueue::allocSlow()
+{
+    if (chunk_used_ == kChunkNodes) {
+        chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+        chunk_used_ = 0;
+    }
+    return &chunks_.back()[chunk_used_++];
+}
+
+void
+EventQueue::overflowInsert(Node* n)
+{
+    overflow_.push_back(n);
+    const auto later = [](const Node* a, const Node* b) {
+        return a->when != b->when ? a->when > b->when : a->seq > b->seq;
+    };
+    std::push_heap(overflow_.begin(), overflow_.end(), later);
+}
+
+size_t
+EventQueue::earliestBucket() const
+{
+    // Circular first-set-bit scan starting at now's residue: positions
+    // [start, kWheelSize) are nearer in time than the wrapped
+    // [0, start) range.
+    const size_t start = size_t(now_) & (kWheelSize - 1);
+    const size_t w0 = start >> 6;
+    const uint64_t first = occ_words_[w0] & (~uint64_t(0) << (start & 63));
+    if (first)
+        return (w0 << 6) + size_t(std::countr_zero(first));
+    const uint64_t hi =
+        (w0 + 1 < kWheelWords) ? occ_summary_ & (~uint64_t(0) << (w0 + 1))
+                               : 0;
+    if (hi) {
+        const size_t w = size_t(std::countr_zero(hi));
+        return (w << 6) + size_t(std::countr_zero(occ_words_[w]));
+    }
+    const uint64_t lo_mask = (w0 == 63) ? ~uint64_t(0)
+                                        : (uint64_t(1) << (w0 + 1)) - 1;
+    const uint64_t lo = occ_summary_ & lo_mask;
+    HT_DASSERT(lo != 0, "earliest-bucket scan on an empty wheel");
+    // lo != 0 by the caller's wheel_count_ > 0 guard; the mask keeps the
+    // countr_zero(0) == 64 case in bounds for the optimizer's sake.
+    const size_t w = size_t(std::countr_zero(lo)) & (kWheelWords - 1);
+    uint64_t bits = occ_words_[w];
+    if (w == w0)  // only wrapped bits below start remain in this word
+        bits &= ~(~uint64_t(0) << (start & 63));
+    HT_DASSERT(bits != 0, "occupancy summary out of sync");
+    return (w << 6) + size_t(std::countr_zero(bits));
+}
+
+EventQueue::Node*
+EventQueue::takeEarliest(Tick limit)
+{
+    size_t bucket = 0;
+    Node* wheel_n = nullptr;
+    if (wheel_count_ > 0) {
+        bucket = earliestBucket();
+        wheel_n = buckets_[bucket].head;
+    }
+    if (!overflow_.empty()) {
+        Node* over_n = overflow_.front();
+        // On a when-tie the overflow side always wins: an event entered
+        // the overflow only while its tick was >= now + kWheelSize, and
+        // a same-tick wheel event entered strictly later (tick within
+        // kWheelSize of now), so every overflow seq at this tick is
+        // smaller than every wheel seq at it.
+        if (!wheel_n || over_n->when <= wheel_n->when) {
+            if (over_n->when > limit)
+                return nullptr;
+            const auto later = [](const Node* a, const Node* b) {
+                return a->when != b->when ? a->when > b->when
+                                          : a->seq > b->seq;
+            };
+            std::pop_heap(overflow_.begin(), overflow_.end(), later);
+            overflow_.pop_back();
+            return over_n;
+        }
+    }
+    if (!wheel_n || wheel_n->when > limit)
+        return nullptr;
+    Bucket& bk = buckets_[bucket];
+    bk.head = wheel_n->next;
+    if (!bk.head) {
+        bk.tail = nullptr;
+        occ_words_[bucket >> 6] &= ~(uint64_t(1) << (bucket & 63));
+        if (occ_words_[bucket >> 6] == 0)
+            occ_summary_ &= ~(uint64_t(1) << (bucket >> 6));
+    }
+    --wheel_count_;
+    return wheel_n;
+}
+
+void
+EventQueue::execute(Node* n)
+{
+    HT_DASSERT(n->when >= now_, "time went backwards");
+    now_ = n->when;
+    --pending_;
+    ++processed_;
+    // The node is off every list but not yet on the free list, and slab
+    // chunks never move — so the callback runs in place even if it
+    // schedules (which may carve new nodes but cannot touch this one).
+    n->cb();
+    n->cb.reset();
+    n->next = free_;
+    free_ = n;
 }
 
 bool
-EventQueue::runOne()
+EventQueue::legacyRunOne()
 {
     if (heap_.empty())
         return false;
     // priority_queue::top() is const; move out via const_cast is the
     // standard idiom here and safe because we pop immediately.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    LegacyEvent ev = std::move(const_cast<LegacyEvent&>(heap_.top()));
     heap_.pop();
-    HT_ASSERT(ev.when >= now_, "time went backwards");
+    HT_DASSERT(ev.when >= now_, "time went backwards");
     now_ = ev.when;
+    --pending_;
     ++processed_;
     ev.cb();
+    return true;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (impl_ == Impl::LegacyHeap)
+        return legacyRunOne();
+    Node* n = takeEarliest(~Tick(0));
+    if (!n)
+        return false;
+    execute(n);
     return true;
 }
 
 Tick
 EventQueue::runUntilEmpty(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        if (!runOne())
-            break;
+    if (impl_ == Impl::LegacyHeap) {
+        while (!heap_.empty() && heap_.top().when <= limit) {
+            if (!legacyRunOne())
+                break;
+        }
+        return now_;
     }
+    while (Node* n = takeEarliest(limit))
+        execute(n);
     return now_;
 }
 

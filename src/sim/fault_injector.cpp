@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -265,6 +266,8 @@ class FaultRun
     const SimConfig& cfg_;
     const FaultPlan& plan_;
 
+    double loop_ms_ = 0;  //!< wall time of the event loop (SimStats)
+
     EventQueue eq_;
     MemorySystem mem_;
     std::unique_ptr<Link> pcie_;
@@ -373,27 +376,15 @@ FaultRun::initialDispatch()
                                       "has no hot workers"
                                     : "cold tiles assigned but architecture "
                                       "has no cold workers");
-        std::stable_sort(ids.begin(), ids.end(), [&](size_t a, size_t b) {
-            return units_[a].nnz > units_[b].nnz;
-        });
-        std::vector<uint64_t> load(pes.size(), 0);
-        std::vector<std::vector<size_t>> shares(pes.size());
-        for (size_t id : ids) {
-            size_t best = 0;
-            for (size_t w = 1; w < pes.size(); ++w)
-                if (load[w] < load[best])
-                    best = w;
-            load[best] += units_[id].nnz;
-            shares[best].push_back(id);
-        }
-        for (size_t w = 0; w < pes.size(); ++w) {
-            std::sort(shares[w].begin(), shares[w].end(),
-                      [&](size_t a, size_t b) {
-                          return units_[a].tile < units_[b].tile;
-                      });
-            for (size_t id : shares[w])
-                dispatch(*pes[w], id);
-        }
+        std::vector<uint64_t> loads(ids.size());
+        for (size_t i = 0; i < ids.size(); ++i)
+            loads[i] = units_[ids[i]].nnz;
+        // ids ascend in unit (== tile) order, so the ascending positions
+        // each share returns are already the per-PE tile order.
+        auto shares = balancedShares(loads, static_cast<uint32_t>(pes.size()));
+        for (size_t w = 0; w < pes.size(); ++w)
+            for (size_t pos : shares[w])
+                dispatch(*pes[w], ids[pos]);
     }
 }
 
@@ -697,6 +688,17 @@ FaultRun::fillOutput(SimOutput& out)
     };
     st.hot_gflops = classGflops(hot_agg_, st.hot_finish);
     st.cold_gflops = classGflops(cold_agg_, st.cold_finish);
+    st.events_processed = eq_.processed();
+    st.peak_queue_depth = eq_.peakPending();
+    st.loop_ms = loop_ms_;
+    st.batched_events = mem_.coalescedDrains();
+    if (pcie_)
+        st.batched_events += pcie_->batchedEvents();
+    for (const auto& w : workers_) {
+        st.batched_events += w.pe->stats().batched;
+        if (w.port)
+            st.batched_events += w.port->batchedEvents();
+    }
     st.faults = fstats_;
 
     // Functional output.  Tiles are accumulated in ascending tile-id
@@ -763,7 +765,11 @@ FaultRun::run()
         // Degenerate empty matrix: nothing to supervise.
         finished_ = true;
     }
+    const auto loop_t0 = std::chrono::steady_clock::now();
     eq_.runUntilEmpty();
+    loop_ms_ = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - loop_t0)
+                   .count();
 
     HT_FATAL_IF(run_failed_, "fault-injected run failed: ", fail_reason_,
                 " (", fstats_.workers_failed, " workers dead, ",

@@ -1,0 +1,223 @@
+#pragma once
+
+/**
+ * @file
+ * Small-buffer callback for the event core.  The simulator schedules
+ * millions of tiny closures (a `this` pointer plus an index or two);
+ * `std::function` heap-allocates many of them and drags exception
+ * tables through the hot loop.  InlineCallback stores any callable up
+ * to 24 bytes directly in the event slab node — sized so a slab node
+ * (tick + sequence + chain pointer + callback) is exactly one 64-byte
+ * cache line — and falls back to the heap only for oversized captures
+ * (none exist on the simulator's per-event paths; the fallback keeps
+ * the type general for tests and rare per-run callbacks).
+ *
+ * Trivially copyable, trivially destructible targets (every hot-loop
+ * lambda: `[this]`, `[this, idx]`, `[this, begin, len]`) skip the ops
+ * table entirely: relocation is a fixed-size inline copy and
+ * destruction is free, so no indirect call ever runs on the
+ * schedule/move/destroy path — only the unavoidable one at invoke.
+ */
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hottiles {
+
+/** Type-erased `void()` callable with 24-byte inline storage. */
+class InlineCallback
+{
+  public:
+    static constexpr size_t kInlineBytes = 24;
+
+    InlineCallback() = default;
+    InlineCallback(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    InlineCallback(F&& f)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineCallback(const InlineCallback& o)
+        : invoke_(o.invoke_), ops_(o.ops_)
+    {
+        if (ops_)
+            ops_->copy(buf_, o.buf_);
+        else
+            std::memcpy(buf_, o.buf_, kInlineBytes);  // trivial or empty
+    }
+
+    InlineCallback(InlineCallback&& o) noexcept
+        : invoke_(o.invoke_), ops_(o.ops_)
+    {
+        if (ops_)
+            ops_->relocate(buf_, o.buf_);
+        else
+            std::memcpy(buf_, o.buf_, kInlineBytes);  // trivial or empty
+        o.invoke_ = nullptr;
+        o.ops_ = nullptr;
+    }
+
+    InlineCallback&
+    operator=(const InlineCallback& o)
+    {
+        if (this != &o) {
+            reset();
+            if (o.ops_)
+                o.ops_->copy(buf_, o.buf_);
+            else
+                std::memcpy(buf_, o.buf_, kInlineBytes);
+            invoke_ = o.invoke_;
+            ops_ = o.ops_;
+        }
+        return *this;
+    }
+
+    InlineCallback&
+    operator=(InlineCallback&& o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            invoke_ = o.invoke_;
+            ops_ = o.ops_;
+            if (ops_)
+                ops_->relocate(buf_, o.buf_);
+            else
+                std::memcpy(buf_, o.buf_, kInlineBytes);
+            o.invoke_ = nullptr;
+            o.ops_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~InlineCallback() { reset(); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    void operator()() { invoke_(buf_); }
+
+    /** Destroy the target (if any); the callback becomes empty. */
+    void
+    reset()
+    {
+        if (ops_)
+            ops_->destroy(buf_);
+        invoke_ = nullptr;
+        ops_ = nullptr;
+    }
+
+    /**
+     * Replace the target, constructing @p f directly in the inline
+     * buffer.  This is the zero-move path the event slab uses: a
+     * callable built in its slab node is never relocated again.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    void
+    assign(F&& f)
+    {
+        reset();
+        emplace(std::forward<F>(f));
+    }
+
+  private:
+    /** Manual vtable: relocate must be noexcept (storage handoff).
+     *  Null ops_ with a non-null invoke_ marks a trivially copyable,
+     *  trivially destructible inline target: moved with memcpy,
+     *  destroyed for free. */
+    struct Ops
+    {
+        void (*relocate)(void* dst, void* src);
+        void (*copy)(void* dst, const void* src);
+        void (*destroy)(void* p);
+    };
+
+    template <typename T>
+    static const Ops*
+    inlineOps()
+    {
+        static const Ops ops = {
+            [](void* dst, void* src) {
+                T* t = std::launder(reinterpret_cast<T*>(src));
+                ::new (dst) T(std::move(*t));
+                t->~T();
+            },
+            [](void* dst, const void* src) {
+                ::new (dst) T(*std::launder(reinterpret_cast<const T*>(src)));
+            },
+            [](void* p) { std::launder(reinterpret_cast<T*>(p))->~T(); },
+        };
+        return &ops;
+    }
+
+    template <typename T>
+    static const Ops*
+    heapOps()
+    {
+        static const Ops ops = {
+            [](void* dst, void* src) { std::memcpy(dst, src, sizeof(T*)); },
+            [](void* dst, const void* src) {
+                T* p;
+                std::memcpy(&p, src, sizeof(p));
+                T* q = new T(*p);
+                std::memcpy(dst, &q, sizeof(q));
+            },
+            [](void* b) {
+                T* p;
+                std::memcpy(&p, b, sizeof(p));
+                delete p;
+            },
+        };
+        return &ops;
+    }
+
+    template <typename F>
+    void
+    emplace(F&& f)
+    {
+        using T = std::decay_t<F>;
+        // std::function-compatible contract: the target is copyable
+        // (the worker's on_done_ is re-scheduled by copy).
+        static_assert(std::is_copy_constructible_v<T>,
+                      "callback must be copy-constructible");
+        if constexpr (sizeof(T) <= kInlineBytes &&
+                      alignof(T) <= alignof(void*) &&
+                      std::is_nothrow_move_constructible_v<T>) {
+            ::new (static_cast<void*>(buf_)) T(std::forward<F>(f));
+            invoke_ = [](void* p) {
+                (*std::launder(reinterpret_cast<T*>(p)))();
+            };
+            if constexpr (std::is_trivially_copyable_v<T> &&
+                          std::is_trivially_destructible_v<T>)
+                ops_ = nullptr;  // trivial: memcpy moves, free destroy
+            else
+                ops_ = inlineOps<T>();
+        } else {
+            T* p = new T(std::forward<F>(f));
+            std::memcpy(buf_, &p, sizeof(p));
+            invoke_ = [](void* b) {
+                T* q;
+                std::memcpy(&q, b, sizeof(q));
+                (*q)();
+            };
+            ops_ = heapOps<T>();
+        }
+    }
+
+    alignas(void*) unsigned char buf_[kInlineBytes];
+    void (*invoke_)(void*) = nullptr;
+    const Ops* ops_ = nullptr;
+};
+
+} // namespace hottiles

@@ -37,9 +37,38 @@ Link::access(uint64_t lines, bool write, EventQueue::Callback cb)
     busy_cycles_ += service;
 
     auto crossed = static_cast<Tick>(std::ceil(next_free_ + double(latency_)));
-    eq_.schedule(crossed, [this, lines, write, cb = std::move(cb)]() mutable {
-        downstream_.access(lines, write, std::move(cb));
-    });
+    fifo_.push_back(PendingXfer{lines, write, std::move(cb)});
+    // Coalesce with the previous crossing when it lands on the same
+    // tick and nothing else was scheduled since: the two events would
+    // have had adjacent sequence numbers, so running both transfers
+    // from one event preserves the exact execution order.
+    if (!event_counts_.empty() && crossed == last_crossed_ &&
+        eq_.scheduled() == last_sched_mark_) {
+        ++event_counts_.back();
+        ++batched_;
+        return;
+    }
+    eq_.schedule(crossed, [this]() { onCrossed(); });
+    event_counts_.push_back(1);
+    last_crossed_ = crossed;
+    last_sched_mark_ = eq_.scheduled();
+}
+
+void
+Link::onCrossed()
+{
+    // Deliberately no down_ check: crossings scheduled before a link
+    // died still complete (only *new* accesses are dropped), matching
+    // the per-access closures this event queue replaced.
+    HT_DASSERT(!event_counts_.empty(), "link crossing without transfers");
+    const uint32_t n = event_counts_.front();
+    event_counts_.pop_front();
+    for (uint32_t i = 0; i < n; ++i) {
+        HT_DASSERT(!fifo_.empty(), "link transfer FIFO underflow");
+        PendingXfer x = std::move(fifo_.front());
+        fifo_.pop_front();
+        downstream_.access(x.lines, x.write, std::move(x.cb));
+    }
 }
 
 void

@@ -11,6 +11,7 @@
  */
 
 #include "sim/memory_system.hpp"
+#include "sim/ring.hpp"
 
 namespace hottiles {
 
@@ -37,7 +38,20 @@ class Link : public MemPort
     bool down() const { return down_; }
     uint64_t linesDropped() const { return lines_dropped_; }
 
+    /** Crossings that piggy-backed on an already-scheduled event. */
+    uint64_t batchedEvents() const { return batched_; }
+
   private:
+    /** One in-flight transfer waiting to cross the link. */
+    struct PendingXfer
+    {
+        uint64_t lines;
+        bool write;
+        EventQueue::Callback cb;
+    };
+
+    void onCrossed();
+
     EventQueue& eq_;
     MemPort& downstream_;
     double bytes_per_cycle_;
@@ -49,6 +63,17 @@ class Link : public MemPort
     uint64_t lines_dropped_ = 0;
     double bw_derate_ = 1.0;  //!< fault-injected bandwidth derate
     bool down_ = false;       //!< fault-injected hard failure
+
+    // Transfers cross in FIFO order (the crossing tick is monotone in
+    // the token bucket), so the scheduled events carry no payload: each
+    // pops from this queue.  Back-to-back accesses that land on the
+    // same crossing tick with no foreign event scheduled in between
+    // share one event (event_counts_ tracks how many each forwards).
+    FifoRing<PendingXfer> fifo_;
+    FifoRing<uint32_t> event_counts_;
+    Tick last_crossed_ = 0;
+    uint64_t last_sched_mark_ = 0;
+    uint64_t batched_ = 0;
 };
 
 } // namespace hottiles

@@ -34,13 +34,38 @@ MemorySystem::access(uint64_t lines, bool write, EventQueue::Callback cb)
     next_free_ = start + service;
     busy_cycles_ += service;
 
-    // Always schedule the completion (a no-op for fire-and-forget
-    // writes) so the simulated end time covers the transfer drain.
+    // The simulated end time must cover the transfer drain even for
+    // fire-and-forget writes.  Callers with a callback get their own
+    // completion event; empty-callback accesses share one sentinel
+    // event that chases the latest drain tick, so a burst of posted
+    // writes costs one queue entry instead of one per access.
     auto done = static_cast<Tick>(
         std::ceil(next_free_ + double(fixed_latency_ + extra_latency_)));
-    if (!cb)
-        cb = [] {};
-    eq_.schedule(done, std::move(cb));
+    if (cb) {
+        eq_.schedule(done, std::move(cb));
+        return;
+    }
+    if (done > drain_target_)
+        drain_target_ = done;
+    if (sentinel_pending_) {
+        ++coalesced_drains_;
+        return;
+    }
+    sentinel_pending_ = true;
+    eq_.schedule(drain_target_, [this]() { drainSentinel(); });
+}
+
+void
+MemorySystem::drainSentinel()
+{
+    // More traffic may have pushed the drain horizon past this event's
+    // tick; chase it with a re-schedule instead of eagerly scheduling
+    // an event per access.
+    if (drain_target_ > eq_.now()) {
+        eq_.schedule(drain_target_, [this]() { drainSentinel(); });
+        return;
+    }
+    sentinel_pending_ = false;
 }
 
 void

@@ -68,6 +68,10 @@ class MemorySystem : public MemPort
     /** Zero the statistics (the schedule state is kept). */
     void resetStats();
 
+    /** Fire-and-forget completions absorbed by the drain sentinel
+     *  instead of each scheduling their own no-op event. */
+    uint64_t coalescedDrains() const { return coalesced_drains_; }
+
     /**
      * Fault-injection hook: add @p extra_latency cycles to every access
      * and derate the service rate by @p bw_scale (0 < scale <= 1).
@@ -79,6 +83,8 @@ class MemorySystem : public MemPort
     void clearFault() { extra_latency_ = 0; bw_derate_ = 1.0; }
 
   private:
+    void drainSentinel();
+
     EventQueue& eq_;
     double bytes_per_cycle_;
     Tick fixed_latency_;
@@ -90,6 +96,13 @@ class MemorySystem : public MemPort
     uint64_t lines_written_ = 0;
     Tick extra_latency_ = 0;   //!< fault-injected additional latency
     double bw_derate_ = 1.0;   //!< fault-injected bandwidth derate
+
+    // Fire-and-forget (empty-callback) completions only exist to keep
+    // the queue non-empty until the transfer drains; one rescheduling
+    // sentinel at the latest drain tick replaces them all.
+    Tick drain_target_ = 0;
+    bool sentinel_pending_ = false;
+    uint64_t coalesced_drains_ = 0;
 };
 
 } // namespace hottiles

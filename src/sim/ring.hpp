@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * Flat FIFO ring for the simulator hot loop.  std::deque's block map
+ * costs an extra indirection (and a heap allocation) per block on a
+ * path that pushes and pops a handful of in-flight transfers per event;
+ * this ring keeps them in one power-of-two vector with index masking.
+ * Not a general container: no iterators, no erase, and popping from an
+ * empty ring is checked only in debug builds.
+ */
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+/** Power-of-two circular FIFO; grows by doubling, never shrinks. */
+template <typename T>
+class FifoRing
+{
+  public:
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+    T&
+    front()
+    {
+        HT_DASSERT(size_ > 0, "front() on an empty ring");
+        return buf_[head_];
+    }
+
+    T&
+    back()
+    {
+        HT_DASSERT(size_ > 0, "back() on an empty ring");
+        return buf_[(head_ + size_ - 1) & (buf_.size() - 1)];
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(v);
+        ++size_;
+    }
+
+    /** Drops the front slot; its value stays moved-from until reused. */
+    void
+    pop_front()
+    {
+        HT_DASSERT(size_ > 0, "pop_front() on an empty ring");
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --size_;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+        std::vector<T> bigger(cap);
+        for (size_t i = 0; i < size_; ++i)
+            bigger[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+        buf_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace hottiles

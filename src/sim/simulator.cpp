@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <numeric>
 
@@ -11,6 +12,7 @@
 #include "sim/link.hpp"
 #include "sim/memory_system.hpp"
 #include "sim/merger.hpp"
+#include "sim/segment_cache.hpp"
 #include "sim/stream_pe.hpp"
 #include "sim/trace.hpp"
 #include "sim/worker.hpp"
@@ -19,36 +21,6 @@
 namespace hottiles {
 
 namespace {
-
-/**
- * Load-balanced panel shares: panels are assigned whole (the SPADE
- * race-freedom rule — all of a row panel's tiles go to one PE) using
- * greedy longest-processing-time by nonzero count, so a power-law hub
- * panel does not serialize one PE.  Each share keeps panel order.
- */
-std::vector<std::vector<size_t>>
-balancedShares(const std::vector<uint64_t>& panel_nnz, uint32_t count)
-{
-    const size_t n = panel_nnz.size();
-    std::vector<size_t> order(n);
-    std::iota(order.begin(), order.end(), size_t(0));
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return panel_nnz[a] > panel_nnz[b];
-    });
-    std::vector<uint64_t> load(count, 0);
-    std::vector<std::vector<size_t>> shares(count);
-    for (size_t p : order) {
-        uint32_t best = 0;
-        for (uint32_t w = 1; w < count; ++w)
-            if (load[w] < load[best])
-                best = w;
-        load[best] += panel_nnz[p];
-        shares[best].push_back(p);
-    }
-    for (auto& s : shares)
-        std::sort(s.begin(), s.end());
-    return shares;
-}
 
 /** Functionally accumulate one nonzero set into dout (fp32 like the HW). */
 void
@@ -120,8 +92,24 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
     HT_ASSERT(cold_ids.empty() || arch.cold.count > 0,
               "cold tiles assigned but architecture has no cold workers");
 
-    UntiledWork cold_work = buildUntiledWork(grid, cold_ids);
-    TiledWork hot_work = buildTiledWork(grid, hot_ids);
+    // Work lists come from the shared cache when one is configured
+    // (evaluateMatrix runs four strategies on one grid and their tile
+    // sets largely coincide); otherwise they are built locally.
+    UntiledWork local_cold;
+    TiledWork local_hot;
+    const UntiledWork* cold_ptr;
+    const TiledWork* hot_ptr;
+    if (cfg.work_cache) {
+        cold_ptr = &cfg.work_cache->untiled(grid, cold_ids);
+        hot_ptr = &cfg.work_cache->tiled(grid, hot_ids);
+    } else {
+        local_cold = buildUntiledWork(grid, cold_ids);
+        local_hot = buildTiledWork(grid, hot_ids);
+        cold_ptr = &local_cold;
+        hot_ptr = &local_hot;
+    }
+    const UntiledWork& cold_work = *cold_ptr;
+    const TiledWork& hot_work = *hot_ptr;
 
     EventQueue eq;
     MemorySystem mem(eq, arch.bwBytesPerCycle(), arch.mem_latency,
@@ -135,30 +123,58 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
     }
 
     // Build the cold PEs (demand access, untiled row-major panels).
+    // The expensive per-class build (slicing, share balancing, and the
+    // per-PE segment construction with its Din cache simulation) is a
+    // pure function of (work list, arch, kernel); with a cache it is
+    // built once and the other strategies copy the segment lists.
     TypeRun cold;
     if (!cold_work.panels.empty()) {
-        // Distribute row-aligned chunks (§VII-A: 64 contiguous rows per
-        // SPADE chunk) so hub rows do not serialize one PE.
-        std::vector<PanelSlice> slices =
-            sliceUntiledWork(cold_work, arch.cold_pe.chunk_rows);
-        std::vector<uint64_t> slice_nnz(slices.size());
-        for (size_t s = 0; s < slices.size(); ++s)
-            slice_nnz[s] = slices[s].nnz();
-        auto shares = balancedShares(slice_nnz, arch.cold.count);
+        auto buildColdClass = [&] {
+            // Distribute row-aligned chunks (§VII-A: 64 contiguous rows
+            // per SPADE chunk) so hub rows do not serialize one PE.
+            ColdClassBuild cb;
+            std::vector<PanelSlice> slices =
+                sliceUntiledWork(cold_work, arch.cold_pe.chunk_rows);
+            std::vector<uint64_t> slice_nnz(slices.size());
+            for (size_t s = 0; s < slices.size(); ++s)
+                slice_nnz[s] = slices[s].nnz();
+            cb.shares = balancedShares(slice_nnz, arch.cold.count);
+            for (uint32_t w = 0; w < arch.cold.count; ++w) {
+                if (cb.shares[w].empty())
+                    continue;
+                std::vector<PanelSlice> mine;
+                mine.reserve(cb.shares[w].size());
+                for (size_t s : cb.shares[w])
+                    mine.push_back(slices[s]);
+                cb.builds.push_back(
+                    buildDemandSegments(cold_work, mine, arch.cold, kernel,
+                                        arch.cold_pe, arch.line_bytes));
+            }
+            return cb;
+        };
+        ColdClassBuild local_cb;
+        const ColdClassBuild* cb;
+        if (cfg.work_cache) {
+            cb = &cfg.work_cache->segments().cold(cold_ids, buildColdClass);
+        } else {
+            local_cb = buildColdClass();
+            cb = &local_cb;
+        }
+        size_t bi = 0;
         for (uint32_t w = 0; w < arch.cold.count; ++w) {
-            if (shares[w].empty())
+            if (cb->shares[w].empty())
                 continue;
-            std::vector<PanelSlice> mine;
-            mine.reserve(shares[w].size());
-            for (size_t s : shares[w])
-                mine.push_back(slices[s]);
-            DemandBuild b = buildDemandSegments(cold_work, mine, arch.cold,
-                                                kernel, arch.cold_pe,
-                                                arch.line_bytes);
+            const DemandBuild& b = cb->builds[bi];
             cold.nnz += b.nnz;
             cold.flops += b.flops;
             cold.cache_hits += b.din_hits;
             cold.cache_misses += b.din_misses;
+            // Cached builds are shared: copy the segments out.  A local
+            // build is ours alone and its segments move.
+            std::vector<SegSpec> segs = cfg.work_cache
+                                            ? b.segs
+                                            : std::move(local_cb.builds[bi].segs);
+            ++bi;
             MemPort* port = &mem;
             if (arch.cold_pe.port_bytes_per_cycle > 0) {
                 cold.ports.push_back(std::make_unique<Link>(
@@ -168,28 +184,50 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
             }
             cold.pes.push_back(std::make_unique<PipelinedWorker>(
                 arch.cold.name + " #" + std::to_string(w), eq, *port,
-                arch.cold_pe.depth, std::move(b.segs)));
+                arch.cold_pe.depth, std::move(segs)));
         }
     }
 
     // Build the hot PEs (streaming, tiled row-major panels).
     TypeRun hot;
     if (!hot_work.panel_tiles.empty()) {
-        std::vector<uint64_t> panel_nnz(hot_work.panel_tiles.size());
-        for (size_t p = 0; p < hot_work.panel_tiles.size(); ++p)
-            for (size_t tid : hot_work.panel_tiles[p])
-                panel_nnz[p] += grid.tile(tid).nnz;
-        auto shares = balancedShares(panel_nnz, arch.hot.count);
+        auto buildHotClass = [&] {
+            HotClassBuild hb;
+            std::vector<uint64_t> panel_nnz(hot_work.panel_tiles.size());
+            for (size_t p = 0; p < hot_work.panel_tiles.size(); ++p)
+                for (size_t tid : hot_work.panel_tiles[p])
+                    panel_nnz[p] += grid.tile(tid).nnz;
+            hb.shares = balancedShares(panel_nnz, arch.hot.count);
+            for (uint32_t w = 0; w < arch.hot.count; ++w) {
+                if (hb.shares[w].empty())
+                    continue;
+                hb.builds.push_back(
+                    buildStreamSegments(hot_work, hb.shares[w], grid,
+                                        arch.hot, kernel, arch.hot_pe,
+                                        arch.line_bytes));
+            }
+            return hb;
+        };
+        HotClassBuild local_hb;
+        const HotClassBuild* hb;
+        if (cfg.work_cache) {
+            hb = &cfg.work_cache->segments().hot(hot_ids, buildHotClass);
+        } else {
+            local_hb = buildHotClass();
+            hb = &local_hb;
+        }
+        size_t bi = 0;
         for (uint32_t w = 0; w < arch.hot.count; ++w) {
-            if (shares[w].empty())
+            if (hb->shares[w].empty())
                 continue;
-            StreamBuild b = buildStreamSegments(hot_work, shares[w], grid,
-                                                arch.hot, kernel,
-                                                arch.hot_pe,
-                                                arch.line_bytes);
+            const StreamBuild& b = hb->builds[bi];
             hot.nnz += b.nnz;
             hot.flops += b.flops;
             hot.stream_lines += b.din_stream_lines;
+            std::vector<SegSpec> segs = cfg.work_cache
+                                            ? b.segs
+                                            : std::move(local_hb.builds[bi].segs);
+            ++bi;
             MemPort* port = hot_port;
             if (arch.hot_pe.port_bytes_per_cycle > 0) {
                 hot.ports.push_back(std::make_unique<Link>(
@@ -199,7 +237,7 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
             }
             hot.pes.push_back(std::make_unique<PipelinedWorker>(
                 arch.hot.name + " #" + std::to_string(w), eq, *port,
-                arch.hot_pe.depth, std::move(b.segs)));
+                arch.hot_pe.depth, std::move(segs)));
         }
     }
 
@@ -217,6 +255,7 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
     }
 
     // Execute.
+    const auto loop_t0 = std::chrono::steady_clock::now();
     Tick merge_start = 0;
     if (serial) {
         cold.startAll(eq);
@@ -247,6 +286,11 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
         }
     }
 
+    const double loop_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - loop_t0)
+            .count();
+
     SimOutput out;
     if (probe)
         out.bw_samples = probe->samples();
@@ -268,6 +312,18 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
     st.cold_cache_hits = cold.cache_hits;
     st.cold_cache_misses = cold.cache_misses;
     st.hot_stream_lines = hot.stream_lines;
+    st.events_processed = eq.processed();
+    st.loop_ms = loop_ms;
+    st.peak_queue_depth = eq.peakPending();
+    st.batched_events = mem.coalescedDrains();
+    if (pcie)
+        st.batched_events += pcie->batchedEvents();
+    for (const TypeRun* run : {&cold, &hot}) {
+        for (const auto& pe : run->pes)
+            st.batched_events += pe->stats().batched;
+        for (const auto& port : run->ports)
+            st.batched_events += port->batchedEvents();
+    }
 
     auto typeGflops = [&](const TypeRun& run) {
         if (run.empty() || run.finish <= run.start)

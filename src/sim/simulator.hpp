@@ -21,6 +21,7 @@ namespace hottiles {
 
 class TraceWriter;
 struct FaultPlan;
+class WorkListCache;
 
 /** Simulation options. */
 struct SimConfig
@@ -43,6 +44,15 @@ struct SimConfig
      * the run through the watchdog-supervised fault-tolerant executor.
      */
     const FaultPlan* faults = nullptr;
+
+    /**
+     * Optional shared work-list cache (see sim/worklist.hpp).  When
+     * set, per-class work lists are taken from (and published to) the
+     * cache instead of rebuilt, so concurrent strategy simulations on
+     * the same grid share one build per distinct tile set.  The cache
+     * must outlive the simulation and serve only this grid.
+     */
+    WorkListCache* work_cache = nullptr;
 };
 
 /** Observability of one fault-injected run (all-zero without faults). */
@@ -79,6 +89,16 @@ struct SimStats
     uint64_t cold_cache_hits = 0;   //!< Din cache behaviour (cold PEs)
     uint64_t cold_cache_misses = 0;
     uint64_t hot_stream_lines = 0;  //!< scratchpad stream over-fetch
+
+    // Event-loop observability (identical across queue engines).
+    uint64_t events_processed = 0;  //!< events the queue executed
+    uint64_t peak_queue_depth = 0;  //!< high-water mark of pending events
+    uint64_t batched_events = 0;    //!< completions coalesced away
+    /** Host wall-clock milliseconds spent inside the event loop (the
+     *  runUntilEmpty phase).  The one non-deterministic field: it
+     *  measures the simulator, not the simulation, and is excluded
+     *  from determinism/equivalence comparisons. */
+    double loop_ms = 0;
 
     FaultStats faults;              //!< fault-injection observability
 };

@@ -57,6 +57,29 @@ PipelinedWorker::setComputeScale(double scale)
 void
 PipelinedWorker::issueNext()
 {
+    // Consecutive zero-read segments issued in one call all become
+    // ready at the current tick with adjacent event sequence numbers —
+    // nothing can interleave — so a run of them shares one event that
+    // walks the run in order instead of one event per segment.
+    size_t run_begin = 0;
+    size_t run_len = 0;
+    auto flushRun = [&] {
+        if (run_len == 0)
+            return;
+        if (run_len == 1) {
+            const size_t idx = run_begin;
+            eq_.schedule(eq_.now(), [this, idx]() { onReadDone(idx); });
+        } else {
+            const size_t b = run_begin;
+            const size_t n = run_len;
+            stats_.batched += n - 1;
+            eq_.schedule(eq_.now(), [this, b, n]() {
+                for (size_t i = 0; i < n; ++i)
+                    onReadDone(b + i);
+            });
+        }
+        run_len = 0;
+    };
     while (!failed_ && inflight_ < depth_ && next_issue_ < segs_.size()) {
         const size_t idx = next_issue_++;
         ++inflight_;
@@ -65,12 +88,16 @@ PipelinedWorker::issueNext()
         if (trace_)
             trace_->record(eq_.now(), name_, "issue", idx, s.read_lines);
         if (s.read_lines == 0) {
-            eq_.schedule(eq_.now(), [this, idx]() { onReadDone(idx); });
+            if (run_len == 0)
+                run_begin = idx;
+            ++run_len;
         } else {
+            flushRun();
             mem_.access(s.read_lines, /*write=*/false,
                         [this, idx]() { onReadDone(idx); });
         }
     }
+    flushRun();
 }
 
 void
@@ -102,7 +129,7 @@ PipelinedWorker::retire(size_t idx)
         stats_.lines_written += s.write_lines;
         mem_.access(s.write_lines, /*write=*/true, {});
     }
-    HT_ASSERT(inflight_ > 0, "retire without inflight segment");
+    HT_DASSERT(inflight_ > 0, "retire without inflight segment");
     --inflight_;
     ++retired_;
     if (retired_ == segs_.size()) {

@@ -50,6 +50,7 @@ struct WorkerStats
     double compute_cycles = 0;
     Tick start = 0;
     Tick finish = 0;
+    uint64_t batched = 0;  //!< issue events saved by run coalescing
 };
 
 /** A pipelined PE executing a static segment list against a MemPort. */

@@ -2,11 +2,22 @@
 
 #include <algorithm>
 #include <numeric>
+#include <queue>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/segment_cache.hpp"
 
 namespace hottiles {
+
+// Out of line: SegmentBuildCache is only forward-declared in the header.
+WorkListCache::WorkListCache()
+    : segments_(std::make_unique<SegmentBuildCache>())
+{
+}
+
+WorkListCache::~WorkListCache() = default;
 
 UntiledWork
 buildUntiledWork(const TileGrid& grid, const std::vector<size_t>& tile_ids)
@@ -90,6 +101,86 @@ buildTiledWork(const TileGrid& grid, const std::vector<size_t>& tile_ids)
         work.panel_tiles.push_back(std::move(tiles));
     }
     return work;
+}
+
+std::vector<std::vector<size_t>>
+balancedShares(const std::vector<uint64_t>& loads, uint32_t count)
+{
+    HT_ASSERT(count > 0, "balancedShares needs at least one worker");
+    const size_t n = loads.size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t(0));
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return loads[a] > loads[b];
+    });
+    // (load, worker) min-heap: the lexicographic minimum is the least
+    // loaded worker with the lowest index, the same tie-break as a
+    // linear argmin scan with strict less-than.
+    using Entry = std::pair<uint64_t, uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    for (uint32_t w = 0; w < count; ++w)
+        heap.emplace(0, w);
+    std::vector<std::vector<size_t>> shares(count);
+    for (size_t p : order) {
+        auto [load, w] = heap.top();
+        heap.pop();
+        shares[w].push_back(p);
+        heap.emplace(load + loads[p], w);
+    }
+    for (auto& s : shares)
+        std::sort(s.begin(), s.end());
+    return shares;
+}
+
+template <typename Work, typename Build>
+const Work&
+WorkListCache::getOrBuild(std::map<std::vector<size_t>, Slot<Work>>& map,
+                          const TileGrid& grid,
+                          const std::vector<size_t>& tile_ids, Build&& build)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!grid_)
+        grid_ = &grid;
+    HT_ASSERT(grid_ == &grid, "a WorkListCache serves exactly one grid");
+    auto [it, inserted] = map.try_emplace(tile_ids);
+    if (!inserted) {
+        ++hits_;
+        cv_.wait(lock, [&] { return it->second.ready; });
+        return it->second.work;
+    }
+    // Build outside the lock: concurrent requests for *other* keys must
+    // not serialize behind this one.  (The nested parallelFor runs
+    // inline when called from a pool worker, so waiting on the
+    // condition variable above cannot deadlock the pool.)
+    lock.unlock();
+    Work w = build();
+    lock.lock();
+    it->second.work = std::move(w);
+    it->second.ready = true;
+    cv_.notify_all();
+    return it->second.work;
+}
+
+const UntiledWork&
+WorkListCache::untiled(const TileGrid& grid,
+                       const std::vector<size_t>& tile_ids)
+{
+    return getOrBuild(untiled_, grid, tile_ids,
+                      [&] { return buildUntiledWork(grid, tile_ids); });
+}
+
+const TiledWork&
+WorkListCache::tiled(const TileGrid& grid, const std::vector<size_t>& tile_ids)
+{
+    return getOrBuild(tiled_, grid, tile_ids,
+                      [&] { return buildTiledWork(grid, tile_ids); });
+}
+
+size_t
+WorkListCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
 }
 
 } // namespace hottiles

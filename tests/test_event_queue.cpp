@@ -1,14 +1,50 @@
-/** @file Tests for the discrete-event simulation core. */
+/** @file Tests for the discrete-event simulation core: scheduling
+ *  semantics checked against both queue engines (the calendar/slab
+ *  default and the legacy binary heap), the calendar-specific wheel and
+ *  overflow machinery, and cross-engine equivalence up to identical
+ *  execution order and identical SimStats on simulator fixtures. */
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
+#include <vector>
+
 #include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+#include "sparse/generators.hpp"
 
 using namespace hottiles;
 
-TEST(EventQueue, RunsInTimeOrder)
+namespace {
+
+/** RAII restore of the process-wide default queue engine. */
+struct ImplGuard
 {
-    EventQueue eq;
+    EventQueue::Impl saved = EventQueue::defaultImpl();
+    ~ImplGuard() { EventQueue::setDefaultImpl(saved); }
+};
+
+} // namespace
+
+class EventQueueBothEngines
+    : public ::testing::TestWithParam<EventQueue::Impl>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EventQueueBothEngines,
+    ::testing::Values(EventQueue::Impl::Calendar,
+                      EventQueue::Impl::LegacyHeap),
+    [](const ::testing::TestParamInfo<EventQueue::Impl>& info) {
+        return info.param == EventQueue::Impl::Calendar ? "Calendar"
+                                                        : "LegacyHeap";
+    });
+
+TEST_P(EventQueueBothEngines, RunsInTimeOrder)
+{
+    EventQueue eq(GetParam());
     std::vector<int> order;
     eq.schedule(30, [&] { order.push_back(3); });
     eq.schedule(10, [&] { order.push_back(1); });
@@ -19,9 +55,9 @@ TEST(EventQueue, RunsInTimeOrder)
     EXPECT_EQ(eq.processed(), 3u);
 }
 
-TEST(EventQueue, SameTickIsFifo)
+TEST_P(EventQueueBothEngines, SameTickIsFifo)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<int> order;
     for (int i = 0; i < 10; ++i)
         eq.schedule(5, [&order, i] { order.push_back(i); });
@@ -30,9 +66,9 @@ TEST(EventQueue, SameTickIsFifo)
         EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueue, PastSchedulesClampToNow)
+TEST_P(EventQueueBothEngines, PastSchedulesClampToNow)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     Tick seen = 999;
     eq.schedule(50, [&] {
         eq.schedule(10, [&] { seen = eq.now(); });  // in the past
@@ -41,9 +77,24 @@ TEST(EventQueue, PastSchedulesClampToNow)
     EXPECT_EQ(seen, 50u);
 }
 
-TEST(EventQueue, CascadingEvents)
+TEST_P(EventQueueBothEngines, ClampedEventRunsAfterCurrentTickFifo)
 {
-    EventQueue eq;
+    // A clamped-to-now event lands *behind* events already queued at
+    // the current tick (it got a later sequence number).
+    EventQueue eq(GetParam());
+    std::vector<int> order;
+    eq.schedule(50, [&] {
+        order.push_back(0);
+        eq.schedule(7, [&] { order.push_back(2); });  // clamps to 50
+    });
+    eq.schedule(50, [&] { order.push_back(1); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_P(EventQueueBothEngines, CascadingEvents)
+{
+    EventQueue eq(GetParam());
     int depth = 0;
     std::function<void()> chain = [&] {
         if (++depth < 100)
@@ -55,9 +106,9 @@ TEST(EventQueue, CascadingEvents)
     EXPECT_EQ(eq.now(), 198u);
 }
 
-TEST(EventQueue, RunOneSteps)
+TEST_P(EventQueueBothEngines, RunOneSteps)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     int fired = 0;
     eq.schedule(1, [&] { ++fired; });
     eq.schedule(2, [&] { ++fired; });
@@ -69,9 +120,9 @@ TEST(EventQueue, RunOneSteps)
     EXPECT_EQ(fired, 2);
 }
 
-TEST(EventQueue, RunUntilLimitStopsEarly)
+TEST_P(EventQueueBothEngines, RunUntilLimitStopsEarly)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     int fired = 0;
     eq.schedule(10, [&] { ++fired; });
     eq.schedule(100, [&] { ++fired; });
@@ -82,8 +133,283 @@ TEST(EventQueue, RunUntilLimitStopsEarly)
     EXPECT_EQ(fired, 2);
 }
 
-TEST(EventQueue, EmptyCallbackDies)
+TEST_P(EventQueueBothEngines, CountersTrackDepthAndVolume)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.peakPending(), 0u);
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(Tick(i + 1), [] {});
+    EXPECT_EQ(eq.pending(), 5u);
+    EXPECT_EQ(eq.peakPending(), 5u);
+    EXPECT_EQ(eq.scheduled(), 5u);
+    eq.runOne();
+    eq.runOne();
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_EQ(eq.peakPending(), 5u);  // high-water mark sticks
+    // Fan-out from a callback pushes the high-water mark further (the
+    // firing event is popped before its callback runs, so 7 children
+    // from the last event leave 7 pending at once).
+    eq.schedule(10, [&] {
+        for (int i = 0; i < 7; ++i)
+            eq.scheduleIn(Tick(i + 1), [] {});
+    });
+    eq.runUntilEmpty();
+    EXPECT_EQ(eq.peakPending(), 7u);
+    EXPECT_EQ(eq.scheduled(), 13u);
+    EXPECT_EQ(eq.processed(), 13u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST_P(EventQueueBothEngines, FarFutureEventsOrderWithNearOnes)
+{
+    // Deltas beyond the calendar wheel horizon (>= 4096 ticks out) take
+    // the overflow path; they must still interleave correctly with
+    // near events and preserve same-tick FIFO among themselves.
+    EventQueue eq(GetParam());
+    std::vector<int> order;
+    eq.schedule(10000, [&] { order.push_back(3); });  // overflow
+    eq.schedule(5, [&] { order.push_back(0); });      // wheel
+    eq.schedule(10000, [&] { order.push_back(4); });  // overflow, same tick
+    eq.schedule(20000, [&] { order.push_back(6); });  // overflow, later
+    eq.schedule(4095, [&] { order.push_back(1); });   // last wheel slot
+    eq.schedule(4096, [&] { order.push_back(2); });   // first overflow tick
+    eq.schedule(10000, [&] { order.push_back(5); });  // overflow, same tick
+    eq.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+    EXPECT_EQ(eq.now(), 20000u);
+}
+
+TEST_P(EventQueueBothEngines, OverflowMigratesToWheelAsTimeAdvances)
+{
+    // An event scheduled far out is beyond the wheel when inserted but
+    // within it once `now` advances; it must fire at the right tick and
+    // in FIFO position relative to an event scheduled later (higher
+    // seq) directly onto the wheel for the same tick.
+    EventQueue eq(GetParam());
+    std::vector<int> order;
+    eq.schedule(9000, [&] { order.push_back(0); });  // overflow at insert
+    eq.schedule(8000, [&] {
+        // now == 8000, so tick 9000 is wheel-range for this insert.
+        eq.schedule(9000, [&] { order.push_back(1); });
+    });
+    eq.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST_P(EventQueueBothEngines, WheelWrapLongHorizon)
+{
+    // March time through many wheel wraps (4096-slot wheel, steps of
+    // 1500 do not divide it) and check every hop executes exactly once
+    // at a strictly increasing tick.
+    EventQueue eq(GetParam());
+    int hops = 0;
+    Tick last = 0;
+    std::function<void()> hop = [&] {
+        EXPECT_TRUE(eq.now() == 0 || eq.now() > last);
+        last = eq.now();
+        if (++hops < 64)
+            eq.scheduleIn(1500, hop);
+    };
+    eq.schedule(0, hop);
+    eq.runUntilEmpty();
+    EXPECT_EQ(hops, 64);
+    EXPECT_EQ(eq.now(), 63u * 1500u);
+    EXPECT_EQ(eq.processed(), 64u);
+}
+
+TEST_P(EventQueueBothEngines, StressManyEventsStayOrdered)
+{
+    // A few thousand pseudo-random deltas across wheel and overflow
+    // ranges; verifies global (when, seq) order and conservation.
+    EventQueue eq(GetParam());
+    uint64_t lcg = 12345;
+    auto next = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+    };
+    std::vector<std::pair<Tick, uint64_t>> fired;
+    uint64_t id = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const Tick when = next() % 30000;
+        const uint64_t my = id++;
+        eq.schedule(when, [&fired, &eq, my] {
+            fired.emplace_back(eq.now(), my);
+        });
+    }
+    eq.runUntilEmpty();
+    ASSERT_EQ(fired.size(), 4000u);
+    for (size_t i = 1; i < fired.size(); ++i)
+        EXPECT_TRUE(fired[i - 1].first < fired[i].first ||
+                    (fired[i - 1].first == fired[i].first &&
+                     fired[i - 1].second < fired[i].second))
+            << "order violated at " << i;
+}
+
+TEST_P(EventQueueBothEngines, EmptyCallbackDies)
+{
+    EventQueue eq(GetParam());
     EXPECT_DEATH(eq.schedule(1, EventQueue::Callback{}), "empty callback");
+}
+
+// ---------------------------------------------------------------------
+// Cross-engine equivalence: both engines must execute the identical
+// event sequence, first on a scripted random workload, then end to end
+// through the simulator (identical SimStats, including the new
+// event-loop observability fields).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Run a seeded self-rescheduling workload and record the execution
+ *  trace.  The RNG is consumed in execution order, so the traces can
+ *  only match if both engines pop events in the identical order. */
+std::vector<std::pair<Tick, uint64_t>>
+scriptedTrace(EventQueue::Impl impl, uint64_t seed)
+{
+    EventQueue eq(impl);
+    uint64_t lcg = seed;
+    auto next = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+    };
+    std::vector<std::pair<Tick, uint64_t>> trace;
+    uint64_t id = 0;
+    uint64_t budget = 3000;
+    std::function<void(uint64_t)> fire = [&](uint64_t my) {
+        trace.emplace_back(eq.now(), my);
+        // Fan out 0..2 children with mixed near/far deltas while the
+        // budget lasts; the consumed RNG values depend on pop order.
+        const uint64_t kids = next() % 3;
+        for (uint64_t k = 0; k < kids && budget > 0; ++k) {
+            --budget;
+            const Tick delta = (next() % 2) ? next() % 100
+                                            : 4000 + next() % 9000;
+            const uint64_t child = id++;
+            eq.scheduleIn(delta, [&fire, child] { fire(child); });
+        }
+    };
+    for (int i = 0; i < 50; ++i) {
+        const uint64_t my = id++;
+        eq.schedule(next() % 5000, [&fire, my] { fire(my); });
+    }
+    eq.runUntilEmpty();
+    return trace;
+}
+
+Architecture
+testArch()
+{
+    return makeSpadeSextans(4);
+}
+
+/** All SimStats fields the simulation derives deterministically. */
+void
+expectStatsIdentical(const SimStats& a, const SimStats& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.ms, b.ms);
+    EXPECT_EQ(a.total_nnz, b.total_nnz);
+    EXPECT_EQ(a.hot_nnz, b.hot_nnz);
+    EXPECT_EQ(a.cold_nnz, b.cold_nnz);
+    EXPECT_DOUBLE_EQ(a.mem_bytes, b.mem_bytes);
+    EXPECT_DOUBLE_EQ(a.avg_bw_gbps, b.avg_bw_gbps);
+    EXPECT_DOUBLE_EQ(a.lines_per_nnz, b.lines_per_nnz);
+    EXPECT_EQ(a.hot_finish, b.hot_finish);
+    EXPECT_EQ(a.cold_finish, b.cold_finish);
+    EXPECT_DOUBLE_EQ(a.hot_gflops, b.hot_gflops);
+    EXPECT_DOUBLE_EQ(a.cold_gflops, b.cold_gflops);
+    EXPECT_EQ(a.merge_cycles, b.merge_cycles);
+    EXPECT_EQ(a.cold_cache_hits, b.cold_cache_hits);
+    EXPECT_EQ(a.cold_cache_misses, b.cold_cache_misses);
+    EXPECT_EQ(a.hot_stream_lines, b.hot_stream_lines);
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth);
+    EXPECT_EQ(a.batched_events, b.batched_events);
+    EXPECT_EQ(a.faults.injected, b.faults.injected);
+    EXPECT_EQ(a.faults.workers_failed, b.faults.workers_failed);
+    EXPECT_EQ(a.faults.tiles_migrated, b.faults.tiles_migrated);
+    EXPECT_EQ(a.faults.migration_retries, b.faults.migration_retries);
+    EXPECT_EQ(a.faults.nnz_redispatched, b.faults.nnz_redispatched);
+    EXPECT_EQ(a.faults.degraded_mode, b.faults.degraded_mode);
+}
+
+SimStats
+simulateWith(EventQueue::Impl impl, const Architecture& arch,
+             const TileGrid& grid, const std::vector<uint8_t>& is_hot,
+             bool serial, const SimConfig& cfg = {})
+{
+    ImplGuard guard;
+    EventQueue::setDefaultImpl(impl);
+    return simulateExecution(arch, grid, is_hot, serial, KernelConfig{},
+                             cfg)
+        .stats;
+}
+
+} // namespace
+
+TEST(EventQueueCrossEngine, ScriptedWorkloadExecutesIdentically)
+{
+    for (uint64_t seed : {uint64_t(1), uint64_t(99), uint64_t(20240)}) {
+        const auto cal = scriptedTrace(EventQueue::Impl::Calendar, seed);
+        const auto leg = scriptedTrace(EventQueue::Impl::LegacyHeap, seed);
+        EXPECT_EQ(cal, leg) << "seed " << seed;
+    }
+}
+
+TEST(EventQueueCrossEngine, SimulatorStatsIdenticalOnFixtureGrid)
+{
+    const Architecture arch = testArch();
+    const CooMatrix m = genCommunity(1024, 12.0, 32, 128, 0.8, 7);
+    const TileGrid grid(m, arch.tile_height, arch.tile_width);
+
+    std::vector<uint8_t> all_hot(grid.numTiles(), 1);
+    std::vector<uint8_t> all_cold(grid.numTiles(), 0);
+    std::vector<uint8_t> mixed(grid.numTiles(), 0);
+    for (size_t i = 0; i < mixed.size(); i += 3)
+        mixed[i] = 1;
+
+    struct Case
+    {
+        const std::vector<uint8_t>* is_hot;
+        bool serial;
+    };
+    for (const Case& c : std::initializer_list<Case>{{&all_hot, false},
+                                                     {&all_cold, false},
+                                                     {&mixed, false},
+                                                     {&mixed, true}}) {
+        SimStats cal = simulateWith(EventQueue::Impl::Calendar, arch, grid,
+                                    *c.is_hot, c.serial);
+        SimStats leg = simulateWith(EventQueue::Impl::LegacyHeap, arch,
+                                    grid, *c.is_hot, c.serial);
+        expectStatsIdentical(cal, leg);
+        EXPECT_GT(cal.events_processed, 0u);
+        EXPECT_GT(cal.peak_queue_depth, 0u);
+    }
+}
+
+TEST(EventQueueCrossEngine, SimulatorStatsIdenticalUnderFaults)
+{
+    const Architecture arch = testArch();
+    const CooMatrix m = genCommunity(1024, 12.0, 32, 128, 0.8, 7);
+    const TileGrid grid(m, arch.tile_height, arch.tile_width);
+    std::vector<uint8_t> mixed(grid.numTiles(), 0);
+    for (size_t i = 0; i < mixed.size(); i += 2)
+        mixed[i] = 1;
+
+    FaultSpec spec;
+    spec.fail_stops = 1;
+    spec.slowdowns = 1;
+    spec.mem_spikes = 1;
+    spec.horizon = 20000;
+    const FaultPlan plan = makeFaultPlan(7, arch, spec);
+    SimConfig cfg;
+    cfg.faults = &plan;
+
+    SimStats cal = simulateWith(EventQueue::Impl::Calendar, arch, grid,
+                                mixed, false, cfg);
+    SimStats leg = simulateWith(EventQueue::Impl::LegacyHeap, arch, grid,
+                                mixed, false, cfg);
+    expectStatsIdentical(cal, leg);
+    EXPECT_GT(cal.faults.injected, 0u);
 }

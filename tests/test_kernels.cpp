@@ -42,6 +42,29 @@ TEST(Spmv, EqualsSpmmWithKOne)
         ASSERT_NEAR(y[i], y2[i], 1e-3 * (std::abs(y[i]) + 1));
 }
 
+TEST(Spmv, UnsortedInputIsBitwiseIdenticalToSorted)
+{
+    // The unsorted path sorts an index permutation instead of copying
+    // and re-sorting the matrix; the accumulation order (and thus every
+    // fp32 rounding) must match the sorted path exactly.
+    CooMatrix a = genRmat(512, 6000, 0.57, 0.19, 0.19, 0.05, 202);
+    CooMatrix unsorted(a.rows(), a.cols());
+    for (size_t i = a.nnz(); i-- > 0;)
+        unsorted.push(a.rowId(i), a.colId(i), a.value(i));
+    ASSERT_FALSE(unsorted.isRowMajorSorted());
+    CooMatrix sorted = unsorted;
+    sorted.sortRowMajor();
+    Rng rng(2);
+    std::vector<Value> x(a.cols());
+    for (auto& v : x)
+        v = static_cast<Value>(rng.nextDouble(-1, 1));
+    auto y_sorted = referenceSpmv(sorted, x);
+    auto y_unsorted = referenceSpmv(unsorted, x);
+    ASSERT_EQ(y_sorted.size(), y_unsorted.size());
+    for (size_t i = 0; i < y_sorted.size(); ++i)
+        ASSERT_EQ(y_sorted[i], y_unsorted[i]) << "row " << i;
+}
+
 TEST(Spmv, VectorHelpersRoundTrip)
 {
     std::vector<Value> x = {1, 2, 3};

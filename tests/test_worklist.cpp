@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
+#include "sim/segment_cache.hpp"
+#include "sim/simulator.hpp"
 #include "sim/worklist.hpp"
 #include "sparse/generators.hpp"
 
@@ -124,4 +127,180 @@ TEST(Worklist, DisjointSubsetsPartitionNnz)
     UntiledWork wo = buildUntiledWork(g, odd);
     TiledWork we = buildTiledWork(g, even);
     EXPECT_EQ(wo.total_nnz + we.total_nnz, m.nnz());
+}
+
+namespace {
+
+/** The O(n * count) reference version of the LPT assignment the
+ *  min-heap implementation must reproduce exactly (lowest-index worker
+ *  wins ties). */
+std::vector<std::vector<size_t>>
+balancedSharesReference(const std::vector<uint64_t>& loads, uint32_t count)
+{
+    std::vector<size_t> order(loads.size());
+    std::iota(order.begin(), order.end(), size_t(0));
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return loads[a] > loads[b];
+    });
+    std::vector<uint64_t> totals(count, 0);
+    std::vector<std::vector<size_t>> shares(count);
+    for (size_t pos : order) {
+        size_t best = 0;
+        for (size_t w = 1; w < count; ++w)
+            if (totals[w] < totals[best])
+                best = w;
+        totals[best] += loads[pos];
+        shares[best].push_back(pos);
+    }
+    for (auto& s : shares)
+        std::sort(s.begin(), s.end());
+    return shares;
+}
+
+} // namespace
+
+TEST(BalancedShares, MatchesLinearScanReference)
+{
+    uint64_t lcg = 99;
+    auto next = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+    };
+    for (uint32_t count : {1u, 2u, 3u, 7u, 16u, 64u}) {
+        for (size_t n : {size_t(0), size_t(1), size_t(5), size_t(200)}) {
+            std::vector<uint64_t> loads(n);
+            for (auto& l : loads)
+                l = next() % 50;  // small range forces many ties
+            EXPECT_EQ(balancedShares(loads, count),
+                      balancedSharesReference(loads, count))
+                << "count=" << count << " n=" << n;
+        }
+    }
+}
+
+TEST(BalancedShares, CoversEveryItemOnce)
+{
+    std::vector<uint64_t> loads{9, 1, 1, 1, 9, 4, 4};
+    auto shares = balancedShares(loads, 3);
+    ASSERT_EQ(shares.size(), 3u);
+    std::vector<int> seen(loads.size(), 0);
+    for (const auto& s : shares)
+        for (size_t pos : s) {
+            ASSERT_LT(pos, loads.size());
+            ++seen[pos];
+        }
+    for (int c : seen)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(WorkListCache, BuildsOnceAndCountsHits)
+{
+    CooMatrix m = genUniform(128, 128, 1000, 36);
+    TileGrid g(m, 32, 32);
+    std::vector<size_t> ids = allTiles(g);
+
+    WorkListCache cache;
+    const UntiledWork& a = cache.untiled(g, ids);
+    const UntiledWork& b = cache.untiled(g, ids);
+    EXPECT_EQ(&a, &b);  // same published instance, not a rebuild
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(a.total_nnz, m.nnz());
+
+    // Different kind or different tile set -> separate entries.
+    const TiledWork& t = cache.tiled(g, ids);
+    EXPECT_EQ(t.total_nnz, m.nnz());
+    std::vector<size_t> subset(ids.begin(), ids.begin() + ids.size() / 2);
+    const UntiledWork& c = cache.untiled(g, subset);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    // Cached results are bit-identical to a direct build.
+    UntiledWork direct = buildUntiledWork(g, subset);
+    ASSERT_EQ(c.panels.size(), direct.panels.size());
+    for (size_t p = 0; p < c.panels.size(); ++p) {
+        EXPECT_EQ(c.panels[p].rows, direct.panels[p].rows);
+        EXPECT_EQ(c.panels[p].cols, direct.panels[p].cols);
+        EXPECT_EQ(c.panels[p].vals, direct.panels[p].vals);
+    }
+}
+
+TEST(SegmentBuildCache, BuildsOncePerTileSet)
+{
+    WorkListCache cache;
+    SegmentBuildCache& segs = cache.segments();
+    int cold_builds = 0;
+    std::vector<size_t> ids{0, 1, 2};
+
+    auto build = [&] {
+        ++cold_builds;
+        ColdClassBuild cb;
+        cb.shares = {{0, 1}, {2}};
+        cb.builds.resize(2);
+        cb.builds[0].nnz = 7;
+        return cb;
+    };
+    const ColdClassBuild& a = segs.cold(ids, build);
+    const ColdClassBuild& b = segs.cold(ids, build);
+    EXPECT_EQ(&a, &b);  // same published instance, not a rebuild
+    EXPECT_EQ(cold_builds, 1);
+    EXPECT_EQ(segs.hits(), 1u);
+    EXPECT_EQ(a.builds[0].nnz, 7u);
+
+    // A different tile set (and the hot-class map) are separate entries.
+    const ColdClassBuild& c = segs.cold({0, 1}, build);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(cold_builds, 2);
+    segs.hot(ids, [] {
+        HotClassBuild hb;
+        hb.shares = {{0}};
+        hb.builds.resize(1);
+        return hb;
+    });
+    EXPECT_EQ(segs.hits(), 1u);
+}
+
+TEST(SegmentBuildCache, SimulationStatsMatchUncachedRun)
+{
+    // The segment builds served from the cache must produce the exact
+    // simulation the per-run local builds produce, for every strategy
+    // shape (all-cold, all-hot, mixed) sharing one cache.
+    CooMatrix m = genRmat(256, 4000, 0.57, 0.19, 0.19, 0.05, 77);
+    Architecture arch = makeSpadeSextans(4);
+    TileGrid g(m, arch.tile_height, arch.tile_width);
+    KernelConfig kernel;
+
+    std::vector<std::vector<uint8_t>> plans;
+    plans.emplace_back(g.numTiles(), uint8_t(0));
+    plans.emplace_back(g.numTiles(), uint8_t(1));
+    std::vector<uint8_t> mixed(g.numTiles(), 0);
+    for (size_t i = 0; i < mixed.size(); i += 2)
+        mixed[i] = 1;
+    plans.push_back(std::move(mixed));
+
+    WorkListCache cache;
+    for (const auto& is_hot : plans) {
+        SimConfig cached_cfg;
+        cached_cfg.work_cache = &cache;
+        SimStats cached = simulateExecution(arch, g, is_hot, false, kernel,
+                                            cached_cfg)
+                              .stats;
+        // Run the cached config twice so the second run is served
+        // entirely from published builds.
+        SimStats warm = simulateExecution(arch, g, is_hot, false, kernel,
+                                          cached_cfg)
+                            .stats;
+        SimStats local = simulateExecution(arch, g, is_hot, false, kernel,
+                                           SimConfig{})
+                             .stats;
+        for (const SimStats* s : {&cached, &warm}) {
+            EXPECT_EQ(s->cycles, local.cycles);
+            EXPECT_EQ(s->cold_finish, local.cold_finish);
+            EXPECT_EQ(s->hot_finish, local.hot_finish);
+            EXPECT_EQ(s->cold_cache_hits, local.cold_cache_hits);
+            EXPECT_EQ(s->cold_cache_misses, local.cold_cache_misses);
+            EXPECT_EQ(s->events_processed, local.events_processed);
+            EXPECT_EQ(s->batched_events, local.batched_events);
+        }
+    }
+    EXPECT_GT(cache.segments().hits(), 0u);
 }

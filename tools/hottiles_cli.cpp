@@ -80,6 +80,7 @@ struct Options
     std::string faults_spec;
     uint64_t fault_seed = 1;
     int total = 8;
+    bool verbose = false;
 };
 
 /** Checked numeric argument parsing: every malformed value is a clean
@@ -111,7 +112,8 @@ usage(const char* argv0)
               << " suite|analyze|partition|simulate|explore <matrix> "
                  "[--arch A] [--kernel K] [--k N] [--ai X] [--tile N] "
                  "[--seed N] [--out F] [--load F] [--total N] "
-                 "[--threads N] [--faults SPEC] [--fault-seed N]\n"
+                 "[--threads N] [--faults SPEC] [--fault-seed N] "
+                 "[--verbose]\n"
                  "<matrix> is a .mtx path or @name for a built-in proxy\n";
     std::exit(2);
 }
@@ -166,6 +168,8 @@ parseArgs(int argc, char** argv)
         else if (a == "--threads")
             o.threads = static_cast<unsigned>(
                 parseU64Arg(next("--threads"), "--threads"));
+        else if (a == "--verbose")
+            o.verbose = true;
         else
             HT_FATAL("unknown option '", a, "'");
     }
@@ -365,6 +369,12 @@ cmdSimulate(const Options& o)
                       << "predicted (fault-free) " << p.predicted_cycles
                       << " cycles vs achieved " << out.stats.cycles << "\n";
         }
+        if (o.verbose)
+            std::cout << "event loop: " << out.stats.events_processed
+                      << " events, peak queue depth "
+                      << out.stats.peak_queue_depth << ", "
+                      << out.stats.batched_events
+                      << " completions batched\n";
         if (tw)
             std::cout << "wrote " << tw->rows() << " trace rows to "
                       << o.trace_file << "\n";
@@ -380,6 +390,13 @@ cmdSimulate(const Options& o)
         cols.push_back("PEs dead");
         cols.push_back("Migrated");
     }
+    if (o.verbose) {
+        // Event-loop observability columns (identical across queue
+        // engines; useful for judging simulation cost per strategy).
+        cols.push_back("Events");
+        cols.push_back("PeakQ");
+        cols.push_back("Batched");
+    }
     Table t(cols);
     auto row = [&](const char* name, const StrategyOutcome& s) {
         std::vector<std::string> r = {
@@ -391,6 +408,11 @@ cmdSimulate(const Options& o)
             r.push_back(std::to_string(s.stats.faults.workers_failed));
             r.push_back(std::to_string(s.stats.faults.tiles_migrated) +
                         (s.stats.faults.degraded_mode ? "*" : ""));
+        }
+        if (o.verbose) {
+            r.push_back(std::to_string(s.stats.events_processed));
+            r.push_back(std::to_string(s.stats.peak_queue_depth));
+            r.push_back(std::to_string(s.stats.batched_events));
         }
         t.addRow(r);
     };
