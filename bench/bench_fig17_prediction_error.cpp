@@ -7,6 +7,13 @@
  * Din cache reuse (the model deliberately ignores caches, §IV-C), and
  * larger errors on SPADE-Sextans than on PIUMA because the SPADE L1s
  * are bigger than the MTP caches.
+ *
+ * Beyond the paper's whole-run aggregates, each HotTiles run also
+ * collects per-unit prediction-error telemetry (core/telemetry.hpp):
+ * per-tile th_i error on the hot side (exact) and per-panel tc error on
+ * the cold side (latency-weighted approximation), summarised here as a
+ * distribution per architecture and recorded into the global metrics
+ * registry under prediction_error.<arch>.*.
  */
 
 #include <iostream>
@@ -14,6 +21,7 @@
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/telemetry.hpp"
 
 using namespace hottiles;
 using namespace hottiles::bench;
@@ -26,11 +34,50 @@ relError(double predicted, double actual)
     return 100.0 * std::abs(predicted - actual) / actual;
 }
 
+/** One line summarising a per-unit error sample set. */
+void
+printUnitErrors(const char* kind, const std::vector<PredictionErrorSample>&
+                samples)
+{
+    if (samples.empty()) {
+        std::cout << "  " << kind << ": no units\n";
+        return;
+    }
+    Summary s;
+    Histogram h(0.0, 200.0, 40);
+    for (const auto& u : samples) {
+        s.add(u.error_pct);
+        h.add(u.error_pct);
+    }
+    std::cout << "  " << kind << ": " << s.count() << " units, mean "
+              << Table::num(s.mean(), 1) << "%, p50 "
+              << Table::num(h.quantile(0.5), 1) << "%, p90 "
+              << Table::num(h.quantile(0.9), 1) << "%, max "
+              << Table::num(s.max(), 1) << "%\n";
+}
+
 void
 runArch(const std::string& label, Architecture arch, Summary err[3],
         Summary& cold_err_this_arch)
 {
-    auto evs = evaluateSuite(arch, tableVNames());
+    // Per-matrix evaluation with telemetry: per-unit errors of the
+    // HotTiles strategy accumulate across the suite for this arch.
+    PredictionErrorTelemetry arch_pred;
+    std::vector<MatrixEvaluation> evs;
+    for (const auto& name : tableVNames()) {
+        PredictionErrorTelemetry pred;
+        EvalObservability obs;
+        obs.collect_prediction_error = true;
+        obs.prediction = &pred;
+        evs.push_back(evaluateMatrix(arch, suiteMatrix(name), name, {},
+                                     nullptr, obs));
+        arch_pred.hot_tiles.insert(arch_pred.hot_tiles.end(),
+                                   pred.hot_tiles.begin(),
+                                   pred.hot_tiles.end());
+        arch_pred.cold_panels.insert(arch_pred.cold_panels.end(),
+                                     pred.cold_panels.begin(),
+                                     pred.cold_panels.end());
+    }
     Table t({"Matrix", "HotOnly err %", "ColdOnly err %", "HotTiles err %",
              "Cold cache hit %"});
     for (const auto& ev : evs) {
@@ -53,6 +100,13 @@ runArch(const std::string& label, Architecture arch, Summary err[3],
     }
     std::cout << "\n" << label << ":\n";
     t.print(std::cout);
+    std::cout << "per-unit HotTiles prediction error (hot exact, cold "
+                 "latency-weighted approx):\n";
+    printUnitErrors("hot tiles ", arch_pred.hot_tiles);
+    printUnitErrors("cold panels", arch_pred.cold_panels);
+    // Per-arch registry histograms alongside the strategy-level ones
+    // recorded by evaluateMatrix itself.
+    recordPredictionError(arch_pred, label);
 }
 
 } // namespace

@@ -49,6 +49,7 @@
 
 #include "bench_util.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/calibrate.hpp"
 #include "core/hottiles.hpp"
@@ -59,15 +60,6 @@
 using namespace hottiles;
 
 namespace {
-
-/** Running geometric mean over positive ratios. */
-struct GeoMean
-{
-    double log_sum = 0;
-    size_t n = 0;
-    void add(double v) { log_sum += std::log(v); ++n; }
-    double value() const { return n ? std::exp(log_sum / double(n)) : 1.0; }
-};
 
 struct Record
 {
@@ -153,7 +145,12 @@ writeJson(const std::string& path, const std::vector<Record>& records,
             << geomean_loop_speedup << ",\n"
             << "  \"geomean_wall_speedup_vs_prepr\": "
             << geomean_wall_speedup << ",\n";
-    out << "  \"results\": [\n";
+    // Registry snapshot: phase timers (preprocess.*, format.*) and any
+    // counters the run populated, so the perf trajectory file also
+    // tracks where preprocessing time goes.
+    out << "  \"metrics\": ";
+    MetricsRegistry::global().writeJson(out);
+    out << ",\n  \"results\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
         const Record& r = records[i];
         out << "    {\"matrix\": \"" << r.matrix << "\", \"strategy\": \""

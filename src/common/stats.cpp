@@ -107,13 +107,22 @@ Histogram::binLo(size_t i) const
 double
 Histogram::quantile(double q) const
 {
+    HT_ASSERT(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: ", q);
     if (total_ == 0)
         return lo_;
-    auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
+    if (q == 0.0) {
+        for (size_t i = 0; i < counts_.size(); ++i)
+            if (counts_[i] > 0)
+                return binLo(i);
+    }
+    // Upper edge of the bin holding the ceil(q*total)-th ordered sample;
+    // q == 1 therefore lands on the last non-empty bin's upper edge even
+    // when trailing bins are empty.
+    double target = q * static_cast<double>(total_);
     uint64_t acc = 0;
     for (size_t i = 0; i < counts_.size(); ++i) {
         acc += counts_[i];
-        if (acc > target)
+        if (static_cast<double>(acc) >= target)
             return binLo(i) + width_;
     }
     return hi_;

@@ -48,7 +48,8 @@ class Summary
 class GeoMean
 {
   public:
-    /** Add one observation. @pre x > 0. */
+    /** Add one observation. @pre x > 0 (asserted: zero or negative
+     *  would poison the log-sum with -inf/NaN downstream). */
     void add(double x);
     uint64_t count() const { return n_; }
     /** Geometric mean; 1.0 when empty. */
@@ -71,7 +72,13 @@ class Histogram
     uint64_t binCount(size_t i) const { return counts_.at(i); }
     /** Lower edge of bin @p i. */
     double binLo(size_t i) const;
-    /** Value below which @p q (in [0,1]) of the mass lies (bin-resolution). */
+    /**
+     * Value below which @p q (in [0,1], asserted) of the mass lies, at
+     * bin resolution: the upper edge of the bin holding the
+     * ceil(q*total)-th ordered sample.  Edge cases are pinned: an empty
+     * histogram returns @c lo, q=0 the lower edge of the first
+     * non-empty bin, q=1 the upper edge of the last non-empty bin.
+     */
     double quantile(double q) const;
 
   private:

@@ -1,9 +1,13 @@
 #include "core/execution.hpp"
 
 #include <iterator>
+#include <memory>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/trace.hpp"
 #include "sim/worklist.hpp"
 
 namespace hottiles {
@@ -23,7 +27,7 @@ strategyName(Strategy s)
 
 StrategyOutcome
 simulatePartition(const HotTiles& ht, const Partition& p, Strategy tag,
-                  const SimConfig& scfg)
+                  const SimConfig& scfg, SimOutput* raw)
 {
     StrategyOutcome o;
     o.strategy = tag;
@@ -33,16 +37,18 @@ simulatePartition(const HotTiles& ht, const Partition& p, Strategy tag,
     cfg.compute_values = false;
     cfg.din = nullptr;
     cfg.u = nullptr;
-    o.stats = simulateExecution(ht.arch(), ht.grid(), p.is_hot, p.serial,
-                                ht.kernel(), cfg)
-                  .stats;
+    SimOutput sim = simulateExecution(ht.arch(), ht.grid(), p.is_hot,
+                                      p.serial, ht.kernel(), cfg);
+    o.stats = sim.stats;
+    if (raw)
+        *raw = std::move(sim);
     return o;
 }
 
 MatrixEvaluation
 evaluateMatrix(const Architecture& arch, const CooMatrix& a,
                const std::string& name, const HotTilesOptions& opts,
-               const FaultPlan* faults)
+               const FaultPlan* faults, const EvalObservability& obs)
 {
     HotTilesOptions o = opts;
     o.build_formats = false;  // the simulator builds work lists itself
@@ -51,6 +57,7 @@ evaluateMatrix(const Architecture& arch, const CooMatrix& a,
     MatrixEvaluation ev;
     ev.matrix = name;
     ev.preprocess = ht.timing();
+    MetricsRegistry::global().counter("evaluate.matrices").add();
 
     // The four strategy simulations only read the shared pipeline state
     // (grid, partition context), so they run concurrently; each closure
@@ -65,36 +72,78 @@ evaluateMatrix(const Architecture& arch, const CooMatrix& a,
     SimConfig scfg;
     scfg.faults = faults;
     scfg.work_cache = &work_cache;
+
+    // One shared sink serves all four concurrent strategies; a
+    // per-strategy prefix decorator keeps their sources separable.
+    std::unique_ptr<PrefixedTraceSink> prefixed[4];
+    auto strategyCfg = [&](size_t slot, Strategy s) {
+        SimConfig cfg = scfg;
+        if (obs.trace) {
+            prefixed[slot] = std::make_unique<PrefixedTraceSink>(
+                *obs.trace, strategyName(s));
+            cfg.trace = prefixed[slot].get();
+        }
+        return cfg;
+    };
+
+    // Per-unit prediction error is charged against the HotTiles
+    // partition (it is the one exercising both model columns at once).
+    // Fault-injected runs skip span collection by design.
+    const bool want_prediction =
+        (obs.collect_prediction_error || obs.prediction) &&
+        (!faults || faults->empty());
+    SimOutput hottiles_raw;
+
     const std::function<void()> sims[] = {
         [&] {
+            ScopedTimer t("evaluate.HotOnly");
             ev.hot_only.strategy = Strategy::HotOnly;
             ev.hot_only.stats =
                 simulateHomogeneous(arch, ht.grid(), /*hot=*/true, o.kernel,
-                                    scfg)
+                                    strategyCfg(0, Strategy::HotOnly))
                     .stats;
             ev.hot_only.predicted_cycles = ht.predictedHotOnlyCycles();
         },
         [&] {
+            ScopedTimer t("evaluate.ColdOnly");
             ev.cold_only.strategy = Strategy::ColdOnly;
             ev.cold_only.stats =
                 simulateHomogeneous(arch, ht.grid(), /*hot=*/false, o.kernel,
-                                    scfg)
+                                    strategyCfg(1, Strategy::ColdOnly))
                     .stats;
             ev.cold_only.predicted_cycles = ht.predictedColdOnlyCycles();
         },
         [&] {
-            ev.iunaware = simulatePartition(ht, ht.iunaware(),
-                                            Strategy::IUnaware, scfg);
+            ScopedTimer t("evaluate.IUnaware");
+            ev.iunaware =
+                simulatePartition(ht, ht.iunaware(), Strategy::IUnaware,
+                                  strategyCfg(2, Strategy::IUnaware));
         },
         [&] {
-            ev.hottiles = simulatePartition(ht, ht.partition(),
-                                            Strategy::HotTiles, scfg);
+            ScopedTimer t("evaluate.HotTiles");
+            SimConfig cfg = strategyCfg(3, Strategy::HotTiles);
+            cfg.collect_spans = want_prediction;
+            ev.hottiles =
+                simulatePartition(ht, ht.partition(), Strategy::HotTiles,
+                                  cfg, want_prediction ? &hottiles_raw
+                                                       : nullptr);
         },
     };
     parallelFor(0, std::size(sims), 1, [&](size_t b, size_t e) {
         for (size_t i = b; i < e; ++i)
             sims[i]();
     });
+    MetricsRegistry::global().counter("evaluate.strategy_runs")
+        .add(std::size(sims));
+
+    if (want_prediction) {
+        PredictionErrorTelemetry pred = computePredictionError(
+            ht.grid(), ht.context(), ev.hottiles.partition.is_hot,
+            hottiles_raw);
+        recordPredictionError(pred, strategyName(Strategy::HotTiles));
+        if (obs.prediction)
+            *obs.prediction = std::move(pred);
+    }
     return ev;
 }
 

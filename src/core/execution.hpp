@@ -13,9 +13,12 @@
 #include <string>
 
 #include "core/hottiles.hpp"
+#include "core/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace hottiles {
+
+class TraceSink;
 
 /** The five execution strategies compared in the paper. */
 enum class Strategy
@@ -71,6 +74,28 @@ struct MatrixEvaluation
 };
 
 /**
+ * Observability hooks of one evaluateMatrix run.  All optional; the
+ * defaults keep the evaluation unobserved (and its results are
+ * bit-identical either way — see docs/OBSERVABILITY.md).
+ */
+struct EvalObservability
+{
+    /** Shared trace sink; every strategy's sources arrive prefixed
+     *  `<Strategy>/` so the four concurrent simulations stay
+     *  separable.  The sink must be thread-safe (both shipped sinks
+     *  are). */
+    TraceSink* trace = nullptr;
+
+    /** Collect per-unit prediction error for the HotTiles strategy and
+     *  record it into the global metrics registry under
+     *  `prediction_error.HotTiles.*`.  No-op on fault-injected runs
+     *  (migration re-dispatches would double-charge units). */
+    bool collect_prediction_error = false;
+    /** Also copy the raw telemetry here when non-null. */
+    PredictionErrorTelemetry* prediction = nullptr;
+};
+
+/**
  * Run every strategy on @p a under @p arch (must be calibrated).
  * Preprocessing (tiling, model, partitioning) happens once and is
  * shared; each strategy is then simulated.
@@ -79,18 +104,24 @@ struct MatrixEvaluation
  *                strategy simulation (see sim/fault_injector.hpp); the
  *                predicted cycles stay fault-free, so the evaluation
  *                reports predicted-vs-achieved under faults.
+ * @param obs     optional observability hooks (trace sink, prediction-
+ *                error telemetry).
  */
 MatrixEvaluation evaluateMatrix(const Architecture& arch, const CooMatrix& a,
                                 const std::string& name,
                                 const HotTilesOptions& opts = {},
-                                const FaultPlan* faults = nullptr);
+                                const FaultPlan* faults = nullptr,
+                                const EvalObservability& obs = {});
 
 /**
  * Simulate an explicit partition on a prepared HotTiles pipeline.
  * @p scfg forwards simulation options (trace, fault plan, ...);
  * compute_values stays off — only the stats are kept.
+ * @p raw, when non-null, receives the full SimOutput (bandwidth
+ * samples, unit spans) beyond the stats embedded in the outcome.
  */
 StrategyOutcome simulatePartition(const HotTiles& ht, const Partition& p,
-                                  Strategy tag, const SimConfig& scfg = {});
+                                  Strategy tag, const SimConfig& scfg = {},
+                                  SimOutput* raw = nullptr);
 
 } // namespace hottiles

@@ -1,6 +1,7 @@
 #include "core/hottiles.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "partition/predicted_runtime.hpp"
 #include "sim/merger.hpp"
 
@@ -58,6 +59,17 @@ HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
         hot_format_ = buildTiledWork(*grid_, partition_.hotTiles());
         timing_.format_extra_s = monotonicSeconds() - t4;
         formats_built_ = true;
+    }
+
+    // Mirror the Fig 18 stage breakdown into the metrics registry so
+    // `--metrics` reports phase timings without a bench harness.
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.timer("preprocess.scan").observe(timing_.scan_s);
+    reg.timer("preprocess.model").observe(timing_.model_s);
+    reg.timer("preprocess.partition").observe(timing_.partition_s);
+    if (opts_.build_formats) {
+        reg.timer("preprocess.format_base").observe(timing_.format_base_s);
+        reg.timer("preprocess.format_extra").observe(timing_.format_extra_s);
     }
 }
 

@@ -1,0 +1,101 @@
+#include "core/telemetry.hpp"
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace hottiles {
+
+namespace {
+
+/** Sum span cycles per unit, preserving first-retire order of units. */
+std::map<uint32_t, double>
+sumSpans(const std::vector<UnitSpan>& spans)
+{
+    std::map<uint32_t, double> per_unit;
+    for (const UnitSpan& s : spans) {
+        HT_DASSERT(s.end >= s.begin, "span ends before it begins");
+        per_unit[s.unit] += double(s.end - s.begin);
+    }
+    return per_unit;
+}
+
+PredictionErrorSample
+makeSample(uint32_t unit, double predicted, double simulated)
+{
+    PredictionErrorSample out;
+    out.unit = unit;
+    out.predicted_cycles = predicted;
+    out.simulated_cycles = simulated;
+    out.error_pct = 100.0 * std::abs(predicted - simulated) / simulated;
+    return out;
+}
+
+} // namespace
+
+PredictionErrorTelemetry
+computePredictionError(const TileGrid& grid, const PartitionContext& ctx,
+                       const std::vector<uint8_t>& is_hot,
+                       const SimOutput& sim)
+{
+    HT_ASSERT(ctx.estimates.size() == grid.numTiles(),
+              "estimate/grid size mismatch");
+    HT_ASSERT(is_hot.size() == grid.numTiles(),
+              "assignment/grid size mismatch");
+    PredictionErrorTelemetry out;
+
+    // Hot/stream side: one segment per tile, so the span *is* the
+    // tile's simulated execution time and the model's th_i maps 1:1.
+    for (const auto& [tile, cycles] : sumSpans(sim.hot_spans)) {
+        if (cycles <= 0.0 || tile >= ctx.estimates.size())
+            continue;
+        out.hot_tiles.push_back(
+            makeSample(tile, ctx.estimates[tile].th, cycles));
+    }
+
+    // Cold/demand side: segments are pipelined slices of a row panel;
+    // their summed spans give a latency-weighted panel time compared
+    // against the summed tc_i of the panel's cold tiles (see file doc).
+    for (const auto& [panel, cycles] : sumSpans(sim.cold_spans)) {
+        if (cycles <= 0.0 || panel >= uint32_t(grid.numPanels()))
+            continue;
+        auto [first, last] = grid.panelTiles(Index(panel));
+        double predicted = 0.0;
+        for (size_t t = first; t < last; ++t)
+            if (!is_hot[t])
+                predicted += ctx.estimates[t].tc;
+        if (predicted <= 0.0)
+            continue;
+        out.cold_panels.push_back(makeSample(panel, predicted, cycles));
+    }
+    return out;
+}
+
+void
+recordPredictionError(const PredictionErrorTelemetry& t,
+                      std::string_view label)
+{
+    recordPredictionError(t, label, MetricsRegistry::global());
+}
+
+void
+recordPredictionError(const PredictionErrorTelemetry& t,
+                      std::string_view label, MetricsRegistry& reg)
+{
+    const std::string base = "prediction_error." + std::string(label);
+    if (!t.hot_tiles.empty()) {
+        auto& h = reg.histogram(base + ".hot_tile_pct", 0.0, 200.0, 40);
+        for (const PredictionErrorSample& s : t.hot_tiles)
+            h.observe(s.error_pct);
+    }
+    if (!t.cold_panels.empty()) {
+        auto& h = reg.histogram(base + ".cold_panel_pct", 0.0, 200.0, 40);
+        for (const PredictionErrorSample& s : t.cold_panels)
+            h.observe(s.error_pct);
+    }
+}
+
+} // namespace hottiles

@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Prediction-error telemetry: charges the simulator's per-segment
+ * [issue, retire] spans back against the analytical model's per-tile
+ * estimates (th_i / tc_i, §V-A), yielding the per-unit relative error
+ * distribution behind Fig 17's aggregate numbers.  This is the
+ * instrument for finding *where* the five-task overlap model diverges
+ * from simulated execution, not just by how much.
+ *
+ * Hot (streaming) workers execute one segment per tile, so the hot-side
+ * comparison is exact.  Cold (demand) workers chop a row panel into
+ * many pipelined segments whose spans overlap in flight; summing them
+ * yields a latency-weighted panel time that over-counts overlap, so the
+ * cold-side error is an upper-bound approximation — documented, and
+ * still sharp enough to rank panels by model fidelity.
+ */
+
+#include <string_view>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "sim/simulator.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+class MetricsRegistry;
+
+/** One model unit's predicted-vs-simulated execution time. */
+struct PredictionErrorSample
+{
+    uint32_t unit = 0;            //!< tile id (hot) or panel id (cold)
+    double predicted_cycles = 0;  //!< model th_i (hot) / sum tc_i (cold)
+    double simulated_cycles = 0;  //!< span cycles charged to the unit
+    double error_pct = 0;         //!< 100 * |pred - sim| / sim
+};
+
+/** Per-unit prediction error of one simulated execution. */
+struct PredictionErrorTelemetry
+{
+    std::vector<PredictionErrorSample> hot_tiles;    //!< exact per tile
+    std::vector<PredictionErrorSample> cold_panels;  //!< approx per panel
+
+    bool empty() const { return hot_tiles.empty() && cold_panels.empty(); }
+};
+
+/**
+ * Compare the model estimates in @p ctx against the unit spans of one
+ * simulated execution (@p sim must come from a run with
+ * SimConfig::collect_spans).  @p is_hot is the simulated assignment;
+ * units with zero simulated cycles are skipped.
+ */
+PredictionErrorTelemetry computePredictionError(
+    const TileGrid& grid, const PartitionContext& ctx,
+    const std::vector<uint8_t>& is_hot, const SimOutput& sim);
+
+/**
+ * Feed the telemetry into registry histograms
+ * `prediction_error.<label>.hot_tile_pct` and
+ * `prediction_error.<label>.cold_panel_pct` (relative error in percent,
+ * clamped to [0, 200) over 40 bins).
+ */
+void recordPredictionError(const PredictionErrorTelemetry& t,
+                           std::string_view label);
+void recordPredictionError(const PredictionErrorTelemetry& t,
+                           std::string_view label, MetricsRegistry& reg);
+
+} // namespace hottiles

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "model/time_model.hpp"
@@ -14,6 +15,7 @@ std::vector<TileEstimate>
 estimateTiles(const TileGrid& grid, const WorkerTraits& hot,
               const WorkerTraits& cold, const KernelConfig& kernel)
 {
+    ScopedTimer timer("model.estimate_tiles");
     std::vector<TileEstimate> estimates(grid.numTiles());
     parallelFor(0, grid.numTiles(), kGrainTiles, [&](size_t b, size_t e) {
         for (size_t i = b; i < e; ++i) {

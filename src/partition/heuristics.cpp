@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "partition/predicted_runtime.hpp"
 
@@ -154,6 +155,7 @@ allHeuristicPartitions(const PartitionContext& ctx)
 Partition
 hotTilesPartition(const PartitionContext& ctx)
 {
+    ScopedTimer timer("partition.heuristics");
     std::vector<Partition> candidates = allHeuristicPartitions(ctx);
     HT_ASSERT(!candidates.empty(), "no heuristics ran");
     size_t best = 0;

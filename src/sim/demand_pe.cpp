@@ -62,8 +62,10 @@ buildDemandSegments(const UntiledWork& work,
     SegSpec seg{};
     auto flush = [&]() {
         if (seg.nnz > 0 || seg.read_lines > 0 || seg.write_lines > 0) {
+            const uint32_t unit = seg.unit;
             out.segs.push_back(seg);
             seg = SegSpec{};
+            seg.unit = unit;  // successor stays in the same row panel
         }
     };
     auto addSparseBytes = [&](double bytes) {
@@ -83,6 +85,9 @@ buildDemandSegments(const UntiledWork& work,
 
     for (const PanelSlice& sl : slices) {
         const PanelWork& pw = work.panels.at(sl.panel);
+        // Demand segments never straddle slices (flush() below), so the
+        // whole segment belongs to this slice's row panel.
+        seg.unit = static_cast<uint32_t>(pw.panel);
         for (size_t i = sl.begin; i < sl.end; ++i) {
             const Index r = pw.rows[i];
             const Index c = pw.cols[i];

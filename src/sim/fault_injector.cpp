@@ -771,6 +771,10 @@ FaultRun::run()
                    std::chrono::steady_clock::now() - loop_t0)
                    .count();
 
+    // An aborting run is exactly when the trace tail matters: push it to
+    // the stream before throwing.
+    if (cfg_.trace && (run_failed_ || !finished_))
+        cfg_.trace->flush();
     HT_FATAL_IF(run_failed_, "fault-injected run failed: ", fail_reason_,
                 " (", fstats_.workers_failed, " workers dead, ",
                 fstats_.tiles_migrated, " tiles migrated)");

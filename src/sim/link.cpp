@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "sim/trace.hpp"
 
 namespace hottiles {
 
@@ -31,6 +32,12 @@ Link::access(uint64_t lines, bool write, EventQueue::Callback cb)
         return;
     }
     lines_forwarded_ += lines;
+    // Observational only (no events scheduled): see MemorySystem.
+    if (trace_ && eq_.now() != last_trace_tick_) {
+        last_trace_tick_ = eq_.now();
+        trace_->counter(trace_name_, "lines_forwarded", eq_.now(),
+                        double(lines_forwarded_));
+    }
     const double service = double(lines) * cycles_per_line_ / bw_derate_;
     const double start = std::max(double(eq_.now()), next_free_);
     next_free_ = start + service;
@@ -69,6 +76,13 @@ Link::onCrossed()
         fifo_.pop_front();
         downstream_.access(x.lines, x.write, std::move(x.cb));
     }
+}
+
+void
+Link::setTrace(TraceSink* trace, std::string name)
+{
+    trace_ = trace;
+    trace_name_ = std::move(name);
 }
 
 void

@@ -10,6 +10,8 @@
  * bandwidth is min(link, downstream share).
  */
 
+#include <string>
+
 #include "sim/memory_system.hpp"
 #include "sim/ring.hpp"
 
@@ -40,6 +42,11 @@ class Link : public MemPort
 
     /** Crossings that piggy-backed on an already-scheduled event. */
     uint64_t batchedEvents() const { return batched_; }
+
+    /** Attach an optional trace sink: emits a cumulative
+     *  `lines_forwarded` counter track under @p name, at most one
+     *  sample per tick, without scheduling any events. */
+    void setTrace(TraceSink* trace, std::string name);
 
   private:
     /** One in-flight transfer waiting to cross the link. */
@@ -74,6 +81,10 @@ class Link : public MemPort
     Tick last_crossed_ = 0;
     uint64_t last_sched_mark_ = 0;
     uint64_t batched_ = 0;
+
+    TraceSink* trace_ = nullptr;
+    std::string trace_name_;
+    Tick last_trace_tick_ = ~Tick(0);  //!< per-tick counter throttle
 };
 
 } // namespace hottiles

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "sim/trace.hpp"
 
 namespace hottiles {
 
@@ -28,6 +29,17 @@ MemorySystem::access(uint64_t lines, bool write, EventQueue::Callback cb)
         lines_written_ += lines;
     else
         lines_read_ += lines;
+
+    // Counter tracks piggy-back on the request path (no events are
+    // scheduled, so simulated time is unchanged), sampled at most once
+    // per tick to bound trace volume.
+    if (trace_ && eq_.now() != last_trace_tick_) {
+        last_trace_tick_ = eq_.now();
+        trace_->counter("memory", "bytes_total", eq_.now(),
+                        bytesTransferred());
+        trace_->counter("simulator", "queue_depth", eq_.now(),
+                        double(eq_.pending()));
+    }
 
     const double service = double(lines) * cycles_per_line_ / bw_derate_;
     const double start = std::max(double(eq_.now()), next_free_);

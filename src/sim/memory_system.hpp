@@ -16,6 +16,8 @@
 
 namespace hottiles {
 
+class TraceSink;
+
 /** Abstract memory-side port: transfer lines, get a completion callback. */
 class MemPort
 {
@@ -68,6 +70,15 @@ class MemorySystem : public MemPort
     /** Zero the statistics (the schedule state is kept). */
     void resetStats();
 
+    /**
+     * Attach an optional trace sink: the controller emits cumulative
+     * `bytes_total` and event-queue `queue_depth` counter tracks,
+     * throttled to at most one sample per simulated tick.  Emission is
+     * purely observational — no events are scheduled — so simulated
+     * time is bit-identical with and without a sink.
+     */
+    void setTrace(TraceSink* trace) { trace_ = trace; }
+
     /** Fire-and-forget completions absorbed by the drain sentinel
      *  instead of each scheduling their own no-op event. */
     uint64_t coalescedDrains() const { return coalesced_drains_; }
@@ -103,6 +114,9 @@ class MemorySystem : public MemPort
     Tick drain_target_ = 0;
     bool sentinel_pending_ = false;
     uint64_t coalesced_drains_ = 0;
+
+    TraceSink* trace_ = nullptr;
+    Tick last_trace_tick_ = ~Tick(0);  //!< per-tick counter throttle
 };
 
 } // namespace hottiles

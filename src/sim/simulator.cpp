@@ -241,11 +241,21 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
         }
     }
 
+    SimOutput out;
     if (cfg.trace) {
         for (auto& pe : cold.pes)
             pe->setTrace(cfg.trace);
         for (auto& pe : hot.pes)
             pe->setTrace(cfg.trace);
+        mem.setTrace(cfg.trace);
+        if (pcie)
+            pcie->setTrace(cfg.trace, "pcie");
+    }
+    if (cfg.collect_spans) {
+        for (auto& pe : cold.pes)
+            pe->setSpanCollector(&out.cold_spans);
+        for (auto& pe : hot.pes)
+            pe->setSpanCollector(&out.hot_spans);
     }
     std::unique_ptr<BandwidthProbe> probe;
     if (cfg.bw_probe_interval > 0) {
@@ -256,6 +266,7 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
 
     // Execute.
     const auto loop_t0 = std::chrono::steady_clock::now();
+    const Tick exec_start = eq.now();
     Tick merge_start = 0;
     if (serial) {
         cold.startAll(eq);
@@ -291,7 +302,13 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
             std::chrono::steady_clock::now() - loop_t0)
             .count();
 
-    SimOutput out;
+    if (cfg.trace) {
+        cfg.trace->span("simulator", "execute", exec_start, merge_start);
+        if (eq.now() > merge_start)
+            cfg.trace->span("simulator", "merge", merge_start, eq.now());
+        cfg.trace->flush();
+    }
+
     if (probe)
         out.bw_samples = probe->samples();
     SimStats& st = out.stats;

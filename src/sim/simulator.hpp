@@ -14,12 +14,13 @@
 #include <vector>
 
 #include "arch/arch_config.hpp"
+#include "sim/worker.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/tiling.hpp"
 
 namespace hottiles {
 
-class TraceWriter;
+class TraceSink;
 struct FaultPlan;
 class WorkListCache;
 
@@ -32,10 +33,19 @@ struct SimConfig
     const DenseMatrix* din = nullptr;  //!< Din (SpMM/SpMV) or V (SDDMM)
     const DenseMatrix* u = nullptr;    //!< U operand (SDDMM only)
 
-    /** Optional per-segment CSV trace (see sim/trace.hpp). */
-    TraceWriter* trace = nullptr;
+    /** Optional trace sink: PE issue/retire, memory and link counter
+     *  tracks, fault records (see sim/trace.hpp, sim/trace_json.hpp).
+     *  Tracing only observes — SimStats stay bit-identical with and
+     *  without a sink attached. */
+    TraceSink* trace = nullptr;
     /** >0 samples achieved bandwidth every this many cycles. */
     Tick bw_probe_interval = 0;
+
+    /** Collect per-segment [issue, retire] spans attributed to model
+     *  units (tiles / row panels) into SimOutput::{hot,cold}_spans for
+     *  prediction-error telemetry.  Ignored on fault-injected runs
+     *  (migration re-dispatches would double-charge units). */
+    bool collect_spans = false;
 
     /**
      * Optional fault-injection plan (see sim/fault_injector.hpp).  A
@@ -112,6 +122,11 @@ struct SimOutput
     /** Bandwidth-over-time samples (bytes/cycle per window) when a
      *  probe interval was configured. */
     std::vector<double> bw_samples;
+    /** Per-segment spans attributed to model units (tile ids for the
+     *  hot/stream class, row-panel ids for the cold/demand class) when
+     *  SimConfig::collect_spans is set; retire order. */
+    std::vector<UnitSpan> hot_spans;
+    std::vector<UnitSpan> cold_spans;
 };
 
 /**

@@ -35,6 +35,7 @@ buildStreamSegments(const TiledWork& work,
             const size_t tid = tiles[k];
             const Tile& t = grid.tile(tid);
             SegSpec seg{};
+            seg.unit = static_cast<uint32_t>(tid);  // one segment == one tile
 
             // Din tile stream: the whole tile width, used or not.
             uint64_t din_lines = uint64_t(t.width) * row_lines;

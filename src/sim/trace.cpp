@@ -7,9 +7,40 @@
 
 namespace hottiles {
 
+namespace {
+
+/** RFC 4180: quote a field containing comma/quote/newline, doubling
+ *  inner quotes, so sink output stays parseable CSV whatever the
+ *  source/event names contain. */
+std::string
+csvEscape(std::string_view s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string_view::npos)
+        return std::string(s);
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
 TraceWriter::TraceWriter(std::ostream& os) : os_(os)
 {
     os_ << "tick,source,event,detail0,detail1\n";
+}
+
+TraceWriter::~TraceWriter()
+{
+    // A FatalError or fault-injected abort must not lose the trace tail
+    // — that is exactly when the trace matters most.
+    os_.flush();
 }
 
 void
@@ -17,9 +48,89 @@ TraceWriter::record(Tick tick, std::string_view source,
                     std::string_view event, uint64_t detail0,
                     uint64_t detail1)
 {
-    os_ << tick << ',' << source << ',' << event << ',' << detail0 << ','
-        << detail1 << '\n';
+    std::lock_guard<std::mutex> lk(mu_);
+    os_ << tick << ',' << csvEscape(source) << ',' << csvEscape(event) << ','
+        << detail0 << ',' << detail1 << '\n';
     ++rows_;
+}
+
+void
+TraceWriter::span(std::string_view source, std::string_view name, Tick begin,
+                  Tick end, uint64_t detail0, uint64_t detail1)
+{
+    // One row at the end tick: a PE "retire" span is byte-identical to
+    // the pre-TraceSink CSV output.
+    (void)begin;
+    record(end, source, name, detail0, detail1);
+}
+
+void
+TraceWriter::counter(std::string_view source, std::string_view name,
+                     Tick tick, double value)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    os_ << tick << ',' << csvEscape(source) << ",counter."
+        << csvEscape(name) << ',' << value << ",0\n";
+    ++rows_;
+}
+
+void
+TraceWriter::flush()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    os_.flush();
+}
+
+uint64_t
+TraceWriter::rows() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return rows_;
+}
+
+PrefixedTraceSink::PrefixedTraceSink(TraceSink& inner, std::string prefix)
+    : inner_(inner), prefix_(std::move(prefix))
+{
+}
+
+std::string
+PrefixedTraceSink::prefixed(std::string_view source) const
+{
+    std::string s;
+    s.reserve(prefix_.size() + 1 + source.size());
+    s += prefix_;
+    s += '/';
+    s += source;
+    return s;
+}
+
+void
+PrefixedTraceSink::record(Tick tick, std::string_view source,
+                          std::string_view event, uint64_t detail0,
+                          uint64_t detail1)
+{
+    inner_.record(tick, prefixed(source), event, detail0, detail1);
+}
+
+void
+PrefixedTraceSink::span(std::string_view source, std::string_view name,
+                        Tick begin, Tick end, uint64_t detail0,
+                        uint64_t detail1)
+{
+    inner_.span(prefixed(source), name, begin, end, detail0, detail1);
+}
+
+void
+PrefixedTraceSink::counter(std::string_view source, std::string_view name,
+                           Tick tick, double value)
+{
+    inner_.counter(prefixed(source), name, tick, value);
+}
+
+void
+PrefixedTraceSink::flush()
+{
+    inner_.flush();
 }
 
 BandwidthProbe::BandwidthProbe(EventQueue& eq, const MemorySystem& mem,
@@ -42,12 +153,17 @@ BandwidthProbe::tick()
     double bytes = mem_.bytesTransferred();
     double delta = bytes - last_bytes_;
     last_bytes_ = bytes;
-    samples_.push_back(delta / double(interval_));
     // Keep sampling while traffic flows; an idle window with an
     // otherwise-empty queue would keep the simulation alive forever, so
     // stop once a window sees no bytes and no other events are pending.
-    if (delta > 0.0 || eq_.pending() > 0)
+    // That terminating window is a stop sentinel, not a measurement —
+    // recording it as a 0.0 sample would deflate mean-bandwidth stats
+    // and inflate sample counts by one.  Mid-run idle windows (queue
+    // still busy) are real samples and are kept.
+    if (delta > 0.0 || eq_.pending() > 0) {
+        samples_.push_back(delta / double(interval_));
         eq_.scheduleIn(interval_, [this] { tick(); });
+    }
 }
 
 double

@@ -2,15 +2,25 @@
 
 /**
  * @file
- * Simulator observability: a CSV event trace of PE activity (issue /
- * retire per pipeline segment) and a bandwidth probe that samples the
- * memory controller's achieved bytes/cycle over fixed windows.  Both
- * are optional — attach them through SimConfig — and exist to make the
+ * Simulator observability: polymorphic trace sinks fed by the simulator
+ * core (PE issue/retire spans, link and memory-controller counter
+ * tracks, fault records) plus a bandwidth probe that samples the memory
+ * controller's achieved bytes/cycle over fixed windows.  All of it is
+ * optional — attach a sink through SimConfig — and exists to make the
  * simulator debuggable the way SST/gem5 runs are: you can see which PE
  * stalls, when the controller saturates, and how the Merger tail looks.
+ *
+ * Two sinks ship: TraceWriter (line-oriented CSV, grep-friendly) and
+ * ChromeTraceWriter (sim/trace_json.hpp — Chrome trace-event JSON for
+ * Perfetto / chrome://tracing).  Sinks must tolerate concurrent calls:
+ * evaluateMatrix simulates four strategies in parallel against one
+ * shared sink.  Producing trace output must never perturb simulated
+ * time — sinks only observe; the determinism suite pins bit-identical
+ * SimStats with tracing on and off.
  */
 
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,22 +30,92 @@
 
 namespace hottiles {
 
-/** Line-oriented CSV sink for simulator events. */
-class TraceWriter
+/**
+ * Abstract consumer of simulator events.  Implementations are
+ * thread-safe; every hook must be cheap enough to sit on the event hot
+ * path (the simulator calls them only when a sink is attached).
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** One instantaneous event: tick, source unit, event name, two
+     *  free-form detail values. */
+    virtual void record(Tick tick, std::string_view source,
+                        std::string_view event, uint64_t detail0 = 0,
+                        uint64_t detail1 = 0) = 0;
+
+    /** One duration event covering [begin, end] simulated ticks (a PE
+     *  pipeline segment, a preprocess phase, the merge tail). */
+    virtual void span(std::string_view source, std::string_view name,
+                      Tick begin, Tick end, uint64_t detail0 = 0,
+                      uint64_t detail1 = 0) = 0;
+
+    /** One sample of a per-source counter track (bytes moved, queue
+     *  depth) at the given tick. */
+    virtual void counter(std::string_view source, std::string_view name,
+                         Tick tick, double value) = 0;
+
+    /** Push buffered output to the underlying stream.  Called by the
+     *  simulator before fatal paths so the trace tail survives. */
+    virtual void flush() {}
+};
+
+/**
+ * Line-oriented CSV sink (`tick,source,event,detail0,detail1`).  Spans
+ * land as one row at their end tick — so a PE retire row is exactly the
+ * pre-TraceSink output — and counters as `counter.<name>` rows with the
+ * value in detail0.  Fields are RFC 4180-escaped, rows are written
+ * under a mutex, and the stream is flushed on destruction.
+ */
+class TraceWriter : public TraceSink
 {
   public:
     /** Writes the CSV header immediately. */
     explicit TraceWriter(std::ostream& os);
+    ~TraceWriter() override;
 
-    /** Append one event row: tick, source, event, two detail columns. */
     void record(Tick tick, std::string_view source, std::string_view event,
-                uint64_t detail0 = 0, uint64_t detail1 = 0);
+                uint64_t detail0 = 0, uint64_t detail1 = 0) override;
+    void span(std::string_view source, std::string_view name, Tick begin,
+              Tick end, uint64_t detail0 = 0, uint64_t detail1 = 0) override;
+    void counter(std::string_view source, std::string_view name, Tick tick,
+                 double value) override;
+    void flush() override;
 
-    uint64_t rows() const { return rows_; }
+    uint64_t rows() const;
 
   private:
+    mutable std::mutex mu_;
     std::ostream& os_;
     uint64_t rows_ = 0;
+};
+
+/**
+ * Decorator that prefixes every source with `<prefix>/` before
+ * forwarding, so four strategies sharing one sink stay separable
+ * (`HotTiles/stream0`, `ColdOnly/demand3`, ...).  Not flushed on
+ * destruction — the wrapped sink owns the stream.
+ */
+class PrefixedTraceSink : public TraceSink
+{
+  public:
+    PrefixedTraceSink(TraceSink& inner, std::string prefix);
+
+    void record(Tick tick, std::string_view source, std::string_view event,
+                uint64_t detail0 = 0, uint64_t detail1 = 0) override;
+    void span(std::string_view source, std::string_view name, Tick begin,
+              Tick end, uint64_t detail0 = 0, uint64_t detail1 = 0) override;
+    void counter(std::string_view source, std::string_view name, Tick tick,
+                 double value) override;
+    void flush() override;
+
+  private:
+    std::string prefixed(std::string_view source) const;
+
+    TraceSink& inner_;
+    std::string prefix_;
 };
 
 /**
@@ -53,7 +133,9 @@ class BandwidthProbe
      *  when a window passes with no new traffic and nothing pending. */
     void start();
 
-    /** One sample per elapsed window: achieved bytes/cycle. */
+    /** One sample per elapsed window: achieved bytes/cycle.  The
+     *  terminating idle window (no traffic, queue drained) is the stop
+     *  sentinel, not a measurement, and is not recorded. */
     const std::vector<double>& samples() const { return samples_; }
     Tick interval() const { return interval_; }
 

@@ -1,0 +1,104 @@
+#include "sim/trace_json.hpp"
+
+#include <ostream>
+
+#include "common/metrics.hpp"  // jsonEscape
+
+namespace hottiles {
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(os)
+{
+    os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+int
+ChromeTraceWriter::tidFor(std::string_view source)
+{
+    auto it = tids_.find(source);
+    if (it != tids_.end())
+        return it->second;
+    int tid = static_cast<int>(tids_.size()) + 1;
+    tids_.emplace(std::string(source), tid);
+    // Name the track so Perfetto shows the unit name, not a number.
+    os_ << (first_ ? "\n" : ",\n")
+        << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << jsonEscape(source) << "\"}}";
+    first_ = false;
+    return tid;
+}
+
+void
+ChromeTraceWriter::openEvent(char ph, int tid, Tick ts)
+{
+    os_ << (first_ ? "\n" : ",\n") << "{\"ph\":\"" << ph
+        << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << ts;
+    first_ = false;
+    ++events_;
+}
+
+void
+ChromeTraceWriter::record(Tick tick, std::string_view source,
+                          std::string_view event, uint64_t detail0,
+                          uint64_t detail1)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    int tid = tidFor(source);
+    openEvent('i', tid, tick);
+    os_ << ",\"s\":\"t\",\"name\":\"" << jsonEscape(event)
+        << "\",\"args\":{\"detail0\":" << detail0 << ",\"detail1\":"
+        << detail1 << "}}";
+}
+
+void
+ChromeTraceWriter::span(std::string_view source, std::string_view name,
+                        Tick begin, Tick end, uint64_t detail0,
+                        uint64_t detail1)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    int tid = tidFor(source);
+    openEvent('X', tid, begin);
+    os_ << ",\"dur\":" << (end >= begin ? end - begin : 0)
+        << ",\"name\":\"" << jsonEscape(name)
+        << "\",\"args\":{\"detail0\":" << detail0 << ",\"detail1\":"
+        << detail1 << "}}";
+}
+
+void
+ChromeTraceWriter::counter(std::string_view source, std::string_view name,
+                           Tick tick, double value)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    int tid = tidFor(source);
+    openEvent('C', tid, tick);
+    os_ << ",\"name\":\"" << jsonEscape(source) << '.' << jsonEscape(name)
+        << "\",\"args\":{\"" << jsonEscape(name) << "\":";
+    // Counter values ride the same inf/nan-free contract as metrics.
+    if (value != value)
+        os_ << "0";
+    else
+        os_ << value;
+    os_ << "}}";
+}
+
+void
+ChromeTraceWriter::flush()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    os_.flush();
+}
+
+uint64_t
+ChromeTraceWriter::events() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_;
+}
+
+} // namespace hottiles

@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Chrome trace-event JSON sink: the same simulator event stream as the
+ * CSV TraceWriter, rendered as a `{"traceEvents":[...]}` document that
+ * loads directly in Perfetto (https://ui.perfetto.dev) or
+ * chrome://tracing.  Spans become duration ("X") events, instantaneous
+ * records become instant ("i") events, and counter tracks become
+ * counter ("C") events, one named track per source unit.
+ *
+ * Timestamps are simulated cycles written into the `ts`/`dur`
+ * microsecond fields verbatim — the viewer's time axis therefore reads
+ * in cycles, which is the unit every model quantity uses anyway.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "sim/trace.hpp"
+
+namespace hottiles {
+
+/** Streaming Chrome trace-event writer; see file comment. */
+class ChromeTraceWriter : public TraceSink
+{
+  public:
+    /** Opens the traceEvents array immediately. */
+    explicit ChromeTraceWriter(std::ostream& os);
+    /** Closes the JSON document and flushes — the file is valid even
+     *  when destruction happens during FatalError unwinding. */
+    ~ChromeTraceWriter() override;
+
+    void record(Tick tick, std::string_view source, std::string_view event,
+                uint64_t detail0 = 0, uint64_t detail1 = 0) override;
+    void span(std::string_view source, std::string_view name, Tick begin,
+              Tick end, uint64_t detail0 = 0, uint64_t detail1 = 0) override;
+    void counter(std::string_view source, std::string_view name, Tick tick,
+                 double value) override;
+    void flush() override;
+
+    uint64_t events() const;
+
+  private:
+    /** Track id for @p source, emitting the thread_name metadata event
+     *  on first sight.  Caller holds the lock. */
+    int tidFor(std::string_view source);
+    void openEvent(char ph, int tid, Tick ts);
+
+    mutable std::mutex mu_;
+    std::ostream& os_;
+    std::map<std::string, int, std::less<>> tids_;
+    uint64_t events_ = 0;
+    bool first_ = true;
+};
+
+} // namespace hottiles

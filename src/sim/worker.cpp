@@ -85,6 +85,11 @@ PipelinedWorker::issueNext()
         ++inflight_;
         const SegSpec& s = segs_[idx];
         stats_.lines_read += s.read_lines;
+        if (trace_ || spans_) {
+            if (issue_ticks_.size() <= idx)
+                issue_ticks_.resize(idx + 1, stats_.start);
+            issue_ticks_[idx] = eq_.now();
+        }
         if (trace_)
             trace_->record(eq_.now(), name_, "issue", idx, s.read_lines);
         if (s.read_lines == 0) {
@@ -120,8 +125,12 @@ PipelinedWorker::retire(size_t idx)
     if (failed_)
         return;  // fail-stopped mid-compute: the result is discarded
     const SegSpec& s = segs_[idx];
+    const Tick issued =
+        idx < issue_ticks_.size() ? issue_ticks_[idx] : stats_.start;
     if (trace_)
-        trace_->record(eq_.now(), name_, "retire", idx, s.nnz);
+        trace_->span(name_, "retire", issued, eq_.now(), idx, s.nnz);
+    if (spans_ && s.unit != kNoUnit)
+        spans_->push_back({s.unit, s.nnz, issued, eq_.now()});
     stats_.nnz += s.nnz;
     ++stats_.segments;
     stats_.compute_cycles += double(s.compute_cycles);

@@ -29,7 +29,10 @@
 
 namespace hottiles {
 
-class TraceWriter;
+class TraceSink;
+
+/** SegSpec::unit value meaning "not attributed to any model unit". */
+inline constexpr uint32_t kNoUnit = UINT32_MAX;
 
 /** One unit of pipelined work. */
 struct SegSpec
@@ -38,6 +41,24 @@ struct SegSpec
     uint32_t write_lines = 0;   //!< posted line writes at retire
     float compute_cycles = 0;   //!< functional-unit occupancy
     uint32_t nnz = 0;           //!< nonzeros retired by this segment
+    /** Model unit this segment belongs to — tile id for streaming
+     *  workers, row-panel id for demand workers — so simulated segment
+     *  times can be charged back against the analytical model's
+     *  per-tile th/tc estimates (Fig 17 telemetry).  kNoUnit opts out. */
+    uint32_t unit = kNoUnit;
+};
+
+/**
+ * One retired segment attributed to a model unit: [issue, retire]
+ * simulated ticks.  Collected per PE class (see SimOutput) to compare
+ * against the roofline model's per-tile predictions.
+ */
+struct UnitSpan
+{
+    uint32_t unit = kNoUnit;  //!< tile id (stream) or panel id (demand)
+    uint32_t nnz = 0;
+    Tick begin = 0;           //!< issue tick
+    Tick end = 0;             //!< retire tick
 };
 
 /** Post-run statistics of one PE. */
@@ -68,8 +89,14 @@ class PipelinedWorker
      *  the last segment (posted writes may still be draining). */
     void start(EventQueue::Callback on_done = {});
 
-    /** Attach an optional CSV trace (issue/retire per segment). */
-    void setTrace(TraceWriter* trace) { trace_ = trace; }
+    /** Attach an optional trace sink (issue records + retire spans per
+     *  segment).  Attach before start(). */
+    void setTrace(TraceSink* trace) { trace_ = trace; }
+
+    /** Collect [issue, retire] spans of unit-attributed segments into
+     *  @p spans (owned by the caller; appended in retire order).
+     *  Attach before start(). */
+    void setSpanCollector(std::vector<UnitSpan>* spans) { spans_ = spans; }
 
     /**
      * Append more work to the segment list.  If the worker already
@@ -123,7 +150,9 @@ class PipelinedWorker
     bool done_ = false;
     WorkerStats stats_;
     EventQueue::Callback on_done_;
-    TraceWriter* trace_ = nullptr;
+    TraceSink* trace_ = nullptr;
+    std::vector<UnitSpan>* spans_ = nullptr;
+    std::vector<Tick> issue_ticks_;  //!< lazily kept when observed
 };
 
 } // namespace hottiles

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/segment_cache.hpp"
 
@@ -22,6 +23,7 @@ WorkListCache::~WorkListCache() = default;
 UntiledWork
 buildUntiledWork(const TileGrid& grid, const std::vector<size_t>& tile_ids)
 {
+    ScopedTimer timer("format.untiled_build");
     // Tiles arrive in grid order (panel, tcol); group consecutively.
     // The grouping scan is cheap and serial; building each panel's
     // gather + sort is independent and runs on the pool.
@@ -87,6 +89,7 @@ buildUntiledWork(const TileGrid& grid, const std::vector<size_t>& tile_ids)
 TiledWork
 buildTiledWork(const TileGrid& grid, const std::vector<size_t>& tile_ids)
 {
+    ScopedTimer timer("format.tiled_build");
     TiledWork work;
     size_t i = 0;
     while (i < tile_ids.size()) {

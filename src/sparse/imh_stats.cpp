@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 
 namespace hottiles {
@@ -29,6 +30,7 @@ giniCoefficient(std::vector<double> values)
 ImhStats
 computeImhStats(const TileGrid& grid)
 {
+    ScopedTimer timer("scan.imh_stats");
     ImhStats s;
     s.occupied_tiles = grid.numTiles();
     s.empty_tiles = grid.emptyTiles();

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/random.hpp"
@@ -154,6 +155,50 @@ TEST(Summary, MergeMatchesSequential)
     EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(Summary, MergeEquivalentToInterleavedAddProperty)
+{
+    // Property: for random splits of a random stream, merging the parts
+    // matches adding every value to one accumulator, within Welford's
+    // numeric tolerance — count/min/max are exact.
+    Rng rng(17);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = 1 + int(rng.nextBounded(400));
+        const int parts = 1 + int(rng.nextBounded(5));
+        Summary all;
+        std::vector<Summary> split(parts);
+        for (int i = 0; i < n; ++i) {
+            double v = rng.nextDouble(-50, 50);
+            all.add(v);
+            split[rng.nextBounded(uint64_t(parts))].add(v);
+        }
+        Summary merged;
+        for (const Summary& s : split)
+            merged.merge(s);
+        SCOPED_TRACE("trial=" + std::to_string(trial));
+        ASSERT_EQ(merged.count(), all.count());
+        EXPECT_DOUBLE_EQ(merged.min(), all.min());
+        EXPECT_DOUBLE_EQ(merged.max(), all.max());
+        EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+        EXPECT_NEAR(merged.variance(), all.variance(), 1e-6);
+    }
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity)
+{
+    Summary s;
+    s.add(3.0);
+    s.add(5.0);
+    Summary empty;
+    s.merge(empty);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    Summary onto;
+    onto.merge(s);
+    EXPECT_EQ(onto.count(), 2u);
+    EXPECT_DOUBLE_EQ(onto.min(), 3.0);
+    EXPECT_DOUBLE_EQ(onto.max(), 5.0);
+}
+
 TEST(GeoMean, MatchesClosedForm)
 {
     GeoMean g;
@@ -168,6 +213,15 @@ TEST(GeoMean, VectorHelper)
     EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
     EXPECT_DOUBLE_EQ(geomean({}), 1.0);
     EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+}
+
+TEST(GeoMean, NonPositiveObservationsDie)
+{
+    // @pre x > 0: zero/negative would poison the log-sum with -inf/NaN
+    // that only surfaces far downstream in a geomean summary line.
+    GeoMean g;
+    EXPECT_DEATH(g.add(0.0), "positive");
+    EXPECT_DEATH(g.add(-2.0), "positive");
 }
 
 TEST(Histogram, BinningAndQuantiles)
@@ -188,6 +242,31 @@ TEST(Histogram, ClampsOutOfRange)
     h.add(99.0);
     EXPECT_EQ(h.binCount(0), 1u);
     EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Histogram, QuantileEdgeCasesArePinned)
+{
+    // Empty: every quantile collapses to the range floor.
+    Histogram empty(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+    // Mass only in bins [3,4) and [7,8): q=0 pins the lower edge of the
+    // first non-empty bin, q=1 the upper edge of the last non-empty bin,
+    // and interior quantiles land on upper bin edges.
+    Histogram h(0.0, 10.0, 10);
+    h.add(3.5);
+    h.add(7.5);
+    h.add(7.6);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0 / 3.0), 4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 8.0);
+
+    // Out-of-range q is a caller bug.
+    EXPECT_DEATH(h.quantile(-0.1), "quantile");
+    EXPECT_DEATH(h.quantile(1.5), "quantile");
 }
 
 TEST(StringUtil, Trim)

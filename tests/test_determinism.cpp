@@ -7,6 +7,7 @@
  * compares exactly — no tolerances.
  */
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,10 @@
 #include "core/execution.hpp"
 #include "partition/heuristics.hpp"
 #include "partition/partition.hpp"
+#include "core/telemetry.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/trace.hpp"
+#include "sim/trace_json.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/generators.hpp"
@@ -249,6 +253,72 @@ TEST_F(DeterminismTest, FaultedEvaluationBitIdenticalAcrossThreads)
                 compareFaultedOutcomes(a.hottiles, b.hottiles);
             }
         });
+}
+
+// ---------------------------------------------------------------------------
+// Observability: sinks and telemetry only observe.  The simulated stats
+// with tracing, span collection and prediction-error telemetry all
+// enabled must be bit-identical to an unobserved single-threaded run,
+// at every thread count (docs/OBSERVABILITY.md).
+// ---------------------------------------------------------------------------
+
+void
+compareOutcomes(const MatrixEvaluation& a, const MatrixEvaluation& b)
+{
+    {
+        SCOPED_TRACE("HotOnly");
+        compareFaultedOutcomes(a.hot_only, b.hot_only);
+    }
+    {
+        SCOPED_TRACE("ColdOnly");
+        compareFaultedOutcomes(a.cold_only, b.cold_only);
+    }
+    {
+        SCOPED_TRACE("IUnaware");
+        compareFaultedOutcomes(a.iunaware, b.iunaware);
+    }
+    {
+        SCOPED_TRACE("HotTiles");
+        compareFaultedOutcomes(a.hottiles, b.hottiles);
+    }
+}
+
+TEST_F(DeterminismTest, ObservedEvaluationBitIdenticalAcrossThreads)
+{
+    CooMatrix m = testMatrix();
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    ThreadPool::setGlobalThreads(1);
+    const MatrixEvaluation unobserved = evaluateMatrix(arch, m, "det");
+    for (unsigned t : kThreadCounts) {
+        ThreadPool::setGlobalThreads(t);
+        SCOPED_TRACE("threads=" + std::to_string(t));
+        // CSV sink.
+        {
+            std::ostringstream os;
+            TraceWriter tw(os);
+            EvalObservability obs;
+            obs.trace = &tw;
+            obs.collect_prediction_error = true;
+            PredictionErrorTelemetry pred;
+            obs.prediction = &pred;
+            const MatrixEvaluation got =
+                evaluateMatrix(arch, m, "det", {}, nullptr, obs);
+            compareOutcomes(unobserved, got);
+            EXPECT_GT(tw.rows(), 0u);
+            EXPECT_FALSE(pred.empty());
+        }
+        // Chrome-JSON sink.
+        {
+            std::ostringstream os;
+            ChromeTraceWriter cw(os);
+            EvalObservability obs;
+            obs.trace = &cw;
+            const MatrixEvaluation got =
+                evaluateMatrix(arch, m, "det", {}, nullptr, obs);
+            compareOutcomes(unobserved, got);
+            EXPECT_GT(cw.events(), 0u);
+        }
+    }
 }
 
 } // namespace

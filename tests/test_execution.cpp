@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/metrics.hpp"
 #include "core/calibrate.hpp"
 #include "core/execution.hpp"
 #include "sparse/generators.hpp"
@@ -131,4 +134,97 @@ TEST(Execution, SimulatePartitionMatchesEvaluate)
                                           Strategy::HotTiles);
     MatrixEvaluation ev = evaluateMatrix(ssArch(), m, "same");
     EXPECT_EQ(o.stats.cycles, ev.hottiles.stats.cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Prediction-error telemetry (core/telemetry.hpp): per-unit spans from a
+// span-collecting simulation charged against the model's th_i / tc_i.
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, EvaluateMatrixCollectsPerUnitPredictionError)
+{
+    CooMatrix m = genCommunity(2048, 20.0, 32, 128, 0.8, 109);
+    PredictionErrorTelemetry pred;
+    EvalObservability obs;
+    obs.collect_prediction_error = true;
+    obs.prediction = &pred;
+    MatrixEvaluation ev = evaluateMatrix(ssArch(), m, "telemetry", {},
+                                         nullptr, obs);
+    ASSERT_FALSE(pred.empty());
+    const Partition& p = ev.hottiles.partition;
+    for (const PredictionErrorSample& s : pred.hot_tiles) {
+        ASSERT_LT(s.unit, p.is_hot.size());
+        EXPECT_TRUE(p.is_hot[s.unit]);  // hot units are hot tiles
+        EXPECT_GT(s.predicted_cycles, 0.0);
+        EXPECT_GT(s.simulated_cycles, 0.0);
+        EXPECT_DOUBLE_EQ(s.error_pct,
+                         100.0 *
+                             std::abs(s.predicted_cycles -
+                                      s.simulated_cycles) /
+                             s.simulated_cycles);
+    }
+    for (const PredictionErrorSample& s : pred.cold_panels) {
+        EXPECT_GT(s.predicted_cycles, 0.0);
+        EXPECT_GT(s.simulated_cycles, 0.0);
+    }
+}
+
+TEST(Telemetry, ComputePredictionErrorMatchesSpanCollection)
+{
+    CooMatrix m = genCommunity(2048, 20.0, 32, 128, 0.8, 110);
+    HotTilesOptions opts;
+    opts.build_formats = false;
+    HotTiles ht(ssArch(), m, opts);
+    SimConfig cfg;
+    cfg.collect_spans = true;
+    SimOutput raw;
+    simulatePartition(ht, ht.partition(), Strategy::HotTiles, cfg, &raw);
+    EXPECT_FALSE(raw.hot_spans.empty() && raw.cold_spans.empty());
+    PredictionErrorTelemetry pred = computePredictionError(
+        ht.grid(), ht.context(), ht.partition().is_hot, raw);
+    // Every hot span unit is a tile id; every cold span unit a panel id.
+    for (const UnitSpan& s : raw.hot_spans) {
+        EXPECT_LT(s.unit, ht.grid().numTiles());
+        EXPECT_GE(s.end, s.begin);
+    }
+    for (const UnitSpan& s : raw.cold_spans)
+        EXPECT_LT(s.unit, uint32_t(ht.grid().numPanels()));
+    // One hot sample per distinct hot tile with nonzero runtime.
+    EXPECT_LE(pred.hot_tiles.size(), raw.hot_spans.size());
+}
+
+TEST(Telemetry, SpansStayEmptyWhenNotRequested)
+{
+    CooMatrix m = genUniform(1024, 1024, 15000, 111);
+    HotTilesOptions opts;
+    opts.build_formats = false;
+    HotTiles ht(ssArch(), m, opts);
+    SimOutput raw;
+    simulatePartition(ht, ht.partition(), Strategy::HotTiles, {}, &raw);
+    EXPECT_TRUE(raw.hot_spans.empty());
+    EXPECT_TRUE(raw.cold_spans.empty());
+}
+
+TEST(Telemetry, RecordPredictionErrorFillsRegistryHistograms)
+{
+    PredictionErrorTelemetry t;
+    PredictionErrorSample s;
+    s.unit = 0;
+    s.predicted_cycles = 150.0;
+    s.simulated_cycles = 100.0;
+    s.error_pct = 50.0;
+    t.hot_tiles.push_back(s);
+    t.hot_tiles.push_back(s);
+    t.cold_panels.push_back(s);
+    MetricsRegistry reg;
+    recordPredictionError(t, "Unit", reg);
+    EXPECT_EQ(reg.histogram("prediction_error.Unit.hot_tile_pct", 0, 200, 40)
+                  .histogram()
+                  .total(),
+              2u);
+    EXPECT_EQ(reg.histogram("prediction_error.Unit.cold_panel_pct", 0, 200,
+                            40)
+                  .summary()
+                  .count(),
+              1u);
 }

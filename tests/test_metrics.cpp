@@ -1,0 +1,208 @@
+/** @file Tests for the metrics registry: counters, gauges, timers,
+ *  histograms, the JSON snapshot and the RAII ScopedTimer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+using namespace hottiles;
+
+TEST(Counter, AddValueReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_EQ(g.value(), -1.25);
+    g.reset();
+    EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(TimerMetric, ObserveAndSnapshot)
+{
+    TimerMetric t;
+    t.observe(0.5);
+    t.observe(1.5);
+    Summary s = t.snapshot();
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.sum(), 2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+    t.reset();
+    EXPECT_EQ(t.snapshot().count(), 0u);
+}
+
+TEST(HistogramMetric, BinsAndExactSummary)
+{
+    HistogramMetric h(0.0, 10.0, 10);
+    h.observe(0.5);
+    h.observe(5.5);
+    h.observe(99.0);  // clamped into the last bin, exact in the summary
+    Histogram hist = h.histogram();
+    EXPECT_EQ(hist.total(), 3u);
+    EXPECT_EQ(hist.binCount(0), 1u);
+    EXPECT_EQ(hist.binCount(5), 1u);
+    EXPECT_EQ(hist.binCount(9), 1u);
+    Summary s = h.summary();
+    EXPECT_DOUBLE_EQ(s.max(), 99.0);
+    h.reset();
+    EXPECT_EQ(h.histogram().total(), 0u);
+    EXPECT_EQ(h.summary().count(), 0u);
+}
+
+TEST(MetricsRegistry, LookupCreatesOnceAndKeepsReferencesStable)
+{
+    MetricsRegistry reg;
+    Counter& a = reg.counter("events");
+    Counter& b = reg.counter("events");
+    EXPECT_EQ(&a, &b);
+    // Creating many other metrics must not move the first one.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("c" + std::to_string(i));
+    EXPECT_EQ(&a, &reg.counter("events"));
+    EXPECT_EQ(reg.size(), 101u);
+}
+
+TEST(MetricsRegistry, HistogramBoundsAreAPropertyOfTheName)
+{
+    MetricsRegistry reg;
+    HistogramMetric& a = reg.histogram("err", 0.0, 100.0, 10);
+    HistogramMetric& b = reg.histogram("err", 0.0, 100.0, 10);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsNames)
+{
+    MetricsRegistry reg;
+    reg.counter("n").add(7);
+    reg.gauge("g").set(1.0);
+    reg.timer("t").observe(0.1);
+    reg.histogram("h", 0, 1, 4).observe(0.5);
+    reg.reset();
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_EQ(reg.counter("n").value(), 0u);
+    EXPECT_EQ(reg.gauge("g").value(), 0.0);
+    EXPECT_EQ(reg.timer("t").snapshot().count(), 0u);
+    EXPECT_EQ(reg.histogram("h", 0, 1, 4).histogram().total(), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentLookupAndAdd)
+{
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 2000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&reg] {
+            for (int i = 0; i < kIters; ++i) {
+                reg.counter("shared").add();
+                reg.timer("lat").observe(1e-6);
+            }
+        });
+    }
+    for (auto& t : ts)
+        t.join();
+    EXPECT_EQ(reg.counter("shared").value(),
+              uint64_t(kThreads) * uint64_t(kIters));
+    EXPECT_EQ(reg.timer("lat").snapshot().count(),
+              uint64_t(kThreads) * uint64_t(kIters));
+}
+
+TEST(MetricsRegistry, JsonSnapshotHasEveryMetricAndBalancedBraces)
+{
+    MetricsRegistry reg;
+    reg.counter("sim.events").add(3);
+    reg.gauge("queue \"depth\"").set(2.5);  // name needing escaping
+    reg.timer("phase.scan").observe(0.25);
+    reg.histogram("err_pct", 0.0, 200.0, 40).observe(12.0);
+    std::ostringstream os;
+    reg.writeJson(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"counters\""), std::string::npos);
+    EXPECT_NE(s.find("\"sim.events\": 3"), std::string::npos);
+    EXPECT_NE(s.find("\"queue \\\"depth\\\"\""), std::string::npos);
+    EXPECT_NE(s.find("\"phase.scan\""), std::string::npos);
+    EXPECT_NE(s.find("\"err_pct\""), std::string::npos);
+    EXPECT_NE(s.find("\"p50\""), std::string::npos);
+    EXPECT_NE(s.find("\"bins\""), std::string::npos);
+    int depth = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(MetricsRegistry, JsonMapsNonFiniteToNull)
+{
+    MetricsRegistry reg;
+    reg.gauge("saturation").set(std::numeric_limits<double>::infinity());
+    // An empty timer has min=+inf / max=-inf internally; both must land
+    // as null, never as a bare `inf` token no JSON parser accepts.
+    reg.timer("empty");
+    std::ostringstream os;
+    reg.writeJson(os);
+    EXPECT_EQ(os.str().find("inf"), std::string::npos) << os.str();
+    EXPECT_EQ(os.str().find("nan"), std::string::npos) << os.str();
+    EXPECT_NE(os.str().find("null"), std::string::npos);
+}
+
+TEST(ScopedTimer, RecordsOneSamplePerScope)
+{
+    MetricsRegistry reg;
+    {
+        ScopedTimer t("span", reg);
+    }
+    EXPECT_EQ(reg.timer("span").snapshot().count(), 1u);
+    EXPECT_GE(reg.timer("span").snapshot().min(), 0.0);
+}
+
+TEST(ScopedTimer, StopIsIdempotent)
+{
+    MetricsRegistry reg;
+    {
+        ScopedTimer t("span", reg);
+        double first = t.stop();
+        EXPECT_GE(first, 0.0);
+        EXPECT_EQ(t.stop(), 0.0);  // second stop records nothing
+    }  // destructor must not add another sample either
+    EXPECT_EQ(reg.timer("span").snapshot().count(), 1u);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}

@@ -1,5 +1,5 @@
-/** @file Tests for the simulator observability tools: the CSV event
- *  trace and the bandwidth probe. */
+/** @file Tests for the simulator observability tools: the CSV and
+ *  Chrome-JSON event traces and the bandwidth probe. */
 
 #include <gtest/gtest.h>
 
@@ -8,9 +8,43 @@
 #include "common/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "sim/trace_json.hpp"
 #include "sparse/generators.hpp"
 
 using namespace hottiles;
+
+namespace {
+
+/** Brace/bracket balance outside string literals — the structural sanity
+ *  a streaming JSON writer can get wrong (CI additionally runs full
+ *  parses through python3 -m json.tool). */
+bool
+jsonBalanced(const std::string& s)
+{
+    int depth = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+} // namespace
 
 TEST(TraceWriter, WritesHeaderAndRows)
 {
@@ -24,6 +58,109 @@ TEST(TraceWriter, WritesHeaderAndRows)
               std::string::npos);
     EXPECT_NE(s.find("5,pe0,issue,1,10\n"), std::string::npos);
     EXPECT_NE(s.find("9,pe0,retire,1,32\n"), std::string::npos);
+}
+
+TEST(TraceWriter, EscapesCommasAndQuotesPerRfc4180)
+{
+    std::ostringstream os;
+    TraceWriter tw(os);
+    tw.record(1, "HotTiles/stream0,extra", "say \"hi\"", 2, 3);
+    std::string s = os.str();
+    // A comma-bearing field is quoted; embedded quotes are doubled.
+    EXPECT_NE(s.find("1,\"HotTiles/stream0,extra\",\"say \"\"hi\"\"\",2,3\n"),
+              std::string::npos);
+    // The escaped row still has exactly four top-level commas.
+    std::string row = s.substr(s.find('\n') + 1);
+    int commas = 0;
+    bool quoted = false;
+    for (char c : row) {
+        if (c == '"')
+            quoted = !quoted;
+        else if (c == ',' && !quoted)
+            ++commas;
+    }
+    EXPECT_EQ(commas, 4);
+}
+
+TEST(TraceWriter, SpanWritesOneRowAtEndTick)
+{
+    std::ostringstream os;
+    TraceWriter tw(os);
+    tw.span("pe0", "retire", 5, 9, 1, 32);
+    // Byte-identical to the pre-TraceSink retire row.
+    EXPECT_NE(os.str().find("9,pe0,retire,1,32\n"), std::string::npos);
+    EXPECT_EQ(tw.rows(), 1u);
+}
+
+TEST(TraceWriter, CounterRowsCarryTheValueInDetail0)
+{
+    std::ostringstream os;
+    TraceWriter tw(os);
+    tw.counter("memory", "bytes_total", 100, 4096.0);
+    EXPECT_NE(os.str().find("100,memory,counter.bytes_total,4096,0\n"),
+              std::string::npos);
+}
+
+TEST(PrefixedTraceSink, PrefixesEverySource)
+{
+    std::ostringstream os;
+    TraceWriter tw(os);
+    PrefixedTraceSink pf(tw, "HotTiles");
+    pf.record(1, "stream0", "issue", 0, 0);
+    pf.span("demand1", "retire", 2, 7, 0, 8);
+    pf.counter("memory", "bytes_total", 3, 64.0);
+    std::string s = os.str();
+    EXPECT_NE(s.find("1,HotTiles/stream0,issue,0,0\n"), std::string::npos);
+    EXPECT_NE(s.find("7,HotTiles/demand1,retire,0,8\n"), std::string::npos);
+    EXPECT_NE(s.find("3,HotTiles/memory,counter.bytes_total,64,0\n"),
+              std::string::npos);
+}
+
+TEST(ChromeTraceWriter, EmitsValidDocumentWithAllEventKinds)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceWriter cw(os);
+        cw.record(5, "stream0", "fault", 1, 2);
+        cw.span("stream0", "retire", 10, 30, 7, 128);
+        cw.counter("memory", "bytes_total", 15, 4096.0);
+        EXPECT_EQ(cw.events(), 3u);  // metadata events are not counted
+    }  // destructor closes the document
+    std::string s = os.str();
+    EXPECT_TRUE(jsonBalanced(s)) << s;
+    EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(s.find("\"dur\":20"), std::string::npos);
+    EXPECT_NE(s.find("\"thread_name\""), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, DocumentIsClosedEvenAfterZeroEvents)
+{
+    std::ostringstream os;
+    { ChromeTraceWriter cw(os); }
+    EXPECT_TRUE(jsonBalanced(os.str())) << os.str();
+    EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, SimulationProducesBalancedJson)
+{
+    CooMatrix m = genRmat(512, 8000, 0.57, 0.19, 0.19, 0.05, 501);
+    Architecture arch = makeSpadeSextans(4);
+    TileGrid grid(m, arch.tile_height, arch.tile_width);
+    std::ostringstream os;
+    uint64_t events = 0;
+    {
+        ChromeTraceWriter cw(os);
+        SimConfig cfg;
+        cfg.trace = &cw;
+        simulateHomogeneous(arch, grid, false, KernelConfig{}, cfg);
+        events = cw.events();
+    }
+    EXPECT_GT(events, 0u);
+    EXPECT_TRUE(jsonBalanced(os.str()));
 }
 
 TEST(Trace, SimulationEmitsBalancedIssueRetire)
@@ -102,9 +239,31 @@ TEST(BandwidthProbe, WindowCountTracksRuntime)
     cfg.bw_probe_interval = 500;
     SimOutput out = simulateHomogeneous(arch, grid, true, KernelConfig{},
                                         cfg);
-    // At least runtime/interval windows were sampled.
-    EXPECT_GE(out.bw_samples.size(),
+    // At least runtime/interval windows were sampled (the +1 covers the
+    // terminating idle window, which is a stop sentinel, not a sample).
+    EXPECT_GE(out.bw_samples.size() + 1,
               size_t(out.stats.cycles / cfg.bw_probe_interval));
+}
+
+TEST(BandwidthProbe, TerminatingIdleWindowIsNotASample)
+{
+    // Known traffic pattern: 100 lines x 64 B requested at t=0 against a
+    // 64 B/cycle controller with 10-cycle latency.  The transfer is
+    // accounted at request time, so window [0, 50) sees all 6400 bytes
+    // (128 B/cycle); window [50, 100) is a genuine mid-run idle window
+    // (the completion event at t=110 is still pending); the window after
+    // that sees an idle, drained queue and must terminate sampling
+    // WITHOUT recording a third 0.0 sample.
+    EventQueue eq;
+    MemorySystem mem(eq, 64.0, 10);
+    BandwidthProbe probe(eq, mem, 50);
+    probe.start();
+    mem.access(100, false, [] {});
+    eq.runUntilEmpty();
+    ASSERT_EQ(probe.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(probe.samples()[0], 128.0);
+    EXPECT_DOUBLE_EQ(probe.samples()[1], 0.0);
+    EXPECT_DOUBLE_EQ(probe.peak(), 128.0);
 }
 
 TEST(BandwidthProbe, ZeroIntervalDies)

@@ -32,6 +32,11 @@
  *                comma-separated key=N with keys failstop, slowdown,
  *                linkdegrade, memspike, horizon (sim/fault_injector.hpp)
  *   --fault-seed N  seed of the fault plan composition  (default 1)
+ *   --trace F       CSV event trace of `simulate` runs
+ *   --trace-json F  Chrome trace-event JSON of `simulate` runs (open in
+ *                Perfetto / chrome://tracing; see docs/OBSERVABILITY.md)
+ *   --metrics F|-   metrics-registry JSON snapshot (phase timings,
+ *                prediction-error histograms); '-' writes to stdout
  */
 
 #include <charconv>
@@ -53,8 +58,10 @@
 #include "core/explorer.hpp"
 #include "core/serialize.hpp"
 #include "core/tile_search.hpp"
+#include "common/metrics.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/trace.hpp"
+#include "sim/trace_json.hpp"
 #include "sparse/imh_stats.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/suite.hpp"
@@ -77,6 +84,8 @@ struct Options
     std::string out_file;
     std::string load_file;
     std::string trace_file;
+    std::string trace_json_file;
+    std::string metrics_file;
     std::string faults_spec;
     uint64_t fault_seed = 1;
     int total = 8;
@@ -113,6 +122,7 @@ usage(const char* argv0)
                  "[--arch A] [--kernel K] [--k N] [--ai X] [--tile N] "
                  "[--seed N] [--out F] [--load F] [--total N] "
                  "[--threads N] [--faults SPEC] [--fault-seed N] "
+                 "[--trace F] [--trace-json F] [--metrics F|-] "
                  "[--verbose]\n"
                  "<matrix> is a .mtx path or @name for a built-in proxy\n";
     std::exit(2);
@@ -161,6 +171,10 @@ parseArgs(int argc, char** argv)
             o.total = static_cast<int>(t);
         } else if (a == "--trace")
             o.trace_file = next("--trace");
+        else if (a == "--trace-json")
+            o.trace_json_file = next("--trace-json");
+        else if (a == "--metrics")
+            o.metrics_file = next("--metrics");
         else if (a == "--faults")
             o.faults_spec = next("--faults");
         else if (a == "--fault-seed")
@@ -315,6 +329,53 @@ cmdPartition(const Options& o)
     return 0;
 }
 
+/**
+ * Owns whichever trace sink the options selected (CSV, Chrome JSON, or
+ * none).  Destroy before reading back the output files: the Chrome
+ * writer closes its JSON document in the destructor.
+ */
+struct TraceSinkHolder
+{
+    std::ofstream stream;
+    std::unique_ptr<TraceWriter> csv;
+    std::unique_ptr<ChromeTraceWriter> json;
+    TraceSink* sink = nullptr;
+
+    explicit TraceSinkHolder(const Options& o)
+    {
+        HT_FATAL_IF(!o.trace_file.empty() && !o.trace_json_file.empty(),
+                    "--trace and --trace-json are mutually exclusive; "
+                    "pick one sink per run");
+        const std::string& path =
+            !o.trace_file.empty() ? o.trace_file : o.trace_json_file;
+        if (path.empty())
+            return;
+        stream.open(path);
+        HT_FATAL_IF(!stream, "cannot open '", path, "' for writing");
+        if (!o.trace_file.empty()) {
+            csv = std::make_unique<TraceWriter>(stream);
+            sink = csv.get();
+        } else {
+            json = std::make_unique<ChromeTraceWriter>(stream);
+            sink = json.get();
+        }
+    }
+};
+
+/** Write the global metrics registry as JSON to @p dest ('-' = stdout). */
+void
+writeMetricsTo(const std::string& dest)
+{
+    if (dest == "-") {
+        MetricsRegistry::global().writeJson(std::cout);
+        return;
+    }
+    std::ofstream os(dest);
+    HT_FATAL_IF(!os, "cannot open '", dest, "' for writing");
+    MetricsRegistry::global().writeJson(os);
+    std::cout << "wrote metrics to " << dest << "\n";
+}
+
 int
 cmdSimulate(const Options& o)
 {
@@ -342,15 +403,8 @@ cmdSimulate(const Options& o)
         TileGrid grid(m, arch.tile_height, arch.tile_width);
         Partition p = readPartitionFile(o.load_file, grid);
         SimConfig scfg;
-        std::ofstream trace_stream;
-        std::unique_ptr<TraceWriter> tw;
-        if (!o.trace_file.empty()) {
-            trace_stream.open(o.trace_file);
-            if (!trace_stream)
-                HT_FATAL("cannot open '", o.trace_file, "' for writing");
-            tw = std::make_unique<TraceWriter>(trace_stream);
-            scfg.trace = tw.get();
-        }
+        TraceSinkHolder sinks(o);
+        scfg.trace = sinks.sink;
         scfg.faults = faults;
         SimOutput out = simulateExecution(arch, grid, p.is_hot, p.serial,
                                           opts.kernel, scfg);
@@ -375,13 +429,27 @@ cmdSimulate(const Options& o)
                       << out.stats.peak_queue_depth << ", "
                       << out.stats.batched_events
                       << " completions batched\n";
-        if (tw)
-            std::cout << "wrote " << tw->rows() << " trace rows to "
+        if (sinks.csv)
+            std::cout << "wrote " << sinks.csv->rows() << " trace rows to "
                       << o.trace_file << "\n";
+        if (sinks.json)
+            std::cout << "wrote " << sinks.json->events()
+                      << " trace events to " << o.trace_json_file << "\n";
+        if (!o.metrics_file.empty())
+            writeMetricsTo(o.metrics_file);
         return 0;
     }
 
-    MatrixEvaluation ev = evaluateMatrix(arch, m, o.matrix, opts, faults);
+    TraceSinkHolder sinks(o);
+    EvalObservability obs;
+    obs.trace = sinks.sink;
+    // Per-tile prediction error rides along whenever metrics are asked
+    // for (it lands in the registry as histograms).
+    PredictionErrorTelemetry pred;
+    obs.collect_prediction_error = !o.metrics_file.empty();
+    obs.prediction = obs.collect_prediction_error ? &pred : nullptr;
+    MatrixEvaluation ev =
+        evaluateMatrix(arch, m, o.matrix, opts, faults, obs);
     std::vector<std::string> cols = {"Strategy", "Cycles", "ms",
                                      "Speedup vs worst", "BW GB/s"};
     if (faults) {
@@ -428,6 +496,19 @@ cmdSimulate(const Options& o)
               << Table::num(ev.bestHomogeneousCycles() /
                                 ev.hottiles.cycles(), 2)
               << "x\n";
+    if (obs.collect_prediction_error && !pred.empty())
+        std::cout << "prediction error sampled over "
+                  << pred.hot_tiles.size() << " hot tiles / "
+                  << pred.cold_panels.size() << " cold panels "
+                  << "(histograms in metrics output)\n";
+    if (sinks.csv)
+        std::cout << "wrote " << sinks.csv->rows() << " trace rows to "
+                  << o.trace_file << "\n";
+    if (sinks.json)
+        std::cout << "wrote " << sinks.json->events()
+                  << " trace events to " << o.trace_json_file << "\n";
+    if (!o.metrics_file.empty())
+        writeMetricsTo(o.metrics_file);
     return 0;
 }
 
