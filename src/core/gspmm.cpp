@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/dispatch.hpp"
 
 namespace hottiles {
 
@@ -18,6 +19,8 @@ arithmeticSemiring()
     s.multiply = [](Value a, Value b) { return a * b; };
     s.add = [](Value a, Value b) { return a + b; };
     s.ops_per_nnz_factor = 1.0;
+    s.kind = SemiringKind::IteratedMac;
+    s.mac_reps = 1;
     return s;
 }
 
@@ -64,6 +67,8 @@ heavySemiring(double ai_factor)
     };
     s.add = [](Value a, Value b) { return a + b; };
     s.ops_per_nnz_factor = ai_factor;
+    s.kind = SemiringKind::IteratedMac;
+    s.mac_reps = reps;
     return s;
 }
 
@@ -87,6 +92,16 @@ referenceGspmm(const CooMatrix& a, const DenseMatrix& din, const Semiring& s)
     dout.fill(s.identity);
     std::vector<size_t> bounds = rowAlignedChunkBounds(src->rowIds(),
                                                        kGrainNnz);
+    if (s.kind == SemiringKind::IteratedMac) {
+        // Iterated-MAC semirings run on the vectorized kernel library;
+        // row-aligned chunks keep per-row accumulation order fixed.
+        const kernels::CooView view{src->rowIds().data(),
+                                    src->colIds().data(),
+                                    src->values().data(), src->nnz()};
+        kernels::gspmmAi(view, k, s.mac_reps, din.row(0), dout.row(0),
+                         bounds);
+        return dout;
+    }
     parallelFor(0, bounds.size() - 1, 1, [&](size_t cb, size_t ce) {
         for (size_t c = cb; c < ce; ++c) {
             for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {

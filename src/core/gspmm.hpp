@@ -19,6 +19,19 @@
 
 namespace hottiles {
 
+/**
+ * Structural class of a semiring: IteratedMac semirings (plain
+ * arithmetic and the synthetic heavy variants) are iterated
+ * multiply-accumulates and run on the vectorized gspmm_ai kernel in
+ * src/kernels; Generic semirings (tropical, boolean, user-defined)
+ * evaluate through the std::function monoids element by element.
+ */
+enum class SemiringKind
+{
+    Generic,
+    IteratedMac,
+};
+
 /** A semiring: generalized multiply (x) and add (+) monoids. */
 struct Semiring
 {
@@ -31,6 +44,10 @@ struct Semiring
      * this becomes KernelConfig::ai_factor for modeling purposes.
      */
     double ops_per_nnz_factor = 1.0;
+    SemiringKind kind = SemiringKind::Generic;
+    /** Multiply-accumulate repetitions per element (IteratedMac only;
+     *  1 is the plain arithmetic semiring). */
+    int mac_reps = 1;
 };
 
 /** Plain (+, *) arithmetic semiring. */

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/dispatch.hpp"
 
 namespace hottiles {
 
@@ -40,14 +41,11 @@ referenceSpmv(const CooMatrix& a, const std::vector<Value>& x)
     // entry is owned by one chunk and sums in the serial order.
     std::vector<double> acc(a.rows(), 0.0);
     if (a.isRowMajorSorted()) {
-        std::vector<size_t> bounds = rowAlignedChunkBounds(a.rowIds(),
-                                                           kGrainNnz);
-        parallelFor(0, bounds.size() - 1, 1, [&](size_t cb, size_t ce) {
-            for (size_t c = cb; c < ce; ++c)
-                for (size_t i = bounds[c]; i < bounds[c + 1]; ++i)
-                    acc[a.rowId(i)] +=
-                        double(a.value(i)) * double(x[a.colId(i)]);
-        });
+        const kernels::CooView view{a.rowIds().data(), a.colIds().data(),
+                                    a.values().data(), a.nnz()};
+        const std::vector<size_t> bounds =
+            rowAlignedChunkBounds(a.rowIds(), kGrainNnz);
+        kernels::spmvCooGolden(view, x.data(), acc.data(), bounds);
     } else {
         // Sort an index permutation only — same comparator and sort as
         // CooMatrix::sortRowMajor, so the accumulation order (and thus
@@ -87,19 +85,14 @@ referenceSddmm(const CooMatrix& a, const DenseMatrix& u,
     const Index k = u.cols();
 
     // Every output value depends on exactly one nonzero, so the value
-    // recomputation parallelizes over plain nonzero chunks.
+    // recomputation parallelizes over plain nonzero chunks; the kernel
+    // reads vals[i] before writing out[i], so in-place is safe.
     CooMatrix out = a;
     out.sortRowMajor();
-    parallelFor(0, out.nnz(), kGrainNnz, [&](size_t b, size_t e) {
-        for (size_t i = b; i < e; ++i) {
-            const Value* ur = u.row(out.rowId(i));
-            const Value* vr = v.row(out.colId(i));
-            double dot = 0.0;
-            for (Index j = 0; j < k; ++j)
-                dot += double(ur[j]) * double(vr[j]);
-            out.setValue(i, static_cast<Value>(double(out.value(i)) * dot));
-        }
-    });
+    const kernels::CooView view{out.rowIds().data(), out.colIds().data(),
+                                out.values().data(), out.nnz()};
+    kernels::sddmm(view, k, u.row(0), v.row(0), out.valuesData(),
+                   kernels::Policy::Golden);
     return out;
 }
 

@@ -1,0 +1,119 @@
+#pragma once
+
+/**
+ * @file
+ * Raw-pointer kernel ABI shared by every SIMD tier (docs/KERNELS.md).
+ *
+ * The kernel library sits below the sparse-matrix classes: micro-kernels
+ * see only plain views (pointer + extent), so ht_kernels depends on
+ * ht_common alone and the matrix layer (ht_sparse), the simulator and
+ * the benches all link against it without a cycle.
+ *
+ * Two precision policies exist per SpMM-family kernel:
+ *  - Golden: double accumulation in the exact per-nonzero order of the
+ *    scalar reference.  Vectorization runs across the dense-K dimension
+ *    only, where each output column owns an independent accumulator
+ *    chain, and the product of two promoted floats is exact in double —
+ *    so every tier produces bit-identical results (the determinism and
+ *    seed suites pin this).
+ *  - Fast: fp32 accumulation with FMA, used by value recomputation in
+ *    the simulator and by throughput benches.  Tiers agree within a
+ *    tolerance, not bitwise.
+ * Reductions over the sparse dimension (SpMV dots, SDDMM dots) cannot
+ * reassociate under Golden and stay scalar there in every tier.
+ */
+
+#include <cstddef>
+
+#include "sparse/types.hpp"
+
+namespace hottiles::kernels {
+
+/** Instruction-set tier a kernel table was compiled for. */
+enum class Tier
+{
+    Scalar,  //!< portable fallback (vectorization disabled at build)
+    Neon,    //!< AArch64 Advanced SIMD, 4 x f32 / 2 x f64
+    Avx2,    //!< x86 AVX2 + FMA, 8 x f32 / 4 x f64
+    Avx512,  //!< x86 AVX-512F, 16 x f32 / 8 x f64
+};
+
+/** Human-readable tier name ("scalar", "neon", "avx2", "avx512"). */
+const char* tierName(Tier t);
+
+/** Accumulation policy (see file header). */
+enum class Policy
+{
+    Golden,  //!< double accumulators, bit-identical across tiers
+    Fast,    //!< fp32 accumulators + FMA, tolerance across tiers
+};
+
+/** CSR structure view (row_ptr has rows + 1 entries). */
+struct CsrView
+{
+    const size_t* row_ptr = nullptr;
+    const Index* col_ids = nullptr;
+    const Value* vals = nullptr;
+    Index rows = 0;
+};
+
+/** COO nonzero-list view (row-major sorted unless stated otherwise). */
+struct CooView
+{
+    const Index* row_ids = nullptr;
+    const Index* col_ids = nullptr;
+    const Value* vals = nullptr;
+    size_t nnz = 0;
+};
+
+/**
+ * Per-tier kernel function table.  All dense operands are row-major
+ * with leading dimension k; COO-range entries operate on nonzeros
+ * [b, e) so callers drive row-aligned panel parallelism.
+ */
+struct KernelOps
+{
+    Tier tier = Tier::Scalar;
+
+    /** CSR SpMM rows [r0, r1), golden: K-blocked double accumulators
+     *  per output row, cast to Value on store. */
+    void (*spmm_csr_golden)(const CsrView& a, Index k, const Value* din,
+                            Value* dout, Index r0, Index r1) = nullptr;
+    /** CSR SpMM rows [r0, r1), fast: fp32 register-blocked, masked
+     *  odd-K tails. */
+    void (*spmm_csr_fast)(const CsrView& a, Index k, const Value* din,
+                          Value* dout, Index r0, Index r1) = nullptr;
+    /** COO SpMM golden over nonzeros [b, e): accumulate into a double
+     *  row panel @p acc whose row 0 is matrix row @p row_base. */
+    void (*spmm_coo_golden)(const CooView& a, Index k, const Value* din,
+                            double* acc, Index row_base, size_t b,
+                            size_t e) = nullptr;
+    /** COO SpMM fast over nonzeros [b, e): fp32 accumulate straight
+     *  into dout (the simulator's value-recomputation semantics). */
+    void (*spmm_coo_fast)(const CooView& a, Index k, const Value* din,
+                          Value* dout, size_t b, size_t e) = nullptr;
+    /** CSR SpMV rows [r0, r1), fast: gathered fp32 dot per row. */
+    void (*spmv_csr_fast)(const CsrView& a, const Value* x, Value* y,
+                          Index r0, Index r1) = nullptr;
+    /** COO SpMV golden over nonzeros [b, e): acc[row] += v * x[col]
+     *  in nonzero order (scalar in every tier — see file header). */
+    void (*spmv_coo_golden)(const CooView& a, const Value* x, double* acc,
+                            size_t b, size_t e) = nullptr;
+    /** SDDMM nonzeros [b, e), golden: scalar double dot per nonzero. */
+    void (*sddmm_golden)(const CooView& a, Index k, const Value* u,
+                         const Value* v, Value* out, size_t b,
+                         size_t e) = nullptr;
+    /** SDDMM nonzeros [b, e), fast: vectorized fp32 dot + reduce. */
+    void (*sddmm_fast)(const CooView& a, Index k, const Value* u,
+                       const Value* v, Value* out, size_t b,
+                       size_t e) = nullptr;
+    /** gSpMM iterated-MAC semiring over nonzeros [b, e): fp32, reps
+     *  multiply-adds per element scaled by 1/reps (reps = 1 is the
+     *  arithmetic semiring and skips the scale). */
+    void (*gspmm_ai)(const CooView& a, Index k, int reps, const Value* din,
+                     Value* dout, size_t b, size_t e) = nullptr;
+    /** Elementwise round-to-nearest double -> Value conversion. */
+    void (*cvt_d2f)(const double* src, Value* dst, size_t n) = nullptr;
+};
+
+} // namespace hottiles::kernels

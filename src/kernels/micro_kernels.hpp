@@ -1,0 +1,309 @@
+#pragma once
+
+/**
+ * @file
+ * Tier-generic micro-kernel bodies, templated over a SIMD traits type
+ * (simd_scalar.hpp / simd_avx2.hpp / simd_avx512.hpp / simd_neon.hpp).
+ * Each tier translation unit instantiates MicroKernels<S> once and
+ * exports the resulting KernelOps table; dispatch.cpp picks a table at
+ * runtime.
+ *
+ * Vectorization discipline (kernel_api.hpp): golden kernels vectorize
+ * only across the dense-K dimension, where every output column owns an
+ * independent accumulator chain, so lane width never changes the
+ * floating-point result.  Reductions across the sparse dimension (SpMV
+ * and SDDMM dots) reassociate when vectorized and therefore exist only
+ * under the Fast policy; their golden forms are scalar in every tier.
+ *
+ * Register blocking: the K loop runs in panels of four vectors (the
+ * inner kernel holds 4 accumulators live across the whole nonzero run
+ * of a row, giving Dout register reuse like the paper's streaming PEs),
+ * then single vectors, then a masked (or scalar, for doubles) tail.
+ */
+
+#include <cstddef>
+
+#include "kernels/kernel_api.hpp"
+
+namespace hottiles::kernels {
+
+template <class S>
+struct MicroKernels
+{
+    using VF = typename S::VF;
+    using VD = typename S::VD;
+    static constexpr Index F = S::kF;
+    static constexpr Index D = S::kD;
+
+    static void
+    spmmCsrGolden(const CsrView& a, Index k, const Value* din, Value* dout,
+                  Index r0, Index r1)
+    {
+        for (Index r = r0; r < r1; ++r) {
+            const size_t rb = a.row_ptr[r];
+            const size_t re = a.row_ptr[r + 1];
+            Value* out = dout + size_t(r) * k;
+            Index j = 0;
+            for (; j + 4 * D <= k; j += 4 * D) {
+                VD a0 = S::zeroD();
+                VD a1 = S::zeroD();
+                VD a2 = S::zeroD();
+                VD a3 = S::zeroD();
+                for (size_t i = rb; i < re; ++i) {
+                    const VD v = S::broadcastD(double(a.vals[i]));
+                    const Value* in =
+                        din + size_t(a.col_ids[i]) * k + j;
+                    a0 = S::fmaD(v, S::cvtF2D(in), a0);
+                    a1 = S::fmaD(v, S::cvtF2D(in + D), a1);
+                    a2 = S::fmaD(v, S::cvtF2D(in + 2 * D), a2);
+                    a3 = S::fmaD(v, S::cvtF2D(in + 3 * D), a3);
+                }
+                S::storeD2F(out + j, a0);
+                S::storeD2F(out + j + D, a1);
+                S::storeD2F(out + j + 2 * D, a2);
+                S::storeD2F(out + j + 3 * D, a3);
+            }
+            for (; j + D <= k; j += D) {
+                VD acc = S::zeroD();
+                for (size_t i = rb; i < re; ++i)
+                    acc = S::fmaD(
+                        S::broadcastD(double(a.vals[i])),
+                        S::cvtF2D(din + size_t(a.col_ids[i]) * k + j),
+                        acc);
+                S::storeD2F(out + j, acc);
+            }
+            for (; j < k; ++j) {
+                double acc = 0.0;
+                for (size_t i = rb; i < re; ++i)
+                    acc += double(a.vals[i]) *
+                           double(din[size_t(a.col_ids[i]) * k + j]);
+                out[j] = static_cast<Value>(acc);
+            }
+        }
+    }
+
+    static void
+    spmmCsrFast(const CsrView& a, Index k, const Value* din, Value* dout,
+                Index r0, Index r1)
+    {
+        for (Index r = r0; r < r1; ++r) {
+            const size_t rb = a.row_ptr[r];
+            const size_t re = a.row_ptr[r + 1];
+            Value* out = dout + size_t(r) * k;
+            Index j = 0;
+            for (; j + 4 * F <= k; j += 4 * F) {
+                VF a0 = S::zeroF();
+                VF a1 = S::zeroF();
+                VF a2 = S::zeroF();
+                VF a3 = S::zeroF();
+                for (size_t i = rb; i < re; ++i) {
+                    const VF v = S::broadcastF(a.vals[i]);
+                    const Value* in =
+                        din + size_t(a.col_ids[i]) * k + j;
+                    a0 = S::fmaF(v, S::loadF(in), a0);
+                    a1 = S::fmaF(v, S::loadF(in + F), a1);
+                    a2 = S::fmaF(v, S::loadF(in + 2 * F), a2);
+                    a3 = S::fmaF(v, S::loadF(in + 3 * F), a3);
+                }
+                S::storeF(out + j, a0);
+                S::storeF(out + j + F, a1);
+                S::storeF(out + j + 2 * F, a2);
+                S::storeF(out + j + 3 * F, a3);
+            }
+            for (; j + F <= k; j += F) {
+                VF acc = S::zeroF();
+                for (size_t i = rb; i < re; ++i)
+                    acc = S::fmaF(
+                        S::broadcastF(a.vals[i]),
+                        S::loadF(din + size_t(a.col_ids[i]) * k + j),
+                        acc);
+                S::storeF(out + j, acc);
+            }
+            if (j < k) {
+                const Index tail = k - j;
+                VF acc = S::zeroF();
+                for (size_t i = rb; i < re; ++i)
+                    acc = S::fmaF(
+                        S::broadcastF(a.vals[i]),
+                        S::maskLoadF(din + size_t(a.col_ids[i]) * k + j,
+                                     tail),
+                        acc);
+                S::maskStoreF(out + j, acc, tail);
+            }
+        }
+    }
+
+    static void
+    spmmCooGolden(const CooView& a, Index k, const Value* din, double* acc,
+                  Index row_base, size_t b, size_t e)
+    {
+        for (size_t i = b; i < e; ++i) {
+            const double v = double(a.vals[i]);
+            const Value* in = din + size_t(a.col_ids[i]) * k;
+            double* out = acc + size_t(a.row_ids[i] - row_base) * k;
+            const VD vv = S::broadcastD(v);
+            Index j = 0;
+            for (; j + D <= k; j += D)
+                S::storeD(out + j,
+                          S::fmaD(vv, S::cvtF2D(in + j), S::loadD(out + j)));
+            for (; j < k; ++j)
+                out[j] += v * double(in[j]);
+        }
+    }
+
+    static void
+    spmmCooFast(const CooView& a, Index k, const Value* din, Value* dout,
+                size_t b, size_t e)
+    {
+        for (size_t i = b; i < e; ++i) {
+            const Value v = a.vals[i];
+            const Value* in = din + size_t(a.col_ids[i]) * k;
+            Value* out = dout + size_t(a.row_ids[i]) * k;
+            const VF vv = S::broadcastF(v);
+            Index j = 0;
+            for (; j + F <= k; j += F)
+                S::storeF(out + j,
+                          S::fmaF(vv, S::loadF(in + j), S::loadF(out + j)));
+            if (j < k) {
+                const Index tail = k - j;
+                S::maskStoreF(out + j,
+                              S::fmaF(vv, S::maskLoadF(in + j, tail),
+                                      S::maskLoadF(out + j, tail)),
+                              tail);
+            }
+        }
+    }
+
+    static void
+    spmvCsrFast(const CsrView& a, const Value* x, Value* y, Index r0,
+                Index r1)
+    {
+        for (Index r = r0; r < r1; ++r) {
+            const size_t rb = a.row_ptr[r];
+            const size_t re = a.row_ptr[r + 1];
+            VF acc = S::zeroF();
+            size_t i = rb;
+            for (; i + F <= re; i += F)
+                acc = S::fmaF(S::loadF(a.vals + i),
+                              S::gatherF(x, a.col_ids + i), acc);
+            Value s = S::hsumF(acc);
+            for (; i < re; ++i)
+                s += a.vals[i] * x[a.col_ids[i]];
+            y[r] = s;
+        }
+    }
+
+    static void
+    spmvCooGolden(const CooView& a, const Value* x, double* acc, size_t b,
+                  size_t e)
+    {
+        // Cross-nonzero accumulation: scalar in every tier (reassociation
+        // would break the golden bit-identity contract).
+        for (size_t i = b; i < e; ++i)
+            acc[a.row_ids[i]] +=
+                double(a.vals[i]) * double(x[a.col_ids[i]]);
+    }
+
+    static void
+    sddmmGolden(const CooView& a, Index k, const Value* u, const Value* v,
+                Value* out, size_t b, size_t e)
+    {
+        for (size_t i = b; i < e; ++i) {
+            const Value* ur = u + size_t(a.row_ids[i]) * k;
+            const Value* vr = v + size_t(a.col_ids[i]) * k;
+            double dot = 0.0;
+            for (Index j = 0; j < k; ++j)
+                dot += double(ur[j]) * double(vr[j]);
+            out[i] = static_cast<Value>(double(a.vals[i]) * dot);
+        }
+    }
+
+    static void
+    sddmmFast(const CooView& a, Index k, const Value* u, const Value* v,
+              Value* out, size_t b, size_t e)
+    {
+        for (size_t i = b; i < e; ++i) {
+            const Value* ur = u + size_t(a.row_ids[i]) * k;
+            const Value* vr = v + size_t(a.col_ids[i]) * k;
+            VF acc = S::zeroF();
+            Index j = 0;
+            for (; j + F <= k; j += F)
+                acc = S::fmaF(S::loadF(ur + j), S::loadF(vr + j), acc);
+            if (j < k) {
+                const Index tail = k - j;
+                acc = S::fmaF(S::maskLoadF(ur + j, tail),
+                              S::maskLoadF(vr + j, tail), acc);
+            }
+            out[i] = a.vals[i] * S::hsumF(acc);
+        }
+    }
+
+    static void
+    gspmmAi(const CooView& a, Index k, int reps, const Value* din,
+            Value* dout, size_t b, size_t e)
+    {
+        const Value rcp = Value(1) / Value(reps);
+        const VF vrcp = S::broadcastF(rcp);
+        for (size_t i = b; i < e; ++i) {
+            const Value v = a.vals[i];
+            const Value* in = din + size_t(a.col_ids[i]) * k;
+            Value* out = dout + size_t(a.row_ids[i]) * k;
+            const VF vv = S::broadcastF(v);
+            Index j = 0;
+            if (reps == 1) {
+                for (; j + F <= k; j += F)
+                    S::storeF(out + j, S::fmaF(vv, S::loadF(in + j),
+                                               S::loadF(out + j)));
+                for (; j < k; ++j)
+                    out[j] += v * in[j];
+                continue;
+            }
+            // Iterated MAC (gspmm.cpp heavySemiring): the multiply costs
+            // reps accumulations scaled back by 1/reps.
+            for (; j + F <= k; j += F) {
+                const VF inv = S::loadF(in + j);
+                VF t = S::mulF(vv, inv);
+                for (int rreps = 1; rreps < reps; ++rreps)
+                    t = S::addF(t, S::mulF(vv, inv));
+                S::storeF(out + j,
+                          S::addF(S::loadF(out + j), S::mulF(t, vrcp)));
+            }
+            for (; j < k; ++j) {
+                Value t = v * in[j];
+                for (int rreps = 1; rreps < reps; ++rreps)
+                    t += v * in[j];
+                out[j] += t * rcp;
+            }
+        }
+    }
+
+    static void
+    cvtD2F(const double* src, Value* dst, size_t n)
+    {
+        size_t i = 0;
+        for (; i + D <= n; i += D)
+            S::cvtD2F(src + i, dst + i);
+        for (; i < n; ++i)
+            dst[i] = static_cast<Value>(src[i]);
+    }
+
+    static KernelOps
+    ops(Tier t)
+    {
+        KernelOps o;
+        o.tier = t;
+        o.spmm_csr_golden = &spmmCsrGolden;
+        o.spmm_csr_fast = &spmmCsrFast;
+        o.spmm_coo_golden = &spmmCooGolden;
+        o.spmm_coo_fast = &spmmCooFast;
+        o.spmv_csr_fast = &spmvCsrFast;
+        o.spmv_coo_golden = &spmvCooGolden;
+        o.sddmm_golden = &sddmmGolden;
+        o.sddmm_fast = &sddmmFast;
+        o.gspmm_ai = &gspmmAi;
+        o.cvt_d2f = &cvtD2F;
+        return o;
+    }
+};
+
+} // namespace hottiles::kernels

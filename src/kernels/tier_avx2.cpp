@@ -1,0 +1,25 @@
+/**
+ * @file
+ * AVX2 + FMA tier.  CMake adds this translation unit (with
+ * -mavx2 -mfma per-source flags) only when the compiler accepts the
+ * flags, and defines HOTTILES_KERNELS_AVX2 so dispatch.cpp knows the
+ * table exists.  Runtime cpuid gating lives in dispatch.cpp; nothing
+ * here runs on hosts without AVX2.
+ */
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "tier_avx2.cpp must be compiled with -mavx2 -mfma"
+#endif
+
+#include "kernels/micro_kernels.hpp"
+#include "kernels/simd_avx2.hpp"
+
+namespace hottiles::kernels {
+
+KernelOps
+avx2Ops()
+{
+    return MicroKernels<SimdAvx2>::ops(Tier::Avx2);
+}
+
+} // namespace hottiles::kernels

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * AVX-512F tier.  Compiled with -mavx512f only when the compiler
+ * accepts it (HOTTILES_KERNELS_AVX512); runtime cpuid gating lives in
+ * dispatch.cpp.
+ */
+
+#if !defined(__AVX512F__)
+#error "tier_avx512.cpp must be compiled with -mavx512f"
+#endif
+
+#include "kernels/micro_kernels.hpp"
+#include "kernels/simd_avx512.hpp"
+
+namespace hottiles::kernels {
+
+KernelOps
+avx512Ops()
+{
+    return MicroKernels<SimdAvx512>::ops(Tier::Avx512);
+}
+
+} // namespace hottiles::kernels

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * AArch64 NEON tier.  Advanced SIMD is baseline on AArch64, so this
+ * translation unit needs no extra flags and no runtime gate; CMake adds
+ * it (and defines HOTTILES_KERNELS_NEON) when targeting AArch64.
+ */
+
+#if !defined(__ARM_NEON)
+#error "tier_neon.cpp requires an AArch64/NEON target"
+#endif
+
+#include "kernels/micro_kernels.hpp"
+#include "kernels/simd_neon.hpp"
+
+namespace hottiles::kernels {
+
+KernelOps
+neonOps()
+{
+    return MicroKernels<SimdNeon>::ops(Tier::Neon);
+}
+
+} // namespace hottiles::kernels

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Scalar tier: always built, on every architecture.  CMake compiles
+ * this translation unit with auto-vectorization disabled (see
+ * src/kernels/CMakeLists.txt) so forced-scalar runs and the throughput
+ * bench's scalar baseline are genuinely one-element-at-a-time.
+ */
+
+#include "kernels/micro_kernels.hpp"
+#include "kernels/simd_scalar.hpp"
+
+namespace hottiles::kernels {
+
+KernelOps
+scalarOps()
+{
+    return MicroKernels<SimdScalar>::ops(Tier::Scalar);
+}
+
+} // namespace hottiles::kernels

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "common/string_util.hpp"
+#include "kernels/dispatch.hpp"
 #include "sim/demand_pe.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link.hpp"
@@ -166,19 +167,17 @@ parseFaultSpec(std::string_view spec)
 
 namespace {
 
-/** Functionally accumulate one nonzero set into dout (fp32 like the HW). */
+/** Functionally accumulate one nonzero set into dout (fp32 like the HW),
+ *  via the vectorized fast-policy kernel — identical arithmetic to the
+ *  plain simulator's accumulate, so fault-run douts stay bit-exact
+ *  against fault-free runs. */
 void
 accumulate(DenseMatrix& dout, const DenseMatrix& din, const Index* rows,
            const Index* cols, const Value* vals, size_t n)
 {
-    const Index k = din.cols();
-    for (size_t i = 0; i < n; ++i) {
-        const Value* in = din.row(cols[i]);
-        Value* out = dout.row(rows[i]);
-        const Value v = vals[i];
-        for (Index j = 0; j < k; ++j)
-            out[j] += v * in[j];
-    }
+    const kernels::CooView view{rows, cols, vals, n};
+    kernels::activeOps().spmm_coo_fast(view, din.cols(), din.row(0),
+                                       dout.row(0), 0, n);
 }
 
 /** One migratable unit of work: a grid tile. */
@@ -715,19 +714,19 @@ FaultRun::fillOutput(SimOutput& out)
         out.sddmm_out = CooMatrix(grid_.matrixRows(), grid_.matrixCols());
         out.sddmm_out.reserve(st.total_nnz);
         const Index kk = cfg_.u->cols();
+        std::vector<Value> dots;
         for (const FtUnit& u : units_) {
             auto rs = grid_.tileRows(u.tile);
             auto cs = grid_.tileCols(u.tile);
             auto vs = grid_.tileVals(u.tile);
-            for (size_t i = 0; i < rs.size(); ++i) {
-                const Value* ur = cfg_.u->row(rs[i]);
-                const Value* vr = cfg_.din->row(cs[i]);
-                double dot = 0.0;
-                for (Index j = 0; j < kk; ++j)
-                    dot += double(ur[j]) * double(vr[j]);
-                out.sddmm_out.push(rs[i], cs[i],
-                                   static_cast<Value>(double(vs[i]) * dot));
-            }
+            const kernels::CooView view{rs.data(), cs.data(), vs.data(),
+                                        rs.size()};
+            dots.resize(rs.size());
+            kernels::activeOps().sddmm_fast(view, kk, cfg_.u->row(0),
+                                            cfg_.din->row(0), dots.data(),
+                                            0, rs.size());
+            for (size_t i = 0; i < rs.size(); ++i)
+                out.sddmm_out.push(rs[i], cs[i], dots[i]);
         }
         out.sddmm_out.sortRowMajor();
     } else {

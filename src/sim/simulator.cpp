@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "kernels/dispatch.hpp"
 #include "sim/demand_pe.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/event_queue.hpp"
@@ -22,19 +23,15 @@ namespace hottiles {
 
 namespace {
 
-/** Functionally accumulate one nonzero set into dout (fp32 like the HW). */
+/** Functionally accumulate one nonzero set into dout (fp32 like the HW),
+ *  via the vectorized fast-policy kernel for the active SIMD tier. */
 void
 accumulate(DenseMatrix& dout, const DenseMatrix& din, const Index* rows,
            const Index* cols, const Value* vals, size_t n)
 {
-    const Index k = din.cols();
-    for (size_t i = 0; i < n; ++i) {
-        const Value* in = din.row(cols[i]);
-        Value* out = dout.row(rows[i]);
-        const Value v = vals[i];
-        for (Index j = 0; j < k; ++j)
-            out[j] += v * in[j];
-    }
+    const kernels::CooView view{rows, cols, vals, n};
+    kernels::activeOps().spmm_coo_fast(view, din.cols(), din.row(0),
+                                       dout.row(0), 0, n);
 }
 
 struct TypeRun
@@ -362,19 +359,17 @@ simulateExecution(const Architecture& arch, const TileGrid& grid,
             HT_ASSERT(cfg.u->cols() == cfg.din->cols(), "U/V K mismatch");
             out.sddmm_out = CooMatrix(grid.matrixRows(), grid.matrixCols());
             out.sddmm_out.reserve(st.total_nnz);
+            std::vector<Value> dots;
             auto emit = [&](const Index* rows, const Index* cols,
                             const Value* vals, size_t n) {
                 const Index kk = cfg.u->cols();
-                for (size_t i = 0; i < n; ++i) {
-                    const Value* ur = cfg.u->row(rows[i]);
-                    const Value* vr = cfg.din->row(cols[i]);
-                    double dot = 0.0;
-                    for (Index j = 0; j < kk; ++j)
-                        dot += double(ur[j]) * double(vr[j]);
-                    out.sddmm_out.push(
-                        rows[i], cols[i],
-                        static_cast<Value>(double(vals[i]) * dot));
-                }
+                const kernels::CooView view{rows, cols, vals, n};
+                dots.resize(n);
+                kernels::activeOps().sddmm_fast(view, kk, cfg.u->row(0),
+                                                cfg.din->row(0),
+                                                dots.data(), 0, n);
+                for (size_t i = 0; i < n; ++i)
+                    out.sddmm_out.push(rows[i], cols[i], dots[i]);
             };
             for (const PanelWork& pw : cold_work.panels)
                 emit(pw.rows.data(), pw.cols.data(), pw.vals.data(),

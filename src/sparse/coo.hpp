@@ -51,6 +51,10 @@ class CooMatrix
     /** Overwrite the value of nonzero @p i (structure unchanged). */
     void setValue(size_t i, Value v) { vals_[i] = v; }
 
+    /** Mutable pointer to the value array (structure unchanged) — for
+     *  kernels that recompute values in place (SDDMM). */
+    Value* valuesData() { return vals_.data(); }
+
     /** Reserve capacity for @p n nonzeros. */
     void reserve(size_t n);
 

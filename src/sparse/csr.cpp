@@ -20,17 +20,15 @@ CsrMatrix::fromCoo(const CooMatrix& coo)
     m.rows_ = src->rows();
     m.cols_ = src->cols();
     m.row_ptr_.assign(m.rows_ + 1, 0);
-    m.col_ids_.resize(src->nnz());
-    m.vals_.resize(src->nnz());
 
     for (size_t i = 0; i < src->nnz(); ++i)
         ++m.row_ptr_[src->rowId(i) + 1];
     for (Index r = 0; r < m.rows_; ++r)
         m.row_ptr_[r + 1] += m.row_ptr_[r];
-    for (size_t i = 0; i < src->nnz(); ++i) {
-        m.col_ids_[i] = src->colId(i);
-        m.vals_[i] = src->value(i);
-    }
+    // Row-major-sorted COO stores nonzeros in exactly CSR order, so the
+    // column and value arrays transfer as two bulk copies.
+    m.col_ids_.assign(src->colIds().begin(), src->colIds().end());
+    m.vals_.assign(src->values().begin(), src->values().end());
     return m;
 }
 

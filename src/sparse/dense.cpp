@@ -4,9 +4,11 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/dispatch.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 
@@ -81,28 +83,19 @@ referenceSpmm(const CooMatrix& a, const DenseMatrix& din)
         src = &sorted;
     }
 
-    // Accumulate in double per output row to keep a stable golden result.
-    std::vector<double> acc(size_t(a.rows()) * k, 0.0);
-    std::vector<size_t> bounds = rowAlignedChunkBounds(src->rowIds(),
-                                                       kGrainNnz);
-    parallelFor(0, bounds.size() - 1, 1, [&](size_t cb, size_t ce) {
-        for (size_t c = cb; c < ce; ++c) {
-            for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
-                const double v = src->value(i);
-                const Value* in = din.row(src->colId(i));
-                double* out = acc.data() + size_t(src->rowId(i)) * k;
-                for (Index j = 0; j < k; ++j)
-                    out[j] += v * double(in[j]);
-            }
-        }
-    });
+    // Golden double accumulation through the vectorized kernel library
+    // (kernels/dispatch.hpp) — per-chunk scratch instead of a full
+    // rows x k double matrix; bit-identical across SIMD tiers.
     DenseMatrix dout(a.rows(), k);
-    parallelFor(0, a.rows(), kGrainRows, [&](size_t rb, size_t re) {
-        for (size_t r = rb; r < re; ++r)
-            for (Index j = 0; j < k; ++j)
-                dout.at(static_cast<Index>(r), j) =
-                    static_cast<Value>(acc[r * k + j]);
-    });
+    if (src->nnz() == 0)
+        return dout;
+    HT_DASSERT(isAligned(din.row(0)) && isAligned(dout.row(0)),
+               "dense operands must be cache-line aligned");
+    const kernels::CooView view{src->rowIds().data(), src->colIds().data(),
+                                src->values().data(), src->nnz()};
+    const std::vector<size_t> bounds =
+        rowAlignedChunkBounds(src->rowIds(), kGrainNnz);
+    kernels::spmmCooGolden(view, k, din.row(0), dout.row(0), bounds);
     return dout;
 }
 
@@ -112,22 +105,14 @@ referenceSpmm(const CsrMatrix& a, const DenseMatrix& din)
     HT_ASSERT(a.cols() == din.rows(), "SpMM shape mismatch");
     const Index k = din.cols();
     DenseMatrix dout(a.rows(), k);
-    parallelFor(0, a.rows(), kGrainRows, [&](size_t rb, size_t re) {
-        std::vector<double> acc(k);
-        for (size_t r = rb; r < re; ++r) {
-            std::fill(acc.begin(), acc.end(), 0.0);
-            for (size_t i = a.rowBegin(static_cast<Index>(r));
-                 i < a.rowEnd(static_cast<Index>(r)); ++i) {
-                const double v = a.values()[i];
-                const Value* in = din.row(a.colIds()[i]);
-                for (Index j = 0; j < k; ++j)
-                    acc[j] += v * double(in[j]);
-            }
-            for (Index j = 0; j < k; ++j)
-                dout.at(static_cast<Index>(r), j) =
-                    static_cast<Value>(acc[j]);
-        }
-    });
+    if (a.rows() == 0 || k == 0)
+        return dout;
+    HT_DASSERT(isAligned(din.row(0)) && isAligned(dout.row(0)),
+               "dense operands must be cache-line aligned");
+    const kernels::CsrView view{a.rowPtr().data(), a.colIds().data(),
+                                a.values().data(), a.rows()};
+    kernels::spmmCsr(view, k, din.row(0), dout.row(0),
+                     kernels::Policy::Golden);
     return dout;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "sparse/types.hpp"
 
 namespace hottiles {
@@ -17,6 +18,10 @@ namespace hottiles {
 class CooMatrix;
 class CsrMatrix;
 class Rng;
+
+/** Cache-line-aligned backing store for dense operands (SIMD loads in
+ *  src/kernels start from a 64-byte boundary). */
+using AlignedValueVector = std::vector<Value, AlignedAllocator<Value>>;
 
 /** Row-major dense matrix of floats. */
 class DenseMatrix
@@ -37,7 +42,7 @@ class DenseMatrix
     Value* row(Index r) { return data_.data() + size_t(r) * cols_; }
     const Value* row(Index r) const { return data_.data() + size_t(r) * cols_; }
 
-    const std::vector<Value>& data() const { return data_; }
+    const AlignedValueVector& data() const { return data_; }
 
     /** Set every element to @p v. */
     void fill(Value v);
@@ -60,7 +65,7 @@ class DenseMatrix
   private:
     Index rows_ = 0;
     Index cols_ = 0;
-    std::vector<Value> data_;
+    AlignedValueVector data_;
 };
 
 /** Reference SpMM: Dout = A * Din (double accumulation). */

@@ -59,6 +59,7 @@
 #include "core/serialize.hpp"
 #include "core/tile_search.hpp"
 #include "common/metrics.hpp"
+#include "kernels/dispatch.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/trace.hpp"
 #include "sim/trace_json.hpp"
@@ -385,6 +386,11 @@ cmdSimulate(const Options& o)
     opts.kernel = makeKernel(o);
     opts.iunaware_seed = o.seed;
     opts.build_formats = false;
+    if (o.verbose)
+        std::cout << "host kernel tier: "
+                  << kernels::tierName(kernels::activeTier())
+                  << (kernels::scalarForced() ? " (force-scalar)" : "")
+                  << "\n";
 
     FaultPlan plan;
     const FaultPlan* faults = nullptr;
