@@ -29,6 +29,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <tuple>
@@ -250,6 +251,15 @@ checkAgainstBaseline(const std::vector<Cell>& cells,
                      double spmm_fast_k32_speedup)
 {
     auto baseline = readBaselineGflops(path);
+    // Tiers the baseline run measured at all.  A whole tier absent from
+    // the baseline (e.g. AVX-512 locally vs an AVX2 CI runner) is
+    // hardware skew and is not gated — but a missing (matrix, kernel,
+    // tier, K) key *within* a baseline-covered tier means the baseline
+    // is stale relative to the current sweep, and silently skipping it
+    // would let a regression on the new cell pass unexamined.
+    std::set<std::string> baseline_tiers;
+    for (const auto& [key, gflops] : baseline)
+        baseline_tiers.insert(std::get<2>(key));
     int failures = 0;
     for (const Cell& c : cells) {
         if (c.tier == "scalar")
@@ -258,10 +268,24 @@ checkAgainstBaseline(const std::vector<Cell>& cells,
             gflopsOf(cells, c.matrix, c.kernel, "scalar", c.k);
         auto vec_it = baseline.find({c.matrix, c.kernel, c.tier, c.k});
         auto sc_it = baseline.find({c.matrix, c.kernel, "scalar", c.k});
-        // Tiers present on this host but absent from the baseline run
-        // (e.g. AVX-512 locally vs an AVX2 CI runner) are not gated.
-        if (scalar_now <= 0 || vec_it == baseline.end() ||
-            sc_it == baseline.end() || sc_it->second <= 0)
+        if (!baseline_tiers.count(c.tier))
+            continue;  // whole tier absent: hardware skew, not gated
+        if (vec_it == baseline.end() ||
+            (baseline_tiers.count("scalar") && sc_it == baseline.end())) {
+            std::printf(
+                "BASELINE MISSING %s/%s/%s@K=%u: the baseline JSON covers "
+                "tier '%s' but lacks this cell%s — regenerate %s with the "
+                "current sweep (run without --check and commit the "
+                "output)\n",
+                c.matrix.c_str(), c.kernel.c_str(), c.tier.c_str(),
+                unsigned(c.k), c.tier.c_str(),
+                vec_it == baseline.end() ? "" : "'s scalar reference",
+                path.c_str());
+            ++failures;
+            continue;
+        }
+        if (scalar_now <= 0 || sc_it == baseline.end() ||
+            sc_it->second <= 0)
             continue;
         const double ratio_now = c.gflops / scalar_now;
         const double ratio_then = vec_it->second / sc_it->second;

@@ -1,5 +1,6 @@
 #include "core/telemetry.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <string>
@@ -72,6 +73,28 @@ computePredictionError(const TileGrid& grid, const PartitionContext& ctx,
         out.cold_panels.push_back(makeSample(panel, predicted, cycles));
     }
     return out;
+}
+
+PredictionErrorSummary
+summarizePredictionError(std::vector<PredictionErrorSample> samples)
+{
+    PredictionErrorSummary s;
+    s.count = samples.size();
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end(),
+              [](const PredictionErrorSample& a,
+                 const PredictionErrorSample& b) {
+                  return a.error_pct < b.error_pct;
+              });
+    double sum = 0;
+    for (const PredictionErrorSample& x : samples)
+        sum += x.error_pct;
+    s.mean_pct = sum / double(samples.size());
+    s.p50_pct = samples[samples.size() / 2].error_pct;
+    s.p90_pct = samples[samples.size() * 9 / 10].error_pct;
+    s.max_pct = samples.back().error_pct;
+    return s;
 }
 
 void

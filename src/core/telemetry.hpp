@@ -56,6 +56,21 @@ PredictionErrorTelemetry computePredictionError(
     const TileGrid& grid, const PartitionContext& ctx,
     const std::vector<uint8_t>& is_hot, const SimOutput& sim);
 
+/** Aggregate error statistics over one sample set. */
+struct PredictionErrorSummary
+{
+    size_t count = 0;
+    double mean_pct = 0;
+    double p50_pct = 0;
+    double p90_pct = 0;
+    double max_pct = 0;
+};
+
+/** Summarize the per-unit errors of one sample set (empty -> zeros).
+ *  Takes the samples by value: percentiles need a sorted copy. */
+PredictionErrorSummary summarizePredictionError(
+    std::vector<PredictionErrorSample> samples);
+
 /**
  * Feed the telemetry into registry histograms
  * `prediction_error.<label>.hot_tile_pct` and

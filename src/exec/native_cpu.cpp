@@ -1,0 +1,607 @@
+/**
+ * @file
+ * NativeCpuBackend: executes a partition plan for real on the host
+ * (docs/EXECUTION.md).  Work model:
+ *
+ *  - The unit of scheduling is one row panel per class.  A hot task runs
+ *    the panel's hot tiles in tile-column order through the streaming
+ *    COO kernels; a cold task runs the panel's merged cold nonzeros as
+ *    one untiled local CSR through the row-traversal kernels.
+ *  - The pool's T threads become T executor slots split between the two
+ *    classes.  Each slot pops its own class queue from the front and,
+ *    once that drains, steals from the other queue's tail.
+ *  - Each task writes a disjoint row range of a class-private
+ *    accumulator; the two accumulators merge element-wise at the end.
+ *    Under the Golden policy that makes the result bit-identical to
+ *    referenceExecute() for any thread count, split or interleaving.
+ *
+ * Fault fail-stop: once the failed class's own executors complete the
+ * configured number of tasks, its remaining queue is spliced onto the
+ * survivor's queue under both queue locks (the splicing slot keeps
+ * draining afterwards, so migrated tasks can never be orphaned by slots
+ * that already observed empty queues and exited).
+ */
+
+#include "exec/backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <deque>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "core/preprocess.hpp"
+#include "kernels/dispatch.hpp"
+#include "sim/worklist.hpp"
+
+namespace hottiles::exec {
+namespace {
+
+using kernels::CooView;
+using kernels::CsrView;
+using kernels::KernelOps;
+using kernels::Policy;
+
+/** A hot task: one panel's hot tiles (index into TiledWork). */
+struct HotTask
+{
+    Index panel = 0;
+    size_t work = 0;   //!< index into TiledWork::panel_tiles
+    size_t nnz = 0;
+    size_t unit0 = 0;  //!< first slot in the per-tile time vector
+};
+
+/** A cold task: one panel's merged cold nonzeros as a local CSR. */
+struct ColdTask
+{
+    Index panel = 0;
+    size_t work = 0;  //!< index into UntiledWork::panels
+    Index row0 = 0;
+    Index height = 0;
+    size_t nnz = 0;
+    size_t tiles = 0;  //!< cold tiles merged into this panel
+    std::vector<size_t> row_ptr;  //!< height + 1, local rows
+};
+
+struct Task
+{
+    uint8_t cls = 0;  //!< 0 = hot, 1 = cold
+    uint32_t idx = 0;
+};
+
+/** Mutex-guarded task deque: owners pop the front, thieves the tail. */
+class TaskQueue
+{
+  public:
+    void push(Task t) { q_.push_back(t); }  //!< pre-fill, single thread
+
+    bool popFront(Task* t)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (q_.empty())
+            return false;
+        *t = q_.front();
+        q_.pop_front();
+        return true;
+    }
+
+    bool popBack(Task* t)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (q_.empty())
+            return false;
+        *t = q_.back();
+        q_.pop_back();
+        return true;
+    }
+
+    /** Move everything from @p from to the back of @p to (both locked
+     *  at once, so tasks are never invisible mid-splice). */
+    friend size_t drainInto(TaskQueue& from, TaskQueue& to)
+    {
+        std::scoped_lock lk(from.mu_, to.mu_);
+        const size_t n = from.q_.size();
+        to.q_.insert(to.q_.end(), from.q_.begin(), from.q_.end());
+        from.q_.clear();
+        return n;
+    }
+
+  private:
+    std::mutex mu_;
+    std::deque<Task> q_;
+};
+
+/** Both classes' work lists plus the derived task descriptors. */
+struct ExecPlan
+{
+    TiledWork hot_w;
+    UntiledWork cold_w;
+    std::vector<HotTask> hot_tasks;
+    std::vector<ColdTask> cold_tasks;
+    size_t hot_tiles = 0;
+    size_t cold_tiles = 0;
+};
+
+void validate(const TileGrid& grid, const Partition& p,
+              const KernelConfig& kernel, const DenseMatrix& din)
+{
+    HT_FATAL_IF(kernel.kind == SparseKernel::Sddmm,
+                "native exec: SDDMM needs sparse-output support the exec "
+                "layer does not have yet; run --kernel spmm or spmv");
+    HT_FATAL_IF(kernel.k < 1, "native exec: kernel K must be >= 1");
+    HT_FATAL_IF(p.is_hot.size() != grid.numTiles(),
+                "native exec: partition covers ", p.is_hot.size(),
+                " tiles but the grid has ", grid.numTiles());
+    HT_FATAL_IF(din.rows() != grid.matrixCols() || din.cols() != kernel.k,
+                "native exec: dense input must be ", grid.matrixCols(), " x ",
+                kernel.k, ", got ", din.rows(), " x ", din.cols());
+}
+
+ExecPlan preparePlan(const TileGrid& grid, const Partition& p)
+{
+    ExecPlan plan;
+    plan.hot_w = buildTiledWork(grid, p.hotTiles());
+    plan.cold_w = buildUntiledWork(grid, p.coldTiles());
+
+    plan.hot_tasks.reserve(plan.hot_w.panel_tiles.size());
+    size_t unit = 0;
+    for (size_t i = 0; i < plan.hot_w.panel_tiles.size(); ++i) {
+        HotTask ht;
+        ht.panel = plan.hot_w.panel_ids[i];
+        ht.work = i;
+        ht.unit0 = unit;
+        for (size_t tid : plan.hot_w.panel_tiles[i])
+            ht.nnz += grid.tile(tid).nnz;
+        unit += plan.hot_w.panel_tiles[i].size();
+        plan.hot_tasks.push_back(std::move(ht));
+    }
+    plan.hot_tiles = unit;
+
+    plan.cold_tasks.reserve(plan.cold_w.panels.size());
+    for (size_t i = 0; i < plan.cold_w.panels.size(); ++i) {
+        const PanelWork& pw = plan.cold_w.panels[i];
+        ColdTask ct;
+        ct.panel = pw.panel;
+        ct.work = i;
+        ct.row0 = Index(pw.panel) * grid.tileHeight();
+        ct.height = std::min(grid.tileHeight(), grid.matrixRows() - ct.row0);
+        ct.nnz = pw.rows.size();
+        auto [tb, te] = grid.panelTiles(pw.panel);
+        for (size_t t = tb; t < te; ++t)
+            if (!p.is_hot[t])
+                ++ct.tiles;
+        plan.cold_tiles += ct.tiles;
+        // Local CSR over the panel's rows: counting sort of the already
+        // row-major-sorted nonzeros.
+        ct.row_ptr.assign(size_t(ct.height) + 1, 0);
+        for (Index r : pw.rows)
+            ++ct.row_ptr[size_t(r - ct.row0) + 1];
+        for (size_t r = 0; r < size_t(ct.height); ++r)
+            ct.row_ptr[r + 1] += ct.row_ptr[r];
+        plan.cold_tasks.push_back(std::move(ct));
+    }
+    return plan;
+}
+
+/** Slots serving the hot queue (the rest serve cold). */
+unsigned splitSlots(unsigned threads, const ExecPlan& plan,
+                    const NativeExecOptions& opts)
+{
+    const bool has_hot = !plan.hot_tasks.empty();
+    const bool has_cold = !plan.cold_tasks.empty();
+    if (!has_hot)
+        return 0;
+    if (!has_cold || threads == 1)
+        return has_cold ? 1 : threads;
+    unsigned h;
+    if (opts.hot_executors > 0) {
+        h = opts.hot_executors;
+    } else {
+        double share = opts.hot_share_hint;
+        if (share <= 0 || share >= 1) {
+            const double hot_nnz = double(plan.hot_w.total_nnz);
+            share = hot_nnz / (hot_nnz + double(plan.cold_w.total_nnz));
+        }
+        h = unsigned(std::lround(share * threads));
+    }
+    return std::clamp(h, 1u, threads - 1);
+}
+
+/** Fail-stop coordination (see file header). */
+struct FaultState
+{
+    int fail_class = -1;
+    size_t threshold = 0;
+    std::atomic<size_t> own_done{0};
+    std::atomic<bool> failed{false};
+    std::atomic<size_t> requeued{0};
+};
+
+struct SlotClassStats
+{
+    size_t tasks = 0;
+    size_t tiles = 0;
+    size_t nnz = 0;
+    size_t stolen = 0;
+    double busy_s = 0;
+};
+
+struct SlotStats
+{
+    SlotClassStats cls[2];
+};
+
+/** Everything a task execution needs, shared across slots. */
+struct RunContext
+{
+    const TileGrid* grid = nullptr;
+    const ExecPlan* plan = nullptr;
+    const KernelOps* ops = nullptr;
+    Policy policy = Policy::Golden;
+    Index k = 1;
+    const Value* din = nullptr;
+    double* hot_acc = nullptr;   //!< golden: rows x k
+    double* cold_acc = nullptr;
+    Value* hot_out = nullptr;    //!< fast: rows x k
+    Value* cold_out = nullptr;
+    bool collect = true;
+    UnitTime* hot_units = nullptr;   //!< one per hot tile
+    UnitTime* cold_units = nullptr;  //!< one per cold task
+};
+
+void runHotTask(const RunContext& rc, const HotTask& ht)
+{
+    const TileGrid& grid = *rc.grid;
+    size_t unit = ht.unit0;
+    for (size_t tid : rc.plan->hot_w.panel_tiles[ht.work]) {
+        const double t0 = rc.collect ? monotonicSeconds() : 0;
+        const Tile& tl = grid.tile(tid);
+        const CooView v{grid.tileRows(tid).data(), grid.tileCols(tid).data(),
+                        grid.tileVals(tid).data(), tl.nnz};
+        if (rc.policy == Policy::Golden)
+            rc.ops->spmm_coo_golden(v, rc.k, rc.din, rc.hot_acc,
+                                    /*row_base=*/0, 0, tl.nnz);
+        else
+            rc.ops->spmm_coo_fast(v, rc.k, rc.din, rc.hot_out, 0, tl.nnz);
+        if (rc.collect)
+            rc.hot_units[unit] = {uint32_t(tid), monotonicSeconds() - t0};
+        ++unit;
+    }
+}
+
+void runColdTask(const RunContext& rc, const ColdTask& ct, size_t task_idx)
+{
+    const double t0 = rc.collect ? monotonicSeconds() : 0;
+    const PanelWork& pw = rc.plan->cold_w.panels[ct.work];
+    const CsrView cv{ct.row_ptr.data(), pw.cols.data(), pw.vals.data(),
+                     ct.height};
+    const size_t base = size_t(ct.row0) * rc.k;
+    if (rc.policy == Policy::Golden)
+        rc.ops->spmm_csr_golden_acc(cv, rc.k, rc.din, rc.cold_acc + base, 0,
+                                    ct.height);
+    else
+        rc.ops->spmm_csr_fast(cv, rc.k, rc.din, rc.cold_out + base, 0,
+                              ct.height);
+    if (rc.collect)
+        rc.cold_units[task_idx] = {uint32_t(ct.panel),
+                                   monotonicSeconds() - t0};
+}
+
+class NativeCpuBackend final : public ExecutionBackend
+{
+  public:
+    explicit NativeCpuBackend(const NativeExecOptions& opts) : opts_(opts) {}
+
+    const char* name() const override { return "native-cpu"; }
+
+    DenseMatrix run(const TileGrid& grid, const Partition& p,
+                    const KernelConfig& kernel, const DenseMatrix& din,
+                    ExecReport* report) override;
+
+  private:
+    NativeExecOptions opts_;
+};
+
+DenseMatrix NativeCpuBackend::run(const TileGrid& grid, const Partition& p,
+                                  const KernelConfig& kernel,
+                                  const DenseMatrix& din, ExecReport* report)
+{
+    validate(grid, p, kernel, din);
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("exec.native.runs").add(1);
+
+    const double prep0 = monotonicSeconds();
+    const ExecPlan plan = preparePlan(grid, p);
+
+    const Index rows = grid.matrixRows();
+    const Index k = kernel.k;
+    const size_t cells = size_t(rows) * k;
+    const bool golden = opts_.policy == Policy::Golden;
+
+    // Class-private accumulators: tasks write disjoint row ranges, the
+    // merge below combines the two classes element-wise.
+    std::vector<double> hot_acc(golden ? cells : 0, 0.0);
+    std::vector<double> cold_acc(golden ? cells : 0, 0.0);
+    DenseMatrix hot_out(golden ? 0 : rows, k);
+    DenseMatrix cold_out(golden ? 0 : rows, k);
+
+    RunContext rc;
+    rc.grid = &grid;
+    rc.plan = &plan;
+    rc.ops = &kernels::activeOps();
+    rc.policy = opts_.policy;
+    rc.k = k;
+    rc.din = cells ? din.row(0) : nullptr;
+    rc.hot_acc = hot_acc.data();
+    rc.cold_acc = cold_acc.data();
+    rc.hot_out = golden ? nullptr : hot_out.row(0);
+    rc.cold_out = golden ? nullptr : cold_out.row(0);
+    rc.collect = opts_.collect_unit_times;
+    std::vector<UnitTime> hot_units(rc.collect ? plan.hot_tiles : 0);
+    std::vector<UnitTime> cold_units(rc.collect ? plan.cold_tasks.size() : 0);
+    rc.hot_units = hot_units.data();
+    rc.cold_units = cold_units.data();
+
+    const unsigned T = ThreadPool::globalThreads();
+    const unsigned hot_slots = splitSlots(T, plan, opts_);
+    // A 1-thread pool (or a class with zero slots) must serve both
+    // queues regardless of the stealing knob: stealing is a tail
+    // policy, not a correctness switch.
+    const bool serve_both =
+        T == 1 || (hot_slots == 0 && !plan.hot_tasks.empty()) ||
+        (hot_slots == T && !plan.cold_tasks.empty());
+
+    TaskQueue queues[2];
+    for (uint32_t i = 0; i < plan.hot_tasks.size(); ++i)
+        queues[0].push({0, i});
+    for (uint32_t i = 0; i < plan.cold_tasks.size(); ++i)
+        queues[1].push({1, i});
+
+    FaultState fault;
+    fault.fail_class = opts_.fail_class;
+    fault.threshold = opts_.fail_after_tasks;
+    std::vector<SlotStats> slot_stats(T);
+    const double prep_s = monotonicSeconds() - prep0;
+
+    const double run0 = monotonicSeconds();
+    parallelFor(0, T, 1, [&](size_t sb, size_t se) {
+        for (size_t slot = sb; slot < se; ++slot) {
+            const int my = slot < hot_slots ? 0 : 1;
+            TaskQueue& mine = queues[my];
+            TaskQueue& other = queues[1 - my];
+            SlotStats& st = slot_stats[slot];
+            for (;;) {
+                // Trip the fail-stop once the failed class's executors
+                // crossed the threshold; the tripping slot splices the
+                // failed queue onto the survivor's and keeps draining,
+                // so migrated tasks always have a live consumer.
+                if (fault.fail_class >= 0 &&
+                    !fault.failed.load(std::memory_order_acquire) &&
+                    fault.own_done.load(std::memory_order_relaxed) >=
+                        fault.threshold) {
+                    bool expected = false;
+                    if (fault.failed.compare_exchange_strong(expected,
+                                                             true)) {
+                        const int fc = fault.fail_class;
+                        fault.requeued.fetch_add(
+                            drainInto(queues[fc], queues[1 - fc]));
+                    }
+                }
+                const bool my_failed =
+                    fault.fail_class == my &&
+                    fault.failed.load(std::memory_order_acquire);
+                Task t;
+                bool from_own = false;
+                if (!my_failed && mine.popFront(&t))
+                    from_own = true;
+                else if ((opts_.work_stealing || serve_both || my_failed ||
+                          fault.failed.load(std::memory_order_acquire)) &&
+                         other.popBack(&t))
+                    ;
+                else
+                    break;
+                const double t0 = monotonicSeconds();
+                if (t.cls == 0)
+                    runHotTask(rc, plan.hot_tasks[t.idx]);
+                else
+                    runColdTask(rc, plan.cold_tasks[t.idx], t.idx);
+                const double dt = monotonicSeconds() - t0;
+                SlotClassStats& cs = st.cls[t.cls];
+                ++cs.tasks;
+                cs.busy_s += dt;
+                if (t.cls != my)
+                    ++cs.stolen;
+                if (t.cls == 0) {
+                    const HotTask& ht = plan.hot_tasks[t.idx];
+                    cs.tiles += plan.hot_w.panel_tiles[ht.work].size();
+                    cs.nnz += ht.nnz;
+                } else {
+                    const ColdTask& ct = plan.cold_tasks[t.idx];
+                    cs.tiles += ct.tiles;
+                    cs.nnz += ct.nnz;
+                }
+                if (from_own && my == fault.fail_class)
+                    fault.own_done.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    });
+
+    // Merge the class-private buffers.  Golden: one double add and one
+    // double -> Value cast per element, both exact deterministic ops —
+    // the serial reference does the same, element for element.
+    DenseMatrix out(rows, k);
+    if (golden) {
+        parallelFor(0, rows, kGrainRows, [&](size_t b, size_t e) {
+            for (size_t r = b; r < e; ++r) {
+                Value* o = out.row(Index(r));
+                const double* h = hot_acc.data() + r * k;
+                const double* c = cold_acc.data() + r * k;
+                for (Index j = 0; j < k; ++j)
+                    o[j] = Value(h[j] + c[j]);
+            }
+        });
+    } else {
+        parallelFor(0, rows, kGrainRows, [&](size_t b, size_t e) {
+            for (size_t r = b; r < e; ++r) {
+                Value* o = out.row(Index(r));
+                const Value* h = hot_out.row(Index(r));
+                const Value* c = cold_out.row(Index(r));
+                for (Index j = 0; j < k; ++j)
+                    o[j] = h[j] + c[j];
+            }
+        });
+    }
+    const double wall_s = monotonicSeconds() - run0;
+
+    ExecReport rep;
+    rep.threads = T;
+    rep.hot_executors = hot_slots;
+    rep.cold_executors = T - hot_slots;
+    rep.prepare_s = prep_s;
+    rep.wall_s = wall_s;
+    rep.requeued_tasks = fault.requeued.load();
+    rep.class_failed = fault.failed.load();
+    for (const SlotStats& st : slot_stats) {
+        ExecClassReport* cls[2] = {&rep.hot, &rep.cold};
+        for (int c = 0; c < 2; ++c) {
+            cls[c]->tasks += st.cls[c].tasks;
+            cls[c]->tiles += st.cls[c].tiles;
+            cls[c]->nnz += st.cls[c].nnz;
+            cls[c]->stolen_tasks += st.cls[c].stolen;
+            cls[c]->busy_s += st.cls[c].busy_s;
+        }
+    }
+    rep.hot.unit_s = std::move(hot_units);
+    rep.cold.unit_s = std::move(cold_units);
+    const double flops =
+        kernel.flopsPerNnz() * double(rep.hot.nnz + rep.cold.nnz);
+    rep.gflops = wall_s > 0 ? flops / wall_s / 1e9 : 0;
+
+    reg.timer("exec.native.prepare").observe(prep_s);
+    reg.timer("exec.native.run").observe(wall_s);
+    reg.counter("exec.native.hot_tiles").add(rep.hot.tiles);
+    reg.counter("exec.native.cold_panels").add(rep.cold.tasks);
+    reg.counter("exec.native.stolen_tasks")
+        .add(rep.hot.stolen_tasks + rep.cold.stolen_tasks);
+    reg.counter("exec.native.requeued_tasks").add(rep.requeued_tasks);
+    reg.gauge("exec.native.gflops").set(rep.gflops);
+
+    if (report)
+        *report = std::move(rep);
+    return out;
+}
+
+} // namespace
+
+std::unique_ptr<ExecutionBackend> makeNativeCpuBackend(
+    const NativeExecOptions& opts)
+{
+    return std::make_unique<NativeCpuBackend>(opts);
+}
+
+DenseMatrix referenceExecute(const TileGrid& grid, const Partition& p,
+                             const KernelConfig& kernel,
+                             const DenseMatrix& din)
+{
+    validate(grid, p, kernel, din);
+    const ExecPlan plan = preparePlan(grid, p);
+    const KernelOps& ops = kernels::opsForTier(kernels::Tier::Scalar);
+    const Index rows = grid.matrixRows();
+    const Index k = kernel.k;
+    const size_t cells = size_t(rows) * k;
+    const Value* din_p = cells ? din.row(0) : nullptr;
+
+    std::vector<double> hot_acc(cells, 0.0);
+    std::vector<double> cold_acc(cells, 0.0);
+    for (const HotTask& ht : plan.hot_tasks)
+        for (size_t tid : plan.hot_w.panel_tiles[ht.work]) {
+            const CooView v{grid.tileRows(tid).data(),
+                            grid.tileCols(tid).data(),
+                            grid.tileVals(tid).data(), grid.tile(tid).nnz};
+            ops.spmm_coo_golden(v, k, din_p, hot_acc.data(), 0, 0, v.nnz);
+        }
+    for (const ColdTask& ct : plan.cold_tasks) {
+        const PanelWork& pw = plan.cold_w.panels[ct.work];
+        const CsrView cv{ct.row_ptr.data(), pw.cols.data(), pw.vals.data(),
+                         ct.height};
+        ops.spmm_csr_golden_acc(cv, k, din_p,
+                                cold_acc.data() + size_t(ct.row0) * k, 0,
+                                ct.height);
+    }
+
+    DenseMatrix out(rows, k);
+    for (Index r = 0; r < rows; ++r) {
+        Value* o = out.row(r);
+        const double* h = hot_acc.data() + size_t(r) * k;
+        const double* c = cold_acc.data() + size_t(r) * k;
+        for (Index j = 0; j < k; ++j)
+            o[j] = Value(h[j] + c[j]);
+    }
+    return out;
+}
+
+PredictionErrorTelemetry computeNativePredictionError(
+    const TileGrid& grid, const PartitionContext& ctx,
+    const std::vector<uint8_t>& is_hot, const ExecReport& report)
+{
+    HT_ASSERT(ctx.estimates.size() == grid.numTiles(),
+              "context estimates do not match the grid");
+    HT_ASSERT(is_hot.size() == grid.numTiles(),
+              "assignment does not match the grid");
+    PredictionErrorTelemetry t;
+
+    // Per-class least-squares scale: predictions are accelerator cycles,
+    // measurements host seconds; after scaling, per-unit error is the
+    // model's shape mismatch (see backend.hpp).
+    auto scaleOf = [](const std::vector<UnitTime>& units, auto predict) {
+        double sum_pred = 0, sum_meas = 0;
+        for (const UnitTime& u : units) {
+            if (u.seconds <= 0)
+                continue;
+            sum_pred += predict(u.unit);
+            sum_meas += u.seconds;
+        }
+        return sum_meas > 0 && sum_pred > 0 ? sum_pred / sum_meas : 0.0;
+    };
+    auto sample = [](uint32_t unit, double pred, double meas_cycles) {
+        PredictionErrorSample s;
+        s.unit = unit;
+        s.predicted_cycles = pred;
+        s.simulated_cycles = meas_cycles;
+        s.error_pct = 100.0 * std::abs(pred - meas_cycles) / meas_cycles;
+        return s;
+    };
+
+    auto hotPred = [&](uint32_t tile) { return ctx.estimates[tile].th; };
+    const double hot_scale = scaleOf(report.hot.unit_s, hotPred);
+    if (hot_scale > 0)
+        for (const UnitTime& u : report.hot.unit_s) {
+            if (u.seconds <= 0)
+                continue;
+            t.hot_tiles.push_back(
+                sample(u.unit, hotPred(u.unit), u.seconds * hot_scale));
+        }
+
+    auto coldPred = [&](uint32_t panel) {
+        auto [tb, te] = grid.panelTiles(Index(panel));
+        double pred = 0;
+        for (size_t i = tb; i < te; ++i)
+            if (!is_hot[i])
+                pred += ctx.estimates[i].tc;
+        return pred;
+    };
+    const double cold_scale = scaleOf(report.cold.unit_s, coldPred);
+    if (cold_scale > 0)
+        for (const UnitTime& u : report.cold.unit_s) {
+            if (u.seconds <= 0)
+                continue;
+            t.cold_panels.push_back(
+                sample(u.unit, coldPred(u.unit), u.seconds * cold_scale));
+        }
+    return t;
+}
+
+} // namespace hottiles::exec

@@ -83,6 +83,13 @@ struct KernelOps
      *  odd-K tails. */
     void (*spmm_csr_fast)(const CsrView& a, Index k, const Value* din,
                           Value* dout, Index r0, Index r1) = nullptr;
+    /** CSR SpMM rows [r0, r1), golden, accumulating: acc[r * k + j] +=
+     *  the row's contribution in CSR nonzero order (double chain per
+     *  element, bit-identical across tiers).  Unlike spmm_csr_golden
+     *  the result stays in double — the native execution backend merges
+     *  per-class accumulators and casts once (docs/EXECUTION.md). */
+    void (*spmm_csr_golden_acc)(const CsrView& a, Index k, const Value* din,
+                                double* acc, Index r0, Index r1) = nullptr;
     /** COO SpMM golden over nonzeros [b, e): accumulate into a double
      *  row panel @p acc whose row 0 is matrix row @p row_base. */
     void (*spmm_coo_golden)(const CooView& a, Index k, const Value* din,

@@ -134,6 +134,40 @@ struct MicroKernels
     }
 
     static void
+    spmmCsrGoldenAcc(const CsrView& a, Index k, const Value* din,
+                     double* acc, Index r0, Index r1)
+    {
+        // Per-element chain: start from the stored accumulator and fold
+        // the row's nonzeros in CSR order.  Products of promoted floats
+        // are exact in double, so fused vs unfused FMA and lane width
+        // never change the result (the golden contract).
+        for (Index r = r0; r < r1; ++r) {
+            const size_t rb = a.row_ptr[r];
+            const size_t re = a.row_ptr[r + 1];
+            if (rb == re)
+                continue;
+            double* out = acc + size_t(r) * k;
+            Index j = 0;
+            for (; j + D <= k; j += D) {
+                VD accv = S::loadD(out + j);
+                for (size_t i = rb; i < re; ++i)
+                    accv = S::fmaD(
+                        S::broadcastD(double(a.vals[i])),
+                        S::cvtF2D(din + size_t(a.col_ids[i]) * k + j),
+                        accv);
+                S::storeD(out + j, accv);
+            }
+            for (; j < k; ++j) {
+                double accs = out[j];
+                for (size_t i = rb; i < re; ++i)
+                    accs += double(a.vals[i]) *
+                            double(din[size_t(a.col_ids[i]) * k + j]);
+                out[j] = accs;
+            }
+        }
+    }
+
+    static void
     spmmCooGolden(const CooView& a, Index k, const Value* din, double* acc,
                   Index row_base, size_t b, size_t e)
     {
@@ -294,6 +328,7 @@ struct MicroKernels
         o.tier = t;
         o.spmm_csr_golden = &spmmCsrGolden;
         o.spmm_csr_fast = &spmmCsrFast;
+        o.spmm_csr_golden_acc = &spmmCsrGoldenAcc;
         o.spmm_coo_golden = &spmmCooGolden;
         o.spmm_coo_fast = &spmmCooFast;
         o.spmv_csr_fast = &spmvCsrFast;

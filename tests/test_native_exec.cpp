@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The native execution backend (docs/EXECUTION.md), end to end:
+ *
+ *  - NativeExec: a Golden-policy run is bit-identical to the serial
+ *    reference executor (and tolerance-close to the whole-matrix
+ *    reference SpMM); Fast stays within kernel tolerance; reports and
+ *    telemetry are internally consistent; SDDMM is cleanly rejected.
+ *  - NativeExecDeterminism: results are bit-identical across {1, 2, 7}
+ *    threads and across hot/cold queue interleavings (executor splits,
+ *    stealing on/off) — the disjoint-write contract in practice.
+ *  - NativeExecFault: a class fail-stop migrates the remaining tasks to
+ *    the surviving class without changing a single output bit.
+ */
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_config.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/thread_pool.hpp"
+#include "core/calibrate.hpp"
+#include "core/hottiles.hpp"
+#include "core/telemetry.hpp"
+#include "exec/backend.hpp"
+#include "model/worker_traits.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+
+namespace hottiles {
+namespace {
+
+using exec::ExecReport;
+using exec::NativeExecOptions;
+
+const unsigned kThreadCounts[] = {1, 2, 7};
+
+/** One preprocessed matrix + plan + dense input, shared per fixture. */
+struct RunSetup
+{
+    Architecture arch;
+    std::unique_ptr<HotTiles> ht;
+    DenseMatrix din;
+
+    explicit RunSetup(KernelConfig kernel, uint64_t mat_seed = 5)
+        : arch(calibrated(makeSpadeSextans(4)))
+    {
+        CooMatrix m = genCommunity(1536, 13.0, 32, 160, 0.8, mat_seed);
+        HotTilesOptions opts;
+        opts.kernel = kernel;
+        opts.build_formats = false;
+        ht = std::make_unique<HotTiles>(arch, m, opts);
+        din = DenseMatrix(ht->grid().matrixCols(), kernel.k);
+        Rng rng(42);
+        din.fillRandom(rng);
+    }
+
+    const TileGrid& grid() const { return ht->grid(); }
+    const Partition& partition() const { return ht->partition(); }
+    KernelConfig kernel() const { return ht->context().kernel; }
+
+    DenseMatrix
+    run(const NativeExecOptions& eo, ExecReport* rep = nullptr) const
+    {
+        return exec::makeNativeCpuBackend(eo)->run(grid(), partition(),
+                                                   kernel(), din, rep);
+    }
+
+    DenseMatrix
+    reference() const
+    {
+        return exec::referenceExecute(grid(), partition(), kernel(), din);
+    }
+};
+
+/** A guaranteed-mixed assignment (the model plan can legally collapse
+ *  to one class on easy matrices; these tests need both queues busy). */
+Partition
+mixedPartition(const TileGrid& grid)
+{
+    Partition p;
+    p.is_hot.resize(grid.numTiles());
+    for (size_t i = 0; i < p.is_hot.size(); ++i)
+        p.is_hot[i] = i % 3 != 0;
+    return p;
+}
+
+KernelConfig
+spmmKernel(uint32_t k = 32)
+{
+    KernelConfig kc;
+    kc.kind = SparseKernel::Spmm;
+    kc.k = k;
+    return kc;
+}
+
+void
+expectBitIdentical(const DenseMatrix& a, const DenseMatrix& b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    ASSERT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          a.data().size() * sizeof(Value)),
+              0)
+        << "results differ, max |diff| " << a.maxAbsDiff(b);
+}
+
+class NativeExec : public ::testing::Test
+{
+  protected:
+    static void TearDownTestSuite() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST_F(NativeExec, GoldenBitIdenticalToReference)
+{
+    RunSetup s(spmmKernel());
+    ThreadPool::setGlobalThreads(4);
+    expectBitIdentical(s.run({}), s.reference());
+}
+
+TEST_F(NativeExec, GoldenMatchesWholeMatrixReferenceSpmm)
+{
+    RunSetup s(spmmKernel());
+    ThreadPool::setGlobalThreads(4);
+    // Different accumulation order than the tiled plan, so tolerance
+    // rather than bits — this pins functional correctness of the plan
+    // (every nonzero executed exactly once, rows routed correctly).
+    CooMatrix m = genCommunity(1536, 13.0, 32, 160, 0.8, 5);
+    EXPECT_TRUE(s.run({}).approxEqual(referenceSpmm(m, s.din)));
+}
+
+TEST_F(NativeExec, FastPolicyWithinTolerance)
+{
+    RunSetup s(spmmKernel());
+    ThreadPool::setGlobalThreads(4);
+    NativeExecOptions eo;
+    eo.policy = kernels::Policy::Fast;
+    EXPECT_TRUE(s.run(eo).approxEqual(s.reference()));
+}
+
+TEST_F(NativeExec, SpmvRunsThroughTheSamePath)
+{
+    RunSetup s(spmvKernel());
+    ThreadPool::setGlobalThreads(4);
+    expectBitIdentical(s.run({}), s.reference());
+}
+
+TEST_F(NativeExec, UniformAssignmentsExecuteCorrectly)
+{
+    RunSetup s(spmmKernel());
+    ThreadPool::setGlobalThreads(4);
+    for (uint8_t hot : {uint8_t(0), uint8_t(1)}) {
+        SCOPED_TRACE(hot ? "all-hot" : "all-cold");
+        Partition p;
+        p.is_hot.assign(s.grid().numTiles(), hot);
+        ExecReport rep;
+        DenseMatrix out = exec::makeNativeCpuBackend({})->run(
+            s.grid(), p, s.kernel(), s.din, &rep);
+        expectBitIdentical(out, exec::referenceExecute(s.grid(), p,
+                                                       s.kernel(), s.din));
+        // The empty class must report no work and keep no executors.
+        const exec::ExecClassReport& empty = hot ? rep.cold : rep.hot;
+        EXPECT_EQ(empty.tasks, 0u);
+        EXPECT_EQ(empty.nnz, 0u);
+        EXPECT_EQ(hot ? rep.cold_executors : rep.hot_executors, 0u);
+    }
+}
+
+TEST_F(NativeExec, ReportIsInternallyConsistent)
+{
+    RunSetup s(spmmKernel());
+    ThreadPool::setGlobalThreads(4);
+    ExecReport rep;
+    s.run({}, &rep);
+    EXPECT_EQ(rep.threads, 4u);
+    EXPECT_EQ(rep.hot_executors + rep.cold_executors, rep.threads);
+    EXPECT_EQ(rep.hot.tiles, s.partition().hotTiles().size());
+    EXPECT_EQ(rep.cold.tiles, s.partition().coldTiles().size());
+    EXPECT_EQ(rep.hot.nnz + rep.cold.nnz, s.grid().matrixNnz());
+    EXPECT_EQ(rep.hot.unit_s.size(), rep.hot.tiles);
+    EXPECT_EQ(rep.cold.unit_s.size(), rep.cold.tasks);
+    EXPECT_GT(rep.wall_s, 0.0);
+    EXPECT_GT(rep.gflops, 0.0);
+    EXPECT_EQ(rep.requeued_tasks, 0u);
+    EXPECT_FALSE(rep.class_failed);
+}
+
+TEST_F(NativeExec, PredictionErrorCoversBothClasses)
+{
+    RunSetup s(spmmKernel());
+    ThreadPool::setGlobalThreads(4);
+    ExecReport rep;
+    s.run({}, &rep);
+    PredictionErrorTelemetry tel = exec::computeNativePredictionError(
+        s.grid(), s.ht->context(), s.partition().is_hot, rep);
+    EXPECT_EQ(tel.hot_tiles.size() + tel.cold_panels.size(),
+              rep.hot.unit_s.size() + rep.cold.unit_s.size());
+    for (const PredictionErrorSample& u : tel.hot_tiles) {
+        EXPECT_GT(u.predicted_cycles, 0.0);
+        EXPECT_GT(u.simulated_cycles, 0.0);
+        EXPECT_GE(u.error_pct, 0.0);
+    }
+    PredictionErrorSummary sum = summarizePredictionError(tel.hot_tiles);
+    EXPECT_EQ(sum.count, tel.hot_tiles.size());
+    EXPECT_LE(sum.p50_pct, sum.p90_pct);
+    EXPECT_LE(sum.p90_pct, sum.max_pct);
+}
+
+TEST_F(NativeExec, SddmmIsRejected)
+{
+    RunSetup s(spmmKernel());
+    EXPECT_THROW(exec::makeNativeCpuBackend({})->run(
+                     s.grid(), s.partition(), sddmmKernel(32), s.din),
+                 FatalError);
+}
+
+class NativeExecDeterminism : public ::testing::Test
+{
+  protected:
+    static void TearDownTestSuite() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST_F(NativeExecDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    for (kernels::Policy pol :
+         {kernels::Policy::Golden, kernels::Policy::Fast}) {
+        SCOPED_TRACE(pol == kernels::Policy::Golden ? "golden" : "fast");
+        RunSetup s(spmmKernel());
+        NativeExecOptions eo;
+        eo.policy = pol;
+        ThreadPool::setGlobalThreads(1);
+        const DenseMatrix baseline = s.run(eo);
+        for (unsigned t : kThreadCounts) {
+            SCOPED_TRACE("threads=" + std::to_string(t));
+            ThreadPool::setGlobalThreads(t);
+            expectBitIdentical(s.run(eo), baseline);
+        }
+    }
+}
+
+TEST_F(NativeExecDeterminism, BitIdenticalAcrossQueueInterleavings)
+{
+    RunSetup s(spmmKernel());
+    ThreadPool::setGlobalThreads(7);
+    const Partition p = mixedPartition(s.grid());
+    const DenseMatrix baseline =
+        exec::referenceExecute(s.grid(), p, s.kernel(), s.din);
+    for (unsigned hot_execs : {0u, 1u, 3u, 6u}) {
+        for (bool steal : {true, false}) {
+            SCOPED_TRACE("hot_executors=" + std::to_string(hot_execs) +
+                         " steal=" + std::to_string(steal));
+            NativeExecOptions eo;
+            eo.hot_executors = hot_execs;
+            eo.work_stealing = steal;
+            expectBitIdentical(exec::makeNativeCpuBackend(eo)->run(
+                                   s.grid(), p, s.kernel(), s.din),
+                               baseline);
+        }
+    }
+}
+
+class NativeExecFault : public ::testing::Test
+{
+  protected:
+    static void TearDownTestSuite() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST_F(NativeExecFault, FailStopMigratesWorkToSurvivingClass)
+{
+    RunSetup s(spmmKernel());
+    ThreadPool::setGlobalThreads(4);
+    const Partition p = mixedPartition(s.grid());
+    const DenseMatrix baseline =
+        exec::referenceExecute(s.grid(), p, s.kernel(), s.din);
+    for (int fail_class : {0, 1}) {
+        SCOPED_TRACE(fail_class == 0 ? "hot fails" : "cold fails");
+        NativeExecOptions eo;
+        eo.fail_class = fail_class;
+        // Die before the first task: every slot checks the fail-stop
+        // before popping, so the whole class's queue must migrate.
+        eo.fail_after_tasks = 0;
+        ExecReport rep;
+        expectBitIdentical(exec::makeNativeCpuBackend(eo)->run(
+                               s.grid(), p, s.kernel(), s.din, &rep),
+                           baseline);
+        EXPECT_TRUE(rep.class_failed);
+        const exec::ExecClassReport& failed =
+            fail_class == 0 ? rep.hot : rep.cold;
+        EXPECT_GT(rep.requeued_tasks, 0u);
+        EXPECT_EQ(rep.requeued_tasks, failed.tasks);
+    }
+}
+
+TEST_F(NativeExecFault, FailStopAfterSomeTasksStillCompletesEverything)
+{
+    RunSetup s(spmmKernel());
+    ThreadPool::setGlobalThreads(2);
+    const Partition p = mixedPartition(s.grid());
+    NativeExecOptions eo;
+    eo.fail_class = 0;
+    eo.fail_after_tasks = 1;
+    eo.work_stealing = false;  // migration must not rely on stealing
+    ExecReport rep;
+    expectBitIdentical(
+        exec::makeNativeCpuBackend(eo)->run(s.grid(), p, s.kernel(), s.din,
+                                            &rep),
+        exec::referenceExecute(s.grid(), p, s.kernel(), s.din));
+    EXPECT_TRUE(rep.class_failed);
+    EXPECT_EQ(rep.hot.nnz + rep.cold.nnz, s.grid().matrixNnz());
+}
+
+} // namespace
+} // namespace hottiles

@@ -18,6 +18,13 @@
  *   hottiles explore  <matrix> [options] [--total N]
  *       Iso-scale architecture exploration (predicted vs simulated).
  *
+ *   hottiles run <matrix> --native [options]
+ *       Execute the HotTiles partition plan for real on the host via
+ *       the native CPU backend (docs/EXECUTION.md): hot tiles through
+ *       the streaming SIMD kernels, cold panels through untiled CSR,
+ *       verified against the golden reference and reporting per-class
+ *       measured-vs-predicted model error.
+ *
  * <matrix> is a MatrixMarket file, or @name for a built-in proxy
  * (e.g. @pap).  Options:
  *   --arch spade-sextans[:SCALE] | pcie | piuma   (default spade-sextans:4)
@@ -37,6 +44,13 @@
  *                Perfetto / chrome://tracing; see docs/OBSERVABILITY.md)
  *   --metrics F|-   metrics-registry JSON snapshot (phase timings,
  *                prediction-error histograms); '-' writes to stdout
+ * `run` options:
+ *   --native        select the native CPU backend (required; names the
+ *                backend so accelerator backends can slot in later)
+ *   --policy golden|fast  kernel policy (default golden, bit-verified)
+ *   --hot-executors N     pin hot-class executor slots (default: model)
+ *   --no-steal      disable cross-class work stealing at the tail
+ *   --no-verify     skip the reference-kernel verification pass
  */
 
 #include <charconv>
@@ -59,7 +73,11 @@
 #include "core/serialize.hpp"
 #include "core/tile_search.hpp"
 #include "common/metrics.hpp"
+#include "common/random.hpp"
+#include "core/telemetry.hpp"
+#include "exec/backend.hpp"
 #include "kernels/dispatch.hpp"
+#include "partition/predicted_runtime.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/trace.hpp"
 #include "sim/trace_json.hpp"
@@ -91,6 +109,12 @@ struct Options
     uint64_t fault_seed = 1;
     int total = 8;
     bool verbose = false;
+    // `run` command
+    bool native = false;
+    std::string policy_name = "golden";
+    unsigned hot_executors = 0;
+    bool no_steal = false;
+    bool no_verify = false;
 };
 
 /** Checked numeric argument parsing: every malformed value is a clean
@@ -119,12 +143,13 @@ parseF64Arg(const std::string& v, const char* what)
 usage(const char* argv0)
 {
     std::cerr << "usage: " << argv0
-              << " suite|analyze|partition|simulate|explore <matrix> "
+              << " suite|analyze|partition|simulate|explore|run <matrix> "
                  "[--arch A] [--kernel K] [--k N] [--ai X] [--tile N] "
                  "[--seed N] [--out F] [--load F] [--total N] "
                  "[--threads N] [--faults SPEC] [--fault-seed N] "
                  "[--trace F] [--trace-json F] [--metrics F|-] "
-                 "[--verbose]\n"
+                 "[--verbose] [--native] [--policy golden|fast] "
+                 "[--hot-executors N] [--no-steal] [--no-verify]\n"
                  "<matrix> is a .mtx path or @name for a built-in proxy\n";
     std::exit(2);
 }
@@ -185,6 +210,17 @@ parseArgs(int argc, char** argv)
                 parseU64Arg(next("--threads"), "--threads"));
         else if (a == "--verbose")
             o.verbose = true;
+        else if (a == "--native")
+            o.native = true;
+        else if (a == "--policy")
+            o.policy_name = next("--policy");
+        else if (a == "--hot-executors")
+            o.hot_executors = static_cast<unsigned>(
+                parseU64Arg(next("--hot-executors"), "--hot-executors"));
+        else if (a == "--no-steal")
+            o.no_steal = true;
+        else if (a == "--no-verify")
+            o.no_verify = true;
         else
             HT_FATAL("unknown option '", a, "'");
     }
@@ -519,6 +555,107 @@ cmdSimulate(const Options& o)
 }
 
 int
+cmdRun(const Options& o)
+{
+    HT_FATAL_IF(!o.native,
+                "run needs a backend; the only one today is --native "
+                "(the host CPU, docs/EXECUTION.md)");
+    const std::string policy = toLower(o.policy_name);
+    HT_FATAL_IF(policy != "golden" && policy != "fast",
+                "unknown --policy '", o.policy_name, "' (golden|fast)");
+
+    CooMatrix m = loadMatrix(o);
+    Architecture arch = calibrated(makeArch(o));
+    HotTilesOptions opts;
+    opts.kernel = makeKernel(o);
+    opts.iunaware_seed = o.seed;
+    opts.build_formats = false;
+    HotTiles ht(arch, m, opts);
+    const TileGrid& grid = ht.grid();
+    const Partition& p = ht.partition();
+
+    exec::NativeExecOptions eo;
+    eo.policy = policy == "fast" ? kernels::Policy::Fast
+                                 : kernels::Policy::Golden;
+    eo.work_stealing = !o.no_steal;
+    eo.hot_executors = o.hot_executors;
+    AssignmentTotals totals = assignmentTotals(ht.context(), p.is_hot);
+    if (totals.th_total + totals.tc_total > 0)
+        eo.hot_share_hint =
+            totals.th_total / (totals.th_total + totals.tc_total);
+    auto backend = exec::makeNativeCpuBackend(eo);
+
+    DenseMatrix din(grid.matrixCols(), opts.kernel.k);
+    Rng rng(o.seed);
+    din.fillRandom(rng);
+
+    std::cout << "executing " << p.heuristic << " plan natively ("
+              << policy << " kernels, tier "
+              << kernels::tierName(kernels::activeTier()) << ")\n";
+    exec::ExecReport rep;
+    DenseMatrix out = backend->run(grid, p, opts.kernel, din, &rep);
+
+    if (!o.no_verify) {
+        DenseMatrix ref =
+            exec::referenceExecute(grid, p, opts.kernel, din);
+        if (eo.policy == kernels::Policy::Golden) {
+            const bool same =
+                out.data().size() == ref.data().size() &&
+                std::memcmp(out.data().data(), ref.data().data(),
+                            out.data().size() * sizeof(Value)) == 0;
+            HT_FATAL_IF(!same, "native result is NOT bit-identical to the "
+                               "golden reference (max |diff| ",
+                        out.maxAbsDiff(ref), ")");
+            std::cout << "verified: bit-identical to the golden reference "
+                         "kernels\n";
+        } else {
+            HT_FATAL_IF(!out.approxEqual(ref),
+                        "native fast-policy result diverges from the "
+                        "golden reference (max |diff| ",
+                        out.maxAbsDiff(ref), ")");
+            std::cout << "verified: within fast-policy tolerance of the "
+                         "golden reference (max |diff| "
+                      << out.maxAbsDiff(ref) << ")\n";
+        }
+    }
+
+    PredictionErrorTelemetry tel =
+        exec::computeNativePredictionError(grid, ht.context(), p.is_hot,
+                                           rep);
+    recordPredictionError(tel, "native");
+    PredictionErrorSummary hs = summarizePredictionError(tel.hot_tiles);
+    PredictionErrorSummary cs = summarizePredictionError(tel.cold_panels);
+
+    Table t({"Class", "Executors", "Tasks", "Stolen", "Tiles", "Nnz",
+             "Busy ms", "Model err% mean", "p90"});
+    auto row = [&](const char* name, unsigned execs,
+                   const exec::ExecClassReport& c,
+                   const PredictionErrorSummary& s) {
+        t.addRow({name, std::to_string(execs), std::to_string(c.tasks),
+                  std::to_string(c.stolen_tasks), std::to_string(c.tiles),
+                  std::to_string(c.nnz), Table::num(c.busy_s * 1e3, 3),
+                  s.count ? Table::num(s.mean_pct, 1) : "-",
+                  s.count ? Table::num(s.p90_pct, 1) : "-"});
+    };
+    row("hot", rep.hot_executors, rep.hot, hs);
+    row("cold", rep.cold_executors, rep.cold, cs);
+    t.print(std::cout);
+    std::cout << "wall " << Table::num(rep.wall_s * 1e3, 3) << " ms (+ "
+              << Table::num(rep.prepare_s * 1e3, 3) << " ms format build), "
+              << Table::num(rep.gflops, 2) << " GFLOP/s on " << rep.threads
+              << " threads\n"
+              << "measured-vs-predicted sampled over " << hs.count
+              << " hot tiles / " << cs.count
+              << " cold panels (prediction_error.native.* histograms)\n";
+    if (rep.class_failed)
+        std::cout << "fault: class fail-stop migrated "
+                  << rep.requeued_tasks << " task(s) to the survivor\n";
+    if (!o.metrics_file.empty())
+        writeMetricsTo(o.metrics_file);
+    return 0;
+}
+
+int
 cmdExplore(const Options& o)
 {
     CooMatrix m = loadMatrix(o);
@@ -553,6 +690,8 @@ main(int argc, char** argv)
             return cmdSimulate(o);
         if (o.command == "explore")
             return cmdExplore(o);
+        if (o.command == "run")
+            return cmdRun(o);
         usage(argv[0]);
     } catch (const FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";
