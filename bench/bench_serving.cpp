@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Serving-layer throughput and resilience harness (docs/SERVING.md):
+ * closed-loop clients drive the partition-plan service and the harness
+ * emits BENCH_serving.json with plans/sec, latency percentiles, cache
+ * hit rate and shed rate per scenario:
+ *
+ *   - plan throughput at 1..64 clients, cold (cache disabled) vs warm
+ *     (cache enabled, pre-warmed) — the cache's whole value proposition
+ *     is the warm/cold ratio;
+ *   - an overload scenario (tiny queue, one worker) measuring the shed
+ *     rate under pressure;
+ *   - a chaos scenario (--chaos-style seed, every fault class enabled)
+ *     proving each request still reaches a terminal state.
+ *
+ * Flags (besides the shared --smoke / --threads):
+ *   --out FILE   JSON output path (default BENCH_serving.json)
+ *   --check      self-check gates, exit 1 on violation: warm plan
+ *                throughput at 16 clients must be >= 5x cold, no
+ *                request may be lost in any scenario, the chaos
+ *                scenario must end every request terminally with zero
+ *                errors, and overload must actually shed.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/table.hpp"
+#include "core/preprocess.hpp"
+#include "serve/service.hpp"
+#include "sparse/generators.hpp"
+
+using namespace hottiles;
+
+namespace {
+
+struct Row
+{
+    std::string scenario;
+    unsigned clients = 0;
+    uint64_t requests = 0;
+    double wall_s = 0;
+    double plans_per_sec = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double cache_hit_rate = 0;
+    double shed_rate = 0;
+    uint64_t ok = 0, degraded = 0, shed = 0, timeout = 0, error = 0;
+};
+
+double
+percentile(std::vector<double>& sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    size_t idx = static_cast<size_t>(p * double(sorted.size() - 1));
+    return sorted[idx];
+}
+
+/** Closed-loop client sweep against one service configuration. */
+Row
+runScenario(const std::string& name, unsigned clients, unsigned per_client,
+            serve::ServiceConfig cfg, serve::RequestMode mode,
+            const std::vector<std::shared_ptr<const CooMatrix>>& mats,
+            bool prewarm)
+{
+    serve::PlanService service(cfg);
+
+    auto makeReq = [&](uint64_t id, size_t mat_idx) {
+        serve::ServeRequest req;
+        req.id = id;
+        req.matrix_data = mats[mat_idx % mats.size()];
+        req.matrix = "#bench";
+        req.mode = mode;
+        req.kernel.k = 8;
+        req.deadline_ms = cfg.default_deadline_ms;
+        return req;
+    };
+
+    if (prewarm)
+        for (size_t i = 0; i < mats.size(); ++i)
+            service.call(makeReq(1000000 + i, i));
+
+    std::mutex mu;
+    std::vector<double> latencies;
+    Row row;
+    row.scenario = name;
+    row.clients = clients;
+
+    double t0 = monotonicSeconds();
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            std::vector<double> local;
+            for (unsigned i = 0; i < per_client; ++i) {
+                uint64_t id = uint64_t(c) * per_client + i + 1;
+                serve::ServeReply r =
+                    service.call(makeReq(id, (c + i) % mats.size()));
+                local.push_back(r.latency_ms);
+                std::lock_guard<std::mutex> lock(mu);
+                switch (r.status) {
+                case serve::ServeStatus::Ok: ++row.ok; break;
+                case serve::ServeStatus::Degraded: ++row.degraded; break;
+                case serve::ServeStatus::Shed: ++row.shed; break;
+                case serve::ServeStatus::Timeout: ++row.timeout; break;
+                case serve::ServeStatus::Error: ++row.error; break;
+                }
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            latencies.insert(latencies.end(), local.begin(), local.end());
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    service.drain();
+    row.wall_s = monotonicSeconds() - t0;
+
+    row.requests = uint64_t(clients) * per_client;
+    row.plans_per_sec =
+        row.wall_s > 0 ? double(row.ok + row.degraded) / row.wall_s : 0;
+    std::sort(latencies.begin(), latencies.end());
+    row.p50_ms = percentile(latencies, 0.50);
+    row.p99_ms = percentile(latencies, 0.99);
+    serve::PlanCacheStats cs = service.cache().stats();
+    uint64_t lookups = cs.hits + cs.misses + cs.shared_builds;
+    row.cache_hit_rate = lookups ? double(cs.hits) / double(lookups) : 0;
+    row.shed_rate =
+        row.requests ? double(row.shed) / double(row.requests) : 0;
+    service.stop();
+    return row;
+}
+
+void
+writeJson(const std::string& path, const std::vector<Row>& rows,
+          bool smoke)
+{
+    std::ofstream out(path);
+    HT_FATAL_IF(!out, "cannot open '", path, "' for writing");
+    out << "{\n"
+        << "  \"schema\": \"hottiles.bench_serving.v1\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"metrics\": ";
+    MetricsRegistry::global().writeJson(out);
+    out << ",\n  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        out << "    {\"scenario\": \"" << r.scenario
+            << "\", \"clients\": " << r.clients
+            << ", \"requests\": " << r.requests
+            << ", \"wall_s\": " << r.wall_s
+            << ", \"plans_per_sec\": " << r.plans_per_sec
+            << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+            << ", \"cache_hit_rate\": " << r.cache_hit_rate
+            << ", \"shed_rate\": " << r.shed_rate << ", \"ok\": " << r.ok
+            << ", \"degraded\": " << r.degraded << ", \"shed\": " << r.shed
+            << ", \"timeout\": " << r.timeout
+            << ", \"error\": " << r.error << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::init(&argc, argv);
+    std::string out_path = "BENCH_serving.json";
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--out") {
+            HT_FATAL_IF(i + 1 >= argc, "missing value for --out");
+            out_path = argv[++i];
+        } else if (a == "--check") {
+            check = true;
+        } else {
+            HT_FATAL("unknown option '", a, "'");
+        }
+    }
+
+    bench::banner("bench_serving", "serving layer",
+                  "Partition-plan service under closed-loop load "
+                  "(docs/SERVING.md): plans/sec cold vs warm, latency "
+                  "percentiles, shed rate, chaos terminality");
+
+    // Plans must cost enough that the cache ratio measures plan
+    // construction, not queue dispatch overhead — hence a non-trivial
+    // structure even under --smoke.
+    const bool smoke = bench::smokeMode();
+    const Index rows_n = smoke ? 2048 : 6144;
+    std::vector<std::shared_ptr<const CooMatrix>> mats;
+    for (uint64_t seed : {11ull, 22ull, 33ull, 44ull})
+        mats.push_back(std::make_shared<CooMatrix>(
+            genCommunity(rows_n, 16.0, 32, 96, 0.8, seed)));
+
+    // One-time process warmup (architecture calibration, allocator) so
+    // the first scenario is not charged for it.
+    {
+        serve::ServiceConfig cfg;
+        cfg.workers = 1;
+        serve::PlanService warmup(cfg);
+        serve::ServeRequest req;
+        req.id = 1;
+        req.matrix_data = mats[0];
+        req.matrix = "#bench";
+        req.mode = serve::RequestMode::Plan;
+        warmup.call(req);
+        warmup.stop();
+    }
+
+    const std::vector<unsigned> client_counts =
+        smoke ? std::vector<unsigned>{1, 16}
+              : std::vector<unsigned>{1, 4, 16, 64};
+    const unsigned per_client = smoke ? 3 : 8;
+
+    std::vector<Row> rows;
+    double cold16 = 0, warm16 = 0;
+
+    for (unsigned clients : client_counts) {
+        serve::ServiceConfig cfg;
+        cfg.workers = std::min(clients, 8u);
+        cfg.queue_capacity = size_t(clients) + 8;
+        cfg.default_deadline_ms = 60000;
+
+        serve::ServiceConfig cold_cfg = cfg;
+        cold_cfg.cache_capacity = 0;
+        Row cold = runScenario("plan-cold", clients, per_client, cold_cfg,
+                               serve::RequestMode::Plan, mats, false);
+        Row warm = runScenario("plan-warm", clients, per_client, cfg,
+                               serve::RequestMode::Plan, mats, true);
+        if (clients == 16) {
+            cold16 = cold.plans_per_sec;
+            warm16 = warm.plans_per_sec;
+        }
+        rows.push_back(cold);
+        rows.push_back(warm);
+    }
+
+    // Overload: one worker behind a two-slot queue, 16 impatient clients.
+    {
+        serve::ServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.queue_capacity = 2;
+        cfg.default_deadline_ms = 60000;
+        rows.push_back(runScenario("overload", 16, per_client, cfg,
+                                   serve::RequestMode::Plan, mats, true));
+    }
+
+    // Chaos: every fault class enabled, run mode (executes for real).
+    {
+        serve::ServiceConfig cfg;
+        cfg.workers = 8;
+        cfg.queue_capacity = 24;
+        cfg.default_deadline_ms = smoke ? 2000 : 5000;
+        cfg.chaos.seed = 0xC0FFEE;
+        rows.push_back(runScenario("chaos", smoke ? 8u : 16u,
+                                   smoke ? 2u : 4u, cfg,
+                                   serve::RequestMode::Run, mats, false));
+    }
+
+    Table table({"Scenario", "Clients", "Requests", "Plans/s", "p50 ms",
+                 "p99 ms", "Hit rate", "Shed rate"});
+    for (const Row& r : rows)
+        table.addRow({r.scenario, std::to_string(r.clients),
+                      std::to_string(r.requests),
+                      Table::num(r.plans_per_sec, 1),
+                      Table::num(r.p50_ms, 2), Table::num(r.p99_ms, 2),
+                      Table::num(r.cache_hit_rate, 2),
+                      Table::num(r.shed_rate, 2)});
+    table.print(std::cout);
+    if (cold16 > 0)
+        std::cout << "warm/cold plans-per-sec ratio at 16 clients: "
+                  << Table::num(warm16 / cold16, 1) << "x\n";
+
+    writeJson(out_path, rows, smoke);
+    std::cout << "wrote " << out_path << "\n";
+
+    if (check) {
+        std::vector<std::string> failures;
+        if (cold16 > 0 && warm16 < 5.0 * cold16)
+            failures.push_back(
+                "warm plan throughput at 16 clients below 5x cold (" +
+                Table::num(warm16 / cold16, 2) + "x)");
+        for (const Row& r : rows) {
+            uint64_t terminal =
+                r.ok + r.degraded + r.shed + r.timeout + r.error;
+            if (terminal != r.requests)
+                failures.push_back(r.scenario + ": lost requests (" +
+                                   std::to_string(terminal) + "/" +
+                                   std::to_string(r.requests) + ")");
+            if (r.scenario == "chaos" && r.error != 0)
+                failures.push_back("chaos: unexpected ERROR replies");
+            if (r.scenario == "overload" && r.shed == 0)
+                failures.push_back("overload: nothing was shed");
+            if (r.scenario != "overload" && r.scenario != "chaos" &&
+                (r.shed != 0 || r.error != 0))
+                failures.push_back(r.scenario +
+                                   ": unexpected shed/error replies");
+        }
+        if (!failures.empty()) {
+            for (const auto& f : failures)
+                std::cerr << "CHECK FAILED: " << f << "\n";
+            return 1;
+        }
+        std::cout << "all serving checks passed\n";
+    }
+    return 0;
+}

@@ -100,14 +100,60 @@ ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+    delete impl_;
+}
+
+void
+ThreadPool::shutdown()
+{
+    // Move the backlog out under the lock, destroy it outside: a
+    // discarded task's closure may itself take locks in its destructor.
+    std::deque<std::function<void()>> discarded;
     {
         std::lock_guard<std::mutex> lock(impl_->mu);
         impl_->stop = true;
+        discarded.swap(impl_->queue);
     }
+    discarded_ += discarded.size();
+    discarded.clear();
     impl_->cv.notify_all();
     for (auto& t : impl_->threads)
         t.join();
-    delete impl_;
+    impl_->threads.clear();
+}
+
+bool
+ThreadPool::submit(std::function<void()> fn)
+{
+    if (workers_ == 0) {
+        // Serial pool: no worker will ever pop the queue; run inline so
+        // a submitted task is never silently stranded.
+        bool stopped;
+        {
+            std::lock_guard<std::mutex> lock(impl_->mu);
+            stopped = impl_->stop;
+        }
+        if (stopped)
+            return false;
+        fn();
+        return true;
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        if (impl_->stop)
+            return false;
+        impl_->queue.push_back(std::move(fn));
+    }
+    impl_->cv.notify_one();
+    return true;
+}
+
+size_t
+ThreadPool::pendingTasks() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->queue.size();
 }
 
 void

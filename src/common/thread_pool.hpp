@@ -36,6 +36,15 @@ namespace hottiles {
  * that calls parallelFor always participates as the extra executor, so
  * `threads <= 1` means fully inline (serial) execution with zero
  * spawned threads.
+ *
+ * Shutdown contract (the serving daemon stops and restarts pools, see
+ * docs/SERVING.md): shutdown() — and the destructor, which calls it —
+ * stops admission, *discards* every queued-but-unstarted task, lets
+ * tasks already running finish, and joins the workers.  Every task
+ * therefore either runs exactly once to completion or never starts;
+ * discardedTasks() reports how many were dropped.  Discarding is safe
+ * for parallelFor's internal helper tasks: the calling thread always
+ * drains the remaining chunks itself.
  */
 class ThreadPool
 {
@@ -48,6 +57,27 @@ class ThreadPool
 
     /** Total parallelism (spawned workers + the calling thread). */
     unsigned threads() const { return workers_ + 1; }
+
+    /**
+     * Fire-and-forget task execution on the pool's workers.  Returns
+     * false (and drops @p fn) once shutdown has begun.  On a serial
+     * pool (zero spawned workers) the task runs inline on the calling
+     * thread before submit returns.
+     */
+    bool submit(std::function<void()> fn);
+
+    /**
+     * Deterministic teardown: stop admission, discard every
+     * queued-but-unstarted task, wait for running tasks, join workers.
+     * Idempotent; called by the destructor.
+     */
+    void shutdown();
+
+    /** Tasks discarded unstarted by shutdown(). */
+    size_t discardedTasks() const { return discarded_; }
+
+    /** Queued-but-unstarted tasks (submitted + parallelFor helpers). */
+    size_t pendingTasks() const;
 
     /**
      * Run fn(chunk_begin, chunk_end) over [begin, end) in chunks of
@@ -80,6 +110,7 @@ class ThreadPool
     struct Impl;
     Impl* impl_;
     unsigned workers_ = 0;
+    size_t discarded_ = 0;
 };
 
 /** Default grain sizes for the library's hot loops (docs/PARALLELISM.md). */

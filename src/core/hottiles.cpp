@@ -15,7 +15,13 @@ HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
               "HotTiles needs both worker types; use simulateHomogeneous "
               "for single-type architectures");
 
+    auto progress = [&](const char* stage) {
+        if (opts_.progress)
+            opts_.progress(stage);
+    };
+
     // Stage 1: matrix scan — tiling and per-tile statistics (Fig 7).
+    progress("scan");
     double t0 = monotonicSeconds();
     grid_ = std::make_unique<TileGrid>(a, arch_.tile_height,
                                        arch_.tile_width);
@@ -24,6 +30,7 @@ HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
 
     // Stage 2: per-tile performance model for both worker types.
     // SDDMM outputs are disjoint per nonzero, so no Merger is needed.
+    progress("model");
     bool no_merge =
         arch_.atomic_rmw || opts_.kernel.kind == SparseKernel::Sddmm;
     double t_merge = no_merge
@@ -45,6 +52,7 @@ HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
     timing_.model_s = t2 - t1;
 
     // Stage 3: heuristic partitioning.
+    progress("partition");
     partition_ = hotTilesPartition(ctx_);
     double t3 = monotonicSeconds();
     timing_.partition_s = t3 - t2;
@@ -53,6 +61,7 @@ HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
     // homogeneous accelerator would need anyway; the hot format is the
     // additional HotTiles cost (§VIII-C).
     if (opts_.build_formats) {
+        progress("format");
         cold_format_ = buildUntiledWork(*grid_, partition_.coldTiles());
         double t4 = monotonicSeconds();
         timing_.format_base_s = t4 - t3;

@@ -10,6 +10,7 @@
  * the primary public API of the library.
  */
 
+#include <functional>
 #include <memory>
 
 #include "arch/arch_config.hpp"
@@ -28,6 +29,16 @@ struct HotTilesOptions
     KernelConfig kernel;          //!< K and gSpMM arithmetic intensity
     bool build_formats = true;    //!< generate the worker formats eagerly
     uint64_t iunaware_seed = 42;  //!< tile randomization of the baseline
+
+    /**
+     * Invoked before each pipeline stage with its name ("scan",
+     * "model", "partition", "format").  A caller may throw from the
+     * hook to abandon a build mid-pipeline — the serving layer uses
+     * this to cancel builds whose deadline already passed
+     * (docs/SERVING.md); the exception propagates out of the
+     * constructor.  Leave empty for unconditional builds.
+     */
+    std::function<void(const char* stage)> progress;
 };
 
 /**

@@ -1,0 +1,101 @@
+#include "serve/admission.hpp"
+
+namespace hottiles::serve {
+
+const char*
+admissionResultName(AdmissionResult r)
+{
+    switch (r) {
+    case AdmissionResult::Admitted: return "admitted";
+    case AdmissionResult::QueueFull: return "queue-full";
+    case AdmissionResult::TenantOverCap: return "tenant-over-cap";
+    case AdmissionResult::Closed: return "closed";
+    }
+    return "?";
+}
+
+AdmissionQueue::AdmissionQueue(size_t capacity, size_t max_per_tenant)
+    : capacity_(capacity),
+      max_per_tenant_(max_per_tenant == 0 ? capacity : max_per_tenant)
+{
+}
+
+AdmissionResult
+AdmissionQueue::tryPush(Item item)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TenantCounters& tc = tenants_[item.tenant];
+    if (closed_) {
+        ++tc.shed;
+        return AdmissionResult::Closed;
+    }
+    if (queue_.size() >= capacity_) {
+        ++tc.shed;
+        return AdmissionResult::QueueFull;
+    }
+    if (tc.queued >= max_per_tenant_) {
+        ++tc.shed;
+        return AdmissionResult::TenantOverCap;
+    }
+    ++tc.admitted;
+    ++tc.queued;
+    queue_.push_back(std::move(item));
+    cv_.notify_one();
+    return AdmissionResult::Admitted;
+}
+
+std::optional<AdmissionQueue::Item>
+AdmissionQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty())
+        return std::nullopt;  // closed and drained
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    auto it = tenants_.find(item.tenant);
+    if (it != tenants_.end() && it->second.queued > 0)
+        --it->second.queued;
+    return item;
+}
+
+void
+AdmissionQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+size_t
+AdmissionQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+bool
+AdmissionQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+TenantCounters
+AdmissionQueue::tenant(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    return it != tenants_.end() ? it->second : TenantCounters{};
+}
+
+std::map<std::string, TenantCounters>
+AdmissionQueue::tenants() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tenants_;
+}
+
+} // namespace hottiles::serve

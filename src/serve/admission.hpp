@@ -1,0 +1,100 @@
+#pragma once
+
+/**
+ * @file
+ * Admission control and backpressure for the partition-plan service
+ * (docs/SERVING.md).  The daemon must degrade by *shedding* under
+ * overload — an explicit OVERLOADED reply in microseconds — instead of
+ * queueing without bound and turning overload into unbounded latency.
+ *
+ *   - the request queue is bounded: a push against a full queue is
+ *     rejected immediately (the caller replies SHED);
+ *   - per-tenant fairness: one tenant may occupy at most
+ *     `max_per_tenant` queue slots, so a single flooding tenant sheds
+ *     against its own cap while others still get in;
+ *   - close() wakes every blocked consumer and drains deterministically:
+ *     pops return queued work until empty, then report closed.
+ *
+ * The queue carries opaque work items (std::function); the service
+ * binds each to its request and reply callback before pushing.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include <condition_variable>
+
+namespace hottiles::serve {
+
+/** Why a push was rejected. */
+enum class AdmissionResult
+{
+    Admitted,
+    QueueFull,    //!< global capacity exhausted
+    TenantOverCap,//!< this tenant already holds max_per_tenant slots
+    Closed,       //!< the queue stopped accepting (shutdown)
+};
+
+const char* admissionResultName(AdmissionResult r);
+
+/** Per-tenant admission accounting (fairness counters). */
+struct TenantCounters
+{
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    size_t queued = 0;  //!< currently occupied queue slots
+};
+
+class AdmissionQueue
+{
+  public:
+    struct Item
+    {
+        std::string tenant;
+        std::function<void()> work;
+    };
+
+    /**
+     * @p capacity  total queue slots (0 = reject everything: useful to
+     *              drive the shed path in tests);
+     * @p max_per_tenant  per-tenant slot cap (0 = capacity, i.e. no
+     *              per-tenant limit beyond the global bound).
+     */
+    AdmissionQueue(size_t capacity, size_t max_per_tenant);
+
+    /** Try to admit; never blocks. */
+    AdmissionResult tryPush(Item item);
+
+    /**
+     * Pop the oldest item; blocks while the queue is empty and open.
+     * Returns nullopt once the queue is closed AND drained.
+     */
+    std::optional<Item> pop();
+
+    /** Stop admitting; blocked pops drain the backlog then return. */
+    void close();
+
+    size_t depth() const;
+    bool closed() const;
+
+    /** Snapshot of one tenant's counters (zeroes for unknown tenants). */
+    TenantCounters tenant(const std::string& name) const;
+    /** Snapshot of every tenant's counters. */
+    std::map<std::string, TenantCounters> tenants() const;
+
+  private:
+    const size_t capacity_;
+    const size_t max_per_tenant_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Item> queue_;
+    std::map<std::string, TenantCounters> tenants_;
+    bool closed_ = false;
+};
+
+} // namespace hottiles::serve

@@ -1,0 +1,84 @@
+#include "serve/fingerprint.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace hottiles::serve {
+
+namespace {
+
+/** Stateless 64-bit mix of one word (for the commutative coordinate sum). */
+inline uint64_t
+mix1(uint64_t word)
+{
+    uint64_t s = word;
+    return splitmix64(s);
+}
+
+/** Feed one word into a running hash chain (nonlinear per step). */
+inline void
+mix(uint64_t& state, uint64_t word)
+{
+    state = mix1(state ^ (word + 0x9e3779b97f4a7c15ULL));
+}
+
+} // namespace
+
+PlanFingerprint
+fingerprintStructure(const CooMatrix& m, Index tile_h, Index tile_w)
+{
+    HT_FATAL_IF(tile_h <= 0 || tile_w <= 0,
+                "fingerprint needs positive tile dimensions (got ", tile_h,
+                "x", tile_w, ")");
+    PlanFingerprint fp;
+
+    // Geometry half: dimensions, nnz, tiling, then the per-panel nnz
+    // histogram in panel order (position-sensitive by construction).
+    const size_t panels =
+        m.rows() > 0 ? (size_t(m.rows()) + tile_h - 1) / tile_h : 0;
+    std::vector<uint64_t> panel_nnz(panels, 0);
+    uint64_t coord_sum = 0;
+    const size_t n = m.nnz();
+    for (size_t i = 0; i < n; ++i) {
+        const Index r = m.rowId(i);
+        const Index c = m.colId(i);
+        ++panel_nnz[size_t(r) / tile_h];
+        // Order-independent coordinate-set hash: a commutative sum of
+        // per-coordinate mixes, so any permutation of the nonzero list
+        // (COO is not canonically ordered) fingerprints identically.
+        coord_sum += mix1(uint64_t(r) * (uint64_t(m.cols()) + 1) + c);
+    }
+
+    uint64_t g = 0x48'6f'74'54'69'6c'65'73ULL;  // "HotTiles"
+    mix(g, uint64_t(m.rows()));
+    mix(g, uint64_t(m.cols()));
+    mix(g, uint64_t(n));
+    mix(g, uint64_t(tile_h));
+    mix(g, uint64_t(tile_w));
+    for (uint64_t pn : panel_nnz)
+        mix(g, pn);
+    fp.geom = g;
+
+    uint64_t s = coord_sum;
+    fp.coords = splitmix64(s);
+    return fp;
+}
+
+PlanKey
+makePlanKey(const CooMatrix& m, const std::string& arch, Index tile_h,
+            Index tile_w, const KernelConfig& kernel)
+{
+    PlanKey key;
+    key.fp = fingerprintStructure(m, tile_h, tile_w);
+    key.arch = arch;
+    key.tile_h = tile_h;
+    key.tile_w = tile_w;
+    key.k = kernel.k;
+    key.kind = static_cast<uint32_t>(kernel.kind);
+    key.ai_factor = kernel.ai_factor;
+    return key;
+}
+
+} // namespace hottiles::serve

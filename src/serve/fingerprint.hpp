@@ -1,0 +1,106 @@
+#pragma once
+
+/**
+ * @file
+ * Structural fingerprints for the partition-plan cache (docs/SERVING.md).
+ *
+ * A HotTiles partition plan depends on the matrix *structure* (which
+ * coordinates hold nonzeros), the tiling geometry, the kernel, and the
+ * architecture — never on the nonzero values.  Two matrices with
+ * identical structure but different values therefore share a plan, which
+ * is exactly the recurring-structure pattern of production SpMM streams
+ * (GNN layers over a fixed graph, recommender batches on one
+ * interaction matrix).
+ *
+ * The fingerprint combines
+ *   - the tiling geometry (rows, cols, nnz, tile_height, tile_width),
+ *   - the per-row-panel nonzero histogram (position-sensitive, so two
+ *     matrices with the same total nnz but different row distributions
+ *     never collide on this component), and
+ *   - an order-independent hash over the (row, col) coordinate set, so
+ *     any structural difference — even one that preserves every panel
+ *     count — changes the fingerprint with overwhelming probability.
+ *
+ * Computing a fingerprint is one O(nnz) pass with no sorting or
+ * allocation proportional to nnz; it is the cheap admission ticket that
+ * lets a cache hit skip the scan -> model -> partition pipeline.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "model/worker_traits.hpp"
+#include "sparse/coo.hpp"
+
+namespace hottiles::serve {
+
+/** 128-bit structural fingerprint (geometry/histogram half + coordinate
+ *  half).  Equality of both halves is the cache-key identity. */
+struct PlanFingerprint
+{
+    uint64_t geom = 0;    //!< geometry + per-panel nnz histogram hash
+    uint64_t coords = 0;  //!< order-independent (row, col) set hash
+
+    friend bool
+    operator==(const PlanFingerprint& a, const PlanFingerprint& b)
+    {
+        return a.geom == b.geom && a.coords == b.coords;
+    }
+    friend bool
+    operator<(const PlanFingerprint& a, const PlanFingerprint& b)
+    {
+        return a.geom != b.geom ? a.geom < b.geom : a.coords < b.coords;
+    }
+};
+
+/** Fingerprint @p m's structure under @p tile_h x @p tile_w tiling. */
+PlanFingerprint fingerprintStructure(const CooMatrix& m, Index tile_h,
+                                     Index tile_w);
+
+/**
+ * Full plan-cache key: the structural fingerprint plus everything else
+ * the partitioning decision depends on — the architecture identity and
+ * the kernel configuration.  Two requests map to the same plan iff
+ * their keys compare equal.
+ */
+struct PlanKey
+{
+    PlanFingerprint fp;
+    std::string arch;     //!< architecture identity (CLI --arch spelling)
+    Index tile_h = 0;
+    Index tile_w = 0;
+    uint32_t k = 0;
+    uint32_t kind = 0;    //!< SparseKernel as integer
+    double ai_factor = 1;
+
+    friend bool
+    operator<(const PlanKey& a, const PlanKey& b)
+    {
+        if (!(a.fp == b.fp))
+            return a.fp < b.fp;
+        if (a.arch != b.arch)
+            return a.arch < b.arch;
+        if (a.tile_h != b.tile_h)
+            return a.tile_h < b.tile_h;
+        if (a.tile_w != b.tile_w)
+            return a.tile_w < b.tile_w;
+        if (a.k != b.k)
+            return a.k < b.k;
+        if (a.kind != b.kind)
+            return a.kind < b.kind;
+        return a.ai_factor < b.ai_factor;
+    }
+    friend bool
+    operator==(const PlanKey& a, const PlanKey& b)
+    {
+        return a.fp == b.fp && a.arch == b.arch && a.tile_h == b.tile_h &&
+               a.tile_w == b.tile_w && a.k == b.k && a.kind == b.kind &&
+               a.ai_factor == b.ai_factor;
+    }
+};
+
+/** Assemble a key from a matrix + request parameters. */
+PlanKey makePlanKey(const CooMatrix& m, const std::string& arch,
+                    Index tile_h, Index tile_w, const KernelConfig& kernel);
+
+} // namespace hottiles::serve

@@ -1,0 +1,213 @@
+#include "serve/plan_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace hottiles::serve {
+
+namespace {
+
+inline uint64_t
+mixWord(uint64_t state, uint64_t word)
+{
+    uint64_t s = state ^ (word + 0x9e3779b97f4a7c15ULL);
+    return splitmix64(s);
+}
+
+} // namespace
+
+uint64_t
+CachedPlan::payloadChecksum() const
+{
+    uint64_t h = 0x706c616e2d63686bULL;  // "plan-chk"
+    h = mixWord(h, is_hot.size());
+    for (uint8_t b : is_hot)
+        h = mixWord(h, b);
+    h = mixWord(h, serial ? 1 : 0);
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(predicted_cycles));
+    std::memcpy(&bits, &predicted_cycles, sizeof(bits));
+    h = mixWord(h, bits);
+    std::memcpy(&bits, &hot_share_hint, sizeof(bits));
+    h = mixWord(h, bits);
+    for (char c : heuristic)
+        h = mixWord(h, uint64_t(uint8_t(c)));
+    return h;
+}
+
+const char*
+cacheOutcomeName(CacheOutcome o)
+{
+    switch (o) {
+    case CacheOutcome::Hit: return "hit";
+    case CacheOutcome::Miss: return "miss";
+    case CacheOutcome::SharedBuild: return "shared";
+    case CacheOutcome::Corrupt: return "corrupt";
+    case CacheOutcome::Bypass: return "bypass";
+    }
+    return "?";
+}
+
+/** One cache slot: building (plan == null) or published. */
+struct PlanCache::Slot
+{
+    bool building = true;
+    bool failed = false;  //!< builder threw; waiters must retry the key
+    std::shared_ptr<const CachedPlan> plan;
+};
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const CachedPlan>
+PlanCache::getOrBuild(const PlanKey& key, const Builder& build,
+                      CacheOutcome* outcome)
+{
+    auto set_outcome = [&](CacheOutcome o) {
+        if (outcome)
+            *outcome = o;
+    };
+
+    if (capacity_ == 0) {
+        set_outcome(CacheOutcome::Bypass);
+        CachedPlan p = build();
+        p.checksum = p.payloadChecksum();
+        return std::make_shared<const CachedPlan>(std::move(p));
+    }
+
+    bool waited = false;
+    bool saw_corrupt = false;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        auto it = slots_.find(key);
+        if (it == slots_.end())
+            break;  // become the builder below
+        std::shared_ptr<Slot> slot = it->second;
+        if (slot->building) {
+            // Single-flight: share the in-progress build.
+            waited = true;
+            cv_.wait(lock, [&] { return !slot->building; });
+            if (slot->failed)
+                continue;  // builder threw; retry (maybe become builder)
+            set_outcome(CacheOutcome::SharedBuild);
+            ++stats_.shared_builds;
+            return slot->plan;
+        }
+        // Published: validate before serving.
+        if (slot->plan->payloadChecksum() != slot->plan->checksum) {
+            ++stats_.corrupt_dropped;
+            slots_.erase(it);
+            lru_.remove(key);
+            saw_corrupt = true;
+            break;  // rebuild as a miss
+        }
+        ++stats_.hits;
+        touchLocked(key);
+        if (!waited)
+            set_outcome(CacheOutcome::Hit);
+        else
+            set_outcome(CacheOutcome::SharedBuild);
+        return slot->plan;
+    }
+
+    // Miss: publish a building slot, build outside the lock so other
+    // keys (and other waiters) never serialize behind this build.
+    auto slot = std::make_shared<Slot>();
+    slots_[key] = slot;
+    set_outcome(saw_corrupt ? CacheOutcome::Corrupt : CacheOutcome::Miss);
+    ++stats_.misses;
+    lock.unlock();
+
+    std::shared_ptr<const CachedPlan> published;
+    try {
+        CachedPlan p = build();
+        p.checksum = p.payloadChecksum();
+        published = std::make_shared<const CachedPlan>(std::move(p));
+    } catch (...) {
+        lock.lock();
+        slot->building = false;
+        slot->failed = true;
+        slots_.erase(key);
+        cv_.notify_all();
+        throw;
+    }
+
+    lock.lock();
+    slot->plan = published;
+    slot->building = false;
+    lru_.push_front(key);
+    evictLocked();
+    cv_.notify_all();
+    return published;
+}
+
+void
+PlanCache::touchLocked(const PlanKey& key)
+{
+    lru_.remove(key);
+    lru_.push_front(key);
+}
+
+void
+PlanCache::evictLocked()
+{
+    while (lru_.size() > capacity_) {
+        const PlanKey& victim = lru_.back();
+        slots_.erase(victim);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const PlanKey& key : lru_)
+        slots_.erase(key);
+    lru_.clear();
+}
+
+bool
+PlanCache::corruptOneEntry(Rng& rng)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lru_.empty())
+        return false;
+    size_t victim_idx = rng.nextBounded(lru_.size());
+    auto lit = lru_.begin();
+    std::advance(lit, victim_idx);
+    auto it = slots_.find(*lit);
+    HT_ASSERT(it != slots_.end() && !it->second->building,
+              "LRU list out of sync with the slot map");
+    // Clone-and-flip: the published shared_ptr handed to in-flight
+    // requests stays immutable; only the cache's copy goes bad.
+    CachedPlan bad = *it->second->plan;
+    if (bad.is_hot.empty())
+        bad.predicted_cycles += 1;  // still breaks the checksum
+    else
+        bad.is_hot[rng.nextBounded(bad.is_hot.size())] ^= 1;
+    auto slot = std::make_shared<Slot>();
+    slot->building = false;
+    slot->plan = std::make_shared<const CachedPlan>(std::move(bad));
+    it->second = slot;
+    return true;
+}
+
+} // namespace hottiles::serve

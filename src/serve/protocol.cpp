@@ -1,0 +1,224 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace hottiles::serve {
+
+namespace {
+
+uint64_t
+parseU64(std::string_view v, const char* key)
+{
+    char* end = nullptr;
+    std::string s(v);
+    unsigned long long x = std::strtoull(s.c_str(), &end, 10);
+    HT_FATAL_IF(end == s.c_str() || *end != '\0', "bad ", key, " '", s,
+                "'");
+    return x;
+}
+
+double
+parseF64(std::string_view v, const char* key)
+{
+    char* end = nullptr;
+    std::string s(v);
+    double x = std::strtod(s.c_str(), &end);
+    HT_FATAL_IF(end == s.c_str() || *end != '\0', "bad ", key, " '", s,
+                "'");
+    return x;
+}
+
+} // namespace
+
+std::string
+encodeFrame(const std::string& payload)
+{
+    char prefix[9];
+    std::snprintf(prefix, sizeof prefix, "%08zx", payload.size());
+    return std::string(prefix) + payload;
+}
+
+bool
+readFrame(std::istream& in, std::string& payload)
+{
+    char prefix[8];
+    in.read(prefix, 8);
+    if (in.gcount() == 0 && in.eof())
+        return false;
+    HT_FATAL_IF(in.gcount() != 8, "truncated frame length prefix");
+    size_t len = 0;
+    for (char c : prefix) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            HT_FATAL("bad frame length prefix");
+        len = len * 16 + static_cast<size_t>(digit);
+    }
+    HT_FATAL_IF(len > (64u << 20), "frame too large (", len, " bytes)");
+    payload.resize(len);
+    if (len > 0) {
+        in.read(payload.data(), static_cast<std::streamsize>(len));
+        HT_FATAL_IF(static_cast<size_t>(in.gcount()) != len,
+                    "truncated frame payload");
+    }
+    return true;
+}
+
+ServeRequest
+parseRequest(const std::string& payload)
+{
+    ServeRequest req;
+    bool have_matrix = false;
+    for (std::string_view field : splitChar(payload, ' ')) {
+        if (field.empty())
+            continue;
+        size_t eq = field.find('=');
+        HT_FATAL_IF(eq == std::string_view::npos, "bad field '", field,
+                    "' (want key=value)");
+        std::string_view key = field.substr(0, eq);
+        std::string_view val = field.substr(eq + 1);
+        if (key == "id") {
+            req.id = parseU64(val, "id");
+        } else if (key == "tenant") {
+            req.tenant = std::string(val);
+        } else if (key == "matrix") {
+            req.matrix = std::string(val);
+            have_matrix = !req.matrix.empty();
+        } else if (key == "arch") {
+            req.arch = std::string(val);
+        } else if (key == "mode") {
+            if (val == "plan")
+                req.mode = RequestMode::Plan;
+            else if (val == "run")
+                req.mode = RequestMode::Run;
+            else
+                HT_FATAL("bad mode '", val, "' (plan|run)");
+        } else if (key == "kernel") {
+            std::string k = toLower(val);
+            if (k == "spmm")
+                req.kernel.kind = SparseKernel::Spmm;
+            else if (k == "spmv") {
+                req.kernel.kind = SparseKernel::Spmv;
+                req.kernel.k = 1;
+            } else
+                HT_FATAL("bad kernel '", val, "' (spmm|spmv)");
+        } else if (key == "k") {
+            req.kernel.k = static_cast<uint32_t>(parseU64(val, "k"));
+            HT_FATAL_IF(req.kernel.k == 0, "k must be positive");
+        } else if (key == "ai") {
+            req.kernel.ai_factor = parseF64(val, "ai");
+        } else if (key == "deadline_ms") {
+            req.deadline_ms = parseF64(val, "deadline_ms");
+        } else if (key == "seed") {
+            req.seed = parseU64(val, "seed");
+        } else {
+            HT_FATAL("unknown request key '", key, "'");
+        }
+    }
+    HT_FATAL_IF(!have_matrix, "request has no matrix");
+    return req;
+}
+
+std::string
+formatReply(const ServeReply& reply)
+{
+    std::ostringstream os;
+    char checksum[17];
+    std::snprintf(checksum, sizeof checksum, "%016llx",
+                  static_cast<unsigned long long>(reply.checksum));
+    os << "id=" << reply.id << " status=" << serveStatusName(reply.status)
+       << " plan_source=" << reply.plan_source
+       << " detail=" << (reply.detail.empty() ? "-" : reply.detail)
+       << " latency_ms=" << reply.latency_ms
+       << " retries=" << reply.retries << " checksum=" << checksum
+       << " predicted_cycles=" << reply.predicted_cycles
+       << " exec_class_failed=" << (reply.exec_class_failed ? 1 : 0);
+    return os.str();
+}
+
+std::string
+formatStats(const ServiceStats& s)
+{
+    std::ostringstream os;
+    os << "submitted=" << s.submitted << " ok=" << s.ok
+       << " degraded=" << s.degraded << " shed=" << s.shed
+       << " timeout=" << s.timeout << " error=" << s.error
+       << " retries=" << s.retries
+       << " watchdog_trips=" << s.watchdog_trips
+       << " exec_class_failures=" << s.exec_class_failures
+       << " cache_hits=" << s.cache.hits
+       << " cache_misses=" << s.cache.misses
+       << " cache_shared=" << s.cache.shared_builds
+       << " cache_evictions=" << s.cache.evictions
+       << " cache_corrupt=" << s.cache.corrupt_dropped;
+    return os.str();
+}
+
+uint64_t
+runServeLoop(std::istream& in, std::ostream& out, PlanService& service)
+{
+    std::mutex out_mu;
+    auto writeFrame = [&](const std::string& payload) {
+        std::lock_guard<std::mutex> lock(out_mu);
+        out << encodeFrame(payload);
+        out.flush();
+    };
+
+    uint64_t processed = 0;
+    uint64_t auto_id = 0;
+    std::string payload;
+    for (;;) {
+        bool got;
+        try {
+            got = readFrame(in, payload);
+        } catch (const FatalError&) {
+            break;  // unrecoverable framing error: drain and exit
+        }
+        if (!got)
+            break;
+
+        if (payload.rfind("cmd=", 0) == 0) {
+            std::string cmd = payload.substr(4);
+            if (cmd == "shutdown")
+                break;
+            if (cmd == "stats") {
+                service.drain();
+                writeFrame(formatStats(service.stats()));
+                continue;
+            }
+            writeFrame("id=0 status=ERROR detail=unknown-command");
+            continue;
+        }
+
+        ServeRequest req;
+        try {
+            req = parseRequest(payload);
+        } catch (const FatalError&) {
+            writeFrame("id=0 status=ERROR detail=bad-request");
+            continue;
+        }
+        if (req.id == 0)
+            req.id = ++auto_id;
+        ++processed;
+        service.submit(std::move(req), [&writeFrame](const ServeReply& r) {
+            writeFrame(formatReply(r));
+        });
+    }
+    service.drain();
+    return processed;
+}
+
+} // namespace hottiles::serve

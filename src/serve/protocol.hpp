@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Wire protocol of the serving daemon (docs/SERVING.md): length-prefixed
+ * frames of `key=value` pairs over any byte stream (stdin/stdout pipes,
+ * a socket fd wrapped in iostreams — the daemon does not care).
+ *
+ * Frame format: 8 lowercase hex digits (payload byte count) followed by
+ * exactly that many payload bytes.  The ASCII prefix keeps the protocol
+ * shell-scriptable: `printf '%08x%s' ${#req} "$req"` writes a valid
+ * frame, which is how the CI smoke job drives the daemon.
+ *
+ * Request payload keys (space-separated `key=value`, no spaces in
+ * values): `id tenant matrix arch mode kernel k ai deadline_ms seed`,
+ * all optional except `matrix`.  Control frames use `cmd=` instead:
+ * `cmd=stats` replies with the service counters, `cmd=shutdown` drains
+ * and exits the loop.
+ *
+ * Reply payload keys: `id status plan_source detail latency_ms retries
+ * checksum predicted_cycles exec_class_failed`.
+ */
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace hottiles::serve {
+
+/** Wrap @p payload in a length-prefixed frame. */
+std::string encodeFrame(const std::string& payload);
+
+/**
+ * Read one frame from @p in.  Returns false on clean EOF before the
+ * prefix; throws FatalError on a malformed prefix or truncated payload.
+ */
+bool readFrame(std::istream& in, std::string& payload);
+
+/** Parse a request payload. @throws FatalError on unknown/invalid keys. */
+ServeRequest parseRequest(const std::string& payload);
+
+/** Serialize a reply to its payload form. */
+std::string formatReply(const ServeReply& reply);
+
+/** Serialize the service counters (the `cmd=stats` reply). */
+std::string formatStats(const ServiceStats& stats);
+
+/**
+ * The daemon loop: read request frames from @p in, submit them to
+ * @p service, write reply frames to @p out (replies interleave in
+ * completion order; match them to requests by id).  Returns when the
+ * stream ends or a `cmd=shutdown` frame arrives, after draining every
+ * in-flight request.  A malformed frame gets an ERROR reply and the
+ * loop continues; a malformed prefix ends the loop (the stream is
+ * unrecoverable).  Returns the number of request frames processed.
+ */
+uint64_t runServeLoop(std::istream& in, std::ostream& out,
+                      PlanService& service);
+
+} // namespace hottiles::serve

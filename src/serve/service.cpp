@@ -1,0 +1,615 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "arch/arch_config.hpp"
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/random.hpp"
+#include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
+#include "core/calibrate.hpp"
+#include "core/hottiles.hpp"
+#include "core/preprocess.hpp"
+#include "exec/backend.hpp"
+#include "partition/predicted_runtime.hpp"
+#include "sim/trace.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/suite.hpp"
+
+namespace hottiles::serve {
+
+namespace {
+
+/** The flight slot of the worker thread currently handling a request
+ *  (set by workerLoop before it invokes queued work). */
+thread_local void* t_flight = nullptr;
+
+/** A build abandoned because its stage deadline passed (watchdog trip
+ *  or deadline pressure).  Internal control flow, never escapes. */
+struct BuildCancelled
+{
+    const char* reason;
+};
+
+/** A chaos-injected transient failure; retried with backoff. */
+struct TransientBuildFailure
+{
+};
+
+double
+nowSeconds()
+{
+    return monotonicSeconds();
+}
+
+/** Per-request chaos decisions, all drawn up front from one stream so
+ *  they depend only on (chaos.seed, request id) — never on thread
+ *  interleaving. */
+struct ChaosPlan
+{
+    bool corrupt_cache = false;
+    bool wedge = false;
+    bool flaky_build = false;
+    int fail_class = -1;       //!< native-exec class to fail-stop
+    size_t fail_after = 0;
+
+    ChaosPlan() = default;
+    ChaosPlan(const ChaosConfig& cfg, uint64_t request_id)
+    {
+        if (!cfg.enabled())
+            return;
+        uint64_t s = cfg.seed ^ (request_id + 0x9e3779b97f4a7c15ULL);
+        Rng rng(splitmix64(s));
+        corrupt_cache = rng.nextBool(cfg.p_corrupt_cache);
+        wedge = rng.nextBool(cfg.p_wedge);
+        flaky_build = rng.nextBool(cfg.p_flaky_build);
+        if (rng.nextBool(cfg.p_kill_class)) {
+            fail_class = static_cast<int>(rng.nextBounded(2));
+            fail_after = rng.nextBounded(4);
+        }
+    }
+};
+
+Architecture
+archFromSpec(const std::string& spec)
+{
+    auto parts = splitChar(spec, ':');
+    std::string base = toLower(parts[0]);
+    if (base == "spade-sextans") {
+        int scale = 4;
+        if (parts.size() > 1) {
+            long s = std::strtol(std::string(parts[1]).c_str(), nullptr, 10);
+            HT_FATAL_IF(s <= 0 || s > 256,
+                        "arch scale must be in [1, 256], got '", parts[1],
+                        "'");
+            scale = static_cast<int>(s);
+        }
+        return makeSpadeSextans(scale);
+    }
+    if (base == "pcie")
+        return makeSpadeSextansPcie();
+    if (base == "piuma")
+        return makePiuma();
+    HT_FATAL("unknown architecture '", spec,
+             "' (try spade-sextans[:1|2|4|8], pcie, piuma)");
+}
+
+/** The homogeneous fallback of the degradation ladder: every tile on
+ *  the cold (base-format) workers.  Needs only the tile count — no
+ *  model, no partitioning heuristics. */
+Partition
+degradedColdPartition(size_t num_tiles)
+{
+    Partition p;
+    p.is_hot.assign(num_tiles, 0);
+    p.serial = false;
+    p.predicted_cycles = 0;
+    p.heuristic = "degraded-cold";
+    return p;
+}
+
+CachedPlan
+planFromPartition(const HotTiles& ht)
+{
+    CachedPlan plan;
+    const Partition& p = ht.partition();
+    plan.is_hot = p.is_hot;
+    plan.serial = p.serial;
+    plan.predicted_cycles = p.predicted_cycles;
+    plan.heuristic = p.heuristic;
+    AssignmentTotals totals = assignmentTotals(ht.context(), p.is_hot);
+    if (totals.th_total + totals.tc_total > 0)
+        plan.hot_share_hint =
+            totals.th_total / (totals.th_total + totals.tc_total);
+    plan.checksum = plan.payloadChecksum();
+    return plan;
+}
+
+} // namespace
+
+const char*
+serveStatusName(ServeStatus s)
+{
+    switch (s) {
+    case ServeStatus::Ok:
+        return "OK";
+    case ServeStatus::Degraded:
+        return "DEGRADED";
+    case ServeStatus::Shed:
+        return "SHED";
+    case ServeStatus::Timeout:
+        return "TIMEOUT";
+    case ServeStatus::Error:
+        return "ERROR";
+    }
+    return "?";
+}
+
+uint64_t
+denseChecksum(const DenseMatrix& m)
+{
+    const unsigned char* bytes =
+        reinterpret_cast<const unsigned char*>(m.data().data());
+    size_t n = m.data().size() * sizeof(Value);
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+    for (size_t i = 0; i < n; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+PlanService::PlanService(const ServiceConfig& cfg)
+    : cfg_(cfg), cache_(cfg.cache_capacity),
+      queue_(cfg.queue_capacity, cfg.max_per_tenant)
+{
+    unsigned workers = std::max(1u, cfg_.workers);
+    // workers + 1 total parallelism = `workers` spawned pool threads;
+    // every request executor is a real thread, never the submitter.
+    pool_ = std::make_unique<ThreadPool>(workers + 1);
+    flights_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        flights_.push_back(std::make_unique<FlightSlot>());
+    for (unsigned i = 0; i < workers; ++i)
+        pool_->submit([this, i] { workerLoop(i); });
+    // Wait for every loop to actually start: pool shutdown discards
+    // queued-but-unstarted tasks, and a discarded worker loop would
+    // strand the accepted backlog if stop() raced construction.
+    {
+        std::unique_lock<std::mutex> lock(done_mu_);
+        done_cv_.wait(lock, [&] { return workers_ready_ == workers; });
+    }
+    watchdog_ = std::thread([this] { watchdogLoop(); });
+}
+
+PlanService::~PlanService()
+{
+    stop();
+}
+
+void
+PlanService::submit(ServeRequest req, ReplyCallback cb)
+{
+    n_submitted_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("serve.requests").add();
+
+    auto ctx = std::make_shared<std::pair<ServeRequest, ReplyCallback>>(
+        std::move(req), std::move(cb));
+    AdmissionQueue::Item item;
+    item.tenant = ctx->first.tenant;
+    item.work = [this, ctx] {
+        FlightSlot& slot = *static_cast<FlightSlot*>(t_flight);
+        ServeReply reply = handle(ctx->first, slot);
+        recordReply(reply);
+        ctx->second(reply);
+        finish(reply);
+    };
+
+    AdmissionResult res = stopped_.load() ? AdmissionResult::Closed
+                                          : queue_.tryPush(std::move(item));
+    if (res == AdmissionResult::Admitted) {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        ++accepted_;
+        return;
+    }
+
+    // Shed synchronously: an overload reply must cost microseconds.
+    ServeReply reply;
+    reply.id = ctx->first.id;
+    reply.status = ServeStatus::Shed;
+    reply.detail = admissionResultName(res);
+    recordReply(reply);
+    traceTransition("shed", reply.id);
+    ctx->second(reply);
+}
+
+ServeReply
+PlanService::call(ServeRequest req)
+{
+    std::promise<ServeReply> promise;
+    std::future<ServeReply> future = promise.get_future();
+    submit(std::move(req),
+           [&promise](const ServeReply& r) { promise.set_value(r); });
+    return future.get();
+}
+
+void
+PlanService::drain()
+{
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] { return finished_ == accepted_; });
+}
+
+void
+PlanService::stop()
+{
+    if (stopped_.exchange(true))
+        return;
+    queue_.close();       // accepted backlog still drains
+    pool_->shutdown();    // waits for the worker loops to return
+    watchdog_stop_.store(true);
+    if (watchdog_.joinable())
+        watchdog_.join();
+}
+
+ServiceStats
+PlanService::stats() const
+{
+    ServiceStats s;
+    s.submitted = n_submitted_.load();
+    s.ok = n_ok_.load();
+    s.degraded = n_degraded_.load();
+    s.shed = n_shed_.load();
+    s.timeout = n_timeout_.load();
+    s.error = n_error_.load();
+    s.retries = n_retries_.load();
+    s.watchdog_trips = n_watchdog_trips_.load();
+    s.exec_class_failures = n_exec_class_failures_.load();
+    s.cache = cache_.stats();
+    return s;
+}
+
+void
+PlanService::workerLoop(unsigned slot_idx)
+{
+    t_flight = flights_[slot_idx].get();
+    {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        ++workers_ready_;
+    }
+    done_cv_.notify_all();
+    while (auto item = queue_.pop())
+        item->work();
+    t_flight = nullptr;
+}
+
+void
+PlanService::watchdogLoop()
+{
+    auto period = std::chrono::duration<double, std::milli>(
+        std::max(cfg_.watchdog_period_ms, 0.05));
+    while (!watchdog_stop_.load(std::memory_order_relaxed)) {
+        double now = nowSeconds();
+        for (auto& f : flights_) {
+            if (!f->active.load(std::memory_order_acquire))
+                continue;
+            double dl = f->stage_deadline_s.load(std::memory_order_relaxed);
+            if (dl > 0 && now > dl &&
+                !f->cancelled.exchange(true, std::memory_order_acq_rel)) {
+                n_watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+                MetricsRegistry::global()
+                    .counter("serve.watchdog_trips")
+                    .add();
+            }
+        }
+        std::this_thread::sleep_for(period);
+    }
+}
+
+std::shared_ptr<const CooMatrix>
+PlanService::resolveMatrix(const ServeRequest& req)
+{
+    if (req.matrix_data)
+        return req.matrix_data;
+    HT_FATAL_IF(req.matrix.empty(), "request has no matrix");
+    {
+        std::lock_guard<std::mutex> lock(resolve_mu_);
+        auto it = matrices_.find(req.matrix);
+        if (it != matrices_.end())
+            return it->second;
+    }
+    // Load outside the lock (MatrixMarket files can be large); a
+    // concurrent duplicate load publishes the same content.
+    std::shared_ptr<const CooMatrix> m;
+    if (req.matrix[0] == '@')
+        m = std::make_shared<CooMatrix>(
+            makeSuiteMatrix(req.matrix.substr(1)));
+    else
+        m = std::make_shared<CooMatrix>(readMatrixMarketFile(req.matrix));
+    std::lock_guard<std::mutex> lock(resolve_mu_);
+    auto [it, inserted] = matrices_.emplace(req.matrix, std::move(m));
+    return it->second;
+}
+
+void
+PlanService::finish(const ServeReply&)
+{
+    std::lock_guard<std::mutex> lock(done_mu_);
+    ++finished_;
+    done_cv_.notify_all();
+}
+
+void
+PlanService::recordReply(const ServeReply& reply)
+{
+    MetricsRegistry& reg = MetricsRegistry::global();
+    switch (reply.status) {
+    case ServeStatus::Ok:
+        n_ok_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.ok").add();
+        break;
+    case ServeStatus::Degraded:
+        n_degraded_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.degraded").add();
+        break;
+    case ServeStatus::Shed:
+        n_shed_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.shed").add();
+        break;
+    case ServeStatus::Timeout:
+        n_timeout_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.timeout").add();
+        break;
+    case ServeStatus::Error:
+        n_error_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.error").add();
+        break;
+    }
+    if (reply.status != ServeStatus::Shed)
+        reg.timer("serve.latency").observe(reply.latency_ms / 1e3);
+    if (reply.exec_class_failed) {
+        n_exec_class_failures_.fetch_add(1, std::memory_order_relaxed);
+        reg.counter("serve.exec_class_failures").add();
+    }
+}
+
+void
+PlanService::traceTransition(const char* event, uint64_t id)
+{
+    if (!cfg_.trace)
+        return;
+    Tick tick = static_cast<Tick>(nowSeconds() * 1e6);
+    cfg_.trace->record(tick, "serve", event, id);
+}
+
+ServeReply
+PlanService::handle(const ServeRequest& req, FlightSlot& slot)
+{
+    ServeReply reply;
+    reply.id = req.id;
+
+    const double start = nowSeconds();
+    const double deadline_ms =
+        req.deadline_ms > 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+    const double deadline_s = start + deadline_ms / 1e3;
+    auto remaining = [&] { return deadline_s - nowSeconds(); };
+    auto arm = [&](double stage_deadline) {
+        slot.cancelled.store(false, std::memory_order_relaxed);
+        slot.stage_deadline_s.store(stage_deadline,
+                                    std::memory_order_relaxed);
+        slot.active.store(true, std::memory_order_release);
+    };
+    auto disarm = [&] { slot.active.store(false, std::memory_order_release); };
+    auto done = [&](ServeStatus status, const char* detail) {
+        disarm();
+        reply.status = status;
+        if (detail)
+            reply.detail = detail;
+        reply.latency_ms = (nowSeconds() - start) * 1e3;
+        traceTransition(serveStatusName(status), req.id);
+        return reply;
+    };
+
+    const ChaosPlan chaos(cfg_.chaos, req.id);
+    uint64_t jitter_seed = req.id * 0x2545f4914f6cdd1dULL + 0x9e37ULL;
+    Rng jitter_rng(splitmix64(jitter_seed));
+
+    // --- Resolve inputs (bounded work; whole-deadline budget). ---
+    arm(deadline_s);
+    std::shared_ptr<const CooMatrix> matrix;
+    std::shared_ptr<const Architecture> arch;
+    try {
+        matrix = resolveMatrix(req);
+        {
+            std::lock_guard<std::mutex> lock(resolve_mu_);
+            auto it = archs_.find(req.arch);
+            if (it != archs_.end())
+                arch = it->second;
+        }
+        if (!arch) {
+            Architecture a = calibrated(archFromSpec(req.arch));
+            std::lock_guard<std::mutex> lock(resolve_mu_);
+            arch = archs_
+                       .emplace(req.arch,
+                                std::make_shared<Architecture>(std::move(a)))
+                       .first->second;
+        }
+    } catch (const FatalError&) {
+        return done(ServeStatus::Error, "bad-input");
+    }
+    if (req.mode == RequestMode::Run &&
+        req.kernel.kind == SparseKernel::Sddmm)
+        return done(ServeStatus::Error, "sddmm-not-executable");
+
+    const PlanKey key = makePlanKey(*matrix, req.arch, arch->tile_height,
+                                    arch->tile_width, req.kernel);
+
+    if (chaos.corrupt_cache) {
+        uint64_t cseed = cfg_.chaos.seed ^ (req.id * 0x94d049bb133111ebULL);
+        Rng crng(splitmix64(cseed));
+        cache_.corruptOneEntry(crng);
+        traceTransition("chaos.corrupt", req.id);
+    }
+
+    // --- Acquire a plan: cache -> fresh build (retry) -> degrade. ---
+    std::shared_ptr<const CachedPlan> plan;
+    CacheOutcome outcome = CacheOutcome::Miss;
+    const char* degrade_reason = nullptr;
+    bool flaky_pending = chaos.flaky_build;
+
+    while (!plan && !degrade_reason) {
+        if (slot.cancelled.load(std::memory_order_relaxed) ||
+            remaining() <= 0) {
+            degrade_reason = "deadline";
+            break;
+        }
+        // The plan stage gets a slice of the remaining deadline; the
+        // held-back remainder funds the degraded fallback after a trip.
+        arm(nowSeconds() + remaining() * cfg_.plan_budget_fraction);
+
+        auto builder = [&]() -> CachedPlan {
+            if (remaining() * 1e3 < cfg_.fresh_floor_ms)
+                throw BuildCancelled{"deadline-pressure"};
+            if (flaky_pending) {
+                flaky_pending = false;
+                traceTransition("chaos.flaky", req.id);
+                throw TransientBuildFailure{};
+            }
+            HotTilesOptions opts;
+            opts.kernel = req.kernel;
+            opts.build_formats = false;
+            opts.progress = [&](const char* stage) {
+                if (chaos.wedge && std::strcmp(stage, "model") == 0) {
+                    traceTransition("chaos.wedge", req.id);
+                    // Wedge: burn wall time until the watchdog trips.
+                    // Only the cancel flag ends this loop — proving the
+                    // watchdog, not cooperative politeness, fires.
+                    while (!slot.cancelled.load(std::memory_order_acquire))
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(100));
+                }
+                if (slot.cancelled.load(std::memory_order_acquire))
+                    throw BuildCancelled{"watchdog"};
+            };
+            HotTiles ht(*arch, *matrix, opts);
+            return planFromPartition(ht);
+        };
+
+        try {
+            plan = cache_.getOrBuild(key, builder, &outcome);
+        } catch (const TransientBuildFailure&) {
+            if (reply.retries >= cfg_.max_retries) {
+                degrade_reason = "retries-exhausted";
+                break;
+            }
+            ++reply.retries;
+            n_retries_.fetch_add(1, std::memory_order_relaxed);
+            MetricsRegistry::global().counter("serve.retries").add();
+            traceTransition("retry", req.id);
+            double backoff_ms = cfg_.backoff_base_ms *
+                                double(1u << reply.retries) *
+                                (0.5 + jitter_rng.nextDouble());
+            backoff_ms = std::min(backoff_ms, remaining() * 1e3);
+            if (backoff_ms > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(backoff_ms));
+        } catch (const BuildCancelled& c) {
+            degrade_reason = c.reason;
+        } catch (const FatalError&) {
+            return done(ServeStatus::Error, "build-failed");
+        }
+    }
+
+    if (plan) {
+        reply.plan_source = cacheOutcomeName(outcome);
+        reply.predicted_cycles = plan->predicted_cycles;
+        MetricsRegistry::global()
+            .counter(std::string("serve.cache.") + reply.plan_source)
+            .add();
+        traceTransition(
+            (std::string("plan.") + reply.plan_source).c_str(), req.id);
+    } else {
+        reply.plan_source = "degraded";
+        MetricsRegistry::global().counter("serve.degrade").add();
+        traceTransition("plan.degraded", req.id);
+    }
+
+    // --- Plan mode replies without touching values. ---
+    if (req.mode == RequestMode::Plan) {
+        if (plan) {
+            reply.checksum = plan->checksum;
+            return done(ServeStatus::Ok, nullptr);
+        }
+        if (remaining() <= 0)
+            return done(ServeStatus::Timeout, degrade_reason);
+        // Degraded plan-mode reply: the fallback needs the tile count,
+        // which costs one scan.
+        arm(deadline_s);
+        TileGrid grid(*matrix, arch->tile_height, arch->tile_width);
+        CachedPlan degraded;
+        degraded.is_hot.assign(grid.numTiles(), 0);
+        degraded.heuristic = "degraded-cold";
+        degraded.checksum = degraded.payloadChecksum();
+        reply.checksum = degraded.checksum;
+        return done(ServeStatus::Degraded, degrade_reason);
+    }
+
+    // --- Run mode: scan (values needed regardless of cache) + execute. ---
+    if (remaining() <= 0)
+        return done(ServeStatus::Timeout,
+                    degrade_reason ? degrade_reason : "deadline");
+    arm(deadline_s);
+    try {
+        TileGrid grid(*matrix, arch->tile_height, arch->tile_width);
+        Partition part;
+        if (plan) {
+            if (plan->is_hot.size() != grid.numTiles()) {
+                // A fingerprint collision this gross should be
+                // impossible; degrade rather than execute a plan of the
+                // wrong shape.
+                plan.reset();
+                degrade_reason = "plan-shape-mismatch";
+                reply.plan_source = "degraded";
+            } else {
+                part.is_hot = plan->is_hot;
+                part.serial = plan->serial;
+                part.predicted_cycles = plan->predicted_cycles;
+                part.heuristic = plan->heuristic;
+            }
+        }
+        if (!plan)
+            part = degradedColdPartition(grid.numTiles());
+
+        exec::NativeExecOptions eo;
+        eo.policy = kernels::Policy::Golden;
+        eo.hot_share_hint = plan ? plan->hot_share_hint : 0;
+        eo.collect_unit_times = false;
+        if (chaos.fail_class >= 0) {
+            eo.fail_class = chaos.fail_class;
+            eo.fail_after_tasks = chaos.fail_after;
+            traceTransition("chaos.kill_class", req.id);
+        }
+
+        DenseMatrix din(grid.matrixCols(), req.kernel.k);
+        Rng value_rng(req.seed);
+        din.fillRandom(value_rng);
+
+        exec::ExecReport report;
+        auto backend = exec::makeNativeCpuBackend(eo);
+        DenseMatrix out =
+            backend->run(grid, part, req.kernel, din, &report);
+        reply.checksum = denseChecksum(out);
+        reply.exec_class_failed = report.class_failed;
+        return done(plan ? ServeStatus::Ok : ServeStatus::Degraded,
+                    degrade_reason);
+    } catch (const FatalError&) {
+        return done(ServeStatus::Error, "exec-failed");
+    }
+}
+
+} // namespace hottiles::serve

@@ -1,0 +1,750 @@
+/**
+ * @file
+ * The resilient partition-plan service (docs/SERVING.md), end to end:
+ *
+ *  - ServeFingerprint: structural identity is value-independent and
+ *    order-independent; any structural change — including near
+ *    collisions that preserve the per-panel histogram — changes the key.
+ *  - ServePlanCache: hit/miss/LRU/bypass semantics, single-flight
+ *    deduplication under concurrency, corruption detect-and-rebuild.
+ *  - ServeAdmission: bounded-queue shedding, per-tenant fairness caps,
+ *    deterministic close-and-drain.
+ *  - ServeProtocol: frame round trips and malformed-input rejection.
+ *  - ServeService: the degradation ladder in vivo — cached plans reused
+ *    across value changes with bit-identical results against a
+ *    from-scratch reference, watchdog-tripped wedges degrading cleanly,
+ *    deadline timeouts, synchronous shedding.
+ *  - ServeChaos: a 16-client closed loop under full chaos (class
+ *    kills, cache corruption, wedges, flaky builds): every request
+ *    reaches a terminal state, successful replies stay bit-identical
+ *    to the serial reference.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_config.hpp"
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/random.hpp"
+#include "core/calibrate.hpp"
+#include "core/hottiles.hpp"
+#include "exec/backend.hpp"
+#include "serve/admission.hpp"
+#include "serve/fingerprint.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "sparse/generators.hpp"
+
+namespace hottiles::serve {
+namespace {
+
+constexpr const char* kArch = "spade-sextans:4";
+
+std::shared_ptr<const CooMatrix>
+testMatrix(uint64_t seed)
+{
+    return std::make_shared<CooMatrix>(
+        genCommunity(768, 10.0, 32, 96, 0.8, seed));
+}
+
+/** Same structure as @p m, every value rewritten from @p seed. */
+std::shared_ptr<const CooMatrix>
+withOtherValues(const CooMatrix& m, uint64_t seed)
+{
+    auto copy = std::make_shared<CooMatrix>(m);
+    Rng rng(seed);
+    for (size_t i = 0; i < copy->nnz(); ++i)
+        copy->setValue(i, static_cast<Value>(rng.nextDouble(-1, 1)));
+    return copy;
+}
+
+const Architecture&
+testArch()
+{
+    static Architecture arch = calibrated(makeSpadeSextans(4));
+    return arch;
+}
+
+/** What an OK run-mode reply must checksum to: the serial reference
+ *  over a from-scratch HotTiles plan. */
+uint64_t
+expectedOkChecksum(const CooMatrix& m, const KernelConfig& kernel,
+                   uint64_t seed)
+{
+    const Architecture& arch = testArch();
+    HotTilesOptions opts;
+    opts.kernel = kernel;
+    opts.build_formats = false;
+    HotTiles ht(arch, m, opts);
+    DenseMatrix din(ht.grid().matrixCols(), kernel.k);
+    Rng rng(seed);
+    din.fillRandom(rng);
+    return denseChecksum(
+        exec::referenceExecute(ht.grid(), ht.partition(), kernel, din));
+}
+
+/** What a DEGRADED run-mode reply must checksum to: the serial
+ *  reference over the homogeneous all-cold fallback plan. */
+uint64_t
+expectedDegradedChecksum(const CooMatrix& m, const KernelConfig& kernel,
+                         uint64_t seed)
+{
+    const Architecture& arch = testArch();
+    TileGrid grid(m, arch.tile_height, arch.tile_width);
+    Partition p;
+    p.is_hot.assign(grid.numTiles(), 0);
+    DenseMatrix din(grid.matrixCols(), kernel.k);
+    Rng rng(seed);
+    din.fillRandom(rng);
+    return denseChecksum(exec::referenceExecute(grid, p, kernel, din));
+}
+
+// ---------------------------------------------------------------- keys
+
+TEST(ServeFingerprint, ValueIndependent)
+{
+    auto a = testMatrix(1);
+    auto b = withOtherValues(*a, 999);
+    EXPECT_EQ(fingerprintStructure(*a, 256, 256),
+              fingerprintStructure(*b, 256, 256));
+}
+
+TEST(ServeFingerprint, OrderIndependent)
+{
+    CooMatrix fwd(8, 8), rev(8, 8);
+    fwd.push(1, 2, 1.0f);
+    fwd.push(3, 4, 2.0f);
+    fwd.push(5, 6, 3.0f);
+    rev.push(5, 6, 9.0f);
+    rev.push(1, 2, 8.0f);
+    rev.push(3, 4, 7.0f);
+    EXPECT_EQ(fingerprintStructure(fwd, 4, 4),
+              fingerprintStructure(rev, 4, 4));
+}
+
+TEST(ServeFingerprint, NearCollisionSameHistogramDiffers)
+{
+    // Same shape, same nnz, same per-panel nonzero counts — only one
+    // column index differs.  The coordinate half must catch it.
+    CooMatrix a(8, 8), b(8, 8);
+    a.push(0, 0, 1.0f);
+    a.push(0, 1, 1.0f);
+    b.push(0, 0, 1.0f);
+    b.push(0, 2, 1.0f);
+    PlanFingerprint fa = fingerprintStructure(a, 4, 4);
+    PlanFingerprint fb = fingerprintStructure(b, 4, 4);
+    EXPECT_EQ(fa.geom, fb.geom) << "histogram halves should collide here";
+    EXPECT_NE(fa.coords, fb.coords);
+    EXPECT_FALSE(fa == fb);
+}
+
+TEST(ServeFingerprint, DifferentHistogramDiffers)
+{
+    CooMatrix a(8, 8), b(8, 8);
+    a.push(0, 0, 1.0f);  // panel 0
+    a.push(1, 0, 1.0f);  // panel 0
+    b.push(0, 0, 1.0f);  // panel 0
+    b.push(5, 0, 1.0f);  // panel 1
+    EXPECT_NE(fingerprintStructure(a, 4, 4).geom,
+              fingerprintStructure(b, 4, 4).geom);
+}
+
+TEST(ServeFingerprint, TilingAndKernelChangeTheKey)
+{
+    auto m = testMatrix(2);
+    KernelConfig k8, k16;
+    k8.k = 8;
+    k16.k = 16;
+    PlanKey a = makePlanKey(*m, kArch, 256, 256, k8);
+    PlanKey b = makePlanKey(*m, kArch, 256, 256, k16);
+    PlanKey c = makePlanKey(*m, kArch, 128, 128, k8);
+    PlanKey d = makePlanKey(*m, "piuma", 256, 256, k8);
+    EXPECT_FALSE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_FALSE(a == d);
+    EXPECT_TRUE(a == makePlanKey(*m, kArch, 256, 256, k8));
+}
+
+// --------------------------------------------------------------- cache
+
+PlanKey
+syntheticKey(uint64_t n)
+{
+    PlanKey key;
+    key.fp.geom = n;
+    key.fp.coords = ~n;
+    key.arch = kArch;
+    key.tile_h = key.tile_w = 256;
+    key.k = 8;
+    return key;
+}
+
+CachedPlan
+syntheticPlan(uint64_t n)
+{
+    CachedPlan plan;
+    plan.is_hot.assign(16, 0);
+    plan.is_hot[n % 16] = 1;
+    plan.predicted_cycles = static_cast<double>(n);
+    plan.heuristic = "synthetic";
+    plan.checksum = plan.payloadChecksum();
+    return plan;
+}
+
+TEST(ServePlanCache, HitAfterMiss)
+{
+    PlanCache cache(4);
+    CacheOutcome outcome;
+    auto p1 = cache.getOrBuild(
+        syntheticKey(1), [] { return syntheticPlan(1); }, &outcome);
+    EXPECT_EQ(outcome, CacheOutcome::Miss);
+    auto p2 = cache.getOrBuild(
+        syntheticKey(1), [] { return syntheticPlan(99); }, &outcome);
+    EXPECT_EQ(outcome, CacheOutcome::Hit);
+    EXPECT_EQ(p1.get(), p2.get()) << "hit must share the published plan";
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ServePlanCache, LruEvictsOldest)
+{
+    PlanCache cache(2);
+    CacheOutcome outcome;
+    for (uint64_t n : {1, 2, 3})  // 3 evicts 1
+        cache.getOrBuild(
+            syntheticKey(n), [n] { return syntheticPlan(n); }, &outcome);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    cache.getOrBuild(
+        syntheticKey(1), [] { return syntheticPlan(1); }, &outcome);
+    EXPECT_EQ(outcome, CacheOutcome::Miss) << "evicted key must rebuild";
+    cache.getOrBuild(
+        syntheticKey(2), [] { return syntheticPlan(2); }, &outcome);
+    EXPECT_EQ(outcome, CacheOutcome::Miss)
+        << "2 was oldest after the touch of 3";
+}
+
+TEST(ServePlanCache, CapacityZeroBypasses)
+{
+    PlanCache cache(0);
+    CacheOutcome outcome;
+    for (int i = 0; i < 3; ++i) {
+        cache.getOrBuild(
+            syntheticKey(7), [] { return syntheticPlan(7); }, &outcome);
+        EXPECT_EQ(outcome, CacheOutcome::Bypass);
+    }
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ServePlanCache, SingleFlightBuildsOnce)
+{
+    PlanCache cache(4);
+    std::atomic<int> builds{0};
+    std::atomic<int> hits{0}, misses{0}, shared{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            CacheOutcome outcome;
+            auto plan = cache.getOrBuild(
+                syntheticKey(5),
+                [&] {
+                    builds.fetch_add(1);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                    return syntheticPlan(5);
+                },
+                &outcome);
+            ASSERT_NE(plan, nullptr);
+            if (outcome == CacheOutcome::Hit)
+                hits.fetch_add(1);
+            else if (outcome == CacheOutcome::Miss)
+                misses.fetch_add(1);
+            else if (outcome == CacheOutcome::SharedBuild)
+                shared.fetch_add(1);
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(builds.load(), 1) << "concurrent misses must build once";
+    EXPECT_EQ(misses.load(), 1);
+    EXPECT_EQ(hits.load() + shared.load(), 7);
+}
+
+TEST(ServePlanCache, CorruptionDetectedAndRebuilt)
+{
+    PlanCache cache(4);
+    CacheOutcome outcome;
+    cache.getOrBuild(
+        syntheticKey(3), [] { return syntheticPlan(3); }, &outcome);
+    Rng rng(11);
+    ASSERT_TRUE(cache.corruptOneEntry(rng));
+    auto plan = cache.getOrBuild(
+        syntheticKey(3), [] { return syntheticPlan(3); }, &outcome);
+    EXPECT_EQ(outcome, CacheOutcome::Corrupt);
+    EXPECT_EQ(plan->payloadChecksum(), plan->checksum)
+        << "the rebuilt plan must validate";
+    EXPECT_EQ(cache.stats().corrupt_dropped, 1u);
+    // And the corruption is gone: the next lookup is a clean hit.
+    cache.getOrBuild(
+        syntheticKey(3), [] { return syntheticPlan(3); }, &outcome);
+    EXPECT_EQ(outcome, CacheOutcome::Hit);
+}
+
+TEST(ServePlanCache, BuilderExceptionReleasesTheSlot)
+{
+    PlanCache cache(4);
+    CacheOutcome outcome;
+    EXPECT_THROW(cache.getOrBuild(
+                     syntheticKey(9),
+                     []() -> CachedPlan { throw FatalError("boom"); },
+                     &outcome),
+                 FatalError);
+    // The failed slot must not wedge the key: the next caller builds.
+    auto plan = cache.getOrBuild(
+        syntheticKey(9), [] { return syntheticPlan(9); }, &outcome);
+    EXPECT_EQ(outcome, CacheOutcome::Miss);
+    ASSERT_NE(plan, nullptr);
+}
+
+// ----------------------------------------------------------- admission
+
+TEST(ServeAdmission, BoundedQueueSheds)
+{
+    AdmissionQueue q(2, 0);
+    auto item = [](const char* tenant) {
+        return AdmissionQueue::Item{tenant, [] {}};
+    };
+    EXPECT_EQ(q.tryPush(item("a")), AdmissionResult::Admitted);
+    EXPECT_EQ(q.tryPush(item("a")), AdmissionResult::Admitted);
+    EXPECT_EQ(q.tryPush(item("a")), AdmissionResult::QueueFull);
+    EXPECT_EQ(q.depth(), 2u);
+    EXPECT_EQ(q.tenant("a").admitted, 2u);
+    EXPECT_EQ(q.tenant("a").shed, 1u);
+}
+
+TEST(ServeAdmission, TenantCapKeepsOthersAdmissible)
+{
+    AdmissionQueue q(8, 2);
+    auto item = [](const char* tenant) {
+        return AdmissionQueue::Item{tenant, [] {}};
+    };
+    EXPECT_EQ(q.tryPush(item("flooder")), AdmissionResult::Admitted);
+    EXPECT_EQ(q.tryPush(item("flooder")), AdmissionResult::Admitted);
+    EXPECT_EQ(q.tryPush(item("flooder")), AdmissionResult::TenantOverCap);
+    EXPECT_EQ(q.tryPush(item("polite")), AdmissionResult::Admitted)
+        << "one tenant's flood must not shed another";
+    EXPECT_EQ(q.tenant("flooder").shed, 1u);
+    EXPECT_EQ(q.tenant("polite").shed, 0u);
+    // Popping a flooder item frees its slot.
+    ASSERT_TRUE(q.pop().has_value());
+    EXPECT_EQ(q.tryPush(item("flooder")), AdmissionResult::Admitted);
+}
+
+TEST(ServeAdmission, CloseDrainsThenStops)
+{
+    AdmissionQueue q(8, 0);
+    int ran = 0;
+    q.tryPush({"t", [&] { ++ran; }});
+    q.tryPush({"t", [&] { ++ran; }});
+    q.close();
+    EXPECT_EQ(q.tryPush({"t", [] {}}), AdmissionResult::Closed);
+    while (auto item = q.pop())
+        item->work();
+    EXPECT_EQ(ran, 2) << "close() must drain queued work, not drop it";
+}
+
+TEST(ServeAdmission, CloseWakesBlockedConsumers)
+{
+    AdmissionQueue q(4, 0);
+    std::thread consumer([&] {
+        while (q.pop())
+            ;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    consumer.join();  // would hang forever if close() failed to wake
+    SUCCEED();
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(ServeProtocol, FrameRoundTrip)
+{
+    std::stringstream stream;
+    stream << encodeFrame("hello world") << encodeFrame("")
+           << encodeFrame("x");
+    std::string payload;
+    ASSERT_TRUE(readFrame(stream, payload));
+    EXPECT_EQ(payload, "hello world");
+    ASSERT_TRUE(readFrame(stream, payload));
+    EXPECT_EQ(payload, "");
+    ASSERT_TRUE(readFrame(stream, payload));
+    EXPECT_EQ(payload, "x");
+    EXPECT_FALSE(readFrame(stream, payload)) << "clean EOF";
+}
+
+TEST(ServeProtocol, MalformedFramesThrow)
+{
+    std::string payload;
+    std::stringstream bad_prefix("zzzzzzzzrest");
+    EXPECT_THROW(readFrame(bad_prefix, payload), FatalError);
+    std::stringstream truncated(encodeFrame("full payload").substr(0, 12));
+    EXPECT_THROW(readFrame(truncated, payload), FatalError);
+}
+
+TEST(ServeProtocol, ParsesRequestFields)
+{
+    ServeRequest req = parseRequest(
+        "id=7 tenant=gnn matrix=@pap arch=piuma mode=plan kernel=spmm "
+        "k=64 ai=2.5 deadline_ms=250 seed=9");
+    EXPECT_EQ(req.id, 7u);
+    EXPECT_EQ(req.tenant, "gnn");
+    EXPECT_EQ(req.matrix, "@pap");
+    EXPECT_EQ(req.arch, "piuma");
+    EXPECT_EQ(req.mode, RequestMode::Plan);
+    EXPECT_EQ(req.kernel.k, 64u);
+    EXPECT_DOUBLE_EQ(req.kernel.ai_factor, 2.5);
+    EXPECT_DOUBLE_EQ(req.deadline_ms, 250);
+    EXPECT_EQ(req.seed, 9u);
+}
+
+TEST(ServeProtocol, RejectsBadRequests)
+{
+    EXPECT_THROW(parseRequest("mode=run"), FatalError);  // no matrix
+    EXPECT_THROW(parseRequest("matrix=@pap mode=sideways"), FatalError);
+    EXPECT_THROW(parseRequest("matrix=@pap k=banana"), FatalError);
+    EXPECT_THROW(parseRequest("matrix=@pap sudo=1"), FatalError);
+}
+
+TEST(ServeProtocol, FormatsReply)
+{
+    ServeReply reply;
+    reply.id = 12;
+    reply.status = ServeStatus::Degraded;
+    reply.plan_source = "degraded";
+    reply.retries = 2;
+    reply.checksum = 0xabcdefULL;
+    std::string s = formatReply(reply);
+    EXPECT_NE(s.find("id=12"), std::string::npos);
+    EXPECT_NE(s.find("status=DEGRADED"), std::string::npos);
+    EXPECT_NE(s.find("retries=2"), std::string::npos);
+    EXPECT_NE(s.find("checksum=0000000000abcdef"), std::string::npos);
+}
+
+// ------------------------------------------------------------- service
+
+ServeRequest
+runRequest(std::shared_ptr<const CooMatrix> m, uint64_t id,
+           uint32_t k = 8)
+{
+    ServeRequest req;
+    req.id = id;
+    req.matrix_data = std::move(m);
+    req.matrix = "#inproc";  // display only; matrix_data wins
+    req.arch = kArch;
+    req.mode = RequestMode::Run;
+    req.kernel.k = k;
+    req.deadline_ms = 30000;
+    return req;
+}
+
+TEST(ServeService, StructuralTwinsSharePlanBitIdentically)
+{
+    auto base = testMatrix(21);
+    auto twin = withOtherValues(*base, 777);
+
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    PlanService service(cfg);
+
+    ServeReply r1 = service.call(runRequest(base, 1));
+    ASSERT_EQ(r1.status, ServeStatus::Ok);
+    EXPECT_EQ(r1.plan_source, "miss");
+
+    ServeReply r2 = service.call(runRequest(twin, 2));
+    ASSERT_EQ(r2.status, ServeStatus::Ok);
+    EXPECT_EQ(r2.plan_source, "hit")
+        << "same structure, different values must reuse the plan";
+
+    // The cached-plan result must match a from-scratch serial reference
+    // bit for bit — plan reuse may never change a single output bit.
+    KernelConfig kernel;
+    kernel.k = 8;
+    EXPECT_EQ(r1.checksum, expectedOkChecksum(*base, kernel, 42));
+    EXPECT_EQ(r2.checksum, expectedOkChecksum(*twin, kernel, 42));
+    EXPECT_EQ(service.cache().stats().hits, 1u);
+    service.stop();
+}
+
+TEST(ServeService, NearCollisionDoesNotSharePlans)
+{
+    // Identical geometry and per-panel histogram, one coordinate moved:
+    // must be a second miss, never a hit.
+    auto a = std::make_shared<CooMatrix>(512, 512);
+    auto b = std::make_shared<CooMatrix>(512, 512);
+    Rng rng(4);
+    for (int i = 0; i < 400; ++i) {
+        Index r = static_cast<Index>(rng.nextBounded(512));
+        Index c = static_cast<Index>(rng.nextBounded(510));
+        a->push(r, c, 1.0f);
+        b->push(r, i == 0 ? c + 1 : c, 1.0f);
+    }
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    PlanService service(cfg);
+    ServeReply r1 = service.call(runRequest(a, 1));
+    ServeReply r2 = service.call(runRequest(b, 2));
+    EXPECT_EQ(r1.status, ServeStatus::Ok);
+    EXPECT_EQ(r2.status, ServeStatus::Ok);
+    EXPECT_EQ(r2.plan_source, "miss")
+        << "near-collision structures must not share a plan";
+    EXPECT_EQ(service.cache().stats().hits, 0u);
+    service.stop();
+}
+
+TEST(ServeService, PlanModeCachedEqualsUncached)
+{
+    auto m = testMatrix(33);
+    auto plan_req = [&](uint64_t id) {
+        ServeRequest req = runRequest(m, id);
+        req.mode = RequestMode::Plan;
+        return req;
+    };
+
+    ServiceConfig cached_cfg;
+    cached_cfg.workers = 1;
+    PlanService cached(cached_cfg);
+    ServiceConfig bypass_cfg;
+    bypass_cfg.workers = 1;
+    bypass_cfg.cache_capacity = 0;
+    PlanService bypass(bypass_cfg);
+
+    ServeReply cold = cached.call(plan_req(1));
+    ServeReply warm = cached.call(plan_req(2));
+    ServeReply fresh = bypass.call(plan_req(3));
+    ASSERT_EQ(cold.status, ServeStatus::Ok);
+    ASSERT_EQ(warm.status, ServeStatus::Ok);
+    ASSERT_EQ(fresh.status, ServeStatus::Ok);
+    EXPECT_EQ(warm.plan_source, "hit");
+    EXPECT_EQ(fresh.plan_source, "bypass");
+    EXPECT_EQ(cold.checksum, warm.checksum);
+    EXPECT_EQ(cold.checksum, fresh.checksum)
+        << "a cached plan must be bitwise the plan a fresh build makes";
+    EXPECT_NE(cold.checksum, 0u);
+    cached.stop();
+    bypass.stop();
+}
+
+TEST(ServeService, ShedsSynchronouslyWhenQueueFull)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 0;  // reject everything
+    PlanService service(cfg);
+    ServeReply reply = service.call(runRequest(testMatrix(1), 1));
+    EXPECT_EQ(reply.status, ServeStatus::Shed);
+    EXPECT_EQ(reply.detail, "queue-full");
+    EXPECT_EQ(service.stats().shed, 1u);
+    service.stop();
+}
+
+TEST(ServeService, WedgedBuildDegradesThroughWatchdog)
+{
+    auto m = testMatrix(55);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.default_deadline_ms = 600;
+    cfg.chaos.seed = 1;  // enabled, but only wedges:
+    cfg.chaos.p_wedge = 1.0;
+    cfg.chaos.p_kill_class = 0;
+    cfg.chaos.p_corrupt_cache = 0;
+    cfg.chaos.p_flaky_build = 0;
+    PlanService service(cfg);
+
+    ServeRequest req = runRequest(m, 1);
+    req.deadline_ms = 600;
+    ServeReply reply = service.call(req);
+    EXPECT_EQ(reply.status, ServeStatus::Degraded)
+        << "a wedged plan stage must degrade, not hang or die";
+    EXPECT_EQ(reply.plan_source, "degraded");
+    EXPECT_EQ(reply.detail, "watchdog");
+    EXPECT_GE(service.stats().watchdog_trips, 1u);
+
+    KernelConfig kernel;
+    kernel.k = 8;
+    EXPECT_EQ(reply.checksum, expectedDegradedChecksum(*m, kernel, 42))
+        << "degraded output must match the all-cold serial reference";
+    service.stop();
+}
+
+TEST(ServeService, WedgeWithNoFallbackBudgetTimesOut)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.plan_budget_fraction = 1.0;  // no held-back degrade budget
+    cfg.chaos.seed = 1;
+    cfg.chaos.p_wedge = 1.0;
+    cfg.chaos.p_kill_class = 0;
+    cfg.chaos.p_corrupt_cache = 0;
+    cfg.chaos.p_flaky_build = 0;
+    PlanService service(cfg);
+
+    ServeRequest req = runRequest(testMatrix(55), 1);
+    req.deadline_ms = 150;
+    ServeReply reply = service.call(req);
+    EXPECT_EQ(reply.status, ServeStatus::Timeout);
+    EXPECT_GT(reply.latency_ms, 100) << "must have waited for the trip";
+    service.stop();
+}
+
+TEST(ServeService, FlakyBuildsRetryWithBackoff)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.chaos.seed = 1;
+    cfg.chaos.p_flaky_build = 1.0;  // first build attempt always fails
+    cfg.chaos.p_wedge = 0;
+    cfg.chaos.p_kill_class = 0;
+    cfg.chaos.p_corrupt_cache = 0;
+    PlanService service(cfg);
+
+    ServeReply reply = service.call(runRequest(testMatrix(66), 1));
+    EXPECT_EQ(reply.status, ServeStatus::Ok);
+    EXPECT_GE(reply.retries, 1u);
+    EXPECT_GE(service.stats().retries, 1u);
+    service.stop();
+}
+
+TEST(ServeService, BadInputsErrorCleanly)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    PlanService service(cfg);
+    ServeRequest req;
+    req.id = 1;
+    req.matrix = "@no-such-suite-matrix";
+    ServeReply reply = service.call(req);
+    EXPECT_EQ(reply.status, ServeStatus::Error);
+    EXPECT_EQ(reply.detail, "bad-input");
+    ServeRequest req2 = runRequest(testMatrix(1), 2);
+    req2.arch = "warp-drive:9000";
+    EXPECT_EQ(service.call(req2).status, ServeStatus::Error);
+    service.stop();
+}
+
+TEST(ServeService, TransitionsLandInMetricsRegistry)
+{
+    MetricsRegistry& reg = MetricsRegistry::global();
+    uint64_t ok_before = reg.counter("serve.ok").value();
+    uint64_t requests_before = reg.counter("serve.requests").value();
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    PlanService service(cfg);
+    ASSERT_EQ(service.call(runRequest(testMatrix(77), 1)).status,
+              ServeStatus::Ok);
+    EXPECT_EQ(reg.counter("serve.ok").value(), ok_before + 1);
+    EXPECT_EQ(reg.counter("serve.requests").value(), requests_before + 1);
+    service.stop();
+}
+
+// --------------------------------------------------------------- chaos
+
+TEST(ServeChaos, SixteenClientsAllTerminalAndBitIdentical)
+{
+    auto m1 = testMatrix(101);
+    auto m2 = testMatrix(202);
+    KernelConfig kernel;
+    kernel.k = 8;
+    const uint64_t ok1 = expectedOkChecksum(*m1, kernel, 42);
+    const uint64_t ok2 = expectedOkChecksum(*m2, kernel, 42);
+    const uint64_t deg1 = expectedDegradedChecksum(*m1, kernel, 42);
+    const uint64_t deg2 = expectedDegradedChecksum(*m2, kernel, 42);
+
+    ServiceConfig cfg;
+    cfg.workers = 8;
+    cfg.queue_capacity = 16;
+    cfg.default_deadline_ms = 2000;
+    cfg.chaos.seed = 0xC0FFEE;  // all chaos knobs at their defaults
+    PlanService service(cfg);
+
+    constexpr int kClients = 16;
+    constexpr int kPerClient = 4;
+    std::atomic<int> terminal{0};
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < kPerClient; ++i) {
+                bool first = (c % 2 == 0);
+                ServeRequest req = runRequest(
+                    first ? m1 : m2,
+                    static_cast<uint64_t>(c * kPerClient + i + 1));
+                ServeReply reply = service.call(req);
+                switch (reply.status) {
+                case ServeStatus::Ok:
+                    if (reply.checksum != (first ? ok1 : ok2))
+                        mismatches.fetch_add(1);
+                    terminal.fetch_add(1);
+                    break;
+                case ServeStatus::Degraded:
+                    if (reply.checksum != (first ? deg1 : deg2))
+                        mismatches.fetch_add(1);
+                    terminal.fetch_add(1);
+                    break;
+                case ServeStatus::Shed:
+                case ServeStatus::Timeout:
+                case ServeStatus::Error:
+                    terminal.fetch_add(1);
+                    break;
+                }
+            }
+        });
+    }
+    for (auto& t : clients)
+        t.join();
+    service.drain();
+
+    EXPECT_EQ(terminal.load(), kClients * kPerClient)
+        << "every chaos request must reach a terminal state";
+    EXPECT_EQ(mismatches.load(), 0)
+        << "chaos must never corrupt a served result";
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.terminal(), static_cast<uint64_t>(kClients * kPerClient));
+    EXPECT_EQ(stats.error, 0u) << "chaos inputs are all valid";
+    service.stop();
+}
+
+TEST(ServeChaos, StopWithInFlightRequestsNeverHangs)
+{
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 64;
+    PlanService service(cfg);
+    std::atomic<int> replies{0};
+    auto m = testMatrix(88);
+    for (int i = 0; i < 8; ++i)
+        service.submit(runRequest(m, static_cast<uint64_t>(i + 1)),
+                       [&](const ServeReply&) { replies.fetch_add(1); });
+    service.stop();  // must drain the accepted backlog, then join
+    EXPECT_EQ(replies.load(), 8)
+        << "stop() drains accepted requests instead of dropping them";
+    // Submits after stop shed synchronously.
+    ServeReply late = service.call(runRequest(m, 99));
+    EXPECT_EQ(late.status, ServeStatus::Shed);
+    EXPECT_EQ(late.detail, "closed");
+}
+
+} // namespace
+} // namespace hottiles::serve

@@ -7,6 +7,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <set>
@@ -202,6 +203,118 @@ TEST(ThreadPool, DefaultThreadsReadsEnv)
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
     ::unsetenv("HOTTILES_THREADS");
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+// --- submit / shutdown hardening (docs/SERVING.md teardown contract) ---
+
+TEST(ThreadPool, SubmitRunsTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i)
+        ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+    pool.shutdown();
+    // Every accepted task either ran or was discarded unstarted —
+    // nothing is lost, nothing runs twice.
+    EXPECT_EQ(static_cast<size_t>(ran.load()) + pool.discardedTasks(), 64u);
+}
+
+TEST(ThreadPool, SerialPoolRunsSubmitInline)
+{
+    ThreadPool pool(1);
+    bool ran = false;
+    EXPECT_TRUE(pool.submit([&] { ran = true; }));
+    EXPECT_TRUE(ran);  // no workers exist; submit must not strand it
+    pool.shutdown();
+    EXPECT_FALSE(pool.submit([] {}));
+    EXPECT_EQ(pool.discardedTasks(), 0u);
+}
+
+TEST(ThreadPool, ShutdownRejectsLateSubmit)
+{
+    ThreadPool pool(3);
+    pool.shutdown();
+    bool ran = false;
+    EXPECT_FALSE(pool.submit([&] { ran = true; }));
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent)
+{
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.shutdown();
+    pool.shutdown();
+    pool.shutdown();
+    EXPECT_LE(ran.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDiscardsUnstartedTasksDeterministically)
+{
+    // A worker is parked on a slow task while a backlog accumulates
+    // behind it; destruction must count every unstarted task as
+    // discarded (they never run), let the running task finish, and
+    // never hang.  This is the regression test for destroying a pool
+    // with queued-but-unstarted tasks.
+    std::atomic<int> ran{0};
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    size_t discarded = 0;
+    {
+        ThreadPool pool(2);  // exactly one spawned worker
+        pool.submit([&] {
+            started.store(true);
+            while (!release.load())
+                std::this_thread::yield();
+            ran.fetch_add(1);
+        });
+        while (!started.load())  // the backlog must queue BEHIND it
+            std::this_thread::yield();
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+        release.store(true);
+        pool.shutdown();
+        discarded = pool.discardedTasks();
+    }
+    // The blocker ran; of the 100 queued behind it, ran + discarded
+    // must account for every single one.
+    EXPECT_GE(ran.load(), 1);
+    EXPECT_EQ(static_cast<size_t>(ran.load()) + discarded, 101u);
+}
+
+TEST(ThreadPool, ShutdownDuringHeavySubmitChurn)
+{
+    // Races submit() against shutdown() from another thread; under TSan
+    // this is the data-race regression for the teardown path.
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::atomic<int> rejected{0};
+    std::thread submitter([&] {
+        for (int i = 0; i < 2000; ++i) {
+            if (!pool.submit([&] { ran.fetch_add(1); }))
+                rejected.fetch_add(1);
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    pool.shutdown();
+    submitter.join();
+    EXPECT_EQ(static_cast<size_t>(ran.load()) + pool.discardedTasks() +
+                  static_cast<size_t>(rejected.load()),
+              2000u);
+}
+
+TEST(ThreadPool, ParallelForStillCompletesAfterUnrelatedShutdown)
+{
+    // parallelFor on one pool is unaffected by another pool's teardown.
+    ThreadPool doomed(4);
+    ThreadPool keeper(4);
+    doomed.shutdown();
+    std::atomic<size_t> covered{0};
+    keeper.parallelFor(0, 512, 8, [&](size_t b, size_t e) {
+        covered.fetch_add(e - b);
+    });
+    EXPECT_EQ(covered.load(), 512u);
 }
 
 } // namespace

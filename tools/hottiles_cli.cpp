@@ -25,6 +25,19 @@
  *       verified against the golden reference and reporting per-class
  *       measured-vs-predicted model error.
  *
+ *   hottiles serve [options]
+ *       Long-lived partition-plan daemon (docs/SERVING.md): reads
+ *       length-prefixed request frames from stdin, writes reply frames
+ *       to stdout.  Plan caching, admission control, deadlines and the
+ *       graceful-degradation ladder all live behind this command.
+ *
+ * Exit codes (asserted by the CLI ctests):
+ *   0  success
+ *   1  runtime error (bad matrix file, simulation failure, ...)
+ *   2  usage error (unknown command/option, malformed option value)
+ *   3  verification failure (native result diverges from the reference)
+ *   4  completed, but degraded by an injected fault (class fail-stop)
+ *
  * <matrix> is a MatrixMarket file, or @name for a built-in proxy
  * (e.g. @pap).  Options:
  *   --arch spade-sextans[:SCALE] | pcie | piuma   (default spade-sextans:4)
@@ -51,6 +64,19 @@
  *   --hot-executors N     pin hot-class executor slots (default: model)
  *   --no-steal      disable cross-class work stealing at the tail
  *   --no-verify     skip the reference-kernel verification pass
+ *   --fail-class hot|cold --fail-after N   inject a class fail-stop
+ *                after N tasks (exit 4 when the run survives degraded)
+ *   --corrupt-output  fault hook: flip one output value after the run
+ *                so the verification pass must fail (exit 3); exists so
+ *                the exit-code contract stays testable
+ * `serve` options:
+ *   --workers N          request executor threads       (default 4)
+ *   --queue-capacity N   admission queue slots          (default 64)
+ *   --tenant-cap N       per-tenant queue slots         (default: none)
+ *   --cache-capacity N   resident plans, 0 = off        (default 128)
+ *   --deadline-ms X      default request deadline       (default 1000)
+ *   --max-retries N      transient-failure retries      (default 2)
+ *   --chaos-seed N       enable deterministic chaos mode (0 = off)
  */
 
 #include <charconv>
@@ -77,6 +103,8 @@
 #include "core/telemetry.hpp"
 #include "exec/backend.hpp"
 #include "kernels/dispatch.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
 #include "partition/predicted_runtime.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/trace.hpp"
@@ -115,7 +143,25 @@ struct Options
     unsigned hot_executors = 0;
     bool no_steal = false;
     bool no_verify = false;
+    int fail_class = -1;  // -1 = no injected class fail-stop
+    uint64_t fail_after = 0;
+    bool corrupt_output = false;  // fault hook: force verify failure
+    // `serve` command
+    unsigned serve_workers = 4;
+    uint64_t serve_queue = 64;
+    uint64_t serve_tenant_cap = 0;
+    uint64_t serve_cache = 128;
+    double serve_deadline_ms = 1000;
+    uint32_t serve_max_retries = 2;
+    uint64_t chaos_seed = 0;
 };
+
+/** Distinct exit codes, documented above and pinned by the CLI ctests. */
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitVerify = 3;
+constexpr int kExitFaultDegraded = 4;
 
 /** Checked numeric argument parsing: every malformed value is a clean
  *  FatalError (caught in main) instead of an uncaught std:: exception. */
@@ -143,15 +189,22 @@ parseF64Arg(const std::string& v, const char* what)
 usage(const char* argv0)
 {
     std::cerr << "usage: " << argv0
-              << " suite|analyze|partition|simulate|explore|run <matrix> "
+              << " suite|analyze|partition|simulate|explore|run|serve "
+                 "<matrix> "
                  "[--arch A] [--kernel K] [--k N] [--ai X] [--tile N] "
                  "[--seed N] [--out F] [--load F] [--total N] "
                  "[--threads N] [--faults SPEC] [--fault-seed N] "
                  "[--trace F] [--trace-json F] [--metrics F|-] "
                  "[--verbose] [--native] [--policy golden|fast] "
-                 "[--hot-executors N] [--no-steal] [--no-verify]\n"
-                 "<matrix> is a .mtx path or @name for a built-in proxy\n";
-    std::exit(2);
+                 "[--hot-executors N] [--no-steal] [--no-verify] "
+                 "[--fail-class hot|cold] [--fail-after N] "
+                 "[--corrupt-output] "
+                 "[--workers N] [--queue-capacity N] [--tenant-cap N] "
+                 "[--cache-capacity N] [--deadline-ms X] "
+                 "[--max-retries N] [--chaos-seed N]\n"
+                 "<matrix> is a .mtx path or @name for a built-in proxy "
+                 "(serve takes no matrix)\n";
+    std::exit(kExitUsage);
 }
 
 Options
@@ -162,7 +215,7 @@ parseArgs(int argc, char** argv)
     Options o;
     o.command = argv[1];
     int i = 2;
-    if (o.command != "suite") {
+    if (o.command != "suite" && o.command != "serve") {
         if (i >= argc)
             usage(argv[0]);
         o.matrix = argv[i++];
@@ -221,6 +274,41 @@ parseArgs(int argc, char** argv)
             o.no_steal = true;
         else if (a == "--no-verify")
             o.no_verify = true;
+        else if (a == "--fail-class") {
+            std::string c = toLower(next("--fail-class"));
+            if (c == "hot")
+                o.fail_class = 0;
+            else if (c == "cold")
+                o.fail_class = 1;
+            else
+                HT_FATAL("--fail-class must be hot or cold, got '", c, "'");
+        } else if (a == "--fail-after")
+            o.fail_after = parseU64Arg(next("--fail-after"), "--fail-after");
+        else if (a == "--corrupt-output")
+            o.corrupt_output = true;
+        else if (a == "--workers") {
+            uint64_t w = parseU64Arg(next("--workers"), "--workers");
+            HT_FATAL_IF(w == 0 || w > 1024, "--workers must be in [1, 1024]");
+            o.serve_workers = static_cast<unsigned>(w);
+        } else if (a == "--queue-capacity")
+            o.serve_queue =
+                parseU64Arg(next("--queue-capacity"), "--queue-capacity");
+        else if (a == "--tenant-cap")
+            o.serve_tenant_cap =
+                parseU64Arg(next("--tenant-cap"), "--tenant-cap");
+        else if (a == "--cache-capacity")
+            o.serve_cache =
+                parseU64Arg(next("--cache-capacity"), "--cache-capacity");
+        else if (a == "--deadline-ms") {
+            o.serve_deadline_ms =
+                parseF64Arg(next("--deadline-ms"), "--deadline-ms");
+            HT_FATAL_IF(o.serve_deadline_ms <= 0,
+                        "--deadline-ms must be positive");
+        } else if (a == "--max-retries")
+            o.serve_max_retries = static_cast<uint32_t>(
+                parseU64Arg(next("--max-retries"), "--max-retries"));
+        else if (a == "--chaos-seed")
+            o.chaos_seed = parseU64Arg(next("--chaos-seed"), "--chaos-seed");
         else
             HT_FATAL("unknown option '", a, "'");
     }
@@ -579,6 +667,10 @@ cmdRun(const Options& o)
                                  : kernels::Policy::Golden;
     eo.work_stealing = !o.no_steal;
     eo.hot_executors = o.hot_executors;
+    if (o.fail_class >= 0) {
+        eo.fail_class = o.fail_class;
+        eo.fail_after_tasks = o.fail_after;
+    }
     AssignmentTotals totals = assignmentTotals(ht.context(), p.is_hot);
     if (totals.th_total + totals.tc_total > 0)
         eo.hot_share_hint =
@@ -594,6 +686,8 @@ cmdRun(const Options& o)
               << kernels::tierName(kernels::activeTier()) << ")\n";
     exec::ExecReport rep;
     DenseMatrix out = backend->run(grid, p, opts.kernel, din, &rep);
+    if (o.corrupt_output && out.rows() > 0 && out.cols() > 0)
+        out.at(0, 0) += Value(1);
 
     if (!o.no_verify) {
         DenseMatrix ref =
@@ -603,16 +697,23 @@ cmdRun(const Options& o)
                 out.data().size() == ref.data().size() &&
                 std::memcmp(out.data().data(), ref.data().data(),
                             out.data().size() * sizeof(Value)) == 0;
-            HT_FATAL_IF(!same, "native result is NOT bit-identical to the "
-                               "golden reference (max |diff| ",
-                        out.maxAbsDiff(ref), ")");
+            if (!same) {
+                std::cerr << "verification failed: native result is NOT "
+                             "bit-identical to the golden reference "
+                             "(max |diff| "
+                          << out.maxAbsDiff(ref) << ")\n";
+                return kExitVerify;
+            }
             std::cout << "verified: bit-identical to the golden reference "
                          "kernels\n";
         } else {
-            HT_FATAL_IF(!out.approxEqual(ref),
-                        "native fast-policy result diverges from the "
-                        "golden reference (max |diff| ",
-                        out.maxAbsDiff(ref), ")");
+            if (!out.approxEqual(ref)) {
+                std::cerr << "verification failed: native fast-policy "
+                             "result diverges from the golden reference "
+                             "(max |diff| "
+                          << out.maxAbsDiff(ref) << ")\n";
+                return kExitVerify;
+            }
             std::cout << "verified: within fast-policy tolerance of the "
                          "golden reference (max |diff| "
                       << out.maxAbsDiff(ref) << ")\n";
@@ -647,12 +748,53 @@ cmdRun(const Options& o)
               << "measured-vs-predicted sampled over " << hs.count
               << " hot tiles / " << cs.count
               << " cold panels (prediction_error.native.* histograms)\n";
-    if (rep.class_failed)
-        std::cout << "fault: class fail-stop migrated "
-                  << rep.requeued_tasks << " task(s) to the survivor\n";
     if (!o.metrics_file.empty())
         writeMetricsTo(o.metrics_file);
-    return 0;
+    if (rep.class_failed) {
+        // Correct result, but a worker class was lost along the way:
+        // the distinct exit code lets callers tell "healthy" from
+        // "survived degraded" without parsing stdout.
+        std::cout << "fault: class fail-stop migrated "
+                  << rep.requeued_tasks << " task(s) to the survivor\n";
+        return kExitFaultDegraded;
+    }
+    return kExitOk;
+}
+
+int
+cmdServe(const Options& o)
+{
+    serve::ServiceConfig cfg;
+    cfg.workers = o.serve_workers;
+    cfg.queue_capacity = o.serve_queue;
+    cfg.max_per_tenant = o.serve_tenant_cap;
+    cfg.cache_capacity = o.serve_cache;
+    cfg.default_deadline_ms = o.serve_deadline_ms;
+    cfg.max_retries = o.serve_max_retries;
+    cfg.chaos.seed = o.chaos_seed;
+    TraceSinkHolder trace(o);  // --trace/--trace-json: ladder transitions
+    cfg.trace = trace.sink;
+
+    std::cerr << "hottiles serve: " << cfg.workers << " workers, queue "
+              << cfg.queue_capacity << ", cache " << cfg.cache_capacity
+              << ", deadline " << cfg.default_deadline_ms << " ms"
+              << (cfg.chaos.enabled() ? ", CHAOS MODE" : "") << "\n";
+
+    serve::PlanService service(cfg);
+    uint64_t processed =
+        serve::runServeLoop(std::cin, std::cout, service);
+    service.stop();
+
+    serve::ServiceStats s = service.stats();
+    std::cerr << "hottiles serve: processed " << processed << " request(s): "
+              << s.ok << " ok, " << s.degraded << " degraded, " << s.shed
+              << " shed, " << s.timeout << " timeout, " << s.error
+              << " error; cache " << s.cache.hits << " hit / "
+              << s.cache.misses << " miss / " << s.cache.shared_builds
+              << " shared / " << s.cache.corrupt_dropped << " corrupt\n";
+    if (!o.metrics_file.empty())
+        writeMetricsTo(o.metrics_file);
+    return kExitOk;
 }
 
 int
@@ -676,8 +818,16 @@ cmdExplore(const Options& o)
 int
 main(int argc, char** argv)
 {
+    Options o;
     try {
-        Options o = parseArgs(argc, argv);
+        o = parseArgs(argc, argv);
+    } catch (const FatalError& e) {
+        // Argument-parsing failures are usage errors: exit 2, distinct
+        // from runtime failures (exit 1).
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitUsage;
+    }
+    try {
         if (o.threads > 0)
             ThreadPool::setGlobalThreads(o.threads);
         if (o.command == "suite")
@@ -692,14 +842,16 @@ main(int argc, char** argv)
             return cmdExplore(o);
         if (o.command == "run")
             return cmdRun(o);
+        if (o.command == "serve")
+            return cmdServe(o);
         usage(argv[0]);
     } catch (const FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return kExitError;
     } catch (const std::exception& e) {
         // Anything else that slipped through still exits with a clean
         // one-line message instead of an abort/backtrace.
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return kExitError;
     }
 }
