@@ -1,9 +1,14 @@
 #include "core/hottiles.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
 #include "partition/predicted_runtime.hpp"
 #include "sim/merger.hpp"
+#include "sparse/delta.hpp"
 
 namespace hottiles {
 
@@ -82,6 +87,170 @@ HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
     }
 }
 
+DeltaUpdateStats
+HotTiles::applyDelta(const DeltaBatch& d)
+{
+    const double t0 = monotonicSeconds();
+    if (opts_.progress)
+        opts_.progress("update");
+
+    DeltaUpdateStats st;
+    st.inserts = d.inserts();
+    st.deletes = d.deletes();
+
+    // Stage 1': re-tile the dirty row panels only.  Throws before any
+    // mutation on a contract breach, so `*this` stays valid.
+    TileGridDelta gd = [&] {
+        ScopedTimer t("preprocess.update_tiling");
+        return grid_->applyDelta(d);
+    }();
+    st.dirty_panels = gd.dirty_panels.size();
+    if (gd.empty()) {
+        st.update_s = monotonicSeconds() - t0;
+        timing_.update_s += st.update_s;
+        return st;
+    }
+
+    // Stage 2': splice the per-tile estimates.  The model is a pure
+    // function of tile statistics — never storage offsets — so clean
+    // panels' entries are copied over bit-identically and only dirty
+    // panels' tiles are re-evaluated.
+    ScopedTimer model_timer("preprocess.update_model");
+    const size_t np = grid_->numPanels();
+    std::vector<TileEstimate> old_est = std::move(ctx_.estimates);
+    std::vector<TileEstimate> est = std::move(est_scratch_);
+    est.resize(grid_->numTiles());
+    std::vector<size_t> dirty_count(np, 0);
+    parallelFor(0, np, kGrainPanels, [&](size_t pb, size_t pe) {
+        for (size_t p = pb; p < pe; ++p) {
+            auto [nb, ne] = grid_->panelTiles(Index(p));
+            if (!gd.panelDirty(Index(p))) {
+                const size_t ob = gd.old_panel_begin[p];
+                HT_ASSERT(gd.old_panel_begin[p + 1] - ob == ne - nb,
+                          "clean panel changed tile count");
+                std::copy_n(old_est.data() + ob, ne - nb, est.data() + nb);
+            } else {
+                for (size_t i = nb; i < ne; ++i)
+                    est[i] = estimateTile(grid_->tile(i), *ctx_.hot,
+                                          *ctx_.cold, ctx_.kernel);
+                dirty_count[p] = ne - nb;
+            }
+        }
+    });
+    ctx_.estimates = std::move(est);
+    est_scratch_ = std::move(old_est);
+    for (size_t p = 0; p < np; ++p)
+        st.dirty_tiles += dirty_count[p];
+    model_timer.stop();
+
+    // Stage 3': incremental re-partitioning.  The first update seeds
+    // the per-heuristic sweep cache (full cost, same arithmetic as a
+    // fresh hotTilesPartition); every later update merges the dirty
+    // tiles into each cached sorted order, re-sweeps, and re-scores
+    // only the panels whose data or membership pattern moved — the
+    // dominant preprocessing stage drops from O(nnz) per heuristic to
+    // O(dirty + tiles).
+    Partition old_part = std::move(partition_);
+    if (!sweep_cache_.seeded())
+        partition_ = hotTilesPartition(ctx_, &sweep_cache_);
+    else
+        partition_ = hotTilesPartitionDelta(ctx_, gd, sweep_cache_);
+
+    // Migration accounting: on a clean panel, old tile j and new tile j
+    // are the same tile, so a flipped class bit is a migrated tile.
+    ScopedTimer migrate_timer("preprocess.update_migrate");
+    std::vector<uint8_t> panel_class_same(np, 0);
+    for (size_t p = 0; p < np; ++p) {
+        if (gd.panelDirty(Index(p)))
+            continue;
+        auto [nb, ne] = grid_->panelTiles(Index(p));
+        const size_t ob = gd.old_panel_begin[p];
+        size_t flips = 0;
+        for (size_t j = 0; j < ne - nb; ++j)
+            flips += old_part.is_hot[ob + j] != partition_.is_hot[nb + j];
+        st.migrated_tiles += flips;
+        panel_class_same[p] = flips == 0;
+    }
+    st.partition_changed = st.migrated_tiles > 0 ||
+                           partition_.heuristic != old_part.heuristic;
+    migrate_timer.stop();
+
+    // Stage 4': patch the formats.  The hot (tiled) format is a cheap
+    // O(#hot tiles) grouping and is rebuilt outright.  The cold
+    // (untiled) format reuses each panel's PanelWork when the panel's
+    // data and its cold membership both stayed put — the per-panel
+    // equivalent of PR 3's SegmentBuildCache, applied across a grid
+    // mutation — and rebuilds the rest with one buildUntiledWork call.
+    if (formats_built_) {
+        ScopedTimer fmt_timer("preprocess.update_formats");
+        hot_format_ = buildTiledWork(*grid_, partition_.hotTiles());
+
+        std::vector<size_t> cold_ids = partition_.coldTiles();
+        struct Group
+        {
+            Index panel;
+            size_t first, last;
+            bool reuse;
+        };
+        std::vector<Group> groups;
+        size_t i = 0;
+        while (i < cold_ids.size()) {
+            const Index p = grid_->tile(cold_ids[i]).panel;
+            size_t j = i;
+            while (j < cold_ids.size() &&
+                   grid_->tile(cold_ids[j]).panel == p)
+                ++j;
+            groups.push_back(
+                {p, i, j, !gd.panelDirty(p) && panel_class_same[p] != 0});
+            i = j;
+        }
+        std::vector<size_t> rebuild_ids;
+        for (const Group& g : groups)
+            if (!g.reuse)
+                rebuild_ids.insert(rebuild_ids.end(),
+                                   cold_ids.begin() + g.first,
+                                   cold_ids.begin() + g.last);
+        UntiledWork fresh = buildUntiledWork(*grid_, rebuild_ids);
+
+        std::vector<int64_t> old_of_panel(np, -1);
+        for (size_t k = 0; k < cold_format_.panels.size(); ++k)
+            old_of_panel[cold_format_.panels[k].panel] = int64_t(k);
+
+        UntiledWork nf;
+        nf.panels.reserve(groups.size());
+        size_t fi = 0;
+        for (const Group& g : groups) {
+            if (g.reuse) {
+                HT_ASSERT(old_of_panel[g.panel] >= 0,
+                          "reusable panel missing from the old cold format");
+                nf.panels.push_back(std::move(
+                    cold_format_.panels[size_t(old_of_panel[g.panel])]));
+                ++st.panels_reused;
+            } else {
+                nf.panels.push_back(std::move(fresh.panels[fi++]));
+                ++st.panels_rebuilt;
+            }
+        }
+        HT_ASSERT(fi == fresh.panels.size(), "cold-format splice mismatch");
+        for (const PanelWork& pw : nf.panels)
+            nf.total_nnz += pw.rows.size();
+        cold_format_ = std::move(nf);
+    }
+
+    st.update_s = monotonicSeconds() - t0;
+    timing_.update_s += st.update_s;
+
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.timer("preprocess.update").observe(st.update_s);
+    reg.counter("preprocess.update.inserts").add(st.inserts);
+    reg.counter("preprocess.update.deletes").add(st.deletes);
+    reg.counter("preprocess.update.dirty_tiles").add(st.dirty_tiles);
+    reg.counter("preprocess.update.migrated_tiles").add(st.migrated_tiles);
+    reg.counter("preprocess.update.panels_reused").add(st.panels_reused);
+    reg.counter("preprocess.update.panels_rebuilt").add(st.panels_rebuilt);
+    return st;
+}
+
 std::vector<Partition>
 HotTiles::allHeuristics() const
 {
@@ -124,6 +293,52 @@ HotTiles::hotFormat() const
 {
     HT_ASSERT(formats_built_, "formats were not built; set build_formats");
     return hot_format_;
+}
+
+bool
+samePreprocessedState(const HotTiles& a, const HotTiles& b)
+{
+    const TileGrid& ga = a.grid();
+    const TileGrid& gb = b.grid();
+    if (ga.numTiles() != gb.numTiles() || ga.matrixNnz() != gb.matrixNnz())
+        return false;
+    for (size_t i = 0; i < ga.numTiles(); ++i) {
+        const Tile& ta = ga.tile(i);
+        const Tile& tb = gb.tile(i);
+        if (std::memcmp(&ta, &tb, sizeof(Tile)) != 0)
+            return false;
+        auto ra = ga.tileRows(i), rb = gb.tileRows(i);
+        auto ca = ga.tileCols(i), cb = gb.tileCols(i);
+        auto va = ga.tileVals(i), vb = gb.tileVals(i);
+        if (std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(Index)) ||
+            std::memcmp(ca.data(), cb.data(), ca.size() * sizeof(Index)) ||
+            std::memcmp(va.data(), vb.data(), va.size() * sizeof(Value)))
+            return false;
+    }
+    const Partition& pa = a.partition();
+    const Partition& pb = b.partition();
+    if (pa.is_hot != pb.is_hot || pa.serial != pb.serial ||
+        pa.heuristic != pb.heuristic ||
+        std::memcmp(&pa.predicted_cycles, &pb.predicted_cycles,
+                    sizeof(double)) != 0)
+        return false;
+    const UntiledWork& ca = a.coldFormat();
+    const UntiledWork& cb = b.coldFormat();
+    if (ca.total_nnz != cb.total_nnz || ca.panels.size() != cb.panels.size())
+        return false;
+    for (size_t i = 0; i < ca.panels.size(); ++i) {
+        const PanelWork& wa = ca.panels[i];
+        const PanelWork& wb = cb.panels[i];
+        if (wa.panel != wb.panel || wa.rows != wb.rows ||
+            wa.cols != wb.cols ||
+            std::memcmp(wa.vals.data(), wb.vals.data(),
+                        wa.vals.size() * sizeof(Value)) != 0)
+            return false;
+    }
+    const TiledWork& ha = a.hotFormat();
+    const TiledWork& hb = b.hotFormat();
+    return ha.total_nnz == hb.total_nnz && ha.panel_ids == hb.panel_ids &&
+           ha.panel_tiles == hb.panel_tiles;
 }
 
 } // namespace hottiles

@@ -23,6 +23,23 @@
 
 namespace hottiles {
 
+/** What one HotTiles::applyDelta call did (docs/INCREMENTAL.md). */
+struct DeltaUpdateStats
+{
+    size_t inserts = 0;
+    size_t deletes = 0;
+    size_t dirty_panels = 0;   //!< row panels the batch touched
+    size_t dirty_tiles = 0;    //!< tiles re-evaluated under the model
+    /** Clean-panel tiles whose hot/cold class flipped (tile migration);
+     *  dirty-panel tiles are rebuilt regardless and not counted here. */
+    size_t migrated_tiles = 0;
+    size_t panels_reused = 0;   //!< cold-format panels moved over as-is
+    size_t panels_rebuilt = 0;  //!< cold-format panels rebuilt
+    /** A clean tile changed class or the winning heuristic changed. */
+    bool partition_changed = false;
+    double update_s = 0;  //!< wall-clock cost of this update
+};
+
 /** Options of a HotTiles pipeline run. */
 struct HotTilesOptions
 {
@@ -32,7 +49,8 @@ struct HotTilesOptions
 
     /**
      * Invoked before each pipeline stage with its name ("scan",
-     * "model", "partition", "format").  A caller may throw from the
+     * "model", "partition", "format", and "update" for incremental
+     * applyDelta calls).  A caller may throw from the
      * hook to abandon a build mid-pipeline — the serving layer uses
      * this to cancel builds whose deadline already passed
      * (docs/SERVING.md); the exception propagates out of the
@@ -88,6 +106,23 @@ class HotTiles
     /** Preprocessing stage timings (Fig 18). */
     const PreprocessTiming& timing() const { return timing_; }
 
+    /**
+     * Patch this preprocessed matrix with one DeltaBatch instead of
+     * re-running the pipeline from scratch: the tiling layer re-tiles
+     * only the dirty row panels, the per-tile model re-evaluates only
+     * their tiles (clean panels' estimates are spliced over), the
+     * heuristic sweep re-runs on the spliced estimates — it is global
+     * by construction, but O(tiles log tiles), not O(nnz) — and the
+     * cold format reuses every panel whose data and cold membership did
+     * not move.  The resulting grid, partition and formats are
+     * bit-identical to constructing HotTiles(arch, applyDeltaToCoo(a,
+     * d), opts) across thread counts.  The "update" progress hook fires
+     * once per call; the cost lands in timing().update_s.
+     * @throws FatalError on a batch-contract violation (delta.hpp),
+     * leaving the object unmodified.
+     */
+    DeltaUpdateStats applyDelta(const DeltaBatch& d);
+
   private:
     Architecture arch_;
     HotTilesOptions opts_;
@@ -98,6 +133,21 @@ class HotTiles
     TiledWork hot_format_;
     bool formats_built_ = false;
     PreprocessTiming timing_;
+    /** Per-heuristic sweep state for incremental re-partitioning; empty
+     *  (no memory cost) until the first applyDelta seeds it. */
+    PartitionSweepCache sweep_cache_;
+    /** Retired estimates buffer recycled by the next applyDelta. */
+    std::vector<TileEstimate> est_scratch_;
 };
+
+/**
+ * Bit-exact equality of two preprocessed states: grid (tiles + tiled
+ * arrays), partition and both worker formats.  This is the acceptance
+ * contract of the incremental path (docs/INCREMENTAL.md) — anything
+ * short of bit-identity would let update streams drift from what a
+ * from-scratch preprocessing would produce.  Both objects must have
+ * been built with formats enabled.
+ */
+bool samePreprocessedState(const HotTiles& a, const HotTiles& b);
 
 } // namespace hottiles

@@ -11,8 +11,16 @@
  */
 
 #include <cstdint>
+#include <vector>
 
 namespace hottiles {
+
+/** One named preprocessing stage and its accumulated wall-clock time. */
+struct PreprocessStage
+{
+    const char* name;
+    double seconds;
+};
 
 /** Wall-clock seconds of each preprocessing stage. */
 struct PreprocessTiming
@@ -22,20 +30,39 @@ struct PreprocessTiming
     double partition_s = 0;     //!< heuristic partitioning
     double format_base_s = 0;   //!< formats for one worker type
     double format_extra_s = 0;  //!< formats for the additional type
+    double update_s = 0;        //!< incremental delta updates (applyDelta)
 
-    /** Total preprocessing time. */
+    /**
+     * Every stage as a name/seconds pair.  Reporting code (the Fig 18
+     * table) must iterate this rather than hard-code the field list, so
+     * a stage added later is surfaced instead of silently dropped.
+     */
+    std::vector<PreprocessStage>
+    stages() const
+    {
+        return {{"scan", scan_s},
+                {"model", model_s},
+                {"partition", partition_s},
+                {"format_base", format_base_s},
+                {"format_extra", format_extra_s},
+                {"update", update_s}};
+    }
+
+    /** Total preprocessing time (sum over stages()). */
     double
     total() const
     {
-        return scan_s + model_s + partition_s + format_base_s +
-               format_extra_s;
+        double t = 0;
+        for (const PreprocessStage& s : stages())
+            t += s.seconds;
+        return t;
     }
 
     /** The HotTiles-specific portion (everything but the base format). */
     double
     hotTilesOverhead() const
     {
-        return scan_s + model_s + partition_s + format_extra_s;
+        return total() - format_base_s;
     }
 
     /** HotTiles overhead as a fraction of the total (Fig 18 bars). */

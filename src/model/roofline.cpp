@@ -11,6 +11,20 @@
 
 namespace hottiles {
 
+TileEstimate
+estimateTile(const Tile& t, const WorkerTraits& hot, const WorkerTraits& cold,
+             const KernelConfig& kernel)
+{
+    TileEstimate est;
+    TileBytes hb = tileBytes(t, hot, kernel);
+    TileBytes cb = tileBytes(t, cold, kernel);
+    est.bh = hb.total();
+    est.bc = cb.total();
+    est.th = tileTimeFromBytes(hb, double(t.nnz), hot, kernel).total;
+    est.tc = tileTimeFromBytes(cb, double(t.nnz), cold, kernel).total;
+    return est;
+}
+
 std::vector<TileEstimate>
 estimateTiles(const TileGrid& grid, const WorkerTraits& hot,
               const WorkerTraits& cold, const KernelConfig& kernel)
@@ -18,17 +32,8 @@ estimateTiles(const TileGrid& grid, const WorkerTraits& hot,
     ScopedTimer timer("model.estimate_tiles");
     std::vector<TileEstimate> estimates(grid.numTiles());
     parallelFor(0, grid.numTiles(), kGrainTiles, [&](size_t b, size_t e) {
-        for (size_t i = b; i < e; ++i) {
-            const Tile& t = grid.tile(i);
-            TileBytes hb = tileBytes(t, hot, kernel);
-            TileBytes cb = tileBytes(t, cold, kernel);
-            estimates[i].bh = hb.total();
-            estimates[i].bc = cb.total();
-            estimates[i].th =
-                tileTimeFromBytes(hb, double(t.nnz), hot, kernel).total;
-            estimates[i].tc =
-                tileTimeFromBytes(cb, double(t.nnz), cold, kernel).total;
-        }
+        for (size_t i = b; i < e; ++i)
+            estimates[i] = estimateTile(grid.tile(i), hot, cold, kernel);
     });
     return estimates;
 }

@@ -28,6 +28,17 @@ struct TileEstimate
 };
 
 /**
+ * Evaluate the per-tile model (Table I traffic + §IV-B time) for one
+ * tile under both worker types.  A pure function of the tile's
+ * statistics (nnz, extent, unique ids) — never its storage offset — so
+ * the incremental path (HotTiles::applyDelta) can re-evaluate dirty
+ * tiles alone and splice clean tiles' estimates over bit-identically.
+ */
+TileEstimate estimateTile(const Tile& t, const WorkerTraits& hot,
+                          const WorkerTraits& cold,
+                          const KernelConfig& kernel);
+
+/**
  * Evaluate the per-tile model (Table I traffic + §IV-B time) for every
  * tile of @p grid under both worker types — the th_i/tc_i/bh_i/bc_i
  * sweep of the matrix scan (Fig 7).  Tiles are independent, so the

@@ -11,8 +11,11 @@
  */
 
 #include "partition/partition.hpp"
+#include "partition/predicted_runtime.hpp"
 
 namespace hottiles {
+
+struct TileGridDelta;
 
 /** The four optimization subproblems of Fig 8. */
 enum class Heuristic
@@ -39,6 +42,69 @@ Partition runHeuristic(const PartitionContext& ctx, Heuristic h);
  * the one with the lowest predicted runtime.
  */
 Partition hotTilesPartition(const PartitionContext& ctx);
+
+/**
+ * Cached state of one heuristic's last sweep: the sorted tile order
+ * (total order — ties broken by tile id, so the sequence is a pure
+ * function of the estimates and can be maintained by merging), the
+ * per-tile sweep costs aligned with that order (merged alongside it,
+ * sparing the delta path a random-gather pass over the estimates), the
+ * candidate assignment that was scored, and its per-tile score.
+ */
+struct HeuristicState
+{
+    Heuristic h = Heuristic::MinTimeParallel;
+    std::vector<size_t> order;      //!< tile ids by (key, id)
+    std::vector<Index> panel;       //!< row panel of order[i] (stable)
+    std::vector<double> hot_cost;   //!< th or bh of order[i]
+    std::vector<double> cold_cost;  //!< tc or bc of order[i]
+    std::vector<uint8_t> is_hot;    //!< the candidate that was scored
+    AssignmentScore score;          //!< its per-tile score arrays
+
+    /** Retired buffers recycled by the next delta's merge/score pass.
+     *  Updates run every few milliseconds in a serving loop, and
+     *  releasing multi-megabyte vectors each round just to mmap them
+     *  back dominated the delta path's wall clock. */
+    std::vector<size_t> order_scratch;
+    std::vector<Index> panel_scratch;
+    std::vector<double> hot_scratch;
+    std::vector<double> cold_scratch;
+    AssignmentScore score_scratch;
+};
+
+/**
+ * One HeuristicState per applicable heuristic, in the order
+ * hotTilesPartition runs them.  Seeded by hotTilesPartition(ctx,
+ * &cache) and advanced in place by hotTilesPartitionDelta; roughly
+ * 41 bytes per tile per heuristic, so HotTiles only materializes it
+ * once applyDelta is first called (docs/INCREMENTAL.md).
+ */
+struct PartitionSweepCache
+{
+    std::vector<HeuristicState> states;
+
+    bool seeded() const { return !states.empty(); }
+};
+
+/** hotTilesPartition that also seeds @p cache (ignored when null). */
+Partition hotTilesPartition(const PartitionContext& ctx,
+                            PartitionSweepCache* cache);
+
+/**
+ * Incremental re-partitioning after a TileGrid::applyDelta: per
+ * heuristic, dirty-panel tiles are merged into the cached sorted order
+ * (clean tiles keep their keys and their relative order — the old->new
+ * id remap is monotonic), the cutoff sweep re-runs over the merged
+ * order, and the final predicted-runtime score recomputes only panels
+ * that are dirty or whose membership pattern changed, splicing every
+ * other panel's cached per-tile score.  @p ctx must hold the post-delta
+ * grid and spliced estimates; @p cache must have been seeded against
+ * the pre-delta grid.  Returns the winning partition bit-identically to
+ * hotTilesPartition(ctx) and advances the cache to the new grid.
+ */
+Partition hotTilesPartitionDelta(const PartitionContext& ctx,
+                                 const TileGridDelta& gd,
+                                 PartitionSweepCache& cache);
 
 /**
  * Like hotTilesPartition but also returns every candidate (used by the

@@ -11,70 +11,196 @@ namespace hottiles {
 
 namespace {
 
+/** Row-id stamp scratch for the untiled-traversal readjustment plus
+ *  panel-local extras buffers; one per parallel chunk, generations
+ *  never reused across panels or types. */
+struct PanelScratch
+{
+    std::vector<uint32_t> rid_stamp;
+    uint32_t generation = 0;
+    std::vector<double> extra_hot;
+    std::vector<double> extra_cold;
+};
+
 /**
  * Extra Dout bytes charged to each tile of one worker type once the
- * assignment is known (§IV-C).  Under the maximum-reuse assumption,
- * tiles with Dout inter-tile reuse were charged zero; in reality the
- * first tile of the type in a row panel streams the panel's Dout
- * (tiled traversal), or each r_id's first-appearance tile fetches that
- * row on demand (untiled traversal).  Returns per-tile extra bytes
- * (read + write) for tiles owned by the type; 0 elsewhere.
+ * assignment is known (§IV-C), for a single row panel.  Under the
+ * maximum-reuse assumption, tiles with Dout inter-tile reuse were
+ * charged zero; in reality the first tile of the type in a row panel
+ * streams the panel's Dout (tiled traversal), or each r_id's
+ * first-appearance tile fetches that row on demand (untiled traversal).
+ * Writes per-tile extra bytes (read + write) into @p extra, indexed
+ * panel-locally (extra[t - first]); 0 for tiles the type does not own.
+ * Panels have disjoint tile and row ranges, so any set of panels can
+ * be scored in parallel or in isolation with identical results.
  */
-std::vector<double>
-doutReadjustment(const PartitionContext& ctx,
-                 const std::vector<uint8_t>& is_hot, bool for_hot)
+void
+readjustPanel(const PartitionContext& ctx, const std::vector<uint8_t>& is_hot,
+              bool for_hot, Index p, PanelScratch& scratch, double* extra)
 {
     const TileGrid& grid = *ctx.grid;
     const WorkerTraits& w = for_hot ? *ctx.hot : *ctx.cold;
-    std::vector<double> extra(grid.numTiles(), 0.0);
+    auto [first, last] = grid.panelTiles(p);
+    std::fill(extra, extra + (last - first), 0.0);
     if (w.dout_reuse != ReuseType::InterTile)
-        return extra;
+        return;
 
     const double row_bytes = denseRowBytes(w, ctx.kernel);
-
-    // Panels are independent (their tile ranges and row ranges are
-    // disjoint), so the readjustment parallelizes over panels with a
-    // per-chunk row-id stamp scratch.
-    parallelFor(0, grid.numPanels(), kGrainPanels, [&](size_t pb, size_t pe) {
-        std::vector<uint32_t> rid_stamp(grid.tileHeight(), 0);
-        uint32_t generation = 0;
-        for (size_t p = pb; p < pe; ++p) {
-            auto [first, last] = grid.panelTiles(static_cast<Index>(p));
-            if (w.traversal == TraversalOrder::TiledRowMajor) {
-                // The first owned tile streams the whole panel's Dout
-                // rows in and the last one writes them back; charge both
-                // to the first tile (it bounds the predicted time
-                // identically).
-                for (size_t t = first; t < last; ++t) {
-                    if ((is_hot[t] != 0) == for_hot) {
-                        extra[t] = 2.0 * row_bytes * grid.tile(t).height;
-                        break;
-                    }
-                }
-            } else {
-                // Untiled: each r_id's first appearance among owned
-                // tiles costs one demand read + one write of the row.
-                ++generation;
-                for (size_t t = first; t < last; ++t) {
-                    if ((is_hot[t] != 0) != for_hot)
-                        continue;
-                    double new_rids = 0;
-                    for (Index rid : grid.tileRows(t)) {
-                        Index local = rid - grid.tile(t).row0;
-                        if (rid_stamp[local] != generation) {
-                            rid_stamp[local] = generation;
-                            new_rids += 1.0;
-                        }
-                    }
-                    extra[t] = 2.0 * row_bytes * new_rids;
-                }
+    if (w.traversal == TraversalOrder::TiledRowMajor) {
+        // The first owned tile streams the whole panel's Dout rows in
+        // and the last one writes them back; charge both to the first
+        // tile (it bounds the predicted time identically).
+        for (size_t t = first; t < last; ++t) {
+            if ((is_hot[t] != 0) == for_hot) {
+                extra[t - first] = 2.0 * row_bytes * grid.tile(t).height;
+                break;
             }
         }
-    });
-    return extra;
+    } else {
+        // Untiled: each r_id's first appearance among owned tiles costs
+        // one demand read + one write of the row.
+        ++scratch.generation;
+        for (size_t t = first; t < last; ++t) {
+            if ((is_hot[t] != 0) != for_hot)
+                continue;
+            double new_rids = 0;
+            for (Index rid : grid.tileRows(t)) {
+                Index local = rid - grid.tile(t).row0;
+                if (scratch.rid_stamp[local] != scratch.generation) {
+                    scratch.rid_stamp[local] = scratch.generation;
+                    new_rids += 1.0;
+                }
+            }
+            extra[t - first] = 2.0 * row_bytes * new_rids;
+        }
+    }
+}
+
+struct TileContrib
+{
+    double bytes;
+    double time;
+};
+
+/**
+ * One tile's readjusted byte/time contribution under its assigned type.
+ * Single source of truth for this arithmetic: the fused totals path and
+ * the materialized score path both call it, so their results agree
+ * bit-for-bit.
+ */
+TileContrib
+tileContrib(const PartitionContext& ctx, const Tile& tile,
+            const TileEstimate& e, bool hot, double extra)
+{
+    const WorkerTraits& w = hot ? *ctx.hot : *ctx.cold;
+    TileContrib c;
+    c.bytes = (hot ? e.bh : e.bc) + extra;
+    c.time = hot ? e.th : e.tc;
+    if (extra > 0.0) {
+        TileBytes tb = tileBytes(tile, w, ctx.kernel);
+        tb.dout_read += extra / 2.0;
+        tb.dout_write += extra / 2.0;
+        c.time =
+            tileTimeFromBytes(tb, double(tile.nnz), w, ctx.kernel).total;
+    }
+    return c;
+}
+
+void
+scorePanel(const PartitionContext& ctx, const std::vector<uint8_t>& is_hot,
+           Index p, PanelScratch& scratch, AssignmentScore& s)
+{
+    const TileGrid& grid = *ctx.grid;
+    auto [first, last] = grid.panelTiles(p);
+    const size_t len = last - first;
+    if (scratch.extra_hot.size() < len) {
+        scratch.extra_hot.resize(len);
+        scratch.extra_cold.resize(len);
+    }
+    readjustPanel(ctx, is_hot, /*for_hot=*/true, p, scratch,
+                  scratch.extra_hot.data());
+    readjustPanel(ctx, is_hot, /*for_hot=*/false, p, scratch,
+                  scratch.extra_cold.data());
+    for (size_t i = first; i < last; ++i) {
+        const bool hot = is_hot[i] != 0;
+        TileContrib c = tileContrib(
+            ctx, grid.tile(i), ctx.estimates[i], hot,
+            hot ? scratch.extra_hot[i - first]
+                : scratch.extra_cold[i - first]);
+        s.bytes[i] = c.bytes;
+        s.time[i] = c.time;
+    }
 }
 
 } // namespace
+
+void
+assignmentScore(const PartitionContext& ctx,
+                const std::vector<uint8_t>& is_hot, AssignmentScore& out)
+{
+    const TileGrid& grid = *ctx.grid;
+    const size_t n = grid.numTiles();
+    HT_ASSERT(is_hot.size() == n, "assignment size mismatch");
+    HT_ASSERT(ctx.estimates.size() == n, "estimates missing");
+    out.bytes.resize(n);
+    out.time.resize(n);
+    parallelFor(0, grid.numPanels(), kGrainPanels,
+                [&](size_t pb, size_t pe) {
+                    PanelScratch scratch;
+                    scratch.rid_stamp.assign(grid.tileHeight(), 0);
+                    for (size_t p = pb; p < pe; ++p)
+                        scorePanel(ctx, is_hot, Index(p), scratch, out);
+                });
+}
+
+void
+assignmentScorePanels(const PartitionContext& ctx,
+                      const std::vector<uint8_t>& is_hot,
+                      const std::vector<Index>& panels, AssignmentScore& io)
+{
+    const TileGrid& grid = *ctx.grid;
+    HT_ASSERT(io.bytes.size() == grid.numTiles(), "score is not sized");
+    parallelFor(0, panels.size(), 1, [&](size_t b, size_t e) {
+        PanelScratch scratch;
+        scratch.rid_stamp.assign(grid.tileHeight(), 0);
+        for (size_t i = b; i < e; ++i)
+            scorePanel(ctx, is_hot, panels[i], scratch, io);
+    });
+}
+
+AssignmentTotals
+reduceAssignmentScore(const PartitionContext& ctx,
+                      const std::vector<uint8_t>& is_hot,
+                      const AssignmentScore& s)
+{
+    const size_t n = ctx.grid->numTiles();
+    const double n_hw = ctx.hot->count;
+    const double n_cw = ctx.cold->count;
+    // Deterministic parallel reduction: per-chunk partial totals are
+    // combined in chunk order, independent of the thread count.
+    return parallelReduce(
+        0, n, kGrainTiles, AssignmentTotals{},
+        [&](size_t b, size_t e_end) {
+            AssignmentTotals totals;
+            for (size_t i = b; i < e_end; ++i) {
+                if (is_hot[i]) {
+                    totals.bh_total += s.bytes[i];
+                    totals.th_total += s.time[i] / n_hw;
+                } else {
+                    totals.bc_total += s.bytes[i];
+                    totals.tc_total += s.time[i] / n_cw;
+                }
+            }
+            return totals;
+        },
+        [](AssignmentTotals a, AssignmentTotals b) {
+            a.th_total += b.th_total;
+            a.tc_total += b.tc_total;
+            a.bh_total += b.bh_total;
+            a.bc_total += b.bc_total;
+            return a;
+        });
+}
 
 AssignmentTotals
 assignmentTotals(const PartitionContext& ctx,
@@ -84,50 +210,52 @@ assignmentTotals(const PartitionContext& ctx,
     HT_ASSERT(is_hot.size() == grid.numTiles(), "assignment size mismatch");
     HT_ASSERT(ctx.estimates.size() == grid.numTiles(), "estimates missing");
 
+    // Fused path: the extras are materialized (they need per-panel
+    // traversal state), but each tile's byte/time contribution is
+    // computed inline during the reduction instead of being stored.
+    // Per-tile arithmetic and summation order match the score-array
+    // path (tileContrib + reduceAssignmentScore) exactly, so both
+    // produce bit-identical totals.
     std::vector<double> extra_hot;
     std::vector<double> extra_cold;
     if (readjust) {
-        extra_hot = doutReadjustment(ctx, is_hot, /*for_hot=*/true);
-        extra_cold = doutReadjustment(ctx, is_hot, /*for_hot=*/false);
+        extra_hot.resize(grid.numTiles());
+        extra_cold.resize(grid.numTiles());
+        parallelFor(0, grid.numPanels(), kGrainPanels,
+                    [&](size_t pb, size_t pe) {
+                        PanelScratch scratch;
+                        scratch.rid_stamp.assign(grid.tileHeight(), 0);
+                        for (size_t p = pb; p < pe; ++p) {
+                            const size_t first =
+                                grid.panelTiles(Index(p)).first;
+                            readjustPanel(ctx, is_hot, /*for_hot=*/true,
+                                          Index(p), scratch,
+                                          extra_hot.data() + first);
+                            readjustPanel(ctx, is_hot, /*for_hot=*/false,
+                                          Index(p), scratch,
+                                          extra_cold.data() + first);
+                        }
+                    });
     }
 
     const double n_hw = ctx.hot->count;
     const double n_cw = ctx.cold->count;
-    // Deterministic parallel reduction: per-chunk partial totals are
-    // combined in chunk order, independent of the thread count.
     return parallelReduce(
         0, grid.numTiles(), kGrainTiles, AssignmentTotals{},
         [&](size_t b, size_t e_end) {
             AssignmentTotals totals;
             for (size_t i = b; i < e_end; ++i) {
-                const Tile& tile = grid.tile(i);
-                const TileEstimate& e = ctx.estimates[i];
-                if (is_hot[i]) {
-                    double extra = readjust ? extra_hot[i] : 0.0;
-                    double bytes = e.bh + extra;
-                    double time = e.th;
-                    if (extra > 0.0) {
-                        TileBytes tb = tileBytes(tile, *ctx.hot, ctx.kernel);
-                        tb.dout_read += extra / 2.0;
-                        tb.dout_write += extra / 2.0;
-                        time = tileTimeFromBytes(tb, double(tile.nnz),
-                                                 *ctx.hot, ctx.kernel).total;
-                    }
-                    totals.bh_total += bytes;
-                    totals.th_total += time / n_hw;
+                const bool hot = is_hot[i] != 0;
+                const double extra =
+                    readjust ? (hot ? extra_hot[i] : extra_cold[i]) : 0.0;
+                TileContrib c = tileContrib(ctx, grid.tile(i),
+                                            ctx.estimates[i], hot, extra);
+                if (hot) {
+                    totals.bh_total += c.bytes;
+                    totals.th_total += c.time / n_hw;
                 } else {
-                    double extra = readjust ? extra_cold[i] : 0.0;
-                    double bytes = e.bc + extra;
-                    double time = e.tc;
-                    if (extra > 0.0) {
-                        TileBytes tb = tileBytes(tile, *ctx.cold, ctx.kernel);
-                        tb.dout_read += extra / 2.0;
-                        tb.dout_write += extra / 2.0;
-                        time = tileTimeFromBytes(tb, double(tile.nnz),
-                                                 *ctx.cold, ctx.kernel).total;
-                    }
-                    totals.bc_total += bytes;
-                    totals.tc_total += time / n_cw;
+                    totals.bc_total += c.bytes;
+                    totals.tc_total += c.time / n_cw;
                 }
             }
             return totals;

@@ -32,6 +32,47 @@ AssignmentTotals assignmentTotals(const PartitionContext& ctx,
                                   const std::vector<uint8_t>& is_hot,
                                   bool readjust = true);
 
+/**
+ * Per-tile score of an assignment: each tile's final (§IV-C
+ * readjusted) byte and unscaled time contribution under its assigned
+ * type.  The readjusted totals are a pure chunk-ordered reduction over
+ * these arrays, and every entry depends only on its own row panel's
+ * tile data and membership pattern — which is what lets the
+ * delta-update path (docs/INCREMENTAL.md) recompute only dirty panels
+ * and splice the rest bit-identically.
+ */
+struct AssignmentScore
+{
+    std::vector<double> bytes;  //!< bytes moved (assigned type)
+    std::vector<double> time;   //!< execution time, unscaled by count
+};
+
+/** Fill @p out with the full score of @p is_hot (every panel). */
+void assignmentScore(const PartitionContext& ctx,
+                     const std::vector<uint8_t>& is_hot,
+                     AssignmentScore& out);
+
+/**
+ * Recompute only the listed panels of @p io in place; entries of every
+ * other panel are left untouched.  @p io must already be sized to the
+ * grid.  The listed panels' entries come out identical to a full
+ * assignmentScore() pass (panels are independent).
+ */
+void assignmentScorePanels(const PartitionContext& ctx,
+                           const std::vector<uint8_t>& is_hot,
+                           const std::vector<Index>& panels,
+                           AssignmentScore& io);
+
+/**
+ * Reduce a score to readjusted totals.  Deterministic: per-chunk
+ * partials combine in chunk order, independent of the thread count, and
+ * the result is bit-identical to assignmentTotals() on the same
+ * assignment.
+ */
+AssignmentTotals reduceAssignmentScore(const PartitionContext& ctx,
+                                       const std::vector<uint8_t>& is_hot,
+                                       const AssignmentScore& s);
+
 /** Parallel-operation predicted runtime: Eq 5 / Fig 8 rows 1 and 3. */
 double predictedParallelCycles(const PartitionContext& ctx,
                                const AssignmentTotals& t);

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/random.hpp"
+#include "sparse/delta.hpp"
 
 namespace hottiles::serve {
 
@@ -26,44 +27,79 @@ mix(uint64_t& state, uint64_t word)
 
 } // namespace
 
-PlanFingerprint
-fingerprintStructure(const CooMatrix& m, Index tile_h, Index tile_w)
+FingerprintAccumulator::FingerprintAccumulator(const CooMatrix& m,
+                                               Index tile_h, Index tile_w)
+    : rows_(m.rows()), cols_(m.cols()), tile_h_(tile_h), tile_w_(tile_w),
+      nnz_(m.nnz())
 {
     HT_FATAL_IF(tile_h <= 0 || tile_w <= 0,
                 "fingerprint needs positive tile dimensions (got ", tile_h,
                 "x", tile_w, ")");
-    PlanFingerprint fp;
-
-    // Geometry half: dimensions, nnz, tiling, then the per-panel nnz
-    // histogram in panel order (position-sensitive by construction).
+    // Geometry half pre-state: the per-panel nnz histogram in panel
+    // order (position-sensitive by construction).  Coordinate half: an
+    // order-independent commutative sum of per-coordinate mixes, so any
+    // permutation of the nonzero list (COO is not canonically ordered)
+    // fingerprints identically — and a delta updates it exactly with
+    // per-coordinate additions and subtractions.
     const size_t panels =
-        m.rows() > 0 ? (size_t(m.rows()) + tile_h - 1) / tile_h : 0;
-    std::vector<uint64_t> panel_nnz(panels, 0);
-    uint64_t coord_sum = 0;
-    const size_t n = m.nnz();
-    for (size_t i = 0; i < n; ++i) {
+        rows_ > 0 ? (size_t(rows_) + tile_h_ - 1) / tile_h_ : 0;
+    panel_nnz_.assign(panels, 0);
+    for (size_t i = 0; i < nnz_; ++i) {
         const Index r = m.rowId(i);
         const Index c = m.colId(i);
-        ++panel_nnz[size_t(r) / tile_h];
-        // Order-independent coordinate-set hash: a commutative sum of
-        // per-coordinate mixes, so any permutation of the nonzero list
-        // (COO is not canonically ordered) fingerprints identically.
-        coord_sum += mix1(uint64_t(r) * (uint64_t(m.cols()) + 1) + c);
+        ++panel_nnz_[size_t(r) / tile_h_];
+        coord_sum_ += mix1(uint64_t(r) * (uint64_t(cols_) + 1) + c);
     }
+}
 
+void
+FingerprintAccumulator::applyDelta(const DeltaBatch& d)
+{
+    HT_FATAL_IF(tile_h_ <= 0, "accumulator was not seeded with a matrix");
+    for (size_t i = 0; i < d.inserts(); ++i) {
+        const Index r = d.ins_rows[i];
+        const Index c = d.ins_cols[i];
+        HT_FATAL_IF(r >= rows_ || c >= cols_, "delta insert (", r, ",", c,
+                    ") outside the ", rows_, "x", cols_, " matrix");
+        ++panel_nnz_[size_t(r) / tile_h_];
+        coord_sum_ += mix1(uint64_t(r) * (uint64_t(cols_) + 1) + c);
+    }
+    for (size_t i = 0; i < d.deletes(); ++i) {
+        const Index r = d.del_rows[i];
+        const Index c = d.del_cols[i];
+        HT_FATAL_IF(r >= rows_ || c >= cols_, "delta delete (", r, ",", c,
+                    ") outside the ", rows_, "x", cols_, " matrix");
+        HT_FATAL_IF(panel_nnz_[size_t(r) / tile_h_] == 0,
+                    "delta deletes from an empty panel (row ", r, ")");
+        --panel_nnz_[size_t(r) / tile_h_];
+        coord_sum_ -= mix1(uint64_t(r) * (uint64_t(cols_) + 1) + c);
+    }
+    nnz_ = nnz_ + d.inserts() - d.deletes();
+}
+
+PlanFingerprint
+FingerprintAccumulator::fingerprint() const
+{
+    PlanFingerprint fp;
     uint64_t g = 0x48'6f'74'54'69'6c'65'73ULL;  // "HotTiles"
-    mix(g, uint64_t(m.rows()));
-    mix(g, uint64_t(m.cols()));
-    mix(g, uint64_t(n));
-    mix(g, uint64_t(tile_h));
-    mix(g, uint64_t(tile_w));
-    for (uint64_t pn : panel_nnz)
+    mix(g, uint64_t(rows_));
+    mix(g, uint64_t(cols_));
+    mix(g, uint64_t(nnz_));
+    mix(g, uint64_t(tile_h_));
+    mix(g, uint64_t(tile_w_));
+    for (uint64_t pn : panel_nnz_)
         mix(g, pn);
     fp.geom = g;
 
-    uint64_t s = coord_sum;
+    uint64_t s = coord_sum_;
     fp.coords = splitmix64(s);
     return fp;
+}
+
+PlanFingerprint
+fingerprintStructure(const CooMatrix& m, Index tile_h, Index tile_w)
+{
+    return FingerprintAccumulator(m, tile_h, tile_w).fingerprint();
 }
 
 PlanKey

@@ -28,9 +28,14 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "model/worker_traits.hpp"
 #include "sparse/coo.hpp"
+
+namespace hottiles {
+struct DeltaBatch;
+}
 
 namespace hottiles::serve {
 
@@ -56,6 +61,44 @@ struct PlanFingerprint
 /** Fingerprint @p m's structure under @p tile_h x @p tile_w tiling. */
 PlanFingerprint fingerprintStructure(const CooMatrix& m, Index tile_h,
                                      Index tile_w);
+
+/**
+ * The fingerprint's pre-hash state, kept live so a DeltaBatch can be
+ * chained through it in O(delta + panels) instead of re-scanning the
+ * matrix: the coordinate half is a commutative sum (exact +/- updates)
+ * and the geometry half re-runs its hash chain over the stored
+ * per-panel histogram.  fingerprint() after applyDelta() equals
+ * fingerprintStructure() on the patched matrix bit-for-bit, which is
+ * how a serve-layer delta invalidates exactly the affected cache
+ * entry and no other (docs/INCREMENTAL.md).
+ */
+class FingerprintAccumulator
+{
+  public:
+    FingerprintAccumulator() = default;
+
+    /** Seed the accumulator with @p m's structure (one O(nnz) pass). */
+    FingerprintAccumulator(const CooMatrix& m, Index tile_h, Index tile_w);
+
+    /**
+     * Chain @p d through the accumulator.  Trusts the batch contract
+     * (delta.hpp) — coordinate-set membership is not re-checked here;
+     * apply the delta through the owning pipeline first.
+     */
+    void applyDelta(const DeltaBatch& d);
+
+    /** The fingerprint of the current (post-delta) structure. */
+    PlanFingerprint fingerprint() const;
+
+    size_t nnz() const { return nnz_; }
+
+  private:
+    Index rows_ = 0, cols_ = 0;
+    Index tile_h_ = 0, tile_w_ = 0;
+    size_t nnz_ = 0;
+    uint64_t coord_sum_ = 0;
+    std::vector<uint64_t> panel_nnz_;
+};
 
 /**
  * Full plan-cache key: the structural fingerprint plus everything else

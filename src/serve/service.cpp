@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstring>
 #include <future>
@@ -205,7 +206,7 @@ PlanService::submit(ServeRequest req, ReplyCallback cb)
     item.work = [this, ctx] {
         FlightSlot& slot = *static_cast<FlightSlot*>(t_flight);
         ServeReply reply = handle(ctx->first, slot);
-        recordReply(reply);
+        recordReply(reply, ctx->first.tenant);
         ctx->second(reply);
         finish(reply);
     };
@@ -223,7 +224,7 @@ PlanService::submit(ServeRequest req, ReplyCallback cb)
     reply.id = ctx->first.id;
     reply.status = ServeStatus::Shed;
     reply.detail = admissionResultName(res);
-    recordReply(reply);
+    recordReply(reply, ctx->first.tenant);
     traceTransition("shed", reply.id);
     ctx->second(reply);
 }
@@ -344,8 +345,33 @@ PlanService::finish(const ServeReply&)
     done_cv_.notify_all();
 }
 
+std::string
+PlanService::tenantLabel(const std::string& tenant)
+{
+    std::lock_guard<std::mutex> lock(tenant_mu_);
+    auto it = tenant_labels_.find(tenant);
+    if (it != tenant_labels_.end())
+        return it->second;
+    // Metric names are permanent registry entries, so the distinct-label
+    // set is capped; later tenants share one overflow bucket.
+    constexpr size_t kMaxTenantLabels = 64;
+    if (tenant_labels_.size() >= kMaxTenantLabels)
+        return "overflow";  // not memoized: the map must stay bounded too
+    std::string label;
+    label.reserve(tenant.size());
+    for (char ch : tenant)
+        label.push_back(std::isalnum(static_cast<unsigned char>(ch)) ||
+                                ch == '-' || ch == '_'
+                            ? ch
+                            : '_');
+    if (label.empty())
+        label = "default";
+    tenant_labels_.emplace(tenant, label);
+    return label;
+}
+
 void
-PlanService::recordReply(const ServeReply& reply)
+PlanService::recordReply(const ServeReply& reply, const std::string& tenant)
 {
     MetricsRegistry& reg = MetricsRegistry::global();
     switch (reply.status) {
@@ -370,8 +396,16 @@ PlanService::recordReply(const ServeReply& reply)
         reg.counter("serve.error").add();
         break;
     }
-    if (reply.status != ServeStatus::Shed)
+    if (reply.status != ServeStatus::Shed) {
         reg.timer("serve.latency").observe(reply.latency_ms / 1e3);
+        // Per-tenant latency SLO distribution: the JSON snapshot reports
+        // p50/p90/p99 per bucket (serve.tenant.<id>.latency_ms).  Bin
+        // range is anchored to the service deadline — latencies past it
+        // clamp into the last bin, which is exactly the SLO-miss band.
+        reg.histogram("serve.tenant." + tenantLabel(tenant) + ".latency_ms",
+                      0.0, cfg_.default_deadline_ms, 64)
+            .observe(reply.latency_ms);
+    }
     if (reply.exec_class_failed) {
         n_exec_class_failures_.fetch_add(1, std::memory_order_relaxed);
         reg.counter("serve.exec_class_failures").add();

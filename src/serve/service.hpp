@@ -208,7 +208,9 @@ class PlanService
     ServeReply handle(const ServeRequest& req, FlightSlot& slot);
     std::shared_ptr<const CooMatrix> resolveMatrix(const ServeRequest& req);
     void finish(const ServeReply& reply);
-    void recordReply(const ServeReply& reply);
+    void recordReply(const ServeReply& reply, const std::string& tenant);
+    /** The bounded, sanitized metric label for @p tenant (SLO metrics). */
+    std::string tenantLabel(const std::string& tenant);
     void traceTransition(const char* event, uint64_t id);
 
     const ServiceConfig cfg_;
@@ -223,6 +225,12 @@ class PlanService
     std::mutex resolve_mu_;
     std::map<std::string, std::shared_ptr<const CooMatrix>> matrices_;
     std::map<std::string, std::shared_ptr<const Architecture>> archs_;
+
+    // Per-tenant SLO metric labels: sanitized, cardinality-capped
+    // (metric names live forever in the registry, so an unbounded
+    // tenant-id stream must collapse into one overflow bucket).
+    std::mutex tenant_mu_;
+    std::map<std::string, std::string> tenant_labels_;
 
     // Accepted-vs-finished accounting for drain().
     std::mutex done_mu_;

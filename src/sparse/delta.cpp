@@ -1,0 +1,153 @@
+#include "sparse/delta.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace hottiles {
+
+namespace {
+
+/** Pack a coordinate into one comparable/hashable word. */
+inline uint64_t
+coordKey(const CooMatrix& m, Index r, Index c)
+{
+    return uint64_t(r) * (uint64_t(m.cols()) + 1) + c;
+}
+
+} // namespace
+
+CooMatrix
+applyDeltaToCoo(const CooMatrix& m, const DeltaBatch& d)
+{
+    // Sorted (row, col) op lists; a coordinate may appear at most once
+    // across the whole batch.
+    std::vector<Nonzero> ins(d.inserts());
+    for (size_t i = 0; i < d.inserts(); ++i) {
+        HT_FATAL_IF(d.ins_rows[i] >= m.rows() || d.ins_cols[i] >= m.cols(),
+                    "delta insert (", d.ins_rows[i], ",", d.ins_cols[i],
+                    ") outside the ", m.rows(), "x", m.cols(), " matrix");
+        ins[i] = {d.ins_rows[i], d.ins_cols[i], d.ins_vals[i]};
+    }
+    std::sort(ins.begin(), ins.end(), rowMajorLess);
+    std::vector<Nonzero> del(d.deletes());
+    for (size_t i = 0; i < d.deletes(); ++i) {
+        HT_FATAL_IF(d.del_rows[i] >= m.rows() || d.del_cols[i] >= m.cols(),
+                    "delta delete (", d.del_rows[i], ",", d.del_cols[i],
+                    ") outside the ", m.rows(), "x", m.cols(), " matrix");
+        del[i] = {d.del_rows[i], d.del_cols[i], Value(0)};
+    }
+    std::sort(del.begin(), del.end(), rowMajorLess);
+    auto sameCoord = [](const Nonzero& a, const Nonzero& b) {
+        return a.row == b.row && a.col == b.col;
+    };
+    for (size_t i = 1; i < ins.size(); ++i)
+        HT_FATAL_IF(sameCoord(ins[i - 1], ins[i]), "duplicate delta insert (",
+                    ins[i].row, ",", ins[i].col, ")");
+    for (size_t i = 1; i < del.size(); ++i)
+        HT_FATAL_IF(sameCoord(del[i - 1], del[i]), "duplicate delta delete (",
+                    del[i].row, ",", del[i].col, ")");
+    {
+        // One coordinate must not be both deleted and inserted: that is
+        // a value update in disguise (CooMatrix::setValue).
+        size_t i = 0, j = 0;
+        while (i < ins.size() && j < del.size()) {
+            if (rowMajorLess(ins[i], del[j]))
+                ++i;
+            else if (rowMajorLess(del[j], ins[i]))
+                ++j;
+            else
+                HT_FATAL("delta both deletes and inserts (", ins[i].row, ",",
+                         ins[i].col, "); use setValue for value updates");
+        }
+    }
+
+    const CooMatrix* src = &m;
+    CooMatrix sorted;
+    if (!m.isRowMajorSorted()) {
+        sorted = m;
+        sorted.sortRowMajor();
+        src = &sorted;
+    }
+
+    HT_FATAL_IF(del.size() > src->nnz(), "delta deletes more nonzeros (",
+                del.size(), ") than the matrix holds (", src->nnz(), ")");
+    CooMatrix out(m.rows(), m.cols());
+    out.reserve(src->nnz() + ins.size() - del.size());
+
+    // Three-way sorted merge: existing nonzeros vs deletes (drop on
+    // match) vs inserts (emit in order; must not collide).
+    size_t di = 0, ii = 0;
+    const size_t n = src->nnz();
+    for (size_t i = 0; i < n; ++i) {
+        Nonzero cur{src->rowId(i), src->colId(i), src->value(i)};
+        while (ii < ins.size() && rowMajorLess(ins[ii], cur)) {
+            out.push(ins[ii].row, ins[ii].col, ins[ii].val);
+            ++ii;
+        }
+        HT_FATAL_IF(ii < ins.size() && sameCoord(ins[ii], cur),
+                    "delta inserts existing nonzero (", cur.row, ",", cur.col,
+                    ")");
+        if (di < del.size() && sameCoord(del[di], cur)) {
+            ++di;  // deleted
+            continue;
+        }
+        out.push(cur.row, cur.col, cur.val);
+    }
+    while (ii < ins.size()) {
+        out.push(ins[ii].row, ins[ii].col, ins[ii].val);
+        ++ii;
+    }
+    HT_FATAL_IF(di != del.size(), "delta deletes missing nonzero (",
+                del[di].row, ",", del[di].col, ")");
+    return out;
+}
+
+DeltaBatch
+genDeltaBatch(const CooMatrix& m, size_t n_inserts, size_t n_deletes,
+              uint64_t seed)
+{
+    HT_FATAL_IF(n_deletes > m.nnz(), "cannot delete ", n_deletes,
+                " nonzeros from a matrix with ", m.nnz());
+    HT_FATAL_IF(m.rows() == 0 || m.cols() == 0,
+                "cannot generate a delta for an empty-shape matrix");
+    const double open =
+        double(m.rows()) * double(m.cols()) - double(m.nnz());
+    HT_FATAL_IF(double(n_inserts) > open, "matrix too dense for ",
+                n_inserts, " fresh inserts");
+
+    std::unordered_set<uint64_t> occupied;
+    occupied.reserve(m.nnz() + n_inserts);
+    for (size_t i = 0; i < m.nnz(); ++i)
+        occupied.insert(coordKey(m, m.rowId(i), m.colId(i)));
+
+    Rng rng(splitmix64(seed));
+    DeltaBatch d;
+
+    // Deletes: distinct existing nonzero indices (rejection sampling —
+    // n_deletes <= nnz keeps the expected retry count bounded).
+    std::unordered_set<size_t> chosen;
+    chosen.reserve(n_deletes);
+    while (chosen.size() < n_deletes) {
+        size_t i = rng.nextBounded(m.nnz());
+        if (chosen.insert(i).second)
+            d.pushDelete(m.rowId(i), m.colId(i));
+    }
+
+    // Inserts: fresh coordinates, never colliding with existing
+    // nonzeros or each other.  Reinserting a just-deleted coordinate is
+    // also excluded (the batch contract forbids delete+insert pairs).
+    while (d.inserts() < n_inserts) {
+        Index r = static_cast<Index>(rng.nextBounded(m.rows()));
+        Index c = static_cast<Index>(rng.nextBounded(m.cols()));
+        if (!occupied.insert(coordKey(m, r, c)).second)
+            continue;
+        Value v = static_cast<Value>(rng.nextDouble(-1.0, 1.0));
+        d.pushInsert(r, c, v);
+    }
+    return d;
+}
+
+} // namespace hottiles

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Structural delta batches for dynamic sparse matrices.  Real SpMM
+ * workloads (graph updates, scRNA pipelines, embedding training) mutate
+ * the matrix between calls; a DeltaBatch captures one round of such
+ * mutations — nonzero insertions and deletions — so the preprocessing
+ * stack can patch its state incrementally instead of re-running the
+ * full scan -> model -> partition -> format pipeline
+ * (docs/INCREMENTAL.md).
+ *
+ * Contract: an insert names a coordinate that does NOT currently hold a
+ * nonzero; a delete names one that DOES.  A coordinate appears at most
+ * once per batch (a value update is CooMatrix::setValue, not a delta —
+ * values never affect structure, tiling, or the partition plan).  The
+ * matrix shape never changes.  Violations raise FatalError at apply
+ * time, never corrupt state.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+
+namespace hottiles {
+
+/** One batch of structural mutations (inserts + deletes). */
+struct DeltaBatch
+{
+    std::vector<Index> ins_rows;  //!< inserted coordinates (parallel arrays)
+    std::vector<Index> ins_cols;
+    std::vector<Value> ins_vals;
+    std::vector<Index> del_rows;  //!< deleted coordinates (parallel arrays)
+    std::vector<Index> del_cols;
+
+    size_t inserts() const { return ins_rows.size(); }
+    size_t deletes() const { return del_rows.size(); }
+    size_t size() const { return inserts() + deletes(); }
+    bool empty() const { return size() == 0; }
+
+    void
+    pushInsert(Index r, Index c, Value v)
+    {
+        ins_rows.push_back(r);
+        ins_cols.push_back(c);
+        ins_vals.push_back(v);
+    }
+
+    void
+    pushDelete(Index r, Index c)
+    {
+        del_rows.push_back(r);
+        del_cols.push_back(c);
+    }
+};
+
+/**
+ * Apply @p d to @p m and return the patched matrix, nonzeros sorted
+ * row-major.  This is the reference from-scratch path the incremental
+ * pipeline is pinned against: TileGrid(applyDeltaToCoo(m, d)) must be
+ * bit-identical to TileGrid(m) followed by applyDelta(d).
+ * @throws FatalError on any contract violation (insert of an existing
+ * coordinate, delete of a missing one, duplicate ops, out-of-bounds).
+ */
+CooMatrix applyDeltaToCoo(const CooMatrix& m, const DeltaBatch& d);
+
+/**
+ * Deterministic random batch generator for tests and benches: @p
+ * n_inserts fresh coordinates (value derived from the seed) plus
+ * @p n_deletes distinct existing nonzeros of @p m, collision-free by
+ * construction.  Pure function of (m, counts, seed).
+ * @pre the matrix has enough nonzeros to delete and enough empty
+ * positions to insert.
+ */
+DeltaBatch genDeltaBatch(const CooMatrix& m, size_t n_inserts,
+                         size_t n_deletes, uint64_t seed);
+
+} // namespace hottiles

@@ -18,6 +18,31 @@
 
 namespace hottiles {
 
+struct DeltaBatch;
+
+/**
+ * What TileGrid::applyDelta changed — the dirty-panel map downstream
+ * layers (model splice, partition re-eval, format patch) key off, plus
+ * the pre-patch tile directory shape so old tile indices can be mapped
+ * to new ones on clean panels (docs/INCREMENTAL.md).
+ */
+struct TileGridDelta
+{
+    /** panel_begin_ snapshot from before the patch (size numPanels()+1);
+     *  clean panel p's tile j maps old_panel_begin[p]+j -> new begin+j. */
+    std::vector<size_t> old_panel_begin;
+    size_t old_num_tiles = 0;
+    /** Per-panel dirty flag (size numPanels()); a panel is dirty iff the
+     *  batch touched at least one of its nonzeros. */
+    std::vector<uint8_t> panel_dirty;
+    std::vector<Index> dirty_panels;  //!< ascending list of dirty panels
+    size_t inserted = 0;
+    size_t deleted = 0;
+
+    bool panelDirty(Index p) const { return panel_dirty[p] != 0; }
+    bool empty() const { return dirty_panels.empty(); }
+};
+
 /** Statistics and extent of one (non-empty) sparse matrix tile. */
 struct Tile
 {
@@ -95,6 +120,19 @@ class TileGrid
      */
     CooMatrix gatherTiles(const std::vector<size_t>& tile_ids) const;
 
+    /**
+     * Patch the grid in place with one DeltaBatch: only the row panels
+     * the batch touches are re-tiled (per-tile merge + stats recompute);
+     * clean panels keep their tiles and have their nonzero ranges
+     * spliced over unchanged.  The result is bit-identical to
+     * constructing a fresh TileGrid from the patched matrix
+     * (TileGrid(applyDeltaToCoo(m, d), h, w)), including tile order,
+     * offsets and per-tile statistics.
+     * @throws FatalError on any batch-contract violation (delta.hpp);
+     * the grid is left unmodified in that case.
+     */
+    TileGridDelta applyDelta(const DeltaBatch& d);
+
   private:
     Index rows_ = 0;
     Index cols_ = 0;
@@ -107,6 +145,11 @@ class TileGrid
     std::vector<Index> tiled_rows_;
     std::vector<Index> tiled_cols_;
     std::vector<Value> tiled_vals_;
+
+    /** Retired directory buffers recycled by the next applyDelta, so a
+     *  steady update stream re-tiles without reallocating them. */
+    std::vector<Tile> tiles_scratch_;
+    std::vector<size_t> panel_begin_scratch_;
 };
 
 } // namespace hottiles

@@ -44,6 +44,7 @@
 #include "serve/plan_cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
+#include "sparse/delta.hpp"
 #include "sparse/generators.hpp"
 
 namespace hottiles::serve {
@@ -565,7 +566,9 @@ TEST(ServeService, WedgedBuildDegradesThroughWatchdog)
     auto m = testMatrix(55);
     ServiceConfig cfg;
     cfg.workers = 1;
-    cfg.default_deadline_ms = 600;
+    // Wide enough that the held-back degrade budget (1 - plan fraction)
+    // absorbs scheduler noise when the whole suite runs in parallel.
+    cfg.default_deadline_ms = 2000;
     cfg.chaos.seed = 1;  // enabled, but only wedges:
     cfg.chaos.p_wedge = 1.0;
     cfg.chaos.p_kill_class = 0;
@@ -574,7 +577,7 @@ TEST(ServeService, WedgedBuildDegradesThroughWatchdog)
     PlanService service(cfg);
 
     ServeRequest req = runRequest(m, 1);
-    req.deadline_ms = 600;
+    req.deadline_ms = 2000;
     ServeReply reply = service.call(req);
     EXPECT_EQ(reply.status, ServeStatus::Degraded)
         << "a wedged plan stage must degrade, not hang or die";
@@ -656,6 +659,85 @@ TEST(ServeService, TransitionsLandInMetricsRegistry)
               ServeStatus::Ok);
     EXPECT_EQ(reg.counter("serve.ok").value(), ok_before + 1);
     EXPECT_EQ(reg.counter("serve.requests").value(), requests_before + 1);
+    service.stop();
+}
+
+TEST(ServeTenantMetrics, PerTenantLatencyHistogramsRecorded)
+{
+    MetricsRegistry& reg = MetricsRegistry::global();
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    PlanService service(cfg);
+
+    auto tenant_req = [&](uint64_t id, const std::string& tenant) {
+        ServeRequest req = runRequest(testMatrix(55), id);
+        req.mode = RequestMode::Plan;
+        req.tenant = tenant;
+        return req;
+    };
+    const uint64_t alice_before =
+        reg.histogram("serve.tenant.alice.latency_ms", 0.0,
+                      cfg.default_deadline_ms, 64)
+            .histogram()
+            .total();
+    ASSERT_EQ(service.call(tenant_req(1, "alice")).status, ServeStatus::Ok);
+    ASSERT_EQ(service.call(tenant_req(2, "alice")).status, ServeStatus::Ok);
+    // Tenant ids are sanitized into bounded metric labels.
+    ASSERT_EQ(service.call(tenant_req(3, "bob/9")).status, ServeStatus::Ok);
+    service.stop();
+
+    EXPECT_EQ(reg.histogram("serve.tenant.alice.latency_ms", 0.0,
+                            cfg.default_deadline_ms, 64)
+                  .histogram()
+                  .total(),
+              alice_before + 2);
+    EXPECT_GE(reg.histogram("serve.tenant.bob_9.latency_ms", 0.0,
+                            cfg.default_deadline_ms, 64)
+                  .histogram()
+                  .total(),
+              1u);
+
+    // The JSON snapshot carries the SLO quantiles per tenant bucket.
+    std::ostringstream json;
+    reg.writeJson(json);
+    const std::string s = json.str();
+    EXPECT_NE(s.find("serve.tenant.alice.latency_ms"), std::string::npos);
+    EXPECT_NE(s.find("serve.tenant.bob_9.latency_ms"), std::string::npos);
+    EXPECT_NE(s.find("\"p50\""), std::string::npos);
+    EXPECT_NE(s.find("\"p99\""), std::string::npos);
+}
+
+TEST(IncrementalServe, DeltaInvalidatesExactlyTheAffectedPlan)
+{
+    // Two tenants with distinct structures are warm in the plan cache; a
+    // structural delta to one matrix must miss on its next request while
+    // the other tenant's plan — and the pre-delta structure's plan —
+    // stay warm (docs/INCREMENTAL.md).
+    auto ma = testMatrix(71);
+    auto mb = testMatrix(72);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    PlanService service(cfg);
+    auto plan_req = [&](std::shared_ptr<const CooMatrix> m, uint64_t id) {
+        ServeRequest req = runRequest(std::move(m), id);
+        req.mode = RequestMode::Plan;
+        return req;
+    };
+
+    ASSERT_EQ(service.call(plan_req(ma, 1)).plan_source, "miss");
+    ASSERT_EQ(service.call(plan_req(mb, 2)).plan_source, "miss");
+    ASSERT_EQ(service.call(plan_req(ma, 3)).plan_source, "hit");
+    ASSERT_EQ(service.call(plan_req(mb, 4)).plan_source, "hit");
+
+    DeltaBatch d = genDeltaBatch(*ma, 6, 6, 13);
+    auto patched = std::make_shared<CooMatrix>(applyDeltaToCoo(*ma, d));
+    EXPECT_EQ(service.call(plan_req(patched, 5)).plan_source, "miss")
+        << "a structural delta must change the plan-cache key";
+    EXPECT_EQ(service.call(plan_req(mb, 6)).plan_source, "hit")
+        << "an unrelated tenant's plan must stay warm across the delta";
+    EXPECT_EQ(service.call(plan_req(ma, 7)).plan_source, "hit")
+        << "the pre-delta structure itself is untouched";
+    EXPECT_EQ(service.call(plan_req(patched, 8)).plan_source, "hit");
     service.stop();
 }
 

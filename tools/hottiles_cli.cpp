@@ -31,6 +31,13 @@
  *       to stdout.  Plan caching, admission control, deadlines and the
  *       graceful-degradation ladder all live behind this command.
  *
+ *   hottiles update <matrix> [options]
+ *       Incremental-update demonstration (docs/INCREMENTAL.md): apply
+ *       random insert/delete batches through HotTiles::applyDelta,
+ *       verify each result bit-identical against from-scratch
+ *       preprocessing (plan, formats and SpMM output), and report the
+ *       incremental-vs-rebuild cost per round.
+ *
  * Exit codes (asserted by the CLI ctests):
  *   0  success
  *   1  runtime error (bad matrix file, simulation failure, ...)
@@ -69,6 +76,11 @@
  *   --corrupt-output  fault hook: flip one output value after the run
  *                so the verification pass must fail (exit 3); exists so
  *                the exit-code contract stays testable
+ * `update` options:
+ *   --updates N      delta rounds to apply              (default 3)
+ *   --inserts N      nonzero insertions per round       (default 64)
+ *   --deletes N      nonzero deletions per round        (default 64)
+ *   --delta-seed S   batch-generator seed               (default 7)
  * `serve` options:
  *   --workers N          request executor threads       (default 4)
  *   --queue-capacity N   admission queue slots          (default 64)
@@ -109,6 +121,7 @@
 #include "sim/fault_injector.hpp"
 #include "sim/trace.hpp"
 #include "sim/trace_json.hpp"
+#include "sparse/delta.hpp"
 #include "sparse/imh_stats.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/suite.hpp"
@@ -146,6 +159,11 @@ struct Options
     int fail_class = -1;  // -1 = no injected class fail-stop
     uint64_t fail_after = 0;
     bool corrupt_output = false;  // fault hook: force verify failure
+    // `update` command
+    uint64_t updates = 3;
+    uint64_t delta_inserts = 64;
+    uint64_t delta_deletes = 64;
+    uint64_t delta_seed = 7;
     // `serve` command
     unsigned serve_workers = 4;
     uint64_t serve_queue = 64;
@@ -189,8 +207,8 @@ parseF64Arg(const std::string& v, const char* what)
 usage(const char* argv0)
 {
     std::cerr << "usage: " << argv0
-              << " suite|analyze|partition|simulate|explore|run|serve "
-                 "<matrix> "
+              << " suite|analyze|partition|simulate|explore|run|serve|"
+                 "update <matrix> "
                  "[--arch A] [--kernel K] [--k N] [--ai X] [--tile N] "
                  "[--seed N] [--out F] [--load F] [--total N] "
                  "[--threads N] [--faults SPEC] [--fault-seed N] "
@@ -201,7 +219,9 @@ usage(const char* argv0)
                  "[--corrupt-output] "
                  "[--workers N] [--queue-capacity N] [--tenant-cap N] "
                  "[--cache-capacity N] [--deadline-ms X] "
-                 "[--max-retries N] [--chaos-seed N]\n"
+                 "[--max-retries N] [--chaos-seed N] "
+                 "[--updates N] [--inserts N] [--deletes N] "
+                 "[--delta-seed S]\n"
                  "<matrix> is a .mtx path or @name for a built-in proxy "
                  "(serve takes no matrix)\n";
     std::exit(kExitUsage);
@@ -309,6 +329,16 @@ parseArgs(int argc, char** argv)
                 parseU64Arg(next("--max-retries"), "--max-retries"));
         else if (a == "--chaos-seed")
             o.chaos_seed = parseU64Arg(next("--chaos-seed"), "--chaos-seed");
+        else if (a == "--updates") {
+            o.updates = parseU64Arg(next("--updates"), "--updates");
+            HT_FATAL_IF(o.updates == 0 || o.updates > 1024,
+                        "--updates must be in [1, 1024]");
+        } else if (a == "--inserts")
+            o.delta_inserts = parseU64Arg(next("--inserts"), "--inserts");
+        else if (a == "--deletes")
+            o.delta_deletes = parseU64Arg(next("--deletes"), "--deletes");
+        else if (a == "--delta-seed")
+            o.delta_seed = parseU64Arg(next("--delta-seed"), "--delta-seed");
         else
             HT_FATAL("unknown option '", a, "'");
     }
@@ -798,6 +828,78 @@ cmdServe(const Options& o)
 }
 
 int
+cmdUpdate(const Options& o)
+{
+    CooMatrix m = loadMatrix(o);
+    Architecture arch = calibrated(makeArch(o));
+    HotTilesOptions opts;
+    opts.kernel = makeKernel(o);
+    opts.iunaware_seed = o.seed;
+
+    double t0 = monotonicSeconds();
+    HotTiles ht(arch, m, opts);
+    std::cout << "initial preprocessing: "
+              << Table::num((monotonicSeconds() - t0) * 1e3, 3) << " ms, "
+              << ht.grid().numTiles() << " tiles\n";
+
+    DenseMatrix din(m.cols(), opts.kernel.k);
+    Rng rng(o.seed);
+    din.fillRandom(rng);
+
+    Table t({"Round", "Ops", "Dirty tiles", "Migrated", "Reused panels",
+             "Update ms", "Rebuild ms", "Speedup", "Identical"});
+    bool all_identical = true;
+    for (uint64_t round = 0; round < o.updates; ++round) {
+        DeltaBatch batch = genDeltaBatch(m, o.delta_inserts, o.delta_deletes,
+                                         o.delta_seed + round);
+        t0 = monotonicSeconds();
+        DeltaUpdateStats st = ht.applyDelta(batch);
+        const double update_ms = (monotonicSeconds() - t0) * 1e3;
+
+        m = applyDeltaToCoo(m, batch);
+        t0 = monotonicSeconds();
+        HotTiles fresh(arch, m, opts);
+        const double rebuild_ms = (monotonicSeconds() - t0) * 1e3;
+
+        bool identical = samePreprocessedState(ht, fresh);
+        if (identical) {
+            DenseMatrix out_inc = exec::referenceExecute(
+                ht.grid(), ht.partition(), opts.kernel, din);
+            DenseMatrix out_fresh = exec::referenceExecute(
+                fresh.grid(), fresh.partition(), opts.kernel, din);
+            identical =
+                out_inc.data().size() == out_fresh.data().size() &&
+                std::memcmp(out_inc.data().data(), out_fresh.data().data(),
+                            out_inc.data().size() * sizeof(Value)) == 0;
+        }
+        all_identical = all_identical && identical;
+
+        t.addRow({std::to_string(round), std::to_string(batch.size()),
+                  std::to_string(st.dirty_tiles),
+                  std::to_string(st.migrated_tiles),
+                  std::to_string(st.panels_reused) + "/" +
+                      std::to_string(st.panels_reused + st.panels_rebuilt),
+                  Table::num(update_ms, 3), Table::num(rebuild_ms, 3),
+                  Table::num(update_ms > 0 ? rebuild_ms / update_ms : 0, 2),
+                  identical ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::cout << "accumulated update time: "
+              << Table::num(ht.timing().update_s * 1e3, 3) << " ms over "
+              << o.updates << " round(s)\n";
+    if (!o.metrics_file.empty())
+        writeMetricsTo(o.metrics_file);
+    if (!all_identical) {
+        std::cerr << "verification failed: incremental update diverged "
+                     "from from-scratch preprocessing\n";
+        return kExitVerify;
+    }
+    std::cout << "verified: every round bit-identical to from-scratch "
+                 "preprocessing\n";
+    return kExitOk;
+}
+
+int
 cmdExplore(const Options& o)
 {
     CooMatrix m = loadMatrix(o);
@@ -844,6 +946,8 @@ main(int argc, char** argv)
             return cmdRun(o);
         if (o.command == "serve")
             return cmdServe(o);
+        if (o.command == "update")
+            return cmdUpdate(o);
         usage(argv[0]);
     } catch (const FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";
