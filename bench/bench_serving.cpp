@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -38,6 +39,7 @@
 #include "common/table.hpp"
 #include "core/preprocess.hpp"
 #include "serve/service.hpp"
+#include "sparse/delta.hpp"
 #include "sparse/generators.hpp"
 
 using namespace hottiles;
@@ -270,6 +272,254 @@ main(int argc, char** argv)
                                    serve::RequestMode::Run, mats, false));
     }
 
+    // Delta frames: one live session absorbing structural batches vs a
+    // cold service re-planning each patched matrix from scratch.  The
+    // whole point of cmd=delta is that patching the cached plan in
+    // place beats invalidate-and-rebuild by a wide margin.
+    double delta_mean_ms = 0, rebuild_mean_ms = 0;
+    uint64_t delta_checksum = 0, rebuild_checksum = 0;
+    {
+        const unsigned rounds = smoke ? 4 : 8;
+        const size_t batch_n = smoke ? 2 : 4;
+
+        serve::ServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.default_deadline_ms = 60000;
+        serve::PlanService live(cfg);
+
+        // The patch-vs-rebuild ratio only means something when the full
+        // scan -> model -> partition pipeline costs real time, so this
+        // scenario uses a much larger matrix than the throughput sweep
+        // (the bench_incremental RMAT shape, where a small delta dirties
+        // well under 1% of the tiles).
+        const Index drows = Index(1) << (smoke ? 17 : 18);
+        auto cur = std::make_shared<CooMatrix>(
+            genRmat(drows, size_t(16) * drows, 0.57, 0.19, 0.19, 0.05, 55));
+        auto sessionPlan = [&](uint64_t id) {
+            serve::ServeRequest req;
+            req.id = id;
+            req.matrix_data = cur;
+            req.matrix = "#bench-delta";
+            req.session = "bench-delta";
+            req.mode = serve::RequestMode::Plan;
+            req.kernel.k = 8;
+            req.deadline_ms = 60000;
+            return req;
+        };
+        serve::ServeReply created = live.call(sessionPlan(1));
+        HT_FATAL_IF(created.status != serve::ServeStatus::Ok,
+                    "delta scenario: session creation failed (",
+                    created.detail, ")");
+
+        // Untimed warmup delta: the first patch seeds the partition
+        // sweep cache at full cost (see bench_incremental), which is a
+        // one-time charge the steady state never pays again.
+        {
+            DeltaBatch warm = genDeltaBatch(*cur, batch_n, batch_n, 899);
+            auto frame = std::make_shared<serve::DeltaFrame>();
+            frame->batch = warm;
+            serve::ServeRequest req;
+            req.id = 99;
+            req.session = "bench-delta";
+            req.mode = serve::RequestMode::Delta;
+            req.kernel.k = 8;
+            req.deadline_ms = 60000;
+            req.delta = frame;
+            serve::ServeReply rep = live.call(req);
+            HT_FATAL_IF(rep.status != serve::ServeStatus::Ok,
+                        "delta scenario: warmup delta failed (",
+                        rep.detail, ")");
+            cur = std::make_shared<CooMatrix>(applyDeltaToCoo(*cur, warm));
+        }
+
+        Row drow;
+        drow.scenario = "delta-patch";
+        drow.clients = 1;
+        drow.requests = rounds;
+        std::vector<std::shared_ptr<const CooMatrix>> patched;
+        std::vector<double> dlat;
+        double t0 = monotonicSeconds();
+        for (unsigned r = 0; r < rounds; ++r) {
+            DeltaBatch batch =
+                genDeltaBatch(*cur, batch_n, batch_n, 900 + r);
+            auto frame = std::make_shared<serve::DeltaFrame>();
+            frame->batch = batch;
+            serve::ServeRequest req;
+            req.id = 100 + r;
+            req.session = "bench-delta";
+            req.mode = serve::RequestMode::Delta;
+            req.kernel.k = 8;
+            req.deadline_ms = 60000;
+            req.delta = frame;
+            double d0 = monotonicSeconds();
+            serve::ServeReply rep = live.call(req);
+            dlat.push_back((monotonicSeconds() - d0) * 1e3);
+            if (rep.status == serve::ServeStatus::Ok)
+                ++drow.ok;
+            else
+                ++drow.error;
+            // Client-side bookkeeping of the patched matrix (untimed):
+            // the cold baseline below re-plans these from scratch.
+            cur = std::make_shared<CooMatrix>(applyDeltaToCoo(*cur, batch));
+            patched.push_back(cur);
+        }
+        drow.wall_s = monotonicSeconds() - t0;
+        delta_checksum = live.call(sessionPlan(2)).checksum;
+        live.stop();
+        for (double l : dlat)
+            delta_mean_ms += l;
+        delta_mean_ms /= double(dlat.size());
+        drow.plans_per_sec =
+            drow.wall_s > 0 ? double(drow.ok) / drow.wall_s : 0;
+        std::sort(dlat.begin(), dlat.end());
+        drow.p50_ms = percentile(dlat, 0.50);
+        drow.p99_ms = percentile(dlat, 0.99);
+        rows.push_back(drow);
+
+        serve::ServiceConfig ccfg;
+        ccfg.workers = 1;
+        ccfg.cache_capacity = 0;  // every plan built from scratch
+        ccfg.default_deadline_ms = 60000;
+        serve::PlanService cold(ccfg);
+        Row crow;
+        crow.scenario = "delta-cold-rebuild";
+        crow.clients = 1;
+        crow.requests = rounds;
+        std::vector<double> clat;
+        t0 = monotonicSeconds();
+        for (size_t i = 0; i < patched.size(); ++i) {
+            serve::ServeRequest req;
+            req.id = 200 + i;
+            req.matrix_data = patched[i];
+            req.matrix = "#bench-delta";
+            req.mode = serve::RequestMode::Plan;
+            req.kernel.k = 8;
+            req.deadline_ms = 60000;
+            double c0 = monotonicSeconds();
+            serve::ServeReply rep = cold.call(req);
+            clat.push_back((monotonicSeconds() - c0) * 1e3);
+            if (rep.status == serve::ServeStatus::Ok)
+                ++crow.ok;
+            else
+                ++crow.error;
+            if (i + 1 == patched.size())
+                rebuild_checksum = rep.checksum;
+        }
+        crow.wall_s = monotonicSeconds() - t0;
+        cold.stop();
+        for (double l : clat)
+            rebuild_mean_ms += l;
+        rebuild_mean_ms /= double(clat.size());
+        crow.plans_per_sec =
+            crow.wall_s > 0 ? double(crow.ok) / crow.wall_s : 0;
+        std::sort(clat.begin(), clat.end());
+        crow.p50_ms = percentile(clat, 0.50);
+        crow.p99_ms = percentile(clat, 0.99);
+        rows.push_back(crow);
+    }
+
+    // Coalescing: one worker pinned by a blocker request, then N
+    // structurally identical Run requests — the first becomes the
+    // queued leader, the other N-1 must join it and share one build
+    // and one execution.
+    uint64_t co_joined = 0, co_builds = 0, co_flagged = 0;
+    bool co_checksums_equal = true;
+    unsigned co_twins = 0;
+    {
+        const unsigned twins = smoke ? 8 : 16;
+        co_twins = twins;
+        serve::ServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.queue_capacity = size_t(twins) + 8;
+        cfg.default_deadline_ms = 60000;
+        serve::PlanService service(cfg);
+
+        std::mutex mu;
+        std::condition_variable cv;
+        unsigned pending = 0;
+        std::vector<serve::ServeReply> replies;
+        auto submit = [&](serve::ServeRequest req) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                ++pending;
+            }
+            service.submit(std::move(req),
+                           [&](const serve::ServeReply& r) {
+                               std::lock_guard<std::mutex> lock(mu);
+                               replies.push_back(r);
+                               --pending;
+                               cv.notify_all();
+                           });
+        };
+
+        Row corow;
+        corow.scenario = "coalesce";
+        corow.clients = 1;
+        corow.requests = uint64_t(twins) + 1;
+        double t0 = monotonicSeconds();
+
+        serve::ServeRequest blocker;
+        blocker.id = 1;
+        blocker.matrix_data = mats[1];
+        blocker.matrix = "#bench-blocker";
+        blocker.mode = serve::RequestMode::Run;
+        blocker.kernel.k = 8;
+        blocker.deadline_ms = 60000;
+        submit(blocker);
+        for (unsigned i = 0; i < twins; ++i) {
+            serve::ServeRequest req;
+            req.id = 10 + i;
+            req.matrix_data = mats[0];
+            req.matrix = "#bench-coalesce";
+            req.mode = serve::RequestMode::Run;
+            req.kernel.k = 8;
+            req.seed = 7;
+            req.deadline_ms = 60000;
+            submit(req);
+        }
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return pending == 0; });
+        }
+        corow.wall_s = monotonicSeconds() - t0;
+
+        serve::ServiceStats st = service.stats();
+        co_joined = st.coalesced;
+        co_builds = st.cache.misses;  // blocker's + the twins' leader's
+        uint64_t ck = 0;
+        bool first = true;
+        std::vector<double> lats;
+        for (const serve::ServeReply& r : replies) {
+            lats.push_back(r.latency_ms);
+            switch (r.status) {
+            case serve::ServeStatus::Ok: ++corow.ok; break;
+            case serve::ServeStatus::Degraded: ++corow.degraded; break;
+            case serve::ServeStatus::Shed: ++corow.shed; break;
+            case serve::ServeStatus::Timeout: ++corow.timeout; break;
+            case serve::ServeStatus::Error: ++corow.error; break;
+            }
+            if (r.id < 10)
+                continue;  // the blocker is not a twin
+            if (first) {
+                ck = r.checksum;
+                first = false;
+            } else if (r.checksum != ck) {
+                co_checksums_equal = false;
+            }
+            if (r.coalesced)
+                ++co_flagged;
+        }
+        service.stop();
+        corow.plans_per_sec = corow.wall_s > 0
+                                  ? double(corow.ok + corow.degraded) /
+                                        corow.wall_s
+                                  : 0;
+        std::sort(lats.begin(), lats.end());
+        corow.p50_ms = percentile(lats, 0.50);
+        corow.p99_ms = percentile(lats, 0.99);
+        rows.push_back(corow);
+    }
+
     Table table({"Scenario", "Clients", "Requests", "Plans/s", "p50 ms",
                  "p99 ms", "Hit rate", "Shed rate"});
     for (const Row& r : rows)
@@ -283,6 +533,15 @@ main(int argc, char** argv)
     if (cold16 > 0)
         std::cout << "warm/cold plans-per-sec ratio at 16 clients: "
                   << Table::num(warm16 / cold16, 1) << "x\n";
+    if (delta_mean_ms > 0)
+        std::cout << "delta patch " << Table::num(delta_mean_ms, 2)
+                  << " ms vs cold rebuild "
+                  << Table::num(rebuild_mean_ms, 2) << " ms: "
+                  << Table::num(rebuild_mean_ms / delta_mean_ms, 1)
+                  << "x\n";
+    std::cout << "coalesce: " << co_joined << "/" << co_twins - 1
+              << " twins joined the leader, " << co_builds
+              << " build(s) total\n";
 
     writeJson(out_path, rows, smoke);
     std::cout << "wrote " << out_path << "\n";
@@ -309,6 +568,34 @@ main(int argc, char** argv)
                 failures.push_back(r.scenario +
                                    ": unexpected shed/error replies");
         }
+        if (delta_mean_ms <= 0 ||
+            rebuild_mean_ms < 3.0 * delta_mean_ms)
+            failures.push_back(
+                "delta round trip below 3x cold re-plan (" +
+                Table::num(delta_mean_ms > 0
+                               ? rebuild_mean_ms / delta_mean_ms
+                               : 0,
+                           2) +
+                "x)");
+        if (delta_checksum != rebuild_checksum)
+            failures.push_back(
+                "delta-patched plan checksum diverged from the cold "
+                "rebuild");
+        if (co_joined != co_twins - 1)
+            failures.push_back("coalesce: " + std::to_string(co_joined) +
+                               " twins joined, expected " +
+                               std::to_string(co_twins - 1));
+        if (co_builds > 2)
+            failures.push_back(
+                "coalesce: identical twins triggered " +
+                std::to_string(co_builds) + " builds (cap 2 incl. "
+                "blocker)");
+        if (co_flagged != co_twins - 1)
+            failures.push_back(
+                "coalesce: fanned-out replies not flagged coalesced");
+        if (!co_checksums_equal)
+            failures.push_back(
+                "coalesce: twin checksums diverged from the leader");
         if (!failures.empty()) {
             for (const auto& f : failures)
                 std::cerr << "CHECK FAILED: " << f << "\n";

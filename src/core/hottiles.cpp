@@ -281,6 +281,55 @@ HotTiles::predictedColdOnlyCycles() const
     return predictedHomogeneousCycles(ctx_, /*hot=*/false);
 }
 
+size_t
+HotTiles::patchValues(const ValueUpdateBatch& u)
+{
+    // Phase 1: resolve every coordinate (grid position + owning tile)
+    // up front so a bad entry throws before anything was written.
+    std::vector<size_t> pos(u.size()), tile(u.size());
+    for (size_t i = 0; i < u.size(); ++i) {
+        pos[i] = grid_->findNonzero(u.rows[i], u.cols[i], &tile[i]);
+        HT_FATAL_IF(pos[i] == SIZE_MAX, "value update at empty coordinate (",
+                    u.rows[i], ",", u.cols[i],
+                    "); structural changes are delta inserts");
+    }
+
+    // Phase 2: write.  The hot (tiled) format references the grid's
+    // value arrays through tile ids, so patching the grid covers it;
+    // the cold (untiled) format copies its values per panel and needs
+    // the matching PanelWork entry patched too.
+    for (size_t i = 0; i < u.size(); ++i) {
+        grid_->setTiledValue(pos[i], u.vals[i]);
+        if (!formats_built_ || partition_.is_hot[tile[i]])
+            continue;
+        const Index panel = grid_->tile(tile[i]).panel;
+        auto& panels = cold_format_.panels;
+        auto pit = std::lower_bound(
+            panels.begin(), panels.end(), panel,
+            [](const PanelWork& w, Index p) { return w.panel < p; });
+        HT_ASSERT(pit != panels.end() && pit->panel == panel,
+                  "cold tile's panel missing from the cold format");
+        // Panel nonzeros are row-major sorted (buildUntiledWork).
+        const Index r = u.rows[i], c = u.cols[i];
+        size_t lo = 0, hi = pit->rows.size();
+        while (lo < hi) {
+            size_t mid = lo + (hi - lo) / 2;
+            if (pit->rows[mid] < r ||
+                (pit->rows[mid] == r && pit->cols[mid] < c))
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        HT_ASSERT(lo < pit->rows.size() && pit->rows[lo] == r &&
+                      pit->cols[lo] == c,
+                  "cold nonzero missing from its PanelWork");
+        pit->vals[lo] = u.vals[i];
+    }
+    MetricsRegistry::global().counter("preprocess.value_patches")
+        .add(u.size());
+    return u.size();
+}
+
 const UntiledWork&
 HotTiles::coldFormat() const
 {

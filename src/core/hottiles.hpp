@@ -23,6 +23,8 @@
 
 namespace hottiles {
 
+struct ValueUpdateBatch;
+
 /** What one HotTiles::applyDelta call did (docs/INCREMENTAL.md). */
 struct DeltaUpdateStats
 {
@@ -122,6 +124,20 @@ class HotTiles
      * leaving the object unmodified.
      */
     DeltaUpdateStats applyDelta(const DeltaBatch& d);
+
+    /**
+     * Value-only fast path: overwrite the values of @p u's coordinates
+     * in the tiled arrays and, when formats were built, in the cold
+     * format's copied panel values — nothing else.  Values affect no
+     * tile statistic, model estimate, partition decision or fingerprint,
+     * so this skips every pipeline stage (including stage 1'-3' of
+     * applyDelta) and costs O(|u| log nnz).  The result is bit-identical
+     * to a from-scratch build of the value-updated matrix
+     * (applyValueUpdatesToCoo).  Every coordinate is validated before
+     * anything is written: on FatalError (an entry names an empty
+     * coordinate) the object is unmodified.  Returns the entry count.
+     */
+    size_t patchValues(const ValueUpdateBatch& u);
 
   private:
     Architecture arch_;

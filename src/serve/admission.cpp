@@ -60,6 +60,13 @@ AdmissionQueue::pop()
 }
 
 void
+AdmissionQueue::noteCoalesced(const std::string& tenant)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++tenants_[tenant].coalesced;
+}
+
+void
 AdmissionQueue::close()
 {
     {

@@ -47,6 +47,9 @@ struct TenantCounters
 {
     uint64_t admitted = 0;
     uint64_t shed = 0;
+    /** Requests that joined an in-flight twin instead of taking a queue
+     *  slot (request coalescing) — admitted work the queue never saw. */
+    uint64_t coalesced = 0;
     size_t queued = 0;  //!< currently occupied queue slots
 };
 
@@ -78,6 +81,10 @@ class AdmissionQueue
 
     /** Stop admitting; blocked pops drain the backlog then return. */
     void close();
+
+    /** Record that @p tenant's request coalesced onto an in-flight twin
+     *  (no queue slot consumed; see PlanService request coalescing). */
+    void noteCoalesced(const std::string& tenant);
 
     size_t depth() const;
     bool closed() const;

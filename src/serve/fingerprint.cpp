@@ -103,6 +103,21 @@ fingerprintStructure(const CooMatrix& m, Index tile_h, Index tile_w)
 }
 
 PlanKey
+makePlanKey(const PlanFingerprint& fp, const std::string& arch,
+            Index tile_h, Index tile_w, const KernelConfig& kernel)
+{
+    PlanKey key;
+    key.fp = fp;
+    key.arch = arch;
+    key.tile_h = tile_h;
+    key.tile_w = tile_w;
+    key.k = kernel.k;
+    key.kind = static_cast<uint32_t>(kernel.kind);
+    key.ai_factor = kernel.ai_factor;
+    return key;
+}
+
+PlanKey
 makePlanKey(const CooMatrix& m, const std::string& arch, Index tile_h,
             Index tile_w, const KernelConfig& kernel)
 {

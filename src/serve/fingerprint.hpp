@@ -146,4 +146,10 @@ struct PlanKey
 PlanKey makePlanKey(const CooMatrix& m, const std::string& arch,
                     Index tile_h, Index tile_w, const KernelConfig& kernel);
 
+/** Assemble a key from an already-known fingerprint — how a chained
+ *  FingerprintAccumulator (a serve session after a delta) re-keys its
+ *  patched plan without re-scanning the matrix. */
+PlanKey makePlanKey(const PlanFingerprint& fp, const std::string& arch,
+                    Index tile_h, Index tile_w, const KernelConfig& kernel);
+
 } // namespace hottiles::serve

@@ -144,6 +144,31 @@ PlanCache::getOrBuild(const PlanKey& key, const Builder& build,
 }
 
 void
+PlanCache::put(const PlanKey& key, CachedPlan plan)
+{
+    if (capacity_ == 0)
+        return;
+    plan.checksum = plan.payloadChecksum();
+    auto slot = std::make_shared<Slot>();
+    slot->building = false;
+    slot->plan = std::make_shared<const CachedPlan>(std::move(plan));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+        if (it->second->building)
+            return;  // the builder will publish an equivalent plan
+        it->second = slot;
+        touchLocked(key);
+    } else {
+        slots_[key] = slot;
+        lru_.push_front(key);
+        evictLocked();
+    }
+    ++stats_.puts;
+}
+
+void
 PlanCache::touchLocked(const PlanKey& key)
 {
     lru_.remove(key);

@@ -76,6 +76,7 @@ struct PlanCacheStats
     uint64_t shared_builds = 0;
     uint64_t evictions = 0;
     uint64_t corrupt_dropped = 0;
+    uint64_t puts = 0;  //!< plans published directly (delta patching)
 };
 
 class PlanCache
@@ -94,6 +95,17 @@ class PlanCache
     std::shared_ptr<const CachedPlan> getOrBuild(const PlanKey& key,
                                                  const Builder& build,
                                                  CacheOutcome* outcome);
+
+    /**
+     * Publish @p plan under @p key directly (its checksum is stamped
+     * here) — how a serve-session delta patches the cache in place
+     * instead of invalidating and rebuilding: the patched plan lands
+     * under the post-delta fingerprint before any request asks for it.
+     * Replaces a published entry for the key; a key some builder
+     * currently owns is left alone (the builder publishes an equivalent
+     * plan).  No-op at capacity 0.
+     */
+    void put(const PlanKey& key, CachedPlan plan);
 
     /** Resident (published) plans. */
     size_t size() const;

@@ -12,13 +12,23 @@
  * frame, which is how the CI smoke job drives the daemon.
  *
  * Request payload keys (space-separated `key=value`, no spaces in
- * values): `id tenant matrix arch mode kernel k ai deadline_ms seed`,
- * all optional except `matrix`.  Control frames use `cmd=` instead:
- * `cmd=stats` replies with the service counters, `cmd=shutdown` drains
- * and exits the loop.
+ * values): `id tenant matrix arch mode kernel k ai deadline_ms seed
+ * session`.  All are optional except that a request must carry a
+ * `matrix` or a `session`; duplicate keys are rejected, and
+ * `kernel=spmv` requires `k=1` (in either order).  Control frames use
+ * `cmd=` instead: `cmd=stats` replies with the service counters,
+ * `cmd=shutdown` drains and exits the loop, and `cmd=delta` carries a
+ * session mutation:
+ *
+ *   cmd=delta session=S [id= tenant= deadline_ms=]
+ *       [ins=r:c:v;...] [del=r:c;...] [upd=r:c:v;...]
+ *
+ * where `ins`/`del` are structural inserts/deletes (sparse/delta.hpp
+ * contract) and `upd` is the value-only fast path.  See
+ * docs/SERVING.md for the full delta semantics.
  *
  * Reply payload keys: `id status plan_source detail latency_ms retries
- * checksum predicted_cycles exec_class_failed`.
+ * checksum predicted_cycles exec_class_failed coalesced`.
  */
 
 #include <iosfwd>
@@ -28,7 +38,12 @@
 
 namespace hottiles::serve {
 
-/** Wrap @p payload in a length-prefixed frame. */
+/**
+ * Wrap @p payload in a length-prefixed frame.
+ * @throws FatalError when the payload exceeds the 64 MiB frame cap (a
+ * larger payload would overflow the fixed 8-hex-digit prefix and could
+ * silently desync the stream).
+ */
 std::string encodeFrame(const std::string& payload);
 
 /**
@@ -37,8 +52,21 @@ std::string encodeFrame(const std::string& payload);
  */
 bool readFrame(std::istream& in, std::string& payload);
 
-/** Parse a request payload. @throws FatalError on unknown/invalid keys. */
+/** Parse a request payload. @throws FatalError on unknown, invalid or
+ *  duplicate keys, and on cross-field contradictions (kernel=spmv with
+ *  k != 1, neither matrix nor session). */
 ServeRequest parseRequest(const std::string& payload);
+
+/**
+ * Parse a `cmd=delta` payload into a RequestMode::Delta request.
+ * @throws FatalError on malformed entries, duplicate keys, indices out
+ * of range, non-finite values, or a missing session.
+ */
+ServeRequest parseDeltaRequest(const std::string& payload);
+
+/** Serialize a Delta request back to its `cmd=delta` payload form
+ *  (exact value round-trip; the inverse of parseDeltaRequest). */
+std::string formatDeltaRequest(const ServeRequest& req);
 
 /** Serialize a reply to its payload form. */
 std::string formatReply(const ServeReply& reply);

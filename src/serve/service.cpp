@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <future>
+#include <shared_mutex>
 #include <utility>
 
 #include "arch/arch_config.hpp"
@@ -131,7 +133,80 @@ planFromPartition(const HotTiles& ht)
     return plan;
 }
 
+/** The session-map key of one tenant's named session. */
+std::string
+sessionMapKey(const std::string& tenant, const std::string& session)
+{
+    return tenant + '\x1f' + session;
+}
+
+bool
+sameKernel(const KernelConfig& a, const KernelConfig& b)
+{
+    return a.k == b.k && a.kind == b.kind && a.ai_factor == b.ai_factor;
+}
+
+/**
+ * Identity of a Run request for coalescing: two requests with equal
+ * keys would build the same plan, execute the same values with the same
+ * Din, and produce bit-identical replies.  Matrix identity is by handle
+ * (the matrix string, or the matrix_data pointer for in-process
+ * clients); session runs fold in tenant + session, since sessions are
+ * tenant-scoped.  The deadline is included so a joiner never inherits a
+ * tighter (or looser) degradation budget than it asked for.
+ */
+std::string
+coalesceKey(const ServeRequest& req)
+{
+    char head[96];
+    std::snprintf(head, sizeof head, "%p|%u|%u|%.17g|%llu|%.17g",
+                  static_cast<const void*>(req.matrix_data.get()),
+                  req.kernel.k, static_cast<unsigned>(req.kernel.kind),
+                  req.kernel.ai_factor,
+                  static_cast<unsigned long long>(req.seed),
+                  req.deadline_ms);
+    std::string key = head;
+    key += '\x1f';
+    key += req.matrix;
+    key += '\x1f';
+    key += req.arch;
+    if (!req.session.empty()) {
+        key += '\x1f';
+        key += req.tenant;
+        key += '\x1f';
+        key += req.session;
+    }
+    return key;
+}
+
 } // namespace
+
+/** One live per-tenant session: the delta-patched preprocessed state,
+ *  the chained fingerprint, and the plan published under it.  Runs take
+ *  the lock shared; deltas (which mutate the grid in place) exclusive. */
+struct PlanService::SessionState
+{
+    std::shared_mutex mu;
+    std::string arch_spec;
+    std::shared_ptr<const Architecture> arch;
+    std::unique_ptr<HotTiles> ht;
+    FingerprintAccumulator acc;
+    KernelConfig kernel;
+    PlanKey key;
+    std::shared_ptr<const CachedPlan> plan;
+};
+
+/** Joiners of one in-flight Run: the leader fans its reply out here. */
+struct PlanService::CoalesceGroup
+{
+    struct Joiner
+    {
+        uint64_t id = 0;
+        std::string tenant;
+        ReplyCallback cb;
+    };
+    std::vector<Joiner> joiners;
+};
 
 const char*
 serveStatusName(ServeStatus s)
@@ -199,20 +274,74 @@ PlanService::submit(ServeRequest req, ReplyCallback cb)
     n_submitted_.fetch_add(1, std::memory_order_relaxed);
     MetricsRegistry::global().counter("serve.requests").add();
 
+    // Run coalescing: a request structurally identical to one already
+    // in flight joins its group instead of taking a queue slot; the
+    // leader's work fans the shared reply out (docs/SERVING.md).
+    const bool coalescible =
+        cfg_.coalesce_runs && req.mode == RequestMode::Run;
+    const std::string ckey = coalescible ? coalesceKey(req) : std::string();
+
     auto ctx = std::make_shared<std::pair<ServeRequest, ReplyCallback>>(
         std::move(req), std::move(cb));
     AdmissionQueue::Item item;
     item.tenant = ctx->first.tenant;
-    item.work = [this, ctx] {
+    item.work = [this, ctx, ckey, coalescible] {
         FlightSlot& slot = *static_cast<FlightSlot*>(t_flight);
         ServeReply reply = handle(ctx->first, slot);
+        // Detach the group before any reply goes out: a twin arriving
+        // after this point starts a fresh group (and likely a cache
+        // hit) instead of joining a group that already replied.
+        std::vector<CoalesceGroup::Joiner> joiners;
+        if (coalescible) {
+            std::lock_guard<std::mutex> lock(coalesce_mu_);
+            auto it = inflight_.find(ckey);
+            if (it != inflight_.end()) {
+                joiners = std::move(it->second->joiners);
+                inflight_.erase(it);
+            }
+        }
         recordReply(reply, ctx->first.tenant);
         ctx->second(reply);
         finish(reply);
+        for (CoalesceGroup::Joiner& j : joiners) {
+            ServeReply twin = reply;
+            twin.id = j.id;
+            twin.coalesced = true;
+            recordReply(twin, j.tenant);
+            traceTransition("coalesced", twin.id);
+            j.cb(twin);
+            finish(twin);
+        }
     };
 
-    AdmissionResult res = stopped_.load() ? AdmissionResult::Closed
-                                          : queue_.tryPush(std::move(item));
+    AdmissionResult res;
+    if (coalescible) {
+        std::unique_lock<std::mutex> clock(coalesce_mu_);
+        auto it = inflight_.find(ckey);
+        if (it != inflight_.end()) {
+            it->second->joiners.push_back({ctx->first.id, ctx->first.tenant,
+                                           std::move(ctx->second)});
+            clock.unlock();
+            n_coalesced_.fetch_add(1, std::memory_order_relaxed);
+            MetricsRegistry::global().counter("serve.coalesced").add();
+            queue_.noteCoalesced(ctx->first.tenant);
+            std::lock_guard<std::mutex> lock(done_mu_);
+            ++accepted_;  // drain() waits for the fan-out
+            return;
+        }
+        // Leader: admit first; only an admitted leader opens a group
+        // (a shed leader must not strand joiners).  Holding coalesce_mu_
+        // across tryPush keeps lock order coalesce_mu_ -> queue, and a
+        // worker finishing this key blocks on coalesce_mu_ until the
+        // group is visible.
+        res = stopped_.load() ? AdmissionResult::Closed
+                              : queue_.tryPush(std::move(item));
+        if (res == AdmissionResult::Admitted)
+            inflight_.emplace(ckey, std::make_shared<CoalesceGroup>());
+    } else {
+        res = stopped_.load() ? AdmissionResult::Closed
+                              : queue_.tryPush(std::move(item));
+    }
     if (res == AdmissionResult::Admitted) {
         std::lock_guard<std::mutex> lock(done_mu_);
         ++accepted_;
@@ -271,6 +400,13 @@ PlanService::stats() const
     s.retries = n_retries_.load();
     s.watchdog_trips = n_watchdog_trips_.load();
     s.exec_class_failures = n_exec_class_failures_.load();
+    s.coalesced = n_coalesced_.load();
+    s.deltas = n_deltas_.load();
+    s.value_patches = n_value_patches_.load();
+    {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        s.sessions = sessions_.size();
+    }
     s.cache = cache_.stats();
     return s;
 }
@@ -335,6 +471,36 @@ PlanService::resolveMatrix(const ServeRequest& req)
     std::lock_guard<std::mutex> lock(resolve_mu_);
     auto [it, inserted] = matrices_.emplace(req.matrix, std::move(m));
     return it->second;
+}
+
+std::shared_ptr<const Architecture>
+PlanService::resolveArch(const std::string& spec)
+{
+    {
+        std::lock_guard<std::mutex> lock(resolve_mu_);
+        auto it = archs_.find(spec);
+        if (it != archs_.end())
+            return it->second;
+    }
+    Architecture a = calibrated(archFromSpec(spec));
+    std::lock_guard<std::mutex> lock(resolve_mu_);
+    return archs_
+        .emplace(spec, std::make_shared<Architecture>(std::move(a)))
+        .first->second;
+}
+
+std::shared_ptr<const HotTiles>
+PlanService::sessionState(const std::string& tenant,
+                          const std::string& session)
+{
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(sessionMapKey(tenant, session));
+    if (it == sessions_.end() || !it->second->ht)
+        return nullptr;
+    // Aliasing constructor: the HotTiles pointer keeps the whole
+    // session alive.
+    return std::shared_ptr<const HotTiles>(it->second,
+                                           it->second->ht.get());
 }
 
 void
@@ -424,6 +590,11 @@ PlanService::traceTransition(const char* event, uint64_t id)
 ServeReply
 PlanService::handle(const ServeRequest& req, FlightSlot& slot)
 {
+    if (req.mode == RequestMode::Delta)
+        return handleDelta(req, slot);
+    if (!req.session.empty())
+        return handleSession(req, slot);
+
     ServeReply reply;
     reply.id = req.id;
 
@@ -459,20 +630,7 @@ PlanService::handle(const ServeRequest& req, FlightSlot& slot)
     std::shared_ptr<const Architecture> arch;
     try {
         matrix = resolveMatrix(req);
-        {
-            std::lock_guard<std::mutex> lock(resolve_mu_);
-            auto it = archs_.find(req.arch);
-            if (it != archs_.end())
-                arch = it->second;
-        }
-        if (!arch) {
-            Architecture a = calibrated(archFromSpec(req.arch));
-            std::lock_guard<std::mutex> lock(resolve_mu_);
-            arch = archs_
-                       .emplace(req.arch,
-                                std::make_shared<Architecture>(std::move(a)))
-                       .first->second;
-        }
+        arch = resolveArch(req.arch);
     } catch (const FatalError&) {
         return done(ServeStatus::Error, "bad-input");
     }
@@ -644,6 +802,247 @@ PlanService::handle(const ServeRequest& req, FlightSlot& slot)
     } catch (const FatalError&) {
         return done(ServeStatus::Error, "exec-failed");
     }
+}
+
+ServeReply
+PlanService::handleSession(const ServeRequest& req, FlightSlot& slot)
+{
+    ServeReply reply;
+    reply.id = req.id;
+
+    const double start = nowSeconds();
+    const double deadline_ms =
+        req.deadline_ms > 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+    const double deadline_s = start + deadline_ms / 1e3;
+    auto remaining = [&] { return deadline_s - nowSeconds(); };
+    auto arm = [&](double stage_deadline) {
+        slot.cancelled.store(false, std::memory_order_relaxed);
+        slot.stage_deadline_s.store(stage_deadline,
+                                    std::memory_order_relaxed);
+        slot.active.store(true, std::memory_order_release);
+    };
+    auto done = [&](ServeStatus status, const char* detail) {
+        slot.active.store(false, std::memory_order_release);
+        reply.status = status;
+        if (detail)
+            reply.detail = detail;
+        reply.latency_ms = (nowSeconds() - start) * 1e3;
+        traceTransition(serveStatusName(status), req.id);
+        return reply;
+    };
+
+    arm(deadline_s);
+
+    const std::string skey = sessionMapKey(req.tenant, req.session);
+    std::shared_ptr<SessionState> s;
+    bool create = false;
+    {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        auto it = sessions_.find(skey);
+        if (it != sessions_.end()) {
+            s = it->second;
+        } else {
+            if (cfg_.max_sessions == 0 ||
+                sessions_.size() >= cfg_.max_sessions)
+                return done(ServeStatus::Error, "session-limit");
+            s = std::make_shared<SessionState>();
+            sessions_.emplace(skey, s);
+            create = true;
+        }
+    }
+
+    if (create) {
+        // First use builds the session's live state under its exclusive
+        // lock; a concurrent request for the same session blocks on the
+        // shared lock below until the state is ready (or gone).
+        std::unique_lock<std::shared_mutex> wlock(s->mu);
+        auto evict = [&] {
+            std::lock_guard<std::mutex> lock(sessions_mu_);
+            sessions_.erase(skey);
+        };
+        try {
+            std::shared_ptr<const CooMatrix> matrix = resolveMatrix(req);
+            std::shared_ptr<const Architecture> arch = resolveArch(req.arch);
+            HotTilesOptions opts;
+            opts.kernel = req.kernel;
+            opts.build_formats = cfg_.session_formats;
+            // The hook outlives this frame (applyDelta fires it on every
+            // later delta), so it must not capture frame locals: the
+            // thread-local flight slot is whichever request is running.
+            opts.progress = [](const char*) {
+                auto* fs = static_cast<FlightSlot*>(t_flight);
+                if (fs && fs->cancelled.load(std::memory_order_acquire))
+                    throw BuildCancelled{"watchdog"};
+            };
+            s->ht = std::make_unique<HotTiles>(*arch, *matrix, opts);
+            s->acc = FingerprintAccumulator(*matrix, arch->tile_height,
+                                            arch->tile_width);
+            s->arch_spec = req.arch;
+            s->arch = arch;
+            s->kernel = req.kernel;
+            s->key = makePlanKey(s->acc.fingerprint(), req.arch,
+                                 arch->tile_height, arch->tile_width,
+                                 req.kernel);
+            CachedPlan plan = planFromPartition(*s->ht);
+            cache_.put(s->key, plan);  // stamps plan.checksum
+            plan.checksum = plan.payloadChecksum();
+            s->plan = std::make_shared<const CachedPlan>(std::move(plan));
+            MetricsRegistry::global().counter("serve.sessions").add();
+            traceTransition("session.create", req.id);
+        } catch (const BuildCancelled& c) {
+            s->ht.reset();
+            evict();
+            return done(ServeStatus::Timeout, c.reason);
+        } catch (const FatalError&) {
+            s->ht.reset();
+            evict();
+            return done(ServeStatus::Error, "bad-input");
+        }
+    }
+
+    std::shared_lock<std::shared_mutex> rlock(s->mu);
+    if (!s->ht)  // a concurrent creator failed and evicted the session
+        return done(ServeStatus::Error, "no-session");
+    if (req.arch != s->arch_spec)
+        return done(ServeStatus::Error, "session-arch-mismatch");
+    if (!sameKernel(req.kernel, s->kernel))
+        return done(ServeStatus::Error, "session-kernel-mismatch");
+
+    reply.plan_source = "session";
+    reply.predicted_cycles = s->plan->predicted_cycles;
+    if (req.mode == RequestMode::Plan) {
+        reply.checksum = s->plan->checksum;
+        return done(ServeStatus::Ok, nullptr);
+    }
+
+    // Run mode executes straight off the live grid + partition — no
+    // per-run rescan, which is the point of keeping the session hot.
+    if (req.kernel.kind == SparseKernel::Sddmm)
+        return done(ServeStatus::Error, "sddmm-not-executable");
+    if (remaining() <= 0)
+        return done(ServeStatus::Timeout, "deadline");
+    arm(deadline_s);
+    const ChaosPlan chaos(cfg_.chaos, req.id);
+    try {
+        exec::NativeExecOptions eo;
+        eo.policy = kernels::Policy::Golden;
+        eo.hot_share_hint = s->plan->hot_share_hint;
+        eo.collect_unit_times = false;
+        if (chaos.fail_class >= 0) {
+            eo.fail_class = chaos.fail_class;
+            eo.fail_after_tasks = chaos.fail_after;
+            traceTransition("chaos.kill_class", req.id);
+        }
+        const TileGrid& grid = s->ht->grid();
+        DenseMatrix din(grid.matrixCols(), req.kernel.k);
+        Rng value_rng(req.seed);
+        din.fillRandom(value_rng);
+        exec::ExecReport report;
+        auto backend = exec::makeNativeCpuBackend(eo);
+        DenseMatrix out = backend->run(grid, s->ht->partition(), req.kernel,
+                                       din, &report);
+        reply.checksum = denseChecksum(out);
+        reply.exec_class_failed = report.class_failed;
+        return done(ServeStatus::Ok, nullptr);
+    } catch (const FatalError&) {
+        return done(ServeStatus::Error, "exec-failed");
+    }
+}
+
+ServeReply
+PlanService::handleDelta(const ServeRequest& req, FlightSlot& slot)
+{
+    ServeReply reply;
+    reply.id = req.id;
+
+    const double start = nowSeconds();
+    const double deadline_ms =
+        req.deadline_ms > 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+    const double deadline_s = start + deadline_ms / 1e3;
+    auto remaining = [&] { return deadline_s - nowSeconds(); };
+    auto done = [&](ServeStatus status, const char* detail) {
+        slot.active.store(false, std::memory_order_release);
+        reply.status = status;
+        if (detail)
+            reply.detail = detail;
+        reply.latency_ms = (nowSeconds() - start) * 1e3;
+        traceTransition(serveStatusName(status), req.id);
+        return reply;
+    };
+    slot.cancelled.store(false, std::memory_order_relaxed);
+    slot.stage_deadline_s.store(deadline_s, std::memory_order_relaxed);
+    slot.active.store(true, std::memory_order_release);
+
+    if (!req.delta)
+        return done(ServeStatus::Error, "bad-delta");
+    std::shared_ptr<SessionState> s;
+    {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        auto it = sessions_.find(sessionMapKey(req.tenant, req.session));
+        if (it != sessions_.end())
+            s = it->second;
+    }
+    if (!s)
+        return done(ServeStatus::Error, "no-session");
+
+    std::unique_lock<std::shared_mutex> wlock(s->mu);
+    if (!s->ht)
+        return done(ServeStatus::Error, "no-session");
+    if (remaining() <= 0)
+        return done(ServeStatus::Timeout, "deadline");
+
+    const DeltaFrame& frame = *req.delta;
+    if (!frame.batch.empty()) {
+        // Structural path: patch the preprocessed state incrementally,
+        // chain the fingerprint, and republish the plan under the
+        // post-delta key — the cached plan is patched in place instead
+        // of invalidated and rebuilt.
+        try {
+            s->ht->applyDelta(frame.batch);
+        } catch (const BuildCancelled& c) {
+            return done(ServeStatus::Timeout, c.reason);  // unmodified
+        } catch (const FatalError&) {
+            return done(ServeStatus::Error, "bad-delta");  // unmodified
+        }
+        s->acc.applyDelta(frame.batch);
+        s->key.fp = s->acc.fingerprint();
+        CachedPlan plan = planFromPartition(*s->ht);
+        cache_.put(s->key, plan);
+        plan.checksum = plan.payloadChecksum();
+        s->plan = std::make_shared<const CachedPlan>(std::move(plan));
+        n_deltas_.fetch_add(1, std::memory_order_relaxed);
+        MetricsRegistry::global().counter("serve.delta").add();
+        traceTransition("session.delta", req.id);
+        reply.plan_source = "delta-patch";
+    }
+    if (!frame.updates.empty()) {
+        // Value-only fast path: straight to grid/format value patching;
+        // fingerprint, partition and cache key are untouched by design.
+        // patchValues validates every coordinate before writing, so a
+        // bad entry leaves the session unmodified by this phase (the
+        // structural half above, if any, stays applied — the detail
+        // token tells the client which).
+        try {
+            s->ht->patchValues(frame.updates);
+        } catch (const FatalError&) {
+            return done(ServeStatus::Error, frame.batch.empty()
+                                                ? "bad-values"
+                                                : "bad-values-after-delta");
+        }
+        n_value_patches_.fetch_add(frame.updates.size(),
+                                   std::memory_order_relaxed);
+        MetricsRegistry::global()
+            .counter("serve.value_patches")
+            .add(frame.updates.size());
+        traceTransition("session.value_patch", req.id);
+        if (frame.valueOnly())
+            reply.plan_source = "value-patch";
+    }
+    if (frame.empty())
+        reply.plan_source = "value-patch";  // no-op: nothing to patch
+    reply.predicted_cycles = s->plan->predicted_cycles;
+    reply.checksum = s->plan->checksum;
+    return done(ServeStatus::Ok, nullptr);
 }
 
 } // namespace hottiles::serve

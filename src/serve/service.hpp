@@ -42,10 +42,12 @@
 #include "serve/admission.hpp"
 #include "serve/plan_cache.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/delta.hpp"
 #include "sparse/dense.hpp"
 
 namespace hottiles {
 struct Architecture;
+class HotTiles;
 class ThreadPool;
 class TraceSink;
 }
@@ -67,8 +69,24 @@ const char* serveStatusName(ServeStatus s);
 /** What a request asks for. */
 enum class RequestMode
 {
-    Plan, //!< preprocess only: fingerprint, partition, predicted cycles
-    Run,  //!< plan + native execution, replies with the result checksum
+    Plan,  //!< preprocess only: fingerprint, partition, predicted cycles
+    Run,   //!< plan + native execution, replies with the result checksum
+    Delta, //!< patch a session's live state in place (cmd=delta frames)
+};
+
+/**
+ * One round of session mutations — the `cmd=delta` payload.  Structural
+ * ops (the DeltaBatch, delta.hpp contract) apply first and re-key the
+ * cached plan under the post-delta fingerprint; value updates apply
+ * after and touch nothing but stored values (the value-only fast path).
+ */
+struct DeltaFrame
+{
+    DeltaBatch batch;          //!< structural inserts/deletes
+    ValueUpdateBatch updates;  //!< pure value overwrites
+
+    bool valueOnly() const { return batch.empty(); }
+    bool empty() const { return batch.empty() && updates.empty(); }
 };
 
 /** One request, as parsed off the wire or built in process. */
@@ -85,6 +103,13 @@ struct ServeRequest
     KernelConfig kernel;
     double deadline_ms = 0;  //!< 0 = the service default
     uint64_t seed = 42;      //!< Din generation seed (Run mode)
+    /** Named per-tenant session.  A plan/run request naming a session
+     *  creates it on first use (from `matrix`) and afterwards executes
+     *  against its live, delta-patched state; delta requests require
+     *  it.  Empty = the classic stateless path. */
+    std::string session;
+    /** The mutations of a Delta request (unused otherwise). */
+    std::shared_ptr<const DeltaFrame> delta;
 };
 
 /** The single reply every request receives. */
@@ -102,6 +127,8 @@ struct ServeReply
     uint64_t checksum = 0;    //!< Run: output checksum; Plan: plan checksum
     double predicted_cycles = 0;
     bool exec_class_failed = false;  //!< native fail-stop was survived
+    /** This reply was fanned out from a coalesced twin's execution. */
+    bool coalesced = false;
 };
 
 /** Deterministic chaos-mode knobs (seed 0 = chaos off). */
@@ -134,6 +161,17 @@ struct ServiceConfig
      *  fresh build and degrades immediately (deadline pressure). */
     double fresh_floor_ms = 2.0;
     double watchdog_period_ms = 1.0;
+    /** Join structurally-identical in-flight Run requests onto one
+     *  build + execution and fan the reply out (request coalescing). */
+    bool coalesce_runs = true;
+    /** Live per-tenant sessions the service will hold (0 = sessions
+     *  disabled; session requests reply ERROR session-limit). */
+    size_t max_sessions = 64;
+    /** Build worker formats for session state eagerly.  Costs the
+     *  format stage at session creation, but value-only deltas then
+     *  patch the formats too, and tests can compare sessions against
+     *  from-scratch builds with samePreprocessedState. */
+    bool session_formats = false;
     ChaosConfig chaos;
     TraceSink* trace = nullptr;     //!< optional transition trace sink
 };
@@ -150,6 +188,10 @@ struct ServiceStats
     uint64_t retries = 0;
     uint64_t watchdog_trips = 0;
     uint64_t exec_class_failures = 0;
+    uint64_t coalesced = 0;      //!< requests that joined an in-flight twin
+    uint64_t deltas = 0;         //!< structural delta frames applied
+    uint64_t value_patches = 0;  //!< value-only updates applied
+    uint64_t sessions = 0;       //!< live sessions (gauge, not monotonic)
     PlanCacheStats cache;
 
     uint64_t completed() const { return ok + degraded + timeout + error; }
@@ -194,7 +236,19 @@ class PlanService
     PlanCache& cache() { return cache_; }
     const AdmissionQueue& admission() const { return queue_; }
 
+    /**
+     * The live preprocessed state of @p tenant's @p session, or null
+     * when no such session exists.  The returned pointer keeps the
+     * session alive but is NOT synchronized against concurrent deltas —
+     * drain() first.  Test/diagnostic access only.
+     */
+    std::shared_ptr<const HotTiles> sessionState(const std::string& tenant,
+                                                 const std::string& session);
+
   private:
+    struct SessionState;
+    struct CoalesceGroup;
+
     struct FlightSlot
     {
         std::atomic<bool> active{false};
@@ -206,7 +260,10 @@ class PlanService
     void workerLoop(unsigned slot_idx);
     void watchdogLoop();
     ServeReply handle(const ServeRequest& req, FlightSlot& slot);
+    ServeReply handleDelta(const ServeRequest& req, FlightSlot& slot);
+    ServeReply handleSession(const ServeRequest& req, FlightSlot& slot);
     std::shared_ptr<const CooMatrix> resolveMatrix(const ServeRequest& req);
+    std::shared_ptr<const Architecture> resolveArch(const std::string& spec);
     void finish(const ServeReply& reply);
     void recordReply(const ServeReply& reply, const std::string& tenant);
     /** The bounded, sanitized metric label for @p tenant (SLO metrics). */
@@ -226,6 +283,18 @@ class PlanService
     std::map<std::string, std::shared_ptr<const CooMatrix>> matrices_;
     std::map<std::string, std::shared_ptr<const Architecture>> archs_;
 
+    // Per-tenant sessions: live HotTiles state + chained fingerprint,
+    // keyed by tenant '\x1f' session.  Each session carries its own
+    // reader/writer lock (runs share, deltas exclusive).
+    mutable std::mutex sessions_mu_;
+    std::map<std::string, std::shared_ptr<SessionState>> sessions_;
+
+    // In-flight Run coalescing: identity key -> the group joiners
+    // append to.  The leader removes the group before fanning out, so
+    // a late twin starts a new group instead of joining a dead one.
+    std::mutex coalesce_mu_;
+    std::map<std::string, std::shared_ptr<CoalesceGroup>> inflight_;
+
     // Per-tenant SLO metric labels: sanitized, cardinality-capped
     // (metric names live forever in the registry, so an unbounded
     // tenant-id stream must collapse into one overflow bucket).
@@ -242,7 +311,8 @@ class PlanService
     std::atomic<bool> stopped_{false};
     std::atomic<uint64_t> n_submitted_{0}, n_ok_{0}, n_degraded_{0},
         n_shed_{0}, n_timeout_{0}, n_error_{0}, n_retries_{0},
-        n_watchdog_trips_{0}, n_exec_class_failures_{0};
+        n_watchdog_trips_{0}, n_exec_class_failures_{0}, n_coalesced_{0},
+        n_deltas_{0}, n_value_patches_{0};
 };
 
 } // namespace hottiles::serve

@@ -1,6 +1,7 @@
 #include "sparse/delta.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/error.hpp"
@@ -18,6 +19,33 @@ coordKey(const CooMatrix& m, Index r, Index c)
 }
 
 } // namespace
+
+CooMatrix
+applyValueUpdatesToCoo(const CooMatrix& m, const ValueUpdateBatch& u)
+{
+    std::unordered_map<uint64_t, size_t> index_of;
+    index_of.reserve(m.nnz());
+    for (size_t i = 0; i < m.nnz(); ++i)
+        index_of.emplace(coordKey(m, m.rowId(i), m.colId(i)), i);
+    // Resolve every coordinate before writing anything, so a bad entry
+    // leaves the (copied) result untouched semantically and the caller's
+    // input untouched always.
+    std::vector<size_t> targets(u.size());
+    for (size_t i = 0; i < u.size(); ++i) {
+        HT_FATAL_IF(u.rows[i] >= m.rows() || u.cols[i] >= m.cols(),
+                    "value update (", u.rows[i], ",", u.cols[i],
+                    ") outside the ", m.rows(), "x", m.cols(), " matrix");
+        auto it = index_of.find(coordKey(m, u.rows[i], u.cols[i]));
+        HT_FATAL_IF(it == index_of.end(), "value update at empty coordinate (",
+                    u.rows[i], ",", u.cols[i], "); structural changes are ",
+                    "delta inserts, not value updates");
+        targets[i] = it->second;
+    }
+    CooMatrix out = m;
+    for (size_t i = 0; i < u.size(); ++i)
+        out.setValue(targets[i], u.vals[i]);
+    return out;
+}
 
 CooMatrix
 applyDeltaToCoo(const CooMatrix& m, const DeltaBatch& d)

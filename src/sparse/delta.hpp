@@ -57,6 +57,41 @@ struct DeltaBatch
 };
 
 /**
+ * One batch of pure value overwrites: each entry names a coordinate
+ * that currently holds a nonzero and its replacement value.  Values
+ * affect neither tiling nor the partition plan, so a value-only update
+ * skips the whole structural pipeline and patches the stored values
+ * directly (HotTiles::patchValues, the serve layer's value-only fast
+ * path).  Entries apply in order; a repeated coordinate is last-wins.
+ */
+struct ValueUpdateBatch
+{
+    std::vector<Index> rows;  //!< updated coordinates (parallel arrays)
+    std::vector<Index> cols;
+    std::vector<Value> vals;
+
+    size_t size() const { return rows.size(); }
+    bool empty() const { return rows.empty(); }
+
+    void
+    push(Index r, Index c, Value v)
+    {
+        rows.push_back(r);
+        cols.push_back(c);
+        vals.push_back(v);
+    }
+};
+
+/**
+ * Apply @p u to a copy of @p m (same nonzero order) — the reference
+ * path value-only fast updates are pinned against.
+ * @throws FatalError when an entry names an empty coordinate, leaving
+ * the input untouched.
+ */
+CooMatrix applyValueUpdatesToCoo(const CooMatrix& m,
+                                 const ValueUpdateBatch& u);
+
+/**
  * Apply @p d to @p m and return the patched matrix, nonzeros sorted
  * row-major.  This is the reference from-scratch path the incremental
  * pipeline is pinned against: TileGrid(applyDeltaToCoo(m, d)) must be

@@ -192,6 +192,49 @@ TileGrid::panelTiles(Index p) const
     return {panel_begin_[p], panel_begin_[p + 1]};
 }
 
+size_t
+TileGrid::findNonzero(Index r, Index c, size_t* tile_out) const
+{
+    if (r >= rows_ || c >= cols_)
+        return SIZE_MAX;
+    const Index tc = c / tile_w_;
+    auto [first, last] = panelTiles(r / tile_h_);
+    // Tiles of a panel are sorted by tile column.
+    size_t lo = first, hi = last;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (tiles_[mid].tcol < tc)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo == last || tiles_[lo].tcol != tc)
+        return SIZE_MAX;
+    // Within a tile, nonzeros are sorted by (row, col).
+    const Tile& t = tiles_[lo];
+    size_t a = t.offset, b = t.offset + t.nnz;
+    while (a < b) {
+        size_t mid = a + (b - a) / 2;
+        if (tiled_rows_[mid] < r ||
+            (tiled_rows_[mid] == r && tiled_cols_[mid] < c))
+            a = mid + 1;
+        else
+            b = mid;
+    }
+    if (a == t.offset + t.nnz || tiled_rows_[a] != r || tiled_cols_[a] != c)
+        return SIZE_MAX;
+    if (tile_out)
+        *tile_out = lo;
+    return a;
+}
+
+void
+TileGrid::setTiledValue(size_t pos, Value v)
+{
+    HT_ASSERT(pos < tiled_vals_.size(), "tiled position out of range");
+    tiled_vals_[pos] = v;
+}
+
 double
 TileGrid::tileNnzCv() const
 {

@@ -121,6 +121,23 @@ class TileGrid
     CooMatrix gatherTiles(const std::vector<size_t>& tile_ids) const;
 
     /**
+     * Position of the nonzero at (@p r, @p c) in the tiled-order arrays,
+     * or SIZE_MAX when that coordinate is empty (or out of bounds).
+     * When @p tile_out is non-null it receives the owning tile's index.
+     * Two binary searches (tile column within the panel, coordinate
+     * within the tile) — O(log tiles + log nnz-per-tile), no allocation.
+     */
+    size_t findNonzero(Index r, Index c, size_t* tile_out = nullptr) const;
+
+    /**
+     * Overwrite the value at tiled-array position @p pos (from
+     * findNonzero).  Values affect neither the tiling nor any per-tile
+     * statistic, so this is the whole of a value-only update at the grid
+     * level — no re-tiling, no dirty panels (docs/INCREMENTAL.md).
+     */
+    void setTiledValue(size_t pos, Value v);
+
+    /**
      * Patch the grid in place with one DeltaBatch: only the row panels
      * the batch touches are re-tiled (per-tile merge + stats recompute);
      * clean panels keep their tiles and have their nonzero ranges

@@ -22,6 +22,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <set>
@@ -46,6 +48,7 @@
 #include "serve/service.hpp"
 #include "sparse/delta.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/suite.hpp"
 
 namespace hottiles::serve {
 namespace {
@@ -826,6 +829,470 @@ TEST(ServeChaos, StopWithInFlightRequestsNeverHangs)
     ServeReply late = service.call(runRequest(m, 99));
     EXPECT_EQ(late.status, ServeStatus::Shed);
     EXPECT_EQ(late.detail, "closed");
+}
+
+// ------------------------------------------------------------- sessions
+
+/** A Plan request that names a session (creates it on first use). */
+ServeRequest
+sessionPlan(std::shared_ptr<const CooMatrix> m, uint64_t id,
+            const std::string& session)
+{
+    ServeRequest req = runRequest(std::move(m), id);
+    req.mode = RequestMode::Plan;
+    req.session = session;
+    return req;
+}
+
+/** A Run request against an existing session (no matrix needed). */
+ServeRequest
+sessionRun(uint64_t id, const std::string& session, uint64_t seed)
+{
+    ServeRequest req;
+    req.id = id;
+    req.arch = kArch;
+    req.mode = RequestMode::Run;
+    req.kernel.k = 8;
+    req.deadline_ms = 30000;
+    req.session = session;
+    req.seed = seed;
+    return req;
+}
+
+/** A Delta request carrying @p frame for @p session. */
+ServeRequest
+deltaRequest(uint64_t id, const std::string& session, DeltaFrame frame)
+{
+    ServeRequest req;
+    req.id = id;
+    req.arch = kArch;
+    req.mode = RequestMode::Delta;
+    req.deadline_ms = 30000;
+    req.session = session;
+    req.delta = std::make_shared<const DeltaFrame>(std::move(frame));
+    return req;
+}
+
+TEST(ServeDelta, SessionDeltaPatchesPlanBitIdentically)
+{
+    auto m = testMatrix(41);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.session_formats = true;
+    PlanService service(cfg);
+
+    ServeReply created = service.call(sessionPlan(m, 1, "s1"));
+    ASSERT_EQ(created.status, ServeStatus::Ok);
+    EXPECT_EQ(created.plan_source, "session");
+
+    DeltaBatch d = genDeltaBatch(*m, 6, 6, 13);
+    DeltaFrame frame;
+    frame.batch = d;
+    ServeReply patched = service.call(deltaRequest(2, "s1", frame));
+    ASSERT_EQ(patched.status, ServeStatus::Ok);
+    EXPECT_EQ(patched.plan_source, "delta-patch");
+
+    // The patched live state must be indistinguishable from a
+    // from-scratch build over the patched matrix.
+    service.drain();
+    auto live = service.sessionState("default", "s1");
+    ASSERT_TRUE(live);
+    CooMatrix patched_coo = applyDeltaToCoo(*m, d);
+    HotTilesOptions opts;
+    opts.kernel.k = 8;
+    opts.build_formats = true;
+    HotTiles fresh(testArch(), patched_coo, opts);
+    EXPECT_TRUE(samePreprocessedState(*live, fresh))
+        << "delta patch must equal the from-scratch rebuild";
+
+    // The delta republished the plan under the post-delta fingerprint:
+    // a stateless Plan request for the patched structure hits the cache.
+    auto patched_m = std::make_shared<CooMatrix>(patched_coo);
+    ServeRequest stateless = runRequest(patched_m, 3);
+    stateless.mode = RequestMode::Plan;
+    EXPECT_EQ(service.call(stateless).plan_source, "hit")
+        << "the patched plan must be cached under its new key";
+
+    // And a session Run matches the serial reference on the patched
+    // matrix bit for bit.
+    ServeReply run = service.call(sessionRun(4, "s1", 5));
+    ASSERT_EQ(run.status, ServeStatus::Ok);
+    EXPECT_EQ(run.plan_source, "session");
+    KernelConfig k8;
+    k8.k = 8;
+    EXPECT_EQ(run.checksum, expectedOkChecksum(patched_coo, k8, 5));
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.deltas, 1u);
+    EXPECT_EQ(stats.sessions, 1u);
+    service.stop();
+}
+
+TEST(ServeDelta, ValueOnlyFastPathSkipsReplanning)
+{
+    auto m = testMatrix(42);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.session_formats = true;
+    PlanService service(cfg);
+    ASSERT_EQ(service.call(sessionPlan(m, 1, "v1")).status,
+              ServeStatus::Ok);
+
+    // Overwrite the first five stored values in place.
+    ValueUpdateBatch u;
+    for (size_t i = 0; i < 5; ++i)
+        u.push(m->rowId(i), m->colId(i), static_cast<Value>(i) + 0.5f);
+    DeltaFrame frame;
+    frame.updates = u;
+    ServeReply patched = service.call(deltaRequest(2, "v1", frame));
+    ASSERT_EQ(patched.status, ServeStatus::Ok);
+    EXPECT_EQ(patched.plan_source, "value-patch");
+
+    ServeReply run = service.call(sessionRun(3, "v1", 7));
+    ASSERT_EQ(run.status, ServeStatus::Ok);
+    KernelConfig k8;
+    k8.k = 8;
+    EXPECT_EQ(run.checksum,
+              expectedOkChecksum(applyValueUpdatesToCoo(*m, u), k8, 7));
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.value_patches, 5u);
+    EXPECT_EQ(stats.deltas, 0u)
+        << "a value-only frame must not take the structural path";
+
+    // An empty frame is a no-op value patch, not an error.
+    ServeReply noop = service.call(deltaRequest(4, "v1", DeltaFrame{}));
+    EXPECT_EQ(noop.status, ServeStatus::Ok);
+    EXPECT_EQ(noop.plan_source, "value-patch");
+    service.stop();
+}
+
+TEST(ServeDelta, BadDeltaLeavesSessionUsable)
+{
+    auto m = testMatrix(43);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.session_formats = true;
+    PlanService service(cfg);
+    ASSERT_EQ(service.call(sessionPlan(m, 1, "b1")).status,
+              ServeStatus::Ok);
+
+    // Inserting an existing nonzero violates the DeltaBatch contract
+    // and must fail cleanly without mutating the session.
+    DeltaFrame bad;
+    bad.batch.pushInsert(m->rowId(0), m->colId(0), 1.0f);
+    ServeReply rejected = service.call(deltaRequest(2, "b1", bad));
+    EXPECT_EQ(rejected.status, ServeStatus::Error);
+    EXPECT_EQ(rejected.detail, "bad-delta");
+
+    // A value update at an empty coordinate likewise (genDeltaBatch's
+    // insert coordinates are guaranteed absent from the matrix).
+    DeltaBatch d = genDeltaBatch(*m, 1, 0, 99);
+    DeltaFrame bad_vals;
+    bad_vals.updates.push(d.ins_rows[0], d.ins_cols[0], 2.0f);
+    ServeReply rejected2 = service.call(deltaRequest(3, "b1", bad_vals));
+    EXPECT_EQ(rejected2.status, ServeStatus::Error);
+    EXPECT_EQ(rejected2.detail, "bad-values");
+
+    // The session is untouched: still identical to a fresh build of the
+    // original matrix, and still serving correct results.
+    service.drain();
+    auto live = service.sessionState("default", "b1");
+    ASSERT_TRUE(live);
+    HotTilesOptions opts;
+    opts.kernel.k = 8;
+    opts.build_formats = true;
+    HotTiles fresh(testArch(), *m, opts);
+    EXPECT_TRUE(samePreprocessedState(*live, fresh))
+        << "a rejected delta must leave the session unmodified";
+
+    DeltaBatch good = genDeltaBatch(*m, 4, 4, 17);
+    DeltaFrame frame;
+    frame.batch = good;
+    ASSERT_EQ(service.call(deltaRequest(4, "b1", frame)).status,
+              ServeStatus::Ok);
+    ServeReply run = service.call(sessionRun(5, "b1", 9));
+    ASSERT_EQ(run.status, ServeStatus::Ok);
+    KernelConfig k8;
+    k8.k = 8;
+    EXPECT_EQ(run.checksum,
+              expectedOkChecksum(applyDeltaToCoo(*m, good), k8, 9));
+    service.stop();
+}
+
+TEST(ServeDelta, SessionLimitsAndMismatchesError)
+{
+    auto m = testMatrix(44);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.max_sessions = 1;
+    PlanService service(cfg);
+    ASSERT_EQ(service.call(sessionPlan(m, 1, "only")).status,
+              ServeStatus::Ok);
+
+    ServeReply overflow = service.call(sessionPlan(m, 2, "second"));
+    EXPECT_EQ(overflow.status, ServeStatus::Error);
+    EXPECT_EQ(overflow.detail, "session-limit");
+
+    ServeRequest wrong_k = sessionRun(3, "only", 1);
+    wrong_k.kernel.k = 16;
+    ServeReply rk = service.call(wrong_k);
+    EXPECT_EQ(rk.status, ServeStatus::Error);
+    EXPECT_EQ(rk.detail, "session-kernel-mismatch");
+
+    ServeRequest wrong_arch = sessionRun(4, "only", 1);
+    wrong_arch.arch = "piuma";
+    ServeReply ra = service.call(wrong_arch);
+    EXPECT_EQ(ra.status, ServeStatus::Error);
+    EXPECT_EQ(ra.detail, "session-arch-mismatch");
+
+    DeltaFrame frame;
+    frame.batch.pushDelete(m->rowId(0), m->colId(0));
+    ServeReply ghost = service.call(deltaRequest(5, "ghost", frame));
+    EXPECT_EQ(ghost.status, ServeStatus::Error);
+    EXPECT_EQ(ghost.detail, "no-session");
+
+    ServeRequest no_frame;
+    no_frame.id = 6;
+    no_frame.mode = RequestMode::Delta;
+    no_frame.session = "only";
+    no_frame.deadline_ms = 30000;
+    ServeReply nf = service.call(no_frame);
+    EXPECT_EQ(nf.status, ServeStatus::Error);
+    EXPECT_EQ(nf.detail, "bad-delta");
+    service.stop();
+
+    ServiceConfig off;
+    off.workers = 1;
+    off.max_sessions = 0;
+    PlanService disabled(off);
+    ServeReply r = disabled.call(sessionPlan(m, 7, "any"));
+    EXPECT_EQ(r.status, ServeStatus::Error);
+    EXPECT_EQ(r.detail, "session-limit");
+    disabled.stop();
+}
+
+// ----------------------------------------------------------- coalescing
+
+TEST(ServeCoalesce, IdenticalConcurrentRunsBuildOnce)
+{
+    auto m = testMatrix(51);
+    auto blocker_m = testMatrix(52);
+    ServiceConfig cfg;
+    cfg.workers = 1;  // serializes: twins pile up while the leader waits
+    PlanService service(cfg);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+    std::vector<ServeReply> replies;
+    auto submit = [&](ServeRequest req) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++pending;
+        }
+        service.submit(std::move(req), [&](const ServeReply& r) {
+            std::lock_guard<std::mutex> lock(mu);
+            replies.push_back(r);
+            --pending;
+            cv.notify_all();
+        });
+    };
+
+    // The blocker occupies the only worker, so the leader twin and its
+    // five joiners are all enqueued before any of them runs.
+    submit(runRequest(blocker_m, 100));
+    const int kTwins = 6;
+    for (int i = 0; i < kTwins; ++i)
+        submit(runRequest(m, static_cast<uint64_t>(i + 1)));
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return pending == 0; });
+    }
+
+    KernelConfig k8;
+    k8.k = 8;
+    const uint64_t want = expectedOkChecksum(*m, k8, 42);
+    int coalesced_flags = 0;
+    for (const ServeReply& r : replies) {
+        if (r.id >= 100)
+            continue;  // the blocker
+        EXPECT_EQ(r.status, ServeStatus::Ok);
+        EXPECT_EQ(r.checksum, want)
+            << "fanned-out replies must be bit-identical";
+        if (r.coalesced)
+            ++coalesced_flags;
+    }
+    EXPECT_EQ(coalesced_flags, kTwins - 1);
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.coalesced, static_cast<uint64_t>(kTwins - 1));
+    EXPECT_EQ(stats.cache.misses, 2u)
+        << "exactly one build for the twins (plus the blocker's)";
+    EXPECT_EQ(stats.ok, static_cast<uint64_t>(kTwins + 1));
+    service.stop();
+}
+
+TEST(ServeCoalesce, DisabledConfigNeverCoalesces)
+{
+    auto m = testMatrix(53);
+    auto blocker_m = testMatrix(54);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.coalesce_runs = false;
+    PlanService service(cfg);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+    auto submit = [&](ServeRequest req) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++pending;
+        }
+        service.submit(std::move(req), [&](const ServeReply& r) {
+            EXPECT_FALSE(r.coalesced);
+            std::lock_guard<std::mutex> lock(mu);
+            --pending;
+            cv.notify_all();
+        });
+    };
+    submit(runRequest(blocker_m, 100));
+    for (int i = 0; i < 4; ++i)
+        submit(runRequest(m, static_cast<uint64_t>(i + 1)));
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return pending == 0; });
+    }
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.coalesced, 0u);
+    // Twins behind the leader still reuse its plan — via the cache.
+    EXPECT_EQ(stats.cache.misses, 2u);
+    EXPECT_EQ(stats.cache.hits, 3u);
+    service.stop();
+}
+
+TEST(ServeCoalesce, DifferentSeedsDoNotCoalesce)
+{
+    auto m = testMatrix(55);
+    auto blocker_m = testMatrix(56);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    PlanService service(cfg);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+    std::vector<ServeReply> replies;
+    auto submit = [&](ServeRequest req) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++pending;
+        }
+        service.submit(std::move(req), [&](const ServeReply& r) {
+            std::lock_guard<std::mutex> lock(mu);
+            replies.push_back(r);
+            --pending;
+            cv.notify_all();
+        });
+    };
+    submit(runRequest(blocker_m, 100));
+    for (int i = 0; i < 3; ++i) {
+        ServeRequest req = runRequest(m, static_cast<uint64_t>(i + 1));
+        req.seed = static_cast<uint64_t>(1000 + i);  // distinct Din
+        submit(std::move(req));
+    }
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return pending == 0; });
+    }
+    EXPECT_EQ(service.stats().coalesced, 0u)
+        << "a different seed means a different Din: never coalesce";
+    KernelConfig k8;
+    k8.k = 8;
+    for (const ServeReply& r : replies) {
+        if (r.id >= 100)
+            continue;
+        ASSERT_EQ(r.status, ServeStatus::Ok);
+        EXPECT_EQ(r.checksum,
+                  expectedOkChecksum(*m, k8, 1000 + (r.id - 1)))
+            << "each seed's run must match its own reference";
+    }
+    service.stop();
+}
+
+// ------------------------------------------------- daemon delta round trip
+
+TEST(ServeDaemon, DeltaFramesRoundTripOverTheWire)
+{
+    // Drive the daemon loop end to end over in-memory streams: create a
+    // session on a suite matrix, patch it with a wire-format delta, and
+    // check the post-delta Run against the serial reference.
+    CooMatrix base = makeSuiteMatrix("nd2");
+
+    // Build the delta programmatically so the insert hits a guaranteed
+    // empty coordinate and the update hits a real nonzero.
+    DeltaBatch d = genDeltaBatch(base, 3, 3, 7);
+    ValueUpdateBatch u;
+    u.push(base.rowId(0), base.colId(0), 0.75f);
+    ServeRequest wire_delta;
+    wire_delta.id = 2;
+    wire_delta.session = "d1";
+    wire_delta.deadline_ms = 30000;
+    auto frame = std::make_shared<DeltaFrame>();
+    frame->batch = d;
+    wire_delta.delta = frame;
+    ServeRequest wire_update;
+    wire_update.id = 3;
+    wire_update.session = "d1";
+    wire_update.deadline_ms = 30000;
+    auto uframe = std::make_shared<DeltaFrame>();
+    uframe->updates = u;
+    wire_update.delta = uframe;
+
+    std::stringstream in;
+    in << encodeFrame("id=1 matrix=@nd2 session=d1 mode=plan k=8 "
+                      "deadline_ms=30000")
+       << encodeFrame(formatDeltaRequest(wire_delta))
+       << encodeFrame(formatDeltaRequest(wire_update))
+       << encodeFrame("id=4 session=d1 mode=run k=8 seed=11 "
+                      "deadline_ms=30000")
+       << encodeFrame("cmd=shutdown");
+
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    PlanService service(cfg);
+    std::ostringstream out;
+    EXPECT_EQ(runServeLoop(in, out, service), 4u);
+    service.stop();
+
+    // Every reply is OK, and the final Run checksum equals the serial
+    // reference over the patched matrix.
+    std::map<uint64_t, std::string> by_id;
+    {
+        std::istringstream replies(out.str());
+        std::string payload;
+        while (readFrame(replies, payload)) {
+            unsigned long long id = 0;
+            std::sscanf(payload.c_str(), "id=%llu", &id);
+            by_id[id] = payload;
+        }
+    }
+    ASSERT_EQ(by_id.size(), 4u);
+    for (const auto& [id, payload] : by_id)
+        EXPECT_NE(payload.find("status=OK"), std::string::npos)
+            << "id " << id << ": " << payload;
+    EXPECT_NE(by_id[2].find("plan_source=delta-patch"), std::string::npos);
+    EXPECT_NE(by_id[3].find("plan_source=value-patch"), std::string::npos);
+
+    CooMatrix patched = applyValueUpdatesToCoo(applyDeltaToCoo(base, d), u);
+    KernelConfig k8;
+    k8.k = 8;
+    char want[32];
+    std::snprintf(want, sizeof want, "checksum=%016llx",
+                  static_cast<unsigned long long>(
+                      expectedOkChecksum(patched, k8, 11)));
+    EXPECT_NE(by_id[4].find(want), std::string::npos)
+        << "wire-patched session must serve the reference checksum";
 }
 
 } // namespace

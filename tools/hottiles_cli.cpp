@@ -89,6 +89,9 @@
  *   --deadline-ms X      default request deadline       (default 1000)
  *   --max-retries N      transient-failure retries      (default 2)
  *   --chaos-seed N       enable deterministic chaos mode (0 = off)
+ *   --no-coalesce        disable in-flight Run request coalescing
+ *   --max-sessions N     live delta sessions, 0 = off   (default 64)
+ *   --session-formats    build session worker formats eagerly
  */
 
 #include <charconv>
@@ -171,6 +174,9 @@ struct Options
     uint64_t serve_cache = 128;
     double serve_deadline_ms = 1000;
     uint32_t serve_max_retries = 2;
+    bool serve_coalesce = true;
+    uint64_t serve_max_sessions = 64;
+    bool serve_session_formats = false;
     uint64_t chaos_seed = 0;
 };
 
@@ -329,6 +335,13 @@ parseArgs(int argc, char** argv)
                 parseU64Arg(next("--max-retries"), "--max-retries"));
         else if (a == "--chaos-seed")
             o.chaos_seed = parseU64Arg(next("--chaos-seed"), "--chaos-seed");
+        else if (a == "--no-coalesce")
+            o.serve_coalesce = false;
+        else if (a == "--max-sessions")
+            o.serve_max_sessions =
+                parseU64Arg(next("--max-sessions"), "--max-sessions");
+        else if (a == "--session-formats")
+            o.serve_session_formats = true;
         else if (a == "--updates") {
             o.updates = parseU64Arg(next("--updates"), "--updates");
             HT_FATAL_IF(o.updates == 0 || o.updates > 1024,
@@ -801,6 +814,9 @@ cmdServe(const Options& o)
     cfg.cache_capacity = o.serve_cache;
     cfg.default_deadline_ms = o.serve_deadline_ms;
     cfg.max_retries = o.serve_max_retries;
+    cfg.coalesce_runs = o.serve_coalesce;
+    cfg.max_sessions = o.serve_max_sessions;
+    cfg.session_formats = o.serve_session_formats;
     cfg.chaos.seed = o.chaos_seed;
     TraceSinkHolder trace(o);  // --trace/--trace-json: ladder transitions
     cfg.trace = trace.sink;
@@ -819,7 +835,9 @@ cmdServe(const Options& o)
     std::cerr << "hottiles serve: processed " << processed << " request(s): "
               << s.ok << " ok, " << s.degraded << " degraded, " << s.shed
               << " shed, " << s.timeout << " timeout, " << s.error
-              << " error; cache " << s.cache.hits << " hit / "
+              << " error; " << s.coalesced << " coalesced, " << s.deltas
+              << " delta(s), " << s.value_patches
+              << " value patch(es); cache " << s.cache.hits << " hit / "
               << s.cache.misses << " miss / " << s.cache.shared_builds
               << " shared / " << s.cache.corrupt_dropped << " corrupt\n";
     if (!o.metrics_file.empty())
