@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/rss.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -69,7 +70,8 @@ main(int argc, char** argv)
     const unsigned pool_threads = ThreadPool::globalThreads();
     Table t({"Matrix", "Scan ms", "Model ms", "Partition ms",
              "Base format ms", "Extra format ms", "Other ms",
-             "HotTiles overhead %", "Serial ms", "Par ms", "Par speedup"});
+             "HotTiles overhead %", "Serial ms", "Par ms", "Par speedup",
+             "Peak RSS MiB"});
     Summary overhead_pct;
     Summary par_speedup;
     for (const auto& name : tableVNames()) {
@@ -98,7 +100,12 @@ main(int argc, char** argv)
                   Table::num(100.0 * pt.overheadFraction(), 1),
                   Table::num(serial_s * 1e3, 2),
                   Table::num(par_s * 1e3, 2),
-                  Table::num(serial_s / par_s, 2)});
+                  Table::num(serial_s / par_s, 2),
+                  // Process-lifetime high-water mark after this build
+                  // (monotone across rows; docs/OUTOFCORE.md discusses
+                  // the O(panel) streamed alternative).
+                  Table::num(double(recordPeakRss()) / (1024.0 * 1024.0),
+                             1)});
     }
     t.print(std::cout);
     std::cout << "\naverage HotTiles-specific share of preprocessing: "

@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Out-of-core preprocessing harness (docs/OUTOFCORE.md): measures the
+ * panel-streamed planner (streamedPlan over a memory-mapped `.htb`)
+ * against the in-memory pipeline on an RMAT matrix, emitting
+ * BENCH_outofcore.json.
+ *
+ * `ru_maxrss` is a process-lifetime high-water mark, so each measured
+ * phase (generate / in-memory plan / streamed plan) runs in its own
+ * child process (fork + execv of /proc/self/exe with a hidden --phase
+ * flag); the parent collects the child's peak RSS from wait4.  Every
+ * phase writes a plan fingerprint (FNV-1a over the tile directory, the
+ * model estimates and the partition) so bit-identity is enforced
+ * across the in-memory path and streamed runs at 1, 2 and 7 threads.
+ * The parent additionally cross-checks the full-build mmap path
+ * in-process at a small scale: HotTiles from a MappedMatrix must be
+ * samePreprocessedState-identical to the in-memory constructor and
+ * produce byte-identical reference SpMM output.
+ *
+ * Flags (besides the shared --smoke / --threads):
+ *   --out FILE   JSON output path (default BENCH_outofcore.json)
+ *   --check      self-check gates, exit 1 on violation: all plan
+ *                fingerprints identical and the in-process mmap build
+ *                bit-identical; additionally, unless --smoke (ASan
+ *                inflates RSS), the streamed planner's peak RSS must be
+ *                >= 4x below the in-memory phase and its preprocessing
+ *                throughput >= 0.8x of it.
+ */
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/random.hpp"
+#include "common/rss.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/calibrate.hpp"
+#include "core/hottiles.hpp"
+#include "core/outofcore.hpp"
+#include "core/preprocess.hpp"
+#include "exec/backend.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/htb.hpp"
+#include "sparse/panel_stream.hpp"
+
+using namespace hottiles;
+using namespace hottiles::bench;
+
+namespace {
+
+struct Config
+{
+    Index rows = 0;
+    size_t nnz = 0;     // requested (pre-dedup) nonzeros
+    Index tile = 0;     // tile height == width == .htb panel_rows
+    uint64_t seed = 7;
+};
+
+/** FNV-1a over the plan bits: directory, estimates, partition. */
+struct Fingerprint
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void bytes(const void* p, size_t n)
+    {
+        const auto* b = static_cast<const unsigned char*>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    }
+    template <typename T> void pod(const T& v) { bytes(&v, sizeof v); }
+
+    void tile(const Tile& t)
+    {
+        pod(t.panel);
+        pod(t.tcol);
+        pod(t.row0);
+        pod(t.col0);
+        pod(t.height);
+        pod(t.width);
+        pod(t.offset);
+        pod(t.nnz);
+        pod(t.uniq_rids);
+        pod(t.uniq_cids);
+    }
+    void estimate(const TileEstimate& e)
+    {
+        pod(e.th);
+        pod(e.tc);
+        pod(e.bh);
+        pod(e.bc);
+    }
+    void partition(const Partition& p)
+    {
+        bytes(p.is_hot.data(), p.is_hot.size());
+        pod(p.serial);
+        pod(p.predicted_cycles);
+        bytes(p.heuristic.data(), p.heuristic.size());
+    }
+};
+
+uint64_t
+planFingerprint(size_t num_tiles, const std::function<const Tile&(size_t)>& at,
+                const std::vector<TileEstimate>& est, const Partition& p)
+{
+    Fingerprint f;
+    f.pod(num_tiles);
+    for (size_t i = 0; i < num_tiles; ++i)
+        f.tile(at(i));
+    for (const TileEstimate& e : est)
+        f.estimate(e);
+    f.partition(p);
+    return f.h;
+}
+
+Architecture
+benchArch(Index tile)
+{
+    Architecture arch = calibrated(makeSpadeSextans(4));
+    arch.tile_height = tile;
+    arch.tile_width = tile;
+    return arch;
+}
+
+/* ---------------------------------------------------------------- *
+ * Child phases.  Each writes key=value lines to --result and exits
+ * 0; the parent reads the file and the wait4 rusage.
+ * ---------------------------------------------------------------- */
+
+void
+writeResult(const std::string& path,
+            const std::map<std::string, std::string>& kv)
+{
+    std::ofstream out(path);
+    HT_FATAL_IF(!out, "cannot open result file '", path, "'");
+    for (const auto& [k, v] : kv)
+        out << k << "=" << v << "\n";
+}
+
+std::map<std::string, std::string>
+readResult(const std::string& path)
+{
+    std::ifstream in(path);
+    HT_FATAL_IF(!in, "phase child wrote no result file '", path, "'");
+    std::map<std::string, std::string> kv;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t eq = line.find('=');
+        if (eq != std::string::npos)
+            kv[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    return kv;
+}
+
+int
+phaseGen(const Config& c, const std::string& htb, const std::string& result)
+{
+    uint64_t nnz = genRmatHtb(htb, c.rows, c.nnz, 0.57, 0.19, 0.19, 0.05,
+                              c.seed, c.tile);
+    writeResult(result, {{"nnz", std::to_string(nnz)}});
+    return 0;
+}
+
+int
+phaseInmem(const Config& c, const std::string& htb, const std::string& result)
+{
+    Architecture arch = benchArch(c.tile);
+    HotTilesOptions opts;
+    opts.build_formats = false;  // plan-for-plan comparison vs streamedPlan
+    double t0 = monotonicSeconds();
+    CooMatrix m = loadHtbToCoo(htb);
+    HotTiles ht(arch, m, opts);
+    double secs = monotonicSeconds() - t0;
+
+    const TileGrid& g = ht.grid();
+    uint64_t fp = planFingerprint(
+        g.numTiles(), [&](size_t i) -> const Tile& { return g.tile(i); },
+        ht.context().estimates, ht.partition());
+    writeResult(result, {{"fingerprint", std::to_string(fp)},
+                         {"seconds", std::to_string(secs)},
+                         {"nnz", std::to_string(m.nnz())},
+                         {"tiles", std::to_string(g.numTiles())}});
+    return 0;
+}
+
+int
+phaseStream(const Config& c, const std::string& htb, const std::string& result)
+{
+    Architecture arch = benchArch(c.tile);
+    double t0 = monotonicSeconds();
+    MappedMatrix mapped(htb);
+    MappedPanelSource src(mapped);
+    StreamedPlan plan = streamedPlan(arch, src, {});
+    double secs = monotonicSeconds() - t0;
+
+    uint64_t fp = planFingerprint(
+        plan.tiles.size(),
+        [&](size_t i) -> const Tile& { return plan.tiles[i]; },
+        plan.estimates, plan.partition);
+    writeResult(result, {{"fingerprint", std::to_string(fp)},
+                         {"seconds", std::to_string(secs)},
+                         {"nnz", std::to_string(plan.nnz)},
+                         {"tiles", std::to_string(plan.tiles.size())}});
+    return 0;
+}
+
+/* ---------------------------------------------------------------- *
+ * Parent: spawn phases, collect rusage, gate and report.
+ * ---------------------------------------------------------------- */
+
+struct PhaseRun
+{
+    std::string phase;
+    unsigned threads = 0;
+    double seconds = 0;
+    uint64_t peak_rss = 0;  // bytes
+    uint64_t fingerprint = 0;
+    size_t nnz = 0;
+    size_t tiles = 0;
+};
+
+/** Run one phase in a child process; returns its result + ru_maxrss. */
+PhaseRun
+runPhase(const std::string& phase, unsigned threads, const Config& c,
+         const std::string& htb, const std::string& result_path)
+{
+    std::remove(result_path.c_str());
+    std::vector<std::string> args = {
+        "/proc/self/exe",
+        "--phase", phase,
+        "--threads", std::to_string(threads),
+        "--htb", htb,
+        "--result", result_path,
+        "--rows", std::to_string(c.rows),
+        "--nnz", std::to_string(c.nnz),
+        "--tile", std::to_string(c.tile),
+        "--seed", std::to_string(c.seed),
+    };
+    std::vector<char*> argv;
+    for (auto& a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = fork();
+    HT_FATAL_IF(pid < 0, "fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+        execv("/proc/self/exe", argv.data());
+        // Only reached when execv itself fails.
+        std::perror("execv");
+        _exit(127);
+    }
+    int status = 0;
+    struct rusage ru {};
+    pid_t got;
+    do {
+        got = wait4(pid, &status, 0, &ru);
+    } while (got < 0 && errno == EINTR);
+    HT_FATAL_IF(got != pid, "wait4 failed: ", std::strerror(errno));
+    HT_FATAL_IF(!WIFEXITED(status) || WEXITSTATUS(status) != 0, "phase '",
+                phase, "' child failed (status ", status, ")");
+
+    auto kv = readResult(result_path);
+    PhaseRun r;
+    r.phase = phase;
+    r.threads = threads;
+    r.peak_rss = uint64_t(ru.ru_maxrss) * 1024;  // Linux reports KiB
+    if (kv.count("seconds"))
+        r.seconds = std::stod(kv["seconds"]);
+    if (kv.count("fingerprint"))
+        r.fingerprint = std::stoull(kv["fingerprint"]);
+    if (kv.count("nnz"))
+        r.nnz = std::stoull(kv["nnz"]);
+    if (kv.count("tiles"))
+        r.tiles = std::stoull(kv["tiles"]);
+    return r;
+}
+
+/**
+ * In-process cross-check at small scale: the full-build mmap path
+ * (HotTiles from MappedMatrix) against the in-memory constructor, plus
+ * the plan-only streamed path from both panel-source flavours.
+ */
+bool
+inProcessIdentity(std::string& why, const std::string& tmp_htb)
+{
+    const Index tile = 128;
+    Architecture arch = benchArch(tile);
+    CooMatrix m = genRmat(Index(1) << 12, size_t(8) << 12, 0.57, 0.19, 0.19,
+                          0.05, /*seed=*/21);
+    m.sortRowMajor();
+    m.dedupSum();
+    writeHtbFromCoo(tmp_htb, m, tile);
+
+    HotTilesOptions opts;
+    HotTiles inmem(arch, m, opts);
+    MappedMatrix mapped(tmp_htb);
+    HotTiles viamap(arch, mapped, opts);
+    if (!samePreprocessedState(inmem, viamap)) {
+        why = "HotTiles(MappedMatrix) state differs from in-memory build";
+        return false;
+    }
+
+    DenseMatrix din(m.cols(), opts.kernel.k);
+    Rng rng(99);
+    din.fillRandom(rng);
+    DenseMatrix a = exec::referenceExecute(inmem.grid(), inmem.partition(),
+                                           opts.kernel, din);
+    DenseMatrix b = exec::referenceExecute(viamap.grid(), viamap.partition(),
+                                           opts.kernel, din);
+    if (a.data().size() != b.data().size() ||
+        std::memcmp(a.data().data(), b.data().data(),
+                    a.data().size() * sizeof(Value)) != 0) {
+        why = "mmap-built reference SpMM output differs";
+        return false;
+    }
+
+    CooPanelSource coo_src(m);
+    MappedPanelSource map_src(mapped);
+    StreamedPlan pa = streamedPlan(arch, coo_src, {});
+    StreamedPlan pb = streamedPlan(arch, map_src, {});
+    auto fp = [](const StreamedPlan& p) {
+        return planFingerprint(
+            p.tiles.size(),
+            [&](size_t i) -> const Tile& { return p.tiles[i]; }, p.estimates,
+            p.partition);
+    };
+    uint64_t fa = fp(pa), fb = fp(pb);
+    uint64_t fg = planFingerprint(
+        inmem.grid().numTiles(),
+        [&](size_t i) -> const Tile& { return inmem.grid().tile(i); },
+        inmem.context().estimates, inmem.partition());
+    if (fa != fb || fa != fg) {
+        why = "streamed plan fingerprints diverge (coo/mmap/in-memory)";
+        return false;
+    }
+    return true;
+}
+
+void
+writeJson(const std::string& path, const Config& c,
+          const std::vector<PhaseRun>& runs, double rss_ratio,
+          double throughput_ratio, bool identical, bool inprocess_ok,
+          bool smoke)
+{
+    std::ofstream out(path);
+    HT_FATAL_IF(!out, "cannot open '", path, "' for writing");
+    out << "{\n"
+        << "  \"schema\": \"hottiles.bench_outofcore.v1\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"rows\": " << c.rows << ",\n"
+        << "  \"tile\": " << c.tile << ",\n"
+        << "  \"rss_ratio\": " << rss_ratio << ",\n"
+        << "  \"throughput_ratio\": " << throughput_ratio << ",\n"
+        << "  \"plans_identical\": " << (identical ? "true" : "false")
+        << ",\n"
+        << "  \"inprocess_identical\": " << (inprocess_ok ? "true" : "false")
+        << ",\n"
+        << "  \"metrics\": ";
+    MetricsRegistry::global().writeJson(out);
+    out << ",\n  \"phases\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const PhaseRun& r = runs[i];
+        out << "    {\"phase\": \"" << r.phase
+            << "\", \"threads\": " << r.threads
+            << ", \"seconds\": " << r.seconds
+            << ", \"peak_rss_bytes\": " << r.peak_rss
+            << ", \"fingerprint\": \"" << std::hex << r.fingerprint
+            << std::dec << "\", \"nnz\": " << r.nnz
+            << ", \"tiles\": " << r.tiles << "}"
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+std::string
+mib(uint64_t bytes)
+{
+    return Table::num(double(bytes) / (1024.0 * 1024.0), 1);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    init(&argc, argv);
+    std::string out_path = "BENCH_outofcore.json";
+    std::string phase, htb_path, result_path;
+    Config c;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&]() -> std::string {
+            HT_FATAL_IF(i + 1 >= argc, "missing value for ", a);
+            return argv[++i];
+        };
+        if (a == "--out")
+            out_path = val();
+        else if (a == "--check")
+            check = true;
+        else if (a == "--phase")
+            phase = val();
+        else if (a == "--htb")
+            htb_path = val();
+        else if (a == "--result")
+            result_path = val();
+        else if (a == "--rows")
+            c.rows = Index(std::stoul(val()));
+        else if (a == "--nnz")
+            c.nnz = std::stoull(val());
+        else if (a == "--tile")
+            c.tile = Index(std::stoul(val()));
+        else if (a == "--seed")
+            c.seed = std::stoull(val());
+        else
+            HT_FATAL("unknown option '", a, "'");
+    }
+
+    // Hidden child mode: run one phase, report, exit.
+    if (!phase.empty()) {
+        try {
+            if (phase == "gen")
+                return phaseGen(c, htb_path, result_path);
+            if (phase == "inmem")
+                return phaseInmem(c, htb_path, result_path);
+            if (phase == "stream")
+                return phaseStream(c, htb_path, result_path);
+            HT_FATAL("unknown phase '", phase, "'");
+        } catch (const FatalError& e) {
+            std::cerr << "phase " << phase << ": " << e.what() << "\n";
+            return 1;
+        }
+    }
+
+    const bool smoke = smokeMode();
+    banner("Out-of-core preprocessing", "docs/OUTOFCORE.md",
+           "panel-streamed planner vs in-memory pipeline: peak RSS, "
+           "throughput, and plan bit-identity (per-phase child processes)");
+
+    // rmat-20 at ~16 nnz/row is the regime the O(panel) window pays off
+    // in: the in-memory path holds ~2x O(nnz) arrays (input + tiled
+    // copies) while the streamed planner retains only the tile
+    // directory.  Tile 2048 keeps the O(tiles) directory small enough
+    // that the 4x RSS gate measures the streaming, not the directory.
+    if (smoke) {
+        c = {Index(1) << 14, size_t(8) << 14, /*tile=*/512, /*seed=*/7};
+    } else {
+        c = {Index(1) << 20, size_t(16) << 20, /*tile=*/2048, /*seed=*/7};
+    }
+
+    char tmpl[] = "bench_outofcore.XXXXXX";
+    HT_FATAL_IF(mkdtemp(tmpl) == nullptr,
+                "mkdtemp failed: ", std::strerror(errno));
+    std::string dir = tmpl;
+    std::string htb = dir + "/m.htb";
+    std::string res = dir + "/result.txt";
+
+    std::vector<PhaseRun> runs;
+    std::cout << "generating " << (c.rows >> 10) << "Ki-row RMAT (~"
+              << (c.nnz >> 20) << "M entries) as " << htb << " ...\n";
+    runs.push_back(runPhase("gen", 7, c, htb, res));
+
+    runs.push_back(runPhase("inmem", 7, c, htb, res));
+    for (unsigned t : {1u, 2u, 7u})
+        runs.push_back(runPhase("stream", t, c, htb, res));
+
+    const PhaseRun& inmem = runs[1];
+    const PhaseRun& stream7 = runs.back();
+    double rss_ratio = stream7.peak_rss > 0
+                           ? double(inmem.peak_rss) / double(stream7.peak_rss)
+                           : 0;
+    double throughput_ratio =
+        stream7.seconds > 0 ? inmem.seconds / stream7.seconds : 0;
+    bool identical = true;
+    for (const PhaseRun& r : runs)
+        if (r.phase != "gen" && r.fingerprint != inmem.fingerprint)
+            identical = false;
+
+    std::string why;
+    bool inprocess_ok = inProcessIdentity(why, dir + "/small.htb");
+
+    Table t({"Phase", "Threads", "Seconds", "Peak RSS MiB", "Nnz", "Tiles",
+             "Fingerprint"});
+    for (const PhaseRun& r : runs) {
+        std::ostringstream fp;
+        fp << std::hex << r.fingerprint;
+        t.addRow({r.phase, std::to_string(r.threads), Table::num(r.seconds, 3),
+                  mib(r.peak_rss), std::to_string(r.nnz),
+                  std::to_string(r.tiles),
+                  r.phase == "gen" ? std::string("-") : fp.str()});
+    }
+    t.print(std::cout);
+    std::cout << "\npeak RSS in-memory/streamed: " << Table::num(rss_ratio, 2)
+              << "x   streamed throughput vs in-memory: "
+              << Table::num(throughput_ratio, 2)
+              << "x   plans identical: " << (identical ? "yes" : "NO")
+              << "   in-process mmap build identical: "
+              << (inprocess_ok ? "yes" : "NO") << "\n";
+
+    writeJson(out_path, c, runs, rss_ratio, throughput_ratio, identical,
+              inprocess_ok, smoke);
+    std::cout << "wrote " << out_path << "\n";
+
+    std::remove(htb.c_str());
+    std::remove(res.c_str());
+    std::remove((dir + "/small.htb").c_str());
+    rmdir(dir.c_str());
+
+    if (check) {
+        std::vector<std::string> failures;
+        if (!identical)
+            failures.push_back(
+                "streamed plan fingerprints diverge from the in-memory plan");
+        if (!inprocess_ok)
+            failures.push_back("in-process mmap identity: " + why);
+        // RSS and throughput gates need unsanitized builds at full
+        // scale: ASan shadow memory and --smoke's tiny matrix (where
+        // fixed process overhead dominates) both distort the ratios.
+        if (!smoke) {
+            if (rss_ratio < 4.0)
+                failures.push_back("peak RSS ratio " +
+                                   Table::num(rss_ratio, 2) + "x < 4x (" +
+                                   mib(inmem.peak_rss) + " MiB in-memory vs " +
+                                   mib(stream7.peak_rss) + " MiB streamed)");
+            if (throughput_ratio < 0.8)
+                failures.push_back("streamed preprocessing throughput " +
+                                   Table::num(throughput_ratio, 2) +
+                                   "x < 0.8x of in-memory");
+        }
+        if (!failures.empty()) {
+            for (const auto& f : failures)
+                std::cerr << "CHECK FAILED: " << f << "\n";
+            return 1;
+        }
+        std::cout << "all checks passed: plans bit-identical"
+                  << (smoke ? "" : ", >= 4x lower peak RSS, >= 0.8x "
+                                   "throughput")
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,33 @@
+#include "common/rss.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+
+#include "common/metrics.hpp"
+
+namespace hottiles {
+
+uint64_t
+peakRssBytes()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#ifdef __APPLE__
+    return static_cast<uint64_t>(ru.ru_maxrss); // bytes on Darwin
+#else
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024; // KiB on Linux
+#endif
+}
+
+uint64_t
+recordPeakRss()
+{
+    const uint64_t now = peakRssBytes();
+    auto& g = MetricsRegistry::global().gauge("process.peak_rss_bytes");
+    g.set(std::max(g.value(), static_cast<double>(now)));
+    return now;
+}
+
+} // namespace hottiles

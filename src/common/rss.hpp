@@ -1,0 +1,26 @@
+#pragma once
+
+/**
+ * @file
+ * Peak resident-set-size sampling.  `ru_maxrss` is a process-lifetime
+ * high-water mark, so `recordPeakRss()` is meaningful at phase
+ * boundaries ("RSS never exceeded X by the time this phase finished")
+ * — the out-of-core bench isolates per-phase peaks by running each
+ * phase in a child process instead.
+ */
+
+#include <cstdint>
+
+namespace hottiles {
+
+/** Process peak RSS in bytes via getrusage (0 if unavailable). */
+uint64_t peakRssBytes();
+
+/**
+ * Sample peak RSS into the `process.peak_rss_bytes` gauge in the
+ * global MetricsRegistry (max-update: the gauge only ever grows).
+ * Returns the sampled value.
+ */
+uint64_t recordPeakRss();
+
+} // namespace hottiles

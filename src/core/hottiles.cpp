@@ -5,16 +5,42 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/rss.hpp"
 #include "common/thread_pool.hpp"
 #include "partition/predicted_runtime.hpp"
 #include "sim/merger.hpp"
 #include "sparse/delta.hpp"
+#include "sparse/htb.hpp"
 
 namespace hottiles {
 
 HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
                    const HotTilesOptions& opts)
     : arch_(arch), opts_(opts)
+{
+    buildPipeline([&] {
+        return std::make_unique<TileGrid>(a, arch_.tile_height,
+                                          arch_.tile_width);
+    });
+}
+
+HotTiles::HotTiles(const Architecture& arch, const MappedMatrix& m,
+                   const HotTilesOptions& opts)
+    : arch_(arch), opts_(opts)
+{
+    buildPipeline([&] {
+        // Zero-copy: the spans alias the mapping for the whole tiling
+        // pass; the grid owns only the tiled output arrays.
+        return std::make_unique<TileGrid>(m.rows(), m.cols(), m.rowIds(),
+                                          m.colIds(), m.vals(),
+                                          arch_.tile_height,
+                                          arch_.tile_width);
+    });
+}
+
+void
+HotTiles::buildPipeline(
+    const std::function<std::unique_ptr<TileGrid>()>& make_grid)
 {
     HT_ASSERT(arch_.hot.count > 0 && arch_.cold.count > 0,
               "HotTiles needs both worker types; use simulateHomogeneous "
@@ -28,10 +54,10 @@ HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
     // Stage 1: matrix scan — tiling and per-tile statistics (Fig 7).
     progress("scan");
     double t0 = monotonicSeconds();
-    grid_ = std::make_unique<TileGrid>(a, arch_.tile_height,
-                                       arch_.tile_width);
+    grid_ = make_grid();
     double t1 = monotonicSeconds();
     timing_.scan_s = t1 - t0;
+    recordPeakRss();
 
     // Stage 2: per-tile performance model for both worker types.
     // SDDMM outputs are disjoint per nonzero, so no Merger is needed.
@@ -55,12 +81,14 @@ HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
                                 hot_bw);
     double t2 = monotonicSeconds();
     timing_.model_s = t2 - t1;
+    recordPeakRss();
 
     // Stage 3: heuristic partitioning.
     progress("partition");
     partition_ = hotTilesPartition(ctx_);
     double t3 = monotonicSeconds();
     timing_.partition_s = t3 - t2;
+    recordPeakRss();
 
     // Stage 4: sparse format creation.  The cold (base) format is what a
     // homogeneous accelerator would need anyway; the hot format is the
@@ -73,6 +101,7 @@ HotTiles::HotTiles(const Architecture& arch, const CooMatrix& a,
         hot_format_ = buildTiledWork(*grid_, partition_.hotTiles());
         timing_.format_extra_s = monotonicSeconds() - t4;
         formats_built_ = true;
+        recordPeakRss();
     }
 
     // Mirror the Fig 18 stage breakdown into the metrics registry so

@@ -24,6 +24,7 @@
 namespace hottiles {
 
 struct ValueUpdateBatch;
+class MappedMatrix;
 
 /** What one HotTiles::applyDelta call did (docs/INCREMENTAL.md). */
 struct DeltaUpdateStats
@@ -72,6 +73,18 @@ class HotTiles
 {
   public:
     HotTiles(const Architecture& arch, const CooMatrix& a,
+             const HotTilesOptions& opts = {});
+
+    /**
+     * Preprocess a memory-mapped `.htb` matrix (docs/OUTOFCORE.md): the
+     * input is tiled straight from the mapping through TileGrid's
+     * zero-copy span constructor — no CooMatrix copy is ever
+     * materialized, so peak RSS excludes the O(nnz) input arrays.  The
+     * resulting state is bit-identical (samePreprocessedState) to
+     * constructing from the equivalent in-memory CooMatrix.
+     * @throws FatalError when the mapped data is malformed.
+     */
+    HotTiles(const Architecture& arch, const MappedMatrix& m,
              const HotTilesOptions& opts = {});
 
     const Architecture& arch() const { return arch_; }
@@ -140,6 +153,12 @@ class HotTiles
     size_t patchValues(const ValueUpdateBatch& u);
 
   private:
+    /** Shared pipeline body: stage 1 builds the grid via @p make_grid
+     *  (in-memory sort-and-tile, or zero-copy from a mapping), stages
+     *  2-4 are identical for both constructors. */
+    void buildPipeline(
+        const std::function<std::unique_ptr<TileGrid>()>& make_grid);
+
     Architecture arch_;
     HotTilesOptions opts_;
     std::unique_ptr<TileGrid> grid_;

@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * Out-of-core preprocessing planner (docs/OUTOFCORE.md): runs the
+ * matrix scan, the per-tile model and the heuristic partitioning over a
+ * PanelSource one panel window at a time, retaining only the O(tiles)
+ * tile directory and estimates — never the O(nnz) tiled arrays.  Peak
+ * RSS is O(panel window), and the resulting directory, estimates and
+ * partition are bit-identical to the in-memory pipeline
+ * (HotTiles / hotTilesPartition) on the same matrix, across thread
+ * counts.
+ *
+ * This is the plan-only half of the out-of-core story: it answers
+ * "which tiles go hot, and what will it cost" without materializing
+ * formats.  To also execute, construct HotTiles from a MappedMatrix —
+ * the input stays memory-mapped, only the preprocessed state is
+ * resident.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "arch/arch_config.hpp"
+#include "core/preprocess.hpp"
+#include "model/roofline.hpp"
+#include "partition/partition.hpp"
+#include "sparse/panel_stream.hpp"
+#include "sparse/tiling.hpp"
+
+namespace hottiles {
+
+/** Options of a streamed (plan-only) preprocessing run. */
+struct StreamedPlanOptions
+{
+    KernelConfig kernel;  //!< K and gSpMM arithmetic intensity
+
+    /**
+     * Row panels resident per streaming window.  Larger windows give
+     * the thread pool more parallel panels per acquire/release round
+     * trip at the cost of a bigger scratch high-water mark; the result
+     * is bit-identical either way.  0 picks a default.
+     */
+    Index window_panels = 0;
+
+    /** Same contract as HotTilesOptions::progress ("scan", "model",
+     *  "partition"); a throw abandons the plan. */
+    std::function<void(const char* stage)> progress;
+};
+
+/** What the streamed pipeline retains: directory, model, partition. */
+struct StreamedPlan
+{
+    Index rows = 0;
+    Index cols = 0;
+    size_t nnz = 0;
+    Index tile_h = 0;
+    Index tile_w = 0;
+    Index num_panels = 0;
+    Index num_tcols = 0;
+
+    /** Tile directory in (panel, tcol) order — byte-identical to
+     *  TileGrid::tiles() on the same matrix. */
+    std::vector<Tile> tiles;
+    /** First tile of each panel (size num_panels + 1). */
+    std::vector<size_t> panel_begin;
+    /** Per-tile model estimates, bit-identical to estimateTiles(). */
+    std::vector<TileEstimate> estimates;
+    /** The winning partition, bit-identical to hotTilesPartition()
+     *  including predicted_cycles. */
+    Partition partition;
+    /** scan/model/partition wall-clock (format stages stay 0). */
+    PreprocessTiming timing;
+};
+
+/**
+ * Run scan + model + partition over @p src panel-by-panel.  @p src must
+ * satisfy the PanelSource contract (globally row-major sorted, deduped,
+ * in-range); violations from untrusted files throw FatalError.  The
+ * architecture must be calibrated with both worker counts nonzero.
+ */
+StreamedPlan streamedPlan(const Architecture& arch, const PanelSource& src,
+                          const StreamedPlanOptions& opts = {});
+
+} // namespace hottiles

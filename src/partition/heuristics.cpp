@@ -376,10 +376,30 @@ Partition
 runHeuristic(const PartitionContext& ctx, Heuristic h)
 {
     const size_t n = ctx.estimates.size();
-    HT_ASSERT(n == ctx.grid->numTiles(), "context/grid mismatch");
+    HT_ASSERT(n == ctx.numTiles(), "context/grid mismatch");
     Partition p = sweepFromOrder(ctx, h, sortedOrder(ctx, h));
     p.predicted_cycles = predictedRuntimeCycles(ctx, p.is_hot, p.serial);
     return p;
+}
+
+std::vector<Heuristic>
+applicableHeuristicSet(const PartitionContext& ctx)
+{
+    return applicableHeuristics(ctx);
+}
+
+Partition
+heuristicSweepCandidate(const PartitionContext& ctx, Heuristic h)
+{
+    HT_ASSERT(ctx.estimates.size() == ctx.numTiles(),
+              "context/estimates mismatch");
+    return sweepFromOrder(ctx, h, sortedOrder(ctx, h));
+}
+
+size_t
+bestPartitionIndex(const std::vector<Partition>& candidates)
+{
+    return bestCandidate(candidates);
 }
 
 std::vector<Partition>

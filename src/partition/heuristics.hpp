@@ -44,6 +44,28 @@ Partition runHeuristic(const PartitionContext& ctx, Heuristic h);
 Partition hotTilesPartition(const PartitionContext& ctx);
 
 /**
+ * The heuristics hotTilesPartition would run for @p ctx, in run order
+ * (all four, or only the Parallel pair under atomic RMW).  Exposed for
+ * the out-of-core planner, which evaluates the same candidate set
+ * without a grid (docs/OUTOFCORE.md).
+ */
+std::vector<Heuristic> applicableHeuristicSet(const PartitionContext& ctx);
+
+/**
+ * One heuristic's sort + cutoff sweep only: the candidate assignment
+ * with serial/heuristic filled in but predicted_cycles left 0.  Needs
+ * nothing beyond ctx.estimates and the worker counts, so it works on
+ * grid-free contexts; identical to the assignment runHeuristic scores.
+ */
+Partition heuristicSweepCandidate(const PartitionContext& ctx, Heuristic h);
+
+/**
+ * Index of the winning candidate: lowest predicted_cycles, ties keep
+ * the earlier entry — the exact rule hotTilesPartition applies.
+ */
+size_t bestPartitionIndex(const std::vector<Partition>& candidates);
+
+/**
  * Cached state of one heuristic's last sweep: the sorted tile order
  * (total order — ties broken by tile id, so the sequence is a pure
  * function of the estimates and can be maintained by merging), the

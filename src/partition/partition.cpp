@@ -31,6 +31,38 @@ makePartitionContext(const TileGrid& grid, const WorkerTraits& hot,
     return ctx;
 }
 
+PartitionContext
+makePartitionContextFromDirectory(const Tile* tiles, size_t num_tiles,
+                                  std::vector<TileEstimate> estimates,
+                                  const WorkerTraits& hot,
+                                  const WorkerTraits& cold,
+                                  const KernelConfig& kernel,
+                                  double bw_bytes_per_cycle,
+                                  double t_merge_cycles, bool atomic_rmw,
+                                  double hot_bw_bytes_per_cycle)
+{
+    HT_ASSERT(hot.role == WorkerRole::Hot, "hot traits not marked hot");
+    HT_ASSERT(cold.role == WorkerRole::Cold, "cold traits not marked cold");
+    HT_ASSERT(bw_bytes_per_cycle > 0, "bandwidth must be positive");
+    HT_ASSERT(estimates.size() == num_tiles, "one estimate per tile");
+
+    PartitionContext ctx;
+    ctx.tiles_view = tiles;
+    ctx.num_tiles_view = num_tiles;
+    ctx.hot = &hot;
+    ctx.cold = &cold;
+    ctx.kernel = kernel;
+    ctx.bw_bytes_per_cycle = bw_bytes_per_cycle;
+    ctx.hot_bw_bytes_per_cycle =
+        hot_bw_bytes_per_cycle > 0
+            ? std::min(hot_bw_bytes_per_cycle, bw_bytes_per_cycle)
+            : bw_bytes_per_cycle;
+    ctx.atomic_rmw = atomic_rmw;
+    ctx.t_merge_cycles = atomic_rmw ? 0.0 : t_merge_cycles;
+    ctx.estimates = std::move(estimates);
+    return ctx;
+}
+
 std::vector<size_t>
 Partition::hotTiles() const
 {

@@ -46,6 +46,25 @@ struct PartitionContext
      */
     bool atomic_rmw = false;
     std::vector<TileEstimate> estimates;  //!< one per grid tile
+
+    /**
+     * Grid-free tile-directory view for the out-of-core planner
+     * (docs/OUTOFCORE.md): the streamed pipeline retains only the O(tiles)
+     * directory, not the O(nnz) grid.  The accessors below prefer the
+     * grid whenever it is set, so contexts whose grid is later patched
+     * in place (applyDelta) never read a stale view.
+     */
+    const Tile* tiles_view = nullptr;
+    size_t num_tiles_view = 0;
+
+    size_t numTiles() const
+    {
+        return grid ? grid->numTiles() : num_tiles_view;
+    }
+    const Tile& tileAt(size_t i) const
+    {
+        return grid ? grid->tile(i) : tiles_view[i];
+    }
 };
 
 /**
@@ -58,6 +77,19 @@ PartitionContext makePartitionContext(
     const KernelConfig& kernel, double bw_bytes_per_cycle,
     double t_merge_cycles, bool atomic_rmw,
     double hot_bw_bytes_per_cycle = 0 /* 0 = same as shared bandwidth */);
+
+/**
+ * Assemble a PartitionContext from a bare tile directory and
+ * already-computed estimates — the out-of-core planner's entry point,
+ * where the O(nnz) grid was streamed away and only the directory
+ * remains.  @p tiles must stay alive as long as the context is used.
+ */
+PartitionContext makePartitionContextFromDirectory(
+    const Tile* tiles, size_t num_tiles, std::vector<TileEstimate> estimates,
+    const WorkerTraits& hot, const WorkerTraits& cold,
+    const KernelConfig& kernel, double bw_bytes_per_cycle,
+    double t_merge_cycles, bool atomic_rmw,
+    double hot_bw_bytes_per_cycle = 0);
 
 /** A hot/cold assignment of tiles plus its predicted cost. */
 struct Partition

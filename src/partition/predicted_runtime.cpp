@@ -41,39 +41,11 @@ readjustPanel(const PartitionContext& ctx, const std::vector<uint8_t>& is_hot,
     const TileGrid& grid = *ctx.grid;
     const WorkerTraits& w = for_hot ? *ctx.hot : *ctx.cold;
     auto [first, last] = grid.panelTiles(p);
-    std::fill(extra, extra + (last - first), 0.0);
-    if (w.dout_reuse != ReuseType::InterTile)
-        return;
-
-    const double row_bytes = denseRowBytes(w, ctx.kernel);
-    if (w.traversal == TraversalOrder::TiledRowMajor) {
-        // The first owned tile streams the whole panel's Dout rows in
-        // and the last one writes them back; charge both to the first
-        // tile (it bounds the predicted time identically).
-        for (size_t t = first; t < last; ++t) {
-            if ((is_hot[t] != 0) == for_hot) {
-                extra[t - first] = 2.0 * row_bytes * grid.tile(t).height;
-                break;
-            }
-        }
-    } else {
-        // Untiled: each r_id's first appearance among owned tiles costs
-        // one demand read + one write of the row.
-        ++scratch.generation;
-        for (size_t t = first; t < last; ++t) {
-            if ((is_hot[t] != 0) != for_hot)
-                continue;
-            double new_rids = 0;
-            for (Index rid : grid.tileRows(t)) {
-                Index local = rid - grid.tile(t).row0;
-                if (scratch.rid_stamp[local] != scratch.generation) {
-                    scratch.rid_stamp[local] = scratch.generation;
-                    new_rids += 1.0;
-                }
-            }
-            extra[t - first] = 2.0 * row_bytes * new_rids;
-        }
-    }
+    panelReadjustExtras(
+        w, ctx.kernel, is_hot.data(), for_hot, first, last,
+        [&](size_t t) -> const Tile& { return grid.tile(t); },
+        [&](size_t t) { return grid.tileRows(t); }, scratch.rid_stamp,
+        scratch.generation, extra);
 }
 
 struct TileContrib
@@ -173,7 +145,7 @@ reduceAssignmentScore(const PartitionContext& ctx,
                       const std::vector<uint8_t>& is_hot,
                       const AssignmentScore& s)
 {
-    const size_t n = ctx.grid->numTiles();
+    const size_t n = ctx.numTiles();
     const double n_hw = ctx.hot->count;
     const double n_cw = ctx.cold->count;
     // Deterministic parallel reduction: per-chunk partial totals are
@@ -203,12 +175,19 @@ reduceAssignmentScore(const PartitionContext& ctx,
 }
 
 AssignmentTotals
-assignmentTotals(const PartitionContext& ctx,
-                 const std::vector<uint8_t>& is_hot, bool readjust)
+assignmentTotalsWithExtras(const PartitionContext& ctx,
+                           const std::vector<uint8_t>& is_hot,
+                           const std::vector<double>& extra_hot,
+                           const std::vector<double>& extra_cold)
 {
-    const TileGrid& grid = *ctx.grid;
-    HT_ASSERT(is_hot.size() == grid.numTiles(), "assignment size mismatch");
-    HT_ASSERT(ctx.estimates.size() == grid.numTiles(), "estimates missing");
+    const size_t n = ctx.numTiles();
+    HT_ASSERT(is_hot.size() == n, "assignment size mismatch");
+    HT_ASSERT(ctx.estimates.size() == n, "estimates missing");
+    HT_ASSERT(extra_hot.size() == extra_cold.size(),
+              "extras must be both present or both absent");
+    HT_ASSERT(extra_hot.empty() || extra_hot.size() == n,
+              "extras size mismatch");
+    const bool readjust = !extra_hot.empty();
 
     // Fused path: the extras are materialized (they need per-panel
     // traversal state), but each tile's byte/time contribution is
@@ -216,6 +195,45 @@ assignmentTotals(const PartitionContext& ctx,
     // Per-tile arithmetic and summation order match the score-array
     // path (tileContrib + reduceAssignmentScore) exactly, so both
     // produce bit-identical totals.
+    const double n_hw = ctx.hot->count;
+    const double n_cw = ctx.cold->count;
+    return parallelReduce(
+        0, n, kGrainTiles, AssignmentTotals{},
+        [&](size_t b, size_t e_end) {
+            AssignmentTotals totals;
+            for (size_t i = b; i < e_end; ++i) {
+                const bool hot = is_hot[i] != 0;
+                const double extra =
+                    readjust ? (hot ? extra_hot[i] : extra_cold[i]) : 0.0;
+                TileContrib c = tileContrib(ctx, ctx.tileAt(i),
+                                            ctx.estimates[i], hot, extra);
+                if (hot) {
+                    totals.bh_total += c.bytes;
+                    totals.th_total += c.time / n_hw;
+                } else {
+                    totals.bc_total += c.bytes;
+                    totals.tc_total += c.time / n_cw;
+                }
+            }
+            return totals;
+        },
+        [](AssignmentTotals a, AssignmentTotals b) {
+            a.th_total += b.th_total;
+            a.tc_total += b.tc_total;
+            a.bh_total += b.bh_total;
+            a.bc_total += b.bc_total;
+            return a;
+        });
+}
+
+AssignmentTotals
+assignmentTotals(const PartitionContext& ctx,
+                 const std::vector<uint8_t>& is_hot, bool readjust)
+{
+    const TileGrid& grid = *ctx.grid;
+    HT_ASSERT(is_hot.size() == grid.numTiles(), "assignment size mismatch");
+    HT_ASSERT(ctx.estimates.size() == grid.numTiles(), "estimates missing");
+
     std::vector<double> extra_hot;
     std::vector<double> extra_cold;
     if (readjust) {
@@ -237,36 +255,7 @@ assignmentTotals(const PartitionContext& ctx,
                         }
                     });
     }
-
-    const double n_hw = ctx.hot->count;
-    const double n_cw = ctx.cold->count;
-    return parallelReduce(
-        0, grid.numTiles(), kGrainTiles, AssignmentTotals{},
-        [&](size_t b, size_t e_end) {
-            AssignmentTotals totals;
-            for (size_t i = b; i < e_end; ++i) {
-                const bool hot = is_hot[i] != 0;
-                const double extra =
-                    readjust ? (hot ? extra_hot[i] : extra_cold[i]) : 0.0;
-                TileContrib c = tileContrib(ctx, grid.tile(i),
-                                            ctx.estimates[i], hot, extra);
-                if (hot) {
-                    totals.bh_total += c.bytes;
-                    totals.th_total += c.time / n_hw;
-                } else {
-                    totals.bc_total += c.bytes;
-                    totals.tc_total += c.time / n_cw;
-                }
-            }
-            return totals;
-        },
-        [](AssignmentTotals a, AssignmentTotals b) {
-            a.th_total += b.th_total;
-            a.tc_total += b.tc_total;
-            a.bh_total += b.bh_total;
-            a.bc_total += b.bc_total;
-            return a;
-        });
+    return assignmentTotalsWithExtras(ctx, is_hot, extra_hot, extra_cold);
 }
 
 double
@@ -302,7 +291,7 @@ predictedRuntimeCycles(const PartitionContext& ctx,
 double
 predictedHomogeneousCycles(const PartitionContext& ctx, bool hot)
 {
-    std::vector<uint8_t> is_hot(ctx.grid->numTiles(), hot ? 1 : 0);
+    std::vector<uint8_t> is_hot(ctx.numTiles(), hot ? 1 : 0);
     AssignmentTotals totals = assignmentTotals(ctx, is_hot);
     if (hot)
         return std::max(totals.th_total,

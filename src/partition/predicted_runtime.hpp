@@ -9,6 +9,11 @@
  * first tile containing each r_id (untiled traversal).
  */
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "model/memory_model.hpp"
 #include "partition/partition.hpp"
 
 namespace hottiles {
@@ -31,6 +36,76 @@ struct AssignmentTotals
 AssignmentTotals assignmentTotals(const PartitionContext& ctx,
                                   const std::vector<uint8_t>& is_hot,
                                   bool readjust = true);
+
+/**
+ * The §IV-C readjustment core for one row panel and one worker type,
+ * parameterized over tile and row-id access so the in-memory grid and
+ * the out-of-core streamed pipeline (docs/OUTOFCORE.md) share the
+ * arithmetic bit-for-bit.  Fills extra Dout bytes (read + write) into
+ * @p extra, indexed panel-locally (extra[t - first]); 0 for tiles the
+ * type does not own.  @p tile_at(t) must return the Tile for global
+ * tile index t; @p rows_of(t) its row ids in tiled order (only invoked
+ * for untiled-traversal workers).  @p rid_stamp must have at least
+ * tile_height entries; @p generation must never repeat a value already
+ * present in @p rid_stamp.
+ */
+template <typename TileAtFn, typename RowsOfFn>
+void
+panelReadjustExtras(const WorkerTraits& w, const KernelConfig& kernel,
+                    const uint8_t* is_hot, bool for_hot, size_t first,
+                    size_t last, TileAtFn&& tile_at, RowsOfFn&& rows_of,
+                    std::vector<uint32_t>& rid_stamp, uint32_t& generation,
+                    double* extra)
+{
+    std::fill(extra, extra + (last - first), 0.0);
+    if (w.dout_reuse != ReuseType::InterTile)
+        return;
+
+    const double row_bytes = denseRowBytes(w, kernel);
+    if (w.traversal == TraversalOrder::TiledRowMajor) {
+        // The first owned tile streams the whole panel's Dout rows in
+        // and the last one writes them back; charge both to the first
+        // tile (it bounds the predicted time identically).
+        for (size_t t = first; t < last; ++t) {
+            if ((is_hot[t] != 0) == for_hot) {
+                extra[t - first] = 2.0 * row_bytes * tile_at(t).height;
+                break;
+            }
+        }
+    } else {
+        // Untiled: each r_id's first appearance among owned tiles costs
+        // one demand read + one write of the row.
+        ++generation;
+        for (size_t t = first; t < last; ++t) {
+            if ((is_hot[t] != 0) != for_hot)
+                continue;
+            double new_rids = 0;
+            const Index row0 = tile_at(t).row0;
+            for (Index rid : rows_of(t)) {
+                Index local = rid - row0;
+                if (rid_stamp[local] != generation) {
+                    rid_stamp[local] = generation;
+                    new_rids += 1.0;
+                }
+            }
+            extra[t - first] = 2.0 * row_bytes * new_rids;
+        }
+    }
+}
+
+/**
+ * Reduce an assignment plus already-materialized per-tile readjustment
+ * extras to totals.  Pass empty extras vectors for the raw
+ * maximum-reuse totals.  Works on grid-free contexts
+ * (makePartitionContextFromDirectory); with extras produced by
+ * panelReadjustExtras the result is bit-identical to
+ * assignmentTotals(ctx, is_hot, true) on the equivalent grid context.
+ */
+AssignmentTotals
+assignmentTotalsWithExtras(const PartitionContext& ctx,
+                           const std::vector<uint8_t>& is_hot,
+                           const std::vector<double>& extra_hot,
+                           const std::vector<double>& extra_cold);
 
 /**
  * Per-tile score of an assignment: each tile's final (§IV-C

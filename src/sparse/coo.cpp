@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace hottiles {
 
@@ -35,6 +36,16 @@ CooMatrix::CooMatrix(Index rows, Index cols, std::vector<Nonzero> nnzs)
         push(nz.row, nz.col, nz.val);
 }
 
+CooMatrix::CooMatrix(Index rows, Index cols, std::vector<Index> row_ids,
+                     std::vector<Index> col_ids, std::vector<Value> vals)
+    : rows_(rows), cols_(cols), row_ids_(std::move(row_ids)),
+      col_ids_(std::move(col_ids)), vals_(std::move(vals))
+{
+    HT_ASSERT(row_ids_.size() == col_ids_.size() &&
+                  row_ids_.size() == vals_.size(),
+              "adopted arrays must have equal length");
+}
+
 double
 CooMatrix::avgDegree() const
 {
@@ -53,6 +64,8 @@ CooMatrix::push(Index r, Index c, Value v)
 {
     HT_ASSERT(r < rows_ && c < cols_, "nonzero (", r, ",", c,
               ") outside ", rows_, "x", cols_);
+    if (row_ids_.size() == row_ids_.capacity())
+        MetricsRegistry::global().counter("alloc.coo_regrow").add();
     row_ids_.push_back(r);
     col_ids_.push_back(c);
     vals_.push_back(v);
@@ -68,7 +81,12 @@ CooMatrix::reserve(size_t n)
 
 namespace {
 
-/** Sort the three parallel arrays by a (row,col) comparator via permutation. */
+/**
+ * Sort the three parallel arrays by a (row,col) comparator via
+ * permutation.  Equal coordinates keep insertion order (stable): the
+ * streamed `.htb` converter sums duplicates per panel in file order and
+ * must produce bit-identical float sums to this path.
+ */
 template <typename Less>
 void
 sortParallel(std::vector<Index>& rs, std::vector<Index>& cs,
@@ -77,7 +95,11 @@ sortParallel(std::vector<Index>& rs, std::vector<Index>& cs,
     std::vector<uint32_t> perm(rs.size());
     std::iota(perm.begin(), perm.end(), 0u);
     std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
-        return less(rs[a], cs[a], rs[b], cs[b]);
+        if (less(rs[a], cs[a], rs[b], cs[b]))
+            return true;
+        if (less(rs[b], cs[b], rs[a], cs[a]))
+            return false;
+        return a < b;
     });
     std::vector<Index> rs2(rs.size()), cs2(cs.size());
     std::vector<Value> vs2(vs.size());

@@ -27,6 +27,14 @@ class CooMatrix
     /** Create from an explicit nonzero list (unsorted is fine). */
     CooMatrix(Index rows, Index cols, std::vector<Nonzero> nnzs);
 
+    /**
+     * Adopt pre-built parallel arrays without copying (the arrays must
+     * have equal length; indices are trusted — validated loaders like
+     * loadHtbToCoo check bounds before adopting).
+     */
+    CooMatrix(Index rows, Index cols, std::vector<Index> row_ids,
+              std::vector<Index> col_ids, std::vector<Value> vals);
+
     Index rows() const { return rows_; }
     Index cols() const { return cols_; }
     size_t nnz() const { return row_ids_.size(); }

@@ -26,7 +26,11 @@ CsrMatrix::fromCoo(const CooMatrix& coo)
     for (Index r = 0; r < m.rows_; ++r)
         m.row_ptr_[r + 1] += m.row_ptr_[r];
     // Row-major-sorted COO stores nonzeros in exactly CSR order, so the
-    // column and value arrays transfer as two bulk copies.
+    // column and value arrays transfer as two bulk copies.  Reserve the
+    // exact nonzero count up front: every array here is sized once and
+    // never regrows (capacity == size is pinned by a test).
+    m.col_ids_.reserve(src->nnz());
+    m.vals_.reserve(src->nnz());
     m.col_ids_.assign(src->colIds().begin(), src->colIds().end());
     m.vals_.assign(src->values().begin(), src->values().end());
     return m;

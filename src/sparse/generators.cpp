@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/random.hpp"
+#include "sparse/htb.hpp"
 
 namespace hottiles {
 
@@ -131,6 +132,82 @@ genRmat(Index rows, size_t nnz, double a, double b, double c, double d,
         oversample = std::min(16.0, 1.0 / std::max(yield, 0.0625));
     }
     return m;
+}
+
+uint64_t
+genRmatHtb(const std::string& path, Index rows, size_t nnz, double a,
+           double b, double c, double d, uint64_t seed, Index panel_rows)
+{
+    HT_ASSERT(rows > 1 && std::has_single_bit(uint64_t(rows)),
+              "streamed rmat requires a power-of-two row count");
+    HT_ASSERT(panel_rows > 0 && panel_rows <= rows &&
+                  std::has_single_bit(uint64_t(panel_rows)),
+              "panel_rows must be a power of two <= rows");
+    double total = a + b + c + d;
+    HT_ASSERT(std::abs(total - 1.0) < 1e-6,
+              "rmat probabilities must sum to 1");
+
+    const int scale = std::bit_width(uint64_t(rows) - 1);
+    const int k = scale - std::bit_width(uint64_t(panel_rows) - 1);
+    const Index num_panels = rows / panel_rows;
+    const double p_top = a + b;    // mass of the upper row half
+    const double p_bottom = c + d; // mass of the lower row half
+    // Conditional column-bit distribution given the fixed row bit.
+    const double col1_given_row0 = p_top > 0.0 ? b / p_top : 0.0;
+    const double col1_given_row1 = p_bottom > 0.0 ? d / p_bottom : 0.0;
+
+    HtbWriter w(path, rows, rows, panel_rows);
+    CooMatrix panel(rows, rows);
+    double cum = 0.0;
+    uint64_t assigned = 0;
+    for (Index p = 0; p < num_panels; ++p) {
+        // Panel mass = product of its fixed row-bit marginals; integer
+        // edge targets from rounded cumulative shares so they sum to
+        // exactly nnz (pre-dedup).
+        double mass = 1.0;
+        for (int j = 0; j < k; ++j)
+            mass *= ((p >> (k - 1 - j)) & 1) ? p_bottom : p_top;
+        cum += mass;
+        const auto upto = static_cast<uint64_t>(
+            std::llround(std::min(cum, 1.0) * double(nnz)));
+        const uint64_t edges = upto > assigned ? upto - assigned : 0;
+        assigned = upto;
+
+        uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (uint64_t(p) + 1));
+        Rng rng(splitmix64(state));
+        panel = CooMatrix(rows, rows);
+        panel.reserve(edges);
+        for (uint64_t e = 0; e < edges; ++e) {
+            Index row = p * panel_rows;
+            Index col = 0;
+            for (int level = 0; level < scale; ++level) {
+                const Index bit = rows >> (level + 1);
+                if (level < k) {
+                    // Row bit fixed by the panel: sample the column bit
+                    // from the conditional quadrant distribution.
+                    const bool rb = ((p >> (k - 1 - level)) & 1) != 0;
+                    if (rng.nextBool(rb ? col1_given_row1 : col1_given_row0))
+                        col |= bit;
+                } else {
+                    const double q = rng.nextDouble();
+                    if (q < a) {
+                        // upper-left quadrant: nothing to add
+                    } else if (q < a + b) {
+                        col |= bit;
+                    } else if (q < a + b + c) {
+                        row |= bit;
+                    } else {
+                        row |= bit;
+                        col |= bit;
+                    }
+                }
+            }
+            panel.push(row, col, randomValue(rng));
+        }
+        finalize(panel);
+        w.appendPanel(panel.rowIds(), panel.colIds(), panel.values());
+    }
+    return w.finish();
 }
 
 CooMatrix

@@ -20,6 +20,7 @@
  */
 
 #include <cstdint>
+#include <string>
 
 #include "sparse/coo.hpp"
 
@@ -36,6 +37,21 @@ CooMatrix genUniform(Index rows, Index cols, size_t nnz, uint64_t seed);
  */
 CooMatrix genRmat(Index rows, size_t nnz, double a, double b, double c,
                   double d, uint64_t seed);
+
+/**
+ * Streamed R-MAT: emits a panel-sorted `.htb` file directly, holding
+ * only one panel in memory at a time, so billion-nonzero inputs never
+ * materialize a COO (docs/OUTOFCORE.md).  @p rows and @p panel_rows
+ * must be powers of two so panels align with quadrant boundaries: the
+ * top `log2(rows/panel_rows)` row bits are fixed per panel and each
+ * panel draws its expected share of edges, sampling column bits from
+ * the conditional quadrant distribution on the constrained levels.
+ * Deterministic in (parameters, seed); not edge-compatible with
+ * `genRmat` (different sampling order).  Returns the deduped nnz.
+ */
+uint64_t genRmatHtb(const std::string& path, Index rows, size_t nnz,
+                    double a, double b, double c, double d, uint64_t seed,
+                    Index panel_rows);
 
 /**
  * Mesh-like matrix: each row connects to ~@p degree neighbors at

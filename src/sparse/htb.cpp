@@ -1,0 +1,401 @@
+#include "sparse/htb.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hottiles {
+
+size_t
+readFully(int fd, void* buf, size_t n)
+{
+    char* p = static_cast<char*>(buf);
+    size_t done = 0;
+    while (done < n) {
+        ssize_t r = ::read(fd, p + done, n - done);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            HT_FATAL("read failed: ", std::strerror(errno));
+        }
+        if (r == 0)
+            break; // EOF
+        done += static_cast<size_t>(r);
+    }
+    return done;
+}
+
+void
+writeFully(int fd, const void* buf, size_t n)
+{
+    const char* p = static_cast<const char*>(buf);
+    size_t done = 0;
+    while (done < n) {
+        ssize_t w = ::write(fd, p + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            HT_FATAL("write failed: ", std::strerror(errno));
+        }
+        HT_FATAL_IF(w == 0, "write made no progress");
+        done += static_cast<size_t>(w);
+    }
+}
+
+namespace {
+
+constexpr size_t kCopyChunk = size_t(1) << 20;
+
+Index
+ceilDivIndex(Index a, Index b)
+{
+    return static_cast<Index>((uint64_t(a) + b - 1) / b);
+}
+
+[[noreturn]] void
+badFile(const std::string& path, const std::string& why)
+{
+    HT_FATAL("invalid .htb file '", path, "': ", why);
+}
+
+} // namespace
+
+// --- HtbWriter ---------------------------------------------------------
+
+HtbWriter::HtbWriter(const std::string& path, Index rows, Index cols,
+                     Index panel_rows)
+    : path_(path), rows_(rows), cols_(cols), panel_rows_(panel_rows)
+{
+    HT_FATAL_IF(rows == 0 || cols == 0, "cannot write empty-shaped .htb '",
+                path, "'");
+    HT_FATAL_IF(panel_rows == 0, "panel_rows must be positive");
+    num_panels_ = ceilDivIndex(rows_, panel_rows_);
+    panel_index_.reserve(size_t(num_panels_) + 1);
+    panel_index_.push_back(0);
+    static const char* kSuffix[3] = {".rows.tmp", ".cols.tmp", ".vals.tmp"};
+    for (int i = 0; i < 3; ++i) {
+        tmp_path_[i] = path_ + kSuffix[i];
+        tmp_fd_[i] = ::open(tmp_path_[i].c_str(),
+                            O_CREAT | O_TRUNC | O_RDWR, 0644);
+        HT_FATAL_IF(tmp_fd_[i] < 0, "cannot create temp file '", tmp_path_[i],
+                    "': ", std::strerror(errno));
+    }
+}
+
+HtbWriter::~HtbWriter()
+{
+    for (int i = 0; i < 3; ++i) {
+        if (tmp_fd_[i] >= 0)
+            ::close(tmp_fd_[i]);
+        if (!finished_ && !tmp_path_[i].empty())
+            ::unlink(tmp_path_[i].c_str());
+    }
+}
+
+void
+HtbWriter::appendPanel(std::span<const Index> row_ids,
+                       std::span<const Index> col_ids,
+                       std::span<const Value> vals)
+{
+    HT_ASSERT(!finished_, "appendPanel after finish");
+    HT_FATAL_IF(next_panel_ >= num_panels_, "more panels than declared (",
+                num_panels_, ") appended to '", path_, "'");
+    HT_ASSERT(row_ids.size() == col_ids.size() &&
+                  row_ids.size() == vals.size(),
+              "panel arrays must have equal length");
+    const Index p = next_panel_++;
+    const Index row0 = p * panel_rows_;
+    const Index row_end = static_cast<Index>(
+        std::min<uint64_t>(rows_, uint64_t(row0) + panel_rows_));
+    for (size_t i = 0; i < row_ids.size(); ++i) {
+        HT_FATAL_IF(row_ids[i] < row0 || row_ids[i] >= row_end,
+                    "panel ", p, " entry row ", row_ids[i],
+                    " outside panel range [", row0, ",", row_end, ")");
+        HT_FATAL_IF(col_ids[i] >= cols_, "panel ", p, " entry col ",
+                    col_ids[i], " outside ", cols_, " columns");
+        if (i > 0) {
+            const bool ordered =
+                row_ids[i] > row_ids[i - 1] ||
+                (row_ids[i] == row_ids[i - 1] && col_ids[i] > col_ids[i - 1]);
+            HT_FATAL_IF(!ordered, "panel ", p,
+                        " entries not strictly row-major sorted at ", i);
+        }
+    }
+    writeFully(tmp_fd_[0], row_ids.data(), row_ids.size_bytes());
+    writeFully(tmp_fd_[1], col_ids.data(), col_ids.size_bytes());
+    writeFully(tmp_fd_[2], vals.data(), vals.size_bytes());
+    panel_index_.push_back(panel_index_.back() + row_ids.size());
+}
+
+uint64_t
+HtbWriter::finish()
+{
+    HT_ASSERT(!finished_, "finish called twice");
+    HT_FATAL_IF(next_panel_ != num_panels_, "only ", next_panel_, " of ",
+                num_panels_, " panels appended to '", path_, "'");
+    const uint64_t nnz = panel_index_.back();
+
+    int out = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    HT_FATAL_IF(out < 0, "cannot create '", path_, "': ",
+                std::strerror(errno));
+
+    HtbHeader h{};
+    std::memcpy(h.magic, kHtbMagic, sizeof(h.magic));
+    h.version = kHtbVersion;
+    h.flags = 0;
+    h.rows = rows_;
+    h.cols = cols_;
+    h.nnz = nnz;
+    h.panel_rows = panel_rows_;
+    h.num_panels = num_panels_;
+    h.index_offset = sizeof(HtbHeader) + 12 * nnz;
+    writeFully(out, &h, sizeof(h));
+
+    std::vector<char> buf(kCopyChunk);
+    for (int i = 0; i < 3; ++i) {
+        HT_FATAL_IF(::lseek(tmp_fd_[i], 0, SEEK_SET) != 0, "seek failed on '",
+                    tmp_path_[i], "': ", std::strerror(errno));
+        const size_t elem = i < 2 ? sizeof(Index) : sizeof(Value);
+        size_t remaining = nnz * elem;
+        while (remaining > 0) {
+            const size_t want = std::min(remaining, buf.size());
+            const size_t got = readFully(tmp_fd_[i], buf.data(), want);
+            HT_FATAL_IF(got != want, "temp file '", tmp_path_[i],
+                        "' shorter than expected");
+            writeFully(out, buf.data(), got);
+            remaining -= got;
+        }
+        ::close(tmp_fd_[i]);
+        tmp_fd_[i] = -1;
+        ::unlink(tmp_path_[i].c_str());
+    }
+    writeFully(out, panel_index_.data(),
+               panel_index_.size() * sizeof(uint64_t));
+    HT_FATAL_IF(::close(out) != 0, "close failed on '", path_, "': ",
+                std::strerror(errno));
+    finished_ = true;
+    return nnz;
+}
+
+void
+writeHtbFromCoo(const std::string& path, const CooMatrix& a, Index panel_rows)
+{
+    HT_ASSERT(a.isRowMajorSorted(), "writeHtbFromCoo requires sorted input");
+    HtbWriter w(path, a.rows(), a.cols(), panel_rows);
+    const auto& rows = a.rowIds();
+    const auto& cols = a.colIds();
+    const auto& vals = a.values();
+    size_t b = 0;
+    for (Index p = 0; p < w.numPanels(); ++p) {
+        const Index row_end = static_cast<Index>(
+            std::min<uint64_t>(a.rows(), uint64_t(p + 1) * panel_rows));
+        size_t e = std::lower_bound(rows.begin() + b, rows.end(), row_end) -
+                   rows.begin();
+        w.appendPanel({rows.data() + b, e - b}, {cols.data() + b, e - b},
+                      {vals.data() + b, e - b});
+        b = e;
+    }
+    w.finish();
+}
+
+// --- MappedMatrix ------------------------------------------------------
+
+MappedMatrix::MappedMatrix(const std::string& path) : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    HT_FATAL_IF(fd_ < 0, "cannot open '", path, "': ", std::strerror(errno));
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        HT_FATAL("cannot stat '", path, "': ", std::strerror(errno));
+    }
+    const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+    // From here on, throw through badFile after releasing the fd via the
+    // destructor path: map first, then validate.
+    if (file_size < sizeof(HtbHeader)) {
+        ::close(fd_);
+        fd_ = -1;
+        badFile(path, "file smaller than the 64-byte header");
+    }
+    map_len_ = static_cast<size_t>(file_size);
+    map_ = ::mmap(nullptr, map_len_, PROT_READ, MAP_PRIVATE, fd_, 0);
+    if (map_ == MAP_FAILED) {
+        map_ = nullptr;
+        ::close(fd_);
+        fd_ = -1;
+        HT_FATAL("cannot mmap '", path, "': ", std::strerror(errno));
+    }
+
+    // A throw from a constructor skips the destructor — release the
+    // mapping and fd by hand if validation rejects the file.
+    try {
+        HtbHeader h;
+        std::memcpy(&h, map_, sizeof(h));
+        if (std::memcmp(h.magic, kHtbMagic, sizeof(h.magic)) != 0)
+            badFile(path, "bad magic (not a .htb file)");
+        if (h.version != kHtbVersion)
+            badFile(path, "unsupported version " + std::to_string(h.version));
+        if (h.flags != 0)
+            badFile(path, "unsupported flags");
+        const uint64_t index_max = std::numeric_limits<Index>::max();
+        if (h.rows == 0 || h.cols == 0 || h.rows > index_max ||
+            h.cols > index_max)
+            badFile(path, "bad dimensions");
+        if (h.panel_rows == 0 || h.panel_rows > index_max ||
+            h.num_panels != (h.rows + h.panel_rows - 1) / h.panel_rows)
+            badFile(path, "panel geometry inconsistent with dimensions");
+        if (h.nnz > (std::numeric_limits<uint64_t>::max() -
+                     sizeof(HtbHeader) - 8 * (h.num_panels + 1)) /
+                        12)
+            badFile(path, "nnz overflows the file layout");
+        if (h.index_offset != sizeof(HtbHeader) + 12 * h.nnz)
+            badFile(path, "index_offset inconsistent with nnz");
+        const uint64_t expected = h.index_offset + 8 * (h.num_panels + 1);
+        if (file_size != expected)
+            badFile(path, "file size " + std::to_string(file_size) +
+                              " != expected " + std::to_string(expected));
+
+        rows_ = static_cast<Index>(h.rows);
+        cols_ = static_cast<Index>(h.cols);
+        nnz_ = static_cast<size_t>(h.nnz);
+        panel_rows_ = static_cast<Index>(h.panel_rows);
+        num_panels_ = static_cast<Index>(h.num_panels);
+        const char* base = static_cast<const char*>(map_);
+        row_ids_ = reinterpret_cast<const Index*>(base + sizeof(HtbHeader));
+        col_ids_ = row_ids_ + nnz_;
+        vals_ = reinterpret_cast<const Value*>(base + sizeof(HtbHeader) +
+                                               8 * uint64_t(nnz_));
+
+        // The on-disk index (at 64 + 12·nnz) is not 8-byte aligned for
+        // odd nnz — copy it out instead of aliasing it.
+        panel_index_.resize(size_t(num_panels_) + 1);
+        std::memcpy(panel_index_.data(), base + h.index_offset,
+                    panel_index_.size() * sizeof(uint64_t));
+        if (panel_index_.front() != 0 || panel_index_.back() != h.nnz)
+            badFile(path, "panel index does not span [0, nnz]");
+        for (size_t p = 1; p < panel_index_.size(); ++p)
+            if (panel_index_[p] < panel_index_[p - 1])
+                badFile(path, "panel index not monotone");
+    } catch (...) {
+        ::munmap(map_, map_len_);
+        map_ = nullptr;
+        ::close(fd_);
+        fd_ = -1;
+        throw;
+    }
+
+    adviseSequential();
+}
+
+MappedMatrix::~MappedMatrix()
+{
+    if (map_ != nullptr)
+        ::munmap(map_, map_len_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+MappedMatrix::MappedMatrix(MappedMatrix&& o) noexcept
+    : path_(std::move(o.path_)), fd_(o.fd_), map_(o.map_),
+      map_len_(o.map_len_), rows_(o.rows_), cols_(o.cols_), nnz_(o.nnz_),
+      panel_rows_(o.panel_rows_), num_panels_(o.num_panels_),
+      row_ids_(o.row_ids_), col_ids_(o.col_ids_), vals_(o.vals_),
+      panel_index_(std::move(o.panel_index_))
+{
+    o.fd_ = -1;
+    o.map_ = nullptr;
+    o.map_len_ = 0;
+}
+
+size_t
+MappedMatrix::panelBeginEntry(Index panel_rows, Index p) const
+{
+    HT_ASSERT(panel_rows > 0, "panel height must be positive");
+    const uint64_t row0_64 = uint64_t(p) * panel_rows;
+    if (row0_64 >= rows_)
+        return nnz_;
+    const Index row0 = static_cast<Index>(row0_64);
+    if (row0 % panel_rows_ == 0)
+        return static_cast<size_t>(panel_index_[row0 / panel_rows_]);
+    auto ids = rowIds();
+    return std::lower_bound(ids.begin(), ids.end(), row0) - ids.begin();
+}
+
+void
+MappedMatrix::validateData() const
+{
+    for (size_t i = 0; i < nnz_; ++i) {
+        if (row_ids_[i] >= rows_ || col_ids_[i] >= cols_)
+            badFile(path_, "entry " + std::to_string(i) + " out of range");
+        if (i > 0) {
+            const bool ordered =
+                row_ids_[i] > row_ids_[i - 1] ||
+                (row_ids_[i] == row_ids_[i - 1] &&
+                 col_ids_[i] > col_ids_[i - 1]);
+            if (!ordered)
+                badFile(path_, "entries not strictly row-major sorted at " +
+                                   std::to_string(i));
+        }
+    }
+    for (Index p = 1; p < num_panels_; ++p) {
+        const size_t b = static_cast<size_t>(panel_index_[p]);
+        const Index row0 = p * panel_rows_;
+        if (b < nnz_ && row_ids_[b] < row0)
+            badFile(path_, "panel index points before panel " +
+                               std::to_string(p));
+        if (b > 0 && b <= nnz_ && row_ids_[b - 1] >= row0)
+            badFile(path_, "panel index points after panel start " +
+                               std::to_string(p));
+    }
+}
+
+void
+MappedMatrix::adviseSequential() const
+{
+    if (map_ != nullptr)
+        ::madvise(map_, map_len_, MADV_SEQUENTIAL);
+}
+
+void
+MappedMatrix::releaseEntries(size_t first, size_t last) const
+{
+    if (map_ == nullptr || first >= last)
+        return;
+    const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    auto drop = [&](const void* arr, size_t elem) {
+        const uintptr_t lo = reinterpret_cast<uintptr_t>(arr) + first * elem;
+        const uintptr_t hi = reinterpret_cast<uintptr_t>(arr) + last * elem;
+        const uintptr_t lo_pg = (lo + page - 1) / page * page;
+        const uintptr_t hi_pg = hi / page * page;
+        if (hi_pg > lo_pg)
+            ::madvise(reinterpret_cast<void*>(lo_pg), hi_pg - lo_pg,
+                      MADV_DONTNEED);
+    };
+    drop(row_ids_, sizeof(Index));
+    drop(col_ids_, sizeof(Index));
+    drop(vals_, sizeof(Value));
+}
+
+CooMatrix
+loadHtbToCoo(const std::string& path)
+{
+    MappedMatrix m(path);
+    m.validateData();
+    std::vector<Index> rows(m.rowIds().begin(), m.rowIds().end());
+    std::vector<Index> cols(m.colIds().begin(), m.colIds().end());
+    std::vector<Value> vals(m.vals().begin(), m.vals().end());
+    return CooMatrix(m.rows(), m.cols(), std::move(rows), std::move(cols),
+                     std::move(vals));
+}
+
+} // namespace hottiles

@@ -1,21 +1,24 @@
 #include "sparse/matrix_market.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "sparse/htb.hpp"
 
 namespace hottiles {
 
 namespace {
-
-enum class Field { Real, Integer, Pattern };
-enum class Symmetry { General, Symmetric, SkewSymmetric };
 
 uint64_t
 parseUint(std::string_view tok, const char* what)
@@ -40,8 +43,8 @@ parseDouble(std::string_view tok)
 
 } // namespace
 
-CooMatrix
-readMatrixMarket(std::istream& is)
+MatrixMarketInfo
+readMatrixMarketHeader(std::istream& is)
 {
     std::string line;
     if (!std::getline(is, line))
@@ -52,27 +55,30 @@ readMatrixMarket(std::istream& is)
         !iequals(header[1], "matrix") || !iequals(header[2], "coordinate"))
         HT_FATAL("MatrixMarket: unsupported header '", line, "'");
 
-    Field field;
-    if (iequals(header[3], "real"))
-        field = Field::Real;
-    else if (iequals(header[3], "integer"))
-        field = Field::Integer;
+    MatrixMarketInfo info;
+    if (iequals(header[3], "real") || iequals(header[3], "integer"))
+        info.pattern = false;
     else if (iequals(header[3], "pattern"))
-        field = Field::Pattern;
+        info.pattern = true;
     else
         HT_FATAL("MatrixMarket: unsupported field '", std::string(header[3]),
                  "'");
 
-    Symmetry sym;
-    if (iequals(header[4], "general"))
-        sym = Symmetry::General;
-    else if (iequals(header[4], "symmetric"))
-        sym = Symmetry::Symmetric;
-    else if (iequals(header[4], "skew-symmetric"))
-        sym = Symmetry::SkewSymmetric;
-    else
+    if (iequals(header[4], "general")) {
+        info.symmetric = false;
+    } else if (iequals(header[4], "symmetric")) {
+        info.symmetric = true;
+    } else if (iequals(header[4], "skew-symmetric")) {
+        info.symmetric = true;
+        info.skew = true;
+    } else {
         HT_FATAL("MatrixMarket: unsupported symmetry '",
                  std::string(header[4]), "'");
+    }
+    // A pattern matrix has no values to negate: the combination is
+    // contradictory (all-zero skew entries) and always a file bug.
+    if (info.pattern && info.skew)
+        HT_FATAL("MatrixMarket: pattern field cannot be skew-symmetric");
 
     // Skip comments, find the size line.
     bool found_size = false;
@@ -90,40 +96,44 @@ readMatrixMarket(std::istream& is)
         HT_FATAL("MatrixMarket: bad size line '", line, "'");
     const uint64_t rows64 = parseUint(size_tok[0], "row count");
     const uint64_t cols64 = parseUint(size_tok[1], "column count");
-    auto entries = parseUint(size_tok[2], "entry count");
+    info.entries = parseUint(size_tok[2], "entry count");
     constexpr uint64_t kMaxDim = std::numeric_limits<Index>::max();
     if (rows64 > kMaxDim || cols64 > kMaxDim)
         HT_FATAL("MatrixMarket: dimensions ", rows64, "x", cols64,
                  " exceed the ", kMaxDim, " index limit");
-    auto rows = static_cast<Index>(rows64);
-    auto cols = static_cast<Index>(cols64);
+    info.rows = static_cast<Index>(rows64);
+    info.cols = static_cast<Index>(cols64);
+    if (info.symmetric && rows64 != cols64)
+        HT_FATAL("MatrixMarket: ", info.skew ? "skew-" : "",
+                 "symmetric storage requires a square matrix, got ", rows64,
+                 "x", cols64);
     // rows64 * cols64 cannot overflow: both are < 2^32.
-    if (entries > rows64 * cols64)
-        HT_FATAL("MatrixMarket: entry count ", entries,
+    if (info.entries > rows64 * cols64)
+        HT_FATAL("MatrixMarket: entry count ", info.entries,
                  " exceeds matrix capacity ", rows64, "x", cols64);
+    return info;
+}
 
-    CooMatrix m(rows, cols);
-    // Cap the up-front reservation: a corrupted size line must not be
-    // able to trigger a huge allocation before any entry is read.
-    constexpr uint64_t kMaxReserve = uint64_t(1) << 26;
-    m.reserve(std::min(sym == Symmetry::General ? entries : 2 * entries,
-                       kMaxReserve));
-
+void
+forEachMatrixMarketEntry(std::istream& is, const MatrixMarketInfo& info,
+                         const std::function<void(Index, Index, Value)>& emit)
+{
+    std::string line;
     uint64_t seen = 0;
-    while (seen < entries && std::getline(is, line)) {
+    while (seen < info.entries && std::getline(is, line)) {
         auto t = trim(line);
         if (t.empty() || t[0] == '%')
             continue;
         auto tok = splitWs(t);
-        size_t want = field == Field::Pattern ? 2 : 3;
+        size_t want = info.pattern ? 2 : 3;
         if (tok.size() < want)
             HT_FATAL("MatrixMarket: short entry line '", line, "'");
         auto r = parseUint(tok[0], "row index");
         auto c = parseUint(tok[1], "column index");
-        if (r < 1 || r > rows || c < 1 || c > cols)
+        if (r < 1 || r > info.rows || c < 1 || c > info.cols)
             HT_FATAL("MatrixMarket: index (", r, ",", c, ") out of range");
         double v = 1.0;
-        if (field != Field::Pattern) {
+        if (!info.pattern) {
             v = parseDouble(tok[2]);
             // Reject NaN/Inf and doubles that overflow the fp32 Value.
             if (!std::isfinite(v) ||
@@ -134,16 +144,41 @@ readMatrixMarket(std::istream& is)
 
         auto ri = static_cast<Index>(r - 1);
         auto ci = static_cast<Index>(c - 1);
-        m.push(ri, ci, static_cast<Value>(v));
-        if (sym != Symmetry::General && ri != ci) {
-            double mirror = sym == Symmetry::SkewSymmetric ? -v : v;
-            m.push(ci, ri, static_cast<Value>(mirror));
+        if (info.skew && ri == ci)
+            HT_FATAL("MatrixMarket: explicit diagonal entry (", r, ",", c,
+                     ") in a skew-symmetric file");
+        // Symmetric storage keeps the lower triangle (row >= col); an
+        // upper-triangle entry would be mirrored into a double-count.
+        if (info.symmetric && ci > ri)
+            HT_FATAL("MatrixMarket: upper-triangle entry (", r, ",", c,
+                     ") in ", info.skew ? "skew-" : "",
+                     "symmetric storage");
+        emit(ri, ci, static_cast<Value>(v));
+        if (info.symmetric && ri != ci) {
+            double mirror = info.skew ? -v : v;
+            emit(ci, ri, static_cast<Value>(mirror));
         }
         ++seen;
     }
-    if (seen != entries)
-        HT_FATAL("MatrixMarket: expected ", entries, " entries, got ", seen);
+    if (seen != info.entries)
+        HT_FATAL("MatrixMarket: expected ", info.entries, " entries, got ",
+                 seen);
+}
 
+CooMatrix
+readMatrixMarket(std::istream& is)
+{
+    const MatrixMarketInfo info = readMatrixMarketHeader(is);
+    CooMatrix m(info.rows, info.cols);
+    // Exact reservation (entry count is in the header; symmetric files
+    // mirror every off-diagonal entry, so 2x is the worst case), capped
+    // so a corrupted size line cannot trigger a huge allocation before
+    // any entry is read.
+    constexpr uint64_t kMaxReserve = uint64_t(1) << 26;
+    m.reserve(std::min(info.symmetric ? 2 * info.entries : info.entries,
+                       kMaxReserve));
+    forEachMatrixMarketEntry(
+        is, info, [&](Index r, Index c, Value v) { m.push(r, c, v); });
     m.sortRowMajor();
     m.dedupSum();
     return m;
@@ -156,6 +191,171 @@ readMatrixMarketFile(const std::string& path)
     if (!f)
         HT_FATAL("cannot open '", path, "'");
     return readMatrixMarket(f);
+}
+
+namespace {
+
+#pragma pack(push, 1)
+struct ScatterRec
+{
+    Index r, c;
+    Value v;
+};
+#pragma pack(pop)
+static_assert(sizeof(ScatterRec) == 12, "scatter record must pack");
+
+void
+pwriteFully(int fd, const void* buf, size_t n, uint64_t off,
+            const char* what)
+{
+    const char* p = static_cast<const char*>(buf);
+    size_t done = 0;
+    while (done < n) {
+        ssize_t w = ::pwrite(fd, p + done, n - done,
+                             static_cast<off_t>(off + done));
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            HT_FATAL("write failed on ", what, ": ", std::strerror(errno));
+        }
+        HT_FATAL_IF(w == 0, "write made no progress on ", what);
+        done += static_cast<size_t>(w);
+    }
+}
+
+void
+preadFully(int fd, void* buf, size_t n, uint64_t off, const char* what)
+{
+    char* p = static_cast<char*>(buf);
+    size_t done = 0;
+    while (done < n) {
+        ssize_t r = ::pread(fd, p + done, n - done,
+                            static_cast<off_t>(off + done));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            HT_FATAL("read failed on ", what, ": ", std::strerror(errno));
+        }
+        HT_FATAL_IF(r == 0, "unexpected EOF on ", what);
+        done += static_cast<size_t>(r);
+    }
+}
+
+} // namespace
+
+uint64_t
+convertMatrixMarketToHtb(const std::string& mtx_path,
+                         const std::string& htb_path, Index panel_rows)
+{
+    HT_FATAL_IF(panel_rows == 0, "panel_rows must be positive");
+
+    // Pass 1: count emitted entries (mirrors included) per panel.
+    MatrixMarketInfo info;
+    std::vector<uint64_t> count;
+    {
+        std::ifstream f(mtx_path);
+        if (!f)
+            HT_FATAL("cannot open '", mtx_path, "'");
+        info = readMatrixMarketHeader(f);
+        const Index num_panels =
+            static_cast<Index>((uint64_t(info.rows) + panel_rows - 1) /
+                               panel_rows);
+        count.assign(num_panels, 0);
+        forEachMatrixMarketEntry(f, info, [&](Index r, Index, Value) {
+            ++count[r / panel_rows];
+        });
+    }
+    const Index num_panels = static_cast<Index>(count.size());
+
+    // Per-panel byte regions in one scatter temp file.
+    std::vector<uint64_t> base(num_panels + 1, 0);
+    for (Index p = 0; p < num_panels; ++p)
+        base[p + 1] = base[p] + count[p];
+    const std::string scatter_path = htb_path + ".scatter.tmp";
+    int sfd = ::open(scatter_path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+    HT_FATAL_IF(sfd < 0, "cannot create temp file '", scatter_path, "': ",
+                std::strerror(errno));
+
+    uint64_t total = 0;
+    try {
+        // Pass 2: re-parse and scatter each entry to its panel region
+        // through small buffers (bounded total buffer memory).
+        constexpr size_t kBufRecs = 512;
+        constexpr size_t kBufBudget = size_t(1) << 22; // records in flight
+        std::vector<std::vector<ScatterRec>> buf(num_panels);
+        std::vector<uint64_t> written(num_panels, 0);
+        size_t buffered = 0;
+        auto flush = [&](Index p) {
+            auto& b = buf[p];
+            if (b.empty())
+                return;
+            pwriteFully(sfd, b.data(), b.size() * sizeof(ScatterRec),
+                        (base[p] + written[p]) * sizeof(ScatterRec),
+                        scatter_path.c_str());
+            written[p] += b.size();
+            buffered -= b.size();
+            b.clear();
+        };
+        {
+            std::ifstream f(mtx_path);
+            if (!f)
+                HT_FATAL("cannot open '", mtx_path, "'");
+            const MatrixMarketInfo again = readMatrixMarketHeader(f);
+            HT_FATAL_IF(again.entries != info.entries,
+                        "'", mtx_path, "' changed between passes");
+            forEachMatrixMarketEntry(f, info, [&](Index r, Index c, Value v) {
+                const Index p = r / panel_rows;
+                buf[p].push_back({r, c, v});
+                ++buffered;
+                if (buf[p].size() >= kBufRecs)
+                    flush(p);
+                if (buffered >= kBufBudget)
+                    for (Index q = 0; q < num_panels; ++q)
+                        flush(q);
+            });
+        }
+        for (Index p = 0; p < num_panels; ++p)
+            flush(p);
+
+        // Pass 3: one panel at a time — stable sort in file order,
+        // duplicate-sum left to right (bit-identical to the in-memory
+        // reader's stable global sort + dedupSum), append.
+        HtbWriter w(htb_path, info.rows, info.cols, panel_rows);
+        std::vector<ScatterRec> panel;
+        std::vector<Index> prows, pcols;
+        std::vector<Value> pvals;
+        for (Index p = 0; p < num_panels; ++p) {
+            panel.resize(count[p]);
+            preadFully(sfd, panel.data(), panel.size() * sizeof(ScatterRec),
+                       base[p] * sizeof(ScatterRec), scatter_path.c_str());
+            std::stable_sort(panel.begin(), panel.end(),
+                             [](const ScatterRec& a, const ScatterRec& b) {
+                                 return a.r != b.r ? a.r < b.r : a.c < b.c;
+                             });
+            prows.clear();
+            pcols.clear();
+            pvals.clear();
+            for (const ScatterRec& rec : panel) {
+                if (!prows.empty() && prows.back() == rec.r &&
+                    pcols.back() == rec.c)
+                    pvals.back() += rec.v;
+                else {
+                    prows.push_back(rec.r);
+                    pcols.push_back(rec.c);
+                    pvals.push_back(rec.v);
+                }
+            }
+            w.appendPanel(prows, pcols, pvals);
+        }
+        total = w.finish();
+    } catch (...) {
+        ::close(sfd);
+        ::unlink(scatter_path.c_str());
+        throw;
+    }
+    ::close(sfd);
+    ::unlink(scatter_path.c_str());
+    return total;
 }
 
 void

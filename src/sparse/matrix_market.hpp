@@ -6,8 +6,15 @@
  * format of the HotTiles preprocessing pipeline (Fig 7).  Supports the
  * real / integer / pattern fields and the general / symmetric /
  * skew-symmetric symmetries, which covers the SuiteSparse collection.
+ *
+ * Two consumption styles: `readMatrixMarket` materializes a sorted,
+ * deduped COO; the header/entry primitives stream entries one at a
+ * time so `convertMatrixMarketToHtb` can build a panel-sorted `.htb`
+ * while holding only one panel's entries plus small scatter buffers
+ * (docs/OUTOFCORE.md).
  */
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -15,11 +22,53 @@
 
 namespace hottiles {
 
+/** Parsed banner + size line of a coordinate MatrixMarket stream. */
+struct MatrixMarketInfo
+{
+    Index rows = 0;
+    Index cols = 0;
+    uint64_t entries = 0; ///< stored entry lines (before mirroring)
+    bool pattern = false;
+    bool symmetric = false; ///< symmetric or skew-symmetric storage
+    bool skew = false;
+};
+
+/**
+ * Parse the banner, comments and size line (leaving the stream at the
+ * first entry line).  Rejects unsupported fields/symmetries, the
+ * contradictory pattern + skew-symmetric combination, and dimensions
+ * beyond the Index limit.  @throws FatalError.
+ */
+MatrixMarketInfo readMatrixMarketHeader(std::istream& is);
+
+/**
+ * Stream every stored entry through @p emit(row, col, value) with full
+ * validation (range, finiteness, fp32 overflow, entry count).  For
+ * symmetric/skew files each off-diagonal entry is followed immediately
+ * by its mirrored twin (negated for skew); explicit diagonal entries
+ * in skew-symmetric files are rejected.  Indices are 0-based.
+ */
+void forEachMatrixMarketEntry(
+    std::istream& is, const MatrixMarketInfo& info,
+    const std::function<void(Index, Index, Value)>& emit);
+
 /** Parse a MatrixMarket coordinate stream into COO (1-based -> 0-based). */
 CooMatrix readMatrixMarket(std::istream& is);
 
 /** Load a .mtx file. @throws FatalError on missing/ill-formed files. */
 CooMatrix readMatrixMarketFile(const std::string& path);
+
+/**
+ * Convert a .mtx file to panel-sorted `.htb` without materializing the
+ * matrix: pass 1 counts entries per panel, pass 2 scatters them into a
+ * temp file region per panel through small buffers, then each panel is
+ * loaded alone, stably sorted, duplicate-summed (file order, exactly
+ * like the in-memory reader) and appended.  Peak RSS is O(largest
+ * panel).  Returns the final nnz.
+ */
+uint64_t convertMatrixMarketToHtb(const std::string& mtx_path,
+                                  const std::string& htb_path,
+                                  Index panel_rows);
 
 /** Write @p m as a general real coordinate MatrixMarket stream. */
 void writeMatrixMarket(const CooMatrix& m, std::ostream& os);

@@ -20,8 +20,6 @@ TileGrid::TileGrid(const CooMatrix& a, Index tile_height, Index tile_width)
     num_panels_ = static_cast<Index>(ceilDiv(rows_, tile_h_));
     num_tcols_ = static_cast<Index>(ceilDiv(cols_, tile_w_));
 
-    const size_t n = a.nnz();
-
     // Row-major-sorted input keeps (row, col) order inside each tile after
     // a stable counting sort by tile key.
     const CooMatrix* src = &a;
@@ -31,6 +29,40 @@ TileGrid::TileGrid(const CooMatrix& a, Index tile_height, Index tile_width)
         sorted.sortRowMajor();
         src = &sorted;
     }
+    build(src->rowIds(), src->colIds(), src->values());
+}
+
+TileGrid::TileGrid(Index rows, Index cols, std::span<const Index> row_ids,
+                   std::span<const Index> col_ids,
+                   std::span<const Value> vals, Index tile_height,
+                   Index tile_width)
+    : rows_(rows), cols_(cols), tile_h_(tile_height), tile_w_(tile_width)
+{
+    HT_ASSERT(tile_height > 0 && tile_width > 0, "tile dims must be > 0");
+    HT_ASSERT(row_ids.size() == col_ids.size() &&
+                  row_ids.size() == vals.size(),
+              "parallel arrays must have equal length");
+    num_panels_ = static_cast<Index>(ceilDiv(rows_, tile_h_));
+    num_tcols_ = static_cast<Index>(ceilDiv(cols_, tile_w_));
+    // Validate instead of sorting: the spans typically alias a read-only
+    // mapped file, and a malformed file must be a clean FatalError.
+    for (size_t i = 0; i < row_ids.size(); ++i) {
+        HT_FATAL_IF(row_ids[i] >= rows_ || col_ids[i] >= cols_,
+                    "mapped entry ", i, " (", row_ids[i], ",", col_ids[i],
+                    ") outside the ", rows_, "x", cols_, " matrix");
+        HT_FATAL_IF(i > 0 && (row_ids[i] < row_ids[i - 1] ||
+                              (row_ids[i] == row_ids[i - 1] &&
+                               col_ids[i] < col_ids[i - 1])),
+                    "mapped entries not row-major sorted at ", i);
+    }
+    build(row_ids, col_ids, vals);
+}
+
+void
+TileGrid::build(std::span<const Index> row_ids,
+                std::span<const Index> col_ids, std::span<const Value> vals)
+{
+    const size_t n = row_ids.size();
 
     // Row-major-sorted input makes each row panel a contiguous nonzero
     // range, and panels also own disjoint (contiguous) ranges of the
@@ -38,7 +70,6 @@ TileGrid::TileGrid(const CooMatrix& a, Index tile_height, Index tile_width)
     // no shared state, and the result is the exact serial counting sort
     // no matter how panels are chunked.  Panel boundaries come from one
     // binary search per panel over the sorted row ids.
-    const std::vector<Index>& row_ids = src->rowIds();
     std::vector<size_t> panel_start(size_t(num_panels_) + 1, n);
     for (Index p = 0; p < num_panels_; ++p) {
         Index first_row = static_cast<Index>(
@@ -62,7 +93,7 @@ TileGrid::TileGrid(const CooMatrix& a, Index tile_height, Index tile_width)
         for (size_t p = pb; p < pe; ++p) {
             PanelHist& h = hist[p];
             for (size_t i = panel_start[p]; i < panel_start[p + 1]; ++i) {
-                Index tc = src->colId(i) / tile_w_;
+                Index tc = col_ids[i] / tile_w_;
                 if (cnt[tc]++ == 0)
                     h.tcols.push_back(tc);
             }
@@ -116,10 +147,10 @@ TileGrid::TileGrid(const CooMatrix& a, Index tile_height, Index tile_width)
             for (size_t j = 0; j < h.tcols.size(); ++j)
                 cursor[h.tcols[j]] = tiles_[panel_tile0[p] + j].offset;
             for (size_t i = panel_start[p]; i < panel_start[p + 1]; ++i) {
-                size_t pos = cursor[src->colId(i) / tile_w_]++;
-                tiled_rows_[pos] = src->rowId(i);
-                tiled_cols_[pos] = src->colId(i);
-                tiled_vals_[pos] = src->value(i);
+                size_t pos = cursor[col_ids[i] / tile_w_]++;
+                tiled_rows_[pos] = row_ids[i];
+                tiled_cols_[pos] = col_ids[i];
+                tiled_vals_[pos] = vals[i];
             }
         }
     });

@@ -76,6 +76,19 @@ class TileGrid
      */
     TileGrid(const CooMatrix& a, Index tile_height, Index tile_width);
 
+    /**
+     * Tile raw parallel arrays without owning or copying the input —
+     * the zero-copy entry point for memory-mapped `.htb` matrices
+     * (docs/OUTOFCORE.md).  The arrays must be row-major sorted with
+     * in-range indices; violations throw FatalError (the spans usually
+     * alias an on-disk file, so this is input validation, not an
+     * internal invariant).  Produces bit-identical state to the
+     * CooMatrix constructor on equal input.
+     */
+    TileGrid(Index rows, Index cols, std::span<const Index> row_ids,
+             std::span<const Index> col_ids, std::span<const Value> vals,
+             Index tile_height, Index tile_width);
+
     Index matrixRows() const { return rows_; }
     Index matrixCols() const { return cols_; }
     size_t matrixNnz() const { return tiled_rows_.size(); }
@@ -151,6 +164,11 @@ class TileGrid
     TileGridDelta applyDelta(const DeltaBatch& d);
 
   private:
+    /** Shared build core (the three counting-sort passes); @p row_ids
+     *  must already be row-major sorted. */
+    void build(std::span<const Index> row_ids, std::span<const Index> col_ids,
+               std::span<const Value> vals);
+
     Index rows_ = 0;
     Index cols_ = 0;
     Index tile_h_ = 0;

@@ -194,6 +194,77 @@ TEST(MatrixMarket, RejectsMalformedSizeAndEntryLines)
     }
 }
 
+TEST(MatrixMarket, RejectsPatternSkewSymmetricHeader)
+{
+    // Contradictory: skew-symmetry needs values to negate, pattern has
+    // none.  The header parser must reject it up front.
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate pattern skew-symmetric\n"
+        "2 2 1\n"
+        "2 1\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsExplicitSkewDiagonal)
+{
+    // A skew-symmetric matrix has a structurally zero diagonal; an
+    // explicit diagonal entry is corrupt input, not a zero to keep.
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "3 3 2\n"
+        "2 1 5.0\n"
+        "2 2 1.0\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsNonSquareSymmetric)
+{
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 4 1\n"
+        "2 1 5.0\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, RejectsUpperTriangleInSymmetricStorage)
+{
+    // Symmetric storage keeps the lower triangle; an upper-triangle
+    // entry means the file lies about its symmetry.
+    std::istringstream is(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 1\n"
+        "1 3 5.0\n");
+    EXPECT_THROW(readMatrixMarket(is), FatalError);
+}
+
+TEST(MatrixMarket, TruncationPropertyNeverCrashes)
+{
+    // Every prefix of a valid symmetric file must either parse or throw
+    // a clean FatalError — never crash or hang.
+    const std::string file =
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "4 4 3\n"
+        "2 1 1.5\n"
+        "3 3 -2.0\n"
+        "4 2 0.25\n";
+    size_t parsed = 0, rejected = 0;
+    for (size_t keep = 0; keep <= file.size(); ++keep) {
+        std::istringstream is(file.substr(0, keep));
+        try {
+            readMatrixMarket(is);
+            ++parsed;
+        } catch (const FatalError&) {
+            ++rejected;
+        }
+    }
+    // Every prefix took one of the two clean exits, the complete file
+    // parses, and the vast majority of truncations are rejected (a few
+    // mid-value cuts like "0.25" -> "0.2" legitimately still parse).
+    EXPECT_EQ(parsed + rejected, file.size() + 1);
+    EXPECT_GE(parsed, 1u);
+    EXPECT_GT(rejected, parsed * 8);
+}
+
 TEST(MatrixMarket, WriteReadRoundTrip)
 {
     CooMatrix m = genUniform(40, 60, 200, 7);

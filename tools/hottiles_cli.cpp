@@ -38,6 +38,12 @@
  *       preprocessing (plan, formats and SpMM output), and report the
  *       incremental-vs-rebuild cost per round.
  *
+ *   hottiles convert <src> <dst.htb> [--panel-rows N]
+ *       Convert a matrix to the panel-sorted `.htb` binary format
+ *       (docs/OUTOFCORE.md).  <src> is a .mtx path (streamed, O(panel)
+ *       RSS), @name for a built-in proxy, or rmat:SCALE:DEGREE[:SEED]
+ *       for a streamed R-MAT generation.  `.htb` files feed --mmap.
+ *
  * Exit codes (asserted by the CLI ctests):
  *   0  success
  *   1  runtime error (bad matrix file, simulation failure, ...)
@@ -46,7 +52,13 @@
  *   4  completed, but degraded by an injected fault (class fail-stop)
  *
  * <matrix> is a MatrixMarket file, or @name for a built-in proxy
- * (e.g. @pap).  Options:
+ * (e.g. @pap); with --mmap it is a `.htb` file consumed zero-copy via
+ * mmap (partition/run only — see `convert`).  Options:
+ *   --mmap       treat <matrix> as `.htb` and memory-map it; the
+ *                preprocessed state is bit-identical to the in-memory
+ *                path, but peak RSS excludes the O(nnz) input arrays
+ *   --panel-rows N  `.htb` panel height written by convert (default 256;
+ *                match the tile height the consumer will use)
  *   --arch spade-sextans[:SCALE] | pcie | piuma   (default spade-sextans:4)
  *   --kernel spmm|spmv|sddmm                      (default spmm)
  *   --k N        dense width                      (default 32)
@@ -125,6 +137,8 @@
 #include "sim/trace.hpp"
 #include "sim/trace_json.hpp"
 #include "sparse/delta.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/htb.hpp"
 #include "sparse/imh_stats.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/suite.hpp"
@@ -144,6 +158,10 @@ struct Options
     Index tile = 0;  // 0 = architecture default
     uint64_t seed = 42;
     unsigned threads = 0;  // 0 = HOTTILES_THREADS env / hardware default
+    // out-of-core (docs/OUTOFCORE.md)
+    bool mmap = false;          //!< <matrix> is a `.htb`, consumed zero-copy
+    Index panel_rows = 256;     //!< `.htb` panel height for `convert`
+    std::string convert_dst;    //!< `convert` output path
     std::string out_file;
     std::string load_file;
     std::string trace_file;
@@ -214,8 +232,9 @@ usage(const char* argv0)
 {
     std::cerr << "usage: " << argv0
               << " suite|analyze|partition|simulate|explore|run|serve|"
-                 "update <matrix> "
+                 "update|convert <matrix> "
                  "[--arch A] [--kernel K] [--k N] [--ai X] [--tile N] "
+                 "[--mmap] [--panel-rows N] "
                  "[--seed N] [--out F] [--load F] [--total N] "
                  "[--threads N] [--faults SPEC] [--fault-seed N] "
                  "[--trace F] [--trace-json F] [--metrics F|-] "
@@ -229,7 +248,9 @@ usage(const char* argv0)
                  "[--updates N] [--inserts N] [--deletes N] "
                  "[--delta-seed S]\n"
                  "<matrix> is a .mtx path or @name for a built-in proxy "
-                 "(serve takes no matrix)\n";
+                 "(serve takes no matrix; convert takes <src> <dst.htb> "
+                 "with src also rmat:SCALE:DEGREE[:SEED]; --mmap reads "
+                 "<matrix> as .htb)\n";
     std::exit(kExitUsage);
 }
 
@@ -245,6 +266,11 @@ parseArgs(int argc, char** argv)
         if (i >= argc)
             usage(argv[0]);
         o.matrix = argv[i++];
+    }
+    if (o.command == "convert") {
+        if (i >= argc)
+            usage(argv[0]);
+        o.convert_dst = argv[i++];
     }
     auto next = [&](const char* what) -> std::string {
         if (i >= argc)
@@ -289,7 +315,15 @@ parseArgs(int argc, char** argv)
                 parseU64Arg(next("--threads"), "--threads"));
         else if (a == "--verbose")
             o.verbose = true;
-        else if (a == "--native")
+        else if (a == "--mmap")
+            o.mmap = true;
+        else if (a == "--panel-rows") {
+            uint64_t pr =
+                parseU64Arg(next("--panel-rows"), "--panel-rows");
+            HT_FATAL_IF(pr == 0 || pr > (uint64_t(1) << 30),
+                        "--panel-rows must be in [1, 2^30]");
+            o.panel_rows = static_cast<Index>(pr);
+        } else if (a == "--native")
             o.native = true;
         else if (a == "--policy")
             o.policy_name = next("--policy");
@@ -468,15 +502,33 @@ cmdAnalyze(const Options& o)
     return 0;
 }
 
+/**
+ * Build the preprocessed state from either path: --mmap maps a `.htb`
+ * and tiles it zero-copy, otherwise the matrix loads into memory.  The
+ * mapping must outlive nothing — the grid owns its tiled arrays — but
+ * is returned anyway so callers can report on it.
+ */
+std::unique_ptr<HotTiles>
+makeHotTiles(const Options& o, const Architecture& arch,
+             const HotTilesOptions& opts)
+{
+    if (o.mmap) {
+        MappedMatrix mapped(o.matrix);
+        return std::make_unique<HotTiles>(arch, mapped, opts);
+    }
+    CooMatrix m = loadMatrix(o);
+    return std::make_unique<HotTiles>(arch, m, opts);
+}
+
 int
 cmdPartition(const Options& o)
 {
-    CooMatrix m = loadMatrix(o);
     Architecture arch = calibrated(makeArch(o));
     HotTilesOptions opts;
     opts.kernel = makeKernel(o);
     opts.iunaware_seed = o.seed;
-    HotTiles ht(arch, m, opts);
+    std::unique_ptr<HotTiles> ht_ptr = makeHotTiles(o, arch, opts);
+    HotTiles& ht = *ht_ptr;
 
     const Partition& p = ht.partition();
     std::cout << "partitioned " << ht.grid().numTiles() << " tiles with "
@@ -695,13 +747,13 @@ cmdRun(const Options& o)
     HT_FATAL_IF(policy != "golden" && policy != "fast",
                 "unknown --policy '", o.policy_name, "' (golden|fast)");
 
-    CooMatrix m = loadMatrix(o);
     Architecture arch = calibrated(makeArch(o));
     HotTilesOptions opts;
     opts.kernel = makeKernel(o);
     opts.iunaware_seed = o.seed;
     opts.build_formats = false;
-    HotTiles ht(arch, m, opts);
+    std::unique_ptr<HotTiles> ht_ptr = makeHotTiles(o, arch, opts);
+    HotTiles& ht = *ht_ptr;
     const TileGrid& grid = ht.grid();
     const Partition& p = ht.partition();
 
@@ -918,6 +970,50 @@ cmdUpdate(const Options& o)
 }
 
 int
+cmdConvert(const Options& o)
+{
+    const Index pr = o.panel_rows;
+    uint64_t nnz = 0;
+    if (o.matrix.rfind("rmat:", 0) == 0) {
+        // rmat:SCALE:DEGREE[:SEED] — streamed generation, never holds
+        // more than one panel's edges.
+        auto parts = splitChar(o.matrix, ':');
+        HT_FATAL_IF(parts.size() < 3 || parts.size() > 4,
+                    "rmat spec is rmat:SCALE:DEGREE[:SEED], got '",
+                    o.matrix, "'");
+        uint64_t scale =
+            parseU64Arg(std::string(parts[1]), "rmat scale");
+        HT_FATAL_IF(scale == 0 || scale > 30,
+                    "rmat scale must be in [1, 30]");
+        uint64_t degree =
+            parseU64Arg(std::string(parts[2]), "rmat degree");
+        HT_FATAL_IF(degree == 0 || degree > 4096,
+                    "rmat degree must be in [1, 4096]");
+        uint64_t seed = parts.size() > 3
+                            ? parseU64Arg(std::string(parts[3]), "rmat seed")
+                            : o.seed;
+        const Index rows = Index(1) << scale;
+        nnz = genRmatHtb(o.convert_dst, rows, size_t(rows) * degree, 0.57,
+                         0.19, 0.19, 0.05, seed, pr);
+    } else if (!o.matrix.empty() && o.matrix[0] == '@') {
+        CooMatrix m = makeSuiteMatrix(o.matrix.substr(1));
+        m.sortRowMajor();
+        m.dedupSum();
+        writeHtbFromCoo(o.convert_dst, m, pr);
+        nnz = m.nnz();
+    } else {
+        // Two-pass streaming conversion: O(largest panel) peak RSS.
+        nnz = convertMatrixMarketToHtb(o.matrix, o.convert_dst, pr);
+    }
+    MappedMatrix check(o.convert_dst);
+    std::cout << "wrote " << o.convert_dst << ": " << check.rows() << "x"
+              << check.cols() << ", " << nnz << " nonzeros in "
+              << check.numPanels() << " panel(s) of " << check.panelRows()
+              << " row(s)\n";
+    return kExitOk;
+}
+
+int
 cmdExplore(const Options& o)
 {
     CooMatrix m = loadMatrix(o);
@@ -966,6 +1062,8 @@ main(int argc, char** argv)
             return cmdServe(o);
         if (o.command == "update")
             return cmdUpdate(o);
+        if (o.command == "convert")
+            return cmdConvert(o);
         usage(argv[0]);
     } catch (const FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";
